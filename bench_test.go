@@ -1,0 +1,211 @@
+package dlsmech
+
+// The benchmark harness: one Benchmark per reproduced figure/theorem/ablation
+// (regenerating the corresponding EXPERIMENTS.md table end to end), plus
+// micro-benchmarks for the hot paths (the solver, the simulator, the
+// mechanism evaluation and the signed protocol).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"fmt"
+	"testing"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/des"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/experiments"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// benchExperiment regenerates one experiment per iteration and fails the
+// benchmark if the reproduction check fails — the benches double as a
+// reproduction gate.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, 12345)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed() {
+			b.Fatalf("%s failed: %v", id, rep.Findings)
+		}
+	}
+}
+
+func BenchmarkF2Gantt(b *testing.B)            { benchExperiment(b, "F2") }
+func BenchmarkF3Reduction(b *testing.B)        { benchExperiment(b, "F3") }
+func BenchmarkE1Optimality(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2Baselines(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3Strategyproof(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4Participation(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Detection(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE6Audit(b *testing.B)            { benchExperiment(b, "E6") }
+func BenchmarkE7SolutionBonus(b *testing.B)    { benchExperiment(b, "E7") }
+func BenchmarkE8DESAgreement(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkA1Scaling(b *testing.B)          { benchExperiment(b, "A1") }
+func BenchmarkA2PaymentOverhead(b *testing.B)  { benchExperiment(b, "A2") }
+func BenchmarkA3ProtocolOverhead(b *testing.B) { benchExperiment(b, "A3") }
+func BenchmarkE9Dynamics(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkA4Topologies(b *testing.B)       { benchExperiment(b, "A4") }
+func BenchmarkA5FineCalibration(b *testing.B)  { benchExperiment(b, "A5") }
+func BenchmarkA6AffineStartup(b *testing.B)    { benchExperiment(b, "A6") }
+func BenchmarkA7Multiround(b *testing.B)       { benchExperiment(b, "A7") }
+func BenchmarkA8BusMechanism(b *testing.B)     { benchExperiment(b, "A8") }
+func BenchmarkA9TreeMechanism(b *testing.B)    { benchExperiment(b, "A9") }
+func BenchmarkA10ResultReturns(b *testing.B)   { benchExperiment(b, "A10") }
+func BenchmarkA11Collusion(b *testing.B)       { benchExperiment(b, "A11") }
+func BenchmarkE10Evolution(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkA12Conditioning(b *testing.B)    { benchExperiment(b, "A12") }
+func BenchmarkA13LPOracle(b *testing.B)        { benchExperiment(b, "A13") }
+func BenchmarkA14TreeProtocol(b *testing.B)    { benchExperiment(b, "A14") }
+func BenchmarkE11Market(b *testing.B)          { benchExperiment(b, "E11") }
+func BenchmarkA15Scenarios(b *testing.B)       { benchExperiment(b, "A15") }
+
+// --- Micro-benchmarks: the hot paths behind the experiments -----------------
+
+func BenchmarkSolveBoundary(b *testing.B) {
+	for _, m := range []int{8, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dlt.SolveBoundary(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFinishTimes(b *testing.B) {
+	n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(512))
+	sol := dlt.MustSolveBoundary(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dlt.FinishTimes(n, sol.Alpha)
+	}
+}
+
+func BenchmarkDESRun(b *testing.B) {
+	for _, m := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+			sol := dlt.MustSolveBoundary(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := des.Run(des.Spec{Net: n, PlanHat: sol.AlphaHat}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvaluateMechanism(b *testing.B) {
+	for _, m := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+			cfg := core.DefaultConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EvaluateTruthful(n, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProtocolRun(b *testing.B) {
+	for _, m := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+			prof := agent.AllTruthful(n.Size())
+			cfg := core.DefaultConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatal("truthful run terminated")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveTreeBinary(b *testing.B) {
+	r := xrand.New(1)
+	w := make([]float64, 255)
+	for i := range w {
+		w[i] = r.Uniform(0.5, 3)
+	}
+	var build func(i int) *dlt.TreeNode
+	build = func(i int) *dlt.TreeNode {
+		node := &dlt.TreeNode{W: w[i]}
+		if 2*i+1 < len(w) {
+			node.Children = append(node.Children, dlt.TreeEdge{Z: 0.1, Node: build(2*i + 1)})
+		}
+		if 2*i+2 < len(w) {
+			node.Children = append(node.Children, dlt.TreeEdge{Z: 0.1, Node: build(2*i + 2)})
+		}
+		return node
+	}
+	root := build(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dlt.SolveTree(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveAffine(b *testing.B) {
+	for _, m := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+			af := dlt.WithUniformStartup(n, 0.05, 0.05)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dlt.SolveAffine(af, 1, 1e-10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRunMulti(b *testing.B) {
+	n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(32))
+	rounds, err := des.FluidInstallments(n, 1, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := des.RunMulti(des.MultiSpec{Net: n, Rounds: rounds}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUtilityCurve(b *testing.B) {
+	n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(16))
+	cfg := core.DefaultConfig()
+	factors := []float64{0.5, 0.75, 1, 1.5, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.UtilityCurve(n, 8, factors, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

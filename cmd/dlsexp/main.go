@@ -1,0 +1,141 @@
+// Command dlsexp regenerates the evaluation artifacts recorded in
+// EXPERIMENTS.md: every figure reproduction, theorem validation and ablation.
+//
+// Usage:
+//
+//	dlsexp                 # run everything, plain-text tables
+//	dlsexp -id E3 -id E5   # run a subset
+//	dlsexp -format md      # GitHub Markdown (what EXPERIMENTS.md embeds)
+//	dlsexp -format csv     # machine-readable, tables only
+//	dlsexp -seed 99        # different random workloads, same checks
+//	dlsexp -list           # list experiment IDs and titles
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dlsmech"
+	"dlsmech/internal/experiments"
+)
+
+type idList []string
+
+func (l *idList) String() string     { return strings.Join(*l, ",") }
+func (l *idList) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlsexp: ")
+	var ids idList
+	flag.Var(&ids, "id", "experiment ID to run (repeatable; default: all)")
+	var (
+		format = flag.String("format", "text", "output format: text, md or csv")
+		seed   = flag.Uint64("seed", 12345, "seed for the random workloads")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		titles := experiments.Titles()
+		for _, id := range dlsmech.ExperimentIDs() {
+			fmt.Printf("%-4s %s\n", id, titles[id])
+		}
+		return
+	}
+
+	runIDs := []string(ids)
+	if len(runIDs) == 0 {
+		runIDs = dlsmech.ExperimentIDs()
+	}
+
+	failed := 0
+	for _, id := range runIDs {
+		rep, err := dlsmech.RunExperiment(id, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Passed() {
+			failed++
+		}
+		if err := emit(rep, *format); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d experiment(s) FAILED their reproduction checks", failed)
+	}
+}
+
+func emit(rep *dlsmech.ExperimentReport, format string) error {
+	switch format {
+	case "text":
+		fmt.Printf("\n### %s — %s (reproduces: %s)\n\n", rep.ID, rep.Title, rep.Paper)
+		for _, tb := range rep.Tables {
+			if err := tb.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		for _, p := range rep.Plots {
+			fmt.Println(p)
+		}
+		for _, f := range rep.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+	case "md":
+		fmt.Printf("\n## %s — %s\n\n*Reproduces: %s*\n\n", rep.ID, rep.Title, rep.Paper)
+		for _, tb := range rep.Tables {
+			if err := tb.WriteMarkdown(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		for _, p := range rep.Plots {
+			fmt.Printf("```\n%s```\n\n", p)
+		}
+		for _, f := range rep.Findings {
+			fmt.Printf("- %s\n", f)
+		}
+	case "csv":
+		for _, tb := range rep.Tables {
+			fmt.Printf("# %s: %s\n", rep.ID, tb.Title)
+			if err := tb.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		}
+	case "json":
+		type jsonTable struct {
+			Title   string     `json:"title"`
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		}
+		out := struct {
+			ID       string      `json:"id"`
+			Title    string      `json:"title"`
+			Paper    string      `json:"paper"`
+			Passed   bool        `json:"passed"`
+			Findings []string    `json:"findings"`
+			Tables   []jsonTable `json:"tables"`
+		}{ID: rep.ID, Title: rep.Title, Paper: rep.Paper, Passed: rep.Passed(), Findings: rep.Findings}
+		for _, tb := range rep.Tables {
+			jt := jsonTable{Title: tb.Title, Headers: tb.Headers}
+			for i := 0; i < tb.NumRows(); i++ {
+				jt.Rows = append(jt.Rows, tb.Row(i))
+			}
+			out.Tables = append(out.Tables, jt)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want text, md, csv or json)", format)
+	}
+	return nil
+}

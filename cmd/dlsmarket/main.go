@@ -1,0 +1,99 @@
+// Command dlsmarket simulates the long-run economy of the mechanism: a
+// population of processor owners with cash balances plays repeated
+// divisible-load jobs through the verification protocol; fines compound,
+// deviants go bankrupt and are replaced by truthful entrants.
+//
+// Usage:
+//
+//	dlsmarket                                   # defaults: 20 owners, 200 jobs
+//	dlsmarket -owners 40 -rounds 500 -job 6
+//	dlsmarket -shedders 0.3 -overchargers 0.2   # a rougher neighborhood
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/market"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlsmarket: ")
+	var (
+		owners        = flag.Int("owners", 20, "population size")
+		rounds        = flag.Int("rounds", 200, "number of jobs")
+		jobSize       = flag.Int("job", 4, "strategic seats per job")
+		shedders      = flag.Float64("shedders", 0.2, "initial shedder fraction")
+		contradictors = flag.Float64("contradictors", 0.1, "initial contradictor fraction")
+		overchargers  = flag.Float64("overchargers", 0.1, "initial overcharger fraction")
+		bankruptcy    = flag.Float64("bankruptcy", -15, "ejection threshold (negative)")
+		fine          = flag.Float64("fine", 10, "mechanism fine F")
+		q             = flag.Float64("q", 0.25, "audit probability")
+		seed          = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	mix := map[string]float64{
+		"shedder":      *shedders,
+		"contradictor": *contradictors,
+		"overcharger":  *overchargers,
+	}
+	behaviors := map[string]agent.Behavior{
+		"shedder":      agent.Shedder(0.5),
+		"contradictor": agent.Contradictor(),
+		"overcharger":  agent.Overcharger(0.5),
+	}
+	res, err := market.Run(market.Config{
+		Owners:       market.UniformPopulation(*owners, mix, behaviors, *seed),
+		JobSize:      *jobSize,
+		Rounds:       *rounds,
+		BankruptcyAt: *bankruptcy,
+		Mech:         core.Config{Fine: *fine, AuditProb: *q},
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("market: %d owners, %d jobs of %d seats, F=%.3g, q=%.3g, bankruptcy at %.3g\n\n",
+		*owners, *rounds, *jobSize, *fine, *q, *bankruptcy)
+
+	var labels []string
+	for label := range res.Bankruptcies {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	fmt.Println("bankruptcies:")
+	total := 0
+	for _, label := range labels {
+		fmt.Printf("  %-18s %d\n", label, res.Bankruptcies[label])
+		total += res.Bankruptcies[label]
+	}
+	if total == 0 {
+		fmt.Println("  (none)")
+	}
+
+	fmt.Printf("\nfinal deviant share: %.1f%%\n", 100*res.DeviantShare())
+	fmt.Printf("schedule quality (realized/optimal makespan):\n")
+	fmt.Printf("  first quarter: %.4f\n  last quarter:  %.4f\n", res.MeanRatioFirst, res.MeanRatioLast)
+
+	fmt.Println("\ntop balances (surviving owners):")
+	survivors := make([]market.Owner, 0, len(res.Owners))
+	for _, o := range res.Owners {
+		if !o.Bankrupt {
+			survivors = append(survivors, o)
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].Balance > survivors[j].Balance })
+	for i, o := range survivors {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  owner %-3d %-18s balance %8.3f over %d jobs\n", o.ID, o.Behavior.Label, o.Balance, o.Jobs)
+	}
+}

@@ -1,0 +1,95 @@
+// Command dlsproto runs the full DLS-LBL verification protocol (Phases
+// I-IV with signed messages, grievances, fines and audits) on a network,
+// optionally injecting deviant behaviors, and prints the arbitration record
+// and final welfare of every owner.
+//
+// Usage:
+//
+//	dlsproto -scenario lan-cluster
+//	dlsproto -spec network.json -deviant 2=shedder:0.4 -deviant 3=overbid:1.5
+//	dlsproto -scenario wan-federation -deviant 1=contradictor -seed 7
+//
+// Deviant syntax: index=behavior[:param]. Behaviors: truthful, overbid,
+// underbid, slacker, shedder, contradictor, miscomputer, overcharger,
+// false-accuser, corruptor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dlsmech"
+	"dlsmech/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlsproto: ")
+	deviants := cli.Deviants{}
+	flag.Var(deviants, "deviant", "index=behavior[:param] (repeatable)")
+	var (
+		specPath = flag.String("spec", "", "path to a network spec JSON file (default: stdin)")
+		scenario = flag.String("scenario", "", "use a built-in scenario")
+		seed     = flag.Uint64("seed", 1, "run seed (keys, Λ ids, audit lottery)")
+		fine     = flag.Float64("fine", 10, "mechanism fine F")
+		q        = flag.Float64("q", 0.25, "audit probability q")
+		bonus    = flag.Float64("s", 0, "solution bonus S (0 disables)")
+	)
+	flag.Parse()
+
+	net, err := cli.LoadNetwork(*specPath, *scenario, os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := dlsmech.AllTruthful(net.Size())
+	for idx, b := range deviants {
+		if idx < 1 || idx >= net.Size() {
+			log.Fatalf("deviant index %d out of range [1,%d] (the root is obedient)", idx, net.M())
+		}
+		prof = prof.WithDeviant(idx, b)
+	}
+	cfg := dlsmech.Config{Fine: *fine, AuditProb: *q, SolutionBonus: *bonus}
+
+	res, err := dlsmech.RunProtocol(dlsmech.ProtocolParams{Net: net, Profile: prof, Cfg: cfg, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network: %s\n", net)
+	fmt.Printf("profile: ")
+	for i, b := range prof {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("P%d=%s", i, b.Label)
+	}
+	fmt.Println()
+	if res.Completed {
+		fmt.Println("run COMPLETED")
+	} else {
+		fmt.Printf("run TERMINATED: %s\n", res.TermReason)
+	}
+	fmt.Printf("solution found: %v\n", res.SolutionFound)
+	fmt.Printf("stats: %d messages, %d signatures, %d verifications\n\n",
+		res.Stats.Messages, res.Stats.Signatures, res.Stats.Verifications)
+
+	if len(res.Detections) == 0 {
+		fmt.Println("no deviations detected")
+	}
+	for _, d := range res.Detections {
+		fmt.Printf("DETECTED %-22s offender P%d fined %7.3f", d.Violation, d.Offender, d.Fine)
+		if d.Reporter >= 0 {
+			fmt.Printf("  (reporter P%d rewarded %.3f)", d.Reporter, d.Reward)
+		} else {
+			fmt.Printf("  (root audit)")
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("%-5s %-18s %10s %10s\n", "proc", "behavior", "computed", "utility")
+	for i := range res.Utilities {
+		fmt.Printf("P%-4d %-18s %10.4f %10.4f\n", i, prof[i].Label, res.Retained[i], res.Utilities[i])
+	}
+}

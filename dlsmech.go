@@ -1,0 +1,346 @@
+// Package dlsmech is a Go implementation of DLS-LBL, the strategyproof
+// mechanism with verification for scheduling arbitrarily divisible loads on
+// linear processor networks with boundary load origination, from:
+//
+//	Thomas E. Carroll and Daniel Grosu. "A Strategyproof Mechanism for
+//	Scheduling Divisible Loads in Linear Networks." IPPS 2007.
+//
+// The library has three layers, all reachable from this package:
+//
+//   - Scheduling (Divisible Load Theory): Schedule runs the LINEAR
+//     BOUNDARY-LINEAR algorithm — the classical optimal allocation in which
+//     every processor participates and all finish simultaneously. Solvers
+//     for bus, star, tree and interior-origination networks are exported
+//     alongside, plus a discrete-event simulator (Simulate) that regenerates
+//     the paper's Gantt chart and executes off-plan deviations.
+//
+//   - Mechanism economics: EvaluateMechanism prices a run — the compensation,
+//     recompense and bonus payments of equations (4.4)-(4.11) — given the
+//     agents' bids and measured behavior. Truth-telling and full-speed
+//     execution are a dominant strategy (Theorem 5.3), truthful agents never
+//     lose (Theorem 5.4); UtilityCurve and friends measure exactly that.
+//
+//   - The verification protocol: RunProtocol executes Phases I-IV as an
+//     actual message-passing system — one goroutine per processor, ed25519
+//     digital signatures, tamper-proof meters, Λ data attestations, a
+//     grievance/arbitration path and probabilistic payment audits — with
+//     strategic behaviors injected per processor.
+//
+// Quick start:
+//
+//	net, _ := dlsmech.NewNetwork([]float64{1, 2, 1.5}, []float64{0.2, 0.1})
+//	plan, _ := dlsmech.Schedule(net)
+//	fmt.Println(plan.Alpha, plan.Makespan())
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the full
+// reproduction record.
+package dlsmech
+
+import (
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/des"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/dynamics"
+	"dlsmech/internal/experiments"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/workload"
+)
+
+// --- Scheduling layer (Divisible Load Theory) -------------------------------
+
+// Network is a linear network with boundary load origination: W[i] is the
+// per-unit processing time of P_i, Z[i] the per-unit time of the link into
+// P_i (Z[0] = 0).
+type Network = dlt.Network
+
+// Allocation is the solution of the LINEAR BOUNDARY-LINEAR problem.
+type Allocation = dlt.Allocation
+
+// Topology solvers and models beyond the boundary chain.
+type (
+	// Bus is a shared-bus network (the DLS-BL prior-work baseline).
+	Bus = dlt.Bus
+	// Star is a single-level tree with private links.
+	Star = dlt.Star
+	// TreeNode is a node of an arbitrary tree network.
+	TreeNode = dlt.TreeNode
+	// TreeEdge links a TreeNode to a child subtree.
+	TreeEdge = dlt.TreeEdge
+)
+
+// NewNetwork builds and validates a network from processor times w (length
+// m+1) and link times z (length m).
+func NewNetwork(w, z []float64) (*Network, error) { return dlt.NewNetwork(w, z) }
+
+// Schedule computes the optimal allocation for a unit load (Algorithm 1 of
+// the paper): minimal makespan, every processor participating, all finishing
+// at the same instant (Theorem 2.1).
+func Schedule(n *Network) (*Allocation, error) { return dlt.SolveBoundary(n) }
+
+// FinishTimes evaluates equations (2.1)-(2.2): each processor's completion
+// time under an arbitrary allocation.
+func FinishTimes(n *Network, alpha []float64) []float64 { return dlt.FinishTimes(n, alpha) }
+
+// Makespan returns max_j T_j(α).
+func Makespan(n *Network, alpha []float64) float64 { return dlt.Makespan(n, alpha) }
+
+// ScheduleBus, ScheduleStar, ScheduleTree and ScheduleInterior solve the
+// companion topologies. See the dlt package docs for the models.
+func ScheduleBus(b *Bus) (*dlt.BusAllocation, error) { return dlt.SolveBus(b) }
+
+// ScheduleStar solves a star with the optimal (ascending link time) order.
+func ScheduleStar(s *Star) (*dlt.StarAllocation, error) { return dlt.SolveStarBestOrder(s) }
+
+// ScheduleTree solves an arbitrary tree network by recursive reduction.
+func ScheduleTree(root *TreeNode) (*dlt.TreeAllocation, error) { return dlt.SolveTree(root) }
+
+// ScheduleInterior solves a chain whose load originates at interior
+// position root.
+func ScheduleInterior(n *Network, root int) (*dlt.InteriorAllocation, error) {
+	return dlt.SolveInterior(n, root)
+}
+
+// AffineNetwork augments a chain with communication and computation startup
+// costs, relaxing the paper's assumption (i).
+type AffineNetwork = dlt.AffineNetwork
+
+// WithUniformStartup wraps a network with constant startup costs.
+func WithUniformStartup(n *Network, zc, wc float64) *AffineNetwork {
+	return dlt.WithUniformStartup(n, zc, wc)
+}
+
+// ScheduleAffine solves the LINEAR BOUNDARY-AFFINE problem: minimum
+// makespan for `load` units under affine (startup + linear) costs. Distant
+// processors may legitimately receive no load.
+func ScheduleAffine(af *AffineNetwork, load float64) (*dlt.AffineAllocation, error) {
+	return dlt.SolveAffine(af, load, 0)
+}
+
+// --- Simulation layer --------------------------------------------------------
+
+// SimResult is the outcome of a discrete-event simulation.
+type SimResult = des.Result
+
+// SimSpec configures an (optionally off-plan) simulation run.
+type SimSpec = des.Spec
+
+// Simulate runs the optimal plan of n through the discrete-event simulator
+// for a unit load.
+func Simulate(n *Network) (*SimResult, error) { return des.RunPlan(n) }
+
+// SimulateSpec runs an arbitrary (possibly deviating) simulation.
+func SimulateSpec(spec SimSpec) (*SimResult, error) { return des.Run(spec) }
+
+// RenderGantt renders the paper's Figure 2 for a simulation result as ASCII
+// art, width columns wide (0 = default).
+func RenderGantt(res *SimResult, width int) string {
+	return des.Gantt{Width: width}.RenderString(res)
+}
+
+// Multi-installment (multiround) scheduling, after reference [21].
+type (
+	// Round is one installment of a multiround plan.
+	Round = des.Round
+	// MultiSpec configures a multiround simulation.
+	MultiSpec = des.MultiSpec
+	// MultiResult is its outcome.
+	MultiResult = des.MultiResult
+)
+
+// SimulateMulti runs a multi-installment plan through the one-port chain.
+func SimulateMulti(spec MultiSpec) (*MultiResult, error) { return des.RunMulti(spec) }
+
+// FluidInstallments builds the R-round plan multiround scheduling benefits
+// from (load split proportionally to processing rate).
+func FluidInstallments(n *Network, load float64, rounds int) ([]Round, error) {
+	return des.FluidInstallments(n, load, rounds)
+}
+
+// EqualInstallments splits the load into R rounds with the single-round
+// optimal fractions (useful as the "no-reoptimization" baseline).
+func EqualInstallments(n *Network, load float64, rounds int) ([]Round, error) {
+	return des.EqualInstallments(n, load, rounds)
+}
+
+// RenderMultiGantt renders a multi-installment schedule as ASCII art.
+func RenderMultiGantt(res *MultiResult, width int) string {
+	return des.Gantt{Width: width}.RenderMultiString(res)
+}
+
+// --- Mechanism economics ------------------------------------------------------
+
+// Config carries the mechanism parameters: the fine F, the audit
+// probability q and the optional solution bonus S.
+type Config = core.Config
+
+// MechReport describes agents' bids and measured behavior for evaluation.
+type MechReport = core.Report
+
+// Outcome is the priced result: plan, payments and utilities.
+type Outcome = core.Outcome
+
+// DefaultConfig returns the parameters used throughout the experiments.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// EvaluateMechanism prices one run of the mechanism analytically.
+func EvaluateMechanism(trueNet *Network, rep MechReport, cfg Config) (*Outcome, error) {
+	return core.Evaluate(trueNet, rep, cfg)
+}
+
+// EvaluateTruthful prices the all-honest run.
+func EvaluateTruthful(trueNet *Network, cfg Config) (*Outcome, error) {
+	return core.EvaluateTruthful(trueNet, cfg)
+}
+
+// UtilityCurve sweeps agent i's bid over t_i·factor and returns its
+// utilities — the measurable form of Theorem 5.3 (the curve peaks at 1).
+func UtilityCurve(trueNet *Network, i int, factors []float64, cfg Config) ([]float64, error) {
+	return core.UtilityCurve(trueNet, i, factors, cfg)
+}
+
+// BusReport describes worker behavior for the bus mechanism.
+type BusReport = core.BusReport
+
+// BusOutcome is the priced bus run.
+type BusOutcome = core.BusOutcome
+
+// EvaluateBusMechanism prices one run of DLS-BL, the authors' earlier
+// strategyproof mechanism for bus networks (reference [14]), reconstructed
+// with the same payment architecture as DLS-LBL.
+func EvaluateBusMechanism(trueBus *Bus, rep BusReport, cfg Config) (*BusOutcome, error) {
+	return core.EvaluateBus(trueBus, rep, cfg)
+}
+
+// TreeReport and TreeOutcome belong to DLS-T, the tree-network mechanism
+// (reference [9], reconstructed); it subsumes the paper's interior-
+// origination future work (an interior-rooted chain is a two-armed tree).
+type (
+	// TreeReport describes tree nodes' bids and measured speeds (preorder).
+	TreeReport = core.TreeReport
+	// TreeOutcome is the priced tree run.
+	TreeOutcome = core.TreeOutcome
+)
+
+// EvaluateTreeMechanism prices one run of DLS-T on the true tree.
+func EvaluateTreeMechanism(trueRoot *TreeNode, rep TreeReport, cfg Config) (*TreeOutcome, error) {
+	return core.EvaluateTree(trueRoot, rep, cfg)
+}
+
+// TreeTruthfulReport builds the honest report for a tree.
+func TreeTruthfulReport(trueRoot *TreeNode) TreeReport { return core.TreeTruthfulReport(trueRoot) }
+
+// Result-return modeling (relaxing assumption (iii)).
+type (
+	// ReturnSpec configures a run with δ-scaled result returns.
+	ReturnSpec = des.ReturnSpec
+	// ReturnResult reports compute and total (returns included) makespans.
+	ReturnResult = des.ReturnResult
+)
+
+// SimulateWithReturns executes an allocation and ships results back to the
+// root hop by hop.
+func SimulateWithReturns(spec ReturnSpec) (*ReturnResult, error) { return des.RunWithReturns(spec) }
+
+// ReturnAwareAlloc allocates with the round trip of each processor's
+// results priced in.
+func ReturnAwareAlloc(n *Network, delta float64) ([]float64, error) {
+	return des.ReturnAwareAlloc(n, delta)
+}
+
+// Best-response bidding dynamics (the paper's motivation, quantified).
+type (
+	// DynamicsRule prices one agent under a bid profile.
+	DynamicsRule = dynamics.Rule
+	// DynamicsResult is the settled profile and its realized makespan.
+	DynamicsResult = dynamics.Result
+	// DynamicsOptions tunes the grid and sweep budget.
+	DynamicsOptions = dynamics.Options
+)
+
+// DLSLBLRule prices agents with the paper's mechanism; best responses are
+// truthful, so dynamics keep the schedule optimal.
+func DLSLBLRule(cfg Config) DynamicsRule { return dynamics.DLSLBL{Cfg: cfg} }
+
+// DeclaredCostRule is the naive contract that pays declared cost — the
+// arrangement plain DLT implies among selfish owners. Bids inflate under
+// it.
+func DeclaredCostRule() DynamicsRule { return dynamics.DeclaredCost{} }
+
+// RunDynamics plays round-robin best-response bidding from the truthful
+// profile until a fixed point.
+func RunDynamics(rule DynamicsRule, truth *Network, opts DynamicsOptions) (*DynamicsResult, error) {
+	return dynamics.Run(rule, truth, opts)
+}
+
+// --- Verification protocol ----------------------------------------------------
+
+// Behavior is one owner strategy (truthful, overbid, shedder, ...).
+type Behavior = agent.Behavior
+
+// Profile assigns a Behavior to every processor.
+type Profile = agent.Profile
+
+// ProtocolParams configures a protocol run.
+type ProtocolParams = protocol.Params
+
+// ProtocolResult is the outcome: detections, fines, ledger and utilities.
+type ProtocolResult = protocol.Result
+
+// Canonical behaviors, re-exported for profile building.
+var (
+	Truthful     = agent.Truthful
+	Overbid      = agent.Overbid
+	Underbid     = agent.Underbid
+	Slacker      = agent.Slacker
+	Shedder      = agent.Shedder
+	Contradictor = agent.Contradictor
+	Miscomputer  = agent.Miscomputer
+	Overcharger  = agent.Overcharger
+	FalseAccuser = agent.FalseAccuser
+	Corruptor    = agent.Corruptor
+	SilentVictim = agent.SilentVictim
+	AllTruthful  = agent.AllTruthful
+)
+
+// RunProtocol executes Phases I-IV of DLS-LBL as a message-passing system
+// with the given behaviors injected.
+func RunProtocol(p ProtocolParams) (*ProtocolResult, error) { return protocol.Run(p) }
+
+// TreeProtocolParams configures a distributed DLS-T run.
+type TreeProtocolParams = protocol.TreeParams
+
+// TreeProtocolResult is its outcome.
+type TreeProtocolResult = protocol.TreeResult
+
+// RunTreeProtocol executes the DLS-T verification protocol on a tree
+// network — the distributed form of the paper's future work. On a
+// chain-shaped tree it prices runs identically to RunProtocol.
+func RunTreeProtocol(p TreeProtocolParams) (*TreeProtocolResult, error) { return protocol.RunTree(p) }
+
+// --- Workloads and experiments -------------------------------------------------
+
+// Scenario is a named example workload.
+type Scenario = workload.Scenario
+
+// Scenarios returns the built-in workload catalogue.
+func Scenarios() []Scenario { return workload.Scenarios() }
+
+// ScenarioByName looks up one catalogue entry.
+func ScenarioByName(name string) (Scenario, error) { return workload.ScenarioByName(name) }
+
+// ExperimentReport is the regenerated artifact of one experiment.
+type ExperimentReport = experiments.Report
+
+// ExperimentIDs lists the reproducible experiments (see EXPERIMENTS.md).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one experiment with the given seed.
+func RunExperiment(id string, seed uint64) (*ExperimentReport, error) {
+	return experiments.Run(id, seed)
+}
+
+// RunAllExperiments regenerates the whole evaluation.
+func RunAllExperiments(seed uint64) ([]*ExperimentReport, error) {
+	return experiments.RunAll(seed)
+}

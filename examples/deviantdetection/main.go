@@ -1,0 +1,86 @@
+// Deviant detection: the verification protocol in action.
+//
+// This example runs the full signed message-passing protocol (Phases I-IV)
+// on a 6-processor chain, injecting one deviant behavior per run: a
+// contradictory bidder, a wrong-arithmetic predecessor, a load-shedder, an
+// overcharger and a false accuser. For each run it prints what the
+// arbitration detected, who was fined, and how the deviant's welfare
+// compares with honest play (Lemma 5.1/5.2, Theorem 5.1).
+//
+//	go run ./examples/deviantdetection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlsmech"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	net, err := dlsmech.NewNetwork(
+		[]float64{1.0, 1.8, 1.2, 2.4, 1.5, 2.0},
+		[]float64{0.15, 0.1, 0.2, 0.12, 0.18},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dlsmech.DefaultConfig()
+	size := net.Size()
+	const seed = 42
+
+	honest, err := dlsmech.RunProtocol(dlsmech.ProtocolParams{
+		Net: net, Profile: dlsmech.AllTruthful(size), Cfg: cfg, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("honest baseline: completed=%v, detections=%d, messages=%d, signatures=%d\n\n",
+		honest.Completed, len(honest.Detections), honest.Stats.Messages, honest.Stats.Signatures)
+
+	cases := []struct {
+		pos int
+		b   dlsmech.Behavior
+	}{
+		{2, dlsmech.Contradictor()},
+		{1, dlsmech.Miscomputer()},
+		{2, dlsmech.Shedder(0.4)},
+		{3, dlsmech.Overcharger(0.5)},
+		{4, dlsmech.FalseAccuser()},
+	}
+	for _, c := range cases {
+		prof := dlsmech.AllTruthful(size).WithDeviant(c.pos, c.b)
+		res, err := dlsmech.RunProtocol(dlsmech.ProtocolParams{
+			Net: net, Profile: prof, Cfg: cfg, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s at P%d ===\n", c.b.Label, c.pos)
+		if res.Completed {
+			fmt.Println("  run completed (deviation handled without aborting)")
+		} else {
+			fmt.Printf("  run TERMINATED: %s\n", res.TermReason)
+		}
+		if len(res.Detections) == 0 {
+			fmt.Println("  no detection this run (overchargers are caught with probability q per audit)")
+		}
+		for _, d := range res.Detections {
+			fmt.Printf("  detected %-22s offender P%d, fined %6.3f", d.Violation, d.Offender, d.Fine)
+			if d.Reporter >= 0 {
+				fmt.Printf(", reporter P%d rewarded %.3f", d.Reporter, d.Reward)
+			} else {
+				fmt.Printf(" (caught by the root's audit)")
+			}
+			fmt.Println()
+		}
+		delta := res.Utilities[c.pos] - honest.Utilities[c.pos]
+		fmt.Printf("  deviant welfare vs honest play: %+.4f\n\n", delta)
+	}
+
+	fmt.Println("Every detected deviation costs more than it could ever gain (F exceeds")
+	fmt.Println("the cheating-profit envelope — experiment A5 measures it), so a rational")
+	fmt.Println("owner follows the algorithm. That is Theorem 5.1.")
+}

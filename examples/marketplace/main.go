@@ -1,0 +1,54 @@
+// Marketplace: what happens to a divisible-load system when owners keep
+// adjusting their declared speeds to maximize profit?
+//
+// Plain DLT assumes obedient processors; deployed among self-interested
+// owners, the natural "declared-cost contract" (reimburse each owner its
+// declared cost) invites speed inflation. This example plays round-robin
+// best-response bidding under that contract and under DLS-LBL, printing the
+// settled bids and the realized makespan of each — the quantitative version
+// of the paper's motivation for augmenting DLT with incentives.
+//
+//	go run ./examples/marketplace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlsmech"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	net, err := dlsmech.NewNetwork(
+		[]float64{1.0, 1.6, 1.1, 2.2, 1.4},
+		[]float64{0.15, 0.1, 0.2, 0.12},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, rule := range []dlsmech.DynamicsRule{
+		dlsmech.DeclaredCostRule(),
+		dlsmech.DLSLBLRule(dlsmech.DefaultConfig()),
+	} {
+		res, err := dlsmech.RunDynamics(rule, net, dlsmech.DynamicsOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== payment rule: %s ===\n", res.Rule)
+		fmt.Printf("  converged after %d sweep(s): %v\n", res.Sweeps, res.Converged)
+		for i := 1; i <= net.M(); i++ {
+			fmt.Printf("  P%d: true speed %.2f -> settled bid %.2f (%.0f%% inflation)\n",
+				i, net.W[i], res.Bids[i], 100*(res.Bids[i]/net.W[i]-1))
+		}
+		fmt.Printf("  realized makespan %.4f vs optimal %.4f (degradation %.2f%%)\n\n",
+			res.Makespan, res.OptMakespan, 100*(res.Degradation()-1))
+	}
+
+	fmt.Println("The declared-cost contract rewards inflated speed reports: the")
+	fmt.Println("allocator plans around lies and the schedule degrades. DLS-LBL's")
+	fmt.Println("payments make truth a dominant strategy, so the market equilibrium")
+	fmt.Println("IS the optimal schedule (Theorem 5.3).")
+}

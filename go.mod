@@ -1,0 +1,3 @@
+module dlsmech
+
+go 1.22

@@ -1,0 +1,220 @@
+// Package agent defines the strategic behaviors a processor owner can adopt
+// in the DLS-LBL mechanism. The paper's threat model is the autonomous node
+// model: an owner controls both the inputs it declares (its bid) and the
+// algorithm it runs (the protocol steps). Each Behavior bundles one complete
+// strategy:
+//
+//   - how to bid relative to the true value (Phase I),
+//   - how fast to actually compute (w̃ ≥ t, measured by the meter),
+//   - how much of the assigned load to actually retain (Phase III),
+//   - and which protocol-level misbehaviors to commit (contradictory
+//     messages, wrong arithmetic, overcharging, false accusations, data
+//     corruption).
+//
+// The protocol runtime (internal/protocol) injects these behaviors into a
+// run; the experiments then measure the paper's claim that every deviation
+// is detected and unprofitable.
+package agent
+
+import "fmt"
+
+// Faults lists the discrete protocol misbehaviors of Lemma 5.1's case
+// analysis (plus the selfish-and-annoying data corruption of Theorem 5.2).
+type Faults struct {
+	// ContradictoryBid: in Phase I the agent signs and sends two different
+	// equivalent bids for the same slot (case (i)).
+	ContradictoryBid bool
+	// MiscomputeD: as a predecessor in Phase II the agent scales the
+	// D_{i+1} it reports, mis-assigning load (case (ii)).
+	MiscomputeD bool
+	// Overcharge is the amount added to the Phase IV bill (case (iv));
+	// zero means honest billing.
+	Overcharge float64
+	// FalseAccuse: the agent files a grievance against its innocent
+	// predecessor with evidence that cannot substantiate it (case (v)).
+	FalseAccuse bool
+	// CorruptData: the selfish-and-annoying behavior — the agent corrupts
+	// the data blocks it forwards, destroying the solution without any
+	// direct utility change (Theorem 5.2).
+	CorruptData bool
+	// SuppressGrievance: the agent does NOT file the Phase III overload
+	// grievance even when dumped on. This is not a finable deviation by
+	// itself — grievances are voluntary — but paired with a shedding
+	// predecessor it forms the collusion the mechanism cannot police
+	// (experiment A11 measures the coalition's joint gain).
+	SuppressGrievance bool
+}
+
+// Any reports whether any discrete fault is set.
+func (f Faults) Any() bool {
+	return f.ContradictoryBid || f.MiscomputeD || f.Overcharge != 0 ||
+		f.FalseAccuse || f.CorruptData || f.SuppressGrievance
+}
+
+// Behavior is one owner strategy.
+type Behavior struct {
+	// Label identifies the behavior in experiment tables.
+	Label string
+	// BidFactor scales the true value into the declared bid (1 = truthful).
+	BidFactor float64
+	// SpeedFactor scales the true value into the actual per-unit time
+	// (1 = full capacity; >1 = deliberately slow). Values below 1 are
+	// physically impossible and are clamped to 1 by Apply.
+	SpeedFactor float64
+	// RetainFactor scales the planned local fraction α̂ in Phase III
+	// (1 = on-plan; <1 = shed load onto the successor).
+	RetainFactor float64
+	// Faults are the discrete misbehaviors to inject.
+	Faults Faults
+}
+
+// Bid returns the declared per-unit time for a true value.
+func (b Behavior) Bid(truth float64) float64 {
+	f := b.BidFactor
+	if f <= 0 {
+		f = 1
+	}
+	return truth * f
+}
+
+// Speed returns the actual per-unit time w̃ for a true value, clamped to the
+// physical bound w̃ ≥ t.
+func (b Behavior) Speed(truth float64) float64 {
+	f := b.SpeedFactor
+	if f < 1 {
+		f = 1
+	}
+	return truth * f
+}
+
+// Retain returns the actual local fraction given the planned one.
+func (b Behavior) Retain(plannedHat float64) float64 {
+	f := b.RetainFactor
+	if f <= 0 {
+		f = 1 // zero value means "on plan", not "shed everything"
+	}
+	if f > 1 {
+		f = 1
+	}
+	return plannedHat * f
+}
+
+// IsHonest reports whether the behavior is indistinguishable from truthful
+// protocol-following play.
+func (b Behavior) IsHonest() bool {
+	return (b.BidFactor == 0 || b.BidFactor == 1) &&
+		(b.SpeedFactor == 0 || b.SpeedFactor == 1) &&
+		(b.RetainFactor == 0 || b.RetainFactor == 1) &&
+		!b.Faults.Any()
+}
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string { return b.Label }
+
+// --- Canonical behaviors ------------------------------------------------------
+
+// Truthful follows the mechanism exactly.
+func Truthful() Behavior {
+	return Behavior{Label: "truthful", BidFactor: 1, SpeedFactor: 1, RetainFactor: 1}
+}
+
+// Overbid declares factor× its true time (factor > 1).
+func Overbid(factor float64) Behavior {
+	return Behavior{Label: fmt.Sprintf("overbid(%.2g)", factor), BidFactor: factor, SpeedFactor: 1, RetainFactor: 1}
+}
+
+// Underbid declares factor× its true time (factor < 1).
+func Underbid(factor float64) Behavior {
+	return Behavior{Label: fmt.Sprintf("underbid(%.2g)", factor), BidFactor: factor, SpeedFactor: 1, RetainFactor: 1}
+}
+
+// Slacker bids truthfully but computes factor× slower than capacity.
+func Slacker(factor float64) Behavior {
+	return Behavior{Label: fmt.Sprintf("slacker(%.2g)", factor), BidFactor: 1, SpeedFactor: factor, RetainFactor: 1}
+}
+
+// Shedder retains only factor× its planned local fraction in Phase III.
+func Shedder(factor float64) Behavior {
+	return Behavior{Label: fmt.Sprintf("shedder(%.2g)", factor), BidFactor: 1, SpeedFactor: 1, RetainFactor: factor}
+}
+
+// Contradictor sends contradictory Phase I bids.
+func Contradictor() Behavior {
+	b := Truthful()
+	b.Label = "contradictor"
+	b.Faults.ContradictoryBid = true
+	return b
+}
+
+// Miscomputer reports a wrong D to its successor in Phase II.
+func Miscomputer() Behavior {
+	b := Truthful()
+	b.Label = "miscomputer"
+	b.Faults.MiscomputeD = true
+	return b
+}
+
+// Overcharger inflates its Phase IV bill by delta.
+func Overcharger(delta float64) Behavior {
+	b := Truthful()
+	b.Label = fmt.Sprintf("overcharger(%.2g)", delta)
+	b.Faults.Overcharge = delta
+	return b
+}
+
+// FalseAccuser files an unsubstantiated grievance against its predecessor.
+func FalseAccuser() Behavior {
+	b := Truthful()
+	b.Label = "false-accuser"
+	b.Faults.FalseAccuse = true
+	return b
+}
+
+// Corruptor is the selfish-and-annoying agent: protocol-conformant economics
+// but corrupts the data it forwards.
+func Corruptor() Behavior {
+	b := Truthful()
+	b.Label = "corruptor"
+	b.Faults.CorruptData = true
+	return b
+}
+
+// SilentVictim follows the mechanism but never files an overload grievance —
+// the colluding accomplice of a shedding predecessor.
+func SilentVictim() Behavior {
+	b := Truthful()
+	b.Label = "silent-victim"
+	b.Faults.SuppressGrievance = true
+	return b
+}
+
+// Profile assigns one behavior per processor (index 0 is the obedient root
+// and must be Truthful).
+type Profile []Behavior
+
+// AllTruthful returns an honest profile for size processors.
+func AllTruthful(size int) Profile {
+	p := make(Profile, size)
+	for i := range p {
+		p[i] = Truthful()
+	}
+	return p
+}
+
+// WithDeviant returns a copy of the profile with processor i replaced.
+func (p Profile) WithDeviant(i int, b Behavior) Profile {
+	out := append(Profile(nil), p...)
+	out[i] = b
+	return out
+}
+
+// Deviants lists the indices whose behavior is not honest.
+func (p Profile) Deviants() []int {
+	var out []int
+	for i, b := range p {
+		if !b.IsHonest() {
+			out = append(out, i)
+		}
+	}
+	return out
+}

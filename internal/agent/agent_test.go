@@ -1,0 +1,120 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTruthfulIsHonest(t *testing.T) {
+	if !Truthful().IsHonest() {
+		t.Fatal("Truthful not honest")
+	}
+	if Truthful().Faults.Any() {
+		t.Fatal("Truthful has faults")
+	}
+}
+
+func TestZeroValueBehaviorActsHonest(t *testing.T) {
+	var b Behavior
+	if b.Bid(2) != 2 {
+		t.Fatalf("zero-value bid %v", b.Bid(2))
+	}
+	if b.Speed(2) != 2 {
+		t.Fatalf("zero-value speed %v", b.Speed(2))
+	}
+	if b.Retain(0.5) != 0.5 {
+		t.Fatalf("zero-value retain %v", b.Retain(0.5))
+	}
+	if !b.IsHonest() {
+		t.Fatal("zero-value behavior should read as honest")
+	}
+}
+
+func TestBidFactors(t *testing.T) {
+	if got := Overbid(1.5).Bid(2); got != 3 {
+		t.Fatalf("overbid -> %v", got)
+	}
+	if got := Underbid(0.5).Bid(2); got != 1 {
+		t.Fatalf("underbid -> %v", got)
+	}
+	if Overbid(1.5).IsHonest() || Underbid(0.5).IsHonest() {
+		t.Fatal("misreporting behaviors flagged honest")
+	}
+}
+
+func TestSpeedClampsToCapacity(t *testing.T) {
+	b := Behavior{SpeedFactor: 0.5}
+	if got := b.Speed(2); got != 2 {
+		t.Fatalf("speed %v, want clamp to capacity 2", got)
+	}
+	if got := Slacker(3).Speed(2); got != 6 {
+		t.Fatalf("slacker speed %v", got)
+	}
+}
+
+func TestRetainClamps(t *testing.T) {
+	if got := Shedder(0.25).Retain(0.8); got != 0.2 {
+		t.Fatalf("retain %v", got)
+	}
+	b := Behavior{RetainFactor: 2}
+	if got := b.Retain(0.5); got != 0.5 {
+		t.Fatalf("retain should clamp at plan: %v", got)
+	}
+}
+
+func TestFaultBehaviors(t *testing.T) {
+	cases := []struct {
+		b    Behavior
+		want func(Faults) bool
+	}{
+		{Contradictor(), func(f Faults) bool { return f.ContradictoryBid }},
+		{Miscomputer(), func(f Faults) bool { return f.MiscomputeD }},
+		{Overcharger(0.5), func(f Faults) bool { return f.Overcharge == 0.5 }},
+		{FalseAccuser(), func(f Faults) bool { return f.FalseAccuse }},
+		{Corruptor(), func(f Faults) bool { return f.CorruptData }},
+	}
+	for _, c := range cases {
+		if !c.want(c.b.Faults) {
+			t.Fatalf("%s: faults %+v", c.b.Label, c.b.Faults)
+		}
+		if c.b.IsHonest() {
+			t.Fatalf("%s flagged honest", c.b.Label)
+		}
+		if !c.b.Faults.Any() {
+			t.Fatalf("%s: Any() false", c.b.Label)
+		}
+		// Economic parameters stay truthful for the pure protocol deviants.
+		if c.b.Bid(2) != 2 || c.b.Speed(2) != 2 {
+			t.Fatalf("%s should keep truthful economics", c.b.Label)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	for _, b := range []Behavior{
+		Truthful(), Overbid(2), Underbid(0.5), Slacker(2), Shedder(0.5),
+		Contradictor(), Miscomputer(), Overcharger(1), FalseAccuser(), Corruptor(),
+	} {
+		if b.Label == "" || b.String() == "" {
+			t.Fatalf("missing label: %+v", b)
+		}
+	}
+	if !strings.Contains(Overbid(1.5).Label, "1.5") {
+		t.Fatalf("label should carry the factor: %s", Overbid(1.5).Label)
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	p := AllTruthful(4)
+	if len(p) != 4 || len(p.Deviants()) != 0 {
+		t.Fatalf("AllTruthful wrong: %v", p.Deviants())
+	}
+	q := p.WithDeviant(2, Shedder(0.5))
+	if len(p.Deviants()) != 0 {
+		t.Fatal("WithDeviant mutated the original")
+	}
+	d := q.Deviants()
+	if len(d) != 1 || d[0] != 2 {
+		t.Fatalf("deviants %v", d)
+	}
+}

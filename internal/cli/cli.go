@@ -1,0 +1,160 @@
+// Package cli holds the input-parsing helpers shared by the command-line
+// tools (cmd/dlslbl, cmd/dlsgantt, cmd/dlsproto): network loading from JSON
+// specs or the built-in scenario catalogue, index=value override flags, and
+// behavior-by-name resolution for deviant injection. Keeping them here makes
+// them unit-testable; the main packages stay thin.
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/workload"
+)
+
+// LoadNetwork resolves the network a tool should operate on: a named
+// scenario if scenario != "", else a JSON spec file if specPath != "", else
+// the spec read from stdin.
+func LoadNetwork(specPath, scenario string, stdin io.Reader) (*dlt.Network, error) {
+	if scenario != "" {
+		s, err := workload.ScenarioByName(scenario)
+		if err != nil {
+			return nil, err
+		}
+		return s.Net, nil
+	}
+	var r io.Reader = stdin
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var net dlt.Network
+	if err := json.Unmarshal(data, &net); err != nil {
+		return nil, fmt.Errorf("parsing spec: %w", err)
+	}
+	return &net, nil
+}
+
+// Overrides is a repeatable index=value flag (e.g. -shed 2=0.5).
+type Overrides map[int]float64
+
+// String implements flag.Value.
+func (o Overrides) String() string { return fmt.Sprint(map[int]float64(o)) }
+
+// Set implements flag.Value.
+func (o Overrides) Set(v string) error {
+	idx, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want index=value, got %q", v)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return fmt.Errorf("index %q: %w", idx, err)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("value %q: %w", val, err)
+	}
+	o[i] = f
+	return nil
+}
+
+// BehaviorNames lists the behaviors ParseBehavior accepts.
+func BehaviorNames() []string {
+	return []string{
+		"truthful", "overbid", "underbid", "slacker", "shedder",
+		"contradictor", "miscomputer", "overcharger", "false-accuser",
+		"corruptor", "silent-victim",
+	}
+}
+
+// ParseBehavior resolves "behavior[:param]" into an agent.Behavior,
+// supplying a sensible default parameter when omitted.
+func ParseBehavior(spec string) (agent.Behavior, error) {
+	name, paramStr, hasParam := strings.Cut(spec, ":")
+	param := 0.0
+	if hasParam {
+		var err error
+		param, err = strconv.ParseFloat(paramStr, 64)
+		if err != nil {
+			return agent.Behavior{}, fmt.Errorf("parameter %q: %w", paramStr, err)
+		}
+	}
+	def := func(v float64) float64 {
+		if hasParam {
+			return param
+		}
+		return v
+	}
+	switch name {
+	case "truthful":
+		return agent.Truthful(), nil
+	case "overbid":
+		return agent.Overbid(def(1.5)), nil
+	case "underbid":
+		return agent.Underbid(def(0.6)), nil
+	case "slacker":
+		return agent.Slacker(def(2)), nil
+	case "shedder":
+		return agent.Shedder(def(0.5)), nil
+	case "contradictor":
+		return agent.Contradictor(), nil
+	case "miscomputer":
+		return agent.Miscomputer(), nil
+	case "overcharger":
+		return agent.Overcharger(def(0.5)), nil
+	case "false-accuser":
+		return agent.FalseAccuser(), nil
+	case "corruptor":
+		return agent.Corruptor(), nil
+	case "silent-victim":
+		return agent.SilentVictim(), nil
+	default:
+		return agent.Behavior{}, fmt.Errorf("unknown behavior %q (have %s)",
+			name, strings.Join(BehaviorNames(), ", "))
+	}
+}
+
+// Deviants is a repeatable index=behavior[:param] flag.
+type Deviants map[int]agent.Behavior
+
+// String implements flag.Value.
+func (d Deviants) String() string {
+	parts := make([]string, 0, len(d))
+	for i, b := range d {
+		parts = append(parts, fmt.Sprintf("%d=%s", i, b.Label))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (d Deviants) Set(v string) error {
+	idxStr, spec, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want index=behavior[:param], got %q", v)
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		return fmt.Errorf("index %q: %w", idxStr, err)
+	}
+	b, err := ParseBehavior(spec)
+	if err != nil {
+		return err
+	}
+	d[idx] = b
+	return nil
+}

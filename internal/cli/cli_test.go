@@ -1,0 +1,148 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadNetworkFromStdin(t *testing.T) {
+	n, err := LoadNetwork("", "", strings.NewReader(`{"w":[1,2],"z":[0.5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 2 || n.Z[1] != 0.5 {
+		t.Fatalf("network %+v", n)
+	}
+}
+
+func TestLoadNetworkFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := os.WriteFile(path, []byte(`{"w":[1,2,3],"z":[0.1,0.2]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	n, err := LoadNetwork(path, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 3 {
+		t.Fatalf("size %d", n.Size())
+	}
+}
+
+func TestLoadNetworkScenarioWins(t *testing.T) {
+	n, err := LoadNetwork("ignored.json", "lan-cluster", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 9 {
+		t.Fatalf("lan-cluster should have 9 processors, got %d", n.Size())
+	}
+}
+
+func TestLoadNetworkErrors(t *testing.T) {
+	if _, err := LoadNetwork("", "no-such-scenario", nil); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := LoadNetwork("/does/not/exist.json", "", nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := LoadNetwork("", "", strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage spec accepted")
+	}
+	if _, err := LoadNetwork("", "", strings.NewReader(`{"w":[-1],"z":[]}`)); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}
+
+func TestOverridesFlag(t *testing.T) {
+	o := Overrides{}
+	if err := o.Set("2=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Set("7=1.25"); err != nil {
+		t.Fatal(err)
+	}
+	if o[2] != 0.5 || o[7] != 1.25 {
+		t.Fatalf("overrides %v", o)
+	}
+	for _, bad := range []string{"nope", "x=1", "1=y", "="} {
+		if err := o.Set(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if o.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestParseBehaviorDefaults(t *testing.T) {
+	cases := map[string]string{
+		"truthful":      "truthful",
+		"overbid":       "overbid(1.5)",
+		"underbid":      "underbid(0.6)",
+		"slacker":       "slacker(2)",
+		"shedder":       "shedder(0.5)",
+		"contradictor":  "contradictor",
+		"miscomputer":   "miscomputer",
+		"overcharger":   "overcharger(0.5)",
+		"false-accuser": "false-accuser",
+		"corruptor":     "corruptor",
+		"silent-victim": "silent-victim",
+	}
+	for spec, wantLabel := range cases {
+		b, err := ParseBehavior(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if b.Label != wantLabel {
+			t.Fatalf("%s -> %s, want %s", spec, b.Label, wantLabel)
+		}
+	}
+}
+
+func TestParseBehaviorParams(t *testing.T) {
+	b, err := ParseBehavior("shedder:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RetainFactor != 0.25 {
+		t.Fatalf("retain factor %v", b.RetainFactor)
+	}
+	if _, err := ParseBehavior("shedder:zzz"); err == nil {
+		t.Fatal("bad param accepted")
+	}
+	if _, err := ParseBehavior("wizard"); err == nil {
+		t.Fatal("unknown behavior accepted")
+	}
+}
+
+func TestBehaviorNamesAllParse(t *testing.T) {
+	for _, name := range BehaviorNames() {
+		if _, err := ParseBehavior(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDeviantsFlag(t *testing.T) {
+	d := Deviants{}
+	if err := d.Set("2=shedder:0.4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("3=overbid"); err != nil {
+		t.Fatal(err)
+	}
+	if d[2].RetainFactor != 0.4 || d[3].BidFactor != 1.5 {
+		t.Fatalf("deviants %v", d)
+	}
+	for _, bad := range []string{"x=shedder", "2", "2=wizard"} {
+		if err := d.Set(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if !strings.Contains(d.String(), "shedder") {
+		t.Fatalf("String() = %q", d.String())
+	}
+}

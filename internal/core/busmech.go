@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsmech/internal/dlt"
+)
+
+// DLS-BL: the authors' earlier strategyproof mechanism for bus networks
+// (Grosu & Carroll, ISPDC 2005 — reference [14] of the paper), reconstructed
+// here as the prior-work baseline with the same payment architecture as
+// DLS-LBL. The bus collapses by pairwise reduction exactly like the chain:
+//
+//	q_m = Z + w_m
+//	x_j = q_{j+1} / (w_j + q_{j+1}),   q_j = x_j·(Z + w_j)
+//
+// where q_j is the per-unit completion time of the worker suffix {P_j..P_m}
+// from the moment the bus turns to it (transfer and compute both count: a
+// bus worker cannot overlap its own receive with its own compute), and x_j
+// is the equal-finish fraction the pair (P_j, suffix j+1) gives P_j. The
+// root pair uses x_0 = q_1/(w_0 + q_1) and the optimal makespan is x_0·w_0,
+// which equals dlt.SolveBus's solution (tested).
+//
+// The bonus mirrors equation (4.9): agent j is paid its predecessor's
+// standalone per-unit time minus the pair-equivalent realized at j's actual
+// speed,
+//
+//	B_1 = w_0       − max(x_0·w_0,          (1−x_0)·q̂_1)
+//	B_j = (Z+w_{j-1}) − max(x_{j-1}(Z+w_{j-1}), x_{j-1}Z + (1−x_{j-1})·q̂_j)
+//
+// with q̂ adjusted for the agent's measured speed exactly like (4.10)-(4.11):
+// q̂_m = Z + w̃_m; for interior j, q̂_j = x_j·(Z + w̃_j) when w̃_j ≥ w_j and
+// q̂_j = q_j otherwise. There is no Phase III analogue: the root hands every
+// worker its share directly, so load-shedding does not exist on a bus.
+
+// BusReport describes the workers' strategic behavior: bids and measured
+// speeds, indexed like dlt.Bus.W (worker i is agent i+1; the root bids
+// nothing).
+type BusReport struct {
+	Bids    []float64
+	ActualW []float64 // nil ⇒ true speeds; each w̃ ≥ t
+}
+
+// BusOutcome is the priced bus run.
+type BusOutcome struct {
+	Plan     *dlt.BusAllocation // allocation from the bids
+	Q        []float64          // suffix equivalents q_1..q_m from the bids (index 0 unused)
+	Payments []Payment          // index 0 = root, 1..m = workers
+}
+
+// ErrBusLengths is returned when report vectors do not match the bus.
+var ErrBusLengths = errors.New("core: bus report length mismatch")
+
+// EvaluateBus prices one run of the DLS-BL mechanism.
+func EvaluateBus(trueBus *dlt.Bus, rep BusReport, cfg Config) (*BusOutcome, error) {
+	if err := trueBus.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(trueBus.W)
+	if len(rep.Bids) != m {
+		return nil, fmt.Errorf("%w: %d bids for %d workers", ErrBusLengths, len(rep.Bids), m)
+	}
+	for i, b := range rep.Bids {
+		if !(b > 0) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("%w: bid[%d]=%v", ErrBadBid, i, b)
+		}
+	}
+	actual := rep.ActualW
+	if actual == nil {
+		actual = trueBus.W
+	}
+	if len(actual) != m {
+		return nil, fmt.Errorf("%w: %d actual speeds", ErrBusLengths, len(actual))
+	}
+	for i, w := range actual {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: ActualW[%d]=%v", ErrBadBid, i, w)
+		}
+		if w < trueBus.W[i]-1e-12 {
+			return nil, fmt.Errorf("%w: worker %d at %v < t=%v", ErrOverclocked, i, w, trueBus.W[i])
+		}
+	}
+
+	bidBus := &dlt.Bus{W0: trueBus.W0, W: append([]float64(nil), rep.Bids...), Z: trueBus.Z}
+	plan, err := dlt.SolveBus(bidBus)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pairwise reduction on the bids: q[j] (1-based over agents) and the
+	// pair fractions x[j] (x[0] is the root pair).
+	q := make([]float64, m+1)
+	x := make([]float64, m+1)
+	q[m] = trueBus.Z + rep.Bids[m-1]
+	for j := m - 1; j >= 1; j-- {
+		x[j] = q[j+1] / (rep.Bids[j-1] + q[j+1])
+		q[j] = x[j] * (trueBus.Z + rep.Bids[j-1])
+	}
+	x[0] = q[1] / (trueBus.W0 + q[1])
+
+	// q̂: suffix equivalents adjusted for each agent's own measured speed.
+	qHat := make([]float64, m+1)
+	qHat[m] = trueBus.Z + actual[m-1]
+	for j := m - 1; j >= 1; j-- {
+		if actual[j-1] >= rep.Bids[j-1] {
+			qHat[j] = x[j] * (trueBus.Z + actual[j-1])
+		} else {
+			qHat[j] = q[j]
+		}
+	}
+
+	out := &BusOutcome{Plan: plan, Q: q, Payments: make([]Payment, m+1)}
+	rootCost := plan.Alpha0 * trueBus.W0
+	out.Payments[0] = Payment{Valuation: -rootCost, Compensation: rootCost, Total: rootCost}
+
+	for j := 1; j <= m; j++ {
+		alpha := plan.Alpha[j-1]
+		wT := actual[j-1]
+		p := Payment{Valuation: -alpha * wT}
+		if alpha > 0 {
+			p.Compensation = alpha * wT
+			var pred, realized float64
+			if j == 1 {
+				pred = trueBus.W0
+				realized = math.Max(x[0]*trueBus.W0, (1-x[0])*qHat[1])
+			} else {
+				pred = trueBus.Z + rep.Bids[j-2]
+				realized = math.Max(x[j-1]*pred, x[j-1]*trueBus.Z+(1-x[j-1])*qHat[j])
+			}
+			p.Bonus = pred - realized
+			p.Total = p.Compensation + p.Bonus
+		}
+		p.Utility = p.Valuation + p.Total
+		out.Payments[j] = p
+	}
+	return out, nil
+}
+
+// BusTruthfulReport builds the honest report.
+func BusTruthfulReport(b *dlt.Bus) BusReport {
+	return BusReport{Bids: append([]float64(nil), b.W...)}
+}
+
+// BusUtilityAtBid returns worker agent j's (1-based) utility when it bids
+// `bid`, runs at capacity, and everyone else is truthful.
+func BusUtilityAtBid(trueBus *dlt.Bus, j int, bid float64, cfg Config) (float64, error) {
+	if j < 1 || j > len(trueBus.W) {
+		return 0, fmt.Errorf("core: bus agent %d out of range", j)
+	}
+	rep := BusTruthfulReport(trueBus)
+	rep.Bids[j-1] = bid
+	out, err := EvaluateBus(trueBus, rep, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return out.Payments[j].Utility, nil
+}
+
+// BusStrategyproofViolation scans the bid grid t·factor for every worker
+// and returns the largest utility gain over truthful bidding.
+func BusStrategyproofViolation(trueBus *dlt.Bus, factors []float64, cfg Config) (float64, error) {
+	worst := math.Inf(-1)
+	for j := 1; j <= len(trueBus.W); j++ {
+		truthful, err := BusUtilityAtBid(trueBus, j, trueBus.W[j-1], cfg)
+		if err != nil {
+			return 0, err
+		}
+		for _, g := range factors {
+			u, err := BusUtilityAtBid(trueBus, j, trueBus.W[j-1]*g, cfg)
+			if err != nil {
+				return 0, err
+			}
+			if gain := u - truthful; gain > worst {
+				worst = gain
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+func randomBus(r *xrand.Rand, m int) *dlt.Bus {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = r.Uniform(0.5, 4)
+	}
+	return &dlt.Bus{W0: r.Uniform(0.5, 4), W: w, Z: r.Uniform(0.05, 0.8)}
+}
+
+func TestBusPairReductionMatchesSolveBus(t *testing.T) {
+	// The pairwise reduction built into the mechanism must reproduce
+	// SolveBus: makespan x_0·w_0 == plan.T.
+	r := xrand.New(1)
+	cfg := DefaultConfig()
+	for trial := 0; trial < 25; trial++ {
+		b := randomBus(r, 1+r.Intn(10))
+		out, err := EvaluateBus(b, BusTruthfulReport(b), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0 := out.Q[1] / (b.W0 + out.Q[1])
+		if math.Abs(x0*b.W0-out.Plan.T) > 1e-9 {
+			t.Fatalf("trial %d: pair makespan %v vs SolveBus %v", trial, x0*b.W0, out.Plan.T)
+		}
+	}
+}
+
+func TestBusTruthfulUtilityIsBonus(t *testing.T) {
+	r := xrand.New(2)
+	cfg := DefaultConfig()
+	b := randomBus(r, 6)
+	out, err := EvaluateBus(b, BusTruthfulReport(b), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Payments[0].Utility) > tol {
+		t.Fatalf("root utility %v", out.Payments[0].Utility)
+	}
+	for j := 1; j <= len(b.W); j++ {
+		p := out.Payments[j]
+		if math.Abs(p.Utility-p.Bonus) > tol {
+			t.Fatalf("U_%d %v != bonus %v", j, p.Utility, p.Bonus)
+		}
+		if p.Utility < -tol {
+			t.Fatalf("truthful bus agent %d underwater: %v", j, p.Utility)
+		}
+		// Truthful bonus closed form: pred standalone − q_{j-1}.
+		var want float64
+		if j == 1 {
+			want = b.W0 - out.Q[1]/(b.W0+out.Q[1])*b.W0
+		} else {
+			pred := b.Z + b.W[j-2]
+			xj := out.Q[j] / (b.W[j-2] + out.Q[j])
+			want = pred - xj*pred
+		}
+		if math.Abs(p.Bonus-want) > 1e-9 {
+			t.Fatalf("bonus_%d %v, closed form %v", j, p.Bonus, want)
+		}
+	}
+}
+
+func TestBusStrategyproofGrid(t *testing.T) {
+	factors := make([]float64, 0, 61)
+	for g := 0.5; g <= 2.001; g += 0.025 {
+		factors = append(factors, g)
+	}
+	r := xrand.New(3)
+	cfg := DefaultConfig()
+	for trial := 0; trial < 25; trial++ {
+		b := randomBus(r, 1+r.Intn(8))
+		worst, err := BusStrategyproofViolation(b, factors, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 1e-9 {
+			t.Fatalf("trial %d: bus bid deviation gains %v (bus %+v)", trial, worst, b)
+		}
+	}
+}
+
+func TestBusSlowExecutionHurts(t *testing.T) {
+	r := xrand.New(4)
+	cfg := DefaultConfig()
+	b := randomBus(r, 5)
+	honest, err := EvaluateBus(b, BusTruthfulReport(b), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= len(b.W); j++ {
+		rep := BusTruthfulReport(b)
+		rep.ActualW = append([]float64(nil), b.W...)
+		rep.ActualW[j-1] *= 2
+		out, err := EvaluateBus(b, rep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Payments[j].Utility > honest.Payments[j].Utility+tol {
+			t.Fatalf("bus agent %d gains by slacking: %v vs %v",
+				j, out.Payments[j].Utility, honest.Payments[j].Utility)
+		}
+	}
+}
+
+func TestBusValidation(t *testing.T) {
+	b := &dlt.Bus{W0: 1, W: []float64{1, 2}, Z: 0.2}
+	cfg := DefaultConfig()
+	if _, err := EvaluateBus(b, BusReport{Bids: []float64{1}}, cfg); err == nil {
+		t.Fatal("short bids accepted")
+	}
+	if _, err := EvaluateBus(b, BusReport{Bids: []float64{1, -2}}, cfg); err == nil {
+		t.Fatal("bad bid accepted")
+	}
+	if _, err := EvaluateBus(b, BusReport{Bids: []float64{1, 2}, ActualW: []float64{0.5, 2}}, cfg); err == nil {
+		t.Fatal("overclocked worker accepted")
+	}
+	if _, err := EvaluateBus(b, BusReport{Bids: []float64{1, 2}, ActualW: []float64{1}}, cfg); err == nil {
+		t.Fatal("short ActualW accepted")
+	}
+	if _, err := BusUtilityAtBid(b, 0, 1, cfg); err == nil {
+		t.Fatal("agent 0 accepted")
+	}
+	if _, err := BusUtilityAtBid(b, 3, 1, cfg); err == nil {
+		t.Fatal("agent out of range accepted")
+	}
+}
+
+// Property: DLS-BL is strategyproof and individually rational on random
+// buses with random single-agent bid deviations.
+func TestQuickBusStrategyproof(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64, mRaw, agentRaw uint8, factorRaw uint16) bool {
+		m := int(mRaw%8) + 1
+		r := xrand.New(seed)
+		b := randomBus(r, m)
+		j := 1 + int(agentRaw)%m
+		factor := 0.3 + 1.7*float64(factorRaw)/65535
+		truthful, err := BusUtilityAtBid(b, j, b.W[j-1], cfg)
+		if err != nil || truthful < -tol {
+			return false
+		}
+		dev, err := BusUtilityAtBid(b, j, b.W[j-1]*factor, cfg)
+		if err != nil {
+			return false
+		}
+		return dev <= truthful+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

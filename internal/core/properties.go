@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dlsmech/internal/dlt"
+)
+
+// This file provides the measurable forms of the paper's formal results:
+// Lemma 5.3 / Theorem 5.3 (strategyproofness) and Lemma 5.4 / Theorem 5.4
+// (voluntary participation). The experiment harness sweeps these over many
+// networks; the unit tests assert them on representative instances.
+
+// TruthfulReport builds the honest report for a network: every processor
+// bids its true value, runs at full speed and follows the plan.
+func TruthfulReport(trueNet *dlt.Network) Report {
+	return Report{Bids: append([]float64(nil), trueNet.W...)}
+}
+
+// EvaluateTruthful evaluates the mechanism under honest behavior.
+func EvaluateTruthful(trueNet *dlt.Network, cfg Config) (*Outcome, error) {
+	return Evaluate(trueNet, TruthfulReport(trueNet), cfg)
+}
+
+// UtilityAtBid returns agent i's utility when it bids `bid`, runs at its
+// full capacity (w̃_i = max(t_i, …) — a processor cannot beat its true
+// speed, so the measured time is t_i regardless of the bid), and everyone
+// else is truthful and honest. This is the quantity Lemma 5.3 analyzes.
+func UtilityAtBid(trueNet *dlt.Network, i int, bid float64, cfg Config) (float64, error) {
+	if i <= 0 || i > trueNet.M() {
+		return 0, fmt.Errorf("core: agent %d is not a strategic processor", i)
+	}
+	rep := TruthfulReport(trueNet)
+	rep.Bids[i] = bid
+	out, err := Evaluate(trueNet, rep, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return out.Payments[i].Utility, nil
+}
+
+// UtilityCurve sweeps agent i's bid over bid = t_i·factor for each factor
+// and returns the utilities. Strategyproofness predicts the maximum at
+// factor 1.
+func UtilityCurve(trueNet *dlt.Network, i int, factors []float64, cfg Config) ([]float64, error) {
+	utils := make([]float64, len(factors))
+	for k, g := range factors {
+		u, err := UtilityAtBid(trueNet, i, trueNet.W[i]*g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		utils[k] = u
+	}
+	return utils, nil
+}
+
+// UtilityAtSpeed returns agent i's utility when it bids truthfully but
+// executes at w̃_i = t_i·slowdown (slowdown ≥ 1), everyone else honest.
+// Case (ii) of Lemma 5.3 predicts the maximum at slowdown 1.
+func UtilityAtSpeed(trueNet *dlt.Network, i int, slowdown float64, cfg Config) (float64, error) {
+	if i <= 0 || i > trueNet.M() {
+		return 0, fmt.Errorf("core: agent %d is not a strategic processor", i)
+	}
+	if slowdown < 1 {
+		return 0, fmt.Errorf("core: slowdown %v < 1 is not executable", slowdown)
+	}
+	rep := TruthfulReport(trueNet)
+	rep.ActualW = append([]float64(nil), trueNet.W...)
+	rep.ActualW[i] *= slowdown
+	out, err := Evaluate(trueNet, rep, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return out.Payments[i].Utility, nil
+}
+
+// StrategyproofViolation searches the bid grid t_i·factor for every
+// strategic agent and returns the largest utility gain over truthful
+// bidding found anywhere (a positive return would falsify Theorem 5.3 on
+// this instance; tolerance is the caller's concern).
+func StrategyproofViolation(trueNet *dlt.Network, factors []float64, cfg Config) (float64, error) {
+	worst := math.Inf(-1)
+	for i := 1; i <= trueNet.M(); i++ {
+		truthful, err := UtilityAtBid(trueNet, i, trueNet.W[i], cfg)
+		if err != nil {
+			return 0, err
+		}
+		for _, g := range factors {
+			u, err := UtilityAtBid(trueNet, i, trueNet.W[i]*g, cfg)
+			if err != nil {
+				return 0, err
+			}
+			if gain := u - truthful; gain > worst {
+				worst = gain
+			}
+		}
+	}
+	return worst, nil
+}
+
+// ParticipationViolation evaluates the truthful run and returns the most
+// negative strategic-agent utility (Lemma 5.4 predicts ≥ 0 for all) and the
+// root's utility (the paper fixes it to exactly 0).
+func ParticipationViolation(trueNet *dlt.Network, cfg Config) (minUtility, rootUtility float64, err error) {
+	out, err := EvaluateTruthful(trueNet, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	minUtility = math.Inf(1)
+	for j := 1; j < trueNet.Size(); j++ {
+		if u := out.Payments[j].Utility; u < minUtility {
+			minUtility = u
+		}
+	}
+	if trueNet.Size() == 1 {
+		minUtility = 0
+	}
+	return minUtility, out.Payments[0].Utility, nil
+}
+
+// BonusIdentityGap verifies the closed form of the truthful bonus: under
+// honest behavior B_j = w_{j-1} − w̄_{j-1} exactly (the proof of Lemma 5.4).
+// It returns the largest absolute deviation over all agents.
+func BonusIdentityGap(trueNet *dlt.Network, cfg Config) (float64, error) {
+	out, err := EvaluateTruthful(trueNet, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var worst float64
+	for j := 1; j < trueNet.Size(); j++ {
+		want := trueNet.W[j-1] - out.Plan.WBar[j-1]
+		if gap := math.Abs(out.Payments[j].Bonus - want); gap > worst {
+			worst = gap
+		}
+	}
+	return worst, nil
+}
+
+// CheatingProfit quantifies the gain (positive) or loss of a Phase III
+// load-shedding deviation before any fine is applied: agent i retains
+// shedFactor·α̂_i of its received load, everyone truthful. It returns the
+// deviant's utility change and the victim's (i+1) utility change. The fine
+// F must exceed the worst-case positive deviant gain (experiment A5).
+func CheatingProfit(trueNet *dlt.Network, i int, shedFactor float64, cfg Config) (deviantGain, victimGain float64, err error) {
+	if i <= 0 || i >= trueNet.M() {
+		return 0, 0, fmt.Errorf("core: shedding agent %d needs a successor", i)
+	}
+	if shedFactor < 0 || shedFactor > 1 {
+		return 0, 0, fmt.Errorf("core: shed factor %v out of [0,1]", shedFactor)
+	}
+	honest, err := EvaluateTruthful(trueNet, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	rep := TruthfulReport(trueNet)
+	rep.ActualHat = append([]float64(nil), honest.Plan.AlphaHat...)
+	rep.ActualHat[i] *= shedFactor
+	dev, err := Evaluate(trueNet, rep, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	deviantGain = dev.Payments[i].Utility - honest.Payments[i].Utility
+	victimGain = dev.Payments[i+1].Utility - honest.Payments[i+1].Utility
+	return deviantGain, victimGain, nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsmech/internal/dlt"
+)
+
+// DLS-T: the tree-network mechanism of Carroll & Grosu (IPDPS 2006 —
+// reference [9] of the paper), reconstructed with the DLS-LBL payment
+// architecture. It subsumes the paper's stated future work: a linear
+// network with *interior* load origination is exactly a tree whose root has
+// two chain-shaped children, so EvaluateTree prices that case too (see
+// TestInteriorOriginationAsTree).
+//
+// Structure. The tree reduces bottom-up: each internal node plus its
+// (equivalent) children solve an equal-finish star, and the star's per-unit
+// time becomes the subtree's equivalent q. For a strategic node j with
+// parent p, the bonus mirrors equation (4.9):
+//
+//	B_j = w_p − realized_p(j)
+//
+// where realized_p(j) re-evaluates p's star with the allocation fixed by
+// the bids but child j's subtree equivalent adjusted for j's measured
+// speed, exactly like (4.10)-(4.11):
+//
+//	q̂_j = â_j·w̃_j   if w̃_j ≥ w_j   (â_j = node j's local star fraction;
+//	q̂_j = q_j       otherwise        for a leaf â_j = 1)
+//
+// On a chain-shaped tree these formulas coincide term by term with the
+// DLS-LBL payments (tested), so DLS-T is a strict generalization.
+
+// TreeReport describes the strategic nodes' behavior. Vectors are indexed
+// by the preorder position of the node (TreeNode.Flatten()); index 0 is the
+// obedient tree root, whose bid must equal its true value.
+type TreeReport struct {
+	Bids    []float64
+	ActualW []float64 // nil ⇒ true speeds; each w̃ ≥ t
+}
+
+// TreePayment couples a node with its itemized payment.
+type TreePayment struct {
+	Node *dlt.TreeNode
+	Payment
+}
+
+// TreeOutcome is the priced tree run.
+type TreeOutcome struct {
+	BidTree  *dlt.TreeNode       // the tree re-labeled with bids
+	Plan     *dlt.TreeAllocation // solution on the bids
+	Payments []TreePayment       // preorder; index 0 is the root
+}
+
+// ErrTreeLengths is returned when report vectors do not match the tree.
+var ErrTreeLengths = errors.New("core: tree report length mismatch")
+
+// EvaluateTree prices one run of the DLS-T mechanism on the true tree.
+func EvaluateTree(trueRoot *dlt.TreeNode, rep TreeReport, cfg Config) (*TreeOutcome, error) {
+	if err := trueRoot.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	trueNodes := trueRoot.Flatten()
+	n := len(trueNodes)
+	if len(rep.Bids) != n {
+		return nil, fmt.Errorf("%w: %d bids for %d nodes", ErrTreeLengths, len(rep.Bids), n)
+	}
+	for i, b := range rep.Bids {
+		if !(b > 0) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("%w: bid[%d]=%v", ErrBadBid, i, b)
+		}
+	}
+	if rep.Bids[0] != trueNodes[0].W {
+		return nil, fmt.Errorf("%w: root bid %v, true %v", ErrRootBid, rep.Bids[0], trueNodes[0].W)
+	}
+	actual := rep.ActualW
+	if actual == nil {
+		actual = make([]float64, n)
+		for i, node := range trueNodes {
+			actual[i] = node.W
+		}
+	}
+	if len(actual) != n {
+		return nil, fmt.Errorf("%w: %d actual speeds", ErrTreeLengths, len(actual))
+	}
+	for i, w := range actual {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: ActualW[%d]=%v", ErrBadBid, i, w)
+		}
+		if w < trueNodes[i].W-1e-12 {
+			return nil, fmt.Errorf("%w: node %d at %v < t=%v", ErrOverclocked, i, w, trueNodes[i].W)
+		}
+	}
+
+	// Build the bid-labeled tree with the same shape; map bid nodes back to
+	// preorder indices.
+	bidRoot := cloneWithBids(trueRoot, rep.Bids, new(int))
+	bidNodes := bidRoot.Flatten()
+	index := make(map[*dlt.TreeNode]int, n)
+	parent := make(map[*dlt.TreeNode]*dlt.TreeNode, n)
+	childPos := make(map[*dlt.TreeNode]int, n)
+	for i, node := range bidNodes {
+		index[node] = i
+		for k, e := range node.Children {
+			parent[e.Node] = node
+			childPos[e.Node] = k
+		}
+	}
+
+	plan, err := dlt.SolveTree(bidRoot)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &TreeOutcome{BidTree: bidRoot, Plan: plan, Payments: make([]TreePayment, n)}
+	for i, node := range bidNodes {
+		wT := actual[i]
+		alpha := plan.Alpha[node]
+		p := Payment{Valuation: -alpha * wT}
+		if i == 0 {
+			p.Compensation = alpha * wT
+			p.Total = p.Compensation
+			p.Utility = 0
+			out.Payments[i] = TreePayment{Node: node, Payment: p}
+			continue
+		}
+		if alpha > 0 {
+			p.Compensation = alpha * wT
+			par := parent[node]
+			p.Bonus = rep.Bids[index[par]] - realizedStar(plan, par, node, childPos[node], rep.Bids[i], wT)
+			p.Total = p.Compensation + p.Bonus
+		}
+		p.Utility = p.Valuation + p.Total
+		out.Payments[i] = TreePayment{Node: node, Payment: p}
+	}
+	return out, nil
+}
+
+// cloneWithBids copies the tree shape, substituting bids (preorder) for the
+// node processing times.
+func cloneWithBids(t *dlt.TreeNode, bids []float64, cursor *int) *dlt.TreeNode {
+	node := &dlt.TreeNode{W: bids[*cursor]}
+	*cursor++
+	for _, e := range t.Children {
+		node.Children = append(node.Children, dlt.TreeEdge{Z: e.Z, Node: cloneWithBids(e.Node, bids, cursor)})
+	}
+	return node
+}
+
+// adjustedEquiv returns q̂ for a node: its subtree equivalent adjusted for
+// its own measured speed per the (4.10)-(4.11) rule.
+func adjustedEquiv(plan *dlt.TreeAllocation, node *dlt.TreeNode, bid, wTilde float64) float64 {
+	q := plan.WEq[node]
+	if wTilde < bid {
+		return q // running faster than bid leaves the equivalent unchanged
+	}
+	local := 1.0 // a leaf keeps its whole subtree share
+	if star, ok := plan.Stars[node]; ok {
+		local = star.Alpha0
+	}
+	return local * wTilde
+}
+
+// realizedStar re-evaluates parent par's equal-finish star with child's
+// subtree equivalent adjusted for its measured speed; every other term is
+// fixed by the bids.
+func realizedStar(plan *dlt.TreeAllocation, par, child *dlt.TreeNode, childPos int, childBid, childWTilde float64) float64 {
+	star := plan.Stars[par]
+	realized := star.Alpha0 * par.W // the parent's own compute leg
+	busy := 0.0
+	for _, idx := range star.Order {
+		edge := par.Children[idx]
+		busy += star.Alpha[idx] * edge.Z
+		q := plan.WEq[edge.Node]
+		if idx == childPos {
+			q = adjustedEquiv(plan, child, childBid, childWTilde)
+		}
+		if f := busy + star.Alpha[idx]*q; f > realized {
+			realized = f
+		}
+	}
+	return realized
+}
+
+// TreeTruthfulReport builds the honest report for a tree.
+func TreeTruthfulReport(trueRoot *dlt.TreeNode) TreeReport {
+	nodes := trueRoot.Flatten()
+	bids := make([]float64, len(nodes))
+	for i, node := range nodes {
+		bids[i] = node.W
+	}
+	return TreeReport{Bids: bids}
+}
+
+// TreeUtilityAtBid returns node i's (preorder, ≥ 1) utility when it bids
+// `bid`, runs at capacity, and everyone else is truthful.
+func TreeUtilityAtBid(trueRoot *dlt.TreeNode, i int, bid float64, cfg Config) (float64, error) {
+	rep := TreeTruthfulReport(trueRoot)
+	if i < 1 || i >= len(rep.Bids) {
+		return 0, fmt.Errorf("core: tree agent %d out of range", i)
+	}
+	rep.Bids[i] = bid
+	out, err := EvaluateTree(trueRoot, rep, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return out.Payments[i].Utility, nil
+}
+
+// TreeStrategyproofViolation scans the bid grid for every strategic node
+// and returns the largest gain over truthful bidding.
+func TreeStrategyproofViolation(trueRoot *dlt.TreeNode, factors []float64, cfg Config) (float64, error) {
+	nodes := trueRoot.Flatten()
+	worst := math.Inf(-1)
+	for i := 1; i < len(nodes); i++ {
+		truthful, err := TreeUtilityAtBid(trueRoot, i, nodes[i].W, cfg)
+		if err != nil {
+			return 0, err
+		}
+		for _, g := range factors {
+			u, err := TreeUtilityAtBid(trueRoot, i, nodes[i].W*g, cfg)
+			if err != nil {
+				return 0, err
+			}
+			if gain := u - truthful; gain > worst {
+				worst = gain
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+// randomTree builds a random tree with branching 1..3 and the given depth.
+func randomTree(r *xrand.Rand, depth int) *dlt.TreeNode {
+	node := &dlt.TreeNode{W: r.Uniform(0.5, 4)}
+	if depth > 0 {
+		kids := 1 + r.Intn(3)
+		for k := 0; k < kids; k++ {
+			node.Children = append(node.Children, dlt.TreeEdge{
+				Z:    r.Uniform(0.05, 0.5),
+				Node: randomTree(r, depth-1),
+			})
+		}
+	}
+	return node
+}
+
+func TestTreeTruthfulParticipation(t *testing.T) {
+	r := xrand.New(1)
+	cfg := DefaultConfig()
+	for trial := 0; trial < 15; trial++ {
+		root := randomTree(r, 1+r.Intn(3))
+		out, err := EvaluateTree(root, TreeTruthfulReport(root), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out.Payments[0].Utility) > tol {
+			t.Fatalf("trial %d: root utility %v", trial, out.Payments[0].Utility)
+		}
+		for i := 1; i < len(out.Payments); i++ {
+			if out.Payments[i].Utility < -tol {
+				t.Fatalf("trial %d: node %d underwater: %v", trial, i, out.Payments[i].Utility)
+			}
+			if math.Abs(out.Payments[i].Utility-out.Payments[i].Bonus) > tol {
+				t.Fatalf("trial %d: truthful utility != bonus at node %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestTreeTruthfulBonusClosedForm(t *testing.T) {
+	// Truthful: B_j = w_parent − q_parent (the parent subtree's equivalent).
+	r := xrand.New(2)
+	cfg := DefaultConfig()
+	root := randomTree(r, 2)
+	out, err := EvaluateTree(root, TreeTruthfulReport(root), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bidNodes := out.BidTree.Flatten()
+	parentOf := map[*dlt.TreeNode]*dlt.TreeNode{}
+	for _, node := range bidNodes {
+		for _, e := range node.Children {
+			parentOf[e.Node] = node
+		}
+	}
+	for i := 1; i < len(bidNodes); i++ {
+		par := parentOf[bidNodes[i]]
+		want := par.W - out.Plan.WEq[par]
+		if math.Abs(out.Payments[i].Bonus-want) > 1e-9 {
+			t.Fatalf("node %d: bonus %v, want w_p − q_p = %v", i, out.Payments[i].Bonus, want)
+		}
+	}
+}
+
+func TestTreeMatchesChainMechanism(t *testing.T) {
+	// On a chain-shaped tree DLS-T must price exactly like DLS-LBL.
+	r := xrand.New(3)
+	cfg := DefaultConfig()
+	for trial := 0; trial < 10; trial++ {
+		n := randomChain(r, 1+r.Intn(6))
+		chainOut, err := EvaluateTruthful(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := dlt.Chain(n)
+		treeOut, err := EvaluateTree(root, TreeTruthfulReport(root), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range chainOut.Payments {
+			if math.Abs(treeOut.Payments[i].Utility-chainOut.Payments[i].Utility) > 1e-9 {
+				t.Fatalf("trial %d node %d: tree %v vs chain %v",
+					trial, i, treeOut.Payments[i].Utility, chainOut.Payments[i].Utility)
+			}
+			if math.Abs(treeOut.Payments[i].Bonus-chainOut.Payments[i].Bonus) > 1e-9 {
+				t.Fatalf("trial %d node %d: tree bonus %v vs chain %v",
+					trial, i, treeOut.Payments[i].Bonus, chainOut.Payments[i].Bonus)
+			}
+		}
+	}
+}
+
+func TestTreeMatchesChainMechanismUnderDeviation(t *testing.T) {
+	// Bid and speed deviations must also price identically on a chain.
+	r := xrand.New(4)
+	cfg := DefaultConfig()
+	n := randomChain(r, 4)
+	for _, mod := range []struct {
+		name string
+		prep func(chainRep *Report, treeRep *TreeReport)
+	}{
+		{"overbid", func(c *Report, tr *TreeReport) {
+			c.Bids[2] *= 1.5
+			tr.Bids[2] *= 1.5
+		}},
+		{"underbid", func(c *Report, tr *TreeReport) {
+			c.Bids[3] *= 0.6
+			tr.Bids[3] *= 0.6
+		}},
+		{"slack", func(c *Report, tr *TreeReport) {
+			c.ActualW = append([]float64(nil), n.W...)
+			c.ActualW[1] *= 2
+			tr.ActualW = append([]float64(nil), n.W...)
+			tr.ActualW[1] *= 2
+		}},
+	} {
+		chainRep := TruthfulReport(n)
+		root := dlt.Chain(n)
+		treeRep := TreeTruthfulReport(root)
+		mod.prep(&chainRep, &treeRep)
+		chainOut, err := Evaluate(n, chainRep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeOut, err := EvaluateTree(root, treeRep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range chainOut.Payments {
+			if math.Abs(treeOut.Payments[i].Utility-chainOut.Payments[i].Utility) > 1e-9 {
+				t.Fatalf("%s node %d: tree %v vs chain %v", mod.name, i,
+					treeOut.Payments[i].Utility, chainOut.Payments[i].Utility)
+			}
+		}
+	}
+}
+
+func TestTreeStrategyproofGrid(t *testing.T) {
+	factors := []float64{0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.15, 1.3, 1.6, 2.0}
+	r := xrand.New(5)
+	cfg := DefaultConfig()
+	for trial := 0; trial < 15; trial++ {
+		root := randomTree(r, 1+r.Intn(3))
+		worst, err := TreeStrategyproofViolation(root, factors, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 1e-9 {
+			t.Fatalf("trial %d: tree bid deviation gains %v", trial, worst)
+		}
+	}
+}
+
+func TestTreeSlowExecutionHurts(t *testing.T) {
+	r := xrand.New(6)
+	cfg := DefaultConfig()
+	root := randomTree(r, 2)
+	nodes := root.Flatten()
+	honest, err := EvaluateTree(root, TreeTruthfulReport(root), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(nodes); i++ {
+		rep := TreeTruthfulReport(root)
+		rep.ActualW = append([]float64(nil), rep.Bids...)
+		rep.ActualW[i] *= 2
+		out, err := EvaluateTree(root, rep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Payments[i].Utility > honest.Payments[i].Utility+tol {
+			t.Fatalf("node %d gains by slacking: %v vs %v",
+				i, out.Payments[i].Utility, honest.Payments[i].Utility)
+		}
+	}
+}
+
+func TestInteriorOriginationAsTree(t *testing.T) {
+	// The paper's future-work case: a chain with the load originating at an
+	// interior processor is a tree whose root has two chain children. The
+	// mechanism prices it with non-negative truthful utilities and a
+	// strategyproof bid grid.
+	w := []float64{1.2, 0.9, 1.0, 1.6, 2.1}
+	z := []float64{0.2, 0.15, 0.1, 0.25}
+	rootPos := 2
+	// Build the two arms as chains hanging off the root.
+	left := &dlt.TreeNode{W: w[1], Children: []dlt.TreeEdge{{Z: z[0], Node: &dlt.TreeNode{W: w[0]}}}}
+	right := &dlt.TreeNode{W: w[3], Children: []dlt.TreeEdge{{Z: z[3], Node: &dlt.TreeNode{W: w[4]}}}}
+	root := &dlt.TreeNode{W: w[rootPos], Children: []dlt.TreeEdge{
+		{Z: z[1], Node: left},
+		{Z: z[2], Node: right},
+	}}
+	cfg := DefaultConfig()
+	out, err := EvaluateTree(root, TreeTruthfulReport(root), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out.Payments); i++ {
+		if out.Payments[i].Utility < -tol {
+			t.Fatalf("interior arm node %d underwater: %v", i, out.Payments[i].Utility)
+		}
+	}
+	factors := []float64{0.6, 0.8, 1.0, 1.25, 1.6}
+	worst, err := TreeStrategyproofViolation(root, factors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Fatalf("interior-origination deviation gains %v", worst)
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	root := &dlt.TreeNode{W: 1, Children: []dlt.TreeEdge{{Z: 0.1, Node: &dlt.TreeNode{W: 2}}}}
+	cfg := DefaultConfig()
+	if _, err := EvaluateTree(root, TreeReport{Bids: []float64{1}}, cfg); err == nil {
+		t.Fatal("short bids accepted")
+	}
+	if _, err := EvaluateTree(root, TreeReport{Bids: []float64{2, 2}}, cfg); err == nil {
+		t.Fatal("lying root accepted")
+	}
+	if _, err := EvaluateTree(root, TreeReport{Bids: []float64{1, -1}}, cfg); err == nil {
+		t.Fatal("bad bid accepted")
+	}
+	if _, err := EvaluateTree(root, TreeReport{Bids: []float64{1, 2}, ActualW: []float64{1, 1}}, cfg); err == nil {
+		t.Fatal("overclocked node accepted")
+	}
+	if _, err := TreeUtilityAtBid(root, 0, 1, cfg); err == nil {
+		t.Fatal("root as agent accepted")
+	}
+	if _, err := TreeUtilityAtBid(root, 5, 1, cfg); err == nil {
+		t.Fatal("out-of-range agent accepted")
+	}
+}
+
+// Property: DLS-T strategyproofness + participation on random trees with
+// random single-node deviations.
+func TestQuickTreeStrategyproof(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64, nodeRaw uint8, factorRaw uint16) bool {
+		r := xrand.New(seed)
+		root := randomTree(r, 1+r.Intn(2))
+		nodes := root.Flatten()
+		if len(nodes) < 2 {
+			return true
+		}
+		i := 1 + int(nodeRaw)%(len(nodes)-1)
+		factor := 0.4 + 1.6*float64(factorRaw)/65535
+		truthful, err := TreeUtilityAtBid(root, i, nodes[i].W, cfg)
+		if err != nil || truthful < -tol {
+			return false
+		}
+		dev, err := TreeUtilityAtBid(root, i, nodes[i].W*factor, cfg)
+		if err != nil {
+			return false
+		}
+		return dev <= truthful+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

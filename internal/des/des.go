@@ -1,0 +1,259 @@
+// Package des is a discrete-event simulator for the execution model of
+// Sect. 2 of the paper: a linear network with boundary load origination,
+// store-and-forward transfers under the one-port model, communication
+// front-ends (a processor computes while it forwards), and computation that
+// starts only after a processor's entire assignment has arrived.
+//
+// The simulator exists for two reasons. First, it regenerates Figure 2: the
+// Gantt chart of communication (above the axis in the paper) and computation
+// (below the axis). Second, it executes *off-plan* runs — processors that
+// retain less load than assigned (α̃_i < α_i, the Phase III deviation) or
+// compute slower than they bid (w̃_i > w_i) — which the closed-form
+// finish-time formulas do not cover. On-plan runs are cross-validated
+// against the closed form in experiment E8.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsmech/internal/dlt"
+)
+
+// EventKind labels trace entries.
+type EventKind int
+
+const (
+	// EvArrive marks the completion of a transfer into a processor.
+	EvArrive EventKind = iota
+	// EvComputeStart marks the start of a processor's computation.
+	EvComputeStart
+	// EvComputeDone marks the completion of a processor's computation.
+	EvComputeDone
+	// EvSendStart marks the start of a forwarding transfer.
+	EvSendStart
+	// EvSendDone marks the completion of a forwarding transfer.
+	EvSendDone
+)
+
+// String implements fmt.Stringer for trace dumps.
+func (k EventKind) String() string {
+	switch k {
+	case EvArrive:
+		return "arrive"
+	case EvComputeStart:
+		return "compute-start"
+	case EvComputeDone:
+		return "compute-done"
+	case EvSendStart:
+		return "send-start"
+	case EvSendDone:
+		return "send-done"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one entry of the simulation trace.
+type Event struct {
+	Time float64
+	Kind EventKind
+	Proc int     // the processor the event concerns
+	Load float64 // load quantity involved (received, computed or sent)
+}
+
+// Interval is a half-open busy interval [Start, End).
+type Interval struct {
+	Start, End float64
+}
+
+// Duration returns End-Start.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Result collects everything a simulation run produces.
+type Result struct {
+	Arrive   []float64  // when each processor's assignment finished arriving (0 for P0)
+	Finish   []float64  // when each processor finished computing (0 if it computed nothing)
+	Retained []float64  // load actually computed by each processor
+	Received []float64  // load received by each processor (1 for P0)
+	Compute  []Interval // per-processor compute interval (zero-length if idle)
+	Send     []Interval // Send[i]: transfer interval on link i (into P_i); Send[0] unused
+	Makespan float64
+	Trace    []Event
+}
+
+// Spec describes one simulation run.
+type Spec struct {
+	Net *dlt.Network
+	// PlanHat is the planned local allocation α̂ (fraction of received load
+	// retained). Required.
+	PlanHat []float64
+	// ActualHat optionally overrides the retained fraction per processor
+	// (the Phase III deviation α̃). nil means on-plan. The final processor
+	// must still compute everything it receives; a deviating P_m simply
+	// has nowhere to push load, so ActualHat[m] is forced to 1.
+	ActualHat []float64
+	// ActualW optionally overrides the per-unit compute time (w̃ ≥ t). nil
+	// means processors run at Net.W.
+	ActualW []float64
+	// Load is the total workload; 0 means 1 (unit load).
+	Load float64
+	// RecordTrace enables the event trace (costs allocations).
+	RecordTrace bool
+}
+
+type event struct {
+	time float64
+	seq  int
+	kind EventKind
+	proc int
+	load float64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq // deterministic tie-break: schedule order
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() (event, bool) {
+	if h.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(h).(event), true
+}
+
+// Errors returned by Run.
+var (
+	ErrSpecNet  = errors.New("des: spec needs a valid network")
+	ErrSpecPlan = errors.New("des: PlanHat length must match the network")
+	ErrSpecHat  = errors.New("des: fractions must lie in [0,1]")
+)
+
+// Run executes the simulation described by spec.
+func Run(spec Spec) (*Result, error) {
+	n := spec.Net
+	if n == nil {
+		return nil, ErrSpecNet
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpecNet, err)
+	}
+	size := n.Size()
+	if len(spec.PlanHat) != size {
+		return nil, ErrSpecPlan
+	}
+	hat := append([]float64(nil), spec.PlanHat...)
+	if spec.ActualHat != nil {
+		if len(spec.ActualHat) != size {
+			return nil, ErrSpecPlan
+		}
+		copy(hat, spec.ActualHat)
+	}
+	hat[size-1] = 1 // P_m has no successor; it computes whatever arrives
+	for i, h := range hat {
+		if math.IsNaN(h) || h < 0 || h > 1 {
+			return nil, fmt.Errorf("%w: hat[%d]=%v", ErrSpecHat, i, h)
+		}
+	}
+	w := n.W
+	if spec.ActualW != nil {
+		if len(spec.ActualW) != size {
+			return nil, ErrSpecPlan
+		}
+		for i, wi := range spec.ActualW {
+			if !(wi > 0) {
+				return nil, fmt.Errorf("%w: ActualW[%d]=%v", ErrSpecHat, i, wi)
+			}
+		}
+		w = spec.ActualW
+	}
+	load := spec.Load
+	if load == 0 {
+		load = 1
+	}
+	if load < 0 {
+		return nil, fmt.Errorf("%w: Load=%v", ErrSpecHat, load)
+	}
+
+	res := &Result{
+		Arrive:   make([]float64, size),
+		Finish:   make([]float64, size),
+		Retained: make([]float64, size),
+		Received: make([]float64, size),
+		Compute:  make([]Interval, size),
+		Send:     make([]Interval, size),
+	}
+	var q eventHeap
+	seq := 0
+	schedule := func(t float64, kind EventKind, proc int, amount float64) {
+		q.push(event{time: t, seq: seq, kind: kind, proc: proc, load: amount})
+		seq++
+	}
+	record := func(t float64, kind EventKind, proc int, amount float64) {
+		if spec.RecordTrace {
+			res.Trace = append(res.Trace, Event{Time: t, Kind: kind, Proc: proc, Load: amount})
+		}
+	}
+
+	// P0 "arrives" with the full load at t=0.
+	schedule(0, EvArrive, 0, load)
+
+	for {
+		e, ok := q.pop()
+		if !ok {
+			break
+		}
+		switch e.kind {
+		case EvArrive:
+			i := e.proc
+			res.Received[i] = e.load
+			res.Arrive[i] = e.time
+			record(e.time, EvArrive, i, e.load)
+			retained := e.load * hat[i]
+			forwarded := e.load - retained
+			res.Retained[i] = retained
+			if retained > 0 {
+				record(e.time, EvComputeStart, i, retained)
+				done := e.time + retained*w[i]
+				res.Compute[i] = Interval{Start: e.time, End: done}
+				schedule(done, EvComputeDone, i, retained)
+			}
+			if forwarded > 0 && i < size-1 {
+				record(e.time, EvSendStart, i, forwarded)
+				arrive := e.time + forwarded*n.Z[i+1]
+				res.Send[i+1] = Interval{Start: e.time, End: arrive}
+				schedule(arrive, EvSendDone, i, forwarded)
+				schedule(arrive, EvArrive, i+1, forwarded)
+			}
+		case EvComputeDone:
+			res.Finish[e.proc] = e.time
+			record(e.time, EvComputeDone, e.proc, e.load)
+			if e.time > res.Makespan {
+				res.Makespan = e.time
+			}
+		case EvSendDone:
+			record(e.time, EvSendDone, e.proc, e.load)
+		}
+	}
+	return res, nil
+}
+
+// RunPlan is the common case: simulate the optimal plan of a network on-plan
+// at full speed for a unit load.
+func RunPlan(n *dlt.Network) (*Result, error) {
+	sol, err := dlt.SolveBoundary(n)
+	if err != nil {
+		return nil, err
+	}
+	return Run(Spec{Net: n, PlanHat: sol.AlphaHat})
+}

@@ -1,0 +1,377 @@
+package des
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+const tol = 1e-9
+
+func randomChain(r *xrand.Rand, m int) *dlt.Network {
+	w := make([]float64, m+1)
+	z := make([]float64, m)
+	for i := range w {
+		w[i] = r.Uniform(0.5, 5)
+	}
+	for i := range z {
+		z[i] = r.Uniform(0.05, 1)
+	}
+	n, err := dlt.NewNetwork(w, z)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func TestRunMatchesClosedForm(t *testing.T) {
+	// E8 invariant: the DES on-plan reproduces the paper's finish-time
+	// formulas exactly (same floating-point shape, so tolerance is tight).
+	r := xrand.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := randomChain(r, 1+r.Intn(20))
+		sol := dlt.MustSolveBoundary(n)
+		res, err := RunPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantT := dlt.FinishTimes(n, sol.Alpha)
+		wantA := dlt.ArrivalTimes(n, sol.Alpha)
+		for i := range wantT {
+			if math.Abs(res.Finish[i]-wantT[i]) > 1e-9 {
+				t.Fatalf("trial %d: finish[%d] = %v, closed form %v", trial, i, res.Finish[i], wantT[i])
+			}
+			if math.Abs(res.Arrive[i]-wantA[i]) > 1e-9 {
+				t.Fatalf("trial %d: arrive[%d] = %v, closed form %v", trial, i, res.Arrive[i], wantA[i])
+			}
+		}
+		if math.Abs(res.Makespan-sol.Makespan()) > 1e-9 {
+			t.Fatalf("trial %d: makespan %v vs %v", trial, res.Makespan, sol.Makespan())
+		}
+	}
+}
+
+func TestRunRetainedMatchesAlpha(t *testing.T) {
+	r := xrand.New(2)
+	n := randomChain(r, 8)
+	sol := dlt.MustSolveBoundary(n)
+	res, err := RunPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sol.Alpha {
+		if math.Abs(res.Retained[i]-sol.Alpha[i]) > tol {
+			t.Fatalf("retained[%d] = %v, want α=%v", i, res.Retained[i], sol.Alpha[i])
+		}
+		if math.Abs(res.Received[i]-sol.D[i]) > tol {
+			t.Fatalf("received[%d] = %v, want D=%v", i, res.Received[i], sol.D[i])
+		}
+	}
+}
+
+func TestRunScalesWithLoad(t *testing.T) {
+	// Linear cost model: doubling the load doubles every time coordinate.
+	r := xrand.New(3)
+	n := randomChain(r, 5)
+	sol := dlt.MustSolveBoundary(n)
+	one, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, Load: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, Load: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(two.Makespan-2*one.Makespan) > tol {
+		t.Fatalf("makespan does not scale: %v vs 2×%v", two.Makespan, one.Makespan)
+	}
+	for i := range one.Finish {
+		if math.Abs(two.Finish[i]-2*one.Finish[i]) > tol {
+			t.Fatalf("finish[%d] does not scale", i)
+		}
+	}
+}
+
+func TestRunSlowProcessorExtendsMakespan(t *testing.T) {
+	// w̃_i > w_i with the plan fixed: only P_i's own finish time moves (its
+	// compute leg lengthens; transfers are unchanged).
+	n, _ := dlt.NewNetwork([]float64{1, 1, 1}, []float64{0.2, 0.2})
+	sol := dlt.MustSolveBoundary(n)
+	slow := append([]float64(nil), n.W...)
+	slow[1] *= 3
+	res, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, ActualW: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, _ := RunPlan(n)
+	if res.Finish[1] <= honest.Finish[1] {
+		t.Fatal("slow processor did not finish later")
+	}
+	if math.Abs(res.Finish[0]-honest.Finish[0]) > tol || math.Abs(res.Finish[2]-honest.Finish[2]) > tol {
+		t.Fatal("other processors' finish times should be unchanged")
+	}
+	if res.Makespan <= honest.Makespan {
+		t.Fatal("makespan should grow")
+	}
+}
+
+func TestRunLoadSheddingDeviation(t *testing.T) {
+	// Phase III deviation: P_1 retains less than planned, pushing the
+	// excess to P_2, whose received load must grow by exactly the shed
+	// amount.
+	n, _ := dlt.NewNetwork([]float64{1, 1, 1}, []float64{0.2, 0.2})
+	sol := dlt.MustSolveBoundary(n)
+	actual := append([]float64(nil), sol.AlphaHat...)
+	actual[1] = sol.AlphaHat[1] / 2
+	res, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, ActualHat: actual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, _ := RunPlan(n)
+	shed := honest.Retained[1] - res.Retained[1]
+	if shed <= 0 {
+		t.Fatalf("no load was shed: %v", shed)
+	}
+	if math.Abs((res.Received[2]-honest.Received[2])-shed) > tol {
+		t.Fatalf("successor received %v extra, want %v", res.Received[2]-honest.Received[2], shed)
+	}
+	// The victim's finish time grows (it computes the dumped load).
+	if res.Finish[2] <= honest.Finish[2] {
+		t.Fatal("victim's finish time should grow")
+	}
+}
+
+func TestLastProcessorCannotShed(t *testing.T) {
+	n, _ := dlt.NewNetwork([]float64{1, 1}, []float64{0.2})
+	sol := dlt.MustSolveBoundary(n)
+	actual := append([]float64(nil), sol.AlphaHat...)
+	actual[1] = 0.5 // attempt to shed at the terminal processor
+	res, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, ActualHat: actual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ActualHat[m] is forced to 1: everything that arrives is computed.
+	if math.Abs(res.Retained[1]-res.Received[1]) > tol {
+		t.Fatalf("terminal processor left load uncomputed: retained %v of %v", res.Retained[1], res.Received[1])
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	r := xrand.New(4)
+	for trial := 0; trial < 20; trial++ {
+		n := randomChain(r, 1+r.Intn(15))
+		sol := dlt.MustSolveBoundary(n)
+		// Random deviation profile.
+		actual := append([]float64(nil), sol.AlphaHat...)
+		for i := range actual {
+			if r.Bool(0.3) {
+				actual[i] *= r.Uniform(0.3, 1)
+			}
+		}
+		res, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, ActualHat: actual})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, x := range res.Retained {
+			total += x
+		}
+		if math.Abs(total-1) > tol {
+			t.Fatalf("trial %d: computed load sums to %v", trial, total)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	n, _ := dlt.NewNetwork([]float64{1, 1}, []float64{0.1})
+	sol := dlt.MustSolveBoundary(n)
+	if _, err := Run(Spec{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := Run(Spec{Net: n, PlanHat: []float64{1}}); err == nil {
+		t.Fatal("short PlanHat accepted")
+	}
+	if _, err := Run(Spec{Net: n, PlanHat: []float64{2, 1}}); err == nil {
+		t.Fatal("hat > 1 accepted")
+	}
+	if _, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, ActualW: []float64{1, -1}}); err == nil {
+		t.Fatal("negative ActualW accepted")
+	}
+	if _, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, Load: -1}); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, ActualHat: []float64{0.1}}); err == nil {
+		t.Fatal("short ActualHat accepted")
+	}
+}
+
+func TestTraceOrderingAndContent(t *testing.T) {
+	n, _ := dlt.NewNetwork([]float64{1, 2, 3}, []float64{0.3, 0.4})
+	sol := dlt.MustSolveBoundary(n)
+	res, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace empty despite RecordTrace")
+	}
+	last := -math.MaxFloat64
+	var arrivals, computeDones int
+	for _, e := range res.Trace {
+		if e.Time < last-tol {
+			t.Fatalf("trace not time-ordered: %v after %v", e.Time, last)
+		}
+		last = e.Time
+		switch e.Kind {
+		case EvArrive:
+			arrivals++
+		case EvComputeDone:
+			computeDones++
+		}
+	}
+	if arrivals != 3 || computeDones != 3 {
+		t.Fatalf("arrivals=%d computeDones=%d, want 3/3", arrivals, computeDones)
+	}
+}
+
+func TestNoTraceByDefault(t *testing.T) {
+	n, _ := dlt.NewNetwork([]float64{1, 1}, []float64{0.1})
+	res, err := RunPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace recorded without RecordTrace")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{EvArrive, EvComputeStart, EvComputeDone, EvSendStart, EvSendDone} {
+		if strings.HasPrefix(k.String(), "event(") {
+			t.Fatalf("missing name for kind %d", int(k))
+		}
+	}
+	if EventKind(99).String() != "event(99)" {
+		t.Fatal("unknown kind should fall back to numeric form")
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	n, _ := dlt.NewNetwork([]float64{1, 2, 3}, []float64{0.3, 0.4})
+	res, err := RunPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt{Width: 40}.RenderString(res)
+	if !strings.Contains(out, "P0  comp") || !strings.Contains(out, "P2  comm") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// Comm row for P1 must contain transfer glyphs, compute rows the
+	// compute glyph.
+	if !strings.Contains(out, "#") || !strings.Contains(out, "@") {
+		t.Fatalf("missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 1 header + P0 comp + (comm+comp) × 2 = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("want 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	out := Gantt{}.RenderString(&Result{})
+	if !strings.Contains(out, "empty schedule") {
+		t.Fatalf("empty schedule not handled: %q", out)
+	}
+}
+
+func TestGanttComputeBarsCoverMakespan(t *testing.T) {
+	// Theorem 2.1 visual: on-plan, every compute bar ends at the right edge.
+	n, _ := dlt.NewNetwork([]float64{1, 1, 1, 1}, []float64{0.2, 0.2, 0.2})
+	res, _ := RunPlan(n)
+	for i, iv := range res.Compute {
+		if math.Abs(iv.End-res.Makespan) > tol {
+			t.Fatalf("P%d compute ends at %v, makespan %v", i, iv.End, res.Makespan)
+		}
+	}
+}
+
+// Property: on-plan DES equals closed form for arbitrary chains.
+func TestQuickDESMatchesClosedForm(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw%16) + 1
+		r := xrand.New(seed)
+		n := randomChain(r, m)
+		sol, err := dlt.SolveBoundary(n)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat})
+		if err != nil {
+			return false
+		}
+		want := dlt.FinishTimes(n, sol.Alpha)
+		for i := range want {
+			if math.Abs(res.Finish[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shedding load never decreases the victim's finish time and never
+// changes total computed load.
+func TestQuickSheddingMonotone(t *testing.T) {
+	f := func(seed uint64, mRaw uint8, cut uint8) bool {
+		m := int(mRaw%10) + 2
+		r := xrand.New(seed)
+		n := randomChain(r, m)
+		sol, err := dlt.SolveBoundary(n)
+		if err != nil {
+			return false
+		}
+		i := 1 + r.Intn(m-1) // interior deviant
+		frac := 0.1 + 0.8*float64(cut)/255
+		actual := append([]float64(nil), sol.AlphaHat...)
+		actual[i] *= frac
+		res, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat, ActualHat: actual})
+		if err != nil {
+			return false
+		}
+		honest, err := RunPlan(n)
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, x := range res.Retained {
+			total += x
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return false
+		}
+		return res.Finish[i+1] >= honest.Finish[i+1]-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRunPlan64(b *testing.B) {
+	r := xrand.New(1)
+	n := randomChain(r, 63)
+	sol := dlt.MustSolveBoundary(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Spec{Net: n, PlanHat: sol.AlphaHat}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package des
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Gantt renders a Result as the ASCII analogue of Figure 2 in the paper:
+// communication intervals above each processor's computation interval. One
+// pair of rows per processor:
+//
+//	P1 comm: ....####..............   (receiving over link l_1)
+//	P1 comp: ......@@@@@@@@@@......   (computing its assignment)
+//
+// The time axis is scaled so the makespan spans width columns.
+type Gantt struct {
+	Width int // columns for the time axis; 0 means 72
+}
+
+// Render writes the chart for res to w.
+func (g Gantt) Render(w io.Writer, res *Result) error {
+	width := g.Width
+	if width <= 0 {
+		width = 72
+	}
+	if res.Makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	scale := func(t float64) int {
+		c := int(t / res.Makespan * float64(width))
+		if c > width {
+			c = width
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	paint := func(iv Interval, glyph byte) string {
+		row := []byte(strings.Repeat(".", width))
+		if iv.Duration() <= 0 {
+			return string(row)
+		}
+		start, end := scale(iv.Start), scale(iv.End)
+		if end == start {
+			end = start + 1 // make very short intervals visible
+		}
+		for c := start; c < end && c < width; c++ {
+			row[c] = glyph
+		}
+		return string(row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 %s %.6g\n", strings.Repeat(" ", maxInt(0, width-8)), res.Makespan)
+	for i := range res.Compute {
+		label := fmt.Sprintf("P%d", i)
+		if i > 0 {
+			fmt.Fprintf(&b, "%-3s comm |%s| recv %.4g @ t=%.4g\n", label, paint(res.Send[i], '#'), res.Received[i], res.Arrive[i])
+		}
+		fmt.Fprintf(&b, "%-3s comp |%s| load %.4g, done t=%.4g\n", label, paint(res.Compute[i], '@'), res.Retained[i], res.Finish[i])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderString returns the chart as a string.
+func (g Gantt) RenderString(res *Result) string {
+	var b strings.Builder
+	_ = g.Render(&b, res)
+	return b.String()
+}
+
+// RenderMulti draws a multi-installment schedule: the per-chunk transfer
+// and compute intervals of each processor, so the pipelining (and, with
+// per-transfer startups, the gaps it leaves) is visible.
+func (g Gantt) RenderMulti(w io.Writer, res *MultiResult) error {
+	width := g.Width
+	if width <= 0 {
+		width = 72
+	}
+	if res.Makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	scale := func(t float64) int {
+		c := int(t / res.Makespan * float64(width))
+		if c > width {
+			c = width
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	paint := func(ivs []Interval, glyph byte) string {
+		row := []byte(strings.Repeat(".", width))
+		for _, iv := range ivs {
+			if iv.Duration() <= 0 {
+				continue
+			}
+			start, end := scale(iv.Start), scale(iv.End)
+			if end == start {
+				end = start + 1
+			}
+			for c := start; c < end && c < width; c++ {
+				row[c] = glyph
+			}
+		}
+		return string(row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 %s %.6g\n", strings.Repeat(" ", maxInt(0, width-8)), res.Makespan)
+	for i := range res.ComputeIntervals {
+		label := fmt.Sprintf("P%d", i)
+		if i > 0 {
+			fmt.Fprintf(&b, "%-3s comm |%s| %d chunks\n", label, paint(res.RecvIntervals[i], '#'), len(res.RecvIntervals[i]))
+		}
+		fmt.Fprintf(&b, "%-3s comp |%s| load %.4g, done t=%.4g\n", label, paint(res.ComputeIntervals[i], '@'), res.Retained[i], res.Finish[i])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderMultiString returns the multiround chart as a string.
+func (g Gantt) RenderMultiString(res *MultiResult) string {
+	var b strings.Builder
+	_ = g.RenderMulti(&b, res)
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"dlsmech/internal/dlt"
+)
+
+// Multi-installment (multiround) scheduling, after Yang, van der Raadt &
+// Casanova (reference [21] of the paper). Single-round DLT on a chain makes
+// every processor wait for its *entire* assignment before computing, and —
+// more importantly — makes P_{i+1} wait until P_i has received everything
+// destined downstream. Splitting the load into R installments lets the
+// chain pipeline: P_i forwards installment r while still receiving
+// installment r+1, which cuts the store-and-forward ramp-up roughly by a
+// factor of R. With per-transfer startup costs the benefit reverses past an
+// optimal R — the classic multiround trade-off, measured by experiment A6.
+
+// Round is one installment: its share of the total load and the local
+// fractions used to split it down the chain.
+type Round struct {
+	Load float64
+	Hat  []float64
+}
+
+// MultiSpec describes a multi-installment run.
+type MultiSpec struct {
+	Net    *dlt.Network
+	Rounds []Round
+	// StartupZ is an optional per-transfer communication startup cost
+	// (the affine overhead that penalizes many small installments).
+	StartupZ float64
+}
+
+// MultiResult is the outcome of a multi-installment simulation.
+type MultiResult struct {
+	Makespan float64
+	// ComputeIntervals[i] lists processor i's per-chunk compute intervals
+	// in execution order; RecvIntervals[i] the transfer intervals on the
+	// link INTO processor i (empty for the root). The multiround Gantt
+	// renderer draws these.
+	ComputeIntervals [][]Interval
+	RecvIntervals    [][]Interval
+	// Start[i] is the time processor i's first chunk arrives (0 for the
+	// root; +Inf for a processor that never receives load). Pipelining is
+	// visible here: more installments pull the tail's start time in.
+	Start []float64
+	// Finish[i] is the time processor i completes its last chunk.
+	Finish []float64
+	// Retained[i] is the total load processor i computed.
+	Retained []float64
+	// Idle[i] is the time processor i spent idle between its first
+	// arrival and its last compute completion (pipelining quality).
+	Idle []float64
+}
+
+type multiEvent struct {
+	time  float64
+	seq   int
+	proc  int
+	round int
+	load  float64
+}
+
+type multiHeap []multiEvent
+
+func (h multiHeap) Len() int { return len(h) }
+func (h multiHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h multiHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *multiHeap) Push(x any)   { *h = append(*h, x.(multiEvent)) }
+func (h *multiHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// RunMulti simulates the installments through the one-port, front-end,
+// store-and-forward chain. Each processor forwards a chunk as soon as the
+// chunk has fully arrived and its outgoing port is free; it computes chunks
+// in arrival order on a single core.
+func RunMulti(spec MultiSpec) (*MultiResult, error) {
+	n := spec.Net
+	if n == nil {
+		return nil, ErrSpecNet
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpecNet, err)
+	}
+	if len(spec.Rounds) == 0 {
+		return nil, fmt.Errorf("%w: no rounds", ErrSpecPlan)
+	}
+	if spec.StartupZ < 0 || math.IsNaN(spec.StartupZ) {
+		return nil, fmt.Errorf("%w: StartupZ=%v", ErrSpecHat, spec.StartupZ)
+	}
+	size := n.Size()
+	for r, rd := range spec.Rounds {
+		if !(rd.Load > 0) || math.IsInf(rd.Load, 0) {
+			return nil, fmt.Errorf("%w: round %d load %v", ErrSpecHat, r, rd.Load)
+		}
+		if len(rd.Hat) != size {
+			return nil, fmt.Errorf("%w: round %d hat length %d", ErrSpecPlan, r, len(rd.Hat))
+		}
+		for i, h := range rd.Hat {
+			if math.IsNaN(h) || h < 0 || h > 1 {
+				return nil, fmt.Errorf("%w: round %d hat[%d]=%v", ErrSpecHat, r, i, h)
+			}
+		}
+	}
+
+	res := &MultiResult{
+		ComputeIntervals: make([][]Interval, size),
+		RecvIntervals:    make([][]Interval, size),
+		Start:            make([]float64, size),
+		Finish:           make([]float64, size),
+		Retained:         make([]float64, size),
+		Idle:             make([]float64, size),
+	}
+	cpuFree := make([]float64, size)
+	outFree := make([]float64, size)
+	firstArrive := make([]float64, size)
+	for i := range firstArrive {
+		firstArrive[i] = math.Inf(1)
+	}
+	busy := make([]float64, size) // accumulated compute time
+
+	var q multiHeap
+	seq := 0
+	push := func(t float64, proc, round int, load float64) {
+		heap.Push(&q, multiEvent{time: t, seq: seq, proc: proc, round: round, load: load})
+		seq++
+	}
+	// All installments are present at the root at t = 0, in round order.
+	for r, rd := range spec.Rounds {
+		push(0, 0, r, rd.Load)
+	}
+
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(multiEvent)
+		i := e.proc
+		if e.time < firstArrive[i] {
+			firstArrive[i] = e.time
+		}
+		hat := spec.Rounds[e.round].Hat[i]
+		if i == size-1 {
+			hat = 1 // the terminal processor computes everything it receives
+		}
+		retained := e.load * hat
+		forwarded := e.load - retained
+		if retained > 0 {
+			start := math.Max(e.time, cpuFree[i])
+			done := start + retained*n.W[i]
+			cpuFree[i] = done
+			res.Retained[i] += retained
+			busy[i] += retained * n.W[i]
+			res.ComputeIntervals[i] = append(res.ComputeIntervals[i], Interval{Start: start, End: done})
+			if done > res.Finish[i] {
+				res.Finish[i] = done
+			}
+			if done > res.Makespan {
+				res.Makespan = done
+			}
+		}
+		if forwarded > 1e-15 && i < size-1 {
+			sendStart := math.Max(e.time, outFree[i])
+			arrive := sendStart + spec.StartupZ + forwarded*n.Z[i+1]
+			outFree[i] = arrive
+			res.RecvIntervals[i+1] = append(res.RecvIntervals[i+1], Interval{Start: sendStart, End: arrive})
+			push(arrive, i+1, e.round, forwarded)
+		}
+	}
+	copy(res.Start, firstArrive)
+	for i := range res.Idle {
+		if math.IsInf(firstArrive[i], 1) || res.Retained[i] == 0 {
+			continue
+		}
+		res.Idle[i] = (res.Finish[i] - firstArrive[i]) - busy[i]
+		if res.Idle[i] < 0 {
+			res.Idle[i] = 0
+		}
+	}
+	return res, nil
+}
+
+// OptimalInstallments searches for the installment count that minimizes the
+// simulated makespan of the fluid plan under the given per-transfer startup
+// cost, scanning R = 1..maxR by doubling and then refining around the best
+// octave. It returns the best R and its makespan. With zero startup the
+// curve is non-increasing, so the search returns maxR; with a positive
+// startup it finds the classic interior optimum.
+func OptimalInstallments(n *dlt.Network, load float64, maxR int, startup float64) (bestR int, bestMakespan float64, err error) {
+	if maxR < 1 {
+		return 0, 0, fmt.Errorf("%w: maxR=%d", ErrSpecHat, maxR)
+	}
+	eval := func(R int) (float64, error) {
+		rounds, err := FluidInstallments(n, load, R)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMulti(MultiSpec{Net: n, Rounds: rounds, StartupZ: startup})
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+	bestR, bestMakespan = 1, math.Inf(1)
+	if bestMakespan, err = eval(1); err != nil {
+		return 0, 0, err
+	}
+	// Doubling scan.
+	for R := 2; R <= maxR; R *= 2 {
+		mk, err := eval(R)
+		if err != nil {
+			return 0, 0, err
+		}
+		if mk < bestMakespan {
+			bestR, bestMakespan = R, mk
+		}
+	}
+	// Refine linearly inside the winning octave.
+	lo, hi := bestR/2+1, bestR*2-1
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > maxR {
+		hi = maxR
+	}
+	for R := lo; R <= hi; R++ {
+		if R == bestR {
+			continue
+		}
+		mk, err := eval(R)
+		if err != nil {
+			return 0, 0, err
+		}
+		if mk < bestMakespan {
+			bestR, bestMakespan = R, mk
+		}
+	}
+	return bestR, bestMakespan, nil
+}
+
+// FluidInstallments builds R equal rounds whose split is the fluid-limit
+// (R → ∞) allocation: load proportional to processing rate 1/w_i. Under a
+// single round these fractions are poor (the tail starts far too late); as
+// R grows the pipeline fills and the makespan approaches the perfect-
+// parallelism bound 1/Σ(1/w_i) whenever the links can sustain the flow.
+// This is the plan multiround scheduling actually benefits from — keeping
+// the single-round optimal fractions leaves the root the bottleneck and
+// gains nothing (experiment A6 shows both).
+func FluidInstallments(n *dlt.Network, load float64, rounds int) ([]Round, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("%w: rounds=%d", ErrSpecHat, rounds)
+	}
+	hat := dlt.HatFromAlpha(dlt.ProportionalAlloc(n))
+	out := make([]Round, rounds)
+	for r := range out {
+		out[r] = Round{Load: load / float64(rounds), Hat: hat}
+	}
+	return out, nil
+}
+
+// EqualInstallments builds R identical rounds of load/R using the
+// single-round optimal local fractions of the network.
+func EqualInstallments(n *dlt.Network, load float64, rounds int) ([]Round, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("%w: rounds=%d", ErrSpecHat, rounds)
+	}
+	sol, err := dlt.SolveBoundary(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Round, rounds)
+	for r := range out {
+		out[r] = Round{Load: load / float64(rounds), Hat: sol.AlphaHat}
+	}
+	return out, nil
+}
+
+// GeometricInstallments builds R rounds whose sizes grow geometrically by
+// ratio (ratio > 1 front-loads the tail of the schedule, ratio < 1 the
+// head), normalized to the total load, all using the single-round optimal
+// fractions.
+func GeometricInstallments(n *dlt.Network, load float64, rounds int, ratio float64) ([]Round, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("%w: rounds=%d", ErrSpecHat, rounds)
+	}
+	if !(ratio > 0) || math.IsInf(ratio, 0) {
+		return nil, fmt.Errorf("%w: ratio=%v", ErrSpecHat, ratio)
+	}
+	sol, err := dlt.SolveBoundary(n)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, rounds)
+	w, total := 1.0, 0.0
+	for r := range weights {
+		weights[r] = w
+		total += w
+		w *= ratio
+	}
+	out := make([]Round, rounds)
+	for r := range out {
+		out[r] = Round{Load: load * weights[r] / total, Hat: sol.AlphaHat}
+	}
+	return out, nil
+}

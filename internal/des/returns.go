@@ -1,0 +1,161 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"dlsmech/internal/dlt"
+)
+
+// Result-return modeling — relaxing assumption (iii) of Sect. 2 ("the time
+// taken for returning the result of the load processing back to the root is
+// small"). When results are not small, each processor must ship δ·α_i units
+// of result data back to the root over the same chain (store-and-forward,
+// one hop at a time, links full-duplex so returns do not contend with the
+// outbound distribution but do contend with each other per link, FIFO).
+// Reference [2] of the paper (Beaumont et al., FIFO return messages) studies
+// this regime; experiment A10 measures how quickly the "returns are free"
+// assumption erodes and how much a return-aware allocation recovers.
+
+// ReturnSpec describes a run with result returns.
+type ReturnSpec struct {
+	Net *dlt.Network
+	// Alpha is the global allocation to execute (unit load).
+	Alpha []float64
+	// Delta is δ: result units produced per work unit (0 = paper's model).
+	Delta float64
+}
+
+// ReturnResult reports the timeline with returns.
+type ReturnResult struct {
+	// ComputeDone[i] is when P_i finishes computing (the paper's T_i).
+	ComputeDone []float64
+	// ResultAtRoot[i] is when P_i's results arrive at P_0 (equals
+	// ComputeDone[i] for the root itself).
+	ResultAtRoot []float64
+	// ComputeMakespan is max ComputeDone — the paper's objective.
+	ComputeMakespan float64
+	// TotalMakespan is max ResultAtRoot — the objective once returns count.
+	TotalMakespan float64
+}
+
+type returnEvent struct {
+	time   float64
+	seq    int
+	kind   int // 0 = compute done, 1 = return hop arrival
+	proc   int // current holder
+	origin int
+	size   float64
+}
+
+type returnHeap []returnEvent
+
+func (h returnHeap) Len() int { return len(h) }
+func (h returnHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h returnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *returnHeap) Push(x any)   { *h = append(*h, x.(returnEvent)) }
+func (h *returnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// RunWithReturns executes the allocation and ships δ-scaled results back to
+// the root.
+func RunWithReturns(spec ReturnSpec) (*ReturnResult, error) {
+	n := spec.Net
+	if n == nil {
+		return nil, ErrSpecNet
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpecNet, err)
+	}
+	if err := dlt.ValidateAllocation(n, spec.Alpha, 1e-9); err != nil {
+		return nil, err
+	}
+	if spec.Delta < 0 || math.IsNaN(spec.Delta) || math.IsInf(spec.Delta, 0) {
+		return nil, fmt.Errorf("%w: Delta=%v", ErrSpecHat, spec.Delta)
+	}
+	size := n.Size()
+	res := &ReturnResult{
+		ComputeDone:  dlt.FinishTimes(n, spec.Alpha),
+		ResultAtRoot: make([]float64, size),
+	}
+	for i, t := range res.ComputeDone {
+		if t > res.ComputeMakespan {
+			res.ComputeMakespan = t
+		}
+		res.ResultAtRoot[i] = t // provisional; overwritten for i > 0 below
+	}
+	if spec.Delta == 0 || size == 1 {
+		res.TotalMakespan = res.ComputeMakespan
+		return res, nil
+	}
+
+	var q returnHeap
+	seq := 0
+	push := func(t float64, kind, proc, origin int, sz float64) {
+		heap.Push(&q, returnEvent{time: t, seq: seq, kind: kind, proc: proc, origin: origin, size: sz})
+		seq++
+	}
+	// Returns launch when each processor's compute finishes.
+	for i := 1; i < size; i++ {
+		if spec.Alpha[i] > 0 {
+			push(res.ComputeDone[i], 0, i, i, spec.Delta*spec.Alpha[i])
+		}
+	}
+	// revFree[i]: when the reverse direction of link l_i (into P_{i-1})
+	// becomes free.
+	revFree := make([]float64, size)
+
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(returnEvent)
+		switch e.kind {
+		case 0, 1:
+			i := e.proc
+			if i == 0 {
+				res.ResultAtRoot[e.origin] = e.time
+				if e.time > res.TotalMakespan {
+					res.TotalMakespan = e.time
+				}
+				continue
+			}
+			start := math.Max(e.time, revFree[i])
+			arrive := start + e.size*n.Z[i]
+			revFree[i] = arrive
+			push(arrive, 1, i-1, e.origin, e.size)
+		}
+	}
+	if res.ComputeMakespan > res.TotalMakespan {
+		res.TotalMakespan = res.ComputeMakespan
+	}
+	return res, nil
+}
+
+// ReturnAwareAlloc is a simple allocation heuristic for the return regime:
+// it charges each processor the round trip its results will make, solving
+// the chain with inflated per-unit times w_i' = w_i + δ·Σ_{k≤i} z_k. It is
+// not optimal (returns contend per link), but experiment A10 shows it
+// recovers much of what the return-oblivious optimum loses.
+func ReturnAwareAlloc(n *dlt.Network, delta float64) ([]float64, error) {
+	w := make([]float64, n.Size())
+	var pathZ float64
+	for i := range w {
+		pathZ += n.Z[i]
+		w[i] = n.W[i] + delta*pathZ
+	}
+	aug := &dlt.Network{W: w, Z: append([]float64(nil), n.Z...)}
+	sol, err := dlt.SolveBoundary(aug)
+	if err != nil {
+		return nil, err
+	}
+	return sol.Alpha, nil
+}

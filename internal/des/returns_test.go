@@ -1,0 +1,135 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+func TestReturnsZeroDeltaMatchesComputeMakespan(t *testing.T) {
+	r := xrand.New(1)
+	for trial := 0; trial < 10; trial++ {
+		n := randomChain(r, 1+r.Intn(8))
+		sol := dlt.MustSolveBoundary(n)
+		res, err := RunWithReturns(ReturnSpec{Net: n, Alpha: sol.Alpha, Delta: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalMakespan != res.ComputeMakespan {
+			t.Fatalf("δ=0 should add nothing: %v vs %v", res.TotalMakespan, res.ComputeMakespan)
+		}
+		if math.Abs(res.ComputeMakespan-sol.Makespan()) > 1e-9 {
+			t.Fatalf("compute makespan %v vs %v", res.ComputeMakespan, sol.Makespan())
+		}
+	}
+}
+
+func TestReturnsHandComputedTwoChain(t *testing.T) {
+	// Two processors: P1's result of size δ·α1 crosses link 1 once,
+	// starting at its compute finish (= makespan at the optimum).
+	n, _ := dlt.NewNetwork([]float64{1, 2}, []float64{0.5})
+	sol := dlt.MustSolveBoundary(n)
+	delta := 0.4
+	res, err := RunWithReturns(ReturnSpec{Net: n, Alpha: sol.Alpha, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sol.Makespan() + delta*sol.Alpha[1]*n.Z[1]
+	if math.Abs(res.TotalMakespan-want) > 1e-9 {
+		t.Fatalf("total %v, want %v", res.TotalMakespan, want)
+	}
+	if math.Abs(res.ResultAtRoot[1]-want) > 1e-9 {
+		t.Fatalf("P1 result at root %v, want %v", res.ResultAtRoot[1], want)
+	}
+}
+
+func TestReturnsMonotoneInDelta(t *testing.T) {
+	r := xrand.New(2)
+	n := randomChain(r, 6)
+	sol := dlt.MustSolveBoundary(n)
+	prev := 0.0
+	for _, d := range []float64{0, 0.1, 0.25, 0.5, 1, 2} {
+		res, err := RunWithReturns(ReturnSpec{Net: n, Alpha: sol.Alpha, Delta: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalMakespan < prev-1e-9 {
+			t.Fatalf("total makespan decreased with δ: %v after %v", res.TotalMakespan, prev)
+		}
+		prev = res.TotalMakespan
+	}
+}
+
+func TestReturnsLinkContention(t *testing.T) {
+	// Two far processors finishing together must serialize on link 1: the
+	// second result waits for the first.
+	n, _ := dlt.NewNetwork([]float64{1, 1, 1}, []float64{0.3, 0.3})
+	sol := dlt.MustSolveBoundary(n)
+	res, err := RunWithReturns(ReturnSpec{Net: n, Alpha: sol.Alpha, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All finish at T together; P1's and P2's results both need link 1.
+	t1 := res.ResultAtRoot[1]
+	t2 := res.ResultAtRoot[2]
+	if t1 == t2 {
+		t.Fatalf("link contention ignored: both results arrive at %v", t1)
+	}
+	sum := sol.Alpha[1]*n.Z[1] + sol.Alpha[2]*(n.Z[2]+n.Z[1])
+	if res.TotalMakespan < res.ComputeMakespan+sol.Alpha[2]*n.Z[2] {
+		t.Fatalf("total %v too small for any return path (%v)", res.TotalMakespan, sum)
+	}
+}
+
+func TestReturnAwareAllocHelpsForLargeDelta(t *testing.T) {
+	// With heavy results the return-aware allocation must beat the
+	// return-oblivious optimum on total makespan.
+	n, _ := dlt.NewNetwork([]float64{1, 1, 1, 1, 1}, []float64{0.3, 0.3, 0.3, 0.3})
+	const delta = 2.0
+	obliv := dlt.MustSolveBoundary(n).Alpha
+	aware, err := ReturnAwareAlloc(n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := RunWithReturns(ReturnSpec{Net: n, Alpha: obliv, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := RunWithReturns(ReturnSpec{Net: n, Alpha: aware, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.TotalMakespan >= ro.TotalMakespan {
+		t.Fatalf("return-aware %v did not beat oblivious %v", ra.TotalMakespan, ro.TotalMakespan)
+	}
+}
+
+func TestReturnsValidation(t *testing.T) {
+	n, _ := dlt.NewNetwork([]float64{1, 1}, []float64{0.1})
+	sol := dlt.MustSolveBoundary(n)
+	if _, err := RunWithReturns(ReturnSpec{Alpha: sol.Alpha}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := RunWithReturns(ReturnSpec{Net: n, Alpha: []float64{0.5}}); err == nil {
+		t.Fatal("short alpha accepted")
+	}
+	if _, err := RunWithReturns(ReturnSpec{Net: n, Alpha: sol.Alpha, Delta: -1}); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+	if _, err := RunWithReturns(ReturnSpec{Net: n, Alpha: sol.Alpha, Delta: math.NaN()}); err == nil {
+		t.Fatal("NaN delta accepted")
+	}
+}
+
+func TestReturnsSingleProcessor(t *testing.T) {
+	n, _ := dlt.NewNetwork([]float64{2}, nil)
+	res, err := RunWithReturns(ReturnSpec{Net: n, Alpha: []float64{1}, Delta: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMakespan != 2 {
+		t.Fatalf("root needs no return hop: %v", res.TotalMakespan)
+	}
+}

@@ -1,0 +1,211 @@
+// Package device implements the two verification devices the DLS-LBL
+// mechanism assumes (Sect. 4 of the paper):
+//
+//   - the tamper-proof meter attached to each processor, which measures the
+//     actual per-unit processing time w̃_i and reports it as dsm_0(w̃_i) —
+//     a message signed with the root's key, so the owner of the processor
+//     cannot alter the measurement; and
+//
+//   - the data-attestation device Λ_i (footnote 1): the workload is divided
+//     into equal-sized blocks, each tagged with a unique random identifier
+//     drawn from a space large enough that guessing a valid identifier is
+//     negligible. Presenting the identifiers it received lets a processor
+//     prove an upper bound on the amount of work that reached it, which is
+//     what Phase III grievances need.
+package device
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsmech/internal/sign"
+	"dlsmech/internal/xrand"
+)
+
+// --- Tamper-proof meter -----------------------------------------------------
+
+// MeterReading is dsm_0(w̃_i): the measured execution record of one
+// processor, signed by the root's key. The meter observes the computation
+// itself, so it certifies both the per-unit time w̃_i and the amount of load
+// α̃_i actually computed — the two quantities Phase IV audits need.
+type MeterReading struct {
+	Proc   int
+	WTilde float64
+	Load   float64
+	Msg    sign.Signed
+}
+
+// Meter is the tamper-proof measurement device of one processor. It holds a
+// reference to the root's signer — physically, the meter is sealed hardware
+// provisioned by the mechanism — and produces root-signed readings.
+type Meter struct {
+	root *sign.Signer
+	proc int
+}
+
+// NewMeter seals a meter for processor proc with the root's signing key.
+func NewMeter(root *sign.Signer, proc int) *Meter {
+	return &Meter{root: root, proc: proc}
+}
+
+// meterPayload is the canonical byte encoding of a reading: a fixed tag, the
+// processor index and the IEEE-754 bits of the measurements.
+func meterPayload(proc int, wTilde, load float64) []byte {
+	buf := make([]byte, 4+8+8+8)
+	copy(buf, "MTR1")
+	binary.LittleEndian.PutUint64(buf[4:], uint64(int64(proc)))
+	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(wTilde))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(load))
+	return buf
+}
+
+// Record measures one execution (per-unit time wTilde over load work units)
+// and returns the signed reading. The per-unit time must be positive and
+// finite; the load non-negative.
+func (m *Meter) Record(wTilde, load float64) (MeterReading, error) {
+	if !(wTilde > 0) || math.IsInf(wTilde, 0) {
+		return MeterReading{}, fmt.Errorf("device: invalid meter value %v", wTilde)
+	}
+	if !(load >= 0) || math.IsInf(load, 0) {
+		return MeterReading{}, fmt.Errorf("device: invalid metered load %v", load)
+	}
+	return MeterReading{
+		Proc:   m.proc,
+		WTilde: wTilde,
+		Load:   load,
+		Msg:    m.root.Sign(meterPayload(m.proc, wTilde, load)),
+	}, nil
+}
+
+// Errors returned by verification.
+var (
+	ErrMeterSignature = errors.New("device: meter reading signature invalid")
+	ErrMeterMismatch  = errors.New("device: meter reading fields do not match payload")
+)
+
+// VerifyReading checks a reading against the PKI: the signature must verify
+// under the root's registered key (rootID) and the plain fields must match
+// the signed payload. Anyone holding the PKI can run this — that is what
+// makes meter readings usable as evidence.
+func VerifyReading(pki *sign.PKI, rootID int, r MeterReading) error {
+	if r.Msg.SignerID != rootID {
+		return fmt.Errorf("%w: signed by %d, want root %d", ErrMeterSignature, r.Msg.SignerID, rootID)
+	}
+	if err := pki.Verify(r.Msg); err != nil {
+		return fmt.Errorf("%w: %v", ErrMeterSignature, err)
+	}
+	want := meterPayload(r.Proc, r.WTilde, r.Load)
+	if len(want) != len(r.Msg.Payload) {
+		return ErrMeterMismatch
+	}
+	for i := range want {
+		if want[i] != r.Msg.Payload[i] {
+			return ErrMeterMismatch
+		}
+	}
+	return nil
+}
+
+// --- Λ data-attestation device ----------------------------------------------
+
+// Block is the unique identifier of one data block.
+type Block uint64
+
+// Attestation is Λ_i: the identifiers of the blocks a processor received.
+// Amount(unit) = len(Blocks)·unit is the provable upper bound on received
+// work.
+type Attestation struct {
+	Blocks []Block
+}
+
+// Amount returns the work quantity the attestation covers given the issuer's
+// block unit.
+func (a Attestation) Amount(unit float64) float64 {
+	return float64(len(a.Blocks)) * unit
+}
+
+// Split divides the attestation into a head covering floor(amount/unit)
+// blocks and the remaining tail. It models a processor retaining part of the
+// received data and forwarding the rest: the block identifiers travel with
+// the data, and rounding down the retained head guarantees the forwarded
+// tail still covers at least the shipped quantity.
+// Split panics if the attestation has too few blocks.
+func (a Attestation) Split(amount, unit float64) (head, tail Attestation) {
+	nb := int(math.Floor(amount/unit + 1e-9))
+	if nb < 0 {
+		nb = 0
+	}
+	if nb > len(a.Blocks) {
+		panic(fmt.Sprintf("device: split %d blocks of %d", nb, len(a.Blocks)))
+	}
+	return Attestation{Blocks: a.Blocks[:nb]}, Attestation{Blocks: a.Blocks[nb:]}
+}
+
+// Clone deep-copies the attestation (evidence must be immutable).
+func (a Attestation) Clone() Attestation {
+	return Attestation{Blocks: append([]Block(nil), a.Blocks...)}
+}
+
+// Issuer mints block identifiers on behalf of the root during data
+// preparation and later verifies attestations.
+type Issuer struct {
+	unit   float64
+	rng    *xrand.Rand
+	minted map[Block]bool
+}
+
+// NewIssuer creates an issuer with the given block unit (the work quantity
+// one block represents). Identifiers are drawn from the full 64-bit space.
+func NewIssuer(unit float64, rng *xrand.Rand) (*Issuer, error) {
+	if !(unit > 0) || math.IsInf(unit, 0) {
+		return nil, fmt.Errorf("device: invalid block unit %v", unit)
+	}
+	return &Issuer{unit: unit, rng: rng, minted: make(map[Block]bool)}, nil
+}
+
+// Unit returns the work quantity of one block.
+func (iss *Issuer) Unit() float64 { return iss.unit }
+
+// Mint creates the attestation covering total work units — ceil(total/unit)
+// fresh random identifiers. The root calls this once per job and ships the
+// blocks with the load.
+func (iss *Issuer) Mint(total float64) (Attestation, error) {
+	if !(total >= 0) || math.IsInf(total, 0) {
+		return Attestation{}, fmt.Errorf("device: invalid total %v", total)
+	}
+	nb := int(math.Ceil(total/iss.unit - 1e-12))
+	blocks := make([]Block, 0, nb)
+	for len(blocks) < nb {
+		id := Block(iss.rng.Uint64())
+		if iss.minted[id] {
+			continue // astronomically unlikely; regenerate
+		}
+		iss.minted[id] = true
+		blocks = append(blocks, id)
+	}
+	return Attestation{Blocks: blocks}, nil
+}
+
+// Errors returned by attestation verification.
+var (
+	ErrForgedBlock    = errors.New("device: attestation contains unminted block")
+	ErrDuplicateBlock = errors.New("device: attestation repeats a block")
+)
+
+// Verify checks an attestation: every identifier must have been minted and
+// none may repeat. It returns the work amount the attestation proves.
+func (iss *Issuer) Verify(a Attestation) (float64, error) {
+	seen := make(map[Block]bool, len(a.Blocks))
+	for _, b := range a.Blocks {
+		if !iss.minted[b] {
+			return 0, fmt.Errorf("%w: %d", ErrForgedBlock, uint64(b))
+		}
+		if seen[b] {
+			return 0, fmt.Errorf("%w: %d", ErrDuplicateBlock, uint64(b))
+		}
+		seen[b] = true
+	}
+	return a.Amount(iss.unit), nil
+}

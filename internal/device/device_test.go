@@ -1,0 +1,232 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlsmech/internal/sign"
+	"dlsmech/internal/xrand"
+)
+
+func setup(t *testing.T) (*sign.PKI, *sign.Signer) {
+	t.Helper()
+	pki := sign.NewPKI()
+	root := sign.NewSigner(0, 99)
+	pki.MustRegister(0, root.Public())
+	return pki, root
+}
+
+func TestMeterRoundTrip(t *testing.T) {
+	pki, root := setup(t)
+	m := NewMeter(root, 3)
+	r, err := m.Record(2.75, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Proc != 3 || r.WTilde != 2.75 {
+		t.Fatalf("reading %+v", r)
+	}
+	if err := VerifyReading(pki, 0, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterRejectsInvalidValues(t *testing.T) {
+	_, root := setup(t)
+	m := NewMeter(root, 1)
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := m.Record(v, 0.5); err == nil {
+			t.Fatalf("meter accepted %v", v)
+		}
+	}
+}
+
+func TestMeterDetectsFieldTampering(t *testing.T) {
+	pki, root := setup(t)
+	m := NewMeter(root, 3)
+	r, _ := m.Record(2.0, 0.5)
+	// The owner claims a different measurement but keeps the signature.
+	r.WTilde = 1.0
+	if err := VerifyReading(pki, 0, r); !errors.Is(err, ErrMeterMismatch) {
+		t.Fatalf("want ErrMeterMismatch, got %v", err)
+	}
+	r2, _ := m.Record(2.0, 0.5)
+	r2.Proc = 4
+	if err := VerifyReading(pki, 0, r2); !errors.Is(err, ErrMeterMismatch) {
+		t.Fatalf("want ErrMeterMismatch, got %v", err)
+	}
+}
+
+func TestMeterRejectsNonRootSignature(t *testing.T) {
+	pki, _ := setup(t)
+	impostor := sign.NewSigner(5, 7)
+	pki.MustRegister(5, impostor.Public())
+	fake := NewMeter(impostor, 3) // meter sealed with a non-root key
+	r, _ := fake.Record(1.0, 0.5)
+	if err := VerifyReading(pki, 0, r); !errors.Is(err, ErrMeterSignature) {
+		t.Fatalf("want ErrMeterSignature, got %v", err)
+	}
+}
+
+func TestMeterRejectsPayloadTampering(t *testing.T) {
+	pki, root := setup(t)
+	m := NewMeter(root, 3)
+	r, _ := m.Record(2.0, 0.5)
+	r.Msg.Payload[5] ^= 0xff
+	if err := VerifyReading(pki, 0, r); !errors.Is(err, ErrMeterSignature) {
+		t.Fatalf("want ErrMeterSignature, got %v", err)
+	}
+}
+
+func TestIssuerMintAndVerify(t *testing.T) {
+	iss, err := NewIssuer(0.01, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := iss.Mint(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(att.Blocks) != 100 {
+		t.Fatalf("minted %d blocks, want 100", len(att.Blocks))
+	}
+	amount, err := iss.Verify(att)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(amount-1.0) > 1e-12 {
+		t.Fatalf("verified amount %v", amount)
+	}
+}
+
+func TestIssuerRejectsBadUnit(t *testing.T) {
+	for _, u := range []float64{0, -1, math.Inf(1)} {
+		if _, err := NewIssuer(u, xrand.New(1)); err == nil {
+			t.Fatalf("unit %v accepted", u)
+		}
+	}
+}
+
+func TestMintRejectsBadTotal(t *testing.T) {
+	iss, _ := NewIssuer(0.1, xrand.New(1))
+	if _, err := iss.Mint(-1); err == nil {
+		t.Fatal("negative total accepted")
+	}
+	if _, err := iss.Mint(math.Inf(1)); err == nil {
+		t.Fatal("infinite total accepted")
+	}
+}
+
+func TestVerifyRejectsForgedBlocks(t *testing.T) {
+	iss, _ := NewIssuer(0.1, xrand.New(1))
+	att, _ := iss.Mint(0.5)
+	forged := att.Clone()
+	forged.Blocks = append(forged.Blocks, Block(0x1234567890abcdef))
+	if _, err := iss.Verify(forged); !errors.Is(err, ErrForgedBlock) {
+		t.Fatalf("want ErrForgedBlock, got %v", err)
+	}
+}
+
+func TestVerifyRejectsDuplicates(t *testing.T) {
+	iss, _ := NewIssuer(0.1, xrand.New(1))
+	att, _ := iss.Mint(0.5)
+	// Inflate the claim by repeating a received block.
+	cheat := att.Clone()
+	cheat.Blocks = append(cheat.Blocks, cheat.Blocks[0])
+	if _, err := iss.Verify(cheat); !errors.Is(err, ErrDuplicateBlock) {
+		t.Fatalf("want ErrDuplicateBlock, got %v", err)
+	}
+}
+
+func TestSplitConservesBlocks(t *testing.T) {
+	iss, _ := NewIssuer(0.01, xrand.New(2))
+	att, _ := iss.Mint(1.0)
+	head, tail := att.Split(0.3, iss.Unit())
+	if len(head.Blocks)+len(tail.Blocks) != len(att.Blocks) {
+		t.Fatalf("split lost blocks: %d + %d != %d", len(head.Blocks), len(tail.Blocks), len(att.Blocks))
+	}
+	if math.Abs(head.Amount(iss.Unit())-0.3) > iss.Unit() {
+		t.Fatalf("head amount %v, want ≈0.3", head.Amount(iss.Unit()))
+	}
+	// Both halves still verify.
+	if _, err := iss.Verify(head); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iss.Verify(tail); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitZeroAndFull(t *testing.T) {
+	iss, _ := NewIssuer(0.25, xrand.New(3))
+	att, _ := iss.Mint(1.0)
+	h, tail := att.Split(0, iss.Unit())
+	if len(h.Blocks) != 0 || len(tail.Blocks) != 4 {
+		t.Fatalf("zero split: %d/%d", len(h.Blocks), len(tail.Blocks))
+	}
+	h2, t2 := att.Split(1.0, iss.Unit())
+	if len(h2.Blocks) != 4 || len(t2.Blocks) != 0 {
+		t.Fatalf("full split: %d/%d", len(h2.Blocks), len(t2.Blocks))
+	}
+}
+
+func TestSplitPanicsWhenOverdrawn(t *testing.T) {
+	iss, _ := NewIssuer(0.25, xrand.New(3))
+	att, _ := iss.Mint(0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	att.Split(1.0, iss.Unit())
+}
+
+func TestMintedIdentifiersUnique(t *testing.T) {
+	iss, _ := NewIssuer(0.001, xrand.New(4))
+	a, _ := iss.Mint(1.0)
+	b, _ := iss.Mint(1.0)
+	seen := make(map[Block]bool)
+	for _, blk := range append(a.Blocks, b.Blocks...) {
+		if seen[blk] {
+			t.Fatalf("duplicate minted id %d", blk)
+		}
+		seen[blk] = true
+	}
+}
+
+// Property: chain-splitting an attestation down k processors conserves the
+// total and every piece verifies.
+func TestQuickSplitChain(t *testing.T) {
+	f := func(seed uint64, cuts uint8) bool {
+		iss, err := NewIssuer(1.0/256, xrand.New(seed))
+		if err != nil {
+			return false
+		}
+		att, err := iss.Mint(1.0)
+		if err != nil {
+			return false
+		}
+		remaining := att
+		total := 0
+		r := xrand.New(seed ^ 0xff)
+		for c := 0; c < int(cuts%6); c++ {
+			if len(remaining.Blocks) == 0 {
+				break
+			}
+			amt := r.Uniform(0, remaining.Amount(iss.Unit()))
+			head, tail := remaining.Split(amt, iss.Unit())
+			if _, err := iss.Verify(head); err != nil {
+				return false
+			}
+			total += len(head.Blocks)
+			remaining = tail
+		}
+		total += len(remaining.Blocks)
+		return total == len(att.Blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,380 @@
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Affine cost model — LINEAR BOUNDARY-AFFINE.
+//
+// The paper assumes communication startup time is negligible (assumption
+// (i) of Sect. 2). This file drops that assumption: transferring x units
+// over link l_i costs ZC[i] + x·Z[i], and computing x > 0 units on P_i
+// costs WC[i] + x·W[i]. With affine costs the classical closed form breaks:
+// distant processors may receive no load at all (their startup cost exceeds
+// their marginal value), and the all-participate/equal-finish structure of
+// Theorem 2.1 holds only among the processors that do participate.
+//
+// The solver bisects on the makespan T. For a candidate deadline the
+// maximum total load the chain can finish by T is computed right to left as
+// an exact piecewise-linear (PL) function of the arrival time:
+//
+//	cap_i(a) = max load the suffix P_i..P_m finishes by T when its input
+//	           fully arrives at time a
+//	         = max(0, (T−a−WC_i)/W_i) + x*_i(a),
+//
+// where the forwarded share x*_i(a) is the unique fixed point of
+// x = cap_{i+1}(a + ZC_{i+1} + x·Z_{i+1}). Because cap_{i+1} is PL and
+// non-increasing, x*_i is PL and non-increasing too and is constructed
+// piece by piece in closed form — no nested numeric searches. The outer
+// bisection then drives cap_0(0) to the requested load.
+
+// AffineNetwork augments a Network with per-link communication startup
+// times ZC (ZC[0] unused, must be 0) and per-processor computation startup
+// times WC.
+type AffineNetwork struct {
+	Net *Network
+	ZC  []float64
+	WC  []float64
+}
+
+// Errors returned by the affine solver.
+var (
+	ErrAffineLens     = errors.New("dlt: affine startup vectors must match the network")
+	ErrAffineNegative = errors.New("dlt: startup costs must be non-negative and finite")
+	ErrAffineLoad     = errors.New("dlt: load must be positive")
+)
+
+// Validate checks the affine model.
+func (a *AffineNetwork) Validate() error {
+	if a.Net == nil {
+		return ErrEmpty
+	}
+	if err := a.Net.Validate(); err != nil {
+		return err
+	}
+	if len(a.ZC) != a.Net.Size() || len(a.WC) != a.Net.Size() {
+		return fmt.Errorf("%w: |ZC|=%d |WC|=%d size=%d", ErrAffineLens, len(a.ZC), len(a.WC), a.Net.Size())
+	}
+	for i := range a.ZC {
+		if a.ZC[i] < 0 || math.IsNaN(a.ZC[i]) || math.IsInf(a.ZC[i], 0) {
+			return fmt.Errorf("%w: ZC[%d]=%v", ErrAffineNegative, i, a.ZC[i])
+		}
+		if a.WC[i] < 0 || math.IsNaN(a.WC[i]) || math.IsInf(a.WC[i], 0) {
+			return fmt.Errorf("%w: WC[%d]=%v", ErrAffineNegative, i, a.WC[i])
+		}
+	}
+	if a.ZC[0] != 0 {
+		return fmt.Errorf("%w: ZC[0]=%v must be 0", ErrAffineNegative, a.ZC[0])
+	}
+	return nil
+}
+
+// WithUniformStartup wraps a network with constant startup costs on every
+// link (zc) and every processor (wc).
+func WithUniformStartup(n *Network, zc, wc float64) *AffineNetwork {
+	a := &AffineNetwork{
+		Net: n,
+		ZC:  make([]float64, n.Size()),
+		WC:  make([]float64, n.Size()),
+	}
+	for i := 1; i < n.Size(); i++ {
+		a.ZC[i] = zc
+	}
+	for i := range a.WC {
+		a.WC[i] = wc
+	}
+	return a
+}
+
+// AffineAllocation is the affine-model solution.
+type AffineAllocation struct {
+	Alpha        []float64 // absolute load units per processor (sums to Load)
+	Load         float64
+	Makespan     float64
+	Participants int // processors with positive load
+}
+
+// --- piecewise-linear non-increasing functions on [0, ∞) --------------------
+
+// plFunc is v(a) = A[k] − B[k]·a on [knot[k], knot[k+1]) for k < len-1 and
+// v(a) = max(0, A[last] − B[last]·a) beyond the last knot; the construction
+// keeps every piece non-negative and non-increasing.
+type plFunc struct {
+	knot []float64 // piece start points, knot[0] == 0
+	A, B []float64
+}
+
+// eval returns v(a), clamped at 0.
+func (f *plFunc) eval(a float64) float64 {
+	if a < 0 {
+		a = 0
+	}
+	k := sort.SearchFloat64s(f.knot, a)
+	if k == len(f.knot) || f.knot[k] > a {
+		k--
+	}
+	v := f.A[k] - f.B[k]*a
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// constantZero is the PL zero function.
+func constantZero() *plFunc {
+	return &plFunc{knot: []float64{0}, A: []float64{0}, B: []float64{0}}
+}
+
+// ownCap builds max(0, (T−a−wc)/w) as a PL function.
+func ownCap(T, wc, w float64) *plFunc {
+	zeroAt := T - wc // value hits 0 at a = T−wc
+	if zeroAt <= 0 {
+		return constantZero()
+	}
+	return &plFunc{
+		knot: []float64{0, zeroAt},
+		A:    []float64{(T - wc) / w, 0},
+		B:    []float64{1 / w, 0},
+	}
+}
+
+// forwardCap builds x*(a): the fixed point of x = succ(a + zc + x·z).
+// For succ's piece v(u) = A − B·u on [u_k, u_{k+1}):
+//
+//	x = (A − B(a+zc)) / (1 + Bz),
+//	u* = (a + zc + zA) / (1 + Bz),
+//
+// and u* is increasing in a, so the pieces of x* follow succ's pieces in
+// order. The a-interval of piece k is [u_k(1+Bz) − zc − zA, …).
+func forwardCap(succ *plFunc, zc, z float64) *plFunc {
+	out := &plFunc{}
+	for k := range succ.knot {
+		A, B := succ.A[k], succ.B[k]
+		den := 1 + B*z
+		// a at which u* enters this piece.
+		aStart := succ.knot[k]*den - zc - z*A
+		if aStart < 0 {
+			aStart = 0
+		}
+		// Piece in a-space: x(a) = (A − B·zc)/den − (B/den)·a.
+		newA := (A - B*zc) / den
+		newB := B / den
+		// Skip pieces already dominated (value would be ≤ 0 from aStart on
+		// AND a later piece starts at the same point).
+		if len(out.knot) > 0 && aStart <= out.knot[len(out.knot)-1] {
+			// Replace the previous degenerate piece.
+			out.knot[len(out.knot)-1] = aStart
+			out.A[len(out.A)-1] = newA
+			out.B[len(out.B)-1] = newB
+			continue
+		}
+		out.knot = append(out.knot, aStart)
+		out.A = append(out.A, newA)
+		out.B = append(out.B, newB)
+	}
+	if len(out.knot) == 0 || out.knot[0] > 0 {
+		out.knot = append([]float64{0}, out.knot...)
+		firstA, firstB := 0.0, 0.0
+		if len(out.A) > 0 {
+			// Before the first computed piece the fixed point clamps to the
+			// first piece's line anyway (u* below succ's first knot means
+			// succ is flat there: A0 − B0·u with the same coefficients).
+			firstA, firstB = out.A[0], out.B[0]
+		}
+		out.A = append([]float64{firstA}, out.A...)
+		out.B = append([]float64{firstB}, out.B...)
+	}
+	return clampNonNegative(out)
+}
+
+// addPL returns f+g as a PL function (both non-increasing, non-negative).
+func addPL(f, g *plFunc) *plFunc {
+	knots := append(append([]float64(nil), f.knot...), g.knot...)
+	sort.Float64s(knots)
+	out := &plFunc{}
+	prev := math.Inf(-1)
+	for _, a := range knots {
+		if a == prev {
+			continue
+		}
+		prev = a
+		fa, fb := pieceAt(f, a)
+		ga, gb := pieceAt(g, a)
+		out.knot = append(out.knot, a)
+		out.A = append(out.A, fa+ga)
+		out.B = append(out.B, fb+gb)
+	}
+	return clampNonNegative(out)
+}
+
+// pieceAt returns the (A, B) coefficients governing f at point a, treating
+// the clamped-to-zero region as the constant 0 piece.
+func pieceAt(f *plFunc, a float64) (A, B float64) {
+	k := sort.SearchFloat64s(f.knot, a)
+	if k == len(f.knot) || f.knot[k] > a {
+		k--
+	}
+	if k < 0 {
+		k = 0
+	}
+	A, B = f.A[k], f.B[k]
+	if A-B*a <= 0 && B > 0 {
+		return 0, 0 // inside the clamped region
+	}
+	return A, B
+}
+
+// clampNonNegative splits pieces at their zero crossings and replaces the
+// negative tails with the constant 0, keeping the function exactly
+// max(0, ·).
+func clampNonNegative(f *plFunc) *plFunc {
+	out := &plFunc{}
+	for k := range f.knot {
+		start := f.knot[k]
+		A, B := f.A[k], f.B[k]
+		end := math.Inf(1)
+		if k+1 < len(f.knot) {
+			end = f.knot[k+1]
+		}
+		vStart := A - B*start
+		if vStart <= 0 && B >= 0 {
+			// Entire piece non-positive: contributes the 0 piece.
+			appendPiece(out, start, 0, 0)
+			continue
+		}
+		appendPiece(out, start, A, B)
+		if B > 0 {
+			if zeroAt := A / B; zeroAt > start && zeroAt < end {
+				appendPiece(out, zeroAt, 0, 0)
+			}
+		}
+	}
+	if len(out.knot) == 0 {
+		return constantZero()
+	}
+	return out
+}
+
+func appendPiece(f *plFunc, start, A, B float64) {
+	if n := len(f.knot); n > 0 {
+		if f.knot[n-1] == start {
+			f.A[n-1], f.B[n-1] = A, B
+			return
+		}
+		if f.A[n-1] == A && f.B[n-1] == B {
+			return // merge identical consecutive pieces
+		}
+	}
+	f.knot = append(f.knot, start)
+	f.A = append(f.A, A)
+	f.B = append(f.B, B)
+}
+
+// --- solver -------------------------------------------------------------------
+
+// chainCapacity builds cap_0 for deadline T and returns cap_0(0) plus the
+// per-level forward functions needed to extract the allocation.
+func (af *AffineNetwork) chainCapacity(T float64) (total float64, forwards []*plFunc) {
+	n := af.Net
+	m := n.M()
+	forwards = make([]*plFunc, m+1) // forwards[i] = x*_i(a); nil for i = m
+	cap := ownCap(T, af.WC[m], n.W[m])
+	for i := m - 1; i >= 0; i-- {
+		fw := forwardCap(cap, af.ZC[i+1], n.Z[i+1])
+		forwards[i] = fw
+		cap = addPL(ownCap(T, af.WC[i], n.W[i]), fw)
+	}
+	return cap.eval(0), forwards
+}
+
+// SolveAffine computes the minimum-makespan schedule for `load` units under
+// the affine cost model, to within tol (relative, on the makespan).
+func SolveAffine(af *AffineNetwork, load, tol float64) (*AffineAllocation, error) {
+	if err := af.Validate(); err != nil {
+		return nil, err
+	}
+	if !(load > 0) || math.IsInf(load, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrAffineLoad, load)
+	}
+	if !(tol > 0) {
+		tol = 1e-10
+	}
+	n := af.Net
+
+	// Bracket the makespan: root-only is always feasible.
+	hi := af.WC[0] + load*n.W[0]
+	lo := 0.0
+	for iter := 0; iter < 200 && hi-lo > tol*math.Max(1, hi); iter++ {
+		mid := 0.5 * (lo + hi)
+		total, _ := af.chainCapacity(mid)
+		if total >= load {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	T := hi
+	_, forwards := af.chainCapacity(T)
+
+	out := &AffineAllocation{
+		Alpha:    make([]float64, n.Size()),
+		Load:     load,
+		Makespan: T,
+	}
+	remaining := load
+	arrive := 0.0
+	for i := 0; i <= n.M(); i++ {
+		if remaining <= 0 {
+			break
+		}
+		if i == n.M() {
+			out.Alpha[i] = remaining
+			remaining = 0
+			break
+		}
+		own := 0.0
+		if slack := T - arrive - af.WC[i]; slack > 0 {
+			own = slack / n.W[i]
+		}
+		forward := remaining - own
+		if forward < 0 {
+			forward = 0
+		}
+		if maxFwd := forwards[i].eval(arrive); forward > maxFwd {
+			forward = maxFwd
+		}
+		out.Alpha[i] = remaining - forward
+		remaining = forward
+		if forward > 0 {
+			arrive += af.ZC[i+1] + forward*n.Z[i+1]
+		}
+	}
+	for _, a := range out.Alpha {
+		if a > 1e-12*load {
+			out.Participants++
+		}
+	}
+	return out, nil
+}
+
+// AffineFinishTimes evaluates the affine pipeline for an absolute-unit
+// allocation: the finish time per processor (0 for idle processors).
+func AffineFinishTimes(af *AffineNetwork, alpha []float64, load float64) []float64 {
+	n := af.Net
+	ts := make([]float64, n.Size())
+	remaining := load
+	arrive := 0.0
+	for i := 0; i <= n.M(); i++ {
+		if alpha[i] > 0 {
+			ts[i] = arrive + af.WC[i] + alpha[i]*n.W[i]
+		}
+		remaining -= alpha[i]
+		if i < n.M() && remaining > 1e-15*load {
+			arrive += af.ZC[i+1] + remaining*n.Z[i+1]
+		}
+	}
+	return ts
+}

@@ -1,0 +1,240 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlsmech/internal/xrand"
+)
+
+func TestAffineValidate(t *testing.T) {
+	n, _ := NewNetwork([]float64{1, 2}, []float64{0.1})
+	good := WithUniformStartup(n, 0.1, 0.2)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &AffineNetwork{Net: n, ZC: []float64{0}, WC: []float64{0, 0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short ZC accepted")
+	}
+	neg := WithUniformStartup(n, 0.1, 0.2)
+	neg.WC[1] = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative WC accepted")
+	}
+	zc0 := WithUniformStartup(n, 0.1, 0.2)
+	zc0.ZC[0] = 0.5
+	if err := zc0.Validate(); err == nil {
+		t.Fatal("nonzero ZC[0] accepted")
+	}
+}
+
+func TestAffineZeroStartupMatchesLinear(t *testing.T) {
+	// With zc = wc = 0 the affine solver must reproduce Algorithm 1.
+	r := xrand.New(1)
+	for trial := 0; trial < 15; trial++ {
+		n := randomChain(r, 1+r.Intn(10))
+		af := WithUniformStartup(n, 0, 0)
+		sol, err := SolveAffine(af, 1, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := MustSolveBoundary(n)
+		if math.Abs(sol.Makespan-want.Makespan()) > 1e-7*want.Makespan() {
+			t.Fatalf("trial %d: affine makespan %v vs linear %v", trial, sol.Makespan, want.Makespan())
+		}
+		for i := range sol.Alpha {
+			if math.Abs(sol.Alpha[i]-want.Alpha[i]) > 1e-5 {
+				t.Fatalf("trial %d: alpha[%d] %v vs %v", trial, i, sol.Alpha[i], want.Alpha[i])
+			}
+		}
+		if sol.Participants != n.Size() {
+			t.Fatalf("trial %d: %d participants of %d", trial, sol.Participants, n.Size())
+		}
+	}
+}
+
+func TestAffineTwoProcessorClosedForm(t *testing.T) {
+	// m=1 with startups, both participating:
+	//   α0·w0 + wc0 = T,  zc1 + α1·z1 + wc1 + α1·w1 = T,  α0 + α1 = L.
+	w0, w1, z1 := 2.0, 3.0, 0.5
+	zc, wc := 0.3, 0.2
+	L := 1.0
+	n, _ := NewNetwork([]float64{w0, w1}, []float64{z1})
+	af := WithUniformStartup(n, zc, wc)
+	// Solve the 2x2 system: α0 = (T−wc)/w0; α1 = (T−zc−wc)/(z1+w1);
+	// α0 + α1 = L.
+	// (T−wc)/w0 + (T−zc−wc)/(z1+w1) = L.
+	T := (L + wc/w0 + (zc+wc)/(z1+w1)) / (1/w0 + 1/(z1+w1))
+	sol, err := SolveAffine(af, L, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Makespan-T) > 1e-7 {
+		t.Fatalf("makespan %v, closed form %v", sol.Makespan, T)
+	}
+	wantA0 := (T - wc) / w0
+	if math.Abs(sol.Alpha[0]-wantA0) > 1e-6 {
+		t.Fatalf("alpha0 %v, want %v", sol.Alpha[0], wantA0)
+	}
+}
+
+func TestAffineAllocationFeasible(t *testing.T) {
+	r := xrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := randomChain(r, 1+r.Intn(12))
+		af := WithUniformStartup(n, r.Uniform(0, 0.5), r.Uniform(0, 0.5))
+		load := r.Uniform(0.5, 10)
+		sol, err := SolveAffine(af, load, 1e-11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i, a := range sol.Alpha {
+			if a < -1e-9 {
+				t.Fatalf("trial %d: negative alpha[%d]=%v", trial, i, a)
+			}
+			sum += a
+		}
+		if math.Abs(sum-load) > 1e-6*load {
+			t.Fatalf("trial %d: alphas sum to %v, load %v", trial, sum, load)
+		}
+	}
+}
+
+func TestAffineParticipantsFinishTogether(t *testing.T) {
+	r := xrand.New(3)
+	for trial := 0; trial < 20; trial++ {
+		n := randomChain(r, 1+r.Intn(10))
+		af := WithUniformStartup(n, r.Uniform(0, 0.3), r.Uniform(0, 0.3))
+		sol, err := SolveAffine(af, 2, 1e-11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := AffineFinishTimes(af, sol.Alpha, sol.Load)
+		for i, ti := range ts {
+			if sol.Alpha[i] <= 1e-9 {
+				continue
+			}
+			if math.Abs(ti-sol.Makespan) > 1e-5*sol.Makespan {
+				t.Fatalf("trial %d: participant %d finishes at %v, makespan %v (alpha=%v)",
+					trial, i, ti, sol.Makespan, sol.Alpha[i])
+			}
+		}
+	}
+}
+
+func TestAffineStartupShrinksParticipation(t *testing.T) {
+	// With large communication startups, distant processors drop out.
+	n := &Network{W: []float64{1, 1, 1, 1, 1, 1}, Z: []float64{0, 0.1, 0.1, 0.1, 0.1, 0.1}}
+	small, err := SolveAffine(WithUniformStartup(n, 0.001, 0), 1, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SolveAffine(WithUniformStartup(n, 0.4, 0), 1, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Participants != 6 {
+		t.Fatalf("small startup: %d participants", small.Participants)
+	}
+	if big.Participants >= small.Participants {
+		t.Fatalf("big startup did not shrink participation: %d vs %d", big.Participants, small.Participants)
+	}
+}
+
+func TestAffineMakespanMonotoneInStartup(t *testing.T) {
+	n := &Network{W: []float64{1, 2, 1.5}, Z: []float64{0, 0.2, 0.1}}
+	prev := 0.0
+	for _, zc := range []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8} {
+		sol, err := SolveAffine(WithUniformStartup(n, zc, 0.1), 1, 1e-11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Makespan < prev-1e-9 {
+			t.Fatalf("makespan decreased with startup: %v after %v (zc=%v)", sol.Makespan, prev, zc)
+		}
+		prev = sol.Makespan
+	}
+}
+
+func TestAffineNeverWorseThanRootOnly(t *testing.T) {
+	r := xrand.New(4)
+	for trial := 0; trial < 20; trial++ {
+		n := randomChain(r, 1+r.Intn(8))
+		af := WithUniformStartup(n, r.Uniform(0, 2), r.Uniform(0, 1))
+		load := r.Uniform(0.5, 4)
+		sol, err := SolveAffine(af, load, 1e-11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rootOnly := af.WC[0] + load*n.W[0]
+		if sol.Makespan > rootOnly+1e-6*rootOnly {
+			t.Fatalf("trial %d: affine %v worse than root-only %v", trial, sol.Makespan, rootOnly)
+		}
+	}
+}
+
+func TestAffineRejectsBadInputs(t *testing.T) {
+	n, _ := NewNetwork([]float64{1}, nil)
+	af := WithUniformStartup(n, 0, 0)
+	if _, err := SolveAffine(af, 0, 1e-9); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	if _, err := SolveAffine(af, -1, 1e-9); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := SolveAffine(af, math.Inf(1), 1e-9); err == nil {
+		t.Fatal("infinite load accepted")
+	}
+}
+
+func TestAffineSingleProcessor(t *testing.T) {
+	n, _ := NewNetwork([]float64{2}, nil)
+	af := WithUniformStartup(n, 0, 0.5)
+	sol, err := SolveAffine(af, 3, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 + 3*2.0
+	if math.Abs(sol.Makespan-want) > 1e-7 {
+		t.Fatalf("makespan %v, want %v", sol.Makespan, want)
+	}
+	if sol.Alpha[0] != 3 {
+		t.Fatalf("alpha %v", sol.Alpha)
+	}
+}
+
+// Property: the affine optimum is never worse than serving the same load
+// with the linear-model optimal fractions evaluated under affine costs.
+func TestQuickAffineBeatsLinearPlanUnderStartups(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		r := xrand.New(seed)
+		n := randomChain(r, m)
+		af := WithUniformStartup(n, r.Uniform(0, 0.3), r.Uniform(0, 0.3))
+		const load = 1.0
+		sol, err := SolveAffine(af, load, 1e-11)
+		if err != nil {
+			return false
+		}
+		// Evaluate the linear-model plan under affine costs.
+		lin := MustSolveBoundary(n)
+		alpha := make([]float64, len(lin.Alpha))
+		for i := range alpha {
+			alpha[i] = lin.Alpha[i] * load
+		}
+		ts := AffineFinishTimes(af, alpha, load)
+		linMk := 0.0
+		for _, ti := range ts {
+			if ti > linMk {
+				linMk = ti
+			}
+		}
+		return sol.Makespan <= linMk+1e-6*linMk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bus models the bus-network topology of the authors' earlier DLS-BL
+// mechanism (Grosu & Carroll 2005): the root P_0 holds the load and shares a
+// single bus of per-unit time Z with m worker processors. Transfers are
+// sequential on the bus (one-port), the root computes while sending, and
+// worker i starts computing once its whole assignment has arrived.
+type Bus struct {
+	W0 float64   // root per-unit processing time
+	W  []float64 // worker per-unit processing times, in distribution order
+	Z  float64   // bus per-unit communication time
+}
+
+// Validate checks the bus model parameters.
+func (b *Bus) Validate() error {
+	if !(b.W0 > 0) || math.IsInf(b.W0, 0) {
+		return fmt.Errorf("%w: W0=%v", ErrNonPositiveW, b.W0)
+	}
+	for i, w := range b.W {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("%w: W[%d]=%v", ErrNonPositiveW, i, w)
+		}
+	}
+	if b.Z < 0 || math.IsNaN(b.Z) || math.IsInf(b.Z, 0) {
+		return fmt.Errorf("%w: Z=%v", ErrNegativeZ, b.Z)
+	}
+	return nil
+}
+
+// BusAllocation is the optimal equal-finish solution for a Bus.
+type BusAllocation struct {
+	Alpha0 float64   // root share
+	Alpha  []float64 // worker shares, same order as Bus.W
+	T      float64   // makespan for a unit load
+}
+
+// SolveBus computes the optimal allocation on a bus network. With finish
+// times T_0 = α_0 w_0 and T_i = Z·Σ_{k≤i} α_k + α_i w_i, the equal-finish
+// conditions give the linear recurrence
+//
+//	α_1 (w_1 + Z) = α_0 w_0,
+//	α_{i+1} (w_{i+1} + Z) = α_i w_i,
+//
+// which is solved up to scale and then normalized to Σα = 1.
+func SolveBus(b *Bus) (*BusAllocation, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(b.W)
+	raw := make([]float64, n+1)
+	raw[0] = 1
+	prevW := b.W0
+	for i := 0; i < n; i++ {
+		raw[i+1] = raw[i] * prevW / (b.W[i] + b.Z)
+		prevW = b.W[i]
+	}
+	var total float64
+	for _, r := range raw {
+		total += r
+	}
+	out := &BusAllocation{Alpha: make([]float64, n)}
+	out.Alpha0 = raw[0] / total
+	for i := 0; i < n; i++ {
+		out.Alpha[i] = raw[i+1] / total
+	}
+	out.T = out.Alpha0 * b.W0
+	return out, nil
+}
+
+// BusFinishTimes returns the finish time of the root followed by each worker
+// under an arbitrary allocation, for validating SolveBus.
+func BusFinishTimes(b *Bus, alpha0 float64, alpha []float64) []float64 {
+	ts := make([]float64, len(alpha)+1)
+	ts[0] = alpha0 * b.W0
+	var sent float64
+	for i, ai := range alpha {
+		sent += ai
+		if ai == 0 {
+			ts[i+1] = 0
+			continue
+		}
+		ts[i+1] = sent*b.Z + ai*b.W[i]
+	}
+	return ts
+}
+
+// Star models a single-level tree: the root P_0 with per-unit time W0 and m
+// children, child i reachable over its own link with per-unit time Z[i].
+// Distribution is sequential (one-port) in the order given by an explicit
+// permutation.
+type Star struct {
+	W0 float64
+	W  []float64 // children processing times
+	Z  []float64 // children link times, same indexing as W
+}
+
+// Validate checks the star model parameters.
+func (s *Star) Validate() error {
+	if !(s.W0 > 0) || math.IsInf(s.W0, 0) {
+		return fmt.Errorf("%w: W0=%v", ErrNonPositiveW, s.W0)
+	}
+	if len(s.W) != len(s.Z) {
+		return fmt.Errorf("%w: |W|=%d |Z|=%d", ErrLengths, len(s.W), len(s.Z))
+	}
+	for i, w := range s.W {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("%w: W[%d]=%v", ErrNonPositiveW, i, w)
+		}
+	}
+	for i, z := range s.Z {
+		if z < 0 || math.IsNaN(z) || math.IsInf(z, 0) {
+			return fmt.Errorf("%w: Z[%d]=%v", ErrNegativeZ, i, z)
+		}
+	}
+	return nil
+}
+
+// StarAllocation is the equal-finish solution of a Star for a fixed
+// distribution order.
+type StarAllocation struct {
+	Alpha0 float64
+	Alpha  []float64 // indexed like Star.W (not in distribution order)
+	Order  []int     // the distribution order used
+	T      float64   // makespan for a unit load
+}
+
+var errBadOrder = errors.New("dlt: order is not a permutation of the children")
+
+// SolveStar computes the equal-finish allocation for the given distribution
+// order. Child finish times are T_{σ(k)} = Σ_{j≤k} α_{σ(j)} z_{σ(j)} +
+// α_{σ(k)} w_{σ(k)}; equating consecutive finish times yields
+//
+//	α_{σ(1)} (w_{σ(1)} + z_{σ(1)}) = α_0 w_0,
+//	α_{σ(k+1)} (w_{σ(k+1)} + z_{σ(k+1)}) = α_{σ(k)} w_{σ(k)},
+//
+// solved up to scale then normalized.
+func SolveStar(s *Star, order []int) (*StarAllocation, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(s.W)
+	if len(order) != n {
+		return nil, fmt.Errorf("%w: len %d", errBadOrder, len(order))
+	}
+	seen := make([]bool, n)
+	for _, idx := range order {
+		if idx < 0 || idx >= n || seen[idx] {
+			return nil, fmt.Errorf("%w: %v", errBadOrder, order)
+		}
+		seen[idx] = true
+	}
+
+	raw := make([]float64, n+1) // raw[0] root, raw[k] = share of child order[k-1]
+	raw[0] = 1
+	prevW := s.W0
+	for k, idx := range order {
+		raw[k+1] = raw[k] * prevW / (s.W[idx] + s.Z[idx])
+		prevW = s.W[idx]
+	}
+	var total float64
+	for _, r := range raw {
+		total += r
+	}
+	out := &StarAllocation{
+		Alpha: make([]float64, n),
+		Order: append([]int(nil), order...),
+	}
+	out.Alpha0 = raw[0] / total
+	for k, idx := range order {
+		out.Alpha[idx] = raw[k+1] / total
+	}
+	out.T = out.Alpha0 * s.W0
+	return out, nil
+}
+
+// OptimalStarOrder returns the distribution order that sorts children by
+// non-decreasing link time z (ties broken by processing time then index) —
+// the classical optimal sequencing rule for single-level trees with linear
+// cost (Bharadwaj et al. [6], ch. 3).
+func OptimalStarOrder(s *Star) []int {
+	order := make([]int, len(s.W))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if s.Z[ia] != s.Z[ib] {
+			return s.Z[ia] < s.Z[ib]
+		}
+		return s.W[ia] < s.W[ib]
+	})
+	return order
+}
+
+// SolveStarBestOrder solves the star with the optimal sequencing rule.
+func SolveStarBestOrder(s *Star) (*StarAllocation, error) {
+	return SolveStar(s, OptimalStarOrder(s))
+}
+
+// StarFinishTimes returns finish times (root first, then children in Star
+// indexing) under an arbitrary allocation and order.
+func StarFinishTimes(s *Star, alpha0 float64, alpha []float64, order []int) []float64 {
+	ts := make([]float64, len(alpha)+1)
+	ts[0] = alpha0 * s.W0
+	var busy float64
+	for _, idx := range order {
+		busy += alpha[idx] * s.Z[idx]
+		if alpha[idx] == 0 {
+			continue
+		}
+		ts[idx+1] = busy + alpha[idx]*s.W[idx]
+	}
+	return ts
+}

@@ -1,0 +1,115 @@
+package dlt
+
+import (
+	"math/big"
+)
+
+// Exact rational reference implementations. Every quantity in Algorithm 1
+// is a rational function of the inputs — the recurrence (2.7) only adds,
+// multiplies and divides — so when the inputs are (converted to) rationals
+// the entire solution is computable exactly with math/big. The float64
+// solver is validated against this ground truth (TestExactAgreement), and
+// the conditioning experiment A12 leans on the same fact: any drift is
+// rounding, not model error.
+
+// ExactAllocation is the big.Rat analogue of Allocation.
+type ExactAllocation struct {
+	Alpha    []*big.Rat
+	AlphaHat []*big.Rat
+	D        []*big.Rat
+	WBar     []*big.Rat
+}
+
+// Makespan returns w̄_0 exactly.
+func (a *ExactAllocation) Makespan() *big.Rat { return new(big.Rat).Set(a.WBar[0]) }
+
+// SolveBoundaryExact runs Algorithm 1 in exact rational arithmetic. The
+// float64 inputs are taken at face value (each float64 is a rational).
+func SolveBoundaryExact(n *Network) (*ExactAllocation, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	m := n.M()
+	a := &ExactAllocation{
+		Alpha:    make([]*big.Rat, m+1),
+		AlphaHat: make([]*big.Rat, m+1),
+		D:        make([]*big.Rat, m+1),
+		WBar:     make([]*big.Rat, m+1),
+	}
+	w := make([]*big.Rat, m+1)
+	z := make([]*big.Rat, m+1)
+	for i := 0; i <= m; i++ {
+		w[i] = new(big.Rat).SetFloat64(n.W[i])
+		z[i] = new(big.Rat).SetFloat64(n.Z[i])
+	}
+	one := big.NewRat(1, 1)
+
+	// Backward sweep: α̂_i = (w̄_{i+1}+z_{i+1}) / (w_i + w̄_{i+1} + z_{i+1}).
+	a.AlphaHat[m] = new(big.Rat).Set(one)
+	a.WBar[m] = new(big.Rat).Set(w[m])
+	for i := m - 1; i >= 0; i-- {
+		num := new(big.Rat).Add(a.WBar[i+1], z[i+1])
+		den := new(big.Rat).Add(w[i], num)
+		a.AlphaHat[i] = new(big.Rat).Quo(num, den)
+		a.WBar[i] = new(big.Rat).Mul(a.AlphaHat[i], w[i])
+	}
+
+	// Forward sweep.
+	d := new(big.Rat).Set(one)
+	for i := 0; i <= m; i++ {
+		a.D[i] = new(big.Rat).Set(d)
+		a.Alpha[i] = new(big.Rat).Mul(d, a.AlphaHat[i])
+		rem := new(big.Rat).Sub(one, a.AlphaHat[i])
+		d.Mul(d, rem)
+	}
+	return a, nil
+}
+
+// ExactFinishTimes evaluates (2.1)-(2.2) exactly for a rational allocation.
+func ExactFinishTimes(n *Network, alpha []*big.Rat) []*big.Rat {
+	m := n.M()
+	one := big.NewRat(1, 1)
+	ts := make([]*big.Rat, m+1)
+	w0 := new(big.Rat).SetFloat64(n.W[0])
+	ts[0] = new(big.Rat).Mul(alpha[0], w0)
+	arrive := new(big.Rat)
+	consumed := new(big.Rat)
+	for j := 1; j <= m; j++ {
+		consumed.Add(consumed, alpha[j-1])
+		residual := new(big.Rat).Sub(one, consumed)
+		zj := new(big.Rat).SetFloat64(n.Z[j])
+		arrive.Add(arrive, residual.Mul(residual, zj))
+		wj := new(big.Rat).SetFloat64(n.W[j])
+		ts[j] = new(big.Rat).Add(arrive, new(big.Rat).Mul(alpha[j], wj))
+	}
+	return ts
+}
+
+// ExactFloatDrift returns the largest |float − exact| over the allocation
+// vector and the makespan, as a float64 — the measured rounding error of
+// the float solver on this instance.
+func ExactFloatDrift(n *Network) (float64, error) {
+	exact, err := SolveBoundaryExact(n)
+	if err != nil {
+		return 0, err
+	}
+	approx, err := SolveBoundary(n)
+	if err != nil {
+		return 0, err
+	}
+	worst := new(big.Rat)
+	diff := func(f float64, r *big.Rat) {
+		d := new(big.Rat).Sub(new(big.Rat).SetFloat64(f), r)
+		d.Abs(d)
+		if d.Cmp(worst) > 0 {
+			worst.Set(d)
+		}
+	}
+	for i := range approx.Alpha {
+		diff(approx.Alpha[i], exact.Alpha[i])
+		diff(approx.WBar[i], exact.WBar[i])
+	}
+	diff(approx.Makespan(), exact.Makespan())
+	out, _ := worst.Float64()
+	return out, nil
+}

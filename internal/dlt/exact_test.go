@@ -1,0 +1,103 @@
+package dlt
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"dlsmech/internal/xrand"
+)
+
+func TestExactMatchesFloatSmallChains(t *testing.T) {
+	r := xrand.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := randomChain(r, 1+r.Intn(16))
+		drift, err := ExactFloatDrift(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drift > 1e-13 {
+			t.Fatalf("trial %d: float solver drifts %v from exact arithmetic", trial, drift)
+		}
+	}
+}
+
+func TestExactDriftGrowsSlowly(t *testing.T) {
+	// Even at 128 processors the recurrence loses only a few ulps. (The
+	// rationals' denominators grow exponentially with chain length, so the
+	// exact reference is kept to a moderate size here.)
+	r := xrand.New(2)
+	n := randomChain(r, 127)
+	drift, err := ExactFloatDrift(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift > 1e-12 {
+		t.Fatalf("drift %v at m=127", drift)
+	}
+}
+
+func TestExactEqualFinish(t *testing.T) {
+	// In exact arithmetic the equal-finish property of Theorem 2.1 is an
+	// identity: all finish times are literally the same rational.
+	r := xrand.New(3)
+	n := randomChain(r, 9)
+	sol, err := SolveBoundaryExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := ExactFinishTimes(n, sol.Alpha)
+	for j := 1; j < len(ts); j++ {
+		if ts[j].Cmp(ts[0]) != 0 {
+			t.Fatalf("exact finish times differ: T_%d = %v, T_0 = %v", j, ts[j], ts[0])
+		}
+	}
+	if ts[0].Cmp(sol.Makespan()) != 0 {
+		t.Fatalf("finish %v != w̄_0 %v", ts[0], sol.Makespan())
+	}
+}
+
+func TestExactAlphaSumsToOne(t *testing.T) {
+	r := xrand.New(4)
+	n := randomChain(r, 12)
+	sol, err := SolveBoundaryExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := new(big.Rat)
+	for _, a := range sol.Alpha {
+		sum.Add(sum, a)
+	}
+	if sum.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("exact alphas sum to %v", sum)
+	}
+}
+
+func TestExactRejectsInvalid(t *testing.T) {
+	bad := &Network{W: []float64{-1}, Z: []float64{0}}
+	if _, err := SolveBoundaryExact(bad); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+	if _, err := ExactFloatDrift(bad); err == nil {
+		t.Fatal("invalid network accepted by drift")
+	}
+}
+
+func TestExactTwoProcessorHandCheck(t *testing.T) {
+	// w = (1, 3), z = 1/2: α̂_0 = (3 + 1/2)/(1 + 3 + 1/2) = 7/9.
+	n, _ := NewNetwork([]float64{1, 3}, []float64{0.5})
+	sol, err := SolveBoundaryExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.AlphaHat[0].Cmp(big.NewRat(7, 9)) != 0 {
+		t.Fatalf("α̂_0 = %v, want 7/9", sol.AlphaHat[0])
+	}
+	if sol.Makespan().Cmp(big.NewRat(7, 9)) != 0 { // α̂_0·w_0 with w_0 = 1
+		t.Fatalf("makespan %v, want 7/9", sol.Makespan())
+	}
+	f, _ := sol.Makespan().Float64()
+	if math.Abs(f-MustSolveBoundary(n).Makespan()) > 1e-15 {
+		t.Fatal("float and exact disagree on the hand-checked case")
+	}
+}

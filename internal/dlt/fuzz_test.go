@@ -1,0 +1,115 @@
+package dlt
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzSolveBoundary drives the solver with arbitrary byte-derived networks
+// and asserts its invariants whenever the input is a valid model: feasible
+// allocation, full participation, equal finish times, reduction identity.
+func FuzzSolveBoundary(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, []byte{1, 2})
+	f.Add([]byte{255}, []byte{})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, []byte{0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, wRaw, zRaw []byte) {
+		if len(wRaw) == 0 || len(wRaw) > 64 {
+			return
+		}
+		w := make([]float64, len(wRaw))
+		for i, b := range wRaw {
+			w[i] = 0.1 + float64(b)/32 // (0, 8.1]
+		}
+		z := make([]float64, len(wRaw)-1)
+		for i := range z {
+			var b byte
+			if i < len(zRaw) {
+				b = zRaw[i]
+			}
+			z[i] = float64(b) / 64 // [0, ~4]
+		}
+		n, err := NewNetwork(w, z)
+		if err != nil {
+			t.Fatalf("constructed network invalid: %v", err)
+		}
+		sol, err := SolveBoundary(n)
+		if err != nil {
+			t.Fatalf("solver failed on valid network: %v", err)
+		}
+		if err := ValidateAllocation(n, sol.Alpha, 1e-9); err != nil {
+			t.Fatalf("infeasible allocation: %v", err)
+		}
+		for i, a := range sol.Alpha {
+			if a <= 0 {
+				t.Fatalf("processor %d idle at the optimum: %v", i, a)
+			}
+		}
+		if spread := FinishSpread(n, sol.Alpha); spread > 1e-7*sol.Makespan() {
+			t.Fatalf("finish spread %v vs makespan %v", spread, sol.Makespan())
+		}
+		if math.Abs(Makespan(n, sol.Alpha)-sol.WBar[0]) > 1e-7*sol.Makespan() {
+			t.Fatalf("reduction identity broken")
+		}
+	})
+}
+
+// FuzzNetworkJSON checks that any JSON either fails to parse or yields a
+// valid network that round-trips.
+func FuzzNetworkJSON(f *testing.F) {
+	f.Add([]byte(`{"w":[1,2],"z":[0.5]}`))
+	f.Add([]byte(`{"w":[1],"z":[]}`))
+	f.Add([]byte(`{"w":[-1],"z":[]}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var n Network
+		if err := json.Unmarshal(data, &n); err != nil {
+			return // rejected, fine
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("accepted network fails validation: %v", err)
+		}
+		out, err := json.Marshal(&n)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Network
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if back.Size() != n.Size() {
+			t.Fatalf("round trip changed size: %d vs %d", back.Size(), n.Size())
+		}
+	})
+}
+
+// FuzzHatRoundTrip checks AlphaFromHat/HatFromAlpha consistency for
+// arbitrary valid local fractions.
+func FuzzHatRoundTrip(f *testing.F) {
+	f.Add([]byte{128, 64, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 32 {
+			return
+		}
+		hat := make([]float64, len(raw))
+		for i, b := range raw {
+			hat[i] = float64(b) / 255
+		}
+		hat[len(hat)-1] = 1
+		alpha := AlphaFromHat(hat)
+		var sum float64
+		for _, a := range alpha {
+			if a < -1e-12 {
+				t.Fatalf("negative alpha %v", a)
+			}
+			sum += a
+		}
+		if sum > 1+1e-9 {
+			t.Fatalf("alphas exceed the load: %v", sum)
+		}
+		// With a terminal hat of 1 the cascade consumes everything.
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("cascade leaked load: %v", sum)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package dlt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interior-origination linear networks: the root is an inner processor with
+// a left and a right arm (the second network type of Sect. 2; the paper
+// schedules only the boundary case and names the interior case as the other
+// variant). We implement it as the natural composition of the machinery the
+// paper already uses:
+//
+//  1. each arm, viewed outward from the root, is a boundary-origination
+//     chain, so the backward sweep of Algorithm 1 collapses it into an
+//     equivalent processor;
+//  2. the root plus the two equivalent arm processors form a 2-child star,
+//     distributed one-port in one of the two possible orders;
+//  3. both orders are solved and the one with the smaller makespan is kept.
+//
+// Within each arm the received share is split by the arm's own local
+// fractions, exactly as in Phase II of the boundary algorithm.
+
+// InteriorAllocation is the solution for an interior-origination chain.
+type InteriorAllocation struct {
+	Alpha     []float64 // global fractions, indexed like the chain 0..m
+	Root      int       // root position
+	LeftFirst bool      // whether the left arm was served first
+	T         float64   // makespan for a unit load
+}
+
+// SolveInterior solves the chain n (indexed 0..m with links Z[i] between
+// i-1 and i) when the load originates at interior position root.
+// root = 0 degenerates to SolveBoundary; root = m to the mirrored chain.
+func SolveInterior(n *Network, root int) (*InteriorAllocation, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	m := n.M()
+	if root < 0 || root > m {
+		return nil, fmt.Errorf("dlt: root %d out of range [0,%d]", root, m)
+	}
+
+	// Arm descriptions, ordered outward from the root. For the left arm the
+	// processor sequence is root-1, root-2, ..., 0 and the link into the
+	// k-th arm processor is Z[root-k]; for the right arm it is root+1, ...,
+	// m with link Z[root+k+1].
+	type arm struct {
+		w, z  []float64 // outward chain, z[k] = link into arm proc k (z[0] = link root->first)
+		index []int     // global indices of the arm processors
+	}
+	buildLeft := func() arm {
+		var a arm
+		for i := root - 1; i >= 0; i-- {
+			a.w = append(a.w, n.W[i])
+			a.z = append(a.z, n.Z[i+1])
+			a.index = append(a.index, i)
+		}
+		return a
+	}
+	buildRight := func() arm {
+		var a arm
+		for i := root + 1; i <= m; i++ {
+			a.w = append(a.w, n.W[i])
+			a.z = append(a.z, n.Z[i])
+			a.index = append(a.index, i)
+		}
+		return a
+	}
+
+	// reduceArm runs the backward sweep on the arm's outward chain,
+	// returning the equivalent per-unit time of the whole arm (as seen from
+	// the far side of its first link) and the local fractions α̂ used to
+	// split the arm's share internally. The first link z[0] is NOT folded
+	// into the equivalent: it plays the role of the star link.
+	reduceArm := func(a arm) (wEq float64, hat []float64) {
+		k := len(a.w)
+		if k == 0 {
+			return 0, nil
+		}
+		hat = make([]float64, k)
+		hat[k-1] = 1
+		wEq = a.w[k-1]
+		for i := k - 2; i >= 0; i-- {
+			hat[i], wEq = EquivTwo(a.w[i], a.z[i+1], wEq)
+		}
+		return wEq, hat
+	}
+
+	left, right := buildLeft(), buildRight()
+	leftEq, leftHat := reduceArm(left)
+	rightEq, rightHat := reduceArm(right)
+
+	solve := func(order []int) (*StarAllocation, error) {
+		star := &Star{W0: n.W[root]}
+		if len(left.w) > 0 {
+			star.W = append(star.W, leftEq)
+			star.Z = append(star.Z, left.z[0])
+		} else {
+			star.W = append(star.W, math.Inf(1))
+			star.Z = append(star.Z, 0)
+		}
+		if len(right.w) > 0 {
+			star.W = append(star.W, rightEq)
+			star.Z = append(star.Z, right.z[0])
+		} else {
+			star.W = append(star.W, math.Inf(1))
+			star.Z = append(star.Z, 0)
+		}
+		// Degenerate arms (infinite W) cannot be passed to SolveStar; handle
+		// them by removing the child.
+		switch {
+		case len(left.w) == 0 && len(right.w) == 0:
+			return &StarAllocation{Alpha0: 1, Alpha: []float64{0, 0}, T: n.W[root]}, nil
+		case len(left.w) == 0:
+			sub, err := SolveStar(&Star{W0: n.W[root], W: []float64{rightEq}, Z: []float64{right.z[0]}}, []int{0})
+			if err != nil {
+				return nil, err
+			}
+			return &StarAllocation{Alpha0: sub.Alpha0, Alpha: []float64{0, sub.Alpha[0]}, T: sub.T}, nil
+		case len(right.w) == 0:
+			sub, err := SolveStar(&Star{W0: n.W[root], W: []float64{leftEq}, Z: []float64{left.z[0]}}, []int{0})
+			if err != nil {
+				return nil, err
+			}
+			return &StarAllocation{Alpha0: sub.Alpha0, Alpha: []float64{sub.Alpha[0], 0}, T: sub.T}, nil
+		}
+		return SolveStar(&Star{W0: n.W[root], W: []float64{leftEq, rightEq}, Z: []float64{left.z[0], right.z[0]}}, order)
+	}
+
+	lf, errL := solve([]int{0, 1}) // left arm first
+	if errL != nil {
+		return nil, errL
+	}
+	rf, errR := solve([]int{1, 0}) // right arm first
+	if errR != nil {
+		return nil, errR
+	}
+	best, leftFirst := lf, true
+	if rf.T < lf.T {
+		best, leftFirst = rf, false
+	}
+
+	out := &InteriorAllocation{
+		Alpha: make([]float64, m+1),
+		Root:  root,
+		T:     best.T,
+	}
+	out.LeftFirst = leftFirst
+	out.Alpha[root] = best.Alpha0
+	spread := func(a arm, hat []float64, share float64) {
+		d := share
+		for k := range a.index {
+			out.Alpha[a.index[k]] = d * hat[k]
+			d *= 1 - hat[k]
+		}
+	}
+	spread(left, leftHat, best.Alpha[0])
+	spread(right, rightHat, best.Alpha[1])
+	return out, nil
+}
+
+// BestInteriorRoot sweeps every root position and returns the one with the
+// minimal makespan together with its solution — "where should the data
+// land?" for a chain whose entry point is a design choice.
+func BestInteriorRoot(n *Network) (int, *InteriorAllocation, error) {
+	if err := n.Validate(); err != nil {
+		return 0, nil, err
+	}
+	bestRoot := -1
+	var best *InteriorAllocation
+	for root := 0; root <= n.M(); root++ {
+		ia, err := SolveInterior(n, root)
+		if err != nil {
+			return 0, nil, err
+		}
+		if best == nil || ia.T < best.T {
+			bestRoot, best = root, ia
+		}
+	}
+	return bestRoot, best, nil
+}
+
+// InteriorFinishTimes returns per-processor finish times for an interior
+// allocation, for validating the equal-finish property. The root computes
+// from time zero; the first-served arm's head receives its whole arm share
+// first, the second-served arm's head after both transfers (one-port); each
+// arm then pipelines inward exactly like a boundary chain.
+func InteriorFinishTimes(n *Network, ia *InteriorAllocation) []float64 {
+	m := n.M()
+	ts := make([]float64, m+1)
+	ts[ia.Root] = ia.Alpha[ia.Root] * n.W[ia.Root]
+
+	armShare := func(indices []int) float64 {
+		var s float64
+		for _, i := range indices {
+			s += ia.Alpha[i]
+		}
+		return s
+	}
+	var leftIdx, rightIdx []int
+	for i := ia.Root - 1; i >= 0; i-- {
+		leftIdx = append(leftIdx, i)
+	}
+	for i := ia.Root + 1; i <= m; i++ {
+		rightIdx = append(rightIdx, i)
+	}
+	linkInto := func(indices []int, k int) float64 {
+		// link carrying load into the k-th processor of the arm
+		i := indices[k]
+		if i < ia.Root {
+			return n.Z[i+1]
+		}
+		return n.Z[i]
+	}
+
+	// One-port sends from the root: first-served arm, then second.
+	type armRun struct {
+		idx   []int
+		share float64
+	}
+	first, second := armRun{leftIdx, armShare(leftIdx)}, armRun{rightIdx, armShare(rightIdx)}
+	if !ia.LeftFirst {
+		first, second = second, first
+	}
+	start := 0.0
+	for _, run := range []armRun{first, second} {
+		if len(run.idx) == 0 || run.share == 0 {
+			continue
+		}
+		// Head of the arm receives the full arm share over its link.
+		arrive := start + run.share*linkInto(run.idx, 0)
+		start = arrive // root's port frees up after this transfer
+		remaining := run.share
+		for k, i := range run.idx {
+			if k > 0 {
+				arrive += remaining * linkInto(run.idx, k)
+			}
+			if ia.Alpha[i] > 0 {
+				ts[i] = arrive + ia.Alpha[i]*n.W[i]
+			}
+			remaining -= ia.Alpha[i]
+		}
+	}
+	return ts
+}

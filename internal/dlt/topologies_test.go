@@ -1,0 +1,412 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlsmech/internal/xrand"
+)
+
+func TestSolveBusEqualFinish(t *testing.T) {
+	b := &Bus{W0: 2, W: []float64{1, 3, 2.5}, Z: 0.25}
+	sol, err := SolveBus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sol.Alpha0
+	for _, a := range sol.Alpha {
+		sum += a
+	}
+	if math.Abs(sum-1) > tol {
+		t.Fatalf("bus allocation sums to %v", sum)
+	}
+	ts := BusFinishTimes(b, sol.Alpha0, sol.Alpha)
+	for i, ti := range ts {
+		if math.Abs(ti-sol.T) > tol {
+			t.Fatalf("bus T[%d]=%v, want %v", i, ti, sol.T)
+		}
+	}
+}
+
+func TestSolveBusValidation(t *testing.T) {
+	if _, err := SolveBus(&Bus{W0: 0, Z: 0.1}); err == nil {
+		t.Fatal("W0=0 accepted")
+	}
+	if _, err := SolveBus(&Bus{W0: 1, W: []float64{-1}, Z: 0.1}); err == nil {
+		t.Fatal("negative worker accepted")
+	}
+	if _, err := SolveBus(&Bus{W0: 1, Z: -0.1}); err == nil {
+		t.Fatal("negative bus accepted")
+	}
+}
+
+func TestBusNoWorkers(t *testing.T) {
+	sol, err := SolveBus(&Bus{W0: 3, Z: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Alpha0 != 1 || math.Abs(sol.T-3) > tol {
+		t.Fatalf("degenerate bus: %+v", sol)
+	}
+}
+
+func TestBusMakespanOrderInvariant(t *testing.T) {
+	// Classical result: on a homogeneous bus the makespan is independent of
+	// the distribution order of heterogeneous workers.
+	r := xrand.New(10)
+	for trial := 0; trial < 20; trial++ {
+		w := make([]float64, 5)
+		for i := range w {
+			w[i] = r.Uniform(0.5, 4)
+		}
+		b := &Bus{W0: r.Uniform(0.5, 4), W: w, Z: 0.3}
+		ref, err := SolveBus(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := r.Perm(len(w))
+		w2 := make([]float64, len(w))
+		for i, p := range perm {
+			w2[i] = w[p]
+		}
+		alt, err := SolveBus(&Bus{W0: b.W0, W: w2, Z: b.Z})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ref.T-alt.T) > 1e-9 {
+			t.Fatalf("bus makespan depends on order: %v vs %v", ref.T, alt.T)
+		}
+	}
+}
+
+func TestSolveStarEqualFinish(t *testing.T) {
+	s := &Star{W0: 2, W: []float64{1, 3, 2}, Z: []float64{0.2, 0.1, 0.4}}
+	sol, err := SolveStarBestOrder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sol.Alpha0
+	for _, a := range sol.Alpha {
+		sum += a
+	}
+	if math.Abs(sum-1) > tol {
+		t.Fatalf("star allocation sums to %v", sum)
+	}
+	ts := StarFinishTimes(s, sol.Alpha0, sol.Alpha, sol.Order)
+	for i, ti := range ts {
+		if math.Abs(ti-sol.T) > tol {
+			t.Fatalf("star T[%d]=%v, want %v", i, ti, sol.T)
+		}
+	}
+}
+
+func TestSolveStarRejectsBadOrder(t *testing.T) {
+	s := &Star{W0: 1, W: []float64{1, 1}, Z: []float64{0.1, 0.1}}
+	for _, order := range [][]int{{0}, {0, 0}, {0, 2}, {-1, 1}} {
+		if _, err := SolveStar(s, order); err == nil {
+			t.Fatalf("order %v accepted", order)
+		}
+	}
+}
+
+func TestOptimalStarOrderSortsByLink(t *testing.T) {
+	s := &Star{W0: 1, W: []float64{5, 1, 3}, Z: []float64{0.3, 0.2, 0.1}}
+	order := OptimalStarOrder(s)
+	want := []int{2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOptimalStarOrderBeatsOthers(t *testing.T) {
+	// The ascending-z rule must weakly dominate every permutation (3 children
+	// -> 6 permutations).
+	s := &Star{W0: 2, W: []float64{1.5, 2.5, 1.1}, Z: []float64{0.5, 0.05, 0.2}}
+	best, err := SolveStarBestOrder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		sol, err := SolveStar(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.T < best.T-tol {
+			t.Fatalf("order %v beats the optimal rule: %v < %v", p, sol.T, best.T)
+		}
+	}
+}
+
+func TestStarEquivalentMatchesChainForOneChild(t *testing.T) {
+	// A star with a single child is exactly the two-processor chain.
+	n, _ := NewNetwork([]float64{2, 3}, []float64{0.5})
+	chainSol := MustSolveBoundary(n)
+	star := &Star{W0: 2, W: []float64{3}, Z: []float64{0.5}}
+	starSol, err := SolveStar(star, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(starSol.T-chainSol.Makespan()) > tol {
+		t.Fatalf("star %v vs chain %v", starSol.T, chainSol.Makespan())
+	}
+}
+
+func TestSolveTreeChainMatchesBoundary(t *testing.T) {
+	r := xrand.New(11)
+	for trial := 0; trial < 10; trial++ {
+		n := randomChain(r, 1+r.Intn(10))
+		chain := MustSolveBoundary(n)
+		tree, err := SolveTree(Chain(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tree.T-chain.Makespan()) > 1e-9 {
+			t.Fatalf("tree-as-chain %v vs boundary %v", tree.T, chain.Makespan())
+		}
+	}
+}
+
+func TestSolveTreeStarMatchesStar(t *testing.T) {
+	s := &Star{W0: 2, W: []float64{1, 3, 2}, Z: []float64{0.2, 0.1, 0.4}}
+	root := &TreeNode{W: s.W0}
+	for i := range s.W {
+		root.Children = append(root.Children, TreeEdge{Z: s.Z[i], Node: &TreeNode{W: s.W[i]}})
+	}
+	tree, err := SolveTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, _ := SolveStarBestOrder(s)
+	if math.Abs(tree.T-star.T) > tol {
+		t.Fatalf("tree-as-star %v vs star %v", tree.T, star.T)
+	}
+}
+
+func TestSolveTreeInvariants(t *testing.T) {
+	// Random binary-ish tree: allocation sums to 1, all finish together.
+	r := xrand.New(12)
+	var build func(depth int) *TreeNode
+	build = func(depth int) *TreeNode {
+		node := &TreeNode{W: r.Uniform(0.5, 4)}
+		if depth > 0 {
+			kids := 1 + r.Intn(3)
+			for k := 0; k < kids; k++ {
+				node.Children = append(node.Children, TreeEdge{
+					Z:    r.Uniform(0.05, 0.5),
+					Node: build(depth - 1),
+				})
+			}
+		}
+		return node
+	}
+	for trial := 0; trial < 10; trial++ {
+		root := build(3)
+		ta, err := SolveTree(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ta.AlphaSum()-1) > 1e-9 {
+			t.Fatalf("tree alpha sum %v", ta.AlphaSum())
+		}
+		if spread := ta.TreeFinishSpread(); spread > 1e-9*ta.T {
+			t.Fatalf("tree finish spread %v (T=%v)", spread, ta.T)
+		}
+		if len(ta.Alpha) != root.CountNodes() {
+			t.Fatalf("allocated %d of %d nodes", len(ta.Alpha), root.CountNodes())
+		}
+	}
+}
+
+func TestTreeValidate(t *testing.T) {
+	bad := &TreeNode{W: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative W accepted")
+	}
+	badEdge := &TreeNode{W: 1, Children: []TreeEdge{{Z: -0.5, Node: &TreeNode{W: 1}}}}
+	if err := badEdge.Validate(); err == nil {
+		t.Fatal("negative Z accepted")
+	}
+	var nilNode *TreeNode
+	if err := nilNode.Validate(); err == nil {
+		t.Fatal("nil node accepted")
+	}
+}
+
+func TestTreeFlattenPreorder(t *testing.T) {
+	leaf1, leaf2 := &TreeNode{W: 1}, &TreeNode{W: 2}
+	mid := &TreeNode{W: 3, Children: []TreeEdge{{Z: 0.1, Node: leaf1}}}
+	root := &TreeNode{W: 4, Children: []TreeEdge{{Z: 0.1, Node: mid}, {Z: 0.2, Node: leaf2}}}
+	flat := root.Flatten()
+	want := []*TreeNode{root, mid, leaf1, leaf2}
+	if len(flat) != len(want) {
+		t.Fatalf("flatten length %d", len(flat))
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("preorder broken at %d", i)
+		}
+	}
+}
+
+func TestSolveInteriorBoundaryDegenerate(t *testing.T) {
+	// root=0 must reproduce the boundary solution.
+	r := xrand.New(13)
+	n := randomChain(r, 6)
+	boundary := MustSolveBoundary(n)
+	ia, err := SolveInterior(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ia.T-boundary.Makespan()) > 1e-9 {
+		t.Fatalf("interior(root=0) %v vs boundary %v", ia.T, boundary.Makespan())
+	}
+	for i := range ia.Alpha {
+		if math.Abs(ia.Alpha[i]-boundary.Alpha[i]) > 1e-9 {
+			t.Fatalf("alpha[%d] %v vs %v", i, ia.Alpha[i], boundary.Alpha[i])
+		}
+	}
+}
+
+func TestSolveInteriorMirroredDegenerate(t *testing.T) {
+	// root=m must match the boundary solution of the reversed chain.
+	w := []float64{1.5, 2.5, 0.8, 3.0}
+	z := []float64{0.2, 0.4, 0.1}
+	n, _ := NewNetwork(w, z)
+	ia, err := SolveInterior(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := []float64{3.0, 0.8, 2.5, 1.5}
+	rz := []float64{0.1, 0.4, 0.2}
+	rn, _ := NewNetwork(rw, rz)
+	rb := MustSolveBoundary(rn)
+	if math.Abs(ia.T-rb.Makespan()) > 1e-9 {
+		t.Fatalf("interior(root=m) %v vs mirrored boundary %v", ia.T, rb.Makespan())
+	}
+}
+
+func TestSolveInteriorEqualFinish(t *testing.T) {
+	r := xrand.New(14)
+	for trial := 0; trial < 20; trial++ {
+		n := randomChain(r, 2+r.Intn(10))
+		root := r.Intn(n.Size())
+		ia, err := SolveInterior(n, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, a := range ia.Alpha {
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("interior alpha sum %v", sum)
+		}
+		ts := InteriorFinishTimes(n, ia)
+		for i, ti := range ts {
+			if ia.Alpha[i] <= 0 {
+				continue
+			}
+			if math.Abs(ti-ia.T) > 1e-8*math.Max(1, ia.T) {
+				t.Fatalf("trial %d root %d: T[%d]=%v, want %v", trial, root, i, ti, ia.T)
+			}
+		}
+	}
+}
+
+func TestSolveInteriorBeatsWorseRoot(t *testing.T) {
+	// A central root should beat a boundary root on a homogeneous chain
+	// with non-trivial links (it can feed both arms).
+	w := []float64{1, 1, 1, 1, 1}
+	z := []float64{0.3, 0.3, 0.3, 0.3}
+	n, _ := NewNetwork(w, z)
+	end, _ := SolveInterior(n, 0)
+	mid, _ := SolveInterior(n, 2)
+	if mid.T >= end.T {
+		t.Fatalf("interior root not better: mid %v vs end %v", mid.T, end.T)
+	}
+}
+
+func TestSolveInteriorRootRange(t *testing.T) {
+	n, _ := NewNetwork([]float64{1, 1}, []float64{0.1})
+	if _, err := SolveInterior(n, -1); err == nil {
+		t.Fatal("negative root accepted")
+	}
+	if _, err := SolveInterior(n, 2); err == nil {
+		t.Fatal("root > m accepted")
+	}
+}
+
+func TestSolveInteriorSingleProcessor(t *testing.T) {
+	n, _ := NewNetwork([]float64{2}, nil)
+	ia, err := SolveInterior(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia.Alpha[0] != 1 || math.Abs(ia.T-2) > tol {
+		t.Fatalf("degenerate interior: %+v", ia)
+	}
+}
+
+// Property: interior solve at any root is feasible and equal-finish.
+func TestQuickInteriorInvariants(t *testing.T) {
+	f := func(seed uint64, mRaw, rootRaw uint8) bool {
+		m := int(mRaw%12) + 1
+		r := xrand.New(seed)
+		n := randomChain(r, m)
+		root := int(rootRaw) % n.Size()
+		ia, err := SolveInterior(n, root)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, a := range ia.Alpha {
+			if a < -tol {
+				return false
+			}
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		ts := InteriorFinishTimes(n, ia)
+		for i, ti := range ts {
+			if ia.Alpha[i] > 0 && math.Abs(ti-ia.T) > 1e-7*math.Max(1, ia.T) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestInteriorRoot(t *testing.T) {
+	// On a homogeneous chain with uniform links the best entry point is
+	// (near) the middle; at the ends it degenerates to the boundary case.
+	n, _ := NewNetwork([]float64{1, 1, 1, 1, 1}, []float64{0.3, 0.3, 0.3, 0.3})
+	root, best, err := BestInteriorRoot(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 2 {
+		t.Fatalf("best root %d, want the middle (2)", root)
+	}
+	for r := 0; r <= n.M(); r++ {
+		ia, err := SolveInterior(n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ia.T < best.T-1e-12 {
+			t.Fatalf("root %d beats the reported best: %v < %v", r, ia.T, best.T)
+		}
+	}
+	bad := &Network{W: []float64{-1}, Z: []float64{0}}
+	if _, _, err := BestInteriorRoot(bad); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}

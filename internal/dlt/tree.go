@@ -1,0 +1,191 @@
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TreeNode is a processor in a tree network (the topology of the authors'
+// companion mechanism for tree networks, Carroll & Grosu IPDPS 2006). The
+// load originates at the tree root. Each child is reached over its own link.
+type TreeNode struct {
+	W        float64 // per-unit processing time of this processor
+	Children []TreeEdge
+}
+
+// TreeEdge connects a node to a child subtree over a link with per-unit
+// communication time Z.
+type TreeEdge struct {
+	Z    float64
+	Node *TreeNode
+}
+
+// Chain builds a TreeNode path equivalent to the linear network n; used to
+// cross-validate the tree solver against SolveBoundary.
+func Chain(n *Network) *TreeNode {
+	var build func(i int) *TreeNode
+	build = func(i int) *TreeNode {
+		node := &TreeNode{W: n.W[i]}
+		if i < n.M() {
+			node.Children = []TreeEdge{{Z: n.Z[i+1], Node: build(i + 1)}}
+		}
+		return node
+	}
+	return build(0)
+}
+
+// Validate checks the whole subtree.
+func (t *TreeNode) Validate() error {
+	if t == nil {
+		return errors.New("dlt: nil tree node")
+	}
+	if !(t.W > 0) || math.IsInf(t.W, 0) {
+		return fmt.Errorf("%w: node W=%v", ErrNonPositiveW, t.W)
+	}
+	for i, e := range t.Children {
+		if e.Z < 0 || math.IsNaN(e.Z) || math.IsInf(e.Z, 0) {
+			return fmt.Errorf("%w: edge %d Z=%v", ErrNegativeZ, i, e.Z)
+		}
+		if err := e.Node.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountNodes returns the number of processors in the subtree.
+func (t *TreeNode) CountNodes() int {
+	n := 1
+	for _, e := range t.Children {
+		n += e.Node.CountNodes()
+	}
+	return n
+}
+
+// Flatten returns the subtree's nodes in preorder; TreeAllocation.Alpha uses
+// this indexing.
+func (t *TreeNode) Flatten() []*TreeNode {
+	out := []*TreeNode{t}
+	for _, e := range t.Children {
+		out = append(out, e.Node.Flatten()...)
+	}
+	return out
+}
+
+// TreeAllocation is the solution for a tree network.
+type TreeAllocation struct {
+	Alpha  map[*TreeNode]float64 // global fraction per node; sums to 1
+	WEq    map[*TreeNode]float64 // equivalent per-unit time of each subtree
+	Finish map[*TreeNode]float64 // finish time of each node for a unit load
+	T      float64               // makespan for a unit load
+	// Stars records, for each internal node, the equal-finish star solution
+	// over (node, equivalent children) computed during reduction. The tree
+	// mechanism (core.EvaluateTree) re-verifies its bonus terms from these.
+	Stars map[*TreeNode]*StarAllocation
+}
+
+// SolveTree computes the optimal allocation for a tree network by recursive
+// reduction: each child subtree collapses into an equivalent processor
+// (post-order), the node plus its equivalent children form a single-level
+// star solved with the optimal sequencing rule, and the star's equal-finish
+// time becomes the subtree's own equivalent time. A forward pass then splits
+// the load: the root's star solution fixes the share of each child subtree,
+// and every subtree distributes its share by its own (recursive) solution.
+func SolveTree(root *TreeNode) (*TreeAllocation, error) {
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	ta := &TreeAllocation{
+		Alpha:  make(map[*TreeNode]float64),
+		WEq:    make(map[*TreeNode]float64),
+		Finish: make(map[*TreeNode]float64),
+		Stars:  make(map[*TreeNode]*StarAllocation),
+	}
+
+	var reduce func(t *TreeNode) (float64, error)
+	reduce = func(t *TreeNode) (float64, error) {
+		if len(t.Children) == 0 {
+			ta.WEq[t] = t.W
+			return t.W, nil
+		}
+		star := &Star{W0: t.W, W: make([]float64, len(t.Children)), Z: make([]float64, len(t.Children))}
+		for i, e := range t.Children {
+			weq, err := reduce(e.Node)
+			if err != nil {
+				return 0, err
+			}
+			star.W[i] = weq
+			star.Z[i] = e.Z
+		}
+		sol, err := SolveStarBestOrder(star)
+		if err != nil {
+			return 0, err
+		}
+		ta.Stars[t] = sol
+		ta.WEq[t] = sol.T
+		return sol.T, nil
+	}
+	weq, err := reduce(root)
+	if err != nil {
+		return nil, err
+	}
+	ta.T = weq
+
+	// Forward pass: share is the fraction of the global load this subtree
+	// receives; arrive is the absolute time at which that share has fully
+	// arrived at the subtree's root.
+	var distribute func(t *TreeNode, share, arrive float64)
+	distribute = func(t *TreeNode, share, arrive float64) {
+		if len(t.Children) == 0 {
+			ta.Alpha[t] = share
+			ta.Finish[t] = arrive + share*t.W
+			return
+		}
+		plan := ta.Stars[t]
+		ta.Alpha[t] = share * plan.Alpha0
+		ta.Finish[t] = arrive + ta.Alpha[t]*t.W
+		// One-port: the node sends to children sequentially in the planned
+		// order while it computes its own retained share (front-end).
+		busy := arrive
+		for _, idx := range plan.Order {
+			childShare := share * plan.Alpha[idx]
+			busy += childShare * t.Children[idx].Z
+			distribute(t.Children[idx].Node, childShare, busy)
+		}
+	}
+	distribute(root, 1, 0)
+	return ta, nil
+}
+
+// TreeFinishSpread returns the gap between the earliest and latest finish
+// times over nodes with positive load — zero at the optimum (the tree
+// analogue of Theorem 2.1).
+func (ta *TreeAllocation) TreeFinishSpread() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for node, a := range ta.Alpha {
+		if a <= 0 {
+			continue
+		}
+		f := ta.Finish[node]
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return hi - lo
+}
+
+// AlphaSum returns the total allocated fraction (should be 1).
+func (ta *TreeAllocation) AlphaSum() float64 {
+	var s float64
+	for _, a := range ta.Alpha {
+		s += a
+	}
+	return s
+}

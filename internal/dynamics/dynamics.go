@@ -1,0 +1,194 @@
+// Package dynamics plays the bidding game the paper's introduction worries
+// about: processor owners are strategic, so what happens to a divisible-load
+// system when owners iteratively adjust their declared speeds to maximize
+// profit?
+//
+// The package pits two payment rules against each other under round-robin
+// best-response dynamics on a bid grid:
+//
+//   - the DLS-LBL rule (the paper's mechanism): because truth-telling is a
+//     dominant strategy (Theorem 5.3), every best response is the truthful
+//     bid and the dynamics converge to the truthful profile in one sweep,
+//     leaving the schedule optimal;
+//
+//   - a naive "declared-cost contract" that simply reimburses each owner
+//     its declared cost α_i(w)·w_i — the de facto arrangement when plain
+//     DLT (which assumes obedient processors) is deployed among selfish
+//     owners. Overbidding then raises the margin faster than it sheds
+//     load, bids inflate away from the truth, and the realized makespan
+//     degrades even though the allocator is still "optimal" for the bids
+//     it was given.
+//
+// Experiment E9 reports both trajectories; this is the quantitative form of
+// the paper's motivation for augmenting DLT with incentives.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/dlt"
+)
+
+// Rule prices one agent's outcome for a bid profile, assuming honest
+// execution at true speeds (the bid is the only strategic variable here;
+// internal/protocol covers execution-level deviations).
+type Rule interface {
+	Name() string
+	Utility(truth *dlt.Network, bids []float64, i int) (float64, error)
+}
+
+// DLSLBL is the paper's mechanism as a Rule.
+type DLSLBL struct {
+	Cfg core.Config
+}
+
+// Name implements Rule.
+func (DLSLBL) Name() string { return "DLS-LBL" }
+
+// Utility implements Rule via the analytic mechanism layer.
+func (r DLSLBL) Utility(truth *dlt.Network, bids []float64, i int) (float64, error) {
+	rep := core.Report{Bids: append([]float64(nil), bids...)}
+	rep.Bids[0] = truth.W[0] // obedient root
+	out, err := core.Evaluate(truth, rep, r.Cfg)
+	if err != nil {
+		return 0, err
+	}
+	return out.Payments[i].Utility, nil
+}
+
+// DeclaredCost is the naive contract: pay each owner its declared cost for
+// the assigned work, α_i(bids)·bid_i. The owner's true cost is
+// α_i(bids)·t_i, so its profit is α_i·(bid_i − t_i).
+type DeclaredCost struct{}
+
+// Name implements Rule.
+func (DeclaredCost) Name() string { return "declared-cost" }
+
+// Utility implements Rule.
+func (DeclaredCost) Utility(truth *dlt.Network, bids []float64, i int) (float64, error) {
+	bidNet := &dlt.Network{W: append([]float64(nil), bids...), Z: truth.Z}
+	bidNet.W[0] = truth.W[0]
+	sol, err := dlt.SolveBoundary(bidNet)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Alpha[i] * (bidNet.W[i] - truth.W[i]), nil
+}
+
+// Options tunes the dynamics.
+type Options struct {
+	// Grid is the multiplicative bid grid each agent searches over its
+	// true value. Empty means 0.5..3.0 in steps of 0.05.
+	Grid []float64
+	// MaxSweeps caps the round-robin passes; 0 means 60.
+	MaxSweeps int
+	// Tol is the minimum utility improvement that justifies moving; 0
+	// means 1e-9.
+	Tol float64
+}
+
+func (o *Options) fill() {
+	if len(o.Grid) == 0 {
+		for g := 0.5; g <= 3.0001; g += 0.05 {
+			o.Grid = append(o.Grid, g)
+		}
+	}
+	if o.MaxSweeps == 0 {
+		o.MaxSweeps = 60
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+}
+
+// Result is the outcome of one dynamics run.
+type Result struct {
+	Rule      string
+	Bids      []float64 // final bid profile (index 0 = root truth)
+	Sweeps    int       // full passes performed
+	Converged bool      // no agent moved in the final pass
+	// MeanInflation is the mean of bid_i/t_i over strategic agents.
+	MeanInflation float64
+	// Makespan is the REALIZED makespan: the allocator plans with the
+	// final bids but machines run at their true speeds.
+	Makespan float64
+	// OptMakespan is the makespan with truthful bids (the benchmark).
+	OptMakespan float64
+}
+
+// Degradation returns Makespan/OptMakespan — 1.0 means the incentive layer
+// preserved optimality.
+func (r *Result) Degradation() float64 { return r.Makespan / r.OptMakespan }
+
+var errRoot = errors.New("dynamics: network needs at least one strategic agent")
+
+// Run plays round-robin best-response dynamics from the truthful profile.
+func Run(rule Rule, truth *dlt.Network, opts Options) (*Result, error) {
+	if err := truth.Validate(); err != nil {
+		return nil, err
+	}
+	if truth.M() < 1 {
+		return nil, errRoot
+	}
+	opts.fill()
+
+	bids := append([]float64(nil), truth.W...)
+	res := &Result{Rule: rule.Name()}
+
+	for sweep := 1; sweep <= opts.MaxSweeps; sweep++ {
+		moved := false
+		for i := 1; i <= truth.M(); i++ {
+			bestBid, bestU := bids[i], math.Inf(-1)
+			if u, err := rule.Utility(truth, bids, i); err == nil {
+				bestU = u
+			} else {
+				return nil, fmt.Errorf("dynamics: pricing agent %d: %w", i, err)
+			}
+			for _, g := range opts.Grid {
+				cand := truth.W[i] * g
+				if cand == bids[i] {
+					continue
+				}
+				old := bids[i]
+				bids[i] = cand
+				u, err := rule.Utility(truth, bids, i)
+				bids[i] = old
+				if err != nil {
+					return nil, fmt.Errorf("dynamics: pricing agent %d: %w", i, err)
+				}
+				if u > bestU+opts.Tol {
+					bestU, bestBid = u, cand
+				}
+			}
+			if bestBid != bids[i] {
+				bids[i] = bestBid
+				moved = true
+			}
+		}
+		res.Sweeps = sweep
+		if !moved {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Bids = bids
+	var infl float64
+	for i := 1; i <= truth.M(); i++ {
+		infl += bids[i] / truth.W[i]
+	}
+	res.MeanInflation = infl / float64(truth.M())
+
+	// Realized makespan: plan from final bids, run at true speeds.
+	bidNet := &dlt.Network{W: append([]float64(nil), bids...), Z: truth.Z}
+	plan, err := dlt.SolveBoundary(bidNet)
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = dlt.Makespan(truth, plan.Alpha)
+	res.OptMakespan = dlt.MustSolveBoundary(truth).Makespan()
+	return res, nil
+}

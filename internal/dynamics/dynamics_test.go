@@ -1,0 +1,142 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+func randomChain(r *xrand.Rand, m int) *dlt.Network {
+	w := make([]float64, m+1)
+	z := make([]float64, m)
+	for i := range w {
+		w[i] = r.Uniform(0.5, 4)
+	}
+	for i := range z {
+		z[i] = r.Uniform(0.05, 0.6)
+	}
+	n, err := dlt.NewNetwork(w, z)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func TestDLSLBLConvergesToTruth(t *testing.T) {
+	r := xrand.New(1)
+	rule := DLSLBL{Cfg: core.DefaultConfig()}
+	for trial := 0; trial < 8; trial++ {
+		n := randomChain(r, 1+r.Intn(5))
+		res, err := Run(rule, n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d: DLS-LBL dynamics did not converge", trial)
+		}
+		for i := 1; i <= n.M(); i++ {
+			if math.Abs(res.Bids[i]-n.W[i]) > 1e-9 {
+				t.Fatalf("trial %d: agent %d settled at %v, truth %v", trial, i, res.Bids[i], n.W[i])
+			}
+		}
+		if math.Abs(res.MeanInflation-1) > 1e-9 {
+			t.Fatalf("trial %d: inflation %v", trial, res.MeanInflation)
+		}
+		if math.Abs(res.Degradation()-1) > 1e-9 {
+			t.Fatalf("trial %d: makespan degraded by %v under a strategyproof rule", trial, res.Degradation())
+		}
+	}
+}
+
+func TestDeclaredCostInflatesBids(t *testing.T) {
+	r := xrand.New(2)
+	for trial := 0; trial < 8; trial++ {
+		n := randomChain(r, 2+r.Intn(4))
+		res, err := Run(DeclaredCost{}, n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanInflation <= 1.05 {
+			t.Fatalf("trial %d: declared-cost contract did not inflate bids: %v", trial, res.MeanInflation)
+		}
+		if res.Degradation() < 1-1e-9 {
+			t.Fatalf("trial %d: degradation %v below 1 is impossible", trial, res.Degradation())
+		}
+	}
+}
+
+func TestDeclaredCostDegradesMakespan(t *testing.T) {
+	// On at least a solid majority of random chains the realized makespan
+	// under the naive contract is strictly worse than optimal.
+	r := xrand.New(3)
+	worse := 0
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		n := randomChain(r, 3)
+		res, err := Run(DeclaredCost{}, n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degradation() > 1+1e-6 {
+			worse++
+		}
+	}
+	if worse < trials*3/4 {
+		t.Fatalf("naive contract degraded only %d/%d runs", worse, trials)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	single, _ := dlt.NewNetwork([]float64{1}, nil)
+	if _, err := Run(DeclaredCost{}, single, Options{}); err == nil {
+		t.Fatal("no-strategic-agent network accepted")
+	}
+	bad := &dlt.Network{W: []float64{-1}, Z: []float64{0}}
+	if _, err := Run(DeclaredCost{}, bad, Options{}); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if len(o.Grid) == 0 || o.MaxSweeps != 60 || o.Tol != 1e-9 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+	// Grid covers the truthful point (g = 1) to machine precision.
+	found := false
+	for _, g := range o.Grid {
+		if math.Abs(g-1) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("grid misses the truthful bid")
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	if (DLSLBL{}).Name() != "DLS-LBL" || (DeclaredCost{}).Name() != "declared-cost" {
+		t.Fatal("rule names wrong")
+	}
+}
+
+func TestDynamicsDeterministic(t *testing.T) {
+	n, _ := dlt.NewNetwork([]float64{1, 2, 1.5}, []float64{0.2, 0.1})
+	a, err := Run(DeclaredCost{}, n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DeclaredCost{}, n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Bids {
+		if a.Bids[i] != b.Bids[i] {
+			t.Fatal("dynamics nondeterministic")
+		}
+	}
+}

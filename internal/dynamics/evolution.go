@@ -1,0 +1,178 @@
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// Evolutionary (replicator) dynamics over bidding strategies. Where Run
+// plays explicit best responses, Evolve asks the population question: if a
+// market of owners keeps imitating whatever bidding style earned the most,
+// where does the strategy mix settle?
+//
+// A strategy is a bid factor g (the owner declares g·t). Each generation,
+// strategy fitness is estimated by Monte-Carlo: random chains, every seat
+// filled by a strategy drawn from the current mix, the focal seat playing
+// the evaluated strategy; a discrete replicator step then reweights the mix
+// toward fitter strategies. Under a strategyproof rule g = 1 is dominant,
+// so the mix collapses onto the truth; under the declared-cost contract the
+// most inflated strategy wins — truthfulness is evolutionarily *unstable*
+// exactly as the paper's incentive argument predicts.
+
+// EvolutionConfig parameterizes Evolve.
+type EvolutionConfig struct {
+	// Strategies are the bid factors in play; empty means
+	// {0.5, 0.75, 1.0, 1.5, 2.0}.
+	Strategies []float64
+	// Generations to simulate (default 30).
+	Generations int
+	// SamplesPerGen is the number of Monte-Carlo evaluations per strategy
+	// per generation (default 24).
+	SamplesPerGen int
+	// M is the chain size of the sampled networks (default 4).
+	M int
+	// Eta is the replicator selection strength (default 2).
+	Eta float64
+	// Seed drives the sampling.
+	Seed uint64
+}
+
+func (c *EvolutionConfig) fill() {
+	if len(c.Strategies) == 0 {
+		c.Strategies = []float64{0.5, 0.75, 1.0, 1.5, 2.0}
+	}
+	if c.Generations == 0 {
+		c.Generations = 30
+	}
+	if c.SamplesPerGen == 0 {
+		c.SamplesPerGen = 24
+	}
+	if c.M == 0 {
+		c.M = 4
+	}
+	if c.Eta == 0 {
+		c.Eta = 2
+	}
+}
+
+// EvolutionResult is the trajectory of the strategy mix.
+type EvolutionResult struct {
+	Rule       string
+	Strategies []float64
+	// Shares[g] is the mix after generation g (Shares[0] is the uniform
+	// start).
+	Shares [][]float64
+	// Final is the settled mix; Dominant indexes its largest entry.
+	Final    []float64
+	Dominant int
+}
+
+// TruthShare returns the final share of the truthful strategy (factor
+// closest to 1).
+func (r *EvolutionResult) TruthShare() float64 {
+	best, bestDist := 0, math.Inf(1)
+	for i, g := range r.Strategies {
+		if d := math.Abs(g - 1); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return r.Final[best]
+}
+
+var errNoStrategies = errors.New("dynamics: need at least two strategies")
+
+// Evolve runs the replicator dynamics under the given payment rule.
+func Evolve(rule Rule, cfg EvolutionConfig) (*EvolutionResult, error) {
+	cfg.fill()
+	k := len(cfg.Strategies)
+	if k < 2 {
+		return nil, errNoStrategies
+	}
+	r := xrand.New(cfg.Seed)
+
+	shares := make([]float64, k)
+	for i := range shares {
+		shares[i] = 1 / float64(k)
+	}
+	res := &EvolutionResult{
+		Rule:       rule.Name(),
+		Strategies: append([]float64(nil), cfg.Strategies...),
+	}
+	res.Shares = append(res.Shares, append([]float64(nil), shares...))
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Common random numbers: every strategy is evaluated on the SAME
+		// sampled environments (network, opponents, focal seat), so the
+		// fitness comparison inherits the pointwise dominance of the rule
+		// instead of sampling noise.
+		fitness := make([]float64, k)
+		for rep := 0; rep < cfg.SamplesPerGen; rep++ {
+			truth := workload.Chain(r, workload.DefaultChainSpec(cfg.M))
+			bids := make([]float64, truth.Size())
+			bids[0] = truth.W[0]
+			for i := 1; i <= truth.M(); i++ {
+				bids[i] = truth.W[i] * cfg.Strategies[r.Choice(shares)]
+			}
+			focal := 1 + r.Intn(cfg.M)
+			for s := 0; s < k; s++ {
+				bids[focal] = truth.W[focal] * cfg.Strategies[s]
+				u, err := rule.Utility(truth, bids, focal)
+				if err != nil {
+					return nil, fmt.Errorf("dynamics: evolving %s: %w", rule.Name(), err)
+				}
+				fitness[s] += u / float64(cfg.SamplesPerGen)
+			}
+		}
+		// Discrete replicator step with exponential weights (stable for
+		// negative fitness values too).
+		mean := 0.0
+		for s := 0; s < k; s++ {
+			mean += shares[s] * fitness[s]
+		}
+		var norm float64
+		next := make([]float64, k)
+		for s := 0; s < k; s++ {
+			next[s] = shares[s] * math.Exp(cfg.Eta*(fitness[s]-mean))
+			norm += next[s]
+		}
+		for s := 0; s < k; s++ {
+			shares[s] = next[s] / norm
+		}
+		res.Shares = append(res.Shares, append([]float64(nil), shares...))
+	}
+	res.Final = append([]float64(nil), shares...)
+	res.Dominant = 0
+	for s := 1; s < k; s++ {
+		if res.Final[s] > res.Final[res.Dominant] {
+			res.Dominant = s
+		}
+	}
+	return res, nil
+}
+
+// realizedMixMakespan estimates the expected realized makespan when every
+// seat bids by the given mix (used by experiment E10 to price the welfare
+// loss of an evolved population).
+func RealizedMixMakespan(mix, strategies []float64, m int, samples int, seed uint64) (ratio float64, err error) {
+	r := xrand.New(seed)
+	var total, opt float64
+	for rep := 0; rep < samples; rep++ {
+		truth := workload.Chain(r, workload.DefaultChainSpec(m))
+		bids := append([]float64(nil), truth.W...)
+		for i := 1; i <= truth.M(); i++ {
+			bids[i] = truth.W[i] * strategies[r.Choice(mix)]
+		}
+		plan, err := dlt.SolveBoundary(&dlt.Network{W: bids, Z: truth.Z})
+		if err != nil {
+			return 0, err
+		}
+		total += dlt.Makespan(truth, plan.Alpha)
+		opt += dlt.MustSolveBoundary(truth).Makespan()
+	}
+	return total / opt, nil
+}

@@ -1,0 +1,98 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/core"
+)
+
+func TestEvolveDLSLBLSelectsTruth(t *testing.T) {
+	rule := DLSLBL{Cfg: core.DefaultConfig()}
+	res, err := Evolve(rule, EvolutionConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategies[res.Dominant] != 1.0 {
+		t.Fatalf("dominant strategy %v, want 1.0 (final mix %v)", res.Strategies[res.Dominant], res.Final)
+	}
+	if res.TruthShare() < 0.8 {
+		t.Fatalf("truth share %v after evolution", res.TruthShare())
+	}
+}
+
+func TestEvolveDeclaredCostSelectsInflation(t *testing.T) {
+	res, err := Evolve(DeclaredCost{}, EvolutionConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategies[res.Dominant] <= 1.0 {
+		t.Fatalf("declared-cost should select inflation, got %v (mix %v)",
+			res.Strategies[res.Dominant], res.Final)
+	}
+	if res.TruthShare() > 0.2 {
+		t.Fatalf("truth survived with share %v under the naive contract", res.TruthShare())
+	}
+}
+
+func TestEvolveSharesAreDistributions(t *testing.T) {
+	res, err := Evolve(DeclaredCost{}, EvolutionConfig{Seed: 3, Generations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shares) != 11 {
+		t.Fatalf("%d share snapshots, want 11", len(res.Shares))
+	}
+	for g, mix := range res.Shares {
+		var sum float64
+		for _, s := range mix {
+			if s < 0 {
+				t.Fatalf("gen %d: negative share %v", g, s)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("gen %d: shares sum to %v", g, sum)
+		}
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	a, err := Evolve(DeclaredCost{}, EvolutionConfig{Seed: 7, Generations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evolve(DeclaredCost{}, EvolutionConfig{Seed: 7, Generations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Final {
+		if a.Final[i] != b.Final[i] {
+			t.Fatal("evolution nondeterministic")
+		}
+	}
+}
+
+func TestEvolveValidation(t *testing.T) {
+	if _, err := Evolve(DeclaredCost{}, EvolutionConfig{Strategies: []float64{1}}); err == nil {
+		t.Fatal("single strategy accepted")
+	}
+}
+
+func TestRealizedMixMakespan(t *testing.T) {
+	strategies := []float64{1.0, 2.0}
+	truthful, err := RealizedMixMakespan([]float64{1, 0}, strategies, 4, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(truthful-1) > 1e-9 {
+		t.Fatalf("all-truthful mix should be optimal: ratio %v", truthful)
+	}
+	inflated, err := RealizedMixMakespan([]float64{0, 1}, strategies, 4, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflated <= 1 {
+		t.Fatalf("uniformly inflated mix should degrade: ratio %v", inflated)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"dlsmech/internal/des"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/stats"
+	"dlsmech/internal/table"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+func init() {
+	register("E8", "DES vs closed-form finish times", runE8)
+}
+
+// runE8 cross-validates the two implementations of the execution model: the
+// discrete-event simulator and the closed-form finish times (2.1)-(2.2).
+// On-plan they must agree to floating-point noise at every chain length.
+func runE8(seed uint64) (*Report, error) {
+	rep := &Report{ID: "E8", Title: "Simulator/closed-form agreement", Paper: "eqs (2.1)-(2.2) + Fig. 2 model"}
+	r := xrand.New(seed)
+	const trials = 15
+
+	tb := table.New("E8: max relative finish-time error, DES vs closed form",
+		"m", "max rel err", "max abs err")
+	worst := 0.0
+	for _, m := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		maxRel, maxAbs := 0.0, 0.0
+		for t := 0; t < trials; t++ {
+			n := workload.Chain(r, workload.DefaultChainSpec(m))
+			sol := dlt.MustSolveBoundary(n)
+			res, err := des.Run(des.Spec{Net: n, PlanHat: sol.AlphaHat})
+			if err != nil {
+				return nil, err
+			}
+			want := dlt.FinishTimes(n, sol.Alpha)
+			for i := range want {
+				rel := stats.RelErr(res.Finish[i], want[i], 1e-12)
+				if rel > maxRel {
+					maxRel = rel
+				}
+				if a := res.Finish[i] - want[i]; a > maxAbs {
+					maxAbs = a
+				} else if -a > maxAbs {
+					maxAbs = -a
+				}
+			}
+		}
+		if maxRel > worst {
+			worst = maxRel
+		}
+		tb.AddRowValues(m, maxRel, maxAbs)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.check(worst < 1e-9, "DES and closed form agree (worst rel err %.3g)", worst)
+	return rep, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/table"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+func init() {
+	register("A11", "Collusion between a shedder and a silent victim (mechanism limit)", runA11)
+}
+
+// runA11 probes a limit the paper does not claim to cover: DLS-LBL is
+// strategyproof for *individual* deviations, but overload detection relies
+// on the victim filing a grievance. If the victim colludes — accepts the
+// dumped load silently — the shedder keeps its full compensation while
+// skipping part of its work, the victim is exactly reimbursed by the
+// recompense E, and nobody is fined: the coalition's joint welfare strictly
+// improves at the mechanism's expense. The experiment measures the
+// coalition's gain and verifies that a *unilateral* silent victim (no
+// shedding partner) gains nothing — staying silent is only useful inside
+// the coalition.
+func runA11(seed uint64) (*Report, error) {
+	rep := &Report{ID: "A11", Title: "Collusion limit", Paper: "beyond the paper's threat model (individual deviations only)"}
+	cfg := core.DefaultConfig()
+	r := xrand.New(seed)
+	const trials = 10
+
+	tb := table.New("A11: shedder at P_i + silent victim at P_{i+1} ("+table.Cell(trials)+" random 6-chains)",
+		"case", "detections", "shedder ΔU", "victim ΔU", "coalition ΔU", "mechanism Δoutlay")
+	var honestCoalition, collusionCoalition, soloSilent float64
+	detectionsUnderCollusion := 0
+	for t := 0; t < trials; t++ {
+		n := workload.Chain(r, workload.DefaultChainSpec(5))
+		size := n.Size()
+		pos := 1 + r.Intn(size-2) // shedder needs a strategic successor
+		runSeed := seed + uint64(t)*101
+
+		honest, err := protocol.Run(protocol.Params{Net: n, Profile: agent.AllTruthful(size), Cfg: cfg, Seed: runSeed})
+		if err != nil {
+			return nil, err
+		}
+		// Reported shedding: the baseline deterrence case.
+		reported, err := protocol.Run(protocol.Params{
+			Net: n, Profile: agent.AllTruthful(size).WithDeviant(pos, agent.Shedder(0.4)),
+			Cfg: cfg, Seed: runSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Collusion: same shedder, silent victim.
+		colluded, err := protocol.Run(protocol.Params{
+			Net: n,
+			Profile: agent.AllTruthful(size).
+				WithDeviant(pos, agent.Shedder(0.4)).
+				WithDeviant(pos+1, agent.SilentVictim()),
+			Cfg: cfg, Seed: runSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Unilateral silence: nobody sheds; silence is a no-op.
+		solo, err := protocol.Run(protocol.Params{
+			Net: n, Profile: agent.AllTruthful(size).WithDeviant(pos+1, agent.SilentVictim()),
+			Cfg: cfg, Seed: runSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		honestCoalition += honest.Utilities[pos] + honest.Utilities[pos+1]
+		collusionCoalition += colluded.Utilities[pos] + colluded.Utilities[pos+1]
+		soloSilent += solo.Utilities[pos+1] - honest.Utilities[pos+1]
+		detectionsUnderCollusion += len(colluded.Detections)
+
+		if t == 0 {
+			addRow := func(name string, res *protocol.Result) {
+				tb.AddRowValues(name, len(res.Detections),
+					res.Utilities[pos]-honest.Utilities[pos],
+					res.Utilities[pos+1]-honest.Utilities[pos+1],
+					(res.Utilities[pos]+res.Utilities[pos+1])-(honest.Utilities[pos]+honest.Utilities[pos+1]),
+					res.Ledger.MechanismOutlay()-honest.Ledger.MechanismOutlay())
+			}
+			addRow("shedding, reported", reported)
+			addRow("shedding, colluding victim", colluded)
+			addRow("silent victim alone", solo)
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	gain := (collusionCoalition - honestCoalition) / trials
+	rep.check(detectionsUnderCollusion == 0, "collusion is invisible to the mechanism (0 detections in %d runs)", trials)
+	rep.check(gain > 0, "the coalition strictly profits (mean joint gain %.4g per unit load)", gain)
+	rep.check(soloSilent/trials >= -1e-9 && soloSilent/trials <= 1e-9,
+		"unilateral silence is worthless (ΔU %.3g) — the attack needs both parties", soloSilent/trials)
+	rep.addFinding("DLS-LBL (like the paper) targets individual deviations; coalition-proofness is an open problem. " +
+		"The recompense E that makes lone victims whole is exactly what funds the colluding pair.")
+	return rep, nil
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/table"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+func init() {
+	register("E5", "Lemma 5.1/5.2, Theorem 5.1: deviation detection", runE5)
+	register("E6", "Phase IV audit deterrence", runE6)
+	register("E7", "Theorem 5.2: solution bonus vs annoying agents", runE7)
+}
+
+// runE5 injects each deviant behavior of Lemma 5.1's case analysis at each
+// position of a chain and checks: the deviation is detected, only the
+// deviant is fined (Lemma 5.2), and the deviant ends up worse off than under
+// honest play (Theorem 5.1).
+func runE5(seed uint64) (*Report, error) {
+	rep := &Report{ID: "E5", Title: "Deviation detection & punishment", Paper: "Lemma 5.1/5.2, Theorem 5.1"}
+	cfg := core.DefaultConfig()
+	r := xrand.New(seed)
+	n := workload.Chain(r, workload.DefaultChainSpec(5))
+	size := n.Size()
+
+	behaviors := []struct {
+		b          agent.Behavior
+		positions  []int // where the fault can physically fire
+		terminates bool
+		violation  protocol.Violation
+	}{
+		{agent.Contradictor(), []int{1, 2, 3, 4, 5}, true, protocol.ViolationContradiction},
+		{agent.Miscomputer(), []int{1, 2, 3, 4}, true, protocol.ViolationWrongCompute}, // terminal has no successor
+		{agent.Shedder(0.4), []int{1, 2, 3, 4}, false, protocol.ViolationOverload},
+		{agent.FalseAccuser(), []int{1, 2, 3, 4, 5}, false, protocol.ViolationFalseAccuse},
+	}
+
+	tb := table.New("E5: one deviant per run, all positions (6-processor chain, F=10)",
+		"behavior", "position", "detected", "violation", "fine", "ΔU deviant", "innocents fined")
+	allDetected, onlyDeviantsFined, allUnprofitable := true, true, true
+	for _, bc := range behaviors {
+		for _, pos := range bc.positions {
+			prof := agent.AllTruthful(size).WithDeviant(pos, bc.b)
+			res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			honest, err := protocol.Run(protocol.Params{Net: n, Profile: agent.AllTruthful(size), Cfg: cfg, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			ds := res.DetectionsFor(pos)
+			detected := len(ds) == 1 && ds[0].Violation == bc.violation
+			if !detected {
+				allDetected = false
+			}
+			innocentsFined := 0
+			for _, d := range res.Detections {
+				if d.Offender != pos {
+					innocentsFined++
+				}
+			}
+			if innocentsFined > 0 {
+				onlyDeviantsFined = false
+			}
+			deltaU := res.Utilities[pos] - honest.Utilities[pos]
+			if deltaU >= -1e-9 {
+				allUnprofitable = false
+			}
+			fine := 0.0
+			if len(ds) > 0 {
+				fine = ds[0].Fine
+			}
+			tb.AddRowValues(bc.b.Label, pos, detected, string(bc.violation), fine, deltaU, innocentsFined)
+			if res.Completed == bc.terminates {
+				// terminates==true must imply !Completed and vice versa
+				allDetected = false
+			}
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.check(allDetected, "every deviation detected with the expected violation class")
+	rep.check(onlyDeviantsFined, "no innocent processor was ever fined (Lemma 5.2)")
+	rep.check(allUnprofitable, "every deviation strictly reduced the deviant's utility (Theorem 5.1)")
+	return rep, nil
+}
+
+// runE6 sweeps the audit probability q: an overcharger gains Δ when not
+// audited and pays F/q when caught, so its expected gain is (1−q)·Δ − F < 0
+// for any q as long as F > Δ. The sweep verifies both the detection
+// frequency (≈ q) and the deterrence (mean gain < 0) empirically.
+func runE6(seed uint64) (*Report, error) {
+	rep := &Report{ID: "E6", Title: "Audit deterrence", Paper: "Phase IV, Lemma 5.1 case (iv)"}
+	r := xrand.New(seed)
+	n := workload.Chain(r, workload.DefaultChainSpec(3))
+	const runs = 200
+	const delta = 0.5
+	deviant := 2
+
+	tb := table.New(fmt.Sprintf("E6: overcharger (+%.2g) at P%d, %d audit lotteries per q", delta, deviant, runs),
+		"q", "detect rate", "mean gain", "predicted gain (1-q)Δ-F")
+	allDeterred, ratesTrack := true, true
+	for _, q := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 1.0} {
+		cfg := core.Config{Fine: 10, AuditProb: q}
+		caught := 0
+		var gain float64
+		for s := uint64(0); s < runs; s++ {
+			runSeed := seed*1000003 + s*7919 + uint64(q*1000)
+			prof := agent.AllTruthful(n.Size()).WithDeviant(deviant, agent.Overcharger(delta))
+			res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: runSeed})
+			if err != nil {
+				return nil, err
+			}
+			honest, err := protocol.Run(protocol.Params{Net: n, Profile: agent.AllTruthful(n.Size()), Cfg: cfg, Seed: runSeed})
+			if err != nil {
+				return nil, err
+			}
+			if len(res.DetectionsFor(deviant)) > 0 {
+				caught++
+			}
+			gain += res.Utilities[deviant] - honest.Utilities[deviant]
+		}
+		rate := float64(caught) / runs
+		mean := gain / runs
+		predicted := (1-q)*delta - cfg.Fine
+		if mean >= 0 {
+			allDeterred = false
+		}
+		if math.Abs(rate-q) > 0.12 {
+			ratesTrack = false
+		}
+		tb.AddRowValues(q, rate, mean, predicted)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.check(allDeterred, "overcharging has negative expected gain at every q")
+	rep.check(ratesTrack, "empirical audit rate tracks q")
+	rep.addFinding("shape: mean gain ≈ (1−q)·Δ − F, the deterrence bound of [17]")
+	return rep, nil
+}
+
+// runE7 compares a data-corrupting (selfish-and-annoying) agent with and
+// without the solution bonus S of equation (4.13): without S corruption is
+// utility-neutral (nothing deters it); with S the corruptor forfeits S.
+func runE7(seed uint64) (*Report, error) {
+	rep := &Report{ID: "E7", Title: "Solution bonus", Paper: "Theorem 5.2 / eq (4.13)"}
+	r := xrand.New(seed)
+	n := workload.Chain(r, workload.DefaultChainSpec(4))
+	size := n.Size()
+	pos := 2
+
+	tb := table.New("E7: corruptor at P2 (5-processor chain)",
+		"S", "solution found", "ΔU corruptor", "corruption deterred")
+	var neutralNoS, deterredWithS bool
+	for _, s := range []float64{0, 0.02, 0.05, 0.1} {
+		cfg := core.DefaultConfig()
+		cfg.SolutionBonus = s
+		prof := agent.AllTruthful(size).WithDeviant(pos, agent.Corruptor())
+		res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		honest, err := protocol.Run(protocol.Params{Net: n, Profile: agent.AllTruthful(size), Cfg: cfg, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		delta := res.Utilities[pos] - honest.Utilities[pos]
+		deterred := delta < -1e-12
+		if s == 0 && math.Abs(delta) <= 1e-12 {
+			neutralNoS = true
+		}
+		if s > 0 && deterred {
+			deterredWithS = true
+		} else if s > 0 {
+			deterredWithS = false
+		}
+		tb.AddRowValues(s, res.SolutionFound, delta, deterred)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.check(neutralNoS, "without S, corruption is utility-neutral (nothing deters an annoying agent)")
+	rep.check(deterredWithS, "with any S > 0, corruption strictly reduces the corruptor's welfare")
+	return rep, nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"dlsmech/internal/core"
+	"dlsmech/internal/des"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/dynamics"
+	"dlsmech/internal/plot"
+	"dlsmech/internal/table"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+func init() {
+	register("E10", "Evolutionary stability of truthful bidding", runE10)
+	register("A12", "Numerical conditioning of Algorithm 1 at scale", runA12)
+}
+
+// runE10 runs replicator dynamics over bid-factor strategies: imitation of
+// whatever earns most. Under DLS-LBL the truthful strategy takes over the
+// population; under the naive declared-cost contract the most inflated
+// strategy wins, and the evolved population's realized makespan degrades —
+// the population-level version of E9's best-response story.
+func runE10(seed uint64) (*Report, error) {
+	rep := &Report{ID: "E10", Title: "Evolutionary stability", Paper: "Theorem 5.3, population form"}
+	strategies := []float64{0.5, 0.75, 1.0, 1.5, 2.0}
+
+	tb := table.New("E10: replicator dynamics over bid factors (uniform start, 30 generations)",
+		"rule", "dominant factor", "truth share", "realized/optimal makespan of evolved mix")
+	var truthWins, naiveLoses bool
+	for _, rule := range []dynamics.Rule{
+		dynamics.DLSLBL{Cfg: core.DefaultConfig()},
+		dynamics.DeclaredCost{},
+	} {
+		res, err := dynamics.Evolve(rule, dynamics.EvolutionConfig{Strategies: strategies, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := dynamics.RealizedMixMakespan(res.Final, strategies, 4, 40, seed^0xabc)
+		if err != nil {
+			return nil, err
+		}
+		switch rule.(type) {
+		case dynamics.DLSLBL:
+			truthWins = res.Strategies[res.Dominant] == 1.0 && res.TruthShare() > 0.8 && ratio < 1.02
+		case dynamics.DeclaredCost:
+			naiveLoses = res.Strategies[res.Dominant] > 1.0 && res.TruthShare() < 0.2 && ratio > 1.05
+		}
+		tb.AddRowValues(rule.Name(), res.Strategies[res.Dominant], res.TruthShare(), ratio)
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	// Trajectory of the truth share under both rules.
+	tr := table.New("E10: truth-strategy share per generation", "generation", "DLS-LBL", "declared-cost")
+	mech, err := dynamics.Evolve(dynamics.DLSLBL{Cfg: core.DefaultConfig()},
+		dynamics.EvolutionConfig{Strategies: strategies, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	naive, err := dynamics.Evolve(dynamics.DeclaredCost{},
+		dynamics.EvolutionConfig{Strategies: strategies, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	truthIdx := 2 // strategies[2] == 1.0
+	var gens, mechShare, naiveShare []float64
+	for g := 0; g < len(mech.Shares); g++ {
+		gens = append(gens, float64(g))
+		mechShare = append(mechShare, mech.Shares[g][truthIdx])
+		naiveShare = append(naiveShare, naive.Shares[g][truthIdx])
+		if g%5 == 0 {
+			tr.AddRowValues(g, mech.Shares[g][truthIdx], naive.Shares[g][truthIdx])
+		}
+	}
+	rep.Tables = append(rep.Tables, tr)
+	rep.Plots = append(rep.Plots, plot.Chart{
+		Title:  "E10: share of the truthful strategy per generation",
+		XLabel: "generation", YLabel: "population share",
+	}.Render(
+		plot.Series{Name: "DLS-LBL", X: gens, Y: mechShare},
+		plot.Series{Name: "declared-cost", X: gens, Y: naiveShare},
+	))
+
+	rep.check(truthWins, "under DLS-LBL the truthful strategy takes over and the evolved market stays optimal")
+	rep.check(naiveLoses, "under the declared-cost contract truth dies out and the evolved market degrades")
+	return rep, nil
+}
+
+// runA12 stress-tests the numerical behavior of Algorithm 1 on chains up to
+// 2^14 processors: the allocation must stay feasible, equal finish must
+// survive the length of the recurrence, and the makespan must remain
+// monotone in chain length.
+func runA12(seed uint64) (*Report, error) {
+	rep := &Report{ID: "A12", Title: "Conditioning at scale", Paper: "Algorithm 1 numerics"}
+	r := xrand.New(seed)
+
+	tb := table.New("A12: Algorithm 1 on long random chains",
+		"m+1", "makespan", "|1-Σα|", "rel finish spread", "min α", "underflowed α", "DES max rel err")
+	feasible, equalFinish, shrinking := true, true, true
+	underflowHorizon := -1
+	prevMk := 1e18
+	// Prefixes of one long chain, so the makespan column is comparable
+	// (adding processors to a FIXED chain never hurts).
+	full := workload.Chain(r, workload.DefaultChainSpec(16383))
+	for _, size := range []int{64, 256, 1024, 4096, 16384} {
+		n := &dlt.Network{W: full.W[:size], Z: full.Z[:size]}
+		sol := dlt.MustSolveBoundary(n)
+		var sum, minA float64
+		minA = 1
+		underflowed := 0
+		for i, a := range sol.Alpha {
+			sum += a
+			if a < minA {
+				minA = a
+			}
+			if a == 0 {
+				underflowed++
+				if underflowHorizon < 0 {
+					underflowHorizon = i
+				}
+			}
+		}
+		sumErr := sum - 1
+		if sumErr < 0 {
+			sumErr = -sumErr
+		}
+		spread := dlt.FinishSpread(n, sol.Alpha) / sol.Makespan()
+		// DES agreement at scale (the two implementations accumulate error
+		// differently; their difference bounds both).
+		sim, err := des.Run(des.Spec{Net: n, PlanHat: sol.AlphaHat})
+		if err != nil {
+			return nil, err
+		}
+		want := dlt.FinishTimes(n, sol.Alpha)
+		var desErr float64
+		for i := range want {
+			d := (sim.Finish[i] - want[i]) / sol.Makespan()
+			if d < 0 {
+				d = -d
+			}
+			if d > desErr {
+				desErr = d
+			}
+		}
+		if sumErr > 1e-9 || minA < 0 {
+			feasible = false
+		}
+		if spread > 1e-8 {
+			equalFinish = false
+		}
+		if sol.Makespan() > prevMk {
+			shrinking = false
+		}
+		prevMk = sol.Makespan()
+		tb.AddRowValues(size, sol.Makespan(), sumErr, spread, minA, underflowed, desErr)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.check(feasible, "allocation stays feasible (Σα ≡ 1, every α ≥ 0) up to 2^14 processors")
+	rep.check(equalFinish, "equal finish survives the full recurrence (rel spread ≤ 1e-8)")
+	rep.check(shrinking, "makespan never grows as the chain extends")
+	if underflowHorizon >= 0 {
+		rep.addFinding("Theorem 2.1's \"everyone participates\" meets float64 around hop %d: the geometric "+
+			"decay of α pushes distant shares below double precision to exactly 0 — mathematically positive, "+
+			"numerically vacuous; the makespan itself is converged long before (the chain saturates, cf. A1)",
+			underflowHorizon)
+	} else {
+		rep.addFinding("no α underflow observed up to 2^14 processors")
+	}
+	return rep, nil
+}

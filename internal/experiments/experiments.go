@@ -1,0 +1,134 @@
+// Package experiments regenerates every evaluation artifact recorded in
+// EXPERIMENTS.md. The paper itself is proof-based and reports no measured
+// tables, so the experiment set reproduces (a) its model figures and (b) a
+// measurable form of every theorem and lemma, plus the ablations DESIGN.md
+// calls out. Each experiment is a named Runner producing one Report; the
+// cmd/dlsexp tool prints them and bench_test.go wraps each in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dlsmech/internal/table"
+)
+
+// Report is the output of one experiment.
+type Report struct {
+	ID    string // e.g. "E3"
+	Title string
+	Paper string // the paper artifact this reproduces
+	// Tables carry the regenerated rows; Findings are the headline
+	// sentences EXPERIMENTS.md records (pass/fail style, with numbers);
+	// Plots are pre-rendered ASCII charts of the key series.
+	Tables   []*table.Table
+	Plots    []string
+	Findings []string
+}
+
+// Passed scans the findings for any that start with "FAIL".
+func (r *Report) Passed() bool {
+	for _, f := range r.Findings {
+		if len(f) >= 4 && f[:4] == "FAIL" {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Report) addFinding(format string, args ...any) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// check appends "ok: <desc>" or "FAIL: <desc>" depending on cond.
+func (r *Report) check(cond bool, format string, args ...any) {
+	prefix := "ok: "
+	if !cond {
+		prefix = "FAIL: "
+	}
+	r.Findings = append(r.Findings, prefix+fmt.Sprintf(format, args...))
+}
+
+// Runner regenerates one experiment. The seed makes stochastic sweeps
+// reproducible; every registered experiment must be deterministic in it.
+type Runner func(seed uint64) (*Report, error)
+
+type entry struct {
+	id, title string
+	run       Runner
+}
+
+var registry []entry
+
+func register(id, title string, run Runner) {
+	registry = append(registry, entry{id: id, title: title, run: run})
+}
+
+// orderKey ranks experiment IDs for presentation: figures (F*) first, then
+// theorem validations (E*), then ablations (A*), numerically within each
+// group.
+func orderKey(id string) int {
+	if len(id) < 2 {
+		return 1 << 20
+	}
+	rank := map[byte]int{'F': 0, 'E': 1, 'A': 2}[id[0]]
+	num := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 1 << 20
+		}
+		num = num*10 + int(c-'0')
+	}
+	return rank*1000 + num
+}
+
+// sortedRegistry returns the entries in presentation order.
+func sortedRegistry() []entry {
+	out := append([]entry(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].id) < orderKey(out[j].id) })
+	return out
+}
+
+// IDs lists the registered experiment IDs in presentation order.
+func IDs() []string {
+	entries := sortedRegistry()
+	ids := make([]string, len(entries))
+	for i, e := range entries {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// Titles maps IDs to titles.
+func Titles() map[string]string {
+	out := make(map[string]string, len(registry))
+	for _, e := range registry {
+		out[e.id] = e.title
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, seed uint64) (*Report, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.run(seed)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, known)
+}
+
+// RunAll executes every experiment in presentation order.
+func RunAll(seed uint64) ([]*Report, error) {
+	out := make([]*Report, 0, len(registry))
+	for _, e := range sortedRegistry() {
+		rep, err := e.run(seed)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

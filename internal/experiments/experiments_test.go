@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"F2", "F3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+		"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13", "A14", "A15"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries: %v", len(got), got)
+	}
+	have := map[string]bool{}
+	for _, id := range got {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+	titles := Titles()
+	for _, id := range want {
+		if titles[id] == "" {
+			t.Fatalf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestEveryExperimentPasses is the repository's reproduction gate: each
+// experiment regenerates its artifact and all of its checks must pass.
+func TestEveryExperimentPasses(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if id == "E6" && testing.Short() {
+				t.Skip("E6 runs 2400 protocol instances; skipped with -short")
+			}
+			rep, err := Run(id, 12345)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id {
+				t.Fatalf("report id %q", rep.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			if len(rep.Findings) == 0 {
+				t.Fatal("no findings recorded")
+			}
+			if !rep.Passed() {
+				t.Fatalf("experiment failed:\n%s", strings.Join(rep.Findings, "\n"))
+			}
+			for _, tb := range rep.Tables {
+				if tb.NumRows() == 0 {
+					t.Fatalf("empty table %q", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestPlotsPresent(t *testing.T) {
+	for _, id := range []string{"E3", "A1"} {
+		rep, err := Run(id, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Plots) == 0 {
+			t.Fatalf("%s produced no plots", id)
+		}
+		for _, p := range rep.Plots {
+			if !strings.Contains(p, "|") {
+				t.Fatalf("%s plot looks empty:\n%s", id, p)
+			}
+		}
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"F3", "E1", "E3"} {
+		a, err := Run(id, 777)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, 777)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Tables[0].String() != b.Tables[0].String() {
+			t.Fatalf("%s not deterministic", id)
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	a, _ := Run("E1", 1)
+	b, _ := Run("E1", 2)
+	if a.Tables[0].String() == b.Tables[0].String() {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestPassedDetectsFailure(t *testing.T) {
+	r := &Report{}
+	r.check(true, "fine")
+	if !r.Passed() {
+		t.Fatal("passing report flagged failed")
+	}
+	r.check(false, "broken")
+	if r.Passed() {
+		t.Fatal("failing report flagged passed")
+	}
+}

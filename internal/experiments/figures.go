@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+
+	"dlsmech/internal/des"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/stats"
+	"dlsmech/internal/table"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+func init() {
+	register("F2", "Gantt chart of an optimal schedule (paper Figure 2)", runF2)
+	register("F3", "Two-processor reduction equivalence (paper Figure 3)", runF3)
+}
+
+// runF2 regenerates Figure 2: the execution timeline of an optimal schedule
+// on a boundary-origination chain, with communication above and computation
+// below the axis. The discrete-event simulator produces the intervals; the
+// closed form (2.1)-(2.2) is the reference.
+func runF2(seed uint64) (*Report, error) {
+	rep := &Report{ID: "F2", Title: "Gantt chart of optimal schedule", Paper: "Figure 2"}
+	r := xrand.New(seed)
+	n := workload.Chain(r, workload.DefaultChainSpec(4))
+	res, err := des.RunPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	sol := dlt.MustSolveBoundary(n)
+
+	tb := table.New("F2: per-processor schedule (m+1=5, unit load)",
+		"proc", "w", "z(in)", "alpha", "arrive", "finish", "closed-form finish")
+	want := dlt.FinishTimes(n, sol.Alpha)
+	var maxErr float64
+	for i := 0; i < n.Size(); i++ {
+		if e := math.Abs(res.Finish[i] - want[i]); e > maxErr {
+			maxErr = e
+		}
+		tb.AddRowValues(i, n.W[i], n.Z[i], sol.Alpha[i], res.Arrive[i], res.Finish[i], want[i])
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	gantt := des.Gantt{Width: 64}.RenderString(res)
+	gt := table.New("F2: ASCII Gantt (comm '#' above comp '@', cf. paper Fig. 2)", "row")
+	for _, line := range strings.Split(strings.TrimRight(gantt, "\n"), "\n") {
+		gt.AddRow(line)
+	}
+	rep.Tables = append(rep.Tables, gt)
+
+	spread := dlt.FinishSpread(n, sol.Alpha)
+	rep.check(spread < 1e-9, "all compute bars end together (spread %.3g, Theorem 2.1 shape)", spread)
+	rep.check(maxErr < 1e-9, "DES timeline matches equations (2.1)-(2.2) to %.3g", maxErr)
+	return rep, nil
+}
+
+// runF3 regenerates Figure 3: collapsing two neighbors into one equivalent
+// processor. For random (w_i, z, w_{i+1}) triples the equivalent time w̄
+// must equal the optimal makespan of the explicit two-processor network,
+// and recursing the reduction over longer chains must reproduce the full
+// solver's makespan.
+func runF3(seed uint64) (*Report, error) {
+	rep := &Report{ID: "F3", Title: "Reduction to equivalent processors", Paper: "Figure 3 / eqs (2.3)-(2.7)"}
+	r := xrand.New(seed)
+
+	tb := table.New("F3: pairwise reduction vs explicit 2-chain solve",
+		"w_i", "z", "w_{i+1}", "alphaHat", "wEq", "explicit makespan", "|diff|")
+	var worstPair float64
+	for trial := 0; trial < 8; trial++ {
+		wi, z, ws := r.Uniform(0.5, 4), r.Uniform(0.01, 1), r.Uniform(0.5, 4)
+		hat, weq := dlt.EquivTwo(wi, z, ws)
+		n, err := dlt.NewNetwork([]float64{wi, ws}, []float64{z})
+		if err != nil {
+			return nil, err
+		}
+		mk := dlt.MustSolveBoundary(n).Makespan()
+		diff := math.Abs(weq - mk)
+		if diff > worstPair {
+			worstPair = diff
+		}
+		tb.AddRowValues(wi, z, ws, hat, weq, mk, diff)
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	// Recursive reduction: w̄_0 of the solver equals the measured makespan
+	// for chains of increasing length.
+	rt := table.New("F3: recursive reduction on full chains", "m+1", "wbar_0", "measured makespan", "rel err")
+	var worstChain float64
+	for _, m := range []int{2, 4, 8, 16, 32} {
+		n := workload.Chain(r, workload.DefaultChainSpec(m))
+		sol := dlt.MustSolveBoundary(n)
+		mk := dlt.Makespan(n, sol.Alpha)
+		rel := stats.RelErr(sol.WBar[0], mk, 1e-12)
+		if rel > worstChain {
+			worstChain = rel
+		}
+		rt.AddRowValues(m+1, sol.WBar[0], mk, rel)
+	}
+	rep.Tables = append(rep.Tables, rt)
+
+	rep.check(worstPair < 1e-12, "pairwise w̄ equals explicit optimum (worst |diff| %.3g)", worstPair)
+	rep.check(worstChain < 1e-12, "recursive reduction equals measured makespan (worst rel err %.3g)", worstChain)
+	return rep, nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/plot"
+	"dlsmech/internal/stats"
+	"dlsmech/internal/table"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+func init() {
+	register("E3", "Theorem 5.3: strategyproofness (utility vs bid)", runE3)
+	register("E4", "Theorem 5.4: voluntary participation", runE4)
+}
+
+// runE3 draws the utility-vs-bid curves Lemma 5.3 analyzes: each agent's
+// utility as a function of its bid w_i = t_i·g, everyone else truthful, at
+// full-capacity execution. The curve must peak at g = 1. A second sweep
+// covers case (ii): truthful bid, slowed execution.
+func runE3(seed uint64) (*Report, error) {
+	rep := &Report{ID: "E3", Title: "Strategyproofness", Paper: "Lemma 5.3 / Theorem 5.3"}
+	cfg := core.DefaultConfig()
+	r := xrand.New(seed)
+	factors := []float64{0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.15, 1.3, 1.6, 2.0}
+
+	// Reference network: the utility curve table.
+	n := workload.Chain(r, workload.DefaultChainSpec(4))
+	headers := []string{"agent \\ g"}
+	for _, g := range factors {
+		headers = append(headers, table.Cell(g))
+	}
+	tb := table.New("E3: utility of agent i bidding t_i·g (others truthful; 5-processor chain)", headers...)
+	peaksAtTruth := true
+	for i := 1; i <= n.M(); i++ {
+		utils, err := core.UtilityCurve(n, i, factors, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if factors[stats.ArgMax(utils)] != 1.0 {
+			peaksAtTruth = false
+		}
+		row := []any{table.Cell(i)}
+		for _, u := range utils {
+			row = append(row, u)
+		}
+		tb.AddRowValues(row...)
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	// Chart of the first three curves: the peak at g = 1 is the theorem.
+	var curves []plot.Series
+	for i := 1; i <= n.M() && i <= 3; i++ {
+		utils, err := core.UtilityCurve(n, i, factors, cfg)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, plot.Series{Name: fmt.Sprintf("agent %d", i), X: factors, Y: utils})
+	}
+	rep.Plots = append(rep.Plots, plot.Chart{
+		Title:  "E3: utility vs bid factor g (every curve peaks at g=1)",
+		XLabel: "bid factor g", YLabel: "utility",
+	}.Render(curves...))
+
+	// Random scan: the largest gain any deviation achieves anywhere.
+	const scanNets = 30
+	worst := math.Inf(-1)
+	for t := 0; t < scanNets; t++ {
+		net := workload.Chain(r, workload.DefaultChainSpec(1+r.Intn(10)))
+		gain, err := core.StrategyproofViolation(net, factors, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if gain > worst {
+			worst = gain
+		}
+	}
+
+	// Case (ii): slowed execution at truthful bid.
+	st := table.New("E3: utility of agent 2 at truthful bid, slowed execution", "slowdown", "utility")
+	slowMonotone := true
+	prev := math.Inf(1)
+	for _, s := range []float64{1.0, 1.25, 1.5, 2.0, 3.0, 5.0} {
+		u, err := core.UtilityAtSpeed(n, 2, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if u > prev+1e-9 {
+			slowMonotone = false
+		}
+		prev = u
+		st.AddRowValues(s, u)
+	}
+	rep.Tables = append(rep.Tables, st)
+
+	rep.check(peaksAtTruth, "every utility curve peaks at the truthful bid (g=1)")
+	rep.check(worst <= 1e-9, "largest deviation gain over %d random chains: %.3g (≤ 0 up to fp noise)", scanNets, worst)
+	rep.check(slowMonotone, "utility non-increasing in execution slowdown (case (ii))")
+	return rep, nil
+}
+
+// runE4 validates voluntary participation: truthful utilities are
+// non-negative on random chains, the root's utility is identically zero,
+// and the truthful bonus closed form B_j = w_{j-1} − w̄_{j-1} holds.
+func runE4(seed uint64) (*Report, error) {
+	rep := &Report{ID: "E4", Title: "Voluntary participation", Paper: "Lemma 5.4 / Theorem 5.4"}
+	cfg := core.DefaultConfig()
+	r := xrand.New(seed)
+	const trials = 25
+
+	tb := table.New("E4: truthful utilities on random chains",
+		"m", "min utility", "mean utility", "max |root utility|", "max bonus identity gap")
+	minU, rootU, gapU := math.Inf(1), 0.0, 0.0
+	for _, m := range []int{1, 2, 4, 8, 16, 32, 64} {
+		rowMin, rowMean, rowRoot, rowGap := math.Inf(1), 0.0, 0.0, 0.0
+		var means []float64
+		for t := 0; t < trials; t++ {
+			n := workload.Chain(r, workload.DefaultChainSpec(m))
+			mu, ru, err := core.ParticipationViolation(n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			gap, err := core.BonusIdentityGap(n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out, err := core.EvaluateTruthful(n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			for j := 1; j < n.Size(); j++ {
+				sum += out.Payments[j].Utility
+			}
+			means = append(means, sum/float64(m))
+			if mu < rowMin {
+				rowMin = mu
+			}
+			if a := math.Abs(ru); a > rowRoot {
+				rowRoot = a
+			}
+			if gap > rowGap {
+				rowGap = gap
+			}
+		}
+		rowMean = stats.Mean(means)
+		tb.AddRowValues(m, rowMin, rowMean, rowRoot, rowGap)
+		if rowMin < minU {
+			minU = rowMin
+		}
+		if rowRoot > rootU {
+			rootU = rowRoot
+		}
+		if rowGap > gapU {
+			gapU = rowGap
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.check(minU >= -1e-12, "no truthful agent ever had negative utility (min %.3g)", minU)
+	rep.check(rootU <= 1e-12, "root utility identically zero (max |U_0| %.3g)", rootU)
+	rep.check(gapU <= 1e-9, "B_j = w_{j-1} − w̄_{j-1} holds truthfully (max gap %.3g)", gapU)
+	return rep, nil
+}

@@ -1,0 +1,224 @@
+// Package lp is a small dense linear-programming solver (two-phase primal
+// simplex with Bland's rule) used to cross-validate the DLT schedulers: the
+// LINEAR BOUNDARY-LINEAR problem is an LP — minimize T subject to the
+// finish-time constraints (2.1)-(2.2), which are linear in (α, T) — so the
+// closed-form Algorithm 1 can be checked against a completely independent
+// optimizer (experiment A13). The solver handles general problems
+//
+//	minimize    c·x
+//	subject to  A·x ≤ b
+//	            E·x = f
+//	            x ≥ 0
+//
+// with no assumptions on the signs of b or f. Bland's anti-cycling rule
+// trades speed for a termination guarantee, which is the right trade for a
+// verification tool.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is an LP in the form documented on the package.
+type Problem struct {
+	C    []float64   // objective coefficients, len n
+	A    [][]float64 // inequality rows (≤), each len n
+	B    []float64   // inequality right sides
+	E    [][]float64 // equality rows, each len n
+	F    []float64   // equality right sides
+	Name string      // optional, for error messages
+}
+
+// Solution is the optimum found.
+type Solution struct {
+	X   []float64
+	Obj float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+	ErrBadShape   = errors.New("lp: malformed problem")
+)
+
+const eps = 1e-10
+
+// Solve runs two-phase simplex on the problem.
+func Solve(p Problem) (*Solution, error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty objective", ErrBadShape)
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: A row %d has %d cols, want %d", ErrBadShape, i, len(row), n)
+		}
+	}
+	for i, row := range p.E {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: E row %d has %d cols, want %d", ErrBadShape, i, len(row), n)
+		}
+	}
+	if len(p.B) != len(p.A) || len(p.F) != len(p.E) {
+		return nil, fmt.Errorf("%w: rhs lengths", ErrBadShape)
+	}
+
+	// Standard form: x ≥ 0, rows A·x + s = b (slack s ≥ 0), E·x = f.
+	// Ensure non-negative right sides by negating rows as needed, then add
+	// one artificial variable per row for phase 1.
+	mA, mE := len(p.A), len(p.E)
+	m := mA + mE
+	nTotal := n + mA + m // structural + slacks + artificials
+
+	// tableau rows: [coeffs..., rhs]
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < mA; i++ {
+		row := make([]float64, nTotal+1)
+		copy(row, p.A[i])
+		row[n+i] = 1 // slack
+		row[nTotal] = p.B[i]
+		t[i] = row
+	}
+	for i := 0; i < mE; i++ {
+		row := make([]float64, nTotal+1)
+		copy(row, p.E[i])
+		row[nTotal] = p.F[i]
+		t[mA+i] = row
+	}
+	for i := 0; i < m; i++ {
+		if t[i][nTotal] < 0 {
+			for j := range t[i] {
+				t[i][j] = -t[i][j]
+			}
+		}
+		art := n + mA + i
+		t[i][art] = 1
+		basis[i] = art
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, nTotal)
+	for i := 0; i < m; i++ {
+		phase1[n+mA+i] = 1
+	}
+	if err := simplex(t, basis, phase1, nTotal); err != nil {
+		return nil, fmt.Errorf("%s phase 1: %w", p.Name, err)
+	}
+	var art float64
+	for i := 0; i < m; i++ {
+		if basis[i] >= n+mA {
+			art += t[i][nTotal]
+		}
+	}
+	if art > 1e-7 {
+		return nil, fmt.Errorf("%s: %w (artificial residue %g)", p.Name, ErrInfeasible, art)
+	}
+	// Drive any degenerate artificials out of the basis.
+	for i := 0; i < m; i++ {
+		if basis[i] < n+mA {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+mA; j++ {
+			if math.Abs(t[i][j]) > eps {
+				pivot(t, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; harmless.
+			continue
+		}
+	}
+
+	// Phase 2: forbid artificials and minimize the real objective.
+	phase2 := make([]float64, nTotal)
+	copy(phase2, p.C)
+	forbidden := nTotal - m // first artificial column
+	if err := simplexRestricted(t, basis, phase2, nTotal, forbidden); err != nil {
+		return nil, fmt.Errorf("%s phase 2: %w", p.Name, err)
+	}
+
+	sol := &Solution{X: make([]float64, n)}
+	for i, b := range basis {
+		if b < n {
+			sol.X[b] = t[i][nTotal]
+		}
+	}
+	for j := 0; j < n; j++ {
+		sol.Obj += p.C[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+// simplex minimizes obj over the tableau with Bland's rule.
+func simplex(t [][]float64, basis []int, obj []float64, nTotal int) error {
+	return simplexRestricted(t, basis, obj, nTotal, nTotal)
+}
+
+// simplexRestricted is simplex over columns [0, allowed).
+func simplexRestricted(t [][]float64, basis []int, obj []float64, nTotal, allowed int) error {
+	m := len(t)
+	for iter := 0; iter < 20000; iter++ {
+		// Reduced costs: r_j = c_j − c_B · B^{-1} A_j, computed from the
+		// tableau (which is already B^{-1}-applied).
+		enter := -1
+		for j := 0; j < allowed; j++ {
+			r := obj[j]
+			for i := 0; i < m; i++ {
+				r -= obj[basis[i]] * t[i][j]
+			}
+			if r < -eps {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test with Bland's tie-break (smallest basis index).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][nTotal] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func pivot(t [][]float64, basis []int, row, col int) {
+	pr := t[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * pr[j]
+		}
+	}
+	basis[row] = col
+}

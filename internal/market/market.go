@@ -1,0 +1,280 @@
+// Package market simulates the long-run economy the mechanism induces: a
+// population of processor owners with cash balances plays repeated
+// divisible-load jobs through the full verification protocol. Fines
+// accumulate, deviants go bankrupt and are replaced by fresh truthful
+// entrants, and the population composition — and with it the quality of the
+// realized schedules — evolves. This is the sustainability story behind
+// Theorem 5.1: the fine F does not only deter a single deviation, it makes
+// deviant business models insolvent.
+package market
+
+import (
+	"errors"
+	"fmt"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/xrand"
+)
+
+// Owner is one market participant.
+type Owner struct {
+	ID       int
+	Speed    float64 // true per-unit processing time
+	Behavior agent.Behavior
+	Balance  float64
+	Jobs     int  // jobs participated in
+	Bankrupt bool // ejected from the market
+}
+
+// Config parameterizes a market simulation.
+type Config struct {
+	// Owners is the initial population (≥ JobSize). Balances start at 0.
+	Owners []Owner
+	// JobSize is the number of strategic seats per job (the chain has
+	// JobSize+1 processors including the obedient root).
+	JobSize int
+	// Rounds is the number of jobs to run.
+	Rounds int
+	// BankruptcyAt ejects an owner once its balance drops below this
+	// (negative) threshold; a fresh truthful owner replaces it.
+	BankruptcyAt float64
+	// Mechanism parameters.
+	Mech core.Config
+	// Seed drives owner sampling, link times and protocol seeds.
+	Seed uint64
+}
+
+// RoundStat summarizes one job.
+type RoundStat struct {
+	Round      int
+	Detections int
+	Terminated bool
+	// MakespanRatio is realized/optimal for the sampled machines (1 = the
+	// schedule the mechanism promises when everyone is truthful).
+	MakespanRatio float64
+	DeviantSeats  int
+}
+
+// Result is the outcome of a market simulation.
+type Result struct {
+	Owners []Owner // final population (replacements included)
+	Rounds []RoundStat
+	// Bankruptcies counts ejections by behavior label.
+	Bankruptcies map[string]int
+	// MeanRatioFirst / MeanRatioLast average the makespan ratio over the
+	// first and last quarter of the rounds — the market's quality trend.
+	MeanRatioFirst, MeanRatioLast float64
+}
+
+// DeviantShare returns the fraction of non-bankrupt owners whose behavior
+// is not honest.
+func (r *Result) DeviantShare() float64 {
+	total, dev := 0, 0
+	for _, o := range r.Owners {
+		if o.Bankrupt {
+			continue
+		}
+		total++
+		if !o.Behavior.IsHonest() {
+			dev++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dev) / float64(total)
+}
+
+// Errors returned by Run.
+var (
+	ErrPopulation = errors.New("market: population smaller than a job")
+	ErrConfig     = errors.New("market: invalid configuration")
+)
+
+// Run simulates the market.
+func Run(cfg Config) (*Result, error) {
+	if cfg.JobSize < 1 || cfg.Rounds < 1 {
+		return nil, fmt.Errorf("%w: JobSize=%d Rounds=%d", ErrConfig, cfg.JobSize, cfg.Rounds)
+	}
+	if len(cfg.Owners) < cfg.JobSize {
+		return nil, fmt.Errorf("%w: %d owners, job needs %d", ErrPopulation, len(cfg.Owners), cfg.JobSize)
+	}
+	if cfg.BankruptcyAt >= 0 {
+		return nil, fmt.Errorf("%w: BankruptcyAt must be negative", ErrConfig)
+	}
+	if err := cfg.Mech.Validate(); err != nil {
+		return nil, err
+	}
+	r := xrand.New(cfg.Seed)
+	owners := append([]Owner(nil), cfg.Owners...)
+	nextID := 0
+	for _, o := range owners {
+		if o.ID >= nextID {
+			nextID = o.ID + 1
+		}
+	}
+
+	res := &Result{Bankruptcies: map[string]int{}}
+
+	alive := func() []int {
+		var idx []int
+		for i := range owners {
+			if !owners[i].Bankrupt {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		pool := alive()
+		r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		seats := pool[:cfg.JobSize]
+
+		// Build the job: obedient root + the sampled owners down the chain.
+		w := make([]float64, cfg.JobSize+1)
+		z := make([]float64, cfg.JobSize)
+		w[0] = r.Uniform(0.8, 1.2)
+		prof := agent.AllTruthful(cfg.JobSize + 1)
+		deviantSeats := 0
+		for k, oi := range seats {
+			w[k+1] = owners[oi].Speed
+			prof[k+1] = owners[oi].Behavior
+			if !owners[oi].Behavior.IsHonest() {
+				deviantSeats++
+			}
+			z[k] = r.Uniform(0.05, 0.3)
+		}
+		net, err := dlt.NewNetwork(w, z)
+		if err != nil {
+			return nil, err
+		}
+
+		run, err := protocol.Run(protocol.Params{
+			Net: net, Profile: prof, Cfg: cfg.Mech, Seed: cfg.Seed*1_000_003 + uint64(round),
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		stat := RoundStat{
+			Round:        round,
+			Detections:   len(run.Detections),
+			Terminated:   !run.Completed,
+			DeviantSeats: deviantSeats,
+		}
+		opt := dlt.MustSolveBoundary(net).Makespan()
+		if run.Completed {
+			// Realized makespan: the bid-derived plan executed at true
+			// speeds with the actual retained loads.
+			stat.MakespanRatio = realizedRatio(net, run, opt)
+		} else {
+			// A terminated job computes nothing: total loss, encoded as a
+			// large (but finite) quality penalty.
+			stat.MakespanRatio = 10
+		}
+		res.Rounds = append(res.Rounds, stat)
+
+		// Settle balances and bankruptcies.
+		for k, oi := range seats {
+			owners[oi].Balance += run.Utilities[k+1]
+			owners[oi].Jobs++
+			if owners[oi].Balance < cfg.BankruptcyAt {
+				owners[oi].Bankrupt = true
+				res.Bankruptcies[owners[oi].Behavior.Label]++
+				// A fresh truthful entrant with a similar machine joins.
+				owners = append(owners, Owner{
+					ID:       nextID,
+					Speed:    r.Uniform(0.8, 1.2) * owners[oi].Speed,
+					Behavior: agent.Truthful(),
+				})
+				nextID++
+			}
+		}
+	}
+
+	res.Owners = owners
+	q := len(res.Rounds) / 4
+	if q == 0 {
+		q = 1
+	}
+	res.MeanRatioFirst = meanRatio(res.Rounds[:q])
+	res.MeanRatioLast = meanRatio(res.Rounds[len(res.Rounds)-q:])
+	return res, nil
+}
+
+func meanRatio(rounds []RoundStat) float64 {
+	var sum float64
+	for _, s := range rounds {
+		sum += s.MakespanRatio
+	}
+	return sum / float64(len(rounds))
+}
+
+// realizedRatio computes the realized/optimal makespan of a completed run:
+// the actual retained loads executed at the owners' true speeds.
+func realizedRatio(net *dlt.Network, run *protocol.Result, opt float64) float64 {
+	var arrive, consumed, mk float64
+	for j := range run.Retained {
+		if j > 0 {
+			consumed += run.Retained[j-1]
+			arrive += (1 - consumed) * net.Z[j]
+		}
+		if run.Retained[j] > 0 {
+			if f := arrive + run.Retained[j]*net.W[j]; f > mk {
+				mk = f
+			}
+		}
+	}
+	return mk / opt
+}
+
+// UniformPopulation builds n owners with log-uniform speeds and the given
+// behavior mix (fractions must sum to ≤ 1; the remainder is truthful).
+func UniformPopulation(n int, mix map[string]float64, behaviors map[string]agent.Behavior, seed uint64) []Owner {
+	r := xrand.New(seed)
+	owners := make([]Owner, n)
+	// Deterministic ordering of the mix.
+	type entry struct {
+		label string
+		count int
+	}
+	var entries []entry
+	assigned := 0
+	for label, frac := range mix {
+		c := int(frac * float64(n))
+		entries = append(entries, entry{label, c})
+		assigned += c
+	}
+	// Sort for determinism (map iteration order is random).
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			if entries[j].label < entries[i].label {
+				entries[i], entries[j] = entries[j], entries[i]
+			}
+		}
+	}
+	idx := 0
+	for _, e := range entries {
+		for c := 0; c < e.count; c++ {
+			owners[idx].Behavior = behaviors[e.label]
+			idx++
+		}
+	}
+	for ; idx < n; idx++ {
+		owners[idx].Behavior = agent.Truthful()
+	}
+	for i := range owners {
+		owners[i].ID = i
+		owners[i].Speed = r.Uniform(0.7, 2.5)
+	}
+	// Shuffle so behaviors are not clustered by ID.
+	r.Shuffle(n, func(i, j int) { owners[i], owners[j] = owners[j], owners[i] })
+	for i := range owners {
+		owners[i].ID = i
+	}
+	return owners
+}

@@ -1,0 +1,169 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+)
+
+func mixPopulation(n int, seed uint64) []Owner {
+	return UniformPopulation(n, map[string]float64{
+		"shedder":      0.2,
+		"contradictor": 0.1,
+		"overcharger":  0.1,
+	}, map[string]agent.Behavior{
+		"shedder":      agent.Shedder(0.5),
+		"contradictor": agent.Contradictor(),
+		"overcharger":  agent.Overcharger(0.5),
+	}, seed)
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if _, err := Run(Config{JobSize: 0, Rounds: 1, BankruptcyAt: -1, Mech: cfg}); err == nil {
+		t.Fatal("JobSize=0 accepted")
+	}
+	if _, err := Run(Config{Owners: mixPopulation(2, 1), JobSize: 4, Rounds: 1, BankruptcyAt: -1, Mech: cfg}); err == nil {
+		t.Fatal("tiny population accepted")
+	}
+	if _, err := Run(Config{Owners: mixPopulation(8, 1), JobSize: 4, Rounds: 1, BankruptcyAt: 1, Mech: cfg}); err == nil {
+		t.Fatal("positive bankruptcy threshold accepted")
+	}
+	if _, err := Run(Config{Owners: mixPopulation(8, 1), JobSize: 4, Rounds: 1, BankruptcyAt: -1, Mech: core.Config{}}); err == nil {
+		t.Fatal("invalid mech config accepted")
+	}
+}
+
+func TestUniformPopulation(t *testing.T) {
+	owners := mixPopulation(20, 3)
+	if len(owners) != 20 {
+		t.Fatalf("%d owners", len(owners))
+	}
+	dev := 0
+	for i, o := range owners {
+		if o.ID != i {
+			t.Fatalf("IDs not renumbered: %d at %d", o.ID, i)
+		}
+		if o.Speed <= 0 {
+			t.Fatalf("speed %v", o.Speed)
+		}
+		if !o.Behavior.IsHonest() {
+			dev++
+		}
+	}
+	if dev != 8 { // 20 × (0.2+0.1+0.1)
+		t.Fatalf("%d deviants, want 8", dev)
+	}
+	// Deterministic in the seed.
+	again := mixPopulation(20, 3)
+	for i := range owners {
+		if owners[i].Speed != again[i].Speed || owners[i].Behavior.Label != again[i].Behavior.Label {
+			t.Fatal("population not deterministic")
+		}
+	}
+}
+
+func TestDeviantsGoBankrupt(t *testing.T) {
+	cfg := Config{
+		Owners:       mixPopulation(20, 5),
+		JobSize:      4,
+		Rounds:       150,
+		BankruptcyAt: -15,
+		Mech:         core.DefaultConfig(),
+		Seed:         5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every bankruptcy is a deviant behavior; no truthful owner ever goes
+	// bankrupt (voluntary participation: truthful utility ≥ 0).
+	if res.Bankruptcies["truthful"] != 0 {
+		t.Fatalf("truthful bankruptcies: %v", res.Bankruptcies)
+	}
+	var total int
+	for _, c := range res.Bankruptcies {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no deviant went bankrupt in 150 rounds")
+	}
+	// The surviving deviant share shrank from the initial 40%.
+	if res.DeviantShare() >= 0.4 {
+		t.Fatalf("deviant share did not shrink: %v", res.DeviantShare())
+	}
+	// Truthful owners accumulate non-negative balances.
+	for _, o := range res.Owners {
+		if o.Behavior.IsHonest() && !o.Bankrupt && o.Balance < -1e-9 {
+			t.Fatalf("truthful owner %d underwater: %v", o.ID, o.Balance)
+		}
+	}
+}
+
+func TestMarketQualityImproves(t *testing.T) {
+	cfg := Config{
+		Owners:       mixPopulation(20, 7),
+		JobSize:      4,
+		Rounds:       200,
+		BankruptcyAt: -15,
+		Mech:         core.DefaultConfig(),
+		Seed:         7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRatioLast >= res.MeanRatioFirst {
+		t.Fatalf("schedule quality did not improve: first %v, last %v",
+			res.MeanRatioFirst, res.MeanRatioLast)
+	}
+	if res.MeanRatioLast > 1.5 {
+		t.Fatalf("late-market quality still poor: %v", res.MeanRatioLast)
+	}
+}
+
+func TestAllTruthfulMarketIsClean(t *testing.T) {
+	owners := UniformPopulation(10, nil, nil, 11)
+	res, err := Run(Config{
+		Owners: owners, JobSize: 4, Rounds: 40, BankruptcyAt: -5,
+		Mech: core.DefaultConfig(), Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bankruptcies) != 0 {
+		t.Fatalf("bankruptcies in an honest market: %v", res.Bankruptcies)
+	}
+	for _, s := range res.Rounds {
+		if s.Detections != 0 || s.Terminated {
+			t.Fatalf("honest market produced detections: %+v", s)
+		}
+		if math.Abs(s.MakespanRatio-1) > 1e-9 {
+			t.Fatalf("honest job off-optimal: %v", s.MakespanRatio)
+		}
+	}
+}
+
+func TestMarketDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{
+			Owners: mixPopulation(12, 13), JobSize: 3, Rounds: 30,
+			BankruptcyAt: -10, Mech: core.DefaultConfig(), Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Owners) != len(b.Owners) {
+		t.Fatal("population sizes differ")
+	}
+	for i := range a.Owners {
+		if a.Owners[i].Balance != b.Owners[i].Balance {
+			t.Fatal("market nondeterministic")
+		}
+	}
+}

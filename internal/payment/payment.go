@@ -1,0 +1,167 @@
+// Package payment implements the payment infrastructure the DLS-LBL
+// mechanism assumes: an obedient bank that executes the transfers the
+// mechanism orders — compensation and bonus payments to processors, fines
+// collected from deviants, and rewards forwarded to reporters. Every
+// movement is journaled so experiments can audit exactly where welfare went.
+package payment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Mechanism is the account identifier of the mechanism itself (the payer of
+// compensations and the sink of audit fines).
+const Mechanism = -1
+
+// Kind classifies journal entries.
+type Kind string
+
+// Journal entry kinds.
+const (
+	KindCompensation Kind = "compensation" // C_j: measured cost reimbursement
+	KindBonus        Kind = "bonus"        // B_j: incentive payment
+	KindRecompense   Kind = "recompense"   // E_j: reimbursement for dumped load
+	KindFine         Kind = "fine"         // F: penalty taken from a deviant
+	KindReward       Kind = "reward"       // F forwarded to the reporter
+	KindAuditFine    Kind = "audit-fine"   // F/q: failed payment audit
+	KindSolutionBon  Kind = "solution"     // S: solution bonus
+	KindAdjustment   Kind = "adjustment"   // anything else (tests, manual ops)
+)
+
+// Entry is one journaled transfer. Amount is always non-negative; direction
+// is carried by From/To.
+type Entry struct {
+	Seq    int
+	From   int
+	To     int
+	Amount float64
+	Kind   Kind
+	Memo   string
+}
+
+// Errors returned by ledger operations.
+var (
+	ErrNegativeAmount = errors.New("payment: negative or non-finite amount")
+	ErrSelfTransfer   = errors.New("payment: transfer to self")
+)
+
+// Ledger is a thread-safe double-entry account book. Balances may go
+// negative: a fined processor owes the difference (the paper assumes fines
+// are enforceable).
+type Ledger struct {
+	mu       sync.Mutex
+	balances map[int]float64
+	journal  []Entry
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{balances: make(map[int]float64)}
+}
+
+// Transfer moves amount from one account to another and journals it.
+func (l *Ledger) Transfer(from, to int, amount float64, kind Kind, memo string) error {
+	if amount < 0 || math.IsNaN(amount) || math.IsInf(amount, 0) {
+		return fmt.Errorf("%w: %v", ErrNegativeAmount, amount)
+	}
+	if from == to {
+		return fmt.Errorf("%w: account %d", ErrSelfTransfer, from)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.balances[from] -= amount
+	l.balances[to] += amount
+	l.journal = append(l.journal, Entry{
+		Seq: len(l.journal), From: from, To: to, Amount: amount, Kind: kind, Memo: memo,
+	})
+	return nil
+}
+
+// Pay moves amount from the mechanism to an agent account.
+func (l *Ledger) Pay(to int, amount float64, kind Kind, memo string) error {
+	return l.Transfer(Mechanism, to, amount, kind, memo)
+}
+
+// Fine moves amount from an agent to the mechanism.
+func (l *Ledger) Fine(from int, amount float64, kind Kind, memo string) error {
+	return l.Transfer(from, Mechanism, amount, kind, memo)
+}
+
+// Balance returns the current balance of an account (0 if never touched).
+func (l *Ledger) Balance(id int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[id]
+}
+
+// Journal returns a copy of all entries in order.
+func (l *Ledger) Journal() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.journal...)
+}
+
+// EntriesTo returns the entries credited to the given account.
+func (l *Ledger) EntriesTo(id int) []Entry {
+	var out []Entry
+	for _, e := range l.Journal() {
+		if e.To == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EntriesOfKind returns the entries of the given kind.
+func (l *Ledger) EntriesOfKind(kind Kind) []Entry {
+	var out []Entry
+	for _, e := range l.Journal() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalByKind sums the transferred amounts per kind.
+func (l *Ledger) TotalByKind() map[Kind]float64 {
+	totals := make(map[Kind]float64)
+	for _, e := range l.Journal() {
+		totals[e.Kind] += e.Amount
+	}
+	return totals
+}
+
+// Accounts returns the sorted list of accounts that ever appeared.
+func (l *Ledger) Accounts() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]int, 0, len(l.balances))
+	for id := range l.balances {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// NetZero verifies conservation: the sum of all balances is zero (within
+// tol). Transfers only move money; they never create it.
+func (l *Ledger) NetZero(tol float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum float64
+	for _, b := range l.balances {
+		sum += b
+	}
+	return math.Abs(sum) <= tol
+}
+
+// MechanismOutlay returns how much the mechanism has paid out net of fines
+// collected — the budget the "price of incentives" ablation (A2) reports.
+func (l *Ledger) MechanismOutlay() float64 {
+	return -l.Balance(Mechanism)
+}

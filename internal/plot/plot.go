@@ -1,0 +1,149 @@
+// Package plot renders small ASCII line charts for the experiment reports:
+// utility-vs-bid curves, speedup saturation, multiround U-curves, replicator
+// trajectories. Charts are deterministic text, so they live happily in
+// EXPERIMENTS.md and in test assertions.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart configures the rendering.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	XLabel string
+	YLabel string
+	// LogY plots log10(y); all y values must then be positive.
+	LogY bool
+}
+
+// glyphs mark the series, in order.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart. Series with mismatched X/Y lengths or no points
+// are skipped; an all-empty chart renders a placeholder.
+func (c Chart) Render(series ...Series) string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	// Collect the plotted points.
+	type pt struct{ x, y float64 }
+	var valid []Series
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			continue
+		}
+		ok := true
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					ok = false
+					break
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(y) || math.IsInf(s.X[i], 0) || math.IsInf(y, 0) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		valid = append(valid, s)
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				y = math.Log10(y)
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(valid) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range valid {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			grid[row][col] = g
+		}
+	}
+
+	// Y-axis labels at top, middle, bottom.
+	ylab := func(frac float64) string {
+		v := ymin + frac*(ymax-ymin)
+		if c.LogY {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%10.4g", v)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 10)
+		switch r {
+		case 0:
+			label = ylab(1)
+		case height / 2:
+			label = ylab(0.5)
+		case height - 1:
+			label = ylab(0)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, grid[r])
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s %-*.4g%*.4g\n", strings.Repeat(" ", 10), width/2, xmin, width-width/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s x: %s   y: %s\n", strings.Repeat(" ", 10), c.XLabel, c.YLabel)
+	}
+	for si, s := range valid {
+		fmt.Fprintf(&b, "%s %c %s\n", strings.Repeat(" ", 10), glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Line is shorthand for a single-series chart.
+func Line(title string, x, y []float64) string {
+	return Chart{Title: title}.Render(Series{Name: "series", X: x, Y: y})
+}

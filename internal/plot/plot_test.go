@@ -1,0 +1,118 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Chart{Title: "demo", Width: 20, Height: 8}.Render(
+		Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+	)
+	if !strings.Contains(out, "demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("missing points:\n%s", out)
+	}
+	if !strings.Contains(out, "up") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+}
+
+func TestRenderMonotoneMapping(t *testing.T) {
+	// A rising series must put its max-y point on a higher row than its
+	// min-y point, and at the rightmost column.
+	out := Chart{Width: 21, Height: 7}.Render(
+		Series{Name: "s", X: []float64{0, 10}, Y: []float64{0, 5}},
+	)
+	lines := strings.Split(out, "\n")
+	var topRow, bottomRow, topCol, bottomCol int
+	topRow = -1
+	for r, line := range lines {
+		if i := strings.IndexByte(line, '*'); i >= 0 {
+			if topRow == -1 {
+				topRow, topCol = r, i
+			}
+			bottomRow, bottomCol = r, i
+		}
+	}
+	if topRow == -1 || topRow == bottomRow {
+		t.Fatalf("points not on distinct rows:\n%s", out)
+	}
+	if topCol <= bottomCol {
+		t.Fatalf("max-y point should be to the right of min-y point:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesGlyphs(t *testing.T) {
+	out := Chart{Width: 20, Height: 6}.Render(
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("series glyphs missing:\n%s", out)
+	}
+}
+
+func TestRenderSkipsBrokenSeries(t *testing.T) {
+	out := Chart{Width: 20, Height: 6}.Render(
+		Series{Name: "bad-len", X: []float64{0, 1}, Y: []float64{1}},
+		Series{Name: "nan", X: []float64{0, 1}, Y: []float64{1, math.NaN()}},
+		Series{Name: "ok", X: []float64{0, 1}, Y: []float64{1, 2}},
+	)
+	if strings.Contains(out, "bad-len") || strings.Contains(out, "nan") {
+		t.Fatalf("broken series not skipped:\n%s", out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("valid series dropped:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{}.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out := Chart{Width: 10, Height: 4}.Render(
+		Series{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}},
+	)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series missing:\n%s", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	out := Chart{Width: 30, Height: 8, LogY: true}.Render(
+		Series{Name: "exp", X: []float64{0, 1, 2, 3}, Y: []float64{1, 10, 100, 1000}},
+	)
+	// On a log axis the exponential is a straight line: the marked rows
+	// must step uniformly. Just sanity-check the extreme labels.
+	if !strings.Contains(out, "1000") {
+		t.Fatalf("top label missing:\n%s", out)
+	}
+	// Non-positive values invalidate the series under LogY.
+	out2 := Chart{LogY: true}.Render(Series{Name: "zero", X: []float64{0}, Y: []float64{0}})
+	if !strings.Contains(out2, "no data") {
+		t.Fatalf("non-positive log series not rejected:\n%s", out2)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	s := Series{Name: "s", X: []float64{0, 1, 2}, Y: []float64{3, 1, 2}}
+	if (Chart{}).Render(s) != (Chart{}).Render(s) {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestLineShorthand(t *testing.T) {
+	out := Line("t", []float64{0, 1}, []float64{1, 2})
+	if !strings.Contains(out, "t") || !strings.Contains(out, "*") {
+		t.Fatalf("shorthand broken:\n%s", out)
+	}
+}

@@ -1,0 +1,342 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dlsmech/internal/device"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/payment"
+	"dlsmech/internal/sign"
+	"dlsmech/internal/xrand"
+)
+
+// arbiter is the root's control plane: it receives evidence, substantiates
+// claims from signatures and public knowledge alone, moves fines and
+// rewards, and audits Phase IV bills. Calls are synchronous (the "control
+// channel" to the root); a mutex serializes them.
+type arbiter struct {
+	r  *runner
+	mu sync.Mutex
+
+	terminated bool
+	termReason string
+	detections []Detection
+}
+
+func newArbiter(r *runner) *arbiter { return &arbiter{r: r} }
+
+// terminate aborts the run (idempotent).
+func (a *arbiter) terminate(reason string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.terminateLocked(reason)
+}
+
+func (a *arbiter) terminateLocked(reason string) {
+	if a.terminated {
+		return
+	}
+	a.terminated = true
+	a.termReason = reason
+	close(a.r.abort)
+}
+
+// fineAndReward moves F from the offender to the reporter and records the
+// detection. extraFine (≥ 0) is additionally collected by the mechanism
+// (the Phase III work reimbursement F + extra·w̃).
+func (a *arbiter) fineAndRewardLocked(v Violation, offender, reporter int, extraFine float64) {
+	cfg := a.r.params.Cfg
+	_ = a.r.ledger.Transfer(offender, reporter, cfg.Fine, payment.KindFine, string(v))
+	if extraFine > 0 {
+		_ = a.r.ledger.Fine(offender, extraFine, payment.KindFine, string(v)+"-work")
+	}
+	a.detections = append(a.detections, Detection{
+		Violation: v,
+		Offender:  offender,
+		Reporter:  reporter,
+		Fine:      cfg.Fine + extraFine,
+		Reward:    cfg.Fine,
+	})
+}
+
+// reportContradiction arbitrates case (i): the reporter submits two signed
+// messages it claims are contradictory bids from the accused. The claim is
+// substantiated by the PKI alone (Lemma 5.2); an unsubstantiated claim fines
+// the reporter instead. Either way the chain is broken, so the run ends.
+func (a *arbiter) reportContradiction(reporter, accused int, m1, m2 sign.Signed) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.r.countVerifyN(2)
+	if m1.SignerID == accused && a.r.pki.Contradiction(m1, m2) {
+		a.fineAndRewardLocked(ViolationContradiction, accused, reporter, 0)
+		a.terminateLocked(fmt.Sprintf("P%d sent contradictory bids", accused))
+		return
+	}
+	a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
+	a.terminateLocked(fmt.Sprintf("P%d falsely accused P%d of contradiction", reporter, accused))
+}
+
+// reportBadG arbitrates case (ii): the reporter submits G_i claiming the
+// arithmetic does not hold. The root re-runs exactly the receiver's checks
+// on the signed values plus the public z_i.
+func (a *arbiter) reportBadG(reporter int, g gMsg) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	accused := reporter - 1
+	a.r.countVerifyN(5)
+	vals, err := verifyG(a.r.pki, reporter, g)
+	if err != nil {
+		// The evidence itself is inauthentic: cannot substantiate.
+		a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
+		a.terminateLocked(fmt.Sprintf("P%d submitted inauthentic G evidence", reporter))
+		return
+	}
+	if err := arithmeticConsistent(vals, a.r.params.Net.Z[reporter], wireTol); err != nil {
+		a.fineAndRewardLocked(ViolationWrongCompute, accused, reporter, 0)
+		a.terminateLocked(fmt.Sprintf("P%d miscomputed the allocation: %v", accused, err))
+		return
+	}
+	a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
+	a.terminateLocked(fmt.Sprintf("P%d falsely accused P%d of wrong computation", reporter, accused))
+}
+
+// reportEchoMismatch arbitrates the bid-echo dispute: the reporter claims
+// the predecessor echoed a bid the reporter never made. The predecessor's
+// echo and the reporter's Phase I message are both signed; the root
+// subpoenas the bid message the predecessor actually received (stored in
+// its procState) and decides:
+//
+//   - predecessor's stored inbound bid matches its echo → the reporter must
+//     have signed two different bids → reporter fined (contradiction);
+//   - stored inbound bid differs from the echo (or is absent/invalid) → the
+//     predecessor fabricated the echo → predecessor fined.
+func (a *arbiter) reportEchoMismatch(reporter int, g gMsg, claimedBid float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	accused := reporter - 1
+	stored := a.r.procs[accused].receivedBidMsg
+	a.r.countVerifyN(2)
+	storedOK := a.r.pki.Verify(stored) == nil && stored.SignerID == reporter
+	echoMatchesStored := false
+	if storedOK {
+		_, idx, v, err := decodeSlot(stored.Payload)
+		if err == nil && idx == reporter {
+			_, _, echoed, err2 := decodeSlot(g.EchoEquiv.Payload)
+			echoMatchesStored = err2 == nil && v == echoed
+		}
+	}
+	if storedOK && echoMatchesStored {
+		// The predecessor faithfully echoed what it received; the reporter
+		// is disowning its own signature.
+		a.fineAndRewardLocked(ViolationContradiction, reporter, accused, 0)
+		a.terminateLocked(fmt.Sprintf("P%d disowned its own signed bid", reporter))
+		return
+	}
+	a.fineAndRewardLocked(ViolationWrongCompute, accused, reporter, 0)
+	a.terminateLocked(fmt.Sprintf("P%d echoed a bid P%d never made", accused, reporter))
+}
+
+// reportOverload arbitrates case (iii), after processing completes:
+// Grievance_{i} = (G_i, Λ_i, dsm_0(w̃_i)). Substantiation needs (a) a valid
+// G_i establishing the planned D_i, (b) a valid Λ_i proving the received
+// amount, and (c) a valid meter reading for the recompense arithmetic. A
+// false claim fines the reporter. The run continues either way.
+func (a *arbiter) reportOverload(reporter int, g gMsg, att device.Attestation, meter device.MeterReading) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	accused := reporter - 1
+	a.r.countVerifyN(7)
+	vals, err := verifyG(a.r.pki, reporter, g)
+	valid := err == nil
+	var provedReceived float64
+	if valid {
+		provedReceived, err = a.r.issuer.Verify(att)
+		valid = err == nil
+	}
+	if valid {
+		valid = device.VerifyReading(a.r.pki, 0, meter) == nil && meter.Proc == reporter
+	}
+	// Λ block splits round the retained head down at every hop, so an
+	// honestly forwarded attestation can over-prove by up to one block per
+	// upstream hop. The substantiation threshold budgets that slack; a real
+	// shed moves load orders of magnitude above it.
+	slack := float64(reporter+1) * a.r.unit
+	if valid && provedReceived > vals.Load+slack {
+		extra := provedReceived - vals.Load
+		a.fineAndRewardLocked(ViolationOverload, accused, reporter, extra*meter.WTilde)
+		return
+	}
+	a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
+}
+
+// settleBills processes all Phase IV bills in deterministic (processor)
+// order: audit with probability q, pay what is due, fine F/q on a failed
+// audit. solutionFound gates the S item.
+func (a *arbiter) settleBills(bills []billMsg, solutionFound bool) {
+	sort.Slice(bills, func(x, y int) bool { return bills[x].from < bills[y].from })
+	for _, b := range bills {
+		a.settleBill(b, solutionFound)
+	}
+}
+
+func (a *arbiter) settleBill(b billMsg, solutionFound bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.r
+	cfg := r.params.Cfg
+	j := b.from
+	payItems := func(bm billMsg) {
+		_ = r.ledger.Pay(j, bm.compensation, payment.KindCompensation, fmt.Sprintf("C_%d", j))
+		if bm.recompense > 0 {
+			_ = r.ledger.Pay(j, bm.recompense, payment.KindRecompense, fmt.Sprintf("E_%d", j))
+		}
+		if bm.bonus > 0 {
+			_ = r.ledger.Pay(j, bm.bonus, payment.KindBonus, fmt.Sprintf("B_%d", j))
+		} else if bm.bonus < 0 {
+			// A negative bonus (possible off the truthful path) is a charge.
+			_ = r.ledger.Fine(j, -bm.bonus, payment.KindBonus, fmt.Sprintf("B_%d", j))
+		}
+		if bm.solution > 0 {
+			_ = r.ledger.Pay(j, bm.solution, payment.KindSolutionBon, fmt.Sprintf("S_%d", j))
+		}
+	}
+	if j == 0 {
+		// The root is obedient; its reimbursement is not audited.
+		payItems(b)
+		return
+	}
+	audited := xrand.New(r.params.Seed^(uint64(j)+1)*0x9e3779b97f4a7c15).Float64() < cfg.AuditProb
+	if !audited {
+		payItems(b)
+		return
+	}
+	want, err := a.recomputeBill(b, solutionFound)
+	if err != nil || b.total() > want.total()+wireTol {
+		_ = r.ledger.Fine(j, cfg.AuditFine(), payment.KindAuditFine, fmt.Sprintf("audit P%d", j))
+		a.detections = append(a.detections, Detection{
+			Violation: ViolationOvercharge,
+			Offender:  j,
+			Reporter:  payment.Mechanism,
+			Fine:      cfg.AuditFine(),
+		})
+		if err == nil {
+			payItems(want) // pay what the proof supports
+		}
+		return
+	}
+	payItems(b)
+}
+
+// recomputeBill independently derives Q_j from Proof_j (4.12): the signed
+// commitments in G_j, the successor's signed equivalent bid, the processor's
+// own signed bid, the root-signed meter reading, and Λ_j. Only public link
+// times z enter beyond the proof.
+func (a *arbiter) recomputeBill(b billMsg, solutionFound bool) (billMsg, error) {
+	r := a.r
+	j := b.from
+	cfg := r.params.Cfg
+	m := r.size - 1
+	r.countVerifyN(8)
+
+	vals, err := verifyG(r.pki, j, b.proof.g)
+	if err != nil {
+		return billMsg{}, fmt.Errorf("proof G_%d: %w", j, err)
+	}
+	if device.VerifyReading(r.pki, 0, b.proof.meter) != nil || b.proof.meter.Proc != j {
+		return billMsg{}, fmt.Errorf("proof meter for P%d invalid", j)
+	}
+	received, err := r.issuer.Verify(b.proof.att)
+	if err != nil {
+		return billMsg{}, fmt.Errorf("proof Λ_%d: %w", j, err)
+	}
+	bid, err := expectSlot(r.pki, b.proof.ownBid, j, slotBid, j)
+	if err != nil {
+		return billMsg{}, fmt.Errorf("proof own bid: %w", err)
+	}
+
+	wTilde := b.proof.meter.WTilde
+	retained := b.proof.meter.Load
+	if retained > received+2*r.unit {
+		return billMsg{}, fmt.Errorf("metered load %v exceeds attested receipt %v", retained, received)
+	}
+
+	// Reconstruct the planned share α_j = D_j·α̂_j.
+	var hat, wbar float64
+	if !b.proof.hasSucc || j == m {
+		hat, wbar = 1, bid
+	} else {
+		succ, err := expectSlot(r.pki, b.proof.succBid, j+1, slotEquivBid, j+1)
+		if err != nil {
+			return billMsg{}, fmt.Errorf("proof successor bid: %w", err)
+		}
+		hat, wbar = dlt.EquivTwo(bid, r.params.Net.Z[j+1], succ)
+	}
+	planAlpha := vals.Load * hat
+
+	var want billMsg
+	want.from = j
+	if retained <= 0 {
+		return want, nil // (4.6): Q_j = 0
+	}
+	want.compensation = planAlpha * wTilde
+	if retained >= planAlpha-wireTol {
+		want.recompense = math.Max(0, retained-planAlpha) * wTilde
+	}
+	var wHat float64
+	switch {
+	case j == m:
+		wHat = wTilde
+	case wTilde >= bid:
+		wHat = hat * wTilde
+	default:
+		wHat = wbar
+	}
+	hatPrev := (vals.PrevLoad - vals.Load) / vals.PrevLoad
+	want.bonus = vals.PrevBid - dlt.RealizedEquivTwo(hatPrev, vals.PrevBid, r.params.Net.Z[j], wHat)
+	if cfg.SolutionBonus > 0 && solutionFound {
+		want.solution = cfg.SolutionBonus
+	}
+	return want, nil
+}
+
+// collect assembles the Result after every goroutine has finished.
+func (r *runner) collect() *Result {
+	var bills []billMsg
+	for b := range r.bills {
+		bills = append(bills, b)
+	}
+	solutionFound := !r.corrupted.Load() && !r.arb.terminated
+	if !r.arb.terminated {
+		r.arb.settleBills(bills, solutionFound)
+	}
+
+	res := &Result{
+		Completed:     !r.arb.terminated,
+		TermReason:    r.arb.termReason,
+		Bids:          make([]float64, r.size),
+		Retained:      make([]float64, r.size),
+		Detections:    append([]Detection(nil), r.arb.detections...),
+		Ledger:        r.ledger,
+		Utilities:     make([]float64, r.size),
+		SolutionFound: solutionFound,
+		Stats: Stats{
+			Messages:      r.stats.Messages,
+			Signatures:    r.stats.Signatures,
+			Verifications: r.stats.Verifications,
+		},
+	}
+	for i, st := range r.procs {
+		res.Bids[i] = st.bid
+		res.Retained[i] = st.retained
+		res.Utilities[i] = st.valuation + r.ledger.Balance(i)
+	}
+	if res.Completed {
+		if plan, err := dlt.SolveBoundary(&dlt.Network{W: res.Bids, Z: r.params.Net.Z}); err == nil {
+			res.Plan = plan
+		}
+	}
+	return res
+}

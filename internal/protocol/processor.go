@@ -1,0 +1,291 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+
+	"dlsmech/internal/device"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/sign"
+)
+
+// runProcessor executes Phases I-IV for processor i according to its
+// behavior. Every early return is either preceded by a terminate() (which
+// wakes all peers via the abort channel) or happens because the abort
+// channel already fired.
+func (r *runner) runProcessor(i int) {
+	b := r.behavior(i)
+	st := r.procs[i]
+	net := r.params.Net
+	m := r.size - 1
+	truth := net.W[i]
+
+	// ---- Phase I: equivalent bids flow from P_m toward the root. ----
+	bid := b.Bid(truth)
+	if i == 0 {
+		bid = truth // the root is obedient
+	}
+	st.bid = bid
+
+	var wbarSucc float64
+	if i < m {
+		bm, ok := countedRecv(r, r.bidUp[i+1])
+		if !ok {
+			return
+		}
+		if len(bm.signed) == 0 {
+			r.arb.terminate(fmt.Sprintf("P%d: empty bid message from P%d", i, i+1))
+			return
+		}
+		for _, s := range bm.signed {
+			if _, err := r.expectSlot(s, i+1, slotEquivBid, i+1); err != nil {
+				r.arb.terminate(fmt.Sprintf("P%d: inauthentic bid from P%d: %v", i, i+1, err))
+				return
+			}
+		}
+		// Contradiction: two authentic messages, different contents.
+		if len(bm.signed) >= 2 && !bytes.Equal(bm.signed[0].Payload, bm.signed[1].Payload) {
+			st.terminated = true
+			r.arb.reportContradiction(i, i+1, bm.signed[0], bm.signed[1])
+			return
+		}
+		st.receivedBidMsg = bm.signed[0].Clone()
+		wbarSucc, _ = r.expectSlot(bm.signed[0], i+1, slotEquivBid, i+1)
+	}
+
+	var hat, wbar float64
+	if i == m {
+		hat, wbar = 1, bid
+	} else {
+		hat, wbar = dlt.EquivTwo(bid, net.Z[i+1], wbarSucc)
+	}
+	st.hatPlanned = hat
+	st.equivBid = wbar
+
+	if i > 0 {
+		msgs := []sign.Signed{r.signSlot(i, slotEquivBid, i, wbar)}
+		if b.Faults.ContradictoryBid {
+			// Case (i) of Lemma 5.1: a second, different signed bid.
+			msgs = append(msgs, r.signSlot(i, slotEquivBid, i, wbar*1.25))
+		}
+		if !countedSend(r, r.bidUp[i], bidMsg{from: i, signed: msgs}) {
+			return
+		}
+	}
+
+	// ---- Phase II: allocation messages G flow outward. ----
+	var gIn gMsg
+	var gVals gValues
+	if i == 0 {
+		st.planD = 1
+	} else {
+		g, ok := countedRecv(r, r.gDown[i])
+		if !ok {
+			return
+		}
+		gIn = g
+		vals, err := r.verifyG(i, g)
+		if err != nil {
+			// Inauthentic or malformed: terminate without attribution.
+			r.arb.terminate(fmt.Sprintf("P%d: bad G message: %v", i, err))
+			return
+		}
+		gVals = vals
+		// Echo check: the predecessor must have echoed exactly the bid we
+		// signed (byte-identical payload).
+		if !bytes.Equal(g.EchoEquiv.Payload, encodeSlot(slotEquivBid, i, st.equivBid)) {
+			st.terminated = true
+			r.arb.reportEchoMismatch(i, g, st.equivBid)
+			return
+		}
+		if err := arithmeticConsistent(vals, net.Z[i], wireTol); err != nil {
+			// Case (ii): the predecessor's arithmetic does not hold.
+			st.terminated = true
+			r.arb.reportBadG(i, g)
+			return
+		}
+		st.planD = vals.Load
+		st.prevBid = vals.PrevBid
+		st.prevLoad = vals.PrevLoad
+	}
+	st.planAlpha = st.planD * hat
+	st.planDNext = st.planD - st.planAlpha
+
+	if i < m {
+		reportD := st.planDNext
+		if b.Faults.MiscomputeD {
+			// Case (ii): misreport the successor's load share.
+			reportD *= 0.8
+		}
+		var prevLoadSig, prevEquivSig sign.Signed
+		if i == 0 {
+			prevLoadSig = r.signSlot(0, slotLoad, 0, 1)
+			prevEquivSig = r.signSlot(0, slotEquivBid, 0, wbar)
+		} else {
+			prevLoadSig = gIn.Load       // dsm_{i-1}(D_i)
+			prevEquivSig = gIn.EchoEquiv // dsm_{i-1}(w̄_i)
+		}
+		g2 := gMsg{
+			to:        i + 1,
+			PrevLoad:  prevLoadSig,
+			Load:      r.signSlot(i, slotLoad, i+1, reportD),
+			PrevEquiv: prevEquivSig,
+			PrevBid:   r.signSlot(i, slotBid, i, bid),
+			EchoEquiv: r.signSlot(i, slotEquivBid, i+1, wbarSucc),
+		}
+		if !countedSend(r, r.gDown[i+1], g2) {
+			return
+		}
+	}
+
+	// ---- Phase III: load distribution with Λ attestations. ----
+	var att device.Attestation
+	var received float64
+	corrupted := false
+	if i == 0 {
+		minted, err := r.issuer.Mint(1)
+		if err != nil {
+			r.arb.terminate(fmt.Sprintf("P0: mint: %v", err))
+			return
+		}
+		att, received = minted, 1
+	} else {
+		lm, ok := countedRecv(r, r.loadDown[i])
+		if !ok {
+			return
+		}
+		received, att, corrupted = lm.amount, lm.att, lm.corrupted
+	}
+	st.received = received
+
+	var retained float64
+	if i == m {
+		retained = received // nowhere to forward
+	} else if b.RetainFactor != 0 && b.RetainFactor < 1 {
+		// Case (iii): shed load onto the successor.
+		retained = b.Retain(hat) * received
+	} else {
+		// Honest rule (Sect. 4 Phase III): forward the planned share and
+		// compute everything else, including any excess dumped on us.
+		retained = received - st.planDNext
+		if retained < 0 {
+			retained = received // under-supplied; keep what there is
+		}
+	}
+	forwarded := received - retained
+	if i < m {
+		headAtt, tailAtt := att.Split(retained, r.unit)
+		_ = headAtt // the retained blocks; Λ_i below covers all received ids
+		sendCorrupt := corrupted
+		if b.Faults.CorruptData {
+			// Theorem 5.2: destroy the solution without economic trace.
+			sendCorrupt = true
+			r.corrupted.Store(true)
+		}
+		if !countedSend(r, r.loadDown[i+1], loadMsg{amount: forwarded, att: tailAtt, corrupted: sendCorrupt}) {
+			return
+		}
+	}
+	if corrupted {
+		r.corrupted.Store(true)
+	}
+
+	// The tamper-proof meter certifies the actual execution.
+	wTilde := b.Speed(truth)
+	st.wTilde = wTilde
+	st.retained = retained
+	st.att = att.Clone() // Λ_i: all identifiers received
+	reading, err := r.meterRecord(i, wTilde, retained)
+	if err != nil {
+		r.arb.terminate(fmt.Sprintf("P%d: meter: %v", i, err))
+		return
+	}
+	st.meter = reading
+	st.valuation = -retained * wTilde
+
+	// Overload grievance (case (iii) detection): filed once processing is
+	// done, with (G_i, Λ_i, dsm_0(w̃_i)) as evidence. Grievances are
+	// voluntary: a colluding victim may stay silent (experiment A11).
+	if i > 0 && received > st.planD+2*r.unit && !b.Faults.SuppressGrievance {
+		r.arb.reportOverload(i, gIn, st.att, reading)
+	} else if b.Faults.FalseAccuse && i > 0 {
+		// Case (v): accuse the predecessor of dumping although the Λ
+		// evidence cannot support it.
+		r.arb.reportOverload(i, gIn, st.att, reading)
+	}
+
+	// ---- Phase IV: compute own payment and bill it. ----
+	r.phase3Arrive()
+	select {
+	case <-r.p3done:
+	case <-r.abort:
+		return
+	}
+	solutionFound := !r.corrupted.Load()
+
+	var bill billMsg
+	bill.from = i
+	if i == 0 {
+		// (4.3): the root is reimbursed its measured cost.
+		bill.compensation = st.planAlpha * wTilde
+	} else if retained > 0 {
+		bill.compensation = st.planAlpha * wTilde
+		if retained >= st.planAlpha {
+			bill.recompense = (retained - st.planAlpha) * wTilde
+		}
+		var wHat float64
+		switch {
+		case i == m:
+			wHat = wTilde // (4.10)
+		case wTilde >= bid:
+			wHat = hat * wTilde // (4.11) slower than bid
+		default:
+			wHat = wbar // (4.11) faster than bid
+		}
+		hatPrev := (gVals.PrevLoad - gVals.Load) / gVals.PrevLoad
+		bill.bonus = gVals.PrevBid - dlt.RealizedEquivTwo(hatPrev, gVals.PrevBid, net.Z[i], wHat)
+		if r.params.Cfg.SolutionBonus > 0 && solutionFound {
+			bill.solution = r.params.Cfg.SolutionBonus
+		}
+		bill.bonus += b.Faults.Overcharge // case (iv): inflate the bill
+	}
+	bill.proof = proofBundle{
+		g:       gIn,
+		succBid: st.receivedBidMsg,
+		ownBid:  r.signSlot(i, slotBid, i, bid),
+		meter:   st.meter,
+		att:     st.att,
+		hasSucc: i < m,
+	}
+	countedSend(r, r.bills, bill)
+}
+
+// phase3Arrive counts processors through the Phase III barrier; the last one
+// opens it. Early-terminated runs never reach the barrier: termination
+// closes abort, which every waiter also selects on.
+func (r *runner) phase3Arrive() {
+	r.p3mu.Lock()
+	r.p3count++
+	if r.p3count == r.size {
+		close(r.p3done)
+	}
+	r.p3mu.Unlock()
+}
+
+// expectSlot wraps messages.expectSlot with the verification counter.
+func (r *runner) expectSlot(msg sign.Signed, wantSigner int, wantKind slotKind, wantIndex int) (float64, error) {
+	r.countVerify()
+	return expectSlot(r.pki, msg, wantSigner, wantKind, wantIndex)
+}
+
+// verifyG wraps messages.verifyG with the verification counter (5 checks).
+func (r *runner) verifyG(i int, g gMsg) (gValues, error) {
+	r.countVerifyN(5)
+	return verifyG(r.pki, i, g)
+}
+
+// meterRecord produces the root-signed meter reading for processor i.
+func (r *runner) meterRecord(i int, wTilde, load float64) (device.MeterReading, error) {
+	r.countSign()
+	return device.NewMeter(r.signers[0], i).Record(wTilde, load)
+}

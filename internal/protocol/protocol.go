@@ -1,0 +1,276 @@
+// Package protocol is the distributed realization of the DLS-LBL mechanism:
+// the autonomous-node runtime in which each processor is a goroutine that
+// executes (or deviates from) Phases I-IV of Sect. 4 of the paper, talking
+// to its chain neighbors over channels with digitally signed messages.
+//
+// Phase I   — equivalent bids w̄ flow from P_m toward the root; each hop is
+//
+//	dsm_i(w̄_i). Contradictory bids are reportable evidence.
+//
+// Phase II  — the allocation messages G_i flow outward (4.1)-(4.2); each
+//
+//	receiver re-verifies the arithmetic of Algorithm 1 and files a
+//	grievance with the root when it fails.
+//
+// Phase III — the load flows outward carrying Λ attestations; a processor
+//
+//	that receives more than its planned share computes the excess
+//	and grieves with (G_{i+1}, Λ_{i+1}, dsm_0(w̃_{i+1})).
+//
+// Phase IV  — every processor computes its own payment (4.4)-(4.9), submits
+//
+//	an itemized bill with Proof_j (4.12), and the root audits each
+//	bill independently with probability q, fining F/q on failure.
+//
+// The economics are identical to internal/core (the analytic layer); the
+// protocol tests assert exactly that. What this package adds is the
+// *verification* story: deviations are detected from signed evidence alone,
+// fines hit only deviants, and the incentives of Theorems 5.1-5.4 are
+// realized by an actual message-passing system.
+package protocol
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/device"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/payment"
+	"dlsmech/internal/sign"
+	"dlsmech/internal/xrand"
+)
+
+// numeric tolerance for re-verifying float arithmetic received over the wire.
+const wireTol = 1e-9
+
+// Params configures one protocol run.
+type Params struct {
+	Net     *dlt.Network  // true values (W) and link times (Z)
+	Profile agent.Profile // one behavior per processor; index 0 must be honest
+	Cfg     core.Config
+	// Seed drives every source of randomness: key generation, Λ block
+	// identifiers and audit coin flips. Same Params ⇒ same run.
+	Seed uint64
+	// LambdaUnit is the Λ block granularity; 0 means 1/4096.
+	LambdaUnit float64
+}
+
+// Violation names the deviation classes of Lemma 5.1.
+type Violation string
+
+// Violations detected by the runtime.
+const (
+	ViolationContradiction Violation = "contradictory-messages" // case (i)
+	ViolationWrongCompute  Violation = "wrong-computation"      // case (ii)
+	ViolationOverload      Violation = "load-shedding"          // case (iii)
+	ViolationOvercharge    Violation = "overcharge"             // case (iv)
+	ViolationFalseAccuse   Violation = "false-accusation"       // case (v)
+)
+
+// Detection records one arbitration outcome.
+type Detection struct {
+	Violation Violation
+	Offender  int
+	Reporter  int // payment.Mechanism for audit detections
+	Fine      float64
+	Reward    float64
+}
+
+// Stats counts protocol work for the overhead experiment (A3).
+type Stats struct {
+	Messages      int64 // channel messages exchanged
+	Signatures    int64 // signatures produced
+	Verifications int64 // signature verifications performed
+}
+
+// Result is the outcome of a protocol run.
+type Result struct {
+	// Completed is false when a processor terminated the protocol in
+	// Phase I/II (contradiction or wrong computation); no load is then
+	// distributed and only fines/rewards move money.
+	Completed  bool
+	TermReason string
+	// Bids are the Phase I declared per-unit times (bids[0] = root truth).
+	Bids []float64
+	// Plan is Algorithm 1 on the bids (nil if terminated before Phase II).
+	Plan *dlt.Allocation
+	// Retained is the load each processor actually computed.
+	Retained []float64
+	// Detections lists every substantiated or failed accusation.
+	Detections []Detection
+	// Ledger holds every transfer; Utilities fold valuations in.
+	Ledger    *payment.Ledger
+	Utilities []float64
+	// SolutionFound reports whether the verifiable computation survived
+	// (false iff some processor corrupted data).
+	SolutionFound bool
+	Stats         Stats
+}
+
+// DetectionsFor returns the detections naming offender i.
+func (r *Result) DetectionsFor(i int) []Detection {
+	var out []Detection
+	for _, d := range r.Detections {
+		if d.Offender == i {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes the protocol.
+func Run(p Params) (*Result, error) {
+	if err := p.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	size := p.Net.Size()
+	if len(p.Profile) != size {
+		return nil, fmt.Errorf("protocol: %d behaviors for %d processors", len(p.Profile), size)
+	}
+	if !p.Profile[0].IsHonest() {
+		return nil, fmt.Errorf("protocol: the root is obedient; profile[0] must be honest")
+	}
+	unit := p.LambdaUnit
+	if unit == 0 {
+		unit = 1.0 / 4096
+	}
+	if !(unit > 0) || unit > 1 {
+		return nil, fmt.Errorf("protocol: invalid lambda unit %v", unit)
+	}
+
+	r := &runner{
+		params: p,
+		size:   size,
+		unit:   unit,
+		pki:    sign.NewPKI(),
+		ledger: payment.NewLedger(),
+		abort:  make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		s := sign.NewSigner(i, p.Seed)
+		r.signers = append(r.signers, s)
+		r.pki.MustRegister(i, s.Public())
+	}
+	var err error
+	r.issuer, err = device.NewIssuer(unit, xrand.New(p.Seed^0x4c414d42 /* "LAMB" */))
+	if err != nil {
+		return nil, err
+	}
+	r.arb = newArbiter(r)
+
+	// Channels along the chain.
+	r.bidUp = make([]chan bidMsg, size)     // bidUp[i]: P_i -> P_{i-1}
+	r.gDown = make([]chan gMsg, size)       // gDown[i]: P_{i-1} -> P_i
+	r.loadDown = make([]chan loadMsg, size) // loadDown[i]: P_{i-1} -> P_i
+	for i := 1; i < size; i++ {
+		r.bidUp[i] = make(chan bidMsg, 2) // buffered: a contradictor sends twice
+		r.gDown[i] = make(chan gMsg, 1)
+		r.loadDown[i] = make(chan loadMsg, 1)
+	}
+	r.bills = make(chan billMsg, size)
+	r.p3done = make(chan struct{})
+	r.procs = make([]*procState, size)
+	for i := range r.procs {
+		r.procs[i] = &procState{}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.runProcessor(i)
+		}(i)
+	}
+	wg.Wait()
+	close(r.bills)
+
+	return r.collect(), nil
+}
+
+// procState is the per-processor scratchpad the runner (and the arbiter's
+// "subpoena" path) reads after the goroutine finishes.
+type procState struct {
+	bid        float64 // w_i declared
+	equivBid   float64 // w̄_i
+	planAlpha  float64 // α_i from Phase II
+	planD      float64 // D_i planned
+	planDNext  float64 // D_{i+1} planned
+	hatPlanned float64 // α̂_i from bids
+	prevBid    float64 // w_{i-1} as committed in G_i
+	prevLoad   float64 // D_{i-1} as committed in G_i
+	received   float64 // Phase III actual received
+	retained   float64 // α̃_i actually computed
+	wTilde     float64 // measured speed
+	valuation  float64 // −α̃·w̃
+	terminated bool
+	meter      device.MeterReading
+	att        device.Attestation
+	// receivedBidMsg stores the successor's Phase I message; the arbiter
+	// can subpoena it when arbitrating an echo-mismatch claim.
+	receivedBidMsg sign.Signed
+}
+
+type runner struct {
+	params  Params
+	size    int
+	unit    float64
+	pki     *sign.PKI
+	signers []*sign.Signer
+	issuer  *device.Issuer
+	ledger  *payment.Ledger
+	arb     *arbiter
+
+	bidUp    []chan bidMsg
+	gDown    []chan gMsg
+	loadDown []chan loadMsg
+	bills    chan billMsg
+
+	procs []*procState
+	abort chan struct{}
+
+	p3mu    sync.Mutex
+	p3count int
+	p3done  chan struct{}
+
+	corrupted atomic.Bool
+	stats     Stats
+}
+
+func (r *runner) behavior(i int) agent.Behavior { return r.params.Profile[i] }
+
+func (r *runner) countSign()           { atomic.AddInt64(&r.stats.Signatures, 1) }
+func (r *runner) countVerify()         { atomic.AddInt64(&r.stats.Verifications, 1) }
+func (r *runner) countVerifyN(n int64) { atomic.AddInt64(&r.stats.Verifications, n) }
+
+func (r *runner) signSlot(i int, kind slotKind, index int, value float64) sign.Signed {
+	r.countSign()
+	return r.signers[i].Sign(encodeSlot(kind, index, value))
+}
+
+// countedSend delivers v on ch unless the run has been aborted.
+func countedSend[T any](r *runner, ch chan T, v T) bool {
+	select {
+	case ch <- v:
+		atomic.AddInt64(&r.stats.Messages, 1)
+		return true
+	case <-r.abort:
+		return false
+	}
+}
+
+func countedRecv[T any](r *runner, ch chan T) (T, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	case <-r.abort:
+		var zero T
+		return zero, false
+	}
+}

@@ -1,0 +1,171 @@
+// Package sign implements the cryptographic substrate assumed by the DLS-LBL
+// mechanism (Carroll & Grosu, IPPS 2007, Sect. 4): every processor P_i owns a
+// key pair whose public half is registered with a PKI, and protocol messages
+// travel as digitally signed messages dsm_i(m) = (m, sig_i(m)).
+//
+// Signatures use stdlib crypto/ed25519. Keys are derived deterministically
+// from caller-provided seeds so that experiments are reproducible; nothing in
+// this package touches crypto/rand.
+//
+// The paper's arbitration logic (Lemma 5.2) needs exactly two primitives
+// beyond sign/verify, and both live here:
+//
+//   - Verify: authenticity and integrity of one message;
+//   - Contradiction: proof that one signer produced two different payloads
+//     for the same protocol slot, which is finable evidence.
+package sign
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by verification.
+var (
+	ErrUnknownSigner = errors.New("sign: signer not registered with PKI")
+	ErrBadSignature  = errors.New("sign: signature verification failed")
+	ErrDuplicateID   = errors.New("sign: id already registered")
+)
+
+// Signed is a digitally signed message dsm_i(m): the payload m together with
+// sig_i(m) and the claimed signer identity. The identity is part of what the
+// recipient verifies against the PKI, not a trusted field.
+type Signed struct {
+	SignerID int
+	Payload  []byte
+	Sig      []byte
+}
+
+// Clone returns a deep copy, so stored evidence cannot be mutated later by
+// the party that produced it.
+func (s Signed) Clone() Signed {
+	return Signed{
+		SignerID: s.SignerID,
+		Payload:  append([]byte(nil), s.Payload...),
+		Sig:      append([]byte(nil), s.Sig...),
+	}
+}
+
+// Equal reports whether two signed messages are byte-identical.
+func (s Signed) Equal(o Signed) bool {
+	return s.SignerID == o.SignerID &&
+		bytes.Equal(s.Payload, o.Payload) &&
+		bytes.Equal(s.Sig, o.Sig)
+}
+
+// Signer holds a processor's key pair. The private key never leaves the
+// struct; sharing it is itself a protocol violation (Lemma 5.2).
+type Signer struct {
+	id   int
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewSigner derives a key pair for processor id deterministically from seed.
+// Distinct (id, seed) pairs give distinct keys.
+func NewSigner(id int, seed uint64) *Signer {
+	var material [ed25519.SeedSize]byte
+	binary.LittleEndian.PutUint64(material[0:8], seed)
+	binary.LittleEndian.PutUint64(material[8:16], uint64(id)*0x9e3779b97f4a7c15+1)
+	binary.LittleEndian.PutUint64(material[16:24], seed^0xdeadbeefcafebabe)
+	binary.LittleEndian.PutUint64(material[24:32], uint64(id)+0x0123456789abcdef)
+	priv := ed25519.NewKeyFromSeed(material[:])
+	return &Signer{id: id, pub: priv.Public().(ed25519.PublicKey), priv: priv}
+}
+
+// ID returns the processor identity bound to this key pair.
+func (s *Signer) ID() int { return s.id }
+
+// Public returns the public key for PKI registration.
+func (s *Signer) Public() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), s.pub...)
+}
+
+// Sign produces dsm_id(payload).
+func (s *Signer) Sign(payload []byte) Signed {
+	return Signed{
+		SignerID: s.id,
+		Payload:  append([]byte(nil), payload...),
+		Sig:      ed25519.Sign(s.priv, payload),
+	}
+}
+
+// PKI is the public key infrastructure: a registry mapping processor IDs to
+// public keys. It is safe for concurrent use; the protocol runtime verifies
+// messages from many goroutines.
+type PKI struct {
+	mu   sync.RWMutex
+	keys map[int]ed25519.PublicKey
+}
+
+// NewPKI returns an empty registry.
+func NewPKI() *PKI {
+	return &PKI{keys: make(map[int]ed25519.PublicKey)}
+}
+
+// Register binds id to pub. Registering the same id twice is an error: key
+// replacement would let a cheater repudiate earlier signatures.
+func (p *PKI) Register(id int, pub ed25519.PublicKey) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.keys[id]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	p.keys[id] = append(ed25519.PublicKey(nil), pub...)
+	return nil
+}
+
+// MustRegister is Register for setup paths where a duplicate is a programming
+// error.
+func (p *PKI) MustRegister(id int, pub ed25519.PublicKey) {
+	if err := p.Register(id, pub); err != nil {
+		panic(err)
+	}
+}
+
+// Verify checks that msg carries a valid signature from its claimed signer.
+func (p *PKI) Verify(msg Signed) error {
+	p.mu.RLock()
+	pub, ok := p.keys[msg.SignerID]
+	p.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSigner, msg.SignerID)
+	}
+	if !ed25519.Verify(pub, msg.Payload, msg.Sig) {
+		return fmt.Errorf("%w: signer %d", ErrBadSignature, msg.SignerID)
+	}
+	return nil
+}
+
+// Known reports whether id has a registered key.
+func (p *PKI) Known(id int) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.keys[id]
+	return ok
+}
+
+// Size returns the number of registered keys.
+func (p *PKI) Size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.keys)
+}
+
+// Contradiction decides whether the pair (a, b) proves that a single signer
+// issued two different payloads: both messages verify under the same
+// registered key but their payloads differ. This is the evidence format
+// Phase I/II arbitration accepts (paper Sect. 4, "contradictory messages").
+func (p *PKI) Contradiction(a, b Signed) bool {
+	if a.SignerID != b.SignerID {
+		return false
+	}
+	if bytes.Equal(a.Payload, b.Payload) {
+		return false
+	}
+	return p.Verify(a) == nil && p.Verify(b) == nil
+}

@@ -1,0 +1,245 @@
+package sign
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newRegistered(t *testing.T, ids ...int) (*PKI, map[int]*Signer) {
+	t.Helper()
+	pki := NewPKI()
+	signers := make(map[int]*Signer, len(ids))
+	for _, id := range ids {
+		s := NewSigner(id, 1234)
+		signers[id] = s
+		if err := pki.Register(id, s.Public()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pki, signers
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	pki, signers := newRegistered(t, 0, 1, 2)
+	for id, s := range signers {
+		msg := s.Sign([]byte("hello from " + string(rune('0'+id))))
+		if err := pki.Verify(msg); err != nil {
+			t.Fatalf("verify failed for %d: %v", id, err)
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedPayload(t *testing.T) {
+	pki, signers := newRegistered(t, 1)
+	msg := signers[1].Sign([]byte("bid=3.5"))
+	msg.Payload[0] ^= 0xff
+	if err := pki.Verify(msg); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	pki, signers := newRegistered(t, 1)
+	msg := signers[1].Sign([]byte("bid=3.5"))
+	msg.Sig[0] ^= 0x01
+	if err := pki.Verify(msg); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsImpersonation(t *testing.T) {
+	pki, signers := newRegistered(t, 1, 2)
+	// Signer 2 signs but claims to be 1.
+	msg := signers[2].Sign([]byte("payload"))
+	msg.SignerID = 1
+	if err := pki.Verify(msg); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("impersonation accepted: %v", err)
+	}
+}
+
+func TestVerifyUnknownSigner(t *testing.T) {
+	pki, _ := newRegistered(t, 1)
+	rogue := NewSigner(99, 7)
+	msg := rogue.Sign([]byte("x"))
+	if err := pki.Verify(msg); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("want ErrUnknownSigner, got %v", err)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	pki := NewPKI()
+	s := NewSigner(1, 1)
+	if err := pki.Register(1, s.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.Register(1, s.Public()); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("want ErrDuplicateID, got %v", err)
+	}
+}
+
+func TestMustRegisterPanicsOnDup(t *testing.T) {
+	pki := NewPKI()
+	s := NewSigner(1, 1)
+	pki.MustRegister(1, s.Public())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pki.MustRegister(1, s.Public())
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a := NewSigner(5, 42)
+	b := NewSigner(5, 42)
+	if string(a.Public()) != string(b.Public()) {
+		t.Fatal("same (id, seed) must give same key")
+	}
+	c := NewSigner(6, 42)
+	d := NewSigner(5, 43)
+	if string(a.Public()) == string(c.Public()) || string(a.Public()) == string(d.Public()) {
+		t.Fatal("distinct (id, seed) must give distinct keys")
+	}
+}
+
+func TestContradictionDetected(t *testing.T) {
+	pki, signers := newRegistered(t, 3)
+	a := signers[3].Sign([]byte("wbar=2.0"))
+	b := signers[3].Sign([]byte("wbar=1.0"))
+	if !pki.Contradiction(a, b) {
+		t.Fatal("genuine contradiction not detected")
+	}
+}
+
+func TestContradictionRejectsSamePayload(t *testing.T) {
+	pki, signers := newRegistered(t, 3)
+	a := signers[3].Sign([]byte("wbar=2.0"))
+	b := signers[3].Sign([]byte("wbar=2.0"))
+	if pki.Contradiction(a, b) {
+		t.Fatal("identical payloads flagged as contradiction")
+	}
+}
+
+func TestContradictionRejectsForgery(t *testing.T) {
+	pki, signers := newRegistered(t, 3, 4)
+	a := signers[3].Sign([]byte("wbar=2.0"))
+	// Signer 4 fabricates a "contradicting" message in 3's name.
+	forged := signers[4].Sign([]byte("wbar=9.9"))
+	forged.SignerID = 3
+	if pki.Contradiction(a, forged) {
+		t.Fatal("forged contradiction accepted — false accusations would succeed")
+	}
+}
+
+func TestContradictionRejectsDifferentSigners(t *testing.T) {
+	pki, signers := newRegistered(t, 3, 4)
+	a := signers[3].Sign([]byte("x"))
+	b := signers[4].Sign([]byte("y"))
+	if pki.Contradiction(a, b) {
+		t.Fatal("messages from different signers are not a contradiction")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := NewSigner(1, 1)
+	orig := s.Sign([]byte("data"))
+	cp := orig.Clone()
+	cp.Payload[0] = 'X'
+	cp.Sig[0] ^= 0xff
+	if orig.Payload[0] == 'X' || !orig.Equal(s.Sign([]byte("data"))) {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	s := NewSigner(1, 1)
+	a := s.Sign([]byte("m"))
+	if !a.Equal(a.Clone()) {
+		t.Fatal("Equal(clone) = false")
+	}
+	b := s.Sign([]byte("n"))
+	if a.Equal(b) {
+		t.Fatal("different payloads compare equal")
+	}
+}
+
+func TestKnownAndSize(t *testing.T) {
+	pki, _ := newRegistered(t, 1, 2, 3)
+	if !pki.Known(2) || pki.Known(9) {
+		t.Fatal("Known misreports")
+	}
+	if pki.Size() != 3 {
+		t.Fatalf("Size = %d", pki.Size())
+	}
+}
+
+func TestConcurrentVerify(t *testing.T) {
+	pki, signers := newRegistered(t, 0, 1, 2, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 400)
+	for id, s := range signers {
+		wg.Add(1)
+		go func(id int, s *Signer) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				msg := s.Sign([]byte{byte(id), byte(i)})
+				if err := pki.Verify(msg); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(id, s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// Property: any payload signed by a registered signer verifies, and any
+// single-bit flip in the payload does not.
+func TestQuickSignVerify(t *testing.T) {
+	pki, signers := newRegistered(t, 7)
+	s := signers[7]
+	f := func(payload []byte, flip uint16) bool {
+		msg := s.Sign(payload)
+		if pki.Verify(msg) != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return true
+		}
+		bad := msg.Clone()
+		i := int(flip) % len(bad.Payload)
+		bad.Payload[i] ^= 1 << (flip % 8)
+		return pki.Verify(bad) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	s := NewSigner(1, 1)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sign(payload)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	pki := NewPKI()
+	s := NewSigner(1, 1)
+	pki.MustRegister(1, s.Public())
+	msg := s.Sign(make([]byte, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pki.Verify(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package table
+
+import (
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCellFormats(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{1.0, "1"},
+		{2.5, "2.5"},
+		{1234567.0, "1234567"},
+		{0.000123456789, "0.000123457"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{"abc", "abc"},
+		{42, "42"},
+		{nil, ""},
+		{float32(1.5), "1.5"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	tb.AddRow("x")
+	row := tb.Row(0)
+	if len(row) != 3 || row[0] != "x" || row[1] != "" || row[2] != "" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestAddRowPanicsOnTooLong(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("t", "a").AddRow("1", "2")
+}
+
+func TestWriteTextAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRowValues("alpha", 1.0)
+	tb.AddRowValues("b", 123.25)
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two data rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// All data lines render each column at equal width.
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestWriteTextNotes(t *testing.T) {
+	tb := New("", "h")
+	tb.AddRow("v")
+	tb.AddNote("seed=%d", 42)
+	out := tb.String()
+	if !strings.Contains(out, "note: seed=42") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	if strings.Contains(out, "== ") {
+		t.Fatalf("empty title should not render:\n%s", out)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := New("MD", "x", "y")
+	tb.AddRowValues(1, 2.5)
+	var sb strings.Builder
+	if err := tb.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### MD", "| x | y |", "| --- | --- |", "| 1 | 2.5 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	tb := New("ignored", "a", "b")
+	tb.AddRow("1", "x,y") // comma must be quoted
+	tb.AddRow("2", `quote"inside`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("want 3 records, got %d", len(recs))
+	}
+	if recs[1][1] != "x,y" || recs[2][1] != `quote"inside` {
+		t.Fatalf("CSV round trip mangled cells: %v", recs)
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tb := New("t", "a")
+	if tb.NumRows() != 0 {
+		t.Fatal("fresh table should have 0 rows")
+	}
+	tb.AddRow("1")
+	tb.AddRow("2")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestRowReturnsCopy(t *testing.T) {
+	tb := New("t", "a")
+	tb.AddRow("orig")
+	r := tb.Row(0)
+	r[0] = "mutated"
+	if tb.Row(0)[0] != "orig" {
+		t.Fatal("Row must return a copy")
+	}
+}

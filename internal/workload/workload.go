@@ -1,0 +1,140 @@
+// Package workload generates the networks and scenarios the experiments and
+// examples run on. The paper evaluates nothing empirically, so there is no
+// canonical workload to copy; instead we generate chains spanning the regimes
+// the DLT literature (and the paper's motivation) cares about: LAN-like
+// clusters (cheap links), WAN-like federations (expensive links), homogeneous
+// racks and heavy-tailed heterogeneous grids. Every generator draws from an
+// explicit xrand.Rand, so all experiments are reproducible.
+package workload
+
+import (
+	"fmt"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+// ChainSpec parameterizes a random linear network.
+type ChainSpec struct {
+	M int // number of strategic processors; the network has M+1 total
+	// Processing times are drawn uniformly from [WLow, WHigh], or
+	// log-normally with median WMedian and shape WSigma when LogNormal is
+	// set.
+	WLow, WHigh     float64
+	LogNormal       bool
+	WMedian, WSigma float64
+	// Link times are drawn uniformly from [ZLow, ZHigh].
+	ZLow, ZHigh float64
+}
+
+// DefaultChainSpec is the workhorse spec used across experiments: moderate
+// heterogeneity, links roughly 10× faster than processing.
+func DefaultChainSpec(m int) ChainSpec {
+	return ChainSpec{M: m, WLow: 0.5, WHigh: 5, ZLow: 0.05, ZHigh: 0.5}
+}
+
+// Chain draws a network from the spec.
+func Chain(r *xrand.Rand, spec ChainSpec) *dlt.Network {
+	if spec.M < 0 {
+		panic("workload: negative M")
+	}
+	w := make([]float64, spec.M+1)
+	z := make([]float64, spec.M)
+	for i := range w {
+		if spec.LogNormal {
+			w[i] = spec.WMedian * r.LogNormal(0, spec.WSigma)
+		} else {
+			w[i] = r.Uniform(spec.WLow, spec.WHigh)
+		}
+	}
+	for i := range z {
+		z[i] = r.Uniform(spec.ZLow, spec.ZHigh)
+	}
+	n, err := dlt.NewNetwork(w, z)
+	if err != nil {
+		panic(fmt.Sprintf("workload: generated invalid network: %v", err))
+	}
+	return n
+}
+
+// Homogeneous builds a chain of identical processors and links — the
+// configuration in which speedup-saturation effects are cleanest (A1).
+func Homogeneous(m int, w, z float64) *dlt.Network {
+	ws := make([]float64, m+1)
+	zs := make([]float64, m)
+	for i := range ws {
+		ws[i] = w
+	}
+	for i := range zs {
+		zs[i] = z
+	}
+	n, err := dlt.NewNetwork(ws, zs)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return n
+}
+
+// RatioChain builds a homogeneous chain with unit processing time and link
+// time equal to ratio — the z/w knob of experiment A1.
+func RatioChain(m int, ratio float64) *dlt.Network {
+	return Homogeneous(m, 1, ratio)
+}
+
+// Scenario is a named, self-describing workload for the examples and the
+// per-scenario experiment rows.
+type Scenario struct {
+	Name        string
+	Description string
+	Net         *dlt.Network
+	Load        float64 // total work units (the unit-load α scales linearly)
+}
+
+// Scenarios returns the fixed catalogue. Seeds are baked in so the catalogue
+// is identical across runs and documented in EXPERIMENTS.md.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "lan-cluster",
+			Description: "8 workstations on a switched LAN: mild heterogeneity, " +
+				"links ~20x faster than compute (image-filtering pipeline regime)",
+			Net:  Chain(xrand.New(101), ChainSpec{M: 8, WLow: 0.8, WHigh: 2.4, ZLow: 0.02, ZHigh: 0.08}),
+			Load: 64,
+		},
+		{
+			Name: "wan-federation",
+			Description: "5 sites federated over a WAN: links comparable to " +
+				"compute, so distribution is barely worth it past a few hops",
+			Net:  Chain(xrand.New(102), ChainSpec{M: 5, WLow: 0.5, WHigh: 1.5, ZLow: 0.4, ZHigh: 1.2}),
+			Load: 16,
+		},
+		{
+			Name: "hetero-grid",
+			Description: "12 donated machines with heavy-tailed speeds " +
+				"(log-normal, σ=0.8) on a campus network",
+			Net: Chain(xrand.New(103), ChainSpec{
+				M: 12, LogNormal: true, WMedian: 1.5, WSigma: 0.8, ZLow: 0.05, ZHigh: 0.3,
+			}),
+			Load: 128,
+		},
+		{
+			Name:        "homogeneous-rack",
+			Description: "16 identical blades, fast interconnect (z/w = 0.05)",
+			Net:         Homogeneous(16, 1, 0.05),
+			Load:        256,
+		},
+	}
+}
+
+// ScenarioByName looks a scenario up; it returns an error listing the
+// catalogue when the name is unknown.
+func ScenarioByName(name string) (Scenario, error) {
+	var names []string
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+		names = append(names, s.Name)
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q (have %v)", name, names)
+}

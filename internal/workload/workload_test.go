@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+func TestChainShapeAndValidity(t *testing.T) {
+	r := xrand.New(1)
+	for _, m := range []int{0, 1, 5, 50} {
+		n := Chain(r, DefaultChainSpec(m))
+		if n.Size() != m+1 {
+			t.Fatalf("m=%d: size %d", m, n.Size())
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestChainRespectsRanges(t *testing.T) {
+	r := xrand.New(2)
+	spec := ChainSpec{M: 50, WLow: 1, WHigh: 2, ZLow: 0.1, ZHigh: 0.2}
+	n := Chain(r, spec)
+	for i, w := range n.W {
+		if w < 1 || w >= 2 {
+			t.Fatalf("W[%d]=%v out of range", i, w)
+		}
+	}
+	for i := 1; i < len(n.Z); i++ {
+		if n.Z[i] < 0.1 || n.Z[i] >= 0.2 {
+			t.Fatalf("Z[%d]=%v out of range", i, n.Z[i])
+		}
+	}
+}
+
+func TestChainLogNormal(t *testing.T) {
+	r := xrand.New(3)
+	spec := ChainSpec{M: 200, LogNormal: true, WMedian: 2, WSigma: 0.5, ZLow: 0.1, ZHigh: 0.2}
+	n := Chain(r, spec)
+	for i, w := range n.W {
+		if w <= 0 {
+			t.Fatalf("W[%d]=%v", i, w)
+		}
+	}
+	// The median of log-normal samples should be near WMedian.
+	below := 0
+	for _, w := range n.W {
+		if w < 2 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(n.W))
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("log-normal median off: %v below the median", frac)
+	}
+}
+
+func TestChainDeterministic(t *testing.T) {
+	a := Chain(xrand.New(7), DefaultChainSpec(10))
+	b := Chain(xrand.New(7), DefaultChainSpec(10))
+	for i := range a.W {
+		if a.W[i] != b.W[i] || a.Z[i] != b.Z[i] {
+			t.Fatal("same seed produced different networks")
+		}
+	}
+}
+
+func TestChainPanicsOnNegativeM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Chain(xrand.New(1), ChainSpec{M: -1, WLow: 1, WHigh: 2})
+}
+
+func TestHomogeneous(t *testing.T) {
+	n := Homogeneous(4, 2, 0.5)
+	if n.Size() != 5 {
+		t.Fatalf("size %d", n.Size())
+	}
+	for i, w := range n.W {
+		if w != 2 {
+			t.Fatalf("W[%d]=%v", i, w)
+		}
+	}
+	for i := 1; i < len(n.Z); i++ {
+		if n.Z[i] != 0.5 {
+			t.Fatalf("Z[%d]=%v", i, n.Z[i])
+		}
+	}
+}
+
+func TestRatioChain(t *testing.T) {
+	n := RatioChain(3, 0.25)
+	if n.W[0] != 1 || n.Z[1] != 0.25 {
+		t.Fatalf("ratio chain wrong: %v %v", n.W, n.Z)
+	}
+}
+
+func TestScenariosValidAndSolvable(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) < 4 {
+		t.Fatalf("catalogue has %d scenarios", len(ss))
+	}
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if s.Name == "" || s.Description == "" || s.Load <= 0 {
+			t.Fatalf("incomplete scenario %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if err := s.Net.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if _, err := dlt.SolveBoundary(s.Net); err != nil {
+			t.Fatalf("%s unsolvable: %v", s.Name, err)
+		}
+	}
+}
+
+func TestScenariosStableAcrossCalls(t *testing.T) {
+	a := Scenarios()
+	b := Scenarios()
+	for i := range a {
+		for j := range a[i].Net.W {
+			if a[i].Net.W[j] != b[i].Net.W[j] {
+				t.Fatalf("scenario %s differs across calls", a[i].Name)
+			}
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	s, err := ScenarioByName("lan-cluster")
+	if err != nil || s.Name != "lan-cluster" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
