@@ -1,0 +1,162 @@
+// Command dlsfault demonstrates the failure model of the DLS-LBL protocol:
+// it injects a fault mid-run, shows the timeout/audit machinery detecting
+// and fining the offender, and then the recovery driver splicing the dead
+// processor out of the chain and re-running LINEAR BOUNDARY-LINEAR on the
+// survivors — which finish simultaneously again (Theorem 2.1).
+//
+// Usage:
+//
+//	dlsfault -scenario lan-cluster
+//	dlsfault -spec network.json -kind drop -proc 1 -phase bid
+//	dlsfault -scenario wan-federation -kind crash -proc 2 -phase load -seed 7
+//
+// Kinds: crash, stall, drop, delay, duplicate, corrupt-sig.
+// Phases: bid, alloc, load, bill, any.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dlsmech"
+	"dlsmech/internal/cli"
+	"dlsmech/internal/fault"
+)
+
+func parseKind(s string) (fault.Kind, error) {
+	switch s {
+	case "crash":
+		return fault.Crash, nil
+	case "stall":
+		return fault.Stall, nil
+	case "drop":
+		return fault.Drop, nil
+	case "delay":
+		return fault.Delay, nil
+	case "duplicate":
+		return fault.Duplicate, nil
+	case "corrupt-sig":
+		return fault.CorruptSig, nil
+	}
+	return 0, fmt.Errorf("unknown fault kind %q", s)
+}
+
+func parsePhase(s string) (fault.Phase, error) {
+	switch s {
+	case "bid":
+		return fault.PhaseBid, nil
+	case "alloc":
+		return fault.PhaseAlloc, nil
+	case "load":
+		return fault.PhaseLoad, nil
+	case "bill":
+		return fault.PhaseBill, nil
+	case "any":
+		return fault.PhaseAny, nil
+	}
+	return 0, fmt.Errorf("unknown phase %q", s)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlsfault: ")
+	var (
+		specPath = flag.String("spec", "", "path to a network spec JSON file (default: stdin)")
+		scenario = flag.String("scenario", "", "use a built-in scenario")
+		seed     = flag.Uint64("seed", 1, "run seed (keys, audit lottery, fault coin flips)")
+		kindName = flag.String("kind", "crash", "fault kind: crash, stall, drop, delay, duplicate, corrupt-sig")
+		proc     = flag.Int("proc", 2, "faulty processor index")
+		phName   = flag.String("phase", "load", "fault phase: bid, alloc, load, bill, any")
+		times    = flag.Int("times", 0, "max firings (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 25*time.Millisecond, "detector base timeout")
+		retries  = flag.Int("retries", 1, "retransmission requests before a peer is declared dead")
+	)
+	flag.Parse()
+
+	net, err := cli.LoadNetwork(*specPath, *scenario, os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ph, err := parsePhase(*phName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *proc < 0 || *proc >= net.Size() {
+		log.Fatalf("processor %d out of range [0,%d]", *proc, net.M())
+	}
+
+	rule := dlsmech.FaultRule{Kind: kind, Proc: *proc, Phase: ph, Times: *times}
+	fmt.Printf("network: %s\n", net)
+	fmt.Printf("injecting: %s\n\n", rule)
+
+	rr, err := dlsmech.RunProtocolWithRecovery(dlsmech.ProtocolParams{
+		Net:      net,
+		Profile:  dlsmech.AllTruthful(net.Size()),
+		Cfg:      dlsmech.DefaultConfig(),
+		Seed:     *seed,
+		Inject:   dlsmech.NewFaultPlan(*seed, rule),
+		Recovery: dlsmech.RecoveryConfig{Timeout: *timeout, Retries: *retries},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for round, res := range rr.Rounds {
+		fmt.Printf("--- round %d (%d processors)\n", round, len(res.Utilities))
+		if res.Completed {
+			fmt.Println("run COMPLETED")
+		} else {
+			fmt.Printf("run TERMINATED: %s\n", res.TermReason)
+		}
+		for _, d := range res.Detections {
+			fmt.Printf("DETECTED %-22s offender P%d fined %7.3f", d.Violation, d.Offender, d.Fine)
+			if d.Reporter >= 0 {
+				fmt.Printf("  (reporter P%d rewarded %.3f)", d.Reporter, d.Reward)
+			} else {
+				fmt.Printf("  (root audit)")
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	for _, ex := range rr.Excluded {
+		fined := "excluded without fine (no signed commitment to hold against it)"
+		if ex.Fined {
+			fined = "fined per Theorem 5.1 (signed Phase I bid on file)"
+		}
+		fmt.Printf("EXCLUDED P%d in round %d at phase %s: %s — %s\n",
+			ex.Proc, ex.Round, ex.Phase, ex.Violation, fined)
+	}
+	if len(rr.Excluded) > 0 {
+		fmt.Println()
+	}
+
+	if !rr.Completed {
+		fmt.Println("load NOT distributed: failure was unrecoverable (root or unattributable)")
+		os.Exit(1)
+	}
+
+	fmt.Printf("surviving chain: %s\n", rr.Net)
+	fmt.Printf("survivors (original indices): %v\n", rr.Survivors)
+	spread := dlsmech.FinishSpread(rr.Net, rr.Final.Plan.Alpha)
+	fmt.Printf("finish-time spread on survivors: %.3g  (Theorem 2.1: all participants finish together)\n\n", spread)
+
+	fmt.Printf("%-5s %10s\n", "proc", "utility")
+	for i, u := range rr.Utilities {
+		note := ""
+		for _, ex := range rr.Excluded {
+			if ex.Proc == i {
+				note = "  (excluded)"
+			}
+		}
+		fmt.Printf("P%-4d %10.4f%s\n", i, u, note)
+	}
+}

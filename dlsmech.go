@@ -43,6 +43,7 @@ import (
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/dynamics"
 	"dlsmech/internal/experiments"
+	"dlsmech/internal/fault"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/workload"
 )
@@ -85,6 +86,11 @@ func FinishTimes(n *Network, alpha []float64) []float64 { return dlt.FinishTimes
 // Makespan returns max_j T_j(α).
 func Makespan(n *Network, alpha []float64) float64 { return dlt.Makespan(n, alpha) }
 
+// FinishSpread returns the gap between the earliest and latest finish times
+// of the processors with positive load — ~0 iff the allocation realizes the
+// Theorem 2.1 equal-finish optimality principle.
+func FinishSpread(n *Network, alpha []float64) float64 { return dlt.FinishSpread(n, alpha) }
+
 // ScheduleBus, ScheduleStar, ScheduleTree and ScheduleInterior solve the
 // companion topologies. See the dlt package docs for the models.
 func ScheduleBus(b *Bus) (*dlt.BusAllocation, error) { return dlt.SolveBus(b) }
@@ -124,6 +130,9 @@ type SimResult = des.Result
 
 // SimSpec configures an (optionally off-plan) simulation run.
 type SimSpec = des.Spec
+
+// SimFaults injects timed crashes and link delays into a simulation run.
+type SimFaults = des.FaultSpec
 
 // Simulate runs the optimal plan of n through the discrete-event simulator
 // for a unit load.
@@ -300,12 +309,67 @@ var (
 	FalseAccuser = agent.FalseAccuser
 	Corruptor    = agent.Corruptor
 	SilentVictim = agent.SilentVictim
+	Deserter     = agent.Deserter
 	AllTruthful  = agent.AllTruthful
 )
 
 // RunProtocol executes Phases I-IV of DLS-LBL as a message-passing system
 // with the given behaviors injected.
 func RunProtocol(p ProtocolParams) (*ProtocolResult, error) { return protocol.Run(p) }
+
+// --- Fault injection & recovery -----------------------------------------------
+
+// FaultRule is one injection clause: a failure Kind targeting a processor
+// and phase, with optional probability, delay and firing budget.
+type FaultRule = fault.Rule
+
+// FaultInjector decides, deterministically per (seed, rules), which
+// messages and phase entries misbehave during a protocol run.
+type FaultInjector = fault.Injector
+
+// FaultPlan is the standard seeded FaultInjector.
+type FaultPlan = fault.Plan
+
+// NewFaultPlan builds a deterministic injector from a seed and rules.
+func NewFaultPlan(seed uint64, rules ...FaultRule) *FaultPlan { return fault.NewPlan(seed, rules...) }
+
+// Failure kinds and wildcards, re-exported for rule building.
+const (
+	FaultDrop       = fault.Drop
+	FaultDelay      = fault.Delay
+	FaultDuplicate  = fault.Duplicate
+	FaultReorder    = fault.Reorder
+	FaultCorruptSig = fault.CorruptSig
+	FaultCrash      = fault.Crash
+	FaultStall      = fault.Stall
+
+	AnyProc = fault.AnyProc
+
+	PhaseAny   = fault.PhaseAny
+	PhaseBid   = fault.PhaseBid
+	PhaseAlloc = fault.PhaseAlloc
+	PhaseLoad  = fault.PhaseLoad
+	PhaseBill  = fault.PhaseBill
+)
+
+// RecoveryConfig tunes the protocol's failure detectors (timeout, retries,
+// backoff) and the recovery driver's round bound.
+type RecoveryConfig = protocol.RecoveryConfig
+
+// RecoveryResult aggregates a RunProtocolWithRecovery outcome: per-round
+// results, the surviving chain and the processors spliced out.
+type RecoveryResult = protocol.RecoveryResult
+
+// DefaultRecovery returns the default detector configuration.
+func DefaultRecovery() RecoveryConfig { return protocol.DefaultRecovery() }
+
+// RunProtocolWithRecovery executes the protocol with graceful degradation:
+// processors declared dead (or excluded for invalid signatures) are spliced
+// out of the chain and LINEAR BOUNDARY-LINEAR re-runs on the survivors,
+// re-establishing equal finish times (Theorem 2.1) on the reduced network.
+func RunProtocolWithRecovery(p ProtocolParams) (*RecoveryResult, error) {
+	return protocol.RunWithRecovery(p)
+}
 
 // TreeProtocolParams configures a distributed DLS-T run.
 type TreeProtocolParams = protocol.TreeParams

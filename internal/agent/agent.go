@@ -43,12 +43,18 @@ type Faults struct {
 	// predecessor it forms the collusion the mechanism cannot police
 	// (experiment A11 measures the coalition's joint gain).
 	SuppressGrievance bool
+	// Desert: the agent completes Phases I-II (it signs a bid and takes an
+	// allocation) and then walks out before doing any Phase III work.
+	// Economically a crash — but one committed by a signed bidder, so the
+	// timeout detector downstream gets it fined (Theorem 5.1 applied to a
+	// breached commitment).
+	Desert bool
 }
 
 // Any reports whether any discrete fault is set.
 func (f Faults) Any() bool {
 	return f.ContradictoryBid || f.MiscomputeD || f.Overcharge != 0 ||
-		f.FalseAccuse || f.CorruptData || f.SuppressGrievance
+		f.FalseAccuse || f.CorruptData || f.SuppressGrievance || f.Desert
 }
 
 // Behavior is one owner strategy.
@@ -176,6 +182,15 @@ func Corruptor() Behavior {
 	b := Truthful()
 	b.Label = "corruptor"
 	b.Faults.CorruptData = true
+	return b
+}
+
+// Deserter bids, accepts its allocation, then abandons the round before
+// Phase III.
+func Deserter() Behavior {
+	b := Truthful()
+	b.Label = "deserter"
+	b.Faults.Desert = true
 	return b
 }
 

@@ -72,6 +72,7 @@ func TestFaultBehaviors(t *testing.T) {
 		{Overcharger(0.5), func(f Faults) bool { return f.Overcharge == 0.5 }},
 		{FalseAccuser(), func(f Faults) bool { return f.FalseAccuse }},
 		{Corruptor(), func(f Faults) bool { return f.CorruptData }},
+		{Deserter(), func(f Faults) bool { return f.Desert }},
 	}
 	for _, c := range cases {
 		if !c.want(c.b.Faults) {
@@ -94,6 +95,7 @@ func TestLabels(t *testing.T) {
 	for _, b := range []Behavior{
 		Truthful(), Overbid(2), Underbid(0.5), Slacker(2), Shedder(0.5),
 		Contradictor(), Miscomputer(), Overcharger(1), FalseAccuser(), Corruptor(),
+		Deserter(), SilentVictim(),
 	} {
 		if b.Label == "" || b.String() == "" {
 			t.Fatalf("missing label: %+v", b)

@@ -18,6 +18,7 @@ func randomBus(r *xrand.Rand, m int) *dlt.Bus {
 }
 
 func TestBusPairReductionMatchesSolveBus(t *testing.T) {
+	t.Parallel()
 	// The pairwise reduction built into the mechanism must reproduce
 	// SolveBus: makespan x_0·w_0 == plan.T.
 	r := xrand.New(1)
@@ -36,6 +37,7 @@ func TestBusPairReductionMatchesSolveBus(t *testing.T) {
 }
 
 func TestBusTruthfulUtilityIsBonus(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(2)
 	cfg := DefaultConfig()
 	b := randomBus(r, 6)
@@ -70,6 +72,7 @@ func TestBusTruthfulUtilityIsBonus(t *testing.T) {
 }
 
 func TestBusStrategyproofGrid(t *testing.T) {
+	t.Parallel()
 	factors := make([]float64, 0, 61)
 	for g := 0.5; g <= 2.001; g += 0.025 {
 		factors = append(factors, g)
@@ -89,6 +92,7 @@ func TestBusStrategyproofGrid(t *testing.T) {
 }
 
 func TestBusSlowExecutionHurts(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(4)
 	cfg := DefaultConfig()
 	b := randomBus(r, 5)
@@ -112,6 +116,7 @@ func TestBusSlowExecutionHurts(t *testing.T) {
 }
 
 func TestBusValidation(t *testing.T) {
+	t.Parallel()
 	b := &dlt.Bus{W0: 1, W: []float64{1, 2}, Z: 0.2}
 	cfg := DefaultConfig()
 	if _, err := EvaluateBus(b, BusReport{Bids: []float64{1}}, cfg); err == nil {
@@ -137,6 +142,7 @@ func TestBusValidation(t *testing.T) {
 // Property: DLS-BL is strategyproof and individually rational on random
 // buses with random single-agent bid deviations.
 func TestQuickBusStrategyproof(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	f := func(seed uint64, mRaw, agentRaw uint8, factorRaw uint16) bool {
 		m := int(mRaw%8) + 1

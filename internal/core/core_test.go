@@ -38,6 +38,7 @@ func mustEval(t *testing.T, n *dlt.Network, rep Report, cfg Config) *Outcome {
 }
 
 func TestConfigValidate(t *testing.T) {
+	t.Parallel()
 	good := DefaultConfig()
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
@@ -57,6 +58,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestAuditFine(t *testing.T) {
+	t.Parallel()
 	c := Config{Fine: 10, AuditProb: 0.25}
 	if got := c.AuditFine(); math.Abs(got-40) > tol {
 		t.Fatalf("AuditFine = %v, want 40", got)
@@ -64,6 +66,7 @@ func TestAuditFine(t *testing.T) {
 }
 
 func TestOverloadPenalty(t *testing.T) {
+	t.Parallel()
 	c := Config{Fine: 10, AuditProb: 1}
 	if got := c.OverloadPenalty(0.2, 3); math.Abs(got-10.6) > tol {
 		t.Fatalf("OverloadPenalty = %v, want 10.6", got)
@@ -71,6 +74,7 @@ func TestOverloadPenalty(t *testing.T) {
 }
 
 func TestEvaluateValidation(t *testing.T) {
+	t.Parallel()
 	n, _ := dlt.NewNetwork([]float64{1, 2, 3}, []float64{0.1, 0.2})
 	cfg := DefaultConfig()
 	cases := []struct {
@@ -97,6 +101,7 @@ func TestEvaluateValidation(t *testing.T) {
 }
 
 func TestRootUtilityZero(t *testing.T) {
+	t.Parallel()
 	// (4.3): the root's compensation exactly cancels its cost.
 	r := xrand.New(1)
 	for trial := 0; trial < 20; trial++ {
@@ -113,6 +118,7 @@ func TestRootUtilityZero(t *testing.T) {
 }
 
 func TestTruthfulUtilityIsBonus(t *testing.T) {
+	t.Parallel()
 	// Honest run: V + C cancel, E = 0, so U_j = B_j = w_{j-1} − w̄_{j-1}.
 	r := xrand.New(2)
 	n := randomChain(r, 8)
@@ -133,6 +139,7 @@ func TestTruthfulUtilityIsBonus(t *testing.T) {
 }
 
 func TestBonusIdentityGap(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(3)
 	for trial := 0; trial < 10; trial++ {
 		n := randomChain(r, 1+r.Intn(12))
@@ -147,6 +154,7 @@ func TestBonusIdentityGap(t *testing.T) {
 }
 
 func TestVoluntaryParticipation(t *testing.T) {
+	t.Parallel()
 	// Theorem 5.4 on random instances.
 	r := xrand.New(4)
 	for trial := 0; trial < 50; trial++ {
@@ -165,6 +173,7 @@ func TestVoluntaryParticipation(t *testing.T) {
 }
 
 func TestStrategyproofBidGrid(t *testing.T) {
+	t.Parallel()
 	// Theorem 5.3: on a dense bid grid no agent gains over truthful.
 	factors := make([]float64, 0, 61)
 	for g := 0.5; g <= 2.001; g += 0.025 {
@@ -184,6 +193,7 @@ func TestStrategyproofBidGrid(t *testing.T) {
 }
 
 func TestUtilityCurvePeaksAtTruth(t *testing.T) {
+	t.Parallel()
 	n, _ := dlt.NewNetwork([]float64{1, 2, 1.5, 3}, []float64{0.2, 0.1, 0.3})
 	factors := []float64{0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0}
 	for i := 1; i <= n.M(); i++ {
@@ -204,6 +214,7 @@ func TestUtilityCurvePeaksAtTruth(t *testing.T) {
 }
 
 func TestSlowExecutionHurts(t *testing.T) {
+	t.Parallel()
 	// Case (ii) of Lemma 5.3: running slower than capacity cannot help.
 	r := xrand.New(6)
 	n := randomChain(r, 6)
@@ -230,6 +241,7 @@ func TestSlowExecutionHurts(t *testing.T) {
 }
 
 func TestUtilityAtSpeedRejectsFast(t *testing.T) {
+	t.Parallel()
 	n, _ := dlt.NewNetwork([]float64{1, 2}, []float64{0.1})
 	if _, err := UtilityAtSpeed(n, 1, 0.5, DefaultConfig()); err == nil {
 		t.Fatal("slowdown < 1 accepted")
@@ -240,6 +252,7 @@ func TestUtilityAtSpeedRejectsFast(t *testing.T) {
 }
 
 func TestUtilityAtBidRejectsRoot(t *testing.T) {
+	t.Parallel()
 	n, _ := dlt.NewNetwork([]float64{1, 2}, []float64{0.1})
 	if _, err := UtilityAtBid(n, 0, 1.5, DefaultConfig()); err == nil {
 		t.Fatal("root accepted")
@@ -250,6 +263,7 @@ func TestUtilityAtBidRejectsRoot(t *testing.T) {
 }
 
 func TestLoadSheddingEconomics(t *testing.T) {
+	t.Parallel()
 	// Phase III before fines: the deviant gains exactly the cost of the
 	// work it shed, and the victim is exactly made whole by E (recompense).
 	n, _ := dlt.NewNetwork([]float64{1, 2, 1.5, 3}, []float64{0.2, 0.1, 0.3})
@@ -288,6 +302,7 @@ func TestLoadSheddingEconomics(t *testing.T) {
 }
 
 func TestFineExceedsSheddingProfit(t *testing.T) {
+	t.Parallel()
 	// Theorem 5.1's premise, checked on the default config: F is larger
 	// than any shedding profit on unit loads.
 	r := xrand.New(7)
@@ -311,6 +326,7 @@ func TestFineExceedsSheddingProfit(t *testing.T) {
 }
 
 func TestZeroLoadZeroPayment(t *testing.T) {
+	t.Parallel()
 	// (4.6): α̃_j = 0 ⇒ Q_j = 0.
 	n, _ := dlt.NewNetwork([]float64{1, 1, 1}, []float64{0.1, 0.1})
 	rep := TruthfulReport(n)
@@ -327,6 +343,7 @@ func TestZeroLoadZeroPayment(t *testing.T) {
 }
 
 func TestSolutionBonusPaid(t *testing.T) {
+	t.Parallel()
 	n, _ := dlt.NewNetwork([]float64{1, 2}, []float64{0.1})
 	cfg := DefaultConfig()
 	cfg.SolutionBonus = 0.05
@@ -351,6 +368,7 @@ func TestSolutionBonusPaid(t *testing.T) {
 }
 
 func TestWHatAdjustedCases(t *testing.T) {
+	t.Parallel()
 	n, _ := dlt.NewNetwork([]float64{1, 2, 3}, []float64{0.1, 0.2})
 	plan := dlt.MustSolveBoundary(n)
 	bids := n.W
@@ -378,6 +396,7 @@ func TestWHatAdjustedCases(t *testing.T) {
 }
 
 func TestCascadeActual(t *testing.T) {
+	t.Parallel()
 	alpha, err := CascadeActual([]float64{0.5, 0.5, 0.25})
 	if err != nil {
 		t.Fatal(err)
@@ -402,6 +421,7 @@ func TestCascadeActual(t *testing.T) {
 }
 
 func TestRealizedMakespanMatchesDLTOnPlan(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(8)
 	n := randomChain(r, 9)
 	out := mustEval(t, n, TruthfulReport(n), DefaultConfig())
@@ -412,6 +432,7 @@ func TestRealizedMakespanMatchesDLTOnPlan(t *testing.T) {
 }
 
 func TestUnderbiddingOverloadsAndHurts(t *testing.T) {
+	t.Parallel()
 	// An agent that underbids receives more load than truthful but earns
 	// less utility.
 	n, _ := dlt.NewNetwork([]float64{1, 2, 2}, []float64{0.2, 0.2})
@@ -429,6 +450,7 @@ func TestUnderbiddingOverloadsAndHurts(t *testing.T) {
 }
 
 func TestOverbiddingShedsLoadAndHurts(t *testing.T) {
+	t.Parallel()
 	n, _ := dlt.NewNetwork([]float64{1, 2, 2}, []float64{0.2, 0.2})
 	cfg := DefaultConfig()
 	honest := mustEval(t, n, TruthfulReport(n), cfg)
@@ -446,6 +468,7 @@ func TestOverbiddingShedsLoadAndHurts(t *testing.T) {
 // Property: strategyproofness and voluntary participation hold on random
 // networks with random single-agent deviations.
 func TestQuickStrategyproofRandom(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	f := func(seed uint64, mRaw, agentRaw uint8, factorRaw uint16) bool {
 		m := int(mRaw%10) + 1
@@ -473,6 +496,7 @@ func TestQuickStrategyproofRandom(t *testing.T) {
 
 // Property: joint deviation of bid and execution speed never beats honest.
 func TestQuickJointDeviation(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	f := func(seed uint64, mRaw, agentRaw uint8, fb, fs uint16) bool {
 		m := int(mRaw%8) + 1

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dlsmech/internal/dlt"
+)
+
+// ExclusionOutcome is the analytic view of a recovery round: the mechanism
+// evaluated truthfully on the chain that survives after the dead processors
+// are spliced out, reported in *original* indexing so it can be compared
+// against pre-failure outcomes position by position.
+type ExclusionOutcome struct {
+	// Survivors maps surviving-chain positions to original indices.
+	Survivors []int
+	// Net is the spliced surviving chain (link times folded together).
+	Net *dlt.Network
+	// Outcome is the truthful evaluation on the surviving chain, in
+	// surviving-chain indexing.
+	Outcome *Outcome
+	// Alpha and Utilities are in original indexing, zero at every excluded
+	// position: an excluded processor computes nothing and earns nothing
+	// (fines are the protocol layer's business, not this analytic one).
+	Alpha     []float64
+	Utilities []float64
+}
+
+// EvaluateExcluding evaluates the truthful mechanism on the chain that
+// remains after removing the processors in dead (original indices, root
+// excluded). It is the payment-consequence counterpart of the protocol
+// layer's RunWithRecovery: Theorem 2.1 re-establishes equal finish times on
+// the spliced chain, and Theorems 5.3/5.4 keep holding because the surviving
+// chain is just another linear network.
+func EvaluateExcluding(trueNet *dlt.Network, dead []int, cfg Config) (*ExclusionOutcome, error) {
+	if err := trueNet.Validate(); err != nil {
+		return nil, err
+	}
+	size := trueNet.Size()
+	gone := make(map[int]bool, len(dead))
+	for _, k := range dead {
+		if k <= 0 || k >= size {
+			return nil, fmt.Errorf("core: cannot exclude processor %d of %d (root is irremovable)", k, size)
+		}
+		gone[k] = true
+	}
+	if len(gone) >= size {
+		return nil, fmt.Errorf("core: excluding all %d processors", size)
+	}
+
+	// Splice highest index first so earlier removals do not shift the
+	// indices of later ones.
+	order := make([]int, 0, len(gone))
+	for k := range gone {
+		order = append(order, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	net := trueNet.Clone()
+	var err error
+	for _, k := range order {
+		if net, err = net.Without(k); err != nil {
+			return nil, err
+		}
+	}
+
+	survivors := make([]int, 0, net.Size())
+	for i := 0; i < size; i++ {
+		if !gone[i] {
+			survivors = append(survivors, i)
+		}
+	}
+
+	out, err := EvaluateTruthful(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ex := &ExclusionOutcome{
+		Survivors: survivors,
+		Net:       net,
+		Outcome:   out,
+		Alpha:     make([]float64, size),
+		Utilities: make([]float64, size),
+	}
+	for pos, origIdx := range survivors {
+		ex.Alpha[origIdx] = out.Plan.Alpha[pos]
+		ex.Utilities[origIdx] = out.Payments[pos].Utility
+	}
+	return ex, nil
+}

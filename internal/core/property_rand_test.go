@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+// randomInstance draws one random linear network: m ∈ [2,9] worker links,
+// W ~ Uniform(0.5,5), Z ~ Uniform(0.01,1). Every draw advances r, so
+// instance k is fully determined by (seed, k).
+func randomInstance(t *testing.T, r *xrand.Rand) *dlt.Network {
+	t.Helper()
+	m := 2 + r.Intn(8)
+	w := make([]float64, m+1)
+	z := make([]float64, m)
+	for i := range w {
+		w[i] = r.Uniform(0.5, 5)
+	}
+	for i := range z {
+		z[i] = r.Uniform(0.01, 1)
+	}
+	n, err := dlt.NewNetwork(w, z)
+	if err != nil {
+		t.Fatalf("instance rejected: %v", err)
+	}
+	return n
+}
+
+// TestRandomInstancesTruthful sweeps ~1,000 seeded random networks and
+// asserts the paper's structural theorems hold on each truthful outcome:
+// Σα = 1, equal finish times across participants (Theorem 2.1), every
+// truthful utility non-negative with the root pinned at zero (Theorem 5.4).
+func TestRandomInstancesTruthful(t *testing.T) {
+	t.Parallel()
+	const instances = 1000
+	r := xrand.New(0xd15c0de)
+	cfg := DefaultConfig()
+	for k := 0; k < instances; k++ {
+		n := randomInstance(t, r)
+		out, err := EvaluateTruthful(n, cfg)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+
+		var sum float64
+		for _, a := range out.Plan.Alpha {
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("instance %d: Σα = %g, want 1", k, sum)
+		}
+
+		// Theorem 2.1: all processors with positive load finish together.
+		if spread := dlt.FinishSpread(n, out.Plan.Alpha); spread > 1e-9 {
+			t.Fatalf("instance %d: finish spread %g, want ~0", k, spread)
+		}
+
+		// Theorem 5.4: truthfulness never loses money; the root is the
+		// obedient mechanism owner and nets exactly zero.
+		minU, rootU, err := ParticipationViolation(n, cfg)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		if minU < -1e-9 {
+			t.Fatalf("instance %d: truthful utility %g < 0 violates participation", k, minU)
+		}
+		if math.Abs(rootU) > 1e-9 {
+			t.Fatalf("instance %d: root utility %g, want 0", k, rootU)
+		}
+
+		// The Theorem 5.2 bonus identity B_j = S − (verification cost) must
+		// balance on truthful play.
+		if gap, err := BonusIdentityGap(n, cfg); err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		} else if gap > 1e-9 {
+			t.Fatalf("instance %d: bonus identity gap %g", k, gap)
+		}
+	}
+}
+
+// TestRandomInstancesStrategyproof samples random networks and random
+// unilateral bid deviations and checks none beats truthful bidding
+// (Theorem 5.3), including deviations executed at reduced actual speed.
+func TestRandomInstancesStrategyproof(t *testing.T) {
+	t.Parallel()
+	const instances = 250
+	r := xrand.New(0x5afe)
+	cfg := DefaultConfig()
+	factors := []float64{0.5, 0.8, 0.95, 1.05, 1.25, 2, 4}
+	for k := 0; k < instances; k++ {
+		n := randomInstance(t, r)
+
+		// Exhaustive factor grid over every deviating processor.
+		viol, err := StrategyproofViolation(n, factors, cfg)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		if viol > 1e-9 {
+			t.Fatalf("instance %d: bid deviation gains %g over truthful", k, viol)
+		}
+
+		// A random off-grid deviation by a random processor.
+		i := 1 + r.Intn(n.Size()-1)
+		truthful, err := UtilityAtBid(n, i, n.W[i], cfg)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		dev, err := UtilityAtBid(n, i, n.W[i]*r.Uniform(0.3, 3), cfg)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		if dev > truthful+1e-9 {
+			t.Fatalf("instance %d: P%d random deviation utility %g > truthful %g",
+				k, i, dev, truthful)
+		}
+
+		// Executing slower than bid never pays either (the ŵ adjustment of
+		// (4.10)-(4.11) claws the difference back).
+		slow, err := UtilityAtSpeed(n, i, r.Uniform(1, 2.5), cfg)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		if slow > truthful+1e-9 {
+			t.Fatalf("instance %d: P%d slow execution utility %g > truthful %g",
+				k, i, slow, truthful)
+		}
+	}
+}
+
+// TestRandomInstancesCheatingUnprofitable spot-checks the Theorem 5.1 fine
+// calibration: across random networks, the pre-fine profit of a load-
+// shedding cheat stays below the default fine F, so a caught cheat always
+// nets strictly negative.
+func TestRandomInstancesCheatingUnprofitable(t *testing.T) {
+	t.Parallel()
+	const instances = 100
+	r := xrand.New(0xbadb1d)
+	cfg := DefaultConfig()
+	for k := 0; k < instances; k++ {
+		n := randomInstance(t, r)
+		i := 1 + r.Intn(n.M()-1) // shedder must have a successor
+		gain, _, err := CheatingProfit(n, i, r.Uniform(0.2, 0.8), cfg)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		if gain >= cfg.Fine {
+			t.Fatalf("instance %d: P%d shedding profit %g not covered by fine %g",
+				k, i, gain, cfg.Fine)
+		}
+	}
+}

@@ -25,6 +25,7 @@ func randomTree(r *xrand.Rand, depth int) *dlt.TreeNode {
 }
 
 func TestTreeTruthfulParticipation(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(1)
 	cfg := DefaultConfig()
 	for trial := 0; trial < 15; trial++ {
@@ -48,6 +49,7 @@ func TestTreeTruthfulParticipation(t *testing.T) {
 }
 
 func TestTreeTruthfulBonusClosedForm(t *testing.T) {
+	t.Parallel()
 	// Truthful: B_j = w_parent − q_parent (the parent subtree's equivalent).
 	r := xrand.New(2)
 	cfg := DefaultConfig()
@@ -73,6 +75,7 @@ func TestTreeTruthfulBonusClosedForm(t *testing.T) {
 }
 
 func TestTreeMatchesChainMechanism(t *testing.T) {
+	t.Parallel()
 	// On a chain-shaped tree DLS-T must price exactly like DLS-LBL.
 	r := xrand.New(3)
 	cfg := DefaultConfig()
@@ -101,6 +104,7 @@ func TestTreeMatchesChainMechanism(t *testing.T) {
 }
 
 func TestTreeMatchesChainMechanismUnderDeviation(t *testing.T) {
+	t.Parallel()
 	// Bid and speed deviations must also price identically on a chain.
 	r := xrand.New(4)
 	cfg := DefaultConfig()
@@ -146,6 +150,7 @@ func TestTreeMatchesChainMechanismUnderDeviation(t *testing.T) {
 }
 
 func TestTreeStrategyproofGrid(t *testing.T) {
+	t.Parallel()
 	factors := []float64{0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.15, 1.3, 1.6, 2.0}
 	r := xrand.New(5)
 	cfg := DefaultConfig()
@@ -162,6 +167,7 @@ func TestTreeStrategyproofGrid(t *testing.T) {
 }
 
 func TestTreeSlowExecutionHurts(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(6)
 	cfg := DefaultConfig()
 	root := randomTree(r, 2)
@@ -186,6 +192,7 @@ func TestTreeSlowExecutionHurts(t *testing.T) {
 }
 
 func TestInteriorOriginationAsTree(t *testing.T) {
+	t.Parallel()
 	// The paper's future-work case: a chain with the load originating at an
 	// interior processor is a tree whose root has two chain children. The
 	// mechanism prices it with non-negative truthful utilities and a
@@ -221,6 +228,7 @@ func TestInteriorOriginationAsTree(t *testing.T) {
 }
 
 func TestTreeValidation(t *testing.T) {
+	t.Parallel()
 	root := &dlt.TreeNode{W: 1, Children: []dlt.TreeEdge{{Z: 0.1, Node: &dlt.TreeNode{W: 2}}}}
 	cfg := DefaultConfig()
 	if _, err := EvaluateTree(root, TreeReport{Bids: []float64{1}}, cfg); err == nil {
@@ -246,6 +254,7 @@ func TestTreeValidation(t *testing.T) {
 // Property: DLS-T strategyproofness + participation on random trees with
 // random single-node deviations.
 func TestQuickTreeStrategyproof(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	f := func(seed uint64, nodeRaw uint8, factorRaw uint16) bool {
 		r := xrand.New(seed)

@@ -82,6 +82,13 @@ type Result struct {
 	Send     []Interval // Send[i]: transfer interval on link i (into P_i); Send[0] unused
 	Makespan float64
 	Trace    []Event
+	// Lost is the load destroyed by injected crashes (never computed and
+	// never delivered downstream). Zero on fault-free runs; always
+	// Σ Retained + Lost = Load.
+	Lost float64
+	// Crashed flags the processors whose injected crash actually fired
+	// (nil on fault-free runs).
+	Crashed []bool
 }
 
 // Spec describes one simulation run.
@@ -102,6 +109,9 @@ type Spec struct {
 	Load float64
 	// RecordTrace enables the event trace (costs allocations).
 	RecordTrace bool
+	// Faults optionally injects timed crashes and link delays. nil means a
+	// fault-free run.
+	Faults *FaultSpec
 }
 
 type event struct {
@@ -184,6 +194,9 @@ func Run(spec Spec) (*Result, error) {
 	if load < 0 {
 		return nil, fmt.Errorf("%w: Load=%v", ErrSpecHat, load)
 	}
+	if err := spec.Faults.validate(size); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Arrive:   make([]float64, size),
@@ -216,6 +229,15 @@ func Run(spec Spec) (*Result, error) {
 		switch e.kind {
 		case EvArrive:
 			i := e.proc
+			crash := spec.Faults.crashTime(i)
+			if crash <= e.time {
+				// The processor was already down when its assignment landed:
+				// everything it would have computed or forwarded is gone.
+				markCrashed(res, i)
+				res.Lost += e.load
+				record(e.time, EvArrive, i, e.load)
+				continue
+			}
 			res.Received[i] = e.load
 			res.Arrive[i] = e.time
 			record(e.time, EvArrive, i, e.load)
@@ -225,12 +247,30 @@ func Run(spec Spec) (*Result, error) {
 			if retained > 0 {
 				record(e.time, EvComputeStart, i, retained)
 				done := e.time + retained*w[i]
+				if crash < done {
+					// Mid-compute crash: the partial result up to the crash
+					// instant is retained, the remainder is lost.
+					computed := (crash - e.time) / w[i]
+					res.Retained[i] = computed
+					res.Lost += retained - computed
+					markCrashed(res, i)
+					retained, done = computed, crash
+				}
 				res.Compute[i] = Interval{Start: e.time, End: done}
 				schedule(done, EvComputeDone, i, retained)
 			}
 			if forwarded > 0 && i < size-1 {
 				record(e.time, EvSendStart, i, forwarded)
-				arrive := e.time + forwarded*n.Z[i+1]
+				sendDone := e.time + forwarded*n.Z[i+1]
+				if crash < sendDone {
+					// The front-end dies mid-transfer; the successor never
+					// receives the (store-and-forward) assignment.
+					markCrashed(res, i)
+					res.Lost += forwarded
+					res.Send[i+1] = Interval{Start: e.time, End: crash}
+					continue
+				}
+				arrive := sendDone + spec.Faults.linkDelay(i+1)
 				res.Send[i+1] = Interval{Start: e.time, End: arrive}
 				schedule(arrive, EvSendDone, i, forwarded)
 				schedule(arrive, EvArrive, i+1, forwarded)

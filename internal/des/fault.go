@@ -1,0 +1,70 @@
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// FaultSpec injects timed failures into a simulation run. It mirrors the
+// crash/delay vocabulary of internal/fault on the simulated-time axis: where
+// the protocol runner's injector fires on message sends and phase entries,
+// the DES hooks fire at simulation timestamps.
+type FaultSpec struct {
+	// CrashAt[i] is the simulation time at which P_i fails-stop. The crash
+	// takes compute and the communication front-end down together: load not
+	// yet computed is lost, and an in-flight forward to the successor dies in
+	// transit (the successor never receives it). 0, NaN or +Inf mean the
+	// processor never crashes.
+	CrashAt []float64
+	// LinkDelay[i] adds a fixed latency to the transfer over link l_i (into
+	// P_i, i ≥ 1); entry 0 is unused. The delay models store-and-forward
+	// congestion: it shifts arrival without occupying the sender longer.
+	LinkDelay []float64
+}
+
+// crashTime returns P_i's crash time, or +Inf when it never crashes.
+func (f *FaultSpec) crashTime(i int) float64 {
+	if f == nil || i >= len(f.CrashAt) {
+		return math.Inf(1)
+	}
+	c := f.CrashAt[i]
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return math.Inf(1)
+	}
+	return c
+}
+
+// linkDelay returns the extra latency of link l_i.
+func (f *FaultSpec) linkDelay(i int) float64 {
+	if f == nil || i >= len(f.LinkDelay) {
+		return 0
+	}
+	return f.LinkDelay[i]
+}
+
+// markCrashed lazily allocates Result.Crashed and flags processor i.
+func markCrashed(res *Result, i int) {
+	if res.Crashed == nil {
+		res.Crashed = make([]bool, len(res.Arrive))
+	}
+	res.Crashed[i] = true
+}
+
+// validate checks vector lengths and value domains against the network size.
+func (f *FaultSpec) validate(size int) error {
+	if f == nil {
+		return nil
+	}
+	if len(f.CrashAt) != 0 && len(f.CrashAt) != size {
+		return fmt.Errorf("%w: CrashAt has %d entries for %d processors", ErrSpecPlan, len(f.CrashAt), size)
+	}
+	if len(f.LinkDelay) != 0 && len(f.LinkDelay) != size {
+		return fmt.Errorf("%w: LinkDelay has %d entries for %d processors", ErrSpecPlan, len(f.LinkDelay), size)
+	}
+	for i, d := range f.LinkDelay {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("%w: LinkDelay[%d]=%v", ErrSpecHat, i, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/xrand"
+)
+
+// planSpec builds the on-plan Spec for a network, optionally with faults.
+func planSpec(t *testing.T, n *dlt.Network, f *FaultSpec) Spec {
+	t.Helper()
+	sol := dlt.MustSolveBoundary(n)
+	return Spec{Net: n, PlanHat: sol.AlphaHat, Faults: f}
+}
+
+// conserved asserts the fault-run mass balance Σ Retained + Lost = Load.
+func conserved(t *testing.T, res *Result, load float64) {
+	t.Helper()
+	total := res.Lost
+	for _, a := range res.Retained {
+		total += a
+	}
+	if math.Abs(total-load) > tol {
+		t.Fatalf("Σ retained + lost = %v, want %v", total, load)
+	}
+}
+
+func TestFaultNilMatchesBaseline(t *testing.T) {
+	t.Parallel()
+	r := xrand.New(41)
+	n := randomChain(r, 6)
+	base, err := Run(planSpec(t, n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := Run(planSpec(t, n, &FaultSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Finish {
+		if base.Finish[i] != empty.Finish[i] || base.Retained[i] != empty.Retained[i] {
+			t.Fatalf("empty FaultSpec diverges from fault-free run at P%d", i)
+		}
+	}
+	if empty.Lost != 0 || empty.Crashed != nil {
+		t.Fatalf("empty FaultSpec produced Lost=%v Crashed=%v", empty.Lost, empty.Crashed)
+	}
+	conserved(t, base, 1)
+}
+
+// A processor already down when its assignment lands loses the whole
+// assignment: nothing is computed or forwarded past it.
+func TestFaultCrashBeforeArrival(t *testing.T) {
+	t.Parallel()
+	r := xrand.New(43)
+	n := randomChain(r, 3)
+	base, err := Run(planSpec(t, n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := n.Size() - 1
+	f := &FaultSpec{CrashAt: make([]float64, n.Size())}
+	f.CrashAt[last] = base.Arrive[last] / 2
+	res, err := Run(planSpec(t, n, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[last] {
+		t.Fatal("crash flag not set")
+	}
+	if res.Retained[last] != 0 || res.Received[last] != 0 {
+		t.Fatalf("dead processor retained %v / received %v", res.Retained[last], res.Received[last])
+	}
+	if math.Abs(res.Lost-base.Received[last]) > tol {
+		t.Fatalf("lost %v, want the dead processor's whole assignment %v", res.Lost, base.Received[last])
+	}
+	conserved(t, res, 1)
+}
+
+// A mid-compute crash keeps the partial result up to the crash instant and
+// truncates the compute interval there.
+func TestFaultCrashMidCompute(t *testing.T) {
+	t.Parallel()
+	r := xrand.New(47)
+	n := randomChain(r, 4)
+	base, err := Run(planSpec(t, n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash P1 late in its compute window so its forward to P2 has already
+	// completed and only compute is truncated.
+	crash := base.Arrive[1] + 0.9*(base.Finish[1]-base.Arrive[1])
+	if crash <= base.Send[2].End {
+		t.Skipf("compute window ends before the forward on this chain")
+	}
+	f := &FaultSpec{CrashAt: make([]float64, n.Size())}
+	f.CrashAt[1] = crash
+	res, err := Run(planSpec(t, n, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[1] {
+		t.Fatal("crash flag not set")
+	}
+	wantPartial := (crash - base.Arrive[1]) / n.W[1]
+	if math.Abs(res.Retained[1]-wantPartial) > tol {
+		t.Fatalf("partial retained %v, want %v", res.Retained[1], wantPartial)
+	}
+	if res.Compute[1].End != crash || res.Finish[1] != crash {
+		t.Fatalf("compute truncated at %v / finished %v, want crash time %v",
+			res.Compute[1].End, res.Finish[1], crash)
+	}
+	// Downstream processors received their assignments before the crash.
+	for i := 2; i < n.Size(); i++ {
+		if res.Retained[i] != base.Retained[i] {
+			t.Fatalf("downstream P%d retained %v, want %v", i, res.Retained[i], base.Retained[i])
+		}
+	}
+	conserved(t, res, 1)
+}
+
+// A crash during the store-and-forward transfer takes the front-end down
+// with the processor: the successor never receives anything.
+func TestFaultCrashMidSend(t *testing.T) {
+	t.Parallel()
+	r := xrand.New(53)
+	n := randomChain(r, 4)
+	base, err := Run(planSpec(t, n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := (base.Send[1].Start + base.Send[1].End) / 2
+	f := &FaultSpec{CrashAt: make([]float64, n.Size())}
+	f.CrashAt[0] = crash
+	res, err := Run(planSpec(t, n, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[0] {
+		t.Fatal("crash flag not set")
+	}
+	for i := 1; i < n.Size(); i++ {
+		if res.Received[i] != 0 || res.Retained[i] != 0 {
+			t.Fatalf("P%d received %v / retained %v past a dead sender",
+				i, res.Received[i], res.Retained[i])
+		}
+	}
+	if res.Send[1].End != crash {
+		t.Fatalf("transfer truncated at %v, want crash time %v", res.Send[1].End, crash)
+	}
+	conserved(t, res, 1)
+}
+
+// A link delay shifts the successor's arrival (and everything after it)
+// without losing load or occupying the sender longer.
+func TestFaultLinkDelayShiftsArrivals(t *testing.T) {
+	t.Parallel()
+	r := xrand.New(59)
+	n := randomChain(r, 4)
+	base, err := Run(planSpec(t, n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 0.5
+	f := &FaultSpec{LinkDelay: make([]float64, n.Size())}
+	f.LinkDelay[1] = delay
+	res, err := Run(planSpec(t, n, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n.Size(); i++ {
+		if math.Abs(res.Arrive[i]-(base.Arrive[i]+delay)) > tol {
+			t.Fatalf("arrive[%d] = %v, want baseline+%v = %v", i, res.Arrive[i], delay, base.Arrive[i]+delay)
+		}
+		if res.Retained[i] != base.Retained[i] {
+			t.Fatalf("delay changed retained[%d]: %v vs %v", i, res.Retained[i], base.Retained[i])
+		}
+	}
+	if res.Lost != 0 || res.Crashed != nil {
+		t.Fatalf("pure delay lost load: Lost=%v Crashed=%v", res.Lost, res.Crashed)
+	}
+	if res.Makespan <= base.Makespan {
+		t.Fatalf("makespan %v not increased from %v by the delay", res.Makespan, base.Makespan)
+	}
+	conserved(t, res, 1)
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	t.Parallel()
+	r := xrand.New(61)
+	n := randomChain(r, 3)
+	cases := []*FaultSpec{
+		{CrashAt: []float64{1}},                     // wrong length
+		{LinkDelay: []float64{0, 1}},                // wrong length
+		{LinkDelay: []float64{0, -1, 0, 0}},         // negative delay
+		{LinkDelay: []float64{0, math.NaN(), 0, 0}}, // NaN delay
+	}
+	for k, f := range cases {
+		if _, err := Run(planSpec(t, n, f)); err == nil {
+			t.Fatalf("case %d: invalid FaultSpec accepted", k)
+		}
+	}
+	// Unset, zero and infinite crash times mean "never crashes".
+	f := &FaultSpec{CrashAt: []float64{0, math.Inf(1), 0, 0}}
+	res, err := Run(planSpec(t, n, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Crashed != nil {
+		t.Fatalf("no-op crash spec lost load: Lost=%v Crashed=%v", res.Lost, res.Crashed)
+	}
+}

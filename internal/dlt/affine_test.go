@@ -9,6 +9,7 @@ import (
 )
 
 func TestAffineValidate(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 2}, []float64{0.1})
 	good := WithUniformStartup(n, 0.1, 0.2)
 	if err := good.Validate(); err != nil {
@@ -31,6 +32,7 @@ func TestAffineValidate(t *testing.T) {
 }
 
 func TestAffineZeroStartupMatchesLinear(t *testing.T) {
+	t.Parallel()
 	// With zc = wc = 0 the affine solver must reproduce Algorithm 1.
 	r := xrand.New(1)
 	for trial := 0; trial < 15; trial++ {
@@ -56,6 +58,7 @@ func TestAffineZeroStartupMatchesLinear(t *testing.T) {
 }
 
 func TestAffineTwoProcessorClosedForm(t *testing.T) {
+	t.Parallel()
 	// m=1 with startups, both participating:
 	//   α0·w0 + wc0 = T,  zc1 + α1·z1 + wc1 + α1·w1 = T,  α0 + α1 = L.
 	w0, w1, z1 := 2.0, 3.0, 0.5
@@ -81,6 +84,7 @@ func TestAffineTwoProcessorClosedForm(t *testing.T) {
 }
 
 func TestAffineAllocationFeasible(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(2)
 	for trial := 0; trial < 20; trial++ {
 		n := randomChain(r, 1+r.Intn(12))
@@ -104,6 +108,7 @@ func TestAffineAllocationFeasible(t *testing.T) {
 }
 
 func TestAffineParticipantsFinishTogether(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(3)
 	for trial := 0; trial < 20; trial++ {
 		n := randomChain(r, 1+r.Intn(10))
@@ -126,6 +131,7 @@ func TestAffineParticipantsFinishTogether(t *testing.T) {
 }
 
 func TestAffineStartupShrinksParticipation(t *testing.T) {
+	t.Parallel()
 	// With large communication startups, distant processors drop out.
 	n := &Network{W: []float64{1, 1, 1, 1, 1, 1}, Z: []float64{0, 0.1, 0.1, 0.1, 0.1, 0.1}}
 	small, err := SolveAffine(WithUniformStartup(n, 0.001, 0), 1, 1e-11)
@@ -145,6 +151,7 @@ func TestAffineStartupShrinksParticipation(t *testing.T) {
 }
 
 func TestAffineMakespanMonotoneInStartup(t *testing.T) {
+	t.Parallel()
 	n := &Network{W: []float64{1, 2, 1.5}, Z: []float64{0, 0.2, 0.1}}
 	prev := 0.0
 	for _, zc := range []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8} {
@@ -160,6 +167,7 @@ func TestAffineMakespanMonotoneInStartup(t *testing.T) {
 }
 
 func TestAffineNeverWorseThanRootOnly(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(4)
 	for trial := 0; trial < 20; trial++ {
 		n := randomChain(r, 1+r.Intn(8))
@@ -177,6 +185,7 @@ func TestAffineNeverWorseThanRootOnly(t *testing.T) {
 }
 
 func TestAffineRejectsBadInputs(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1}, nil)
 	af := WithUniformStartup(n, 0, 0)
 	if _, err := SolveAffine(af, 0, 1e-9); err == nil {
@@ -191,6 +200,7 @@ func TestAffineRejectsBadInputs(t *testing.T) {
 }
 
 func TestAffineSingleProcessor(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{2}, nil)
 	af := WithUniformStartup(n, 0, 0.5)
 	sol, err := SolveAffine(af, 3, 1e-11)
@@ -209,6 +219,7 @@ func TestAffineSingleProcessor(t *testing.T) {
 // Property: the affine optimum is never worse than serving the same load
 // with the linear-model optimal fractions evaluated under affine costs.
 func TestQuickAffineBeatsLinearPlanUnderStartups(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, mRaw uint8) bool {
 		m := int(mRaw%8) + 1
 		r := xrand.New(seed)

@@ -122,6 +122,33 @@ func (n *Network) Suffix(i int) *Network {
 	return s
 }
 
+// Without returns the chain with processor k removed, splicing its neighbors
+// together: load bound for the survivors after P_k now crosses both the link
+// into P_k and the link out of it, so the per-unit times add
+// (z'_{k+1} = z_k + z_{k+1}). Removing the last processor just truncates.
+// The failure-recovery runner uses this to re-run LINEAR BOUNDARY-LINEAR on
+// the surviving chain after a processor is declared dead. The root (k = 0)
+// cannot be removed — the load originates there.
+func (n *Network) Without(k int) (*Network, error) {
+	m := n.M()
+	if k <= 0 || k > m {
+		return nil, fmt.Errorf("dlt: cannot remove processor %d from chain of %d (root is irremovable)", k, n.Size())
+	}
+	c := &Network{
+		W: append(append([]float64(nil), n.W[:k]...), n.W[k+1:]...),
+		Z: append(append([]float64(nil), n.Z[:k]...), n.Z[k+1:]...),
+	}
+	if k < m {
+		// c.Z[k] now describes the link into the old P_{k+1}; traffic to it
+		// still traverses the physical link that fed P_k.
+		c.Z[k] += n.Z[k]
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // WithBid returns a copy of n in which processor i declares processing time
 // w instead of W[i]. The mechanism uses this to evaluate counterfactual bid
 // vectors.

@@ -8,6 +8,7 @@ import (
 )
 
 func TestNewNetworkValidation(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		w, z []float64
@@ -36,6 +37,7 @@ func TestNewNetworkValidation(t *testing.T) {
 }
 
 func TestValidateZ0(t *testing.T) {
+	t.Parallel()
 	n := &Network{W: []float64{1, 2}, Z: []float64{0.5, 0.5}}
 	if err := n.Validate(); !errors.Is(err, ErrZ0) {
 		t.Fatalf("want ErrZ0, got %v", err)
@@ -43,6 +45,7 @@ func TestValidateZ0(t *testing.T) {
 }
 
 func TestMAndSize(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 2, 3}, []float64{0.1, 0.2})
 	if n.M() != 2 || n.Size() != 3 {
 		t.Fatalf("M=%d Size=%d", n.M(), n.Size())
@@ -50,6 +53,7 @@ func TestMAndSize(t *testing.T) {
 }
 
 func TestCloneIsolated(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 2}, []float64{0.5})
 	c := n.Clone()
 	c.W[0] = 99
@@ -60,6 +64,7 @@ func TestCloneIsolated(t *testing.T) {
 }
 
 func TestSuffix(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 2, 3, 4}, []float64{0.1, 0.2, 0.3})
 	s := n.Suffix(2)
 	if s.Size() != 2 || s.W[0] != 3 || s.W[1] != 4 {
@@ -78,6 +83,7 @@ func TestSuffix(t *testing.T) {
 }
 
 func TestSuffixPanics(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1}, nil)
 	defer func() {
 		if recover() == nil {
@@ -88,6 +94,7 @@ func TestSuffixPanics(t *testing.T) {
 }
 
 func TestWithBid(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 2}, []float64{0.5})
 	b := n.WithBid(1, 7)
 	if b.W[1] != 7 || n.W[1] != 2 {
@@ -96,6 +103,7 @@ func TestWithBid(t *testing.T) {
 }
 
 func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 2, 3}, []float64{0.25, 0.5})
 	data, err := json.Marshal(n)
 	if err != nil {
@@ -111,6 +119,7 @@ func TestJSONRoundTrip(t *testing.T) {
 }
 
 func TestJSONRejectsInvalid(t *testing.T) {
+	t.Parallel()
 	var n Network
 	if err := json.Unmarshal([]byte(`{"w":[1,-2],"z":[0.1]}`), &n); err == nil {
 		t.Fatal("invalid spec accepted")
@@ -121,6 +130,7 @@ func TestJSONRejectsInvalid(t *testing.T) {
 }
 
 func TestFinishTimeZeroAlloc(t *testing.T) {
+	t.Parallel()
 	// (2.2): T_j = 0 when α_j = 0 for j ≥ 1 — the processor never takes
 	// part and is not charged the communication prefix.
 	n, _ := NewNetwork([]float64{1, 1, 1}, []float64{0.5, 0.5})
@@ -135,6 +145,7 @@ func TestFinishTimeZeroAlloc(t *testing.T) {
 }
 
 func TestFinishTimeMatchesScalar(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1.2, 2.3, 0.9, 3.1}, []float64{0.2, 0.4, 0.1})
 	alpha := []float64{0.4, 0.3, 0.2, 0.1}
 	ts := FinishTimes(n, alpha)
@@ -146,6 +157,7 @@ func TestFinishTimeMatchesScalar(t *testing.T) {
 }
 
 func TestFinishTimeHandComputed(t *testing.T) {
+	t.Parallel()
 	// Hand-check (2.2) for a 3-processor chain.
 	n, _ := NewNetwork([]float64{2, 3, 4}, []float64{0.5, 1.0})
 	alpha := []float64{0.5, 0.3, 0.2}
@@ -165,6 +177,7 @@ func TestFinishTimeHandComputed(t *testing.T) {
 }
 
 func TestArrivalTimes(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{2, 3, 4}, []float64{0.5, 1.0})
 	alpha := []float64{0.5, 0.3, 0.2}
 	at := ArrivalTimes(n, alpha)
@@ -177,6 +190,7 @@ func TestArrivalTimes(t *testing.T) {
 }
 
 func TestFinishSpreadIgnoresIdle(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 1, 1}, []float64{0.5, 0.5})
 	alpha := []float64{0.6, 0.4, 0}
 	ts := FinishTimes(n, alpha)
@@ -187,6 +201,7 @@ func TestFinishSpreadIgnoresIdle(t *testing.T) {
 }
 
 func TestBaselinesAreFeasible(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 2, 3, 4}, []float64{0.1, 0.2, 0.3})
 	for name, alpha := range map[string][]float64{
 		"uniform":      UniformAlloc(n),
@@ -201,6 +216,7 @@ func TestBaselinesAreFeasible(t *testing.T) {
 }
 
 func TestProportionalWeighting(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 2}, []float64{0.5})
 	alpha := ProportionalAlloc(n)
 	// 1/w weights: 1 and 0.5 -> shares 2/3 and 1/3.
@@ -210,6 +226,7 @@ func TestProportionalWeighting(t *testing.T) {
 }
 
 func TestPrefixOptimalAlloc(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 1, 1, 1}, []float64{0.2, 0.2, 0.2})
 	alpha, err := PrefixOptimalAlloc(n, 1)
 	if err != nil {

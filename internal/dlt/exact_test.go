@@ -9,6 +9,7 @@ import (
 )
 
 func TestExactMatchesFloatSmallChains(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(1)
 	for trial := 0; trial < 20; trial++ {
 		n := randomChain(r, 1+r.Intn(16))
@@ -23,6 +24,7 @@ func TestExactMatchesFloatSmallChains(t *testing.T) {
 }
 
 func TestExactDriftGrowsSlowly(t *testing.T) {
+	t.Parallel()
 	// Even at 128 processors the recurrence loses only a few ulps. (The
 	// rationals' denominators grow exponentially with chain length, so the
 	// exact reference is kept to a moderate size here.)
@@ -38,6 +40,7 @@ func TestExactDriftGrowsSlowly(t *testing.T) {
 }
 
 func TestExactEqualFinish(t *testing.T) {
+	t.Parallel()
 	// In exact arithmetic the equal-finish property of Theorem 2.1 is an
 	// identity: all finish times are literally the same rational.
 	r := xrand.New(3)
@@ -58,6 +61,7 @@ func TestExactEqualFinish(t *testing.T) {
 }
 
 func TestExactAlphaSumsToOne(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(4)
 	n := randomChain(r, 12)
 	sol, err := SolveBoundaryExact(n)
@@ -74,6 +78,7 @@ func TestExactAlphaSumsToOne(t *testing.T) {
 }
 
 func TestExactRejectsInvalid(t *testing.T) {
+	t.Parallel()
 	bad := &Network{W: []float64{-1}, Z: []float64{0}}
 	if _, err := SolveBoundaryExact(bad); err == nil {
 		t.Fatal("invalid network accepted")
@@ -84,6 +89,7 @@ func TestExactRejectsInvalid(t *testing.T) {
 }
 
 func TestExactTwoProcessorHandCheck(t *testing.T) {
+	t.Parallel()
 	// w = (1, 3), z = 1/2: α̂_0 = (3 + 1/2)/(1 + 3 + 1/2) = 7/9.
 	n, _ := NewNetwork([]float64{1, 3}, []float64{0.5})
 	sol, err := SolveBoundaryExact(n)

@@ -28,6 +28,7 @@ func randomChain(r *xrand.Rand, m int) *Network {
 }
 
 func TestSolveSingleProcessor(t *testing.T) {
+	t.Parallel()
 	n, err := NewNetwork([]float64{2.5}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -45,6 +46,7 @@ func TestSolveSingleProcessor(t *testing.T) {
 }
 
 func TestSolveTwoProcessorsClosedForm(t *testing.T) {
+	t.Parallel()
 	// For m=1: α̂_0 = (w1+z1)/(w0+w1+z1), makespan = α̂_0·w0.
 	w0, w1, z1 := 2.0, 3.0, 0.5
 	n, _ := NewNetwork([]float64{w0, w1}, []float64{z1})
@@ -66,6 +68,7 @@ func TestSolveTwoProcessorsClosedForm(t *testing.T) {
 }
 
 func TestSolveAllocationSumsToOne(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(1)
 	for _, m := range []int{1, 2, 3, 7, 31, 127} {
 		n := randomChain(r, m)
@@ -77,6 +80,7 @@ func TestSolveAllocationSumsToOne(t *testing.T) {
 }
 
 func TestTheorem21EqualFinishTimes(t *testing.T) {
+	t.Parallel()
 	// Theorem 2.1: at the optimum every processor participates and all
 	// finish simultaneously.
 	r := xrand.New(2)
@@ -95,6 +99,7 @@ func TestTheorem21EqualFinishTimes(t *testing.T) {
 }
 
 func TestWBarMatchesSuffixSolve(t *testing.T) {
+	t.Parallel()
 	// WBar[i] must equal the optimal makespan of the sub-chain P_i..P_m —
 	// the reduction invariant (2.4).
 	r := xrand.New(3)
@@ -109,6 +114,7 @@ func TestWBarMatchesSuffixSolve(t *testing.T) {
 }
 
 func TestMakespanEqualsWBar0(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(4)
 	for trial := 0; trial < 20; trial++ {
 		n := randomChain(r, 1+r.Intn(20))
@@ -120,6 +126,7 @@ func TestMakespanEqualsWBar0(t *testing.T) {
 }
 
 func TestSolveOptimalVsGridSearch(t *testing.T) {
+	t.Parallel()
 	// Brute-force the m=2 simplex on a fine grid; the solver must never be
 	// worse and must be within grid resolution of the brute-force optimum.
 	n, _ := NewNetwork([]float64{1.5, 2.0, 3.0}, []float64{0.3, 0.6})
@@ -143,6 +150,7 @@ func TestSolveOptimalVsGridSearch(t *testing.T) {
 }
 
 func TestSolveDominatesPerturbations(t *testing.T) {
+	t.Parallel()
 	// Local optimality: moving load between any pair of processors cannot
 	// reduce the makespan.
 	r := xrand.New(5)
@@ -166,6 +174,7 @@ func TestSolveDominatesPerturbations(t *testing.T) {
 }
 
 func TestMoreProcessorsNeverHurt(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(6)
 	n := randomChain(r, 16)
 	prev := math.Inf(1)
@@ -180,6 +189,7 @@ func TestMoreProcessorsNeverHurt(t *testing.T) {
 }
 
 func TestEquivTwoIdentity(t *testing.T) {
+	t.Parallel()
 	// (2.7): α̂·wPred == (1-α̂)(z+wSucc), and w̄ = α̂·wPred.
 	hat, weq := EquivTwo(2, 0.5, 3)
 	if math.Abs(hat*2-(1-hat)*(0.5+3)) > tol {
@@ -191,6 +201,7 @@ func TestEquivTwoIdentity(t *testing.T) {
 }
 
 func TestRealizedEquivTwo(t *testing.T) {
+	t.Parallel()
 	hat, weq := EquivTwo(2, 0.5, 3)
 	// Honest successor: realized equals planned.
 	if got := RealizedEquivTwo(hat, 2, 0.5, 3); math.Abs(got-weq) > tol {
@@ -209,6 +220,7 @@ func TestRealizedEquivTwo(t *testing.T) {
 }
 
 func TestAlphaHatRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(7)
 	n := randomChain(r, 9)
 	a := MustSolveBoundary(n)
@@ -227,6 +239,7 @@ func TestAlphaHatRoundTrip(t *testing.T) {
 }
 
 func TestReceivedLoadsMatchSolver(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(8)
 	n := randomChain(r, 11)
 	a := MustSolveBoundary(n)
@@ -242,6 +255,7 @@ func TestReceivedLoadsMatchSolver(t *testing.T) {
 }
 
 func TestValidateAllocationErrors(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 1}, []float64{0.1})
 	if err := ValidateAllocation(n, []float64{1}, tol); err == nil {
 		t.Fatal("length mismatch accepted")
@@ -258,6 +272,7 @@ func TestValidateAllocationErrors(t *testing.T) {
 }
 
 func TestZeroLinkCostChain(t *testing.T) {
+	t.Parallel()
 	// With free links the chain degenerates to processors in parallel:
 	// equal finish means α_i ∝ 1/w_i and makespan = 1/Σ(1/w_i).
 	n, _ := NewNetwork([]float64{1, 2, 4}, []float64{0, 0})
@@ -269,6 +284,7 @@ func TestZeroLinkCostChain(t *testing.T) {
 }
 
 func TestExpensiveLinksStarveTail(t *testing.T) {
+	t.Parallel()
 	// When links are far more expensive than computing, nearly all load
 	// stays at the root.
 	n, _ := NewNetwork([]float64{1, 1}, []float64{1000})
@@ -281,6 +297,7 @@ func TestExpensiveLinksStarveTail(t *testing.T) {
 // Property: for random chains, the solved allocation is feasible, every
 // processor participates, and finish times are equal within tolerance.
 func TestQuickSolveInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, mRaw uint8) bool {
 		m := int(mRaw%32) + 1
 		r := xrand.New(seed)
@@ -306,6 +323,7 @@ func TestQuickSolveInvariants(t *testing.T) {
 
 // Property: the optimum is never worse than any baseline.
 func TestQuickOptimalBeatsBaselines(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, mRaw uint8) bool {
 		m := int(mRaw%24) + 1
 		r := xrand.New(seed)

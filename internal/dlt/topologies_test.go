@@ -9,6 +9,7 @@ import (
 )
 
 func TestSolveBusEqualFinish(t *testing.T) {
+	t.Parallel()
 	b := &Bus{W0: 2, W: []float64{1, 3, 2.5}, Z: 0.25}
 	sol, err := SolveBus(b)
 	if err != nil {
@@ -30,6 +31,7 @@ func TestSolveBusEqualFinish(t *testing.T) {
 }
 
 func TestSolveBusValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := SolveBus(&Bus{W0: 0, Z: 0.1}); err == nil {
 		t.Fatal("W0=0 accepted")
 	}
@@ -42,6 +44,7 @@ func TestSolveBusValidation(t *testing.T) {
 }
 
 func TestBusNoWorkers(t *testing.T) {
+	t.Parallel()
 	sol, err := SolveBus(&Bus{W0: 3, Z: 0.5})
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +55,7 @@ func TestBusNoWorkers(t *testing.T) {
 }
 
 func TestBusMakespanOrderInvariant(t *testing.T) {
+	t.Parallel()
 	// Classical result: on a homogeneous bus the makespan is independent of
 	// the distribution order of heterogeneous workers.
 	r := xrand.New(10)
@@ -81,6 +85,7 @@ func TestBusMakespanOrderInvariant(t *testing.T) {
 }
 
 func TestSolveStarEqualFinish(t *testing.T) {
+	t.Parallel()
 	s := &Star{W0: 2, W: []float64{1, 3, 2}, Z: []float64{0.2, 0.1, 0.4}}
 	sol, err := SolveStarBestOrder(s)
 	if err != nil {
@@ -102,6 +107,7 @@ func TestSolveStarEqualFinish(t *testing.T) {
 }
 
 func TestSolveStarRejectsBadOrder(t *testing.T) {
+	t.Parallel()
 	s := &Star{W0: 1, W: []float64{1, 1}, Z: []float64{0.1, 0.1}}
 	for _, order := range [][]int{{0}, {0, 0}, {0, 2}, {-1, 1}} {
 		if _, err := SolveStar(s, order); err == nil {
@@ -111,6 +117,7 @@ func TestSolveStarRejectsBadOrder(t *testing.T) {
 }
 
 func TestOptimalStarOrderSortsByLink(t *testing.T) {
+	t.Parallel()
 	s := &Star{W0: 1, W: []float64{5, 1, 3}, Z: []float64{0.3, 0.2, 0.1}}
 	order := OptimalStarOrder(s)
 	want := []int{2, 1, 0}
@@ -122,6 +129,7 @@ func TestOptimalStarOrderSortsByLink(t *testing.T) {
 }
 
 func TestOptimalStarOrderBeatsOthers(t *testing.T) {
+	t.Parallel()
 	// The ascending-z rule must weakly dominate every permutation (3 children
 	// -> 6 permutations).
 	s := &Star{W0: 2, W: []float64{1.5, 2.5, 1.1}, Z: []float64{0.5, 0.05, 0.2}}
@@ -142,6 +150,7 @@ func TestOptimalStarOrderBeatsOthers(t *testing.T) {
 }
 
 func TestStarEquivalentMatchesChainForOneChild(t *testing.T) {
+	t.Parallel()
 	// A star with a single child is exactly the two-processor chain.
 	n, _ := NewNetwork([]float64{2, 3}, []float64{0.5})
 	chainSol := MustSolveBoundary(n)
@@ -156,6 +165,7 @@ func TestStarEquivalentMatchesChainForOneChild(t *testing.T) {
 }
 
 func TestSolveTreeChainMatchesBoundary(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(11)
 	for trial := 0; trial < 10; trial++ {
 		n := randomChain(r, 1+r.Intn(10))
@@ -171,6 +181,7 @@ func TestSolveTreeChainMatchesBoundary(t *testing.T) {
 }
 
 func TestSolveTreeStarMatchesStar(t *testing.T) {
+	t.Parallel()
 	s := &Star{W0: 2, W: []float64{1, 3, 2}, Z: []float64{0.2, 0.1, 0.4}}
 	root := &TreeNode{W: s.W0}
 	for i := range s.W {
@@ -187,6 +198,7 @@ func TestSolveTreeStarMatchesStar(t *testing.T) {
 }
 
 func TestSolveTreeInvariants(t *testing.T) {
+	t.Parallel()
 	// Random binary-ish tree: allocation sums to 1, all finish together.
 	r := xrand.New(12)
 	var build func(depth int) *TreeNode
@@ -222,6 +234,7 @@ func TestSolveTreeInvariants(t *testing.T) {
 }
 
 func TestTreeValidate(t *testing.T) {
+	t.Parallel()
 	bad := &TreeNode{W: -1}
 	if err := bad.Validate(); err == nil {
 		t.Fatal("negative W accepted")
@@ -237,6 +250,7 @@ func TestTreeValidate(t *testing.T) {
 }
 
 func TestTreeFlattenPreorder(t *testing.T) {
+	t.Parallel()
 	leaf1, leaf2 := &TreeNode{W: 1}, &TreeNode{W: 2}
 	mid := &TreeNode{W: 3, Children: []TreeEdge{{Z: 0.1, Node: leaf1}}}
 	root := &TreeNode{W: 4, Children: []TreeEdge{{Z: 0.1, Node: mid}, {Z: 0.2, Node: leaf2}}}
@@ -253,6 +267,7 @@ func TestTreeFlattenPreorder(t *testing.T) {
 }
 
 func TestSolveInteriorBoundaryDegenerate(t *testing.T) {
+	t.Parallel()
 	// root=0 must reproduce the boundary solution.
 	r := xrand.New(13)
 	n := randomChain(r, 6)
@@ -272,6 +287,7 @@ func TestSolveInteriorBoundaryDegenerate(t *testing.T) {
 }
 
 func TestSolveInteriorMirroredDegenerate(t *testing.T) {
+	t.Parallel()
 	// root=m must match the boundary solution of the reversed chain.
 	w := []float64{1.5, 2.5, 0.8, 3.0}
 	z := []float64{0.2, 0.4, 0.1}
@@ -290,6 +306,7 @@ func TestSolveInteriorMirroredDegenerate(t *testing.T) {
 }
 
 func TestSolveInteriorEqualFinish(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(14)
 	for trial := 0; trial < 20; trial++ {
 		n := randomChain(r, 2+r.Intn(10))
@@ -318,6 +335,7 @@ func TestSolveInteriorEqualFinish(t *testing.T) {
 }
 
 func TestSolveInteriorBeatsWorseRoot(t *testing.T) {
+	t.Parallel()
 	// A central root should beat a boundary root on a homogeneous chain
 	// with non-trivial links (it can feed both arms).
 	w := []float64{1, 1, 1, 1, 1}
@@ -331,6 +349,7 @@ func TestSolveInteriorBeatsWorseRoot(t *testing.T) {
 }
 
 func TestSolveInteriorRootRange(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{1, 1}, []float64{0.1})
 	if _, err := SolveInterior(n, -1); err == nil {
 		t.Fatal("negative root accepted")
@@ -341,6 +360,7 @@ func TestSolveInteriorRootRange(t *testing.T) {
 }
 
 func TestSolveInteriorSingleProcessor(t *testing.T) {
+	t.Parallel()
 	n, _ := NewNetwork([]float64{2}, nil)
 	ia, err := SolveInterior(n, 0)
 	if err != nil {
@@ -353,6 +373,7 @@ func TestSolveInteriorSingleProcessor(t *testing.T) {
 
 // Property: interior solve at any root is feasible and equal-finish.
 func TestQuickInteriorInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, mRaw, rootRaw uint8) bool {
 		m := int(mRaw%12) + 1
 		r := xrand.New(seed)
@@ -386,6 +407,7 @@ func TestQuickInteriorInvariants(t *testing.T) {
 }
 
 func TestBestInteriorRoot(t *testing.T) {
+	t.Parallel()
 	// On a homogeneous chain with uniform links the best entry point is
 	// (near) the middle; at the ends it degenerates to the boundary case.
 	n, _ := NewNetwork([]float64{1, 1, 1, 1, 1}, []float64{0.3, 0.3, 0.3, 0.3})

@@ -1,0 +1,93 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithoutSplicesInterior(t *testing.T) {
+	t.Parallel()
+	n, err := NewNetwork([]float64{1, 2, 1.5, 3}, []float64{0.2, 0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Without(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := []float64{1, 2, 3}
+	// Traffic to the old P3 still crosses the physical link that fed P2, so
+	// the spliced link time is the sum z2+z3.
+	wantZ := []float64{0, 0.2, 0.1 + 0.3}
+	if len(c.W) != len(wantW) {
+		t.Fatalf("spliced W %v, want %v", c.W, wantW)
+	}
+	for i := range wantW {
+		if c.W[i] != wantW[i] || c.Z[i] != wantZ[i] {
+			t.Fatalf("spliced net W=%v Z=%v, want W=%v Z=%v", c.W, c.Z, wantW, wantZ)
+		}
+	}
+	// The original is untouched.
+	if n.Size() != 4 || n.Z[2] != 0.1 {
+		t.Fatalf("Without mutated the receiver: %v", n)
+	}
+}
+
+func TestWithoutTruncatesTail(t *testing.T) {
+	t.Parallel()
+	n, err := NewNetwork([]float64{1, 2, 1.5, 3}, []float64{0.2, 0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Without(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 || c.W[2] != 1.5 || c.Z[2] != 0.1 {
+		t.Fatalf("tail truncation wrong: W=%v Z=%v", c.W, c.Z)
+	}
+}
+
+func TestWithoutRejectsRootAndOutOfRange(t *testing.T) {
+	t.Parallel()
+	n, err := NewNetwork([]float64{1, 2}, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, -1, 2, 7} {
+		if _, err := n.Without(k); err == nil {
+			t.Fatalf("Without(%d) accepted", k)
+		}
+	}
+}
+
+func TestWithoutResultSchedulable(t *testing.T) {
+	t.Parallel()
+	n, err := NewNetwork(
+		[]float64{1, 2, 1.5, 3, 2.5},
+		[]float64{0.2, 0.1, 0.3, 0.15},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n.M(); k++ {
+		c, err := n.Without(k)
+		if err != nil {
+			t.Fatalf("Without(%d): %v", k, err)
+		}
+		sol, err := SolveBoundary(c)
+		if err != nil {
+			t.Fatalf("Without(%d) unschedulable: %v", k, err)
+		}
+		var sum float64
+		for _, a := range sol.Alpha {
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Without(%d): Σα = %v", k, sum)
+		}
+		if spread := FinishSpread(c, sol.Alpha); spread > 1e-9 {
+			t.Fatalf("Without(%d): finish spread %v on spliced chain", k, spread)
+		}
+	}
+}

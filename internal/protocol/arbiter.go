@@ -5,9 +5,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/fault"
 	"dlsmech/internal/payment"
 	"dlsmech/internal/sign"
 	"dlsmech/internal/xrand"
@@ -23,10 +25,21 @@ type arbiter struct {
 
 	terminated bool
 	termReason string
+	failure    *PhaseError
 	detections []Detection
+	// bids holds each processor's signed Phase I commitment, registered by
+	// the predecessor that received it. It is the evidence that turns a later
+	// disappearance into a finable deviation (Theorem 5.1): breaking a signed
+	// commitment is attributable, vanishing before signing anything is not.
+	bids map[int]sign.Signed
+	// reported dedups unresponsive/bad-signature detections per offender:
+	// several peers may declare the same processor dead.
+	reported map[int]bool
 }
 
-func newArbiter(r *runner) *arbiter { return &arbiter{r: r} }
+func newArbiter(r *runner) *arbiter {
+	return &arbiter{r: r, bids: make(map[int]sign.Signed), reported: make(map[int]bool)}
+}
 
 // terminate aborts the run (idempotent).
 func (a *arbiter) terminate(reason string) {
@@ -42,6 +55,103 @@ func (a *arbiter) terminateLocked(reason string) {
 	a.terminated = true
 	a.termReason = reason
 	close(a.r.abort)
+}
+
+// terminateErr aborts the run with a typed failure record (idempotent; the
+// first failure wins).
+func (a *arbiter) terminateErr(e *PhaseError) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.terminateErrLocked(e)
+}
+
+func (a *arbiter) terminateErrLocked(e *PhaseError) {
+	if a.terminated {
+		return
+	}
+	a.failure = e
+	a.terminateLocked(e.Error())
+}
+
+// noteBid registers processor j's signed Phase I equivalent bid with the
+// root. Called by the predecessor at receive time, after verification.
+func (a *arbiter) noteBid(j int, s sign.Signed) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.bids[j]; !ok {
+		a.bids[j] = s.Clone()
+	}
+}
+
+// committed reports whether the root holds j's signed bid. Callers hold a.mu.
+func (a *arbiter) committedLocked(j int) bool {
+	_, ok := a.bids[j]
+	return ok
+}
+
+// reportDead handles an exhausted timeout/retransmit budget: the reporter
+// declares peer unresponsive in phase ph. If the root holds the peer's
+// signed Phase I bid, the breached commitment is fined per Theorem 5.1 and
+// the reporter (who did the detecting work) collects the fine; otherwise
+// the peer is merely excluded. Either way the round terminates with a typed
+// failure so the recovery driver knows whom to splice out.
+func (a *arbiter) reportDead(reporter, peer int, ph fault.Phase) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.reported[peer] {
+		a.reported[peer] = true
+		if a.committedLocked(peer) {
+			a.fineAndRewardLocked(ViolationUnresponsive, peer, reporter, 0)
+		} else {
+			a.detections = append(a.detections, Detection{
+				Violation: ViolationUnresponsive,
+				Offender:  peer,
+				Reporter:  reporter,
+			})
+		}
+	}
+	a.terminateErrLocked(phaseErr(ErrUnresponsive, peer, ph,
+		"unresponsive (declared dead by P%d, retry budget exhausted)", reporter))
+}
+
+// reportBadSignature handles a message that failed verification. Transit
+// corruption is indistinguishable from sender misbehavior, so the offender
+// is excluded (typed failure → the recovery driver splices it out) but not
+// fined.
+func (a *arbiter) reportBadSignature(reporter, offender int, ph fault.Phase, format string, args ...any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.reported[offender] {
+		a.reported[offender] = true
+		a.detections = append(a.detections, Detection{
+			Violation: ViolationBadSignature,
+			Offender:  offender,
+			Reporter:  reporter,
+		})
+	}
+	a.terminateErrLocked(phaseErr(ErrBadSignature, offender, ph, format, args...))
+}
+
+// reportMissingBill handles a processor whose Phase III work completed but
+// whose Phase IV bill never arrived (even after a retransmission request).
+// Post-hoc: the load is already computed, so the round still completes; the
+// deserter just forfeits payment and — having signed a bid — is fined.
+func (a *arbiter) reportMissingBill(j int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.reported[j] {
+		return
+	}
+	a.reported[j] = true
+	if a.committedLocked(j) {
+		a.fineAndRewardLocked(ViolationUnresponsive, j, 0, 0)
+	} else {
+		a.detections = append(a.detections, Detection{
+			Violation: ViolationUnresponsive,
+			Offender:  j,
+			Reporter:  0,
+		})
+	}
 }
 
 // fineAndReward moves F from the offender to the reporter and records the
@@ -72,11 +182,13 @@ func (a *arbiter) reportContradiction(reporter, accused int, m1, m2 sign.Signed)
 	a.r.countVerifyN(2)
 	if m1.SignerID == accused && a.r.pki.Contradiction(m1, m2) {
 		a.fineAndRewardLocked(ViolationContradiction, accused, reporter, 0)
-		a.terminateLocked(fmt.Sprintf("P%d sent contradictory bids", accused))
+		a.terminateErrLocked(phaseErr(ErrArbitration, accused, fault.PhaseBid,
+			"sent contradictory bids"))
 		return
 	}
 	a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
-	a.terminateLocked(fmt.Sprintf("P%d falsely accused P%d of contradiction", reporter, accused))
+	a.terminateErrLocked(phaseErr(ErrArbitration, reporter, fault.PhaseBid,
+		"falsely accused P%d of contradiction", accused))
 }
 
 // reportBadG arbitrates case (ii): the reporter submits G_i claiming the
@@ -91,16 +203,19 @@ func (a *arbiter) reportBadG(reporter int, g gMsg) {
 	if err != nil {
 		// The evidence itself is inauthentic: cannot substantiate.
 		a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
-		a.terminateLocked(fmt.Sprintf("P%d submitted inauthentic G evidence", reporter))
+		a.terminateErrLocked(phaseErr(ErrArbitration, reporter, fault.PhaseAlloc,
+			"submitted inauthentic G evidence"))
 		return
 	}
 	if err := arithmeticConsistent(vals, a.r.params.Net.Z[reporter], wireTol); err != nil {
 		a.fineAndRewardLocked(ViolationWrongCompute, accused, reporter, 0)
-		a.terminateLocked(fmt.Sprintf("P%d miscomputed the allocation: %v", accused, err))
+		a.terminateErrLocked(phaseErr(ErrArbitration, accused, fault.PhaseAlloc,
+			"miscomputed the allocation: %v", err))
 		return
 	}
 	a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
-	a.terminateLocked(fmt.Sprintf("P%d falsely accused P%d of wrong computation", reporter, accused))
+	a.terminateErrLocked(phaseErr(ErrArbitration, reporter, fault.PhaseAlloc,
+		"falsely accused P%d of wrong computation", accused))
 }
 
 // reportEchoMismatch arbitrates the bid-echo dispute: the reporter claims
@@ -132,11 +247,13 @@ func (a *arbiter) reportEchoMismatch(reporter int, g gMsg, claimedBid float64) {
 		// The predecessor faithfully echoed what it received; the reporter
 		// is disowning its own signature.
 		a.fineAndRewardLocked(ViolationContradiction, reporter, accused, 0)
-		a.terminateLocked(fmt.Sprintf("P%d disowned its own signed bid", reporter))
+		a.terminateErrLocked(phaseErr(ErrArbitration, reporter, fault.PhaseAlloc,
+			"disowned its own signed bid"))
 		return
 	}
 	a.fineAndRewardLocked(ViolationWrongCompute, accused, reporter, 0)
-	a.terminateLocked(fmt.Sprintf("P%d echoed a bid P%d never made", accused, reporter))
+	a.terminateErrLocked(phaseErr(ErrArbitration, accused, fault.PhaseAlloc,
+		"echoed a bid P%d never made", reporter))
 }
 
 // reportOverload arbitrates case (iii), after processing completes:
@@ -304,9 +421,71 @@ func (a *arbiter) recomputeBill(b billMsg, solutionFound bool) (billMsg, error) 
 
 // collect assembles the Result after every goroutine has finished.
 func (r *runner) collect() *Result {
+	// Drain whatever bills made it; the channel is never closed because late
+	// retransmissions may still land on it, and duplicated copies (injected
+	// Duplicate rules) are deduped: the first bill per sender wins, exactly
+	// like the single-slot receives on the chain planes.
+	byFrom := make([]*billMsg, r.size)
+	takeBill := func(b billMsg) {
+		if b.from >= 0 && b.from < r.size && byFrom[b.from] == nil {
+			c := b
+			byFrom[b.from] = &c
+		}
+	}
+drain:
+	for {
+		select {
+		case b := <-r.bills:
+			takeBill(b)
+		default:
+			break drain
+		}
+	}
+	if !r.arb.terminated {
+		// Post-hoc bill recovery: a processor that computed its share but
+		// whose bill was lost (or who crashed right before billing) leaves a
+		// gap here. Ask for a retransmission, wait one timeout, and write a
+		// detection for whoever stays silent — the load is done, so the run
+		// still completes.
+		var missing []int
+		for j := 1; j < r.size; j++ {
+			if byFrom[j] == nil {
+				missing = append(missing, j)
+				r.tryResend(j, 0, fault.PhaseBill)
+			}
+		}
+		if len(missing) > 0 {
+			deadline := time.NewTimer(r.rec.Timeout)
+		regain:
+			for {
+				still := missing[:0]
+				for _, j := range missing {
+					if byFrom[j] == nil {
+						still = append(still, j)
+					}
+				}
+				missing = still
+				if len(missing) == 0 {
+					break regain
+				}
+				select {
+				case b := <-r.bills:
+					takeBill(b)
+				case <-deadline.C:
+					break regain
+				}
+			}
+			deadline.Stop()
+			for _, j := range missing {
+				r.arb.reportMissingBill(j)
+			}
+		}
+	}
 	var bills []billMsg
-	for b := range r.bills {
-		bills = append(bills, b)
+	for _, b := range byFrom {
+		if b != nil {
+			bills = append(bills, *b)
+		}
 	}
 	solutionFound := !r.corrupted.Load() && !r.arb.terminated
 	if !r.arb.terminated {
@@ -316,6 +495,7 @@ func (r *runner) collect() *Result {
 	res := &Result{
 		Completed:     !r.arb.terminated,
 		TermReason:    r.arb.termReason,
+		Failure:       r.arb.failure,
 		Bids:          make([]float64, r.size),
 		Retained:      make([]float64, r.size),
 		Detections:    append([]Detection(nil), r.arb.detections...),

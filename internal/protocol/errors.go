@@ -1,0 +1,50 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"dlsmech/internal/fault"
+)
+
+// Causes carried by a PhaseError, usable with errors.Is.
+var (
+	// ErrUnresponsive: a peer exhausted the receiver's timeout/retransmit
+	// budget (crash, dead link, or a stall longer than the budget).
+	ErrUnresponsive = errors.New("protocol: peer unresponsive")
+	// ErrBadSignature: a message failed signature or slot verification. Not
+	// cryptographically attributable (transit corruption looks identical to
+	// sender misbehavior), so it excludes without fining.
+	ErrBadSignature = errors.New("protocol: invalid signature or slot")
+	// ErrArbitration: the arbiter substantiated a violation and stopped the
+	// round; the Detection list carries the specifics.
+	ErrArbitration = errors.New("protocol: arbitration terminated the round")
+	// ErrRuntime: a local device failure (meter, Λ issuer) at the named
+	// processor.
+	ErrRuntime = errors.New("protocol: runtime failure")
+)
+
+// PhaseError is the typed termination record of a protocol round: which
+// processor originated the failure, in which phase, and why. Every
+// terminated Result carries one in Result.Failure (and its rendering in
+// Result.TermReason), so tests and the recovery driver can assert on the
+// origin instead of parsing strings.
+type PhaseError struct {
+	Proc   int         // originating processor index (the peer declared dead, the fined offender, …)
+	Phase  fault.Phase // protocol phase in which the failure surfaced
+	Detail string      // human-readable specifics
+	Cause  error       // one of the Err* sentinels above
+}
+
+// Error implements error.
+func (e *PhaseError) Error() string {
+	return fmt.Sprintf("P%d/%s: %s", e.Proc, e.Phase, e.Detail)
+}
+
+// Unwrap exposes the sentinel cause to errors.Is.
+func (e *PhaseError) Unwrap() error { return e.Cause }
+
+// phaseErr builds a PhaseError with a formatted detail.
+func phaseErr(cause error, proc int, ph fault.Phase, format string, args ...any) *PhaseError {
+	return &PhaseError{Proc: proc, Phase: ph, Detail: fmt.Sprintf(format, args...), Cause: cause}
+}

@@ -1,0 +1,303 @@
+package protocol
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/fault"
+)
+
+// fastRec keeps the failure detectors snappy for tests: dead peers are
+// declared in ~100ms instead of seconds.
+func fastRec() RecoveryConfig {
+	return RecoveryConfig{Timeout: 25 * time.Millisecond, Retries: 1, Backoff: 1.5}
+}
+
+// TestFaultMatrix crosses every injected fault kind against every protocol
+// phase on the 4-processor test chain, with P2 as the faulty processor, and
+// asserts the arbiter's detection/fine outcome. Each case also implicitly
+// asserts termination: a deadlock would hang the test binary.
+func TestFaultMatrix(t *testing.T) {
+	t.Parallel()
+	type want struct {
+		completed    bool
+		violation    Violation // "" = no detection expected
+		fined        bool      // detection moved money off the offender
+		failureProc  int       // asserted when completed=false
+		failurePhase fault.Phase
+		cause        error // errors.Is target for Result.Failure
+		solutionLost bool
+	}
+	const target = 2
+	cases := []struct {
+		name  string
+		rules []fault.Rule
+		audit float64 // 0 = default q
+		want  want
+	}{
+		{
+			name:  "drop-once/bid-recovered",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseBid, Times: 1}},
+			want:  want{completed: true},
+		},
+		{
+			name:  "drop-once/alloc-recovered",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseAlloc, Times: 1}},
+			want:  want{completed: true},
+		},
+		{
+			name:  "drop-once/load-recovered",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseLoad, Times: 1}},
+			want:  want{completed: true},
+		},
+		{
+			name:  "drop-once/bill-recovered",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseBill, Times: 1}},
+			want:  want{completed: true},
+		},
+		{
+			// The bid never arrives, so the root holds no commitment: the
+			// silent processor is excluded but cannot be fined.
+			name:  "drop-always/bid-dead-unfined",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseBid}},
+			want: want{
+				violation: ViolationUnresponsive, failureProc: target,
+				failurePhase: fault.PhaseBid, cause: ErrUnresponsive,
+			},
+		},
+		{
+			// By Phase II the bid is on file: breaking the commitment is
+			// finable (Theorem 5.1).
+			name:  "drop-always/alloc-dead-fined",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseAlloc}},
+			want: want{
+				violation: ViolationUnresponsive, fined: true, failureProc: target,
+				failurePhase: fault.PhaseAlloc, cause: ErrUnresponsive,
+			},
+		},
+		{
+			name:  "drop-always/load-dead-fined",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseLoad}},
+			want: want{
+				violation: ViolationUnresponsive, fined: true, failureProc: target,
+				failurePhase: fault.PhaseLoad, cause: ErrUnresponsive,
+			},
+		},
+		{
+			// The load is already computed when the bill vanishes: the run
+			// completes, the deserter forfeits payment and is fined post-hoc.
+			name:  "drop-always/bill-missing-fined",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseBill}},
+			want:  want{completed: true, violation: ViolationUnresponsive, fined: true},
+		},
+		{
+			name:  "delay/all-phases-benign",
+			rules: []fault.Rule{{Kind: fault.Delay, Proc: target, Phase: fault.PhaseAny, Delay: 5 * time.Millisecond}},
+			want:  want{completed: true},
+		},
+		{
+			name:  "duplicate/all-phases-benign",
+			rules: []fault.Rule{{Kind: fault.Duplicate, Proc: target, Phase: fault.PhaseAny}},
+			want:  want{completed: true},
+		},
+		{
+			name:  "reorder/bid-benign",
+			rules: []fault.Rule{{Kind: fault.Reorder, Proc: target, Phase: fault.PhaseBid, Delay: 8 * time.Millisecond}},
+			want:  want{completed: true},
+		},
+		{
+			name:  "corrupt-sig/bid-excluded-unfined",
+			rules: []fault.Rule{{Kind: fault.CorruptSig, Proc: target, Phase: fault.PhaseBid}},
+			want: want{
+				violation: ViolationBadSignature, failureProc: target,
+				failurePhase: fault.PhaseBid, cause: ErrBadSignature,
+			},
+		},
+		{
+			name:  "corrupt-sig/alloc-excluded-unfined",
+			rules: []fault.Rule{{Kind: fault.CorruptSig, Proc: target, Phase: fault.PhaseAlloc}},
+			want: want{
+				violation: ViolationBadSignature, failureProc: target,
+				failurePhase: fault.PhaseAlloc, cause: ErrBadSignature,
+			},
+		},
+		{
+			// On the data plane corruption destroys the solution, not a
+			// signature check (Theorem 5.2): the run completes, S is withheld.
+			name:  "corrupt-sig/load-solution-lost",
+			rules: []fault.Rule{{Kind: fault.CorruptSig, Proc: target, Phase: fault.PhaseLoad}},
+			want:  want{completed: true, solutionLost: true},
+		},
+		{
+			// A corrupted bill proof fails the audit; with q=1 detection is
+			// certain and costs F/q.
+			name:  "corrupt-sig/bill-audit-fine",
+			rules: []fault.Rule{{Kind: fault.CorruptSig, Proc: target, Phase: fault.PhaseBill}},
+			audit: 1,
+			want:  want{completed: true, violation: ViolationOvercharge, fined: true},
+		},
+		{
+			name:  "crash/bid-excluded-unfined",
+			rules: []fault.Rule{{Kind: fault.Crash, Proc: target, Phase: fault.PhaseBid}},
+			want: want{
+				violation: ViolationUnresponsive, failureProc: target,
+				failurePhase: fault.PhaseBid, cause: ErrUnresponsive,
+			},
+		},
+		{
+			name:  "crash/alloc-dead-fined",
+			rules: []fault.Rule{{Kind: fault.Crash, Proc: target, Phase: fault.PhaseAlloc}},
+			want: want{
+				violation: ViolationUnresponsive, fined: true, failureProc: target,
+				failurePhase: fault.PhaseAlloc, cause: ErrUnresponsive,
+			},
+		},
+		{
+			name:  "crash/load-dead-fined",
+			rules: []fault.Rule{{Kind: fault.Crash, Proc: target, Phase: fault.PhaseLoad}},
+			want: want{
+				violation: ViolationUnresponsive, fined: true, failureProc: target,
+				failurePhase: fault.PhaseLoad, cause: ErrUnresponsive,
+			},
+		},
+		{
+			name:  "crash/bill-completes-fined",
+			rules: []fault.Rule{{Kind: fault.Crash, Proc: target, Phase: fault.PhaseBill}},
+			want:  want{completed: true, violation: ViolationUnresponsive, fined: true},
+		},
+		{
+			name:  "stall/load-within-budget-benign",
+			rules: []fault.Rule{{Kind: fault.Stall, Proc: target, Phase: fault.PhaseLoad, Delay: 10 * time.Millisecond}},
+			want:  want{completed: true},
+		},
+		{
+			// A stall past the whole retry budget is indistinguishable from a
+			// crash: the successor declares the processor dead.
+			name:  "stall/load-beyond-budget-dead",
+			rules: []fault.Rule{{Kind: fault.Stall, Proc: target, Phase: fault.PhaseLoad, Delay: 2 * time.Second}},
+			want: want{
+				violation: ViolationUnresponsive, fined: true, failureProc: target,
+				failurePhase: fault.PhaseLoad, cause: ErrUnresponsive,
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			n := testNet(t)
+			cfg := core.DefaultConfig()
+			if tc.audit > 0 {
+				cfg.AuditProb = tc.audit
+			}
+			res, err := Run(Params{
+				Net: n, Profile: agent.AllTruthful(4), Cfg: cfg, Seed: 31,
+				Inject:   fault.NewPlan(31, tc.rules...),
+				Recovery: fastRec(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != tc.want.completed {
+				t.Fatalf("completed=%v want %v (reason %q)", res.Completed, tc.want.completed, res.TermReason)
+			}
+			if !res.Ledger.NetZero(1e-9) {
+				t.Fatal("ledger not conserved")
+			}
+			if tc.want.violation == "" {
+				if len(res.Detections) != 0 {
+					t.Fatalf("unexpected detections %+v", res.Detections)
+				}
+			} else {
+				ds := res.DetectionsFor(target)
+				if len(ds) != 1 || ds[0].Violation != tc.want.violation {
+					t.Fatalf("detections for P%d = %+v, want %v", target, ds, tc.want.violation)
+				}
+				if fined := ds[0].Fine > 0; fined != tc.want.fined {
+					t.Fatalf("fined=%v want %v (%+v)", fined, tc.want.fined, ds[0])
+				}
+			}
+			if !tc.want.completed {
+				f := res.Failure
+				if f == nil {
+					t.Fatalf("terminated without typed failure (reason %q)", res.TermReason)
+				}
+				if f.Proc != tc.want.failureProc || f.Phase != tc.want.failurePhase {
+					t.Fatalf("failure P%d/%v, want P%d/%v", f.Proc, f.Phase, tc.want.failureProc, tc.want.failurePhase)
+				}
+				if tc.want.cause != nil && !errors.Is(f, tc.want.cause) {
+					t.Fatalf("failure cause %v, want %v", f.Cause, tc.want.cause)
+				}
+			} else if res.Failure != nil {
+				t.Fatalf("completed run carries failure %v", res.Failure)
+			}
+			if res.SolutionFound == tc.want.solutionLost && tc.want.completed {
+				t.Fatalf("SolutionFound=%v, want %v", res.SolutionFound, !tc.want.solutionLost)
+			}
+		})
+	}
+}
+
+// TestBenignFaultsPreserveEconomics: delays, duplicates and recovered drops
+// must leave every utility bit-identical to the fault-free run — the fault
+// plane may cost wall-clock time but never money.
+func TestBenignFaultsPreserveEconomics(t *testing.T) {
+	t.Parallel()
+	n := testNet(t)
+	cfg := core.DefaultConfig()
+	clean := runWith(t, n, agent.AllTruthful(4), cfg, 33)
+	for _, rules := range [][]fault.Rule{
+		{{Kind: fault.Delay, Proc: fault.AnyProc, Phase: fault.PhaseAny, Delay: 3 * time.Millisecond}},
+		{{Kind: fault.Duplicate, Proc: fault.AnyProc, Phase: fault.PhaseAny}},
+		{{Kind: fault.Drop, Proc: 1, Phase: fault.PhaseLoad, Times: 1}},
+	} {
+		res, err := Run(Params{
+			Net: n, Profile: agent.AllTruthful(4), Cfg: cfg, Seed: 33,
+			Inject: fault.NewPlan(5, rules...), Recovery: fastRec(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed || len(res.Detections) != 0 {
+			t.Fatalf("%v: benign fault disturbed the run: %q %+v", rules, res.TermReason, res.Detections)
+		}
+		for i := range res.Utilities {
+			if math.Abs(res.Utilities[i]-clean.Utilities[i]) > 1e-12 {
+				t.Fatalf("%v: U_%d %v vs clean %v", rules, i, res.Utilities[i], clean.Utilities[i])
+			}
+		}
+	}
+}
+
+// TestFaultsAgainstDeviants: injected message faults compose with strategic
+// deviations — a shedding deviant is still caught while the message plane
+// drops and delays traffic around it.
+func TestFaultsAgainstDeviants(t *testing.T) {
+	t.Parallel()
+	n := testNet(t)
+	cfg := core.DefaultConfig()
+	prof := agent.AllTruthful(4).WithDeviant(1, agent.Shedder(0.4))
+	res, err := Run(Params{
+		Net: n, Profile: prof, Cfg: cfg, Seed: 35,
+		Inject: fault.NewPlan(35,
+			fault.Rule{Kind: fault.Drop, Proc: 2, Phase: fault.PhaseBid, Times: 1},
+			fault.Rule{Kind: fault.Delay, Proc: 3, Phase: fault.PhaseAny, Delay: 4 * time.Millisecond},
+		),
+		Recovery: fastRec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run terminated: %s", res.TermReason)
+	}
+	ds := res.DetectionsFor(1)
+	if len(ds) != 1 || ds[0].Violation != ViolationOverload {
+		t.Fatalf("shedder not caught under faults: %+v", res.Detections)
+	}
+}

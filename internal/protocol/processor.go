@@ -2,17 +2,77 @@ package protocol
 
 import (
 	"bytes"
-	"fmt"
+	"time"
 
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/fault"
 	"dlsmech/internal/sign"
 )
 
+// phaseEntry runs the injector's processor gates for phase ph: a Crash rule
+// makes the goroutine exit silently (peers detect it through their receive
+// timeouts or the Phase III barrier), a Stall rule pauses it. false means
+// the processor is gone.
+func (r *runner) phaseEntry(i int, ph fault.Phase) bool {
+	if r.inj.CrashBefore(i, ph) {
+		return false
+	}
+	if d := r.inj.StallBefore(i, ph); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.abort:
+			return false
+		}
+	}
+	return true
+}
+
+// In-transit corruption models for each message type. Evidence must stay
+// immutable, so every mutation happens on a deep copy.
+
+func corruptBid(v bidMsg) bidMsg {
+	out := bidMsg{from: v.from}
+	for _, s := range v.signed {
+		out.signed = append(out.signed, s.Clone())
+	}
+	if len(out.signed) > 0 && len(out.signed[0].Sig) > 0 {
+		out.signed[0].Sig[0] ^= 0x01
+	}
+	return out
+}
+
+func corruptG(v gMsg) gMsg {
+	g := v.clone()
+	if len(g.Load.Sig) > 0 {
+		g.Load.Sig[0] ^= 0x01
+	}
+	return g
+}
+
+// corruptLoad: on the Phase III plane the integrity carrier is the data
+// itself, so corruption destroys the solution (Theorem 5.2) rather than
+// failing a signature check.
+func corruptLoad(v loadMsg) loadMsg {
+	v.corrupted = true
+	return v
+}
+
+func corruptBill(v billMsg) billMsg {
+	v.proof.ownBid = v.proof.ownBid.Clone()
+	if len(v.proof.ownBid.Sig) > 0 {
+		v.proof.ownBid.Sig[0] ^= 0x01
+	}
+	return v
+}
+
 // runProcessor executes Phases I-IV for processor i according to its
-// behavior. Every early return is either preceded by a terminate() (which
-// wakes all peers via the abort channel) or happens because the abort
-// channel already fired.
+// behavior. Every early return is either preceded by an arbiter report
+// (which wakes all peers via the abort channel), happens because the abort
+// channel already fired, or is a silent injected crash that peers detect by
+// timeout.
 func (r *runner) runProcessor(i int) {
 	b := r.behavior(i)
 	st := r.procs[i]
@@ -21,6 +81,9 @@ func (r *runner) runProcessor(i int) {
 	truth := net.W[i]
 
 	// ---- Phase I: equivalent bids flow from P_m toward the root. ----
+	if !r.phaseEntry(i, fault.PhaseBid) {
+		return
+	}
 	bid := b.Bid(truth)
 	if i == 0 {
 		bid = truth // the root is obedient
@@ -29,17 +92,17 @@ func (r *runner) runProcessor(i int) {
 
 	var wbarSucc float64
 	if i < m {
-		bm, ok := countedRecv(r, r.bidUp[i+1])
+		bm, ok := recvMsg(r, i, i+1, fault.PhaseBid, r.bidUp[i+1])
 		if !ok {
 			return
 		}
 		if len(bm.signed) == 0 {
-			r.arb.terminate(fmt.Sprintf("P%d: empty bid message from P%d", i, i+1))
+			r.arb.reportBadSignature(i, i+1, fault.PhaseBid, "empty bid message")
 			return
 		}
 		for _, s := range bm.signed {
 			if _, err := r.expectSlot(s, i+1, slotEquivBid, i+1); err != nil {
-				r.arb.terminate(fmt.Sprintf("P%d: inauthentic bid from P%d: %v", i, i+1, err))
+				r.arb.reportBadSignature(i, i+1, fault.PhaseBid, "inauthentic bid: %v", err)
 				return
 			}
 		}
@@ -50,6 +113,10 @@ func (r *runner) runProcessor(i int) {
 			return
 		}
 		st.receivedBidMsg = bm.signed[0].Clone()
+		// Register the successor's commitment with the root: it is the
+		// signed evidence that P_{i+1} joined the round, which the arbiter
+		// needs when deciding whether a later disappearance is finable.
+		r.arb.noteBid(i+1, bm.signed[0])
 		wbarSucc, _ = r.expectSlot(bm.signed[0], i+1, slotEquivBid, i+1)
 	}
 
@@ -68,26 +135,30 @@ func (r *runner) runProcessor(i int) {
 			// Case (i) of Lemma 5.1: a second, different signed bid.
 			msgs = append(msgs, r.signSlot(i, slotEquivBid, i, wbar*1.25))
 		}
-		if !countedSend(r, r.bidUp[i], bidMsg{from: i, signed: msgs}) {
+		if !sendMsg(r, i, i-1, fault.PhaseBid, r.bidUp[i], bidMsg{from: i, signed: msgs}, corruptBid) {
 			return
 		}
 	}
 
 	// ---- Phase II: allocation messages G flow outward. ----
+	if !r.phaseEntry(i, fault.PhaseAlloc) {
+		return
+	}
 	var gIn gMsg
 	var gVals gValues
 	if i == 0 {
 		st.planD = 1
 	} else {
-		g, ok := countedRecv(r, r.gDown[i])
+		g, ok := recvMsg(r, i, i-1, fault.PhaseAlloc, r.gDown[i])
 		if !ok {
 			return
 		}
 		gIn = g
 		vals, err := r.verifyG(i, g)
 		if err != nil {
-			// Inauthentic or malformed: terminate without attribution.
-			r.arb.terminate(fmt.Sprintf("P%d: bad G message: %v", i, err))
+			// Inauthentic or malformed: the sender of G is responsible for
+			// delivering a verifiable message; exclude it without a fine.
+			r.arb.reportBadSignature(i, i-1, fault.PhaseAlloc, "bad G message: %v", err)
 			return
 		}
 		gVals = vals
@@ -133,24 +204,34 @@ func (r *runner) runProcessor(i int) {
 			PrevBid:   r.signSlot(i, slotBid, i, bid),
 			EchoEquiv: r.signSlot(i, slotEquivBid, i+1, wbarSucc),
 		}
-		if !countedSend(r, r.gDown[i+1], g2) {
+		if !sendMsg(r, i, i+1, fault.PhaseAlloc, r.gDown[i+1], g2, corruptG) {
 			return
 		}
 	}
 
+	// Strategic desertion: take the allocation, then walk out before doing
+	// any work. Economically a crash, but one committed by a signed bidder —
+	// the timeout detector downstream gets it fined.
+	if b.Faults.Desert {
+		return
+	}
+
 	// ---- Phase III: load distribution with Λ attestations. ----
+	if !r.phaseEntry(i, fault.PhaseLoad) {
+		return
+	}
 	var att device.Attestation
 	var received float64
 	corrupted := false
 	if i == 0 {
 		minted, err := r.issuer.Mint(1)
 		if err != nil {
-			r.arb.terminate(fmt.Sprintf("P0: mint: %v", err))
+			r.arb.terminateErr(phaseErr(ErrRuntime, 0, fault.PhaseLoad, "mint: %v", err))
 			return
 		}
 		att, received = minted, 1
 	} else {
-		lm, ok := countedRecv(r, r.loadDown[i])
+		lm, ok := recvMsg(r, i, i-1, fault.PhaseLoad, r.loadDown[i])
 		if !ok {
 			return
 		}
@@ -182,7 +263,8 @@ func (r *runner) runProcessor(i int) {
 			sendCorrupt = true
 			r.corrupted.Store(true)
 		}
-		if !countedSend(r, r.loadDown[i+1], loadMsg{amount: forwarded, att: tailAtt, corrupted: sendCorrupt}) {
+		lm := loadMsg{amount: forwarded, att: tailAtt, corrupted: sendCorrupt}
+		if !sendMsg(r, i, i+1, fault.PhaseLoad, r.loadDown[i+1], lm, corruptLoad) {
 			return
 		}
 	}
@@ -197,7 +279,7 @@ func (r *runner) runProcessor(i int) {
 	st.att = att.Clone() // Λ_i: all identifiers received
 	reading, err := r.meterRecord(i, wTilde, retained)
 	if err != nil {
-		r.arb.terminate(fmt.Sprintf("P%d: meter: %v", i, err))
+		r.arb.terminateErr(phaseErr(ErrRuntime, i, fault.PhaseLoad, "meter: %v", err))
 		return
 	}
 	st.meter = reading
@@ -215,10 +297,12 @@ func (r *runner) runProcessor(i int) {
 	}
 
 	// ---- Phase IV: compute own payment and bill it. ----
-	r.phase3Arrive()
-	select {
-	case <-r.p3done:
-	case <-r.abort:
+	if !r.phase3Barrier(i) {
+		return
+	}
+	if !r.phaseEntry(i, fault.PhaseBill) {
+		// Crash between computing and billing: the work is done, the bill
+		// never arrives. collect() notices the gap post-hoc.
 		return
 	}
 	solutionFound := !r.corrupted.Load()
@@ -257,19 +341,54 @@ func (r *runner) runProcessor(i int) {
 		att:     st.att,
 		hasSucc: i < m,
 	}
-	countedSend(r, r.bills, bill)
+	if i == 0 {
+		// The root bills itself locally; its bill never crosses the faulty
+		// message plane.
+		countedSend(r, r.bills, bill)
+	} else {
+		sendMsg(r, i, 0, fault.PhaseBill, r.bills, bill, corruptBill)
+	}
 }
 
-// phase3Arrive counts processors through the Phase III barrier; the last one
-// opens it. Early-terminated runs never reach the barrier: termination
-// closes abort, which every waiter also selects on.
-func (r *runner) phase3Arrive() {
+// phase3Barrier counts processors through the Phase III barrier; the last
+// one opens it. The wait is bounded by the full recovery budget: a peer
+// that crashed before reaching the barrier would otherwise deadlock every
+// survivor, so on expiry the first missing processor is declared dead
+// (which aborts the round and wakes everyone). false means the round is
+// over for this processor.
+func (r *runner) phase3Barrier(i int) bool {
 	r.p3mu.Lock()
-	r.p3count++
-	if r.p3count == r.size {
-		close(r.p3done)
+	if !r.p3seen[i] {
+		r.p3seen[i] = true
+		r.p3count++
+		if r.p3count == r.size {
+			close(r.p3done)
+		}
 	}
 	r.p3mu.Unlock()
+
+	t := time.NewTimer(r.barrierBudget())
+	defer t.Stop()
+	select {
+	case <-r.p3done:
+		return true
+	case <-r.abort:
+		return false
+	case <-t.C:
+		r.p3mu.Lock()
+		missing := -1
+		for j, seen := range r.p3seen {
+			if !seen {
+				missing = j
+				break
+			}
+		}
+		r.p3mu.Unlock()
+		if missing >= 0 {
+			r.arb.reportDead(i, missing, fault.PhaseLoad)
+		}
+		return false
+	}
 }
 
 // expectSlot wraps messages.expectSlot with the verification counter.

@@ -33,11 +33,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dlsmech/internal/agent"
 	"dlsmech/internal/core"
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/fault"
 	"dlsmech/internal/payment"
 	"dlsmech/internal/sign"
 	"dlsmech/internal/xrand"
@@ -56,6 +58,12 @@ type Params struct {
 	Seed uint64
 	// LambdaUnit is the Λ block granularity; 0 means 1/4096.
 	LambdaUnit float64
+	// Inject optionally injects message-plane and processor faults into the
+	// run (nil injects nothing). See internal/fault for the rule DSL.
+	Inject fault.Injector
+	// Recovery tunes the failure detectors (receive timeouts, retransmit
+	// budget, backoff). The zero value means DefaultRecovery().
+	Recovery RecoveryConfig
 }
 
 // Violation names the deviation classes of Lemma 5.1.
@@ -68,6 +76,17 @@ const (
 	ViolationOverload      Violation = "load-shedding"          // case (iii)
 	ViolationOvercharge    Violation = "overcharge"             // case (iv)
 	ViolationFalseAccuse   Violation = "false-accusation"       // case (v)
+	// ViolationUnresponsive: the processor exhausted a peer's receive
+	// timeout/retransmit budget, or never submitted its Phase IV bill. It is
+	// fined F only when the mechanism holds signed evidence the processor
+	// committed to the round (its Phase I bid) — a breached commitment is a
+	// protocol deviation under Theorem 5.1; a processor that vanished before
+	// signing anything is merely excluded.
+	ViolationUnresponsive Violation = "unresponsive"
+	// ViolationBadSignature: a message failed verification. Transit
+	// corruption is indistinguishable from sender misbehavior, so the
+	// processor is excluded from the chain but not fined.
+	ViolationBadSignature Violation = "invalid-signature"
 )
 
 // Detection records one arbitration outcome.
@@ -93,6 +112,10 @@ type Result struct {
 	// distributed and only fines/rewards move money.
 	Completed  bool
 	TermReason string
+	// Failure is the typed termination record (nil when Completed): which
+	// processor originated the failure and in which phase. RunWithRecovery
+	// reads it to decide whom to exclude before re-running.
+	Failure *PhaseError
 	// Bids are the Phase I declared per-unit times (bids[0] = root truth).
 	Bids []float64
 	// Plan is Algorithm 1 on the bids (nil if terminated before Phase II).
@@ -145,12 +168,18 @@ func Run(p Params) (*Result, error) {
 	}
 
 	r := &runner{
-		params: p,
-		size:   size,
-		unit:   unit,
-		pki:    sign.NewPKI(),
-		ledger: payment.NewLedger(),
-		abort:  make(chan struct{}),
+		params:  p,
+		size:    size,
+		unit:    unit,
+		pki:     sign.NewPKI(),
+		ledger:  payment.NewLedger(),
+		abort:   make(chan struct{}),
+		inj:     p.Inject,
+		rec:     p.Recovery.withDefaults(),
+		resends: make(map[resendKey]func() bool),
+	}
+	if r.inj == nil {
+		r.inj = fault.None
 	}
 	for i := 0; i < size; i++ {
 		s := sign.NewSigner(i, p.Seed)
@@ -164,17 +193,21 @@ func Run(p Params) (*Result, error) {
 	}
 	r.arb = newArbiter(r)
 
-	// Channels along the chain.
+	// Channels along the chain. Buffers leave headroom for duplicated and
+	// retransmitted copies: receives are single-slot, so stray extra copies
+	// simply stay queued (idempotent delivery).
+	chanCap := 4 + r.rec.Retries
 	r.bidUp = make([]chan bidMsg, size)     // bidUp[i]: P_i -> P_{i-1}
 	r.gDown = make([]chan gMsg, size)       // gDown[i]: P_{i-1} -> P_i
 	r.loadDown = make([]chan loadMsg, size) // loadDown[i]: P_{i-1} -> P_i
 	for i := 1; i < size; i++ {
-		r.bidUp[i] = make(chan bidMsg, 2) // buffered: a contradictor sends twice
-		r.gDown[i] = make(chan gMsg, 1)
-		r.loadDown[i] = make(chan loadMsg, 1)
+		r.bidUp[i] = make(chan bidMsg, chanCap)
+		r.gDown[i] = make(chan gMsg, chanCap)
+		r.loadDown[i] = make(chan loadMsg, chanCap)
 	}
-	r.bills = make(chan billMsg, size)
+	r.bills = make(chan billMsg, size*(2+r.rec.Retries))
 	r.p3done = make(chan struct{})
+	r.p3seen = make([]bool, size)
 	r.procs = make([]*procState, size)
 	for i := range r.procs {
 		r.procs[i] = &procState{}
@@ -189,7 +222,7 @@ func Run(p Params) (*Result, error) {
 		}(i)
 	}
 	wg.Wait()
-	close(r.bills)
+	r.auxwg.Wait() // in-flight delayed deliveries
 
 	return r.collect(), nil
 }
@@ -226,6 +259,8 @@ type runner struct {
 	issuer  *device.Issuer
 	ledger  *payment.Ledger
 	arb     *arbiter
+	inj     fault.Injector
+	rec     RecoveryConfig
 
 	bidUp    []chan bidMsg
 	gDown    []chan gMsg
@@ -237,10 +272,26 @@ type runner struct {
 
 	p3mu    sync.Mutex
 	p3count int
+	p3seen  []bool
 	p3done  chan struct{}
+
+	// resends maps (receiver, phase) to a retransmission closure registered
+	// by the sender just before its first delivery attempt. A receiver whose
+	// timer expires invokes it to request the message again; the closure
+	// re-consults the injector, so a budgeted Drop rule gets exhausted and
+	// the retransmission goes through.
+	resendMu sync.Mutex
+	resends  map[resendKey]func() bool
+
+	auxwg sync.WaitGroup // delayed (injected) deliveries in flight
 
 	corrupted atomic.Bool
 	stats     Stats
+}
+
+type resendKey struct {
+	from, to int
+	ph       fault.Phase
 }
 
 func (r *runner) behavior(i int) agent.Behavior { return r.params.Profile[i] }
@@ -265,12 +316,126 @@ func countedSend[T any](r *runner, ch chan T, v T) bool {
 	}
 }
 
-func countedRecv[T any](r *runner, ch chan T) (T, bool) {
-	select {
-	case v := <-ch:
-		return v, true
-	case <-r.abort:
-		var zero T
-		return zero, false
+// sendMsg is the fault-aware message plane: it registers a retransmission
+// closure for the receiver's timeout path and performs the first delivery
+// attempt through the injector. corrupt, when non-nil, mutates a deep copy
+// of the message to model in-transit corruption. The return mirrors
+// countedSend: false only when the run aborted.
+func sendMsg[T any](r *runner, from, to int, ph fault.Phase, ch chan T, v T, corrupt func(T) T) bool {
+	r.resendMu.Lock()
+	r.resends[resendKey{from: from, to: to, ph: ph}] = func() bool { return deliver(r, from, ph, ch, v, corrupt) }
+	r.resendMu.Unlock()
+	return deliver(r, from, ph, ch, v, corrupt)
+}
+
+// deliver consults the injector and performs one delivery attempt.
+func deliver[T any](r *runner, from int, ph fault.Phase, ch chan T, v T, corrupt func(T) T) bool {
+	act := r.inj.OnSend(from, ph)
+	if act.Drop {
+		// The message is lost in transit; the sender proceeds regardless
+		// (fire-and-forget, exactly like a real datagram).
+		return true
+	}
+	if act.Corrupt && corrupt != nil {
+		v = corrupt(v)
+	}
+	if act.Delay > 0 {
+		r.auxwg.Add(1)
+		go func() {
+			defer r.auxwg.Done()
+			t := time.NewTimer(act.Delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-r.abort:
+				return
+			}
+			countedSend(r, ch, v)
+			if act.Duplicate {
+				countedSend(r, ch, v)
+			}
+		}()
+		return true
+	}
+	if !countedSend(r, ch, v) {
+		return false
+	}
+	if act.Duplicate {
+		countedSend(r, ch, v)
+	}
+	return true
+}
+
+// tryResend asks the registered sender of (from, to, ph) to retransmit. It
+// reports whether a sender had registered at all — absence means the peer
+// never reached its send (crashed earlier).
+func (r *runner) tryResend(from, to int, ph fault.Phase) bool {
+	r.resendMu.Lock()
+	f := r.resends[resendKey{from: from, to: to, ph: ph}]
+	r.resendMu.Unlock()
+	if f == nil {
+		return false
+	}
+	f()
+	return true
+}
+
+// recvScale returns the timeout multiplier for a receive by `self` in phase
+// ph. One silent processor stalls a whole cascade of waiters (on the bid
+// plane everyone upstream of it, on the outward planes everyone downstream,
+// plus its own next-phase receive), and all of them start their timers at
+// nearly the same instant — so equal budgets would attribute the failure to
+// whichever timer happened to fire first. Two rules make attribution
+// deterministic instead:
+//
+//   - within a phase, the budget grows with the waiter's distance from the
+//     flow's origin (P_m for bids, the root for the outward planes), so the
+//     waiter adjacent to the silent sender always fires first;
+//   - across phases, each phase's budgets start above every earlier phase's
+//     ceiling, so the failure is pinned to the phase where traffic stopped.
+func (r *runner) recvScale(self int, ph fault.Phase) time.Duration {
+	units := self // outward flow: distance from the root
+	if ph == fault.PhaseBid {
+		units = (r.size - 1) - self // bids flow from P_m toward the root
+	}
+	if units < 1 {
+		units = 1
+	}
+	switch ph {
+	case fault.PhaseAlloc:
+		units += r.size
+	case fault.PhaseLoad:
+		units += 2 * r.size
+	case fault.PhaseBill:
+		units += 3 * r.size
+	}
+	return time.Duration(units)
+}
+
+// recvMsg receives with the recovery discipline: an expiring timer requests
+// retransmission up to Retries times with multiplicative backoff; an
+// exhausted budget declares the peer dead via the arbiter (which aborts the
+// round with a typed PhaseError). ok=false means the round is over for this
+// processor, like countedRecv.
+func recvMsg[T any](r *runner, self, from int, ph fault.Phase, ch chan T) (T, bool) {
+	var zero T
+	d := r.rec.Timeout * r.recvScale(self, ph)
+	for attempt := 0; ; attempt++ {
+		t := time.NewTimer(d)
+		select {
+		case v := <-ch:
+			t.Stop()
+			return v, true
+		case <-r.abort:
+			t.Stop()
+			return zero, false
+		case <-t.C:
+		}
+		if attempt >= r.rec.Retries {
+			r.arb.reportDead(self, from, ph)
+			return zero, false
+		}
+		r.tryResend(from, self, ph)
+		d = time.Duration(float64(d) * r.rec.Backoff)
 	}
 }

@@ -33,6 +33,7 @@ func runWith(t *testing.T, n *dlt.Network, prof agent.Profile, cfg core.Config, 
 }
 
 func TestParamValidation(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	cfg := core.DefaultConfig()
 	if _, err := Run(Params{Net: n, Profile: agent.AllTruthful(2), Cfg: cfg}); err == nil {
@@ -54,6 +55,7 @@ func TestParamValidation(t *testing.T) {
 }
 
 func TestTruthfulRunCompletes(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	res := runWith(t, n, agent.AllTruthful(4), core.DefaultConfig(), 1)
 	if !res.Completed {
@@ -71,6 +73,7 @@ func TestTruthfulRunCompletes(t *testing.T) {
 }
 
 func TestTruthfulMatchesAnalyticCore(t *testing.T) {
+	t.Parallel()
 	// The protocol must realize exactly the economics of internal/core.
 	n := testNet(t)
 	cfg := core.DefaultConfig()
@@ -90,6 +93,7 @@ func TestTruthfulMatchesAnalyticCore(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	prof := agent.AllTruthful(4).WithDeviant(2, agent.Shedder(0.5))
 	a := runWith(t, n, prof, core.DefaultConfig(), 7)
@@ -105,6 +109,7 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestContradictorCaught(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	prof := agent.AllTruthful(4).WithDeviant(2, agent.Contradictor())
 	cfg := core.DefaultConfig()
@@ -133,6 +138,7 @@ func TestContradictorCaught(t *testing.T) {
 }
 
 func TestMiscomputerCaught(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	prof := agent.AllTruthful(4).WithDeviant(1, agent.Miscomputer())
 	res := runWith(t, n, prof, core.DefaultConfig(), 4)
@@ -152,6 +158,7 @@ func TestMiscomputerCaught(t *testing.T) {
 }
 
 func TestMiscomputerAtRootBoundary(t *testing.T) {
+	t.Parallel()
 	// The root's immediate successor validates G_1 (all items root-signed);
 	// a miscomputing P1 is caught by P2.
 	n := testNet(t)
@@ -164,6 +171,7 @@ func TestMiscomputerAtRootBoundary(t *testing.T) {
 }
 
 func TestShedderCaughtAndUnprofitable(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	cfg := core.DefaultConfig()
 	honest := runWith(t, n, agent.AllTruthful(4), cfg, 6)
@@ -194,6 +202,7 @@ func TestShedderCaughtAndUnprofitable(t *testing.T) {
 }
 
 func TestVictimComputesExtraLoad(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	prof := agent.AllTruthful(4).WithDeviant(1, agent.Shedder(0.5))
 	res := runWith(t, n, prof, core.DefaultConfig(), 8)
@@ -209,6 +218,7 @@ func TestVictimComputesExtraLoad(t *testing.T) {
 }
 
 func TestFalseAccuserFined(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	cfg := core.DefaultConfig()
 	prof := agent.AllTruthful(4).WithDeviant(2, agent.FalseAccuser())
@@ -231,6 +241,7 @@ func TestFalseAccuserFined(t *testing.T) {
 }
 
 func TestOverchargerDeterrence(t *testing.T) {
+	t.Parallel()
 	// Over many seeds the audit lottery catches the overcharger with
 	// frequency ≈ q, and its average utility is strictly below honest play
 	// (the F/q fine dominates the (1−q) undetected gains).
@@ -263,6 +274,7 @@ func TestOverchargerDeterrence(t *testing.T) {
 }
 
 func TestOverchargerCaughtPaysAuditFine(t *testing.T) {
+	t.Parallel()
 	// Find a seed where P2 is audited and verify the exact fine F/q.
 	n := testNet(t)
 	cfg := core.DefaultConfig()
@@ -289,6 +301,7 @@ func TestOverchargerCaughtPaysAuditFine(t *testing.T) {
 }
 
 func TestHonestBillsSurviveAudit(t *testing.T) {
+	t.Parallel()
 	// Honest processors pass audits on every seed: no detections ever.
 	n := testNet(t)
 	cfg := core.Config{Fine: 10, AuditProb: 1} // audit everyone
@@ -305,6 +318,7 @@ func TestHonestBillsSurviveAudit(t *testing.T) {
 }
 
 func TestSlowExecutorLosesBonus(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	cfg := core.DefaultConfig()
 	honest := runWith(t, n, agent.AllTruthful(4), cfg, 12)
@@ -330,6 +344,7 @@ func TestSlowExecutorLosesBonus(t *testing.T) {
 }
 
 func TestMisreportersUnprofitableInProtocol(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	cfg := core.DefaultConfig()
 	honest := runWith(t, n, agent.AllTruthful(4), cfg, 13)
@@ -346,6 +361,7 @@ func TestMisreportersUnprofitableInProtocol(t *testing.T) {
 }
 
 func TestCorruptorAndSolutionBonus(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	cfg := core.DefaultConfig()
 	cfg.SolutionBonus = 0.05
@@ -380,6 +396,7 @@ func TestCorruptorAndSolutionBonus(t *testing.T) {
 }
 
 func TestSilentVictimCollusion(t *testing.T) {
+	t.Parallel()
 	// A shedder with a colluding (silent) victim goes undetected; the
 	// coalition's joint welfare strictly beats honest play — the known
 	// limit of individual-deviation mechanisms (experiment A11).
@@ -408,6 +425,7 @@ func TestSilentVictimCollusion(t *testing.T) {
 }
 
 func TestSilentVictimAloneIsNoop(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	cfg := core.DefaultConfig()
 	honest := runWith(t, n, agent.AllTruthful(4), cfg, 20)
@@ -422,6 +440,7 @@ func TestSilentVictimAloneIsNoop(t *testing.T) {
 }
 
 func TestHeavyUnderbidStillUnprofitable(t *testing.T) {
+	t.Parallel()
 	// An extreme underbid can push the realized equivalent past the
 	// predecessor's bid, making the bonus negative; the ledger then charges
 	// it. Either way the deviation must not pay.
@@ -438,6 +457,7 @@ func TestHeavyUnderbidStillUnprofitable(t *testing.T) {
 }
 
 func TestMultipleSimultaneousDeviants(t *testing.T) {
+	t.Parallel()
 	// A shedder and an independent overcharger in the same run: both are
 	// handled, the victim stays whole, honest bystanders keep their
 	// truthful welfare.
@@ -464,6 +484,7 @@ func TestMultipleSimultaneousDeviants(t *testing.T) {
 }
 
 func TestSingleProcessorNetwork(t *testing.T) {
+	t.Parallel()
 	n, _ := dlt.NewNetwork([]float64{2}, nil)
 	res := runWith(t, n, agent.AllTruthful(1), core.DefaultConfig(), 15)
 	if !res.Completed {
@@ -478,6 +499,7 @@ func TestSingleProcessorNetwork(t *testing.T) {
 }
 
 func TestStatsCounted(t *testing.T) {
+	t.Parallel()
 	n := testNet(t)
 	res := runWith(t, n, agent.AllTruthful(4), core.DefaultConfig(), 16)
 	if res.Stats.Messages == 0 || res.Stats.Signatures == 0 || res.Stats.Verifications == 0 {
@@ -490,6 +512,7 @@ func TestStatsCounted(t *testing.T) {
 }
 
 func TestLargerChainTruthful(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(99)
 	w := make([]float64, 33)
 	z := make([]float64, 32)
@@ -519,6 +542,7 @@ func TestLargerChainTruthful(t *testing.T) {
 // Property: for random single-deviant profiles, the ledger always conserves
 // money and honest non-adjacent bystanders are never fined.
 func TestQuickProtocolInvariants(t *testing.T) {
+	t.Parallel()
 	behaviors := []func() agent.Behavior{
 		func() agent.Behavior { return agent.Overbid(1.5) },
 		func() agent.Behavior { return agent.Underbid(0.7) },
@@ -553,6 +577,7 @@ func TestQuickProtocolInvariants(t *testing.T) {
 }
 
 func TestEchoMismatchArbitration(t *testing.T) {
+	t.Parallel()
 	// Exercise the subpoena path directly: build a run, then hand the
 	// arbiter an echo dispute in both configurations.
 	n := testNet(t)

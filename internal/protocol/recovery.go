@@ -1,0 +1,182 @@
+package protocol
+
+import (
+	"time"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/fault"
+)
+
+// RecoveryConfig tunes the failure detectors of a protocol run: how long a
+// processor waits for each expected message, how many retransmissions it
+// requests, and how the wait grows between attempts.
+type RecoveryConfig struct {
+	// Timeout is the initial per-receive wait. 0 means 150ms.
+	Timeout time.Duration
+	// Retries is the number of retransmission requests before the peer is
+	// declared dead. 0 means 3; use -1 for none.
+	Retries int
+	// Backoff multiplies the wait after each attempt. 0 means 2.
+	Backoff float64
+	// MaxRounds bounds RunWithRecovery's re-run loop. 0 means one round per
+	// processor (the chain can lose at most all of its non-root members).
+	MaxRounds int
+}
+
+// DefaultRecovery returns the default detector configuration.
+func DefaultRecovery() RecoveryConfig {
+	return RecoveryConfig{Timeout: 150 * time.Millisecond, Retries: 3, Backoff: 2}
+}
+
+// withDefaults fills zero fields with the defaults.
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	d := DefaultRecovery()
+	if c.Timeout <= 0 {
+		c.Timeout = d.Timeout
+	}
+	if c.Retries == 0 {
+		c.Retries = d.Retries
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff < 1 {
+		c.Backoff = d.Backoff
+	}
+	if c.MaxRounds < 0 {
+		c.MaxRounds = 0
+	}
+	return c
+}
+
+// barrierBudget is the Phase III barrier's wait: strictly above the largest
+// per-receive detection window (4·size timeout units through all backoff
+// attempts — see recvScale), plus one Timeout of slack. An individual
+// receive timeout therefore always fires first when one applies; the barrier
+// catches only the failures no receive can see (e.g. the last processor
+// crashing with no successor to miss it).
+func (r *runner) barrierBudget() time.Duration {
+	d := r.rec.Timeout * time.Duration(4*r.size)
+	var sum time.Duration
+	for a := 0; a <= r.rec.Retries; a++ {
+		sum += d
+		d = time.Duration(float64(d) * r.rec.Backoff)
+	}
+	return sum + r.rec.Timeout
+}
+
+// Exclusion records one processor removed from the chain by the recovery
+// driver, in original (pre-splice) indexing.
+type Exclusion struct {
+	Proc      int         // original chain index
+	Phase     fault.Phase // phase in which the failure surfaced
+	Violation Violation   // what the arbiter recorded
+	Fined     bool        // whether signed evidence supported a fine
+	Round     int         // recovery round (0 = first run)
+}
+
+// RecoveryResult is the outcome of RunWithRecovery: the per-round protocol
+// results plus the aggregate view in original indexing.
+type RecoveryResult struct {
+	// Rounds holds every round's Result in order; Final is the last.
+	Rounds []*Result
+	Final  *Result
+	// Net is the surviving chain; Survivors maps its positions to original
+	// indices (Survivors[i] is the original index of the processor now at
+	// position i).
+	Net       *dlt.Network
+	Survivors []int
+	// Excluded lists the processors spliced out, in exclusion order.
+	Excluded []Exclusion
+	// Utilities aggregates per-processor utility across all rounds, indexed
+	// by original position (zero for processors excluded before earning or
+	// losing anything).
+	Utilities []float64
+	// Completed reports whether some round distributed the full load.
+	Completed bool
+}
+
+// RunWithRecovery executes the protocol with graceful degradation: when a
+// round terminates with an attributable typed failure, the offending
+// processor is spliced out of the chain (dlt.Network.Without folds its link
+// times together), the injector is remapped so rules keep naming the same
+// physical machine, and LINEAR BOUNDARY-LINEAR re-runs on the survivors —
+// Theorem 2.1 re-establishes equal finish times on the reduced chain, so the
+// load still completes. Fines for the excluded processor were already moved
+// by the arbiter of the failing round.
+//
+// The loop stops on success, on an unattributable or root failure, or after
+// MaxRounds rounds.
+func RunWithRecovery(p Params) (*RecoveryResult, error) {
+	if err := p.Net.Validate(); err != nil {
+		return nil, err
+	}
+	size := p.Net.Size()
+	rec := p.Recovery.withDefaults()
+	maxRounds := rec.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = size
+	}
+
+	orig := make([]int, size)
+	for i := range orig {
+		orig[i] = i
+	}
+	net := p.Net.Clone()
+	profile := append(agent.Profile(nil), p.Profile...)
+	baseInj := p.Inject
+	if baseInj == nil {
+		baseInj = fault.None
+	}
+
+	rr := &RecoveryResult{Utilities: make([]float64, size)}
+	for round := 0; round < maxRounds; round++ {
+		q := p
+		q.Net = net
+		q.Profile = profile
+		q.Recovery = rec
+		q.Inject = fault.Remap(baseInj, append([]int(nil), orig...))
+		// Fresh keys and audit coins per round; same Params stay replayable.
+		q.Seed = p.Seed + uint64(round)*0x9e3779b97f4a7c15
+		res, err := Run(q)
+		if err != nil {
+			return rr, err
+		}
+		rr.Rounds = append(rr.Rounds, res)
+		rr.Final = res
+		for i, u := range res.Utilities {
+			rr.Utilities[orig[i]] += u
+		}
+		if res.Completed {
+			rr.Completed = true
+			break
+		}
+		f := res.Failure
+		if f == nil || f.Proc <= 0 || f.Proc >= net.Size() {
+			break // unattributable, or the root itself: nothing to splice
+		}
+		viol := Violation("")
+		fined := false
+		for _, d := range res.DetectionsFor(f.Proc) {
+			viol = d.Violation
+			fined = fined || d.Fine > 0
+		}
+		rr.Excluded = append(rr.Excluded, Exclusion{
+			Proc:      orig[f.Proc],
+			Phase:     f.Phase,
+			Violation: viol,
+			Fined:     fined,
+			Round:     round,
+		})
+		nn, err := net.Without(f.Proc)
+		if err != nil {
+			break
+		}
+		net = nn
+		orig = append(orig[:f.Proc], orig[f.Proc+1:]...)
+		profile = append(profile[:f.Proc], profile[f.Proc+1:]...)
+	}
+	rr.Net = net
+	rr.Survivors = orig
+	return rr, nil
+}

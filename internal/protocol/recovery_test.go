@@ -1,0 +1,261 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/fault"
+)
+
+func testNet5(t *testing.T) *dlt.Network {
+	t.Helper()
+	n, err := dlt.NewNetwork(
+		[]float64{1, 2, 1.5, 3, 2.5},
+		[]float64{0.2, 0.1, 0.3, 0.15},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func recoverWith(t *testing.T, n *dlt.Network, prof agent.Profile, inj fault.Injector, seed uint64) *RecoveryResult {
+	t.Helper()
+	rr, err := RunWithRecovery(Params{
+		Net:      n,
+		Profile:  prof,
+		Cfg:      core.DefaultConfig(),
+		Seed:     seed,
+		Inject:   inj,
+		Recovery: fastRec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+func checkEqualFinish(t *testing.T, rr *RecoveryResult) {
+	t.Helper()
+	if rr.Final == nil || rr.Final.Plan == nil {
+		t.Fatal("no final plan")
+	}
+	if spread := dlt.FinishSpread(rr.Net, rr.Final.Plan.Alpha); spread > 1e-9 {
+		t.Fatalf("surviving chain finish spread = %g, want ~0", spread)
+	}
+	var sum float64
+	for _, a := range rr.Final.Plan.Alpha {
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("surviving chain alphas sum to %g, want 1", sum)
+	}
+}
+
+// A processor crashing at Phase III entry mid-run is declared dead, fined
+// (its signed Phase I bid is the evidence), spliced out, and the protocol
+// re-runs to completion on the surviving chain with equal finish times
+// re-established (Theorem 2.1 on the reduced network).
+func TestRecoveryCrashMidLoad(t *testing.T) {
+	t.Parallel()
+	n := testNet5(t)
+	inj := fault.NewPlan(7, fault.Rule{Kind: fault.Crash, Proc: 2, Phase: fault.PhaseLoad})
+	rr := recoverWith(t, n, agent.AllTruthful(5), inj, 7)
+
+	if !rr.Completed {
+		t.Fatalf("recovery did not complete: %+v", rr.Final.TermReason)
+	}
+	if len(rr.Rounds) != 2 {
+		t.Fatalf("got %d rounds, want 2", len(rr.Rounds))
+	}
+	if len(rr.Excluded) != 1 {
+		t.Fatalf("excluded %+v, want exactly P2", rr.Excluded)
+	}
+	ex := rr.Excluded[0]
+	if ex.Proc != 2 || ex.Phase != fault.PhaseLoad || !ex.Fined || ex.Round != 0 {
+		t.Fatalf("exclusion %+v, want P2/load fined in round 0", ex)
+	}
+	if ex.Violation != ViolationUnresponsive {
+		t.Fatalf("violation %q, want %q", ex.Violation, ViolationUnresponsive)
+	}
+	wantSurv := []int{0, 1, 3, 4}
+	if len(rr.Survivors) != len(wantSurv) {
+		t.Fatalf("survivors %v, want %v", rr.Survivors, wantSurv)
+	}
+	for i, s := range wantSurv {
+		if rr.Survivors[i] != s {
+			t.Fatalf("survivors %v, want %v", rr.Survivors, wantSurv)
+		}
+	}
+	if rr.Utilities[2] >= 0 {
+		t.Fatalf("dead processor utility %g, want negative (fined)", rr.Utilities[2])
+	}
+	for _, res := range rr.Rounds {
+		if !res.Ledger.NetZero(1e-9) {
+			t.Fatal("a round's ledger is not conserved")
+		}
+	}
+	checkEqualFinish(t, rr)
+}
+
+// A single transient message loss is absorbed by the retry budget: one
+// round, no exclusions, full completion.
+func TestRecoveryTransientDrop(t *testing.T) {
+	t.Parallel()
+	n := testNet5(t)
+	inj := fault.NewPlan(11, fault.Rule{Kind: fault.Drop, Proc: 3, Phase: fault.PhaseBid, Times: 1})
+	rr := recoverWith(t, n, agent.AllTruthful(5), inj, 11)
+
+	if !rr.Completed || len(rr.Rounds) != 1 || len(rr.Excluded) != 0 {
+		t.Fatalf("transient drop: completed=%v rounds=%d excluded=%v, want clean single round",
+			rr.Completed, len(rr.Rounds), rr.Excluded)
+	}
+	checkEqualFinish(t, rr)
+}
+
+// A stall shorter than the receive budget is survived without any detection.
+func TestRecoveryStallWithinBudget(t *testing.T) {
+	t.Parallel()
+	n := testNet5(t)
+	inj := fault.NewPlan(13, fault.Rule{
+		Kind: fault.Stall, Proc: 2, Phase: fault.PhaseAlloc, Delay: 10 * time.Millisecond,
+	})
+	rr := recoverWith(t, n, agent.AllTruthful(5), inj, 13)
+
+	if !rr.Completed || len(rr.Rounds) != 1 || len(rr.Excluded) != 0 {
+		t.Fatalf("short stall: completed=%v rounds=%d excluded=%v, want clean single round",
+			rr.Completed, len(rr.Rounds), rr.Excluded)
+	}
+	if len(rr.Final.Detections) != 0 {
+		t.Fatalf("short stall produced detections: %+v", rr.Final.Detections)
+	}
+}
+
+// A deserter signs a Phase I bid, takes a Phase II allocation, then walks
+// out. Economically that is a crash by a committed bidder: its successors'
+// timers expire, it is fined and spliced out, and the survivors complete.
+func TestRecoveryDeserter(t *testing.T) {
+	t.Parallel()
+	n := testNet5(t)
+	prof := agent.AllTruthful(5).WithDeviant(2, agent.Deserter())
+	rr := recoverWith(t, n, prof, nil, 17)
+
+	if !rr.Completed {
+		t.Fatalf("recovery did not complete: %+v", rr.Final.TermReason)
+	}
+	if len(rr.Excluded) != 1 || rr.Excluded[0].Proc != 2 || !rr.Excluded[0].Fined {
+		t.Fatalf("excluded %+v, want P2 fined", rr.Excluded)
+	}
+	if rr.Utilities[2] >= 0 {
+		t.Fatalf("deserter utility %g, want negative", rr.Utilities[2])
+	}
+	checkEqualFinish(t, rr)
+}
+
+// A corrupted Phase I signature is an exclusion without a fine: the arbiter
+// cannot attribute forged bytes to a private key, so the processor is
+// removed from the chain but no money moves against it.
+func TestRecoveryCorruptBid(t *testing.T) {
+	t.Parallel()
+	n := testNet5(t)
+	inj := fault.NewPlan(19, fault.Rule{Kind: fault.CorruptSig, Proc: 2, Phase: fault.PhaseBid})
+	rr := recoverWith(t, n, agent.AllTruthful(5), inj, 19)
+
+	if !rr.Completed {
+		t.Fatalf("recovery did not complete: %+v", rr.Final.TermReason)
+	}
+	if len(rr.Excluded) != 1 {
+		t.Fatalf("excluded %+v, want exactly P2", rr.Excluded)
+	}
+	ex := rr.Excluded[0]
+	if ex.Proc != 2 || ex.Phase != fault.PhaseBid || ex.Fined {
+		t.Fatalf("exclusion %+v, want P2/bid unfined", ex)
+	}
+	if ex.Violation != ViolationBadSignature {
+		t.Fatalf("violation %q, want %q", ex.Violation, ViolationBadSignature)
+	}
+	if rr.Utilities[2] != 0 {
+		t.Fatalf("excluded-unfined utility %g, want 0", rr.Utilities[2])
+	}
+	checkEqualFinish(t, rr)
+}
+
+// The root cannot be spliced out: a dead root is unattributable to any
+// bidder and the recovery loop stops without a result.
+func TestRecoveryRootCrashUnrecoverable(t *testing.T) {
+	t.Parallel()
+	n := testNet5(t)
+	inj := fault.NewPlan(23, fault.Rule{Kind: fault.Crash, Proc: 0, Phase: fault.PhaseBid})
+	rr := recoverWith(t, n, agent.AllTruthful(5), inj, 23)
+
+	if rr.Completed {
+		t.Fatal("root crash reported completed")
+	}
+	if len(rr.Excluded) != 0 {
+		t.Fatalf("root crash excluded %+v, want none", rr.Excluded)
+	}
+	if f := rr.Final.Failure; f == nil || f.Proc != 0 {
+		t.Fatalf("failure %+v, want attributed to P0", f)
+	}
+}
+
+// The last processor has no successor to miss its messages; its Phase III
+// crash is caught by the finish barrier instead, and the truncated chain
+// completes on re-run.
+func TestRecoveryLastProcCrash(t *testing.T) {
+	t.Parallel()
+	n := testNet(t)
+	inj := fault.NewPlan(29, fault.Rule{Kind: fault.Crash, Proc: 3, Phase: fault.PhaseLoad})
+	rr := recoverWith(t, n, agent.AllTruthful(4), inj, 29)
+
+	if !rr.Completed {
+		t.Fatalf("recovery did not complete: %+v", rr.Final.TermReason)
+	}
+	if len(rr.Excluded) != 1 || rr.Excluded[0].Proc != 3 || rr.Excluded[0].Phase != fault.PhaseLoad {
+		t.Fatalf("excluded %+v, want P3/load", rr.Excluded)
+	}
+	if !rr.Excluded[0].Fined {
+		t.Fatal("last-processor crash not fined despite signed bid on file")
+	}
+	if rr.Net.Size() != 3 {
+		t.Fatalf("surviving chain size %d, want 3", rr.Net.Size())
+	}
+	checkEqualFinish(t, rr)
+}
+
+// Two independent failures are shed one round at a time; the chain degrades
+// gracefully to the remaining processors and still completes.
+func TestRecoveryTwoFailures(t *testing.T) {
+	t.Parallel()
+	n := testNet5(t)
+	inj := fault.NewPlan(31,
+		fault.Rule{Kind: fault.Crash, Proc: 2, Phase: fault.PhaseLoad},
+		fault.Rule{Kind: fault.Crash, Proc: 4, Phase: fault.PhaseAlloc},
+	)
+	rr := recoverWith(t, n, agent.AllTruthful(5), inj, 31)
+
+	if !rr.Completed {
+		t.Fatalf("recovery did not complete: %+v", rr.Final.TermReason)
+	}
+	if len(rr.Excluded) != 2 {
+		t.Fatalf("excluded %+v, want two processors", rr.Excluded)
+	}
+	got := map[int]bool{}
+	for _, ex := range rr.Excluded {
+		got[ex.Proc] = true
+		if !ex.Fined {
+			t.Fatalf("exclusion %+v not fined", ex)
+		}
+	}
+	if !got[2] || !got[4] {
+		t.Fatalf("excluded %+v, want original P2 and P4", rr.Excluded)
+	}
+	if rr.Net.Size() != 3 {
+		t.Fatalf("surviving chain size %d, want 3", rr.Net.Size())
+	}
+	checkEqualFinish(t, rr)
+}

@@ -41,6 +41,7 @@ func runTreeWith(t *testing.T, root *dlt.TreeNode, prof agent.Profile, cfg core.
 }
 
 func TestTreeParamValidation(t *testing.T) {
+	t.Parallel()
 	root := testTree(t)
 	cfg := core.DefaultConfig()
 	if _, err := RunTree(TreeParams{Root: root, Profile: agent.AllTruthful(2), Cfg: cfg}); err == nil {
@@ -59,6 +60,7 @@ func TestTreeParamValidation(t *testing.T) {
 }
 
 func TestTreeTruthfulMatchesAnalytic(t *testing.T) {
+	t.Parallel()
 	// The tree protocol must realize exactly the DLS-T economics.
 	root := testTree(t)
 	cfg := core.DefaultConfig()
@@ -88,6 +90,7 @@ func TestTreeTruthfulMatchesAnalytic(t *testing.T) {
 }
 
 func TestTreeChainShapeMatchesChainProtocol(t *testing.T) {
+	t.Parallel()
 	// A chain-shaped tree must price exactly like the chain protocol.
 	r := xrand.New(7)
 	for trial := 0; trial < 5; trial++ {
@@ -125,6 +128,7 @@ func randomChainNet(r *xrand.Rand, m int) *dlt.Network {
 }
 
 func TestTreeContradictorCaught(t *testing.T) {
+	t.Parallel()
 	root := testTree(t)
 	cfg := core.DefaultConfig()
 	res := runTreeWith(t, root, agent.AllTruthful(6).WithDeviant(4, agent.Contradictor()), cfg, 2)
@@ -141,6 +145,7 @@ func TestTreeContradictorCaught(t *testing.T) {
 }
 
 func TestTreeMiscomputerCaught(t *testing.T) {
+	t.Parallel()
 	// Node 1 (internal) misassigns its first child's share; the child (2)
 	// re-runs the star arithmetic and catches it.
 	root := testTree(t)
@@ -162,6 +167,7 @@ func TestTreeMiscomputerCaught(t *testing.T) {
 }
 
 func TestTreeShedderCaughtAndUnprofitable(t *testing.T) {
+	t.Parallel()
 	root := testTree(t)
 	cfg := core.DefaultConfig()
 	honest := runTreeWith(t, root, agent.AllTruthful(6), cfg, 4)
@@ -186,6 +192,7 @@ func TestTreeShedderCaughtAndUnprofitable(t *testing.T) {
 }
 
 func TestTreeOverchargerDeterrence(t *testing.T) {
+	t.Parallel()
 	root := testTree(t)
 	cfg := core.DefaultConfig()
 	var caught int
@@ -213,6 +220,7 @@ func TestTreeOverchargerDeterrence(t *testing.T) {
 }
 
 func TestTreeHonestBillsSurviveFullAudit(t *testing.T) {
+	t.Parallel()
 	root := testTree(t)
 	cfg := core.Config{Fine: 10, AuditProb: 1}
 	res := runTreeWith(t, root, agent.AllTruthful(6), cfg, 5)
@@ -228,6 +236,7 @@ func TestTreeHonestBillsSurviveFullAudit(t *testing.T) {
 }
 
 func TestTreeCorruptorAndSolutionBonus(t *testing.T) {
+	t.Parallel()
 	root := testTree(t)
 	cfg := core.DefaultConfig()
 	cfg.SolutionBonus = 0.05
@@ -245,6 +254,7 @@ func TestTreeCorruptorAndSolutionBonus(t *testing.T) {
 }
 
 func TestTreeMisreportersUnprofitable(t *testing.T) {
+	t.Parallel()
 	root := testTree(t)
 	cfg := core.DefaultConfig()
 	honest := runTreeWith(t, root, agent.AllTruthful(6), cfg, 8)
@@ -260,6 +270,7 @@ func TestTreeMisreportersUnprofitable(t *testing.T) {
 }
 
 func TestTreeDeterministic(t *testing.T) {
+	t.Parallel()
 	root := testTree(t)
 	prof := agent.AllTruthful(6).WithDeviant(1, agent.Shedder(0.5))
 	a := runTreeWith(t, root, prof, core.DefaultConfig(), 9)
@@ -272,6 +283,7 @@ func TestTreeDeterministic(t *testing.T) {
 }
 
 func TestTreeSingleNode(t *testing.T) {
+	t.Parallel()
 	root := &dlt.TreeNode{W: 2}
 	res := runTreeWith(t, root, agent.AllTruthful(1), core.DefaultConfig(), 10)
 	if !res.Completed || math.Abs(res.Retained[0]-1) > 1e-9 || math.Abs(res.Utilities[0]) > 1e-9 {
@@ -280,6 +292,7 @@ func TestTreeSingleNode(t *testing.T) {
 }
 
 func TestTreeRandomTruthfulMatchesAnalytic(t *testing.T) {
+	t.Parallel()
 	r := xrand.New(11)
 	var build func(depth int) *dlt.TreeNode
 	build = func(depth int) *dlt.TreeNode {
