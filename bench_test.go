@@ -74,11 +74,12 @@ func BenchmarkSolveBoundary(b *testing.B) {
 	for _, m := range []int{8, 64, 512, 4096} {
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+			var a dlt.Allocation
+			dlt.SolveBoundaryInto(n, &a) // warm the scratch: steady state is 0 allocs
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := dlt.SolveBoundary(n); err != nil {
-					b.Fatal(err)
-				}
+				dlt.SolveBoundaryInto(n, &a)
 			}
 		})
 	}
@@ -87,6 +88,7 @@ func BenchmarkSolveBoundary(b *testing.B) {
 func BenchmarkFinishTimes(b *testing.B) {
 	n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(512))
 	sol := dlt.MustSolveBoundary(n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = dlt.FinishTimes(n, sol.Alpha)
@@ -98,6 +100,7 @@ func BenchmarkDESRun(b *testing.B) {
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
 			sol := dlt.MustSolveBoundary(n)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := des.Run(des.Spec{Net: n, PlanHat: sol.AlphaHat}); err != nil {
@@ -113,6 +116,7 @@ func BenchmarkEvaluateMechanism(b *testing.B) {
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
 			cfg := core.DefaultConfig()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.EvaluateTruthful(n, cfg); err != nil {
@@ -123,12 +127,15 @@ func BenchmarkEvaluateMechanism(b *testing.B) {
 	}
 }
 
-func BenchmarkProtocolRun(b *testing.B) {
-	for _, m := range []int{4, 16, 64} {
+// BenchmarkProtocolRound measures one full four-phase signed protocol round
+// (keygen amortized away by the PKI living inside Run; ed25519 dominates).
+func BenchmarkProtocolRound(b *testing.B) {
+	for _, m := range []int{8, 64, 512} {
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
 			prof := agent.AllTruthful(n.Size())
 			cfg := core.DefaultConfig()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: uint64(i)})
@@ -137,6 +144,30 @@ func BenchmarkProtocolRun(b *testing.B) {
 				}
 				if !res.Completed {
 					b.Fatal("truthful run terminated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluate measures the allocation-free mechanism evaluation the
+// property sweeps and the parallel experiment engine run on: EvaluateInto
+// over a warm Outcome must report 0 allocs/op.
+func BenchmarkEvaluate(b *testing.B) {
+	for _, m := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+			cfg := core.DefaultConfig()
+			rep := core.TruthfulReport(n)
+			var out core.Outcome
+			if err := core.EvaluateInto(&out, n, rep, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.EvaluateInto(&out, n, rep, cfg); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})
@@ -161,6 +192,7 @@ func BenchmarkSolveTreeBinary(b *testing.B) {
 		return node
 	}
 	root := build(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dlt.SolveTree(root); err != nil {
@@ -174,6 +206,7 @@ func BenchmarkSolveAffine(b *testing.B) {
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
 			af := dlt.WithUniformStartup(n, 0.05, 0.05)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := dlt.SolveAffine(af, 1, 1e-10); err != nil {
@@ -190,6 +223,7 @@ func BenchmarkRunMulti(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := des.RunMulti(des.MultiSpec{Net: n, Rounds: rounds}); err != nil {
@@ -202,6 +236,7 @@ func BenchmarkUtilityCurve(b *testing.B) {
 	n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(16))
 	cfg := core.DefaultConfig()
 	factors := []float64{0.5, 0.75, 1, 1.5, 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.UtilityCurve(n, 8, factors, cfg); err != nil {

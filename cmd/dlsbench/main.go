@@ -1,0 +1,258 @@
+// dlsbench runs the repository's performance trajectory: micro-benchmarks
+// over the mechanism hot paths (boundary solver, mechanism evaluation,
+// signed protocol round, DES replay) across chain sizes, plus the
+// sequential-vs-parallel experiment engine comparison, emitting one
+// machine-readable BENCH_*.json suitable for diffing across commits.
+//
+// Unlike `go test -bench`, this harness owns its measurement loop, so it
+// can pair each allocation-free Into variant with its allocating
+// counterpart and report the speedup, and it can time full RunAll /
+// RunAllParallel suite passes that a testing.B iteration budget would
+// mangle.
+//
+// Usage:
+//
+//	dlsbench [-out BENCH_results.json] [-benchtime 100ms] [-seed 12345]
+//	         [-workers 0] [-runall]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/des"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/experiments"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// sizes is the chain-size axis shared by every micro-benchmark.
+var sizes = []int{8, 64, 512, 4096}
+
+// microResult is one (op, m) measurement. SpeedupVsSequential compares the
+// allocation-free hot path against its allocating sequential-era
+// counterpart when one exists (solve_boundary vs SolveBoundary,
+// evaluate vs Evaluate); it is 0 for ops with no such pairing.
+type microResult struct {
+	Op                  string  `json:"op"`
+	M                   int     `json:"m"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	BPerOp              float64 `json:"b_per_op"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+}
+
+// runAllResult times one full experiment-suite pass per engine mode.
+type runAllResult struct {
+	SeqSec  float64 `json:"seq_sec"`
+	ParSec  float64 `json:"par_sec"`
+	Workers int     `json:"workers"`
+	Speedup float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	MaxProcs  int           `json:"gomaxprocs"`
+	Seed      uint64        `json:"seed"`
+	Benchtime string        `json:"benchtime"`
+	Micro     []microResult `json:"micro"`
+	RunAll    *runAllResult `json:"run_all,omitempty"`
+}
+
+// measure runs fn in a timed loop for roughly benchtime after one warmup
+// call and returns per-op wall time and heap-allocation figures derived
+// from runtime.MemStats deltas around the loop.
+func measure(benchtime time.Duration, fn func()) (nsPerOp, bPerOp, allocsPerOp float64) {
+	fn() // warmup: fault in code paths and grow reusable scratch to capacity
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for {
+		fn()
+		iters++
+		if time.Since(start) >= benchtime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return float64(elapsed.Nanoseconds()) / n,
+		float64(after.TotalAlloc-before.TotalAlloc) / n,
+		float64(after.Mallocs-before.Mallocs) / n
+}
+
+func chain(seed uint64, m int) *dlt.Network {
+	return workload.Chain(xrand.New(seed), workload.DefaultChainSpec(m))
+}
+
+func microBenchmarks(seed uint64, benchtime time.Duration) []microResult {
+	var out []microResult
+	add := func(op string, m int, ns, b, allocs, speedup float64) {
+		out = append(out, microResult{Op: op, M: m, NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs, SpeedupVsSequential: speedup})
+		fmt.Fprintf(os.Stderr, "%-16s m=%-5d %12.1f ns/op %10.1f B/op %8.2f allocs/op", op, m, ns, b, allocs)
+		if speedup > 0 {
+			fmt.Fprintf(os.Stderr, "  %5.2fx vs allocating", speedup)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	for _, m := range sizes {
+		n := chain(seed, m)
+
+		// Boundary solver: reused-Allocation hot path vs fresh-allocation call.
+		var a dlt.Allocation
+		ns, b, allocs := measure(benchtime, func() { dlt.SolveBoundaryInto(n, &a) })
+		seqNs, _, _ := measure(benchtime, func() {
+			if _, err := dlt.SolveBoundary(n); err != nil {
+				fatal(err)
+			}
+		})
+		add("solve_boundary", m, ns, b, allocs, seqNs/ns)
+
+		// Mechanism evaluation: EvaluateInto over a warm Outcome vs Evaluate.
+		cfg := core.DefaultConfig()
+		rep := core.TruthfulReport(n)
+		var outc core.Outcome
+		ns, b, allocs = measure(benchtime, func() {
+			if err := core.EvaluateInto(&outc, n, rep, cfg); err != nil {
+				fatal(err)
+			}
+		})
+		seqNs, _, _ = measure(benchtime, func() {
+			if _, err := core.Evaluate(n, rep, cfg); err != nil {
+				fatal(err)
+			}
+		})
+		add("evaluate", m, ns, b, allocs, seqNs/ns)
+
+		// DES replay of the optimal plan (event-queue step machinery).
+		ns, b, allocs = measure(benchtime, func() {
+			if _, err := des.RunPlan(n); err != nil {
+				fatal(err)
+			}
+		})
+		add("des_run", m, ns, b, allocs, 0)
+
+		// One full signed four-phase protocol round, truthful profile.
+		// Capped at m=512: beyond that the accumulated floating-point error
+		// of the backward reduction sweep exceeds the Phase II w̄-identity
+		// verification tolerance, so honest rounds are (correctly, per the
+		// protocol's strict check) terminated as miscomputations. The
+		// receive timeout also scales with m — the default 150ms failure
+		// detector is tuned for small chains and trips spuriously when
+		// hundreds of goroutines contend for a saturated CPU.
+		if m <= 512 {
+			prof := agent.AllTruthful(n.Size())
+			rec := protocol.RecoveryConfig{Timeout: time.Duration(max(150, m)) * time.Millisecond}
+			var round uint64
+			ns, b, allocs = measure(benchtime, func() {
+				round++
+				res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: round, Recovery: rec})
+				if err != nil {
+					fatal(err)
+				}
+				if !res.Completed {
+					fatal(fmt.Errorf("m=%d: truthful protocol round terminated", m))
+				}
+			})
+			add("protocol_round", m, ns, b, allocs, 0)
+		}
+	}
+	return out
+}
+
+// runAllComparison times a full sequential suite pass against the parallel
+// engine at the requested worker count and checks the two agree on shape.
+func runAllComparison(seed uint64, workers int) (*runAllResult, error) {
+	experiments.SetTrialWorkers(1)
+	start := time.Now()
+	seq, err := experiments.RunAll(seed)
+	if err != nil {
+		return nil, fmt.Errorf("RunAll: %w", err)
+	}
+	seqSec := time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "run_all sequential: %.2fs (%d reports)\n", seqSec, len(seq))
+
+	experiments.SetTrialWorkers(workers)
+	start = time.Now()
+	par, err := experiments.RunAllParallel(seed, workers)
+	if err != nil {
+		return nil, fmt.Errorf("RunAllParallel: %w", err)
+	}
+	parSec := time.Since(start).Seconds()
+	experiments.SetTrialWorkers(0)
+	fmt.Fprintf(os.Stderr, "run_all parallel (workers=%d): %.2fs, speedup %.2fx\n",
+		workers, parSec, seqSec/parSec)
+
+	if len(par) != len(seq) {
+		return nil, fmt.Errorf("parallel engine returned %d reports, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID || seq[i].Passed() != par[i].Passed() {
+			return nil, fmt.Errorf("report %d diverged: seq %s passed=%v, par %s passed=%v",
+				i, seq[i].ID, seq[i].Passed(), par[i].ID, par[i].Passed())
+		}
+	}
+	return &runAllResult{SeqSec: seqSec, ParSec: parSec, Workers: workers, Speedup: seqSec / parSec}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlsbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_results.json", "output JSON path (- for stdout)")
+	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "target wall time per micro-benchmark")
+	seed := flag.Uint64("seed", 12345, "workload and suite seed")
+	workers := flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	runall := flag.Bool("runall", true, "include the RunAll vs RunAllParallel suite comparison")
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Seed:      *seed,
+		Benchtime: benchtime.String(),
+		Micro:     microBenchmarks(*seed, *benchtime),
+	}
+	if *runall {
+		ra, err := runAllComparison(*seed, w)
+		if err != nil {
+			fatal(err)
+		}
+		report.RunAll = ra
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

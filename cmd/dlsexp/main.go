@@ -34,9 +34,10 @@ func main() {
 	var ids idList
 	flag.Var(&ids, "id", "experiment ID to run (repeatable; default: all)")
 	var (
-		format = flag.String("format", "text", "output format: text, md or csv")
-		seed   = flag.Uint64("seed", 12345, "seed for the random workloads")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		format  = flag.String("format", "text", "output format: text, md or csv")
+		seed    = flag.Uint64("seed", 12345, "seed for the random workloads")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 0, "worker goroutines when running everything (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -48,17 +49,29 @@ func main() {
 		return
 	}
 
-	runIDs := []string(ids)
-	if len(runIDs) == 0 {
-		runIDs = dlsmech.ExperimentIDs()
-	}
+	experiments.SetTrialWorkers(*workers)
 
-	failed := 0
-	for _, id := range runIDs {
-		rep, err := dlsmech.RunExperiment(id, *seed)
+	var reports []*dlsmech.ExperimentReport
+	if len(ids) == 0 {
+		// Full regeneration: fan the experiments out. The output is
+		// identical to the sequential engine for every worker count.
+		var err error
+		reports, err = dlsmech.RunAllExperimentsParallel(*seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
+	} else {
+		for _, id := range ids {
+			rep, err := dlsmech.RunExperiment(id, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reports = append(reports, rep)
+		}
+	}
+
+	failed := 0
+	for _, rep := range reports {
 		if !rep.Passed() {
 			failed++
 		}

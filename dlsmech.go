@@ -408,3 +408,12 @@ func RunExperiment(id string, seed uint64) (*ExperimentReport, error) {
 func RunAllExperiments(seed uint64) ([]*ExperimentReport, error) {
 	return experiments.RunAll(seed)
 }
+
+// RunAllExperimentsParallel regenerates the whole evaluation on a pool of
+// `workers` goroutines (workers <= 0 means one per CPU). The reports are
+// deep-equal to RunAllExperiments(seed) for every worker count; only the
+// wall-clock measurements embedded in the protocol-overhead ablation's table
+// vary between runs.
+func RunAllExperimentsParallel(seed uint64, workers int) ([]*ExperimentReport, error) {
+	return experiments.RunAllParallel(seed, workers)
+}

@@ -141,23 +141,38 @@ var (
 // Evaluate runs the mechanism analytically. trueNet carries the true values
 // t_i as W (and the public link times Z); rep carries bids and behavior.
 func Evaluate(trueNet *dlt.Network, rep Report, cfg Config) (*Outcome, error) {
-	if err := trueNet.Validate(); err != nil {
+	out := &Outcome{}
+	if err := EvaluateInto(out, trueNet, rep, cfg); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// EvaluateInto is Evaluate writing into a caller-owned Outcome, reusing its
+// slices (and its BidNet/Plan) whenever they have capacity. In steady state —
+// repeated evaluations at the same or smaller network size — it performs
+// zero heap allocations, which is what the property sweeps and the parallel
+// experiment engine run thousands of instances per second on. Nothing in rep
+// or trueNet is retained or aliased: the Outcome owns copies, exactly like
+// Evaluate. On error the Outcome contents are unspecified.
+func EvaluateInto(out *Outcome, trueNet *dlt.Network, rep Report, cfg Config) error {
+	if err := trueNet.Validate(); err != nil {
+		return err
+	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	size := trueNet.Size()
 	if len(rep.Bids) != size {
-		return nil, fmt.Errorf("%w: %d bids for %d processors", ErrLengths, len(rep.Bids), size)
+		return fmt.Errorf("%w: %d bids for %d processors", ErrLengths, len(rep.Bids), size)
 	}
 	for i, b := range rep.Bids {
 		if !(b > 0) || math.IsInf(b, 0) {
-			return nil, fmt.Errorf("%w: bid[%d]=%v", ErrBadBid, i, b)
+			return fmt.Errorf("%w: bid[%d]=%v", ErrBadBid, i, b)
 		}
 	}
 	if rep.Bids[0] != trueNet.W[0] {
-		return nil, fmt.Errorf("%w: bid %v, true %v", ErrRootBid, rep.Bids[0], trueNet.W[0])
+		return fmt.Errorf("%w: bid %v, true %v", ErrRootBid, rep.Bids[0], trueNet.W[0])
 	}
 
 	actualW := rep.ActualW
@@ -165,23 +180,33 @@ func Evaluate(trueNet *dlt.Network, rep Report, cfg Config) (*Outcome, error) {
 		actualW = trueNet.W
 	}
 	if len(actualW) != size {
-		return nil, fmt.Errorf("%w: %d actual speeds", ErrLengths, len(actualW))
+		return fmt.Errorf("%w: %d actual speeds", ErrLengths, len(actualW))
 	}
 	for i, w := range actualW {
 		if !(w > 0) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("%w: ActualW[%d]=%v", ErrBadBid, i, w)
+			return fmt.Errorf("%w: ActualW[%d]=%v", ErrBadBid, i, w)
 		}
 		if w < trueNet.W[i]-1e-12 {
-			return nil, fmt.Errorf("%w: processor %d at %v < t=%v", ErrOverclocked, i, w, trueNet.W[i])
+			return fmt.Errorf("%w: processor %d at %v < t=%v", ErrOverclocked, i, w, trueNet.W[i])
 		}
 	}
 
-	// Phase I-II on the bids.
-	bidNet := &dlt.Network{W: append([]float64(nil), rep.Bids...), Z: append([]float64(nil), trueNet.Z...)}
-	plan, err := dlt.SolveBoundary(bidNet)
-	if err != nil {
-		return nil, err
+	// Phase I-II on the bids. The bid network needs no Validate pass of its
+	// own: the bids were range-checked above and Z comes from the validated
+	// trueNet, which is everything Validate would re-check — so the solver's
+	// pre-validated fast path applies.
+	if out.BidNet == nil {
+		out.BidNet = &dlt.Network{}
 	}
+	out.BidNet.W = growFloats(out.BidNet.W, size)
+	copy(out.BidNet.W, rep.Bids)
+	out.BidNet.Z = growFloats(out.BidNet.Z, size)
+	copy(out.BidNet.Z, trueNet.Z)
+	if out.Plan == nil {
+		out.Plan = &dlt.Allocation{}
+	}
+	dlt.SolveBoundaryInto(out.BidNet, out.Plan)
+	plan := out.Plan
 
 	// Phase III cascade: actual retained loads.
 	actualHat := rep.ActualHat
@@ -189,25 +214,25 @@ func Evaluate(trueNet *dlt.Network, rep Report, cfg Config) (*Outcome, error) {
 		actualHat = plan.AlphaHat
 	}
 	if len(actualHat) != size {
-		return nil, fmt.Errorf("%w: %d actual fractions", ErrLengths, len(actualHat))
+		return fmt.Errorf("%w: %d actual fractions", ErrLengths, len(actualHat))
 	}
-	actualAlpha, err := CascadeActual(actualHat)
-	if err != nil {
-		return nil, err
+	out.ActualAlpha = growFloats(out.ActualAlpha, size)
+	if err := cascadeActualInto(out.ActualAlpha, actualHat); err != nil {
+		return err
 	}
-
-	out := &Outcome{
-		BidNet:      bidNet,
-		Plan:        plan,
-		ActualAlpha: actualAlpha,
-		ActualW:     append([]float64(nil), actualW...),
-		WHat:        WHatAdjusted(plan, rep.Bids, actualW),
-		Payments:    make([]Payment, size),
+	out.ActualW = growFloats(out.ActualW, size)
+	copy(out.ActualW, actualW)
+	out.WHat = growFloats(out.WHat, size)
+	wHatAdjustedInto(out.WHat, plan, out.BidNet.W, out.ActualW)
+	if cap(out.Payments) >= size {
+		out.Payments = out.Payments[:size]
+	} else {
+		out.Payments = make([]Payment, size)
 	}
 
 	// Root (4.3): V_0 = −α_0·w̃_0, C_0 = α_0·w̃_0, U_0 = 0. The root is
 	// obedient, so its actual load is its planned load.
-	rootCost := plan.Alpha[0] * actualW[0]
+	rootCost := plan.Alpha[0] * out.ActualW[0]
 	out.Payments[0] = Payment{
 		Valuation:    -rootCost,
 		Compensation: rootCost,
@@ -216,10 +241,19 @@ func Evaluate(trueNet *dlt.Network, rep Report, cfg Config) (*Outcome, error) {
 	}
 
 	for j := 1; j < size; j++ {
-		out.Payments[j] = paymentFor(j, trueNet.Z[j], plan, rep.Bids, actualAlpha, actualW, out.WHat, cfg, rep.SolutionFound)
+		out.Payments[j] = paymentFor(j, trueNet.Z[j], plan, out.BidNet.W, out.ActualAlpha, out.ActualW, out.WHat, cfg, rep.SolutionFound)
 	}
-	out.Makespan = realizedMakespan(trueNet.Z, actualAlpha, actualW)
-	return out, nil
+	out.Makespan = realizedMakespan(trueNet.Z, out.ActualAlpha, out.ActualW)
+	return nil
+}
+
+// growFloats returns s resized to length n, reusing its backing array when
+// the capacity allows and allocating only on growth.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // paymentFor computes (4.4)-(4.9) (plus the (4.13) solution bonus) for
@@ -252,49 +286,55 @@ func paymentFor(j int, zj float64, plan *dlt.Allocation, bids, actualAlpha, actu
 //	ŵ_k = α̂_k·w̃_k   if w̃_k ≥ w_k   (ran slower than bid: adjusted)
 //	ŵ_k = w̄_k        if w̃_k < w_k   (ran faster: unchanged)
 func WHatAdjusted(plan *dlt.Allocation, bids, actualW []float64) []float64 {
-	size := len(bids)
-	wh := make([]float64, size)
-	m := size - 1
+	wh := make([]float64, len(bids))
+	wHatAdjustedInto(wh, plan, bids, actualW)
+	return wh
+}
+
+// wHatAdjustedInto is WHatAdjusted writing into a caller-owned slice of the
+// right length. The (4.11) rule applies uniformly to every k < m — including
+// k = 0, where the obedient root always satisfies w̃_0 ≥ w_0 — so a single
+// loop covers the chain and the m = 0 singleton falls out of the ŵ_m = w̃_m
+// terminal case with no special-casing.
+func wHatAdjustedInto(wh []float64, plan *dlt.Allocation, bids, actualW []float64) {
+	m := len(bids) - 1
 	wh[m] = actualW[m]
-	for k := 1; k < m; k++ {
+	for k := 0; k < m; k++ {
 		if actualW[k] >= bids[k] {
 			wh[k] = plan.AlphaHat[k] * actualW[k]
 		} else {
 			wh[k] = plan.WBar[k]
 		}
 	}
-	if m >= 1 {
-		// k = 0 is the root; its slot is never used in a bonus, but keep the
-		// same rule for completeness.
-		if actualW[0] >= bids[0] {
-			wh[0] = plan.AlphaHat[0] * actualW[0]
-		} else {
-			wh[0] = plan.WBar[0]
-		}
-	} else {
-		wh[0] = actualW[0]
-	}
-	return wh
 }
 
 // CascadeActual converts an actual local-fraction profile α̃̂ into global
 // actual loads: D̃_0 = 1, α̃_i = D̃_i·h_i, D̃_{i+1} = D̃_i − α̃_i, with the
 // terminal processor forced to compute everything that reaches it.
 func CascadeActual(actualHat []float64) ([]float64, error) {
+	alpha := make([]float64, len(actualHat))
+	if err := cascadeActualInto(alpha, actualHat); err != nil {
+		return nil, err
+	}
+	return alpha, nil
+}
+
+// cascadeActualInto is CascadeActual writing into a caller-owned slice of the
+// same length as actualHat.
+func cascadeActualInto(alpha, actualHat []float64) error {
 	size := len(actualHat)
-	alpha := make([]float64, size)
 	d := 1.0
 	for i, h := range actualHat {
 		if i == size-1 {
 			h = 1
 		}
 		if math.IsNaN(h) || h < 0 || h > 1 {
-			return nil, fmt.Errorf("%w: hat[%d]=%v", ErrBadHat, i, h)
+			return fmt.Errorf("%w: hat[%d]=%v", ErrBadHat, i, h)
 		}
 		alpha[i] = d * h
 		d -= alpha[i]
 	}
-	return alpha, nil
+	return nil
 }
 
 // realizedMakespan computes the makespan of the actual execution: the

@@ -523,3 +523,170 @@ func TestQuickJointDeviation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWHatAdjustedPinnedSmall pins ŵ numerically for the m = 1 and m = 2
+// edge cases, the chains short enough that (4.10)-(4.11) can be carried out
+// by hand. These are the sizes the uniform k < m loop has to get right
+// without the old root special case.
+func TestWHatAdjustedPinnedSmall(t *testing.T) {
+	t.Parallel()
+
+	// m = 1: W = [1,2], z_1 = 0.5. α̂_0 = (2+0.5)/(1+2+0.5) = 2.5/3.5 and
+	// w̄_0 = α̂_0·1 = 2.5/3.5.
+	n1, err := dlt.NewNetwork([]float64{1, 2}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan1 := dlt.MustSolveBoundary(n1)
+	cases1 := []struct {
+		name    string
+		actualW []float64
+		want    []float64
+	}{
+		{"truthful", []float64{1, 2}, []float64{2.5 / 3.5, 2}},
+		{"terminal slowed", []float64{1, 3}, []float64{2.5 / 3.5, 3}},
+		{"root slowed", []float64{1.4, 2}, []float64{2.5 / 3.5 * 1.4, 2}},
+	}
+	for _, tc := range cases1 {
+		wh := WHatAdjusted(plan1, n1.W, tc.actualW)
+		for k := range tc.want {
+			if math.Abs(wh[k]-tc.want[k]) > tol {
+				t.Fatalf("m=1 %s: ŵ_%d = %v, want %v", tc.name, k, wh[k], tc.want[k])
+			}
+		}
+	}
+
+	// m = 2: W = [1,2,4], z = [0.5,0.25]. Backward sweep by hand:
+	// α̂_1 = (4+0.25)/(2+4+0.25) = 0.68, w̄_1 = 1.36,
+	// α̂_0 = (1.36+0.5)/(1+1.36+0.5) = 1.86/2.86 = w̄_0.
+	n2, err := dlt.NewNetwork([]float64{1, 2, 4}, []float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2 := dlt.MustSolveBoundary(n2)
+	cases2 := []struct {
+		name    string
+		actualW []float64
+		want    []float64
+	}{
+		{"truthful", []float64{1, 2, 4}, []float64{1.86 / 2.86, 1.36, 4}},
+		{"interior slowed", []float64{1, 2.5, 4}, []float64{1.86 / 2.86, 0.68 * 2.5, 4}},
+		{"terminal slowed", []float64{1, 2, 5}, []float64{1.86 / 2.86, 1.36, 5}},
+	}
+	for _, tc := range cases2 {
+		wh := WHatAdjusted(plan2, n2.W, tc.actualW)
+		for k := range tc.want {
+			if math.Abs(wh[k]-tc.want[k]) > tol {
+				t.Fatalf("m=2 %s: ŵ_%d = %v, want %v", tc.name, k, wh[k], tc.want[k])
+			}
+		}
+	}
+}
+
+func outcomesEqual(a, b *Outcome) bool {
+	if len(a.Payments) != len(b.Payments) || a.Makespan != b.Makespan {
+		return false
+	}
+	for j := range a.Payments {
+		if a.Payments[j] != b.Payments[j] {
+			return false
+		}
+	}
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.ActualAlpha, b.ActualAlpha) && eq(a.ActualW, b.ActualW) &&
+		eq(a.WHat, b.WHat) && eq(a.Plan.Alpha, b.Plan.Alpha) &&
+		eq(a.Plan.AlphaHat, b.Plan.AlphaHat) && eq(a.Plan.WBar, b.Plan.WBar) &&
+		eq(a.Plan.D, b.Plan.D) && eq(a.BidNet.W, b.BidNet.W) && eq(a.BidNet.Z, b.BidNet.Z)
+}
+
+// TestEvaluateIntoMatchesEvaluate reuses one Outcome across networks of
+// varying size (including shrinking back down, which exercises slice reuse)
+// and checks bit-identical results against fresh Evaluate calls.
+func TestEvaluateIntoMatchesEvaluate(t *testing.T) {
+	t.Parallel()
+	r := xrand.New(42)
+	cfg := DefaultConfig()
+	var reused Outcome
+	for _, m := range []int{1, 5, 9, 3, 2, 9, 1} {
+		n := randomChain(r, m)
+		rep := TruthfulReport(n)
+		if m >= 2 {
+			rep.Bids[1] *= 1.3 // a lie, to exercise the non-truthful paths
+			rep.ActualW = append([]float64(nil), n.W...)
+			rep.ActualW[m] *= 1.1
+		}
+		want := mustEval(t, n, rep, cfg)
+		if err := EvaluateInto(&reused, n, rep, cfg); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if !outcomesEqual(&reused, want) {
+			t.Fatalf("m=%d: EvaluateInto diverged from Evaluate", m)
+		}
+	}
+}
+
+// TestEvaluateIntoZeroAlloc is the acceptance criterion for the hot path:
+// steady-state EvaluateInto performs no heap allocations.
+func TestEvaluateIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the allocation contract")
+	}
+	r := xrand.New(7)
+	n := randomChain(r, 15)
+	rep := TruthfulReport(n)
+	cfg := DefaultConfig()
+	var out Outcome
+	if err := EvaluateInto(&out, n, rep, cfg); err != nil { // warm the slices
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := EvaluateInto(&out, n, rep, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EvaluateInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestPropertySweepsSteadyStateAllocFree checks that the pooled property
+// helpers stop allocating once their scratches are warm.
+func TestPropertySweepsSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops items by design; run without -race for the allocation contract")
+	}
+	r := xrand.New(11)
+	n := randomChain(r, 8)
+	cfg := DefaultConfig()
+	warm := func() {
+		if _, err := UtilityAtBid(n, 2, n.W[2]*1.2, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := UtilityAtSpeed(n, 2, 1.5, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ParticipationViolation(n, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BonusIdentityGap(n, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := CheatingProfit(n, 2, 0.5, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(50, warm); allocs != 0 {
+		t.Fatalf("property sweep allocated %v times per run, want 0", allocs)
+	}
+}

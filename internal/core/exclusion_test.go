@@ -55,7 +55,10 @@ func TestEvaluateExcludingPreservesTheorems(t *testing.T) {
 	r := xrand.New(0xdead)
 	cfg := DefaultConfig()
 	for k := 0; k < 200; k++ {
-		n := randomInstance(t, r)
+		n, err := randomInstance(r)
+		if err != nil {
+			t.Fatalf("instance %d rejected: %v", k, err)
+		}
 		// Exclude 1..M-1 distinct non-root processors.
 		nDead := 1 + r.Intn(n.M()-1)
 		perm := r.Perm(n.M())

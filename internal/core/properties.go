@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dlsmech/internal/dlt"
 )
@@ -11,6 +12,31 @@ import (
 // Lemma 5.3 / Theorem 5.3 (strategyproofness) and Lemma 5.4 / Theorem 5.4
 // (voluntary participation). The experiment harness sweeps these over many
 // networks; the unit tests assert them on representative instances.
+
+// evalScratch bundles the working set of one property evaluation — an
+// Outcome plus report-side slices — so the sweeps below run allocation-free
+// in steady state. Scratches live in a sync.Pool: each call borrows one (two
+// for CheatingProfit, which compares outcomes), uses it on a single
+// goroutine, and returns it, so the property functions stay safe to call
+// from the parallel experiment engine.
+type evalScratch struct {
+	out  Outcome
+	bids []float64
+	w    []float64
+	hat  []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+func getScratch() *evalScratch   { return scratchPool.Get().(*evalScratch) }
+func putScratch(sc *evalScratch) { scratchPool.Put(sc) }
+
+// truthfulBids fills the scratch bid slice with the honest bid vector w = t.
+func (sc *evalScratch) truthfulBids(trueNet *dlt.Network) []float64 {
+	sc.bids = growFloats(sc.bids, trueNet.Size())
+	copy(sc.bids, trueNet.W)
+	return sc.bids
+}
 
 // TruthfulReport builds the honest report for a network: every processor
 // bids its true value, runs at full speed and follows the plan.
@@ -31,13 +57,14 @@ func UtilityAtBid(trueNet *dlt.Network, i int, bid float64, cfg Config) (float64
 	if i <= 0 || i > trueNet.M() {
 		return 0, fmt.Errorf("core: agent %d is not a strategic processor", i)
 	}
-	rep := TruthfulReport(trueNet)
-	rep.Bids[i] = bid
-	out, err := Evaluate(trueNet, rep, cfg)
-	if err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	bids := sc.truthfulBids(trueNet)
+	bids[i] = bid
+	if err := EvaluateInto(&sc.out, trueNet, Report{Bids: bids}, cfg); err != nil {
 		return 0, err
 	}
-	return out.Payments[i].Utility, nil
+	return sc.out.Payments[i].Utility, nil
 }
 
 // UtilityCurve sweeps agent i's bid over bid = t_i·factor for each factor
@@ -65,14 +92,16 @@ func UtilityAtSpeed(trueNet *dlt.Network, i int, slowdown float64, cfg Config) (
 	if slowdown < 1 {
 		return 0, fmt.Errorf("core: slowdown %v < 1 is not executable", slowdown)
 	}
-	rep := TruthfulReport(trueNet)
-	rep.ActualW = append([]float64(nil), trueNet.W...)
-	rep.ActualW[i] *= slowdown
-	out, err := Evaluate(trueNet, rep, cfg)
-	if err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	bids := sc.truthfulBids(trueNet)
+	sc.w = growFloats(sc.w, trueNet.Size())
+	copy(sc.w, trueNet.W)
+	sc.w[i] *= slowdown
+	if err := EvaluateInto(&sc.out, trueNet, Report{Bids: bids, ActualW: sc.w}, cfg); err != nil {
 		return 0, err
 	}
-	return out.Payments[i].Utility, nil
+	return sc.out.Payments[i].Utility, nil
 }
 
 // StrategyproofViolation searches the bid grid t_i·factor for every
@@ -103,34 +132,36 @@ func StrategyproofViolation(trueNet *dlt.Network, factors []float64, cfg Config)
 // negative strategic-agent utility (Lemma 5.4 predicts ≥ 0 for all) and the
 // root's utility (the paper fixes it to exactly 0).
 func ParticipationViolation(trueNet *dlt.Network, cfg Config) (minUtility, rootUtility float64, err error) {
-	out, err := EvaluateTruthful(trueNet, cfg)
-	if err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := EvaluateInto(&sc.out, trueNet, Report{Bids: sc.truthfulBids(trueNet)}, cfg); err != nil {
 		return 0, 0, err
 	}
 	minUtility = math.Inf(1)
 	for j := 1; j < trueNet.Size(); j++ {
-		if u := out.Payments[j].Utility; u < minUtility {
+		if u := sc.out.Payments[j].Utility; u < minUtility {
 			minUtility = u
 		}
 	}
 	if trueNet.Size() == 1 {
 		minUtility = 0
 	}
-	return minUtility, out.Payments[0].Utility, nil
+	return minUtility, sc.out.Payments[0].Utility, nil
 }
 
 // BonusIdentityGap verifies the closed form of the truthful bonus: under
 // honest behavior B_j = w_{j-1} − w̄_{j-1} exactly (the proof of Lemma 5.4).
 // It returns the largest absolute deviation over all agents.
 func BonusIdentityGap(trueNet *dlt.Network, cfg Config) (float64, error) {
-	out, err := EvaluateTruthful(trueNet, cfg)
-	if err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := EvaluateInto(&sc.out, trueNet, Report{Bids: sc.truthfulBids(trueNet)}, cfg); err != nil {
 		return 0, err
 	}
 	var worst float64
 	for j := 1; j < trueNet.Size(); j++ {
-		want := trueNet.W[j-1] - out.Plan.WBar[j-1]
-		if gap := math.Abs(out.Payments[j].Bonus - want); gap > worst {
+		want := trueNet.W[j-1] - sc.out.Plan.WBar[j-1]
+		if gap := math.Abs(sc.out.Payments[j].Bonus - want); gap > worst {
 			worst = gap
 		}
 	}
@@ -149,18 +180,21 @@ func CheatingProfit(trueNet *dlt.Network, i int, shedFactor float64, cfg Config)
 	if shedFactor < 0 || shedFactor > 1 {
 		return 0, 0, fmt.Errorf("core: shed factor %v out of [0,1]", shedFactor)
 	}
-	honest, err := EvaluateTruthful(trueNet, cfg)
-	if err != nil {
+	honest := getScratch()
+	defer putScratch(honest)
+	if err := EvaluateInto(&honest.out, trueNet, Report{Bids: honest.truthfulBids(trueNet)}, cfg); err != nil {
 		return 0, 0, err
 	}
-	rep := TruthfulReport(trueNet)
-	rep.ActualHat = append([]float64(nil), honest.Plan.AlphaHat...)
-	rep.ActualHat[i] *= shedFactor
-	dev, err := Evaluate(trueNet, rep, cfg)
-	if err != nil {
+	dev := getScratch()
+	defer putScratch(dev)
+	dev.hat = growFloats(dev.hat, trueNet.Size())
+	copy(dev.hat, honest.out.Plan.AlphaHat)
+	dev.hat[i] *= shedFactor
+	rep := Report{Bids: dev.truthfulBids(trueNet), ActualHat: dev.hat}
+	if err := EvaluateInto(&dev.out, trueNet, rep, cfg); err != nil {
 		return 0, 0, err
 	}
-	deviantGain = dev.Payments[i].Utility - honest.Payments[i].Utility
-	victimGain = dev.Payments[i+1].Utility - honest.Payments[i+1].Utility
+	deviantGain = dev.out.Payments[i].Utility - honest.out.Payments[i].Utility
+	victimGain = dev.out.Payments[i+1].Utility - honest.out.Payments[i+1].Utility
 	return deviantGain, victimGain, nil
 }

@@ -1,18 +1,19 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/parallel"
 	"dlsmech/internal/xrand"
 )
 
 // randomInstance draws one random linear network: m ∈ [2,9] worker links,
-// W ~ Uniform(0.5,5), Z ~ Uniform(0.01,1). Every draw advances r, so
-// instance k is fully determined by (seed, k).
-func randomInstance(t *testing.T, r *xrand.Rand) *dlt.Network {
-	t.Helper()
+// W ~ Uniform(0.5,5), Z ~ Uniform(0.01,1). Every draw advances r, so an
+// instance is fully determined by its generator's starting state.
+func randomInstance(r *xrand.Rand) (*dlt.Network, error) {
 	m := 2 + r.Intn(8)
 	w := make([]float64, m+1)
 	z := make([]float64, m)
@@ -22,12 +23,14 @@ func randomInstance(t *testing.T, r *xrand.Rand) *dlt.Network {
 	for i := range z {
 		z[i] = r.Uniform(0.01, 1)
 	}
-	n, err := dlt.NewNetwork(w, z)
-	if err != nil {
-		t.Fatalf("instance rejected: %v", err)
-	}
-	return n
+	return dlt.NewNetwork(w, z)
 }
+
+// The property sweeps below fan their instances out over all CPUs: instance
+// k draws everything from stream k of the suite seed (so results are
+// independent of scheduling and worker count) and reports failures as
+// errors, of which parallel.ForEach deterministically surfaces the
+// lowest-indexed one.
 
 // TestRandomInstancesTruthful sweeps ~1,000 seeded random networks and
 // asserts the paper's structural theorems hold on each truthful outcome:
@@ -36,13 +39,16 @@ func randomInstance(t *testing.T, r *xrand.Rand) *dlt.Network {
 func TestRandomInstancesTruthful(t *testing.T) {
 	t.Parallel()
 	const instances = 1000
-	r := xrand.New(0xd15c0de)
+	streams := xrand.New(0xd15c0de).Streams(instances)
 	cfg := DefaultConfig()
-	for k := 0; k < instances; k++ {
-		n := randomInstance(t, r)
+	err := parallel.ForEach(0, instances, func(k int) error {
+		n, err := randomInstance(streams[k])
+		if err != nil {
+			return fmt.Errorf("instance %d rejected: %w", k, err)
+		}
 		out, err := EvaluateTruthful(n, cfg)
 		if err != nil {
-			t.Fatalf("instance %d: %v", k, err)
+			return fmt.Errorf("instance %d: %w", k, err)
 		}
 
 		var sum float64
@@ -50,34 +56,38 @@ func TestRandomInstancesTruthful(t *testing.T) {
 			sum += a
 		}
 		if math.Abs(sum-1) > 1e-9 {
-			t.Fatalf("instance %d: Σα = %g, want 1", k, sum)
+			return fmt.Errorf("instance %d: Σα = %g, want 1", k, sum)
 		}
 
 		// Theorem 2.1: all processors with positive load finish together.
 		if spread := dlt.FinishSpread(n, out.Plan.Alpha); spread > 1e-9 {
-			t.Fatalf("instance %d: finish spread %g, want ~0", k, spread)
+			return fmt.Errorf("instance %d: finish spread %g, want ~0", k, spread)
 		}
 
 		// Theorem 5.4: truthfulness never loses money; the root is the
 		// obedient mechanism owner and nets exactly zero.
 		minU, rootU, err := ParticipationViolation(n, cfg)
 		if err != nil {
-			t.Fatalf("instance %d: %v", k, err)
+			return fmt.Errorf("instance %d: %w", k, err)
 		}
 		if minU < -1e-9 {
-			t.Fatalf("instance %d: truthful utility %g < 0 violates participation", k, minU)
+			return fmt.Errorf("instance %d: truthful utility %g < 0 violates participation", k, minU)
 		}
 		if math.Abs(rootU) > 1e-9 {
-			t.Fatalf("instance %d: root utility %g, want 0", k, rootU)
+			return fmt.Errorf("instance %d: root utility %g, want 0", k, rootU)
 		}
 
 		// The Theorem 5.2 bonus identity B_j = S − (verification cost) must
 		// balance on truthful play.
 		if gap, err := BonusIdentityGap(n, cfg); err != nil {
-			t.Fatalf("instance %d: %v", k, err)
+			return fmt.Errorf("instance %d: %w", k, err)
 		} else if gap > 1e-9 {
-			t.Fatalf("instance %d: bonus identity gap %g", k, gap)
+			return fmt.Errorf("instance %d: bonus identity gap %g", k, gap)
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -87,33 +97,37 @@ func TestRandomInstancesTruthful(t *testing.T) {
 func TestRandomInstancesStrategyproof(t *testing.T) {
 	t.Parallel()
 	const instances = 250
-	r := xrand.New(0x5afe)
+	streams := xrand.New(0x5afe).Streams(instances)
 	cfg := DefaultConfig()
 	factors := []float64{0.5, 0.8, 0.95, 1.05, 1.25, 2, 4}
-	for k := 0; k < instances; k++ {
-		n := randomInstance(t, r)
+	err := parallel.ForEach(0, instances, func(k int) error {
+		r := streams[k]
+		n, err := randomInstance(r)
+		if err != nil {
+			return fmt.Errorf("instance %d rejected: %w", k, err)
+		}
 
 		// Exhaustive factor grid over every deviating processor.
 		viol, err := StrategyproofViolation(n, factors, cfg)
 		if err != nil {
-			t.Fatalf("instance %d: %v", k, err)
+			return fmt.Errorf("instance %d: %w", k, err)
 		}
 		if viol > 1e-9 {
-			t.Fatalf("instance %d: bid deviation gains %g over truthful", k, viol)
+			return fmt.Errorf("instance %d: bid deviation gains %g over truthful", k, viol)
 		}
 
 		// A random off-grid deviation by a random processor.
 		i := 1 + r.Intn(n.Size()-1)
 		truthful, err := UtilityAtBid(n, i, n.W[i], cfg)
 		if err != nil {
-			t.Fatalf("instance %d: %v", k, err)
+			return fmt.Errorf("instance %d: %w", k, err)
 		}
 		dev, err := UtilityAtBid(n, i, n.W[i]*r.Uniform(0.3, 3), cfg)
 		if err != nil {
-			t.Fatalf("instance %d: %v", k, err)
+			return fmt.Errorf("instance %d: %w", k, err)
 		}
 		if dev > truthful+1e-9 {
-			t.Fatalf("instance %d: P%d random deviation utility %g > truthful %g",
+			return fmt.Errorf("instance %d: P%d random deviation utility %g > truthful %g",
 				k, i, dev, truthful)
 		}
 
@@ -121,12 +135,16 @@ func TestRandomInstancesStrategyproof(t *testing.T) {
 		// (4.10)-(4.11) claws the difference back).
 		slow, err := UtilityAtSpeed(n, i, r.Uniform(1, 2.5), cfg)
 		if err != nil {
-			t.Fatalf("instance %d: %v", k, err)
+			return fmt.Errorf("instance %d: %w", k, err)
 		}
 		if slow > truthful+1e-9 {
-			t.Fatalf("instance %d: P%d slow execution utility %g > truthful %g",
+			return fmt.Errorf("instance %d: P%d slow execution utility %g > truthful %g",
 				k, i, slow, truthful)
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -137,18 +155,26 @@ func TestRandomInstancesStrategyproof(t *testing.T) {
 func TestRandomInstancesCheatingUnprofitable(t *testing.T) {
 	t.Parallel()
 	const instances = 100
-	r := xrand.New(0xbadb1d)
+	streams := xrand.New(0xbadb1d).Streams(instances)
 	cfg := DefaultConfig()
-	for k := 0; k < instances; k++ {
-		n := randomInstance(t, r)
+	err := parallel.ForEach(0, instances, func(k int) error {
+		r := streams[k]
+		n, err := randomInstance(r)
+		if err != nil {
+			return fmt.Errorf("instance %d rejected: %w", k, err)
+		}
 		i := 1 + r.Intn(n.M()-1) // shedder must have a successor
 		gain, _, err := CheatingProfit(n, i, r.Uniform(0.2, 0.8), cfg)
 		if err != nil {
-			t.Fatalf("instance %d: %v", k, err)
+			return fmt.Errorf("instance %d: %w", k, err)
 		}
 		if gain >= cfg.Fine {
-			t.Fatalf("instance %d: P%d shedding profit %g not covered by fine %g",
+			return fmt.Errorf("instance %d: P%d shedding profit %g not covered by fine %g",
 				k, i, gain, cfg.Fine)
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation (and sync.Pool sampling) allocates;
+// allocation-count assertions are skipped there.
+const raceEnabled = true

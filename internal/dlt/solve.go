@@ -69,13 +69,25 @@ func SolveBoundary(n *Network) (*Allocation, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
+	a := &Allocation{}
+	SolveBoundaryInto(n, a)
+	return a, nil
+}
+
+// SolveBoundaryInto runs Algorithm 1 writing into a caller-owned allocation,
+// reusing its slices whenever they have capacity. In steady state (same or
+// shrinking network size) it performs zero heap allocations, which is what
+// the mechanism-evaluation hot paths and the experiment engine run on.
+//
+// The caller must pass a structurally valid network: this is the
+// pre-validated fast path and it does not re-run Validate. SolveBoundary
+// (validate + fresh allocation) is the safe general-purpose entry point.
+func SolveBoundaryInto(n *Network, a *Allocation) {
 	m := n.M()
-	a := &Allocation{
-		Alpha:    make([]float64, m+1),
-		AlphaHat: make([]float64, m+1),
-		D:        make([]float64, m+1),
-		WBar:     make([]float64, m+1),
-	}
+	a.Alpha = growFloats(a.Alpha, m+1)
+	a.AlphaHat = growFloats(a.AlphaHat, m+1)
+	a.D = growFloats(a.D, m+1)
+	a.WBar = growFloats(a.WBar, m+1)
 
 	// Backward sweep (steps 1-6): collapse the two farthest processors at a
 	// time. After iteration i, WBar[i] is the equivalent processing time of
@@ -93,7 +105,15 @@ func SolveBoundary(n *Network) (*Allocation, error) {
 		a.Alpha[i] = d * a.AlphaHat[i]
 		d *= 1 - a.AlphaHat[i]
 	}
-	return a, nil
+}
+
+// growFloats returns s resized to length n, reusing its backing array when
+// the capacity allows and allocating only on growth.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // MustSolveBoundary is SolveBoundary for callers that already validated the

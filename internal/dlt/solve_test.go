@@ -342,3 +342,59 @@ func TestQuickOptimalBeatsBaselines(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSolveBoundaryIntoMatchesSolveBoundary checks the Into variant against
+// the allocating path on fresh and reused (including oversized) scratch.
+func TestSolveBoundaryIntoMatchesSolveBoundary(t *testing.T) {
+	scratch := &Allocation{}
+	for _, m := range []int{0, 1, 2, 5, 17, 64, 9} { // shrink at the end: reuse oversized slices
+		w := make([]float64, m+1)
+		z := make([]float64, m)
+		for i := range w {
+			w[i] = 0.5 + float64(i%7)*0.3
+		}
+		for i := range z {
+			z[i] = 0.05 + float64(i%3)*0.1
+		}
+		n, err := NewNetwork(w, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveBoundary(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SolveBoundaryInto(n, scratch)
+		for i := 0; i <= m; i++ {
+			if scratch.Alpha[i] != want.Alpha[i] || scratch.AlphaHat[i] != want.AlphaHat[i] ||
+				scratch.D[i] != want.D[i] || scratch.WBar[i] != want.WBar[i] {
+				t.Fatalf("m=%d: Into diverges from SolveBoundary at %d", m, i)
+			}
+		}
+		if len(scratch.Alpha) != m+1 {
+			t.Fatalf("m=%d: scratch length %d", m, len(scratch.Alpha))
+		}
+	}
+}
+
+// TestSolveBoundaryIntoZeroAlloc pins the hot-path contract: steady-state
+// re-solves into the same scratch allocate nothing.
+func TestSolveBoundaryIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the allocation contract")
+	}
+	w := []float64{1, 2, 1.5, 3, 0.7}
+	z := []float64{0.1, 0.2, 0.1, 0.3}
+	n, err := NewNetwork(w, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := &Allocation{}
+	SolveBoundaryInto(n, scratch) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		SolveBoundaryInto(n, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveBoundaryInto allocates %v per run, want 0", allocs)
+	}
+}

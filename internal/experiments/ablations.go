@@ -7,6 +7,7 @@ import (
 	"dlsmech/internal/agent"
 	"dlsmech/internal/core"
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/parallel"
 	"dlsmech/internal/plot"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/stats"
@@ -38,15 +39,22 @@ func runA1(seed uint64) (*Report, error) {
 		headers = append(headers, fmt.Sprintf("speedup z/w=%.2g", rt))
 	}
 	tb := table.New("A1: speedup over root-only on homogeneous chains (w=1)", headers...)
+	// The (size, ratio) grid is RNG-free, so every cell solves independently;
+	// the saturation scan below stays a sequential pass over the grid.
+	grid, err := parallel.Map(trialWorkers(), len(sizes)*len(ratios), func(k int) (float64, error) {
+		n := workload.RatioChain(sizes[k/len(ratios)]-1, ratios[k%len(ratios)])
+		return 1.0 / dlt.MustSolveBoundary(n).Makespan(), nil // root-only makespan is w=1
+	})
+	if err != nil {
+		return nil, err
+	}
 	saturation := map[float64]int{}
 	prevBy := map[float64]float64{}
 	speedups := map[float64][]float64{}
-	for _, size := range sizes {
+	for si, size := range sizes {
 		row := []any{table.Cell(size)}
-		for _, rt := range ratios {
-			n := workload.RatioChain(size-1, rt)
-			mk := dlt.MustSolveBoundary(n).Makespan()
-			speedup := 1.0 / mk // root-only makespan is w=1
+		for ri, rt := range ratios {
+			speedup := grid[si*len(ratios)+ri]
 			row = append(row, speedup)
 			speedups[rt] = append(speedups[rt], speedup)
 			if prev, ok := prevBy[rt]; ok && saturation[rt] == 0 && speedup-prev < 0.01*prev {

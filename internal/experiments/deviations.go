@@ -6,6 +6,7 @@ import (
 
 	"dlsmech/internal/agent"
 	"dlsmech/internal/core"
+	"dlsmech/internal/parallel"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/table"
 	"dlsmech/internal/workload"
@@ -106,25 +107,40 @@ func runE6(seed uint64) (*Report, error) {
 	tb := table.New(fmt.Sprintf("E6: overcharger (+%.2g) at P%d, %d audit lotteries per q", delta, deviant, runs),
 		"q", "detect rate", "mean gain", "predicted gain (1-q)Δ-F")
 	allDeterred, ratesTrack := true, true
+	type lottery struct {
+		caught bool
+		gain   float64
+	}
 	for _, q := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 1.0} {
 		cfg := core.Config{Fine: 10, AuditProb: q}
-		caught := 0
-		var gain float64
-		for s := uint64(0); s < runs; s++ {
-			runSeed := seed*1000003 + s*7919 + uint64(q*1000)
+		// Each lottery's seed is pure arithmetic in its index, so the runs
+		// are embarrassingly parallel with no draw-order bookkeeping.
+		lotteries, err := parallel.Map(trialWorkers(), runs, func(t int) (lottery, error) {
+			runSeed := seed*1000003 + uint64(t)*7919 + uint64(q*1000)
 			prof := agent.AllTruthful(n.Size()).WithDeviant(deviant, agent.Overcharger(delta))
 			res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: runSeed})
 			if err != nil {
-				return nil, err
+				return lottery{}, err
 			}
 			honest, err := protocol.Run(protocol.Params{Net: n, Profile: agent.AllTruthful(n.Size()), Cfg: cfg, Seed: runSeed})
 			if err != nil {
-				return nil, err
+				return lottery{}, err
 			}
-			if len(res.DetectionsFor(deviant)) > 0 {
+			return lottery{
+				caught: len(res.DetectionsFor(deviant)) > 0,
+				gain:   res.Utilities[deviant] - honest.Utilities[deviant],
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		caught := 0
+		var gain float64
+		for _, l := range lotteries {
+			if l.caught {
 				caught++
 			}
-			gain += res.Utilities[deviant] - honest.Utilities[deviant]
+			gain += l.gain
 		}
 		rate := float64(caught) / runs
 		mean := gain / runs

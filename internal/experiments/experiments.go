@@ -9,7 +9,9 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
+	"dlsmech/internal/parallel"
 	"dlsmech/internal/table"
 )
 
@@ -132,3 +134,64 @@ func RunAll(seed uint64) ([]*Report, error) {
 	}
 	return out, nil
 }
+
+// RunAllParallel executes every experiment on a pool of `workers` goroutines
+// (workers <= 0 means one per CPU) and returns the reports in presentation
+// order. The determinism contract: for every seed and every worker count —
+// including 1 — the reports are deep-equal to RunAll(seed), except for the
+// experiments Volatile reports (which embed wall-clock measurements in their
+// tables; their Findings are still deterministic). On failure the returned
+// prefix and the wrapped error match what the sequential run would produce:
+// the error is always the one from the first experiment in presentation
+// order that failed.
+//
+// Every experiment is also internally parallel: trial loops fan out over the
+// same worker default, after pre-drawing their random instances sequentially
+// so the tables stay bit-identical to the sequential engine (and to the
+// committed EXPERIMENTS.md).
+func RunAllParallel(seed uint64, workers int) ([]*Report, error) {
+	entries := sortedRegistry()
+	reports, err := parallel.Map(workers, len(entries), func(i int) (*Report, error) {
+		rep, err := entries[i].run(seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", entries[i].id, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		// Match RunAll: return the prefix that completed before the first
+		// failure (Map zeroes every entry from the failing index on).
+		for i, r := range reports {
+			if r == nil {
+				return reports[:i], err
+			}
+		}
+	}
+	return reports, err
+}
+
+// Volatile reports whether an experiment's tables embed non-deterministic
+// measurements (wall-clock timings). Determinism tests compare such
+// experiments by their Findings only; everything else must be deep-equal
+// across engines, worker counts and runs. Currently only A3, which prices
+// protocol wall-clock against analytic evaluation, is volatile.
+func Volatile(id string) bool { return id == "A3" }
+
+// trialWorkers caps the fan-out of the per-experiment trial loops; 0 (the
+// default) means parallel.DefaultWorkers. It exists so determinism tests can
+// pin the inner loops to specific worker counts.
+var trialWorkersVal atomic.Int64
+
+// SetTrialWorkers sets the worker count used by experiment trial loops
+// (n <= 0 restores the one-per-CPU default). It affects performance only,
+// never results.
+func SetTrialWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	trialWorkersVal.Store(int64(n))
+}
+
+// trialWorkers returns the current trial-loop worker count setting, in the
+// form parallel.Map accepts (0 means default).
+func trialWorkers() int { return int(trialWorkersVal.Load()) }

@@ -2,11 +2,24 @@ package experiments
 
 import (
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/parallel"
 	"dlsmech/internal/stats"
 	"dlsmech/internal/table"
 	"dlsmech/internal/workload"
 	"dlsmech/internal/xrand"
 )
+
+// drawChains pre-draws `trials` random chains from r in the exact order the
+// sequential trial loops used to, so the per-trial computation can fan out
+// over workers while every table stays bit-identical to the sequential
+// engine. Drawing is cheap; solving and evaluating is what the workers do.
+func drawChains(r *xrand.Rand, trials, m int) []*dlt.Network {
+	nets := make([]*dlt.Network, trials)
+	for t := range nets {
+		nets[t] = workload.Chain(r, workload.DefaultChainSpec(m))
+	}
+	return nets
+}
 
 func init() {
 	register("E1", "Theorem 2.1: participation and equal finish times", runE1)
@@ -24,23 +37,41 @@ func runE1(seed uint64) (*Report, error) {
 	tb := table.New("E1: optimal allocations on random chains ("+table.Cell(trials)+" trials per size)",
 		"m", "mean makespan", "max rel spread", "min alpha", "min alpha share")
 	worstSpread, worstAlpha := 0.0, 1.0
+	type e1Trial struct {
+		mk, spread, minAlpha, minShare float64
+	}
 	for _, m := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		nets := drawChains(r, trials, m)
+		results, err := parallel.Map(trialWorkers(), trials, func(t int) (e1Trial, error) {
+			n := nets[t]
+			sol := dlt.MustSolveBoundary(n)
+			tr := e1Trial{mk: sol.Makespan(), minAlpha: 1, minShare: 1}
+			tr.spread = dlt.FinishSpread(n, sol.Alpha) / sol.Makespan()
+			for _, a := range sol.Alpha {
+				if a < tr.minAlpha {
+					tr.minAlpha = a
+				}
+				if share := a * float64(m+1); share < tr.minShare {
+					tr.minShare = share
+				}
+			}
+			return tr, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		var mks []float64
 		maxSpread, minAlpha, minShare := 0.0, 1.0, 1.0
-		for t := 0; t < trials; t++ {
-			n := workload.Chain(r, workload.DefaultChainSpec(m))
-			sol := dlt.MustSolveBoundary(n)
-			mks = append(mks, sol.Makespan())
-			if s := dlt.FinishSpread(n, sol.Alpha) / sol.Makespan(); s > maxSpread {
-				maxSpread = s
+		for _, tr := range results {
+			mks = append(mks, tr.mk)
+			if tr.spread > maxSpread {
+				maxSpread = tr.spread
 			}
-			for _, a := range sol.Alpha {
-				if a < minAlpha {
-					minAlpha = a
-				}
-				if share := a * float64(m+1); share < minShare {
-					minShare = share
-				}
+			if tr.minAlpha < minAlpha {
+				minAlpha = tr.minAlpha
+			}
+			if tr.minShare < minShare {
+				minShare = tr.minShare
 			}
 		}
 		if maxSpread > worstSpread {
@@ -67,23 +98,34 @@ func runE2(seed uint64) (*Report, error) {
 	tb := table.New("E2: makespan relative to optimal (mean over "+table.Cell(trials)+" random chains)",
 		"m", "optimal", "uniform/opt", "proportional/opt", "comm-aware/opt", "root-only/opt")
 	neverBeaten := true
+	type e2Trial struct {
+		o, u, p, c, ro float64
+	}
 	for _, m := range []int{2, 4, 8, 16, 32, 64} {
+		nets := drawChains(r, trials, m)
+		results, err := parallel.Map(trialWorkers(), trials, func(t int) (e2Trial, error) {
+			n := nets[t]
+			return e2Trial{
+				o:  dlt.Makespan(n, dlt.MustSolveBoundary(n).Alpha),
+				u:  dlt.Makespan(n, dlt.UniformAlloc(n)),
+				p:  dlt.Makespan(n, dlt.ProportionalAlloc(n)),
+				c:  dlt.Makespan(n, dlt.CommAwareProportionalAlloc(n)),
+				ro: dlt.Makespan(n, dlt.RootOnlyAlloc(n)),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		var opt, uni, prop, comm, root []float64
-		for t := 0; t < trials; t++ {
-			n := workload.Chain(r, workload.DefaultChainSpec(m))
-			o := dlt.Makespan(n, dlt.MustSolveBoundary(n).Alpha)
-			u := dlt.Makespan(n, dlt.UniformAlloc(n))
-			p := dlt.Makespan(n, dlt.ProportionalAlloc(n))
-			c := dlt.Makespan(n, dlt.CommAwareProportionalAlloc(n))
-			ro := dlt.Makespan(n, dlt.RootOnlyAlloc(n))
-			if u < o-1e-9 || p < o-1e-9 || c < o-1e-9 || ro < o-1e-9 {
+		for _, tr := range results {
+			if tr.u < tr.o-1e-9 || tr.p < tr.o-1e-9 || tr.c < tr.o-1e-9 || tr.ro < tr.o-1e-9 {
 				neverBeaten = false
 			}
-			opt = append(opt, o)
-			uni = append(uni, u/o)
-			prop = append(prop, p/o)
-			comm = append(comm, c/o)
-			root = append(root, ro/o)
+			opt = append(opt, tr.o)
+			uni = append(uni, tr.u/tr.o)
+			prop = append(prop, tr.p/tr.o)
+			comm = append(comm, tr.c/tr.o)
+			root = append(root, tr.ro/tr.o)
 		}
 		tb.AddRowValues(m, stats.Mean(opt), stats.Mean(uni), stats.Mean(prop), stats.Mean(comm), stats.Mean(root))
 	}

@@ -6,6 +6,7 @@ import (
 	"dlsmech/internal/agent"
 	"dlsmech/internal/core"
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/parallel"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/table"
 	"dlsmech/internal/workload"
@@ -28,32 +29,44 @@ func runA15(seed uint64) (*Report, error) {
 	tb := table.New("A15: catalogue scenarios (unit-load quantities scale linearly with the load)",
 		"scenario", "m+1", "makespan", "speedup", "best entry", "entry gain", "payment overhead", "protocol = analytic")
 	allAgree, allSpeedup := true, true
-	for _, sc := range workload.Scenarios() {
-		n := sc.Net
+	// The catalogue is a fixed list and each scenario runs the full stack
+	// independently (the protocol run is the expensive part), so the
+	// scenarios fan out; rows land in catalogue order.
+	scs := workload.Scenarios()
+	type a15Row struct {
+		makespan, speedup, entryGain, overhead float64
+		bestRoot                               int
+		agree                                  bool
+	}
+	rows, err := parallel.Map(trialWorkers(), len(scs), func(k int) (a15Row, error) {
+		n := scs[k].Net
 		sol := dlt.MustSolveBoundary(n)
-		speedup := n.W[0] / sol.Makespan() // vs computing everything at the root
+		row := a15Row{makespan: sol.Makespan()}
+		row.speedup = n.W[0] / sol.Makespan() // vs computing everything at the root
 
 		bestRoot, bestIA, err := dlt.BestInteriorRoot(n)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
-		entryGain := sol.Makespan() / bestIA.T
+		row.bestRoot = bestRoot
+		row.entryGain = sol.Makespan() / bestIA.T
 
 		out, err := core.EvaluateTruthful(n, cfg)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		var cost, paid float64
 		for _, p := range out.Payments {
 			cost += -p.Valuation
 			paid += p.Total
 		}
+		row.overhead = paid / cost
 
 		run, err := protocol.Run(protocol.Params{
 			Net: n, Profile: agent.AllTruthful(n.Size()), Cfg: cfg, Seed: seed,
 		})
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		var gap float64
 		for i := range run.Utilities {
@@ -61,14 +74,21 @@ func runA15(seed uint64) (*Report, error) {
 				gap = d
 			}
 		}
-		agree := run.Completed && len(run.Detections) == 0 && gap < 1e-9
-		if !agree {
+		row.agree = run.Completed && len(run.Detections) == 0 && gap < 1e-9
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, row := range rows {
+		if !row.agree {
 			allAgree = false
 		}
-		if speedup <= 1 {
+		if row.speedup <= 1 {
 			allSpeedup = false
 		}
-		tb.AddRowValues(sc.Name, n.Size(), sol.Makespan(), speedup, bestRoot, entryGain, paid/cost, agree)
+		tb.AddRowValues(scs[k].Name, scs[k].Net.Size(), row.makespan, row.speedup,
+			row.bestRoot, row.entryGain, row.overhead, row.agree)
 	}
 	rep.Tables = append(rep.Tables, tb)
 	rep.check(allSpeedup, "every scenario gains from distribution")

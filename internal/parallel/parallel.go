@@ -1,0 +1,96 @@
+// Package parallel provides the deterministic fan-out primitives behind the
+// experiment engine: bounded worker pools whose results are identical for
+// every worker count, including one.
+//
+// The determinism contract every caller relies on: the value Map/ForEach
+// produce depends only on (n, fn) — never on the worker count, the scheduler,
+// or which goroutine ran which index. Callers guarantee their side: fn(i)
+// must not share mutable state across indices (each index gets its own
+// xrand stream, its own scratch, its own instance). The pool guarantees the
+// rest: results land in index order and the reported error is always the one
+// from the lowest failing index.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (workers <= 0 means DefaultWorkers) and returns the results in index
+// order. The returned slice always has length n; entries whose fn failed
+// hold the zero value. The returned error is the error of the lowest
+// failing index, so error reporting is as deterministic as the results.
+//
+// With one effective worker (or n <= 1) everything runs inline on the
+// calling goroutine — no goroutines, no channels, no allocation beyond the
+// result slice — which is what makes workers=1 a faithful sequential
+// reference for the determinism tests.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			// Zero everything from the failing index on, so the partial
+			// results a caller may keep match the sequential path, which
+			// stops at the first error.
+			var zero T
+			for j := i; j < n; j++ {
+				out[j] = zero
+			}
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map for callers that need only the side condition checked: it
+// runs fn(i) for every i in [0, n) and returns the error of the lowest
+// failing index.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

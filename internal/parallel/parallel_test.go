@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		got, err := Map(workers, 10, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := []int{0, 1, 4, 9, 16, 25, 36, 49, 64, 81}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: got %v", workers, got)
+		}
+	}
+}
+
+func TestMapWorkerCountInvariance(t *testing.T) {
+	ref, err := Map(1, 64, func(i int) (string, error) { return fmt.Sprintf("r%d", i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := Map(workers, 64, func(i int) (string, error) { return fmt.Sprintf("r%d", i), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged from sequential reference", workers)
+		}
+	}
+}
+
+func TestMapLowestErrorWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		out, err := Map(workers, 20, func(i int) (int, error) {
+			switch i {
+			case 13:
+				return 0, errB
+			case 7:
+				return 0, errA
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got error %v, want the lowest-index one", workers, err)
+		}
+		if len(out) != 20 {
+			t.Fatalf("workers=%d: result length %d", workers, len(out))
+		}
+		for j := 7; j < 20; j++ {
+			if out[j] != 0 {
+				t.Fatalf("workers=%d: out[%d]=%d not zeroed after failing index", workers, j, out[j])
+			}
+		}
+		for j := 0; j < 7; j++ {
+			if out[j] != j {
+				t.Fatalf("workers=%d: out[%d]=%d clobbered", workers, j, out[j])
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	var count atomic.Int64
+	if err := ForEach(8, 1000, func(i int) error { count.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 1000 {
+		t.Fatalf("ran %d of 1000", count.Load())
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForEach(4, 50, func(i int) error {
+		if i == 25 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/fault"
+	"dlsmech/internal/parallel"
 	"dlsmech/internal/sign"
 )
 
@@ -100,11 +101,9 @@ func (r *runner) runProcessor(i int) {
 			r.arb.reportBadSignature(i, i+1, fault.PhaseBid, "empty bid message")
 			return
 		}
-		for _, s := range bm.signed {
-			if _, err := r.expectSlot(s, i+1, slotEquivBid, i+1); err != nil {
-				r.arb.reportBadSignature(i, i+1, fault.PhaseBid, "inauthentic bid: %v", err)
-				return
-			}
+		if err := r.verifyBidBatch(bm.signed, i+1, i+1); err != nil {
+			r.arb.reportBadSignature(i, i+1, fault.PhaseBid, "inauthentic bid: %v", err)
+			return
 		}
 		// Contradiction: two authentic messages, different contents.
 		if len(bm.signed) >= 2 && !bytes.Equal(bm.signed[0].Payload, bm.signed[1].Payload) {
@@ -395,6 +394,21 @@ func (r *runner) phase3Barrier(i int) bool {
 func (r *runner) expectSlot(msg sign.Signed, wantSigner int, wantKind slotKind, wantIndex int) (float64, error) {
 	r.countVerify()
 	return expectSlot(r.pki, msg, wantSigner, wantKind, wantIndex)
+}
+
+// verifyBidBatch checks every signed copy of a Phase I bid message. The
+// copies are independent, so the ed25519 checks fan out across workers when
+// a contradictory sender supplies more than one; a single copy — the honest
+// case — verifies inline with no goroutines. The returned error is that of
+// the lowest-indexed failing copy, exactly what the sequential loop
+// reported, and each copy counts as one logical verification regardless of
+// where it ran (the A3 overhead table depends on that invariance).
+func (r *runner) verifyBidBatch(signed []sign.Signed, wantSigner, wantIndex int) error {
+	r.countVerifyN(int64(len(signed)))
+	return parallel.ForEach(0, len(signed), func(k int) error {
+		_, err := expectSlot(r.pki, signed[k], wantSigner, slotEquivBid, wantIndex)
+		return err
+	})
 }
 
 // verifyG wraps messages.verifyG with the verification counter (5 checks).

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by verification.
@@ -97,14 +98,41 @@ func (s *Signer) Sign(payload []byte) Signed {
 // PKI is the public key infrastructure: a registry mapping processor IDs to
 // public keys. It is safe for concurrent use; the protocol runtime verifies
 // messages from many goroutines.
+//
+// The PKI memoizes successful verifications. The protocol verifies the same
+// signed message at several points of a run — the recipient on receipt, the
+// bonus computation's re-check of forwarded bids, the arbiter's audit of a
+// proof bundle — and ed25519 verification dominates the protocol's CPU time
+// (ablation A3). Since keys cannot be replaced once registered (Register
+// rejects duplicates), a (signer, payload, sig) triple that verified once
+// verifies forever, so replaying the cheap memo lookup is sound. Failed
+// verifications are never cached: every failure re-runs the full check and
+// produces its original error. A PKI lives for one protocol run, which
+// bounds the memo to the run's message count.
 type PKI struct {
 	mu   sync.RWMutex
 	keys map[int]ed25519.PublicKey
+
+	memoMu   sync.RWMutex
+	memo     map[memoKey]struct{}
+	memoHits atomic.Int64
+}
+
+// memoKey identifies one successfully verified message. The byte fields are
+// stored as strings so the key is comparable; the conversions copy, which is
+// what makes the cached entry immune to later mutation of the caller's
+// slices.
+type memoKey struct {
+	id           int
+	payload, sig string
 }
 
 // NewPKI returns an empty registry.
 func NewPKI() *PKI {
-	return &PKI{keys: make(map[int]ed25519.PublicKey)}
+	return &PKI{
+		keys: make(map[int]ed25519.PublicKey),
+		memo: make(map[memoKey]struct{}),
+	}
 }
 
 // Register binds id to pub. Registering the same id twice is an error: key
@@ -128,7 +156,17 @@ func (p *PKI) MustRegister(id int, pub ed25519.PublicKey) {
 }
 
 // Verify checks that msg carries a valid signature from its claimed signer.
+// Repeat verifications of a message that already passed are answered from
+// the memo without re-running ed25519.
 func (p *PKI) Verify(msg Signed) error {
+	key := memoKey{id: msg.SignerID, payload: string(msg.Payload), sig: string(msg.Sig)}
+	p.memoMu.RLock()
+	_, hit := p.memo[key]
+	p.memoMu.RUnlock()
+	if hit {
+		p.memoHits.Add(1)
+		return nil
+	}
 	p.mu.RLock()
 	pub, ok := p.keys[msg.SignerID]
 	p.mu.RUnlock()
@@ -138,7 +176,20 @@ func (p *PKI) Verify(msg Signed) error {
 	if !ed25519.Verify(pub, msg.Payload, msg.Sig) {
 		return fmt.Errorf("%w: signer %d", ErrBadSignature, msg.SignerID)
 	}
+	p.memoMu.Lock()
+	p.memo[key] = struct{}{}
+	p.memoMu.Unlock()
 	return nil
+}
+
+// MemoHits returns how many Verify calls were answered from the memo.
+func (p *PKI) MemoHits() int64 { return p.memoHits.Load() }
+
+// MemoSize returns how many distinct messages have verified successfully.
+func (p *PKI) MemoSize() int {
+	p.memoMu.RLock()
+	defer p.memoMu.RUnlock()
+	return len(p.memo)
 }
 
 // Known reports whether id has a registered key.

@@ -243,3 +243,102 @@ func BenchmarkVerify(b *testing.B) {
 		}
 	}
 }
+
+// TestVerifyMemo pins the memoization contract: the first verification of a
+// valid message does the cryptographic work, repeats are memo hits with the
+// same (nil) answer, and invalid messages are never cached.
+func TestVerifyMemo(t *testing.T) {
+	pki := NewPKI()
+	s1 := NewSigner(1, 7)
+	pki.MustRegister(1, s1.Public())
+	msg := s1.Sign([]byte("payload"))
+
+	if err := pki.Verify(msg); err != nil {
+		t.Fatal(err)
+	}
+	if pki.MemoHits() != 0 {
+		t.Fatalf("first verification reported %d memo hits", pki.MemoHits())
+	}
+	if pki.MemoSize() != 1 {
+		t.Fatalf("memo size %d after one success", pki.MemoSize())
+	}
+	for k := 0; k < 5; k++ {
+		if err := pki.Verify(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pki.MemoHits() != 5 {
+		t.Fatalf("got %d memo hits, want 5", pki.MemoHits())
+	}
+
+	// A tampered payload must fail every time and never enter the memo.
+	bad := msg.Clone()
+	bad.Payload[0] ^= 1
+	for k := 0; k < 3; k++ {
+		if err := pki.Verify(bad); err == nil {
+			t.Fatal("tampered message verified")
+		}
+	}
+	if pki.MemoSize() != 1 {
+		t.Fatalf("failure entered the memo (size %d)", pki.MemoSize())
+	}
+
+	// An unknown signer must also keep failing (and stay uncached) even
+	// after a success for another id.
+	s2 := NewSigner(2, 7)
+	unreg := s2.Sign([]byte("payload"))
+	if err := pki.Verify(unreg); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("got %v, want ErrUnknownSigner", err)
+	}
+	if pki.MemoSize() != 1 {
+		t.Fatalf("unknown signer entered the memo (size %d)", pki.MemoSize())
+	}
+}
+
+// TestVerifyMemoImmuneToMutation checks the memo key copies its bytes: the
+// caller mutating its slices after a verification cannot poison the cache.
+func TestVerifyMemoImmuneToMutation(t *testing.T) {
+	pki := NewPKI()
+	s1 := NewSigner(1, 3)
+	pki.MustRegister(1, s1.Public())
+	msg := s1.Sign([]byte("original"))
+	if err := pki.Verify(msg); err != nil {
+		t.Fatal(err)
+	}
+	msg.Payload[0] ^= 0xff // mutate the very slice that was memoized
+	if err := pki.Verify(msg); err == nil {
+		t.Fatal("mutated message answered from memo")
+	}
+	if pki.MemoHits() != 0 {
+		t.Fatalf("mutated lookup hit the memo (%d hits)", pki.MemoHits())
+	}
+}
+
+// TestVerifyMemoConcurrent hammers one PKI from many goroutines under the
+// race detector's eye.
+func TestVerifyMemoConcurrent(t *testing.T) {
+	pki := NewPKI()
+	s1 := NewSigner(1, 9)
+	pki.MustRegister(1, s1.Public())
+	msgs := make([]Signed, 8)
+	for k := range msgs {
+		msgs[k] = s1.Sign([]byte{byte(k)})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if err := pki.Verify(msgs[(g+k)%len(msgs)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if pki.MemoSize() != len(msgs) {
+		t.Fatalf("memo size %d, want %d", pki.MemoSize(), len(msgs))
+	}
+}

@@ -71,6 +71,21 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
 }
 
+// Streams returns n generators derived from r, one per parallel worker or
+// trial. The derivation draws from r in index order, so the returned streams
+// — and r's own continuation — are fully determined by r's state at the
+// call, regardless of how many goroutines later consume them. This is the
+// fan-out primitive behind the parallel experiment engine: derive the
+// streams sequentially, hand stream k to trial k, and the trial results are
+// identical for every worker count.
+func (r *Rand) Streams(n int) []*Rand {
+	out := make([]*Rand, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {

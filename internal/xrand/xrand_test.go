@@ -336,3 +336,35 @@ func BenchmarkFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestStreamsDeterministicAndIndependent(t *testing.T) {
+	a := New(99).Streams(8)
+	b := New(99).Streams(8)
+	for i := range a {
+		for k := 0; k < 16; k++ {
+			if a[i].Uint64() != b[i].Uint64() {
+				t.Fatalf("stream %d not reproducible", i)
+			}
+		}
+	}
+	// Distinct streams must not collide on their openings.
+	seen := map[uint64]int{}
+	for i, s := range New(7).Streams(64) {
+		v := s.Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d open with the same value", j, i)
+		}
+		seen[v] = i
+	}
+}
+
+func TestStreamsAdvanceParent(t *testing.T) {
+	r1, r2 := New(5), New(5)
+	r1.Streams(3)
+	for i := 0; i < 3; i++ {
+		r2.Split()
+	}
+	if r1.Uint64() != r2.Uint64() {
+		t.Fatal("Streams(n) must advance the parent exactly like n Splits")
+	}
+}
