@@ -18,6 +18,7 @@ import (
 	"dlsmech/internal/des"
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/experiments"
+	"dlsmech/internal/obs"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/workload"
 	"dlsmech/internal/xrand"
@@ -129,24 +130,43 @@ func BenchmarkEvaluateMechanism(b *testing.B) {
 
 // BenchmarkProtocolRound measures one full four-phase signed protocol round
 // (keygen amortized away by the PKI living inside Run; ed25519 dominates).
+//
+// The hooks variants price the observability subsystem: "off" is the nil
+// default (a non-instrumented round), "nop" pays only the interface dispatch
+// at each call site (TestNopDispatchAllocs in internal/obs pins that
+// dispatch to 0 allocs/op, so off and nop must benchmark identically), and
+// "collector" records full metrics + spans.
 func BenchmarkProtocolRound(b *testing.B) {
+	variants := []struct {
+		name  string
+		hooks func() obs.Hooks
+	}{
+		{"hooks=off", func() obs.Hooks { return nil }},
+		{"hooks=nop", func() obs.Hooks { return obs.Nop{} }},
+		{"hooks=collector", func() obs.Hooks { return obs.NewCollector() }},
+	}
 	for _, m := range []int{8, 64, 512} {
-		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
-			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
-			prof := agent.AllTruthful(n.Size())
-			cfg := core.DefaultConfig()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: uint64(i)})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if !res.Completed {
-					b.Fatal("truthful run terminated")
-				}
+		for _, v := range variants {
+			if m == 512 && v.name != "hooks=off" {
+				continue // the overhead story is told at the smaller sizes
 			}
-		})
+			b.Run(fmt.Sprintf("m=%d/%s", m, v.name), func(b *testing.B) {
+				n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+				prof := agent.AllTruthful(n.Size())
+				cfg := core.DefaultConfig()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: uint64(i), Hooks: v.hooks()})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Completed {
+						b.Fatal("truthful run terminated")
+					}
+				}
+			})
+		}
 	}
 }
 

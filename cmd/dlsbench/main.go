@@ -13,7 +13,13 @@
 // Usage:
 //
 //	dlsbench [-out BENCH_results.json] [-benchtime 100ms] [-seed 12345]
-//	         [-workers 0] [-runall]
+//	         [-workers 0] [-runall] [-force] [-trace t.json] [-metrics m.txt]
+//
+// Writing over the checked-in BENCH_baseline.json requires -force; the
+// default output name keeps accidental runs away from the baseline. With
+// -trace/-metrics the measured protocol rounds and experiment passes run
+// with observability hooks attached — useful for profiling, but note the
+// instrumented numbers then include hook overhead.
 package main
 
 import (
@@ -25,10 +31,12 @@ import (
 	"time"
 
 	"dlsmech/internal/agent"
+	"dlsmech/internal/cli"
 	"dlsmech/internal/core"
 	"dlsmech/internal/des"
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/experiments"
+	"dlsmech/internal/obs"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/workload"
 	"dlsmech/internal/xrand"
@@ -97,7 +105,7 @@ func chain(seed uint64, m int) *dlt.Network {
 	return workload.Chain(xrand.New(seed), workload.DefaultChainSpec(m))
 }
 
-func microBenchmarks(seed uint64, benchtime time.Duration) []microResult {
+func microBenchmarks(seed uint64, benchtime time.Duration, hooks obs.Hooks) []microResult {
 	var out []microResult
 	add := func(op string, m int, ns, b, allocs, speedup float64) {
 		out = append(out, microResult{Op: op, M: m, NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs, SpeedupVsSequential: speedup})
@@ -159,7 +167,7 @@ func microBenchmarks(seed uint64, benchtime time.Duration) []microResult {
 			var round uint64
 			ns, b, allocs = measure(benchtime, func() {
 				round++
-				res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: round, Recovery: rec})
+				res, err := protocol.Run(protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: round, Recovery: rec, Hooks: hooks})
 				if err != nil {
 					fatal(err)
 				}
@@ -219,11 +227,26 @@ func main() {
 	seed := flag.Uint64("seed", 12345, "workload and suite seed")
 	workers := flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
 	runall := flag.Bool("runall", true, "include the RunAll vs RunAllParallel suite comparison")
+	force := flag.Bool("force", false, "allow overwriting the checked-in BENCH_baseline.json")
+	var obsFlags cli.ObsFlags
+	obsFlags.Register("", "", "prom")
 	flag.Parse()
+
+	// Fail fast, before minutes of benchmarking, if -out targets the
+	// committed baseline without -force.
+	if err := cli.CheckOverwrite(*out, "BENCH_baseline.json", *force); err != nil {
+		fatal(err)
+	}
 
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
+	}
+
+	hooks := obsFlags.Hooks() // nil (zero-overhead) unless -trace/-metrics given
+	if hooks != nil {
+		experiments.SetHooks(hooks)
+		defer experiments.SetHooks(nil)
 	}
 
 	report := benchReport{
@@ -232,7 +255,7 @@ func main() {
 		MaxProcs:  runtime.GOMAXPROCS(0),
 		Seed:      *seed,
 		Benchtime: benchtime.String(),
-		Micro:     microBenchmarks(*seed, *benchtime),
+		Micro:     microBenchmarks(*seed, *benchtime, hooks),
 	}
 	if *runall {
 		ra, err := runAllComparison(*seed, w)
@@ -247,6 +270,9 @@ func main() {
 		fatal(err)
 	}
 	buf = append(buf, '\n')
+	if err := obsFlags.Write(); err != nil {
+		fatal(err)
+	}
 	if *out == "-" {
 		os.Stdout.Write(buf)
 		return

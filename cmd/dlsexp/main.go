@@ -9,6 +9,7 @@
 //	dlsexp -format csv     # machine-readable, tables only
 //	dlsexp -seed 99        # different random workloads, same checks
 //	dlsexp -list           # list experiment IDs and titles
+//	dlsexp -id E3 -metrics - -trace exp-trace.json   # observed run
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"dlsmech"
+	"dlsmech/internal/cli"
 	"dlsmech/internal/experiments"
 )
 
@@ -39,6 +41,8 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", 0, "worker goroutines when running everything (0 = one per CPU, 1 = sequential)")
 	)
+	var obsFlags cli.ObsFlags
+	obsFlags.Register("", "", "prom")
 	flag.Parse()
 
 	if *list {
@@ -50,6 +54,11 @@ func main() {
 	}
 
 	experiments.SetTrialWorkers(*workers)
+	if h := obsFlags.Hooks(); h != nil {
+		// Each experiment run is bracketed as an "experiment:<id>" span; with
+		// -workers != 1 concurrent spans interleave (metrics stay exact).
+		experiments.SetHooks(h)
+	}
 
 	var reports []*dlsmech.ExperimentReport
 	if len(ids) == 0 {
@@ -78,6 +87,9 @@ func main() {
 		if err := emit(rep, *format); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if err := obsFlags.Write(); err != nil {
+		log.Fatal(err)
 	}
 	if failed > 0 {
 		log.Fatalf("%d experiment(s) FAILED their reproduction checks", failed)

@@ -9,6 +9,7 @@
 //	dlsfault -scenario lan-cluster
 //	dlsfault -spec network.json -kind drop -proc 1 -phase bid
 //	dlsfault -scenario wan-federation -kind crash -proc 2 -phase load -seed 7
+//	dlsfault -scenario lan-cluster -kind drop -trace trace.json -metrics -
 //
 // Kinds: crash, stall, drop, delay, duplicate, corrupt-sig.
 // Phases: bid, alloc, load, bill, any.
@@ -23,42 +24,7 @@ import (
 
 	"dlsmech"
 	"dlsmech/internal/cli"
-	"dlsmech/internal/fault"
 )
-
-func parseKind(s string) (fault.Kind, error) {
-	switch s {
-	case "crash":
-		return fault.Crash, nil
-	case "stall":
-		return fault.Stall, nil
-	case "drop":
-		return fault.Drop, nil
-	case "delay":
-		return fault.Delay, nil
-	case "duplicate":
-		return fault.Duplicate, nil
-	case "corrupt-sig":
-		return fault.CorruptSig, nil
-	}
-	return 0, fmt.Errorf("unknown fault kind %q", s)
-}
-
-func parsePhase(s string) (fault.Phase, error) {
-	switch s {
-	case "bid":
-		return fault.PhaseBid, nil
-	case "alloc":
-		return fault.PhaseAlloc, nil
-	case "load":
-		return fault.PhaseLoad, nil
-	case "bill":
-		return fault.PhaseBill, nil
-	case "any":
-		return fault.PhaseAny, nil
-	}
-	return 0, fmt.Errorf("unknown phase %q", s)
-}
 
 func main() {
 	log.SetFlags(0)
@@ -74,17 +40,19 @@ func main() {
 		timeout  = flag.Duration("timeout", 25*time.Millisecond, "detector base timeout")
 		retries  = flag.Int("retries", 1, "retransmission requests before a peer is declared dead")
 	)
+	var obsFlags cli.ObsFlags
+	obsFlags.Register("", "", "prom")
 	flag.Parse()
 
 	net, err := cli.LoadNetwork(*specPath, *scenario, os.Stdin)
 	if err != nil {
 		log.Fatal(err)
 	}
-	kind, err := parseKind(*kindName)
+	kind, err := cli.ParseFaultKind(*kindName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ph, err := parsePhase(*phName)
+	ph, err := cli.ParseFaultPhase(*phName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,8 +71,14 @@ func main() {
 		Seed:     *seed,
 		Inject:   dlsmech.NewFaultPlan(*seed, rule),
 		Recovery: dlsmech.RecoveryConfig{Timeout: *timeout, Retries: *retries},
+		Hooks:    obsFlags.Hooks(),
 	})
 	if err != nil {
+		log.Fatal(err)
+	}
+	// Write immediately: the unrecoverable-failure path below exits nonzero
+	// and must still leave the trace/metrics behind for post-mortems.
+	if err := obsFlags.Write(); err != nil {
 		log.Fatal(err)
 	}
 

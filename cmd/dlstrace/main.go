@@ -1,0 +1,169 @@
+// Command dlstrace runs one observed DLS-LBL protocol round (with optional
+// fault injection and recovery) and exports what the observability subsystem
+// saw: a Chrome trace_event JSON of the span tree (load it at
+// chrome://tracing or https://ui.perfetto.dev) and a metrics snapshot.
+//
+// Usage:
+//
+//	dlstrace -m 64                         # fault-free 65-processor chain
+//	dlstrace -m 64 -faults drop            # one dropped load message + retry
+//	dlstrace -scenario lan-cluster -faults crash -fault-proc 2
+//	dlstrace -validate-trace trace.json -validate-metrics metrics.json
+//
+// The validate flags check previously exported files against the checked-in
+// JSON schemas (internal/obs/schemas) and exit; CI's obs-smoke job uses them
+// to pin the export formats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dlsmech"
+	"dlsmech/internal/cli"
+	"dlsmech/internal/obs"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlstrace: ")
+	var (
+		m        = flag.Int("m", 64, "number of strategic processors in the generated chain (ignored with -spec/-scenario)")
+		seed     = flag.Uint64("seed", 1, "run seed (chain sampling, keys, audit lottery, fault coin flips)")
+		specPath = flag.String("spec", "", "path to a network spec JSON file (overrides -m)")
+		scenario = flag.String("scenario", "", "use a built-in scenario (overrides -m)")
+
+		faultKind  = flag.String("faults", "", "inject a fault: crash, stall, drop, delay, duplicate, corrupt-sig (empty = fault-free)")
+		faultProc  = flag.Int("fault-proc", 2, "faulty processor index")
+		faultPhase = flag.String("fault-phase", "load", "fault phase: bid, alloc, load, bill, any")
+		faultTimes = flag.Int("fault-times", 1, "max firings (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 25*time.Millisecond, "detector base timeout")
+		retries    = flag.Int("retries", 1, "retransmission requests before a peer is declared dead")
+
+		valTrace   = flag.String("validate-trace", "", "validate a trace_event JSON file against the schema and exit")
+		valMetrics = flag.String("validate-metrics", "", "validate a JSON metrics snapshot against the schema and exit")
+	)
+	var obsFlags cli.ObsFlags
+	obsFlags.Register("trace.json", "metrics.json", "json")
+	flag.Parse()
+
+	if *valTrace != "" || *valMetrics != "" {
+		validateAndExit(*valTrace, *valMetrics)
+	}
+
+	net, err := loadNet(*specPath, *scenario, *m, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := dlsmech.ProtocolParams{
+		Net:      net,
+		Profile:  dlsmech.AllTruthful(net.Size()),
+		Cfg:      dlsmech.DefaultConfig(),
+		Seed:     *seed,
+		Hooks:    obsFlags.Hooks(),
+		Recovery: dlsmech.RecoveryConfig{Timeout: *timeout, Retries: *retries},
+	}
+	if *faultKind != "" {
+		kind, err := cli.ParseFaultKind(*faultKind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ph, err := cli.ParseFaultPhase(*faultPhase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *faultProc < 0 || *faultProc >= net.Size() {
+			log.Fatalf("processor %d out of range [0,%d]", *faultProc, net.M())
+		}
+		rule := dlsmech.FaultRule{Kind: kind, Proc: *faultProc, Phase: ph, Times: *faultTimes}
+		fmt.Printf("injecting: %s\n", rule)
+		params.Inject = dlsmech.NewFaultPlan(*seed, rule)
+	}
+
+	fmt.Printf("network: %d processors (m=%d strategic)\n", net.Size(), net.M())
+	rr, err := dlsmech.RunProtocolWithRecovery(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var msgs, sigs, detections int64
+	for _, res := range rr.Rounds {
+		msgs += res.Stats.Messages
+		sigs += res.Stats.Signatures
+		detections += int64(len(res.Detections))
+	}
+	fmt.Printf("rounds: %d  completed: %v  messages: %d  signatures: %d  detections: %d  excluded: %d\n",
+		len(rr.Rounds), rr.Completed, msgs, sigs, detections, len(rr.Excluded))
+
+	// Cross-check the exact-count contract: the hooks-derived counter must
+	// equal the protocol's own message statistics.
+	if c := obsFlags.Collector(); c != nil && c.Reg != nil {
+		snap := c.Reg.Snapshot()
+		if got := snap.Counters[obs.MetricMessages]; got != msgs {
+			log.Fatalf("counter mismatch: %s=%d but Stats.Messages sums to %d", obs.MetricMessages, got, msgs)
+		}
+		fmt.Printf("obs: %s=%d matches protocol stats\n", obs.MetricMessages, msgs)
+	}
+	if c := obsFlags.Collector(); c != nil && c.Tr != nil {
+		fmt.Printf("obs: %d spans recorded\n", len(c.Tr.Spans()))
+	}
+
+	if err := obsFlags.Write(); err != nil {
+		log.Fatal(err)
+	}
+	if obsFlags.TracePath != "" && obsFlags.TracePath != "-" {
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", obsFlags.TracePath)
+	}
+	if obsFlags.MetricsPath != "" && obsFlags.MetricsPath != "-" {
+		fmt.Printf("metrics written to %s (%s)\n", obsFlags.MetricsPath, obsFlags.MetricsFormat)
+	}
+	if !rr.Completed {
+		os.Exit(1)
+	}
+}
+
+// loadNet resolves the network: explicit spec/scenario when given, else a
+// sampled heterogeneous chain with m strategic processors.
+func loadNet(specPath, scenario string, m int, seed uint64) (*dlsmech.Network, error) {
+	if specPath != "" || scenario != "" {
+		return cli.LoadNetwork(specPath, scenario, os.Stdin)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("-m must be >= 1, got %d", m)
+	}
+	return workload.Chain(xrand.New(seed), workload.DefaultChainSpec(m)), nil
+}
+
+// validateAndExit checks export files against the embedded schemas.
+func validateAndExit(tracePath, metricsPath string) {
+	ok := true
+	check := func(path, what string, validate func([]byte) error) {
+		if path == "" {
+			return
+		}
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			log.Printf("%s: %v", what, err)
+			ok = false
+			return
+		}
+		if err := validate(doc); err != nil {
+			log.Printf("%s %s: INVALID: %v", what, path, err)
+			ok = false
+			return
+		}
+		fmt.Printf("%s %s: ok\n", what, path)
+	}
+	check(tracePath, "trace", obs.ValidateChromeTrace)
+	check(metricsPath, "metrics", obs.ValidateMetricsSnapshot)
+	if !ok {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

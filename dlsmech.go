@@ -44,6 +44,7 @@ import (
 	"dlsmech/internal/dynamics"
 	"dlsmech/internal/experiments"
 	"dlsmech/internal/fault"
+	"dlsmech/internal/obs"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/workload"
 )
@@ -381,6 +382,46 @@ type TreeProtocolResult = protocol.TreeResult
 // network — the distributed form of the paper's future work. On a
 // chain-shaped tree it prices runs identically to RunProtocol.
 func RunTreeProtocol(p TreeProtocolParams) (*TreeProtocolResult, error) { return protocol.RunTree(p) }
+
+// --- Observability --------------------------------------------------------------
+
+// Observability types, re-exported from internal/obs. ObsHooks plugs into
+// ProtocolParams.Hooks, SimSpec.Hooks and MarketConfig-style entry points;
+// ObsCollector is the standard implementation feeding an ObsRegistry
+// (metrics; Prometheus text or JSON snapshots) and an ObsTracer
+// (deterministic span trees; Chrome trace_event export).
+type (
+	// ObsHooks is the profiling-hook interface the runtime calls into.
+	ObsHooks = obs.Hooks
+	// ObsNop is the zero-overhead disabled implementation.
+	ObsNop = obs.Nop
+	// ObsCollector implements ObsHooks over a registry and a tracer.
+	ObsCollector = obs.Collector
+	// ObsRegistry is the metrics registry.
+	ObsRegistry = obs.Registry
+	// ObsTracer records hierarchical spans with deterministic IDs.
+	ObsTracer = obs.Tracer
+	// ObsSpan is one recorded span.
+	ObsSpan = obs.Span
+	// ObsSnapshot is a point-in-time copy of a registry.
+	ObsSnapshot = obs.Snapshot
+)
+
+// NewObsCollector builds a collector over fresh metrics and trace sinks.
+func NewObsCollector() *ObsCollector { return obs.NewCollector() }
+
+// SetExperimentHooks installs observability hooks on the experiment engine
+// (every experiment run is bracketed as an "experiment:<id>" span). Pass nil
+// to uninstall.
+func SetExperimentHooks(h ObsHooks) { experiments.SetHooks(h) }
+
+// ValidateChromeTrace checks an exported trace document against the
+// checked-in trace_event schema.
+func ValidateChromeTrace(doc []byte) error { return obs.ValidateChromeTrace(doc) }
+
+// ValidateMetricsSnapshot checks an exported JSON metrics snapshot against
+// the checked-in schema.
+func ValidateMetricsSnapshot(doc []byte) error { return obs.ValidateMetricsSnapshot(doc) }
 
 // --- Workloads and experiments -------------------------------------------------
 

@@ -1,0 +1,169 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dlsmech/internal/fault"
+	"dlsmech/internal/obs"
+)
+
+// ObsFlags wires the shared observability outputs (-trace, -metrics,
+// -metrics-format) into a command-line tool. Register the flags, pass
+// Hooks() into the instrumented layer, and call Write() on the way out.
+type ObsFlags struct {
+	TracePath     string
+	MetricsPath   string
+	MetricsFormat string
+
+	col *obs.Collector
+}
+
+// Register declares the flags on the process-global flag set, with
+// per-tool default output paths ("" disables an output by default).
+func (o *ObsFlags) Register(defTrace, defMetrics, defFormat string) {
+	if defFormat == "" {
+		defFormat = "prom"
+	}
+	flag.StringVar(&o.TracePath, "trace", defTrace,
+		"write a Chrome trace_event JSON of the run to this file (- for stdout, empty disables)")
+	flag.StringVar(&o.MetricsPath, "metrics", defMetrics,
+		"write a metrics snapshot of the run to this file (- for stdout, empty disables)")
+	flag.StringVar(&o.MetricsFormat, "metrics-format", defFormat,
+		"metrics snapshot format: prom (text exposition) or json")
+}
+
+// Enabled reports whether any observability output was requested.
+func (o *ObsFlags) Enabled() bool { return o.TracePath != "" || o.MetricsPath != "" }
+
+// Collector returns the lazily created collector backing Hooks (nil when
+// observability is disabled).
+func (o *ObsFlags) Collector() *obs.Collector {
+	if !o.Enabled() {
+		return nil
+	}
+	if o.col == nil {
+		var reg *obs.Registry
+		var tr *obs.Tracer
+		if o.MetricsPath != "" {
+			reg = obs.NewRegistry()
+		}
+		if o.TracePath != "" {
+			tr = obs.NewTracer()
+		}
+		o.col = obs.NewCollectorInto(reg, tr)
+	}
+	return o.col
+}
+
+// Hooks returns the obs.Hooks to hand to the instrumented layer: nil (the
+// zero-overhead path) when no output was requested.
+func (o *ObsFlags) Hooks() obs.Hooks {
+	if c := o.Collector(); c != nil {
+		return c
+	}
+	return nil
+}
+
+// Write emits the requested outputs. Call once after the run completes.
+func (o *ObsFlags) Write() error {
+	c := o.Collector()
+	if c == nil {
+		return nil
+	}
+	if o.TracePath != "" {
+		if err := writeOut(o.TracePath, c.Tr.WriteChromeTrace); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if o.MetricsPath != "" {
+		write := c.Reg.WritePrometheus
+		switch o.MetricsFormat {
+		case "prom", "":
+		case "json":
+			write = c.Reg.WriteJSON
+		default:
+			return fmt.Errorf("unknown -metrics-format %q (want prom or json)", o.MetricsFormat)
+		}
+		if err := writeOut(o.MetricsPath, write); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeOut streams fn to path, with "-" meaning stdout.
+func writeOut(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseFaultKind resolves the fault-kind names the fault-injecting tools
+// accept (dlsfault, dlstrace).
+func ParseFaultKind(s string) (fault.Kind, error) {
+	switch s {
+	case "crash":
+		return fault.Crash, nil
+	case "stall":
+		return fault.Stall, nil
+	case "drop":
+		return fault.Drop, nil
+	case "delay":
+		return fault.Delay, nil
+	case "duplicate":
+		return fault.Duplicate, nil
+	case "corrupt-sig":
+		return fault.CorruptSig, nil
+	}
+	return 0, fmt.Errorf("unknown fault kind %q (want crash, stall, drop, delay, duplicate or corrupt-sig)", s)
+}
+
+// ParseFaultPhase resolves protocol phase names for fault rules.
+func ParseFaultPhase(s string) (fault.Phase, error) {
+	switch s {
+	case "bid":
+		return fault.PhaseBid, nil
+	case "alloc":
+		return fault.PhaseAlloc, nil
+	case "load":
+		return fault.PhaseLoad, nil
+	case "bill":
+		return fault.PhaseBill, nil
+	case "any":
+		return fault.PhaseAny, nil
+	}
+	return 0, fmt.Errorf("unknown phase %q (want bid, alloc, load, bill or any)", s)
+}
+
+// ErrBaselineProtected is returned by CheckOverwrite when the target is the
+// benchmark baseline and -force was not given.
+var ErrBaselineProtected = fmt.Errorf("cli: refusing to overwrite the benchmark baseline")
+
+// CheckOverwrite guards accidental clobbering of a protected artifact (the
+// checked-in BENCH_baseline.json): writing to an existing file of that name
+// requires force.
+func CheckOverwrite(path, protectedName string, force bool) error {
+	if force || path == "-" {
+		return nil
+	}
+	if filepath.Base(path) != protectedName {
+		return nil
+	}
+	if _, err := os.Stat(path); err != nil {
+		return nil // not there yet: creating a baseline is fine
+	}
+	return fmt.Errorf("%w: %s exists (pass -force to replace it)", ErrBaselineProtected, path)
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/obs"
 )
 
 // EventKind labels trace entries.
@@ -112,6 +113,12 @@ type Spec struct {
 	// Faults optionally injects timed crashes and link delays. nil means a
 	// fault-free run.
 	Faults *FaultSpec
+	// Hooks receives observability callbacks: the run is bracketed as an
+	// obs.PhaseDES root phase, arrivals fire OnMessage(i-1, i), and compute
+	// intervals are bracketed as obs.PhaseCompute. nil means obs.Nop.
+	// Note the spans carry simulated time only in their names' ordering —
+	// wall-clock span durations of a DES run are meaningless and tiny.
+	Hooks obs.Hooks
 }
 
 type event struct {
@@ -218,6 +225,10 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}
 
+	hooks := obs.Or(spec.Hooks)
+	hooks.OnPhaseStart(obs.Root, obs.PhaseDES)
+	defer hooks.OnPhaseEnd(obs.Root, obs.PhaseDES)
+
 	// P0 "arrives" with the full load at t=0.
 	schedule(0, EvArrive, 0, load)
 
@@ -241,11 +252,15 @@ func Run(spec Spec) (*Result, error) {
 			res.Received[i] = e.load
 			res.Arrive[i] = e.time
 			record(e.time, EvArrive, i, e.load)
+			if i > 0 {
+				hooks.OnMessage(i-1, i, obs.PhaseDES)
+			}
 			retained := e.load * hat[i]
 			forwarded := e.load - retained
 			res.Retained[i] = retained
 			if retained > 0 {
 				record(e.time, EvComputeStart, i, retained)
+				hooks.OnPhaseStart(i, obs.PhaseCompute)
 				done := e.time + retained*w[i]
 				if crash < done {
 					// Mid-compute crash: the partial result up to the crash
@@ -278,6 +293,7 @@ func Run(spec Spec) (*Result, error) {
 		case EvComputeDone:
 			res.Finish[e.proc] = e.time
 			record(e.time, EvComputeDone, e.proc, e.load)
+			hooks.OnPhaseEnd(e.proc, obs.PhaseCompute)
 			if e.time > res.Makespan {
 				res.Makespan = e.time
 			}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"dlsmech/internal/obs"
 	"dlsmech/internal/parallel"
 	"dlsmech/internal/table"
 )
@@ -114,7 +115,7 @@ func Titles() map[string]string {
 func Run(id string, seed uint64) (*Report, error) {
 	for _, e := range registry {
 		if e.id == id {
-			return e.run(seed)
+			return runHooked(e, seed)
 		}
 	}
 	known := IDs()
@@ -122,11 +123,22 @@ func Run(id string, seed uint64) (*Report, error) {
 	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, known)
 }
 
+// runHooked brackets one experiment with the engine hooks. Hooks observe the
+// engine (phase spans per experiment) without entering the Runner signature,
+// so experiments stay deterministic in their seed alone.
+func runHooked(e entry, seed uint64) (*Report, error) {
+	h := engineHooks()
+	h.OnPhaseStart(obs.Root, "experiment:"+e.id)
+	rep, err := e.run(seed)
+	h.OnPhaseEnd(obs.Root, "experiment:"+e.id)
+	return rep, err
+}
+
 // RunAll executes every experiment in presentation order.
 func RunAll(seed uint64) ([]*Report, error) {
 	out := make([]*Report, 0, len(registry))
 	for _, e := range sortedRegistry() {
-		rep, err := e.run(seed)
+		rep, err := runHooked(e, seed)
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", e.id, err)
 		}
@@ -152,7 +164,7 @@ func RunAll(seed uint64) ([]*Report, error) {
 func RunAllParallel(seed uint64, workers int) ([]*Report, error) {
 	entries := sortedRegistry()
 	reports, err := parallel.Map(workers, len(entries), func(i int) (*Report, error) {
-		rep, err := entries[i].run(seed)
+		rep, err := runHooked(entries[i], seed)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", entries[i].id, err)
 		}
@@ -195,3 +207,27 @@ func SetTrialWorkers(n int) {
 // trialWorkers returns the current trial-loop worker count setting, in the
 // form parallel.Map accepts (0 means default).
 func trialWorkers() int { return int(trialWorkersVal.Load()) }
+
+// hooksVal holds the engine-level obs.Hooks, boxed so atomic.Value sees one
+// concrete type regardless of the Hooks implementation stored.
+var hooksVal atomic.Value
+
+type hooksBox struct{ h obs.Hooks }
+
+// SetHooks installs observability hooks on the experiment engine: every
+// Run/RunAll/RunAllParallel experiment is bracketed as an "experiment:<id>"
+// root phase. nil uninstalls (restores obs.Nop). Hooks never influence
+// reports; under RunAllParallel concurrent experiment spans interleave on
+// the collector's root-span stack, so span nesting is approximate there
+// (metrics stay exact).
+func SetHooks(h obs.Hooks) {
+	hooksVal.Store(hooksBox{obs.Or(h)})
+}
+
+// engineHooks returns the installed hooks, obs.Nop by default.
+func engineHooks() obs.Hooks {
+	if b, ok := hooksVal.Load().(hooksBox); ok {
+		return b.h
+	}
+	return obs.Nop{}
+}

@@ -15,6 +15,7 @@ import (
 	"dlsmech/internal/agent"
 	"dlsmech/internal/core"
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/obs"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/xrand"
 )
@@ -45,6 +46,10 @@ type Config struct {
 	Mech core.Config
 	// Seed drives owner sampling, link times and protocol seeds.
 	Seed uint64
+	// Hooks receives observability callbacks: each job is bracketed as a
+	// "market-round" root phase and the per-round protocol run fires its own
+	// hooks (messages, fines, audits). nil means obs.Nop.
+	Hooks obs.Hooks
 }
 
 // RoundStat summarizes one job.
@@ -129,7 +134,9 @@ func Run(cfg Config) (*Result, error) {
 		return idx
 	}
 
+	hooks := obs.Or(cfg.Hooks)
 	for round := 0; round < cfg.Rounds; round++ {
+		hooks.OnPhaseStart(obs.Root, "market-round")
 		pool := alive()
 		r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 		seats := pool[:cfg.JobSize]
@@ -155,6 +162,7 @@ func Run(cfg Config) (*Result, error) {
 
 		run, err := protocol.Run(protocol.Params{
 			Net: net, Profile: prof, Cfg: cfg.Mech, Seed: cfg.Seed*1_000_003 + uint64(round),
+			Hooks: cfg.Hooks,
 		})
 		if err != nil {
 			return nil, err
@@ -194,6 +202,7 @@ func Run(cfg Config) (*Result, error) {
 				nextID++
 			}
 		}
+		hooks.OnPhaseEnd(obs.Root, "market-round")
 	}
 
 	res.Owners = owners

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Hooks is the profiling interface the instrumented layers call into.
+// Implementations must be safe for concurrent use: the protocol runner fires
+// hooks from one goroutine per processor.
+//
+// The contract at the protocol call sites (internal/protocol):
+//
+//   - OnPhaseStart/OnPhaseEnd bracket a processor's pass through one phase
+//     (phase ∈ bid, alloc, load, bill); the whole round is bracketed with
+//     proc = Root and phase = PhaseRound.
+//   - OnMessage fires once per delivered channel message — exactly when the
+//     runner's Stats.Messages counter increments — so an exact-count
+//     cross-check against Result.Stats is always possible.
+//   - OnRetry fires on every receive-timeout retransmission request, before
+//     the peer would be declared dead.
+//   - OnFine fires whenever the arbiter moves a fine: violation is the
+//     Violation string, amount the total taken from the offender, reporter
+//     the rewarded detector (the payment.Mechanism id for audit fines).
+//   - OnAudit fires once per audited Phase IV bill; passed is false when the
+//     recomputation found an overcharge.
+//   - OnRecovery fires when the recovery driver splices a processor out of
+//     the chain before re-running (round is the recovery round, excluded the
+//     original chain index).
+//
+// Nop is the disabled default; it costs one dynamic dispatch and zero
+// allocations per call site (pinned by TestNopDispatchAllocs and the
+// BenchmarkProtocolRound hook variants).
+type Hooks interface {
+	OnPhaseStart(proc int, phase string)
+	OnPhaseEnd(proc int, phase string)
+	OnMessage(from, to int, phase string)
+	OnRetry(proc, from int, phase string, attempt int)
+	OnFine(offender, reporter int, violation string, amount float64)
+	OnAudit(proc int, passed bool)
+	OnRecovery(round, excluded int)
+}
+
+// Nop is the no-op Hooks implementation, the disabled path.
+type Nop struct{}
+
+func (Nop) OnPhaseStart(int, string)         {}
+func (Nop) OnPhaseEnd(int, string)           {}
+func (Nop) OnMessage(int, int, string)       {}
+func (Nop) OnRetry(int, int, string, int)    {}
+func (Nop) OnFine(int, int, string, float64) {}
+func (Nop) OnAudit(int, bool)                {}
+func (Nop) OnRecovery(int, int)              {}
+
+// Or returns h, or Nop when h is nil — the one-liner every instrumented
+// layer uses to normalize its optional Hooks field.
+func Or(h Hooks) Hooks {
+	if h == nil {
+		return Nop{}
+	}
+	return h
+}
+
+// Metric names the Collector registers. The README "Observability" section
+// is the user-facing table; keep the two in sync.
+const (
+	MetricMessages      = "dls_messages_total"
+	MetricRetries       = "dls_retries_total"
+	MetricFines         = "dls_fines_total"
+	MetricFineAmount    = "dls_fine_amount"
+	MetricAudits        = "dls_audits_total"
+	MetricAuditFailures = "dls_audit_failures_total"
+	MetricRecoveries    = "dls_recoveries_total"
+	MetricPhaseStarts   = "dls_phase_starts_total" // + {phase="..."} series
+	MetricPhaseSeconds  = "dls_phase_duration_seconds"
+)
+
+// Collector is the standard Hooks implementation: counters and histograms
+// into a Registry, spans into a Tracer. Either sink may be nil to collect
+// only the other.
+type Collector struct {
+	Reg *Registry
+	Tr  *Tracer
+
+	// Hot-path counters, resolved once at construction so OnMessage and
+	// OnRetry stay allocation- and map-lookup-free.
+	messages      *Counter
+	retries       *Counter
+	fines         *Counter
+	fineAmount    *Histogram
+	audits        *Counter
+	auditFailures *Counter
+	recoveries    *Counter
+
+	mu sync.Mutex
+	// open maps a processor to its currently open phase span; phases maps
+	// (proc, phase) to the span that represents it (kept after End so late
+	// message legs — e.g. bill retransmissions — still attach to the right
+	// parent deterministically rather than to "whatever is open now").
+	open   map[int]*Span
+	phases map[phaseKey]*Span
+	// root is the innermost open Root-level span (round/des/experiment);
+	// processor phase spans nest under it.
+	root []*Span
+}
+
+type phaseKey struct {
+	proc  int
+	phase string
+}
+
+// NewCollector builds a Collector over fresh Registry and Tracer sinks.
+func NewCollector() *Collector {
+	return NewCollectorInto(NewRegistry(), NewTracer())
+}
+
+// NewCollectorInto builds a Collector over caller-supplied sinks (either may
+// be nil).
+func NewCollectorInto(reg *Registry, tr *Tracer) *Collector {
+	c := &Collector{
+		Reg:    reg,
+		Tr:     tr,
+		open:   make(map[int]*Span),
+		phases: make(map[phaseKey]*Span),
+	}
+	if reg != nil {
+		c.messages = reg.Counter(MetricMessages)
+		c.retries = reg.Counter(MetricRetries)
+		c.fines = reg.Counter(MetricFines)
+		c.fineAmount = reg.Histogram(MetricFineAmount, nil)
+		c.audits = reg.Counter(MetricAudits)
+		c.auditFailures = reg.Counter(MetricAuditFailures)
+		c.recoveries = reg.Counter(MetricRecoveries)
+	}
+	return c
+}
+
+// phaseCounter returns the per-phase start counter ({phase="..."} series).
+func (c *Collector) phaseCounter(phase string) *Counter {
+	return c.Reg.Counter(MetricPhaseStarts + `{phase="` + phase + `"}`)
+}
+
+// phaseHistogram returns the per-phase duration histogram.
+func (c *Collector) phaseHistogram(phase string) *Histogram {
+	return c.Reg.Histogram(MetricPhaseSeconds+`{phase="`+phase+`"}`, nil)
+}
+
+// OnPhaseStart opens the (proc, phase) span. A Root-level phase (proc ==
+// Root) becomes the parent of subsequent processor phases; a processor
+// phase implicitly ends the processor's previous phase (phases never
+// overlap within one processor).
+func (c *Collector) OnPhaseStart(proc int, phase string) {
+	if c.Reg != nil {
+		c.phaseCounter(phase).Inc()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if proc == Root {
+		parent := uint64(0)
+		if n := len(c.root); n > 0 {
+			parent = c.root[n-1].SpanID()
+		}
+		s := c.Tr.Start(parent, phase, Root)
+		c.root = append(c.root, s)
+		c.phases[phaseKey{Root, phase}] = s
+		return
+	}
+	if prev := c.open[proc]; prev != nil {
+		c.endLocked(proc, prev)
+	}
+	parent := uint64(0)
+	if n := len(c.root); n > 0 {
+		parent = c.root[n-1].SpanID()
+	}
+	s := c.Tr.Start(parent, phase, proc)
+	c.open[proc] = s
+	c.phases[phaseKey{proc, phase}] = s
+}
+
+// OnPhaseEnd closes the (proc, phase) span. Root-level phases pop the root
+// stack; for processors, a mismatched or repeated end is a no-op on the
+// span (End is idempotent).
+func (c *Collector) OnPhaseEnd(proc int, phase string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if proc == Root {
+		for n := len(c.root); n > 0; n = len(c.root) {
+			s := c.root[n-1]
+			c.root = c.root[:n-1]
+			c.endLocked(Root, s)
+			if s == nil || s.Name == phase {
+				break
+			}
+		}
+		return
+	}
+	s := c.phases[phaseKey{proc, phase}]
+	if s == nil {
+		return
+	}
+	if c.open[proc] == s {
+		delete(c.open, proc)
+	}
+	c.endLocked(proc, s)
+}
+
+// endLocked ends a span and records its duration histogram sample.
+func (c *Collector) endLocked(proc int, s *Span) {
+	if s == nil {
+		return
+	}
+	s.End()
+	if c.Reg != nil {
+		c.phaseHistogram(s.Name).Observe(s.Dur.Seconds())
+	}
+}
+
+// OnMessage counts a delivered message and records an instant message-leg
+// span under the sender's phase span.
+func (c *Collector) OnMessage(from, to int, phase string) {
+	if c.messages != nil {
+		c.messages.Inc()
+	}
+	if c.Tr == nil {
+		return
+	}
+	c.mu.Lock()
+	parent := c.phases[phaseKey{from, phase}].SpanID()
+	if parent == 0 && len(c.root) > 0 {
+		parent = c.root[len(c.root)-1].SpanID()
+	}
+	c.mu.Unlock()
+	c.Tr.Instant(parent, "msg "+phase+" P"+strconv.Itoa(from)+"→P"+strconv.Itoa(to), from)
+}
+
+// OnRetry counts a retransmission request and records it as an instant span
+// under the waiting receiver's phase span.
+func (c *Collector) OnRetry(proc, from int, phase string, attempt int) {
+	if c.retries != nil {
+		c.retries.Inc()
+	}
+	if c.Tr == nil {
+		return
+	}
+	c.mu.Lock()
+	parent := c.phases[phaseKey{proc, phase}].SpanID()
+	if parent == 0 && len(c.root) > 0 {
+		parent = c.root[len(c.root)-1].SpanID()
+	}
+	c.mu.Unlock()
+	c.Tr.Instant(parent, "retry "+phase+" P"+strconv.Itoa(proc)+"←P"+strconv.Itoa(from)+" #"+strconv.Itoa(attempt), proc)
+}
+
+// OnFine counts a fine and its amount.
+func (c *Collector) OnFine(offender, reporter int, violation string, amount float64) {
+	if c.fines != nil {
+		c.fines.Inc()
+	}
+	if c.fineAmount != nil {
+		c.fineAmount.Observe(amount)
+	}
+	if c.Reg != nil {
+		c.Reg.Counter(MetricFines + `{violation="` + violation + `"}`).Inc()
+	}
+	if c.Tr != nil {
+		c.mu.Lock()
+		parent := uint64(0)
+		if len(c.root) > 0 {
+			parent = c.root[len(c.root)-1].SpanID()
+		}
+		c.mu.Unlock()
+		c.Tr.Instant(parent, "fine "+violation+" P"+strconv.Itoa(offender), offender)
+	}
+}
+
+// OnAudit counts an audited bill.
+func (c *Collector) OnAudit(proc int, passed bool) {
+	if c.audits != nil {
+		c.audits.Inc()
+	}
+	if !passed && c.auditFailures != nil {
+		c.auditFailures.Inc()
+	}
+}
+
+// OnRecovery counts a processor spliced out by the recovery driver.
+func (c *Collector) OnRecovery(round, excluded int) {
+	if c.recoveries != nil {
+		c.recoveries.Inc()
+	}
+	if c.Tr != nil {
+		c.mu.Lock()
+		parent := uint64(0)
+		if len(c.root) > 0 {
+			parent = c.root[len(c.root)-1].SpanID()
+		}
+		c.mu.Unlock()
+		c.Tr.Instant(parent, "recovery r"+strconv.Itoa(round)+" exclude P"+strconv.Itoa(excluded), Root)
+	}
+}
+
+var _ Hooks = (*Collector)(nil)
+var _ Hooks = Nop{}

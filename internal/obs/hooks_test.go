@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestNopDispatchAllocs pins the disabled-hooks contract: dispatching every
+// hook through the interface with the argument shapes the protocol runner
+// uses must allocate nothing. The instrumented hot paths rely on this.
+func TestNopDispatchAllocs(t *testing.T) {
+	var h Hooks = Nop{}
+	phase := "bid"
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.OnPhaseStart(3, phase)
+		h.OnMessage(2, 3, phase)
+		h.OnRetry(3, 2, phase, 1)
+		h.OnFine(3, 2, "bad-signature", 50)
+		h.OnAudit(3, true)
+		h.OnRecovery(1, 2)
+		h.OnPhaseEnd(3, phase)
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop hook dispatch allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestOrNormalizesNil(t *testing.T) {
+	if _, ok := Or(nil).(Nop); !ok {
+		t.Fatal("Or(nil) must be Nop")
+	}
+	c := NewCollector()
+	if Or(c) != Hooks(c) {
+		t.Fatal("Or must pass non-nil through")
+	}
+}
+
+// driveCollector simulates the hook call sequence of a tiny round.
+func driveCollector(c *Collector) {
+	c.OnPhaseStart(Root, PhaseRound)
+	for p := 0; p < 2; p++ {
+		c.OnPhaseStart(p, "bid")
+		c.OnMessage(p, p+1, "bid")
+		c.OnPhaseStart(p, "alloc") // implicitly ends bid
+		c.OnRetry(p, p+1, "alloc", 1)
+		c.OnPhaseEnd(p, "alloc")
+	}
+	c.OnFine(1, 0, "tampered-bid", 50)
+	c.OnAudit(1, false)
+	c.OnAudit(0, true)
+	c.OnRecovery(1, 1)
+	c.OnPhaseEnd(Root, PhaseRound)
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector()
+	driveCollector(c)
+	snap := c.Reg.Snapshot()
+	want := map[string]int64{
+		MetricMessages: 2,
+		MetricRetries:  2,
+		MetricFines:    1,
+		MetricFines + `{violation="tampered-bid"}`: 1,
+		MetricAudits:                          2,
+		MetricAuditFailures:                   1,
+		MetricRecoveries:                      1,
+		MetricPhaseStarts + `{phase="round"}`: 1,
+		MetricPhaseStarts + `{phase="bid"}`:   2,
+		MetricPhaseStarts + `{phase="alloc"}`: 2,
+	}
+	for name, v := range want {
+		if snap.Counters[name] != v {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], v)
+		}
+	}
+	fa := snap.Histograms[MetricFineAmount]
+	if fa.Count != 1 || fa.Sum != 50 {
+		t.Errorf("fine amount histogram = %+v, want count 1 sum 50", fa)
+	}
+	// Every ended phase contributes one duration sample.
+	if d := snap.Histograms[MetricPhaseSeconds+`{phase="alloc"}`]; d.Count != 2 {
+		t.Errorf("alloc duration samples = %d, want 2", d.Count)
+	}
+}
+
+func TestCollectorSpanTreeDeterministic(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	driveCollector(a)
+	driveCollector(b)
+	if a.Tr.Signature() != b.Tr.Signature() {
+		t.Fatalf("collector span trees differ:\n%s\nvs\n%s", a.Tr.Signature(), b.Tr.Signature())
+	}
+	// Phase spans must parent under the round span; message legs under their
+	// sender's phase span.
+	spans := a.Tr.Spans()
+	byName := map[string]*Span{}
+	for _, s := range spans {
+		byName[s.Name+"/"+itoa(s.Proc)] = s
+	}
+	round := byName[PhaseRound+"/-1"]
+	if round == nil || round.Parent != 0 {
+		t.Fatalf("round span missing or not a root: %+v", round)
+	}
+	bid0 := byName["bid/0"]
+	if bid0 == nil || bid0.Parent != round.ID {
+		t.Fatalf("bid/0 not parented under round: %+v", bid0)
+	}
+	msg := byName["msg bid P0→P1/0"]
+	if msg == nil || msg.Parent != bid0.ID {
+		t.Fatalf("message leg not parented under sender phase: %+v", msg)
+	}
+}
+
+func itoa(i int) string {
+	if i < 0 {
+		return "-" + itoa(-i)
+	}
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}
+
+func TestCollectorMetricsOnly(t *testing.T) {
+	c := NewCollectorInto(NewRegistry(), nil)
+	driveCollector(c) // must not panic without a tracer
+	if c.Reg.Snapshot().Counters[MetricMessages] != 2 {
+		t.Fatal("metrics-only collector lost counts")
+	}
+}
+
+func TestCollectorTraceOnly(t *testing.T) {
+	c := NewCollectorInto(nil, NewTracer())
+	driveCollector(c) // must not panic without a registry
+	if len(c.Tr.Spans()) == 0 {
+		t.Fatal("trace-only collector recorded no spans")
+	}
+}

@@ -1,0 +1,41 @@
+// Package obs is the observability layer of the dlsmech runtime: a
+// zero-dependency (stdlib-only) metrics registry, a span-based tracer and a
+// profiling-hook interface threaded through the protocol state machine, the
+// discrete-event simulator, the experiment engine and the market simulator.
+//
+// The mechanism literature this repository reproduces treats runtime
+// behavior — audit rates, fine incidence, retry storms, message volume — as
+// the object of study, not an implementation detail. This package makes all
+// of it measurable without perturbing the system under test:
+//
+//   - Registry (metrics.go) holds atomic counters, gauges and fixed-bucket
+//     histograms, and snapshots them as Prometheus text exposition or JSON.
+//   - Tracer (trace.go) records hierarchical spans — round → phase I-IV →
+//     per-processor message legs — with IDs derived from the span's logical
+//     position, so a seeded run produces the identical span tree every time
+//     (wall-clock fields aside). Traces export as Chrome trace_event JSON,
+//     loadable in chrome://tracing or Perfetto.
+//   - Hooks (hooks.go) is the instrumentation interface the runtime calls
+//     into; Nop is the default and is bench-pinned to zero allocations, and
+//     Collector is the standard implementation feeding a Registry + Tracer.
+//
+// The package deliberately imports nothing from the rest of the module:
+// every layer above it (protocol, des, experiments, market, the CLIs) can
+// depend on it without cycles, and phases are identified by plain strings.
+package obs
+
+// Phase label conventions used by the instrumented layers. The protocol
+// runner passes fault.Phase.String() values ("bid", "alloc", "load",
+// "bill"); the synthetic labels below mark non-processor scopes.
+const (
+	// PhaseRound is the whole-protocol-round span (proc = Root).
+	PhaseRound = "round"
+	// PhaseDES is the discrete-event-simulator run span (proc = Root).
+	PhaseDES = "des"
+	// PhaseCompute is a DES per-processor compute interval.
+	PhaseCompute = "compute"
+)
+
+// Root is the pseudo-processor index for spans and hook calls that concern
+// the run as a whole rather than one processor.
+const Root = -1

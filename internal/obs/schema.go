@@ -1,0 +1,173 @@
+package obs
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The checked-in schemas for the two JSON artifacts the observability layer
+// emits. CI's obs-smoke job validates cmd/dlstrace output against exactly
+// these files (embedded at build time, so the binary and the repository
+// cannot drift apart).
+var (
+	//go:embed schemas/trace_event.schema.json
+	TraceEventSchema []byte
+
+	//go:embed schemas/metrics_snapshot.schema.json
+	MetricsSnapshotSchema []byte
+)
+
+// ValidateChromeTrace checks a Tracer.WriteChromeTrace document against the
+// checked-in trace_event schema.
+func ValidateChromeTrace(doc []byte) error {
+	return ValidateJSON(TraceEventSchema, doc)
+}
+
+// ValidateMetricsSnapshot checks a Registry.WriteJSON document against the
+// checked-in metrics snapshot schema.
+func ValidateMetricsSnapshot(doc []byte) error {
+	return ValidateJSON(MetricsSnapshotSchema, doc)
+}
+
+// ValidateJSON validates doc against schema, a JSON Schema document using
+// the subset of draft-07 this package needs: type (string or list of
+// strings; "integer" means a number with zero fractional part), properties,
+// required, additionalProperties (boolean or schema, applied to keys not in
+// properties), items, enum (scalars) and minimum. Unknown keywords are
+// ignored, like every conformant validator.
+func ValidateJSON(schema, doc []byte) error {
+	var s any
+	if err := json.Unmarshal(schema, &s); err != nil {
+		return fmt.Errorf("obs: schema is not valid JSON: %w", err)
+	}
+	var d any
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return fmt.Errorf("obs: document is not valid JSON: %w", err)
+	}
+	sm, ok := s.(map[string]any)
+	if !ok {
+		return fmt.Errorf("obs: schema root must be an object")
+	}
+	return validate(sm, d, "$")
+}
+
+func validate(schema map[string]any, doc any, path string) error {
+	if types, ok := schema["type"]; ok {
+		if err := checkType(types, doc, path); err != nil {
+			return err
+		}
+	}
+	if enum, ok := schema["enum"].([]any); ok {
+		found := false
+		for _, e := range enum {
+			if e == doc {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: value %v not in enum %v", path, doc, enum)
+		}
+	}
+	if minv, ok := schema["minimum"].(float64); ok {
+		if n, isNum := doc.(float64); isNum && n < minv {
+			return fmt.Errorf("%s: %v below minimum %v", path, n, minv)
+		}
+	}
+	if obj, isObj := doc.(map[string]any); isObj {
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := obj[name]; !present {
+					return fmt.Errorf("%s: missing required property %q", path, name)
+				}
+			}
+		}
+		props, _ := schema["properties"].(map[string]any)
+		addl := schema["additionalProperties"]
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic first-error reporting
+		for _, k := range keys {
+			if sub, ok := props[k].(map[string]any); ok {
+				if err := validate(sub, obj[k], path+"."+k); err != nil {
+					return err
+				}
+				continue
+			}
+			switch a := addl.(type) {
+			case bool:
+				if !a {
+					return fmt.Errorf("%s: unexpected property %q", path, k)
+				}
+			case map[string]any:
+				if err := validate(a, obj[k], path+"."+k); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if arr, isArr := doc.([]any); isArr {
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, el := range arr {
+				if err := validate(items, el, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(types any, doc any, path string) error {
+	var list []string
+	switch t := types.(type) {
+	case string:
+		list = []string{t}
+	case []any:
+		for _, e := range t {
+			if s, ok := e.(string); ok {
+				list = append(list, s)
+			}
+		}
+	default:
+		return nil
+	}
+	for _, t := range list {
+		if hasType(t, doc) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: value %v is not of type %v", path, doc, list)
+}
+
+func hasType(t string, doc any) bool {
+	switch t {
+	case "object":
+		_, ok := doc.(map[string]any)
+		return ok
+	case "array":
+		_, ok := doc.([]any)
+		return ok
+	case "string":
+		_, ok := doc.(string)
+		return ok
+	case "number":
+		_, ok := doc.(float64)
+		return ok
+	case "integer":
+		n, ok := doc.(float64)
+		return ok && n == math.Trunc(n)
+	case "boolean":
+		_, ok := doc.(bool)
+		return ok
+	case "null":
+		return doc == nil
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateJSONAccepts(t *testing.T) {
+	schema := []byte(`{
+		"type": "object",
+		"required": ["a"],
+		"properties": {
+			"a": {"type": "integer", "minimum": 0},
+			"b": {"type": "array", "items": {"enum": ["x", "y"]}}
+		},
+		"additionalProperties": {"type": "number"}
+	}`)
+	for _, doc := range []string{
+		`{"a": 3}`,
+		`{"a": 0, "b": ["x", "y", "x"]}`,
+		`{"a": 1, "extra": 2.5}`,
+	} {
+		if err := ValidateJSON(schema, []byte(doc)); err != nil {
+			t.Errorf("doc %s rejected: %v", doc, err)
+		}
+	}
+}
+
+func TestValidateJSONRejects(t *testing.T) {
+	schema := []byte(`{
+		"type": "object",
+		"required": ["a"],
+		"properties": {
+			"a": {"type": "integer", "minimum": 0},
+			"b": {"type": "array", "items": {"enum": ["x", "y"]}}
+		},
+		"additionalProperties": false
+	}`)
+	cases := []struct {
+		doc, wantErr string
+	}{
+		{`{}`, "missing required"},
+		{`{"a": 1.5}`, "not of type"},
+		{`{"a": -1}`, "below minimum"},
+		{`{"a": 1, "b": ["z"]}`, "not in enum"},
+		{`{"a": 1, "c": 2}`, "unexpected property"},
+		{`[1]`, "not of type"},
+		{`not json`, "not valid JSON"},
+	}
+	for _, tc := range cases {
+		err := ValidateJSON(schema, []byte(tc.doc))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("doc %s: err = %v, want substring %q", tc.doc, err, tc.wantErr)
+		}
+	}
+}
+
+func TestEmbeddedSchemasAreValidJSON(t *testing.T) {
+	// The checked-in schemas must themselves parse and describe objects.
+	for name, s := range map[string][]byte{
+		"trace_event":      TraceEventSchema,
+		"metrics_snapshot": MetricsSnapshotSchema,
+	} {
+		if err := ValidateJSON([]byte(`{"type":"object"}`), s); err != nil {
+			t.Errorf("embedded schema %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	if err := ValidateChromeTrace([]byte(`{"traceEvents": [{"name": 1}]}`)); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+	if err := ValidateMetricsSnapshot([]byte(`{"counters": {"x": -2}, "gauges": {}, "histograms": {}}`)); err == nil {
+		t.Fatal("negative counter accepted")
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one node of a trace: a named interval attributed to a processor
+// (or to the run as a whole, Proc == Root). Identity — ID, Parent, Name,
+// Proc, Seq — is derived from the span's logical position in the tree, never
+// from wall-clock or creation order, so seeded runs reproduce it exactly;
+// Start and Dur are the only nondeterministic fields.
+type Span struct {
+	ID     uint64        // fnv-1a of (parent, name, proc, seq); never 0
+	Parent uint64        // 0 for roots
+	Name   string        // phase or message-leg label
+	Proc   int           // processor index, or Root
+	Seq    int           // occurrence index among same-keyed siblings
+	Start  time.Duration // offset from the tracer epoch (wall clock)
+	Dur    time.Duration // 0 for instant events and unfinished spans
+
+	tr    *Tracer
+	ended bool
+}
+
+// spanKey identifies a deterministic-ID equivalence class: spans sharing a
+// key are distinguished by their Seq, assigned in creation order. All
+// same-keyed spans are created by one sequential caller (a processor
+// goroutine re-sending the same message leg), so Seq is deterministic too;
+// distinct goroutines always differ in name or proc.
+type spanKey struct {
+	parent uint64
+	name   string
+	proc   int
+}
+
+// Tracer records spans. The zero value is invalid; use NewTracer. A nil
+// *Tracer is legal everywhere and records nothing, as is a nil *Span, so
+// callers never need to guard instrumentation sites.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+	seq   map[spanKey]int
+}
+
+// NewTracer returns an empty tracer whose epoch is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), seq: make(map[spanKey]int)}
+}
+
+// spanID hashes the logical position into a stable 64-bit ID.
+func spanID(parent uint64, name string, proc, seq int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putUint64(buf[:], parent)
+	h.Write(buf[:])
+	io.WriteString(h, name)
+	putUint64(buf[:], uint64(int64(proc)))
+	h.Write(buf[:])
+	putUint64(buf[:], uint64(int64(seq)))
+	h.Write(buf[:])
+	id := h.Sum64()
+	if id == 0 {
+		id = 1 // 0 is reserved for "no parent"
+	}
+	return id
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Start opens a span under parent (0 for a root span). It returns the new
+// span; call End on it when the interval closes. Start on a nil tracer
+// returns nil, and every Span method is nil-safe, so disabled tracing needs
+// no branches at the call sites.
+func (t *Tracer) Start(parent uint64, name string, proc int) *Span {
+	return t.start(parent, name, proc, false)
+}
+
+// Instant records a zero-duration event span under parent.
+func (t *Tracer) Instant(parent uint64, name string, proc int) *Span {
+	return t.start(parent, name, proc, true)
+}
+
+func (t *Tracer) start(parent uint64, name string, proc int, instant bool) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	key := spanKey{parent: parent, name: name, proc: proc}
+	seq := t.seq[key]
+	t.seq[key] = seq + 1
+	s := &Span{
+		ID:     spanID(parent, name, proc, seq),
+		Parent: parent,
+		Name:   name,
+		Proc:   proc,
+		Seq:    seq,
+		Start:  now,
+		tr:     t,
+		ended:  instant,
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// End closes the span at the tracer's current clock. Idempotent; nil-safe.
+// Spans recorded by a live tracer are mutated under its lock, so End may
+// race-freely interleave with Spans/Signature snapshots.
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	d := time.Since(s.tr.epoch)
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.Dur = d - s.Start
+	}
+	s.tr.mu.Unlock()
+}
+
+// SpanID returns the span's ID, or 0 for a nil span — the value to pass as
+// the parent of children of a possibly-disabled span.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ID
+}
+
+// Spans returns a copy of the recorded spans in canonical order: by
+// (Parent, Name, Proc, Seq) — a creation-order-free ordering, so two runs
+// with identical logical structure return identical slices up to the
+// wall-clock fields.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]*Span, len(t.spans))
+	for i, s := range t.spans {
+		c := *s
+		c.tr = nil
+		out[i] = &c
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Parent != b.Parent {
+			return a.Parent < b.Parent
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Signature renders the deterministic skeleton of the trace — one line per
+// span, canonical order, wall-clock fields excluded. Two seeded runs with
+// the same logical execution produce byte-identical signatures; the
+// determinism contract tests compare exactly this.
+func (t *Tracer) Signature() string {
+	var b []byte
+	for _, s := range t.Spans() {
+		b = append(b, fmt.Sprintf("%016x %016x proc=%d seq=%d %s\n", s.ID, s.Parent, s.Proc, s.Seq, s.Name)...)
+	}
+	return string(b)
+}
+
+// chromeEvent is one Chrome trace_event entry (the JSON Object Format's
+// traceEvents element). Complete events ("ph":"X") carry ts+dur; instant
+// events use "ph":"i".
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds
+	Dur   *float64          `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports the trace in the Chrome trace_event JSON Object
+// Format, loadable in chrome://tracing or https://ui.perfetto.dev. Spans map
+// to complete events ("X") on tid = Proc+1 (so the Root pseudo-processor is
+// thread 0 and P_i is thread i+1); instant spans map to thread-scoped "i"
+// events. Deterministic span IDs ride along in args for cross-referencing
+// with the metrics snapshot and the signature.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, s := range t.Spans() {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "dlsmech",
+			TS:   float64(s.Start.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  s.Proc + 1,
+			Args: map[string]string{
+				"id":     strconv.FormatUint(s.ID, 16),
+				"parent": strconv.FormatUint(s.Parent, 16),
+				"proc":   strconv.Itoa(s.Proc),
+				"seq":    strconv.Itoa(s.Seq),
+			},
+		}
+		if s.Dur > 0 {
+			ev.Phase = "X"
+			d := float64(s.Dur.Nanoseconds()) / 1e3
+			ev.Dur = &d
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildSampleTrace records a small round-shaped trace. Called twice by the
+// determinism tests; any dependence on wall clock or scheduling must not
+// leak into the signature.
+func buildSampleTrace() *Tracer {
+	tr := NewTracer()
+	round := tr.Start(0, PhaseRound, Root)
+	for p := 0; p < 3; p++ {
+		s := tr.Start(round.SpanID(), "bid", p)
+		tr.Instant(s.SpanID(), "msg bid", p)
+		tr.Instant(s.SpanID(), "msg bid", p) // same key -> seq 1
+		s.End()
+	}
+	round.End()
+	return tr
+}
+
+func TestSpanIDsDeterministic(t *testing.T) {
+	a, b := buildSampleTrace(), buildSampleTrace()
+	if a.Signature() != b.Signature() {
+		t.Fatalf("signatures differ:\n--- a\n%s--- b\n%s", a.Signature(), b.Signature())
+	}
+	if a.Signature() == "" {
+		t.Fatal("empty signature")
+	}
+}
+
+func TestSignatureIndependentOfCreationOrder(t *testing.T) {
+	// Two tracers record the same logical spans; distinct-keyed spans are
+	// created in different interleavings (as racing goroutines would).
+	mk := func(order []int) *Tracer {
+		tr := NewTracer()
+		root := tr.Start(0, PhaseRound, Root)
+		for _, p := range order {
+			tr.Start(root.SpanID(), "bid", p).End()
+		}
+		root.End()
+		return tr
+	}
+	a := mk([]int{0, 1, 2})
+	b := mk([]int{2, 0, 1})
+	if a.Signature() != b.Signature() {
+		t.Fatalf("creation order leaked into signature:\n%s\nvs\n%s", a.Signature(), b.Signature())
+	}
+}
+
+func TestSeqDisambiguatesSameKey(t *testing.T) {
+	tr := NewTracer()
+	s0 := tr.Instant(0, "x", 1)
+	s1 := tr.Instant(0, "x", 1)
+	if s0.ID == s1.ID {
+		t.Fatal("same-key spans must differ in ID via seq")
+	}
+	if s0.Seq != 0 || s1.Seq != 1 {
+		t.Fatalf("seq = %d,%d, want 0,1", s0.Seq, s1.Seq)
+	}
+}
+
+func TestNilTracerAndNilSpanSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(0, "x", 0)
+	if s != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	s.End()                // must not panic
+	_ = s.SpanID()         // must not panic
+	_ = tr.Spans()         // must not panic
+	_ = tr.Signature()     // must not panic
+	tr.Instant(0, "y", -1) // must not panic
+}
+
+func TestConcurrentSpansRace(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start(0, PhaseRound, Root)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := tr.Start(root.SpanID(), "bid", p)
+				tr.Instant(s.SpanID(), "msg", p)
+				s.End()
+			}
+		}(p)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 1+8*100 {
+		t.Fatalf("span count = %d, want %d", got, 1+8*100)
+	}
+}
+
+func TestWriteChromeTraceValidates(t *testing.T) {
+	tr := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("chrome trace does not validate against checked-in schema: %v\n%s", err, buf.String())
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string   `json:"name"`
+			Phase string   `json:"ph"`
+			TID   int      `json:"tid"`
+			Dur   *float64 `json:"dur"`
+			Scope string   `json:"s"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var complete, instant int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			complete++
+			if ev.Dur == nil {
+				t.Errorf("complete event %q missing dur", ev.Name)
+			}
+		case "i":
+			instant++
+			if ev.Scope != "t" {
+				t.Errorf("instant event %q scope = %q, want t", ev.Name, ev.Scope)
+			}
+		default:
+			t.Errorf("unexpected ph %q", ev.Phase)
+		}
+		if ev.TID < 0 {
+			t.Errorf("tid %d < 0 (Root must map to 0)", ev.TID)
+		}
+	}
+	// round + 3 bid phases are complete events; 6 msg legs are instants.
+	if complete != 4 || instant != 6 {
+		t.Fatalf("complete=%d instant=%d, want 4/6", complete, instant)
+	}
+}
+
+func TestSignatureLineFormat(t *testing.T) {
+	tr := NewTracer()
+	tr.Start(0, "round", Root).End()
+	sig := tr.Signature()
+	if !strings.Contains(sig, "proc=-1 seq=0 round") {
+		t.Fatalf("unexpected signature line: %q", sig)
+	}
+}

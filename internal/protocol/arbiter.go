@@ -10,6 +10,7 @@ import (
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/fault"
+	"dlsmech/internal/obs"
 	"dlsmech/internal/payment"
 	"dlsmech/internal/sign"
 	"dlsmech/internal/xrand"
@@ -38,6 +39,9 @@ type arbiter struct {
 }
 
 func newArbiter(r *runner) *arbiter {
+	if r.hooks == nil {
+		r.hooks = obs.Nop{} // hand-built runners (tests) skip Run's setup
+	}
 	return &arbiter{r: r, bids: make(map[int]sign.Signed), reported: make(map[int]bool)}
 }
 
@@ -170,6 +174,7 @@ func (a *arbiter) fineAndRewardLocked(v Violation, offender, reporter int, extra
 		Fine:      cfg.Fine + extraFine,
 		Reward:    cfg.Fine,
 	})
+	a.r.hooks.OnFine(offender, reporter, string(v), cfg.Fine+extraFine)
 }
 
 // reportContradiction arbitrates case (i): the reporter submits two signed
@@ -339,11 +344,14 @@ func (a *arbiter) settleBill(b billMsg, solutionFound bool) {
 			Reporter:  payment.Mechanism,
 			Fine:      cfg.AuditFine(),
 		})
+		r.hooks.OnAudit(j, false)
+		r.hooks.OnFine(j, payment.Mechanism, string(ViolationOvercharge), cfg.AuditFine())
 		if err == nil {
 			payItems(want) // pay what the proof supports
 		}
 		return
 	}
+	r.hooks.OnAudit(j, true)
 	payItems(b)
 }
 

@@ -1,0 +1,209 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/fault"
+	"dlsmech/internal/obs"
+)
+
+// sumDetections aggregates the fine accounting across every round of a
+// recovery run: how many detections actually moved money and how much.
+func sumDetections(rounds []*Result) (fined int, total float64) {
+	for _, res := range rounds {
+		for _, d := range res.Detections {
+			if d.Fine > 0 {
+				fined++
+				total += d.Fine
+			}
+		}
+	}
+	return fined, total
+}
+
+// TestObsCountersMatchRecoveryAccounting extends the fault matrix with the
+// observability contract: the collector's counters must agree exactly with
+// the bills the protocol itself returns — messages with Stats.Messages,
+// fines with the Fine>0 detections, the fine-amount histogram with the sum
+// of those fines, and recoveries with the exclusion list.
+func TestObsCountersMatchRecoveryAccounting(t *testing.T) {
+	t.Parallel()
+	const target = 2
+	cases := []struct {
+		name  string
+		rules []fault.Rule
+	}{
+		{name: "fault-free"},
+		{
+			// Permanently silent in Phase III: fined (signed bid on file),
+			// spliced out, survivors re-run.
+			name:  "drop-always/load",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: target, Phase: fault.PhaseLoad}},
+		},
+		{
+			// Corrupted signature: excluded without a fine (transit corruption
+			// is indistinguishable from sender misbehavior).
+			name:  "corrupt-sig/bid",
+			rules: []fault.Rule{{Kind: fault.CorruptSig, Proc: target, Phase: fault.PhaseBid}},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			n := testNet(t)
+			col := obs.NewCollector()
+			p := Params{
+				Net: n, Profile: agent.AllTruthful(4), Cfg: core.DefaultConfig(), Seed: 31,
+				Recovery: fastRec(), Hooks: col,
+			}
+			if tc.rules != nil {
+				p.Inject = fault.NewPlan(31, tc.rules...)
+			}
+			rr, err := RunWithRecovery(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rr.Completed {
+				t.Fatalf("recovery did not complete: %+v", rr.Excluded)
+			}
+			snap := col.Reg.Snapshot()
+
+			var msgs int64
+			for _, res := range rr.Rounds {
+				msgs += res.Stats.Messages
+			}
+			if got := snap.Counters[obs.MetricMessages]; got != msgs {
+				t.Errorf("%s = %d, Stats.Messages sums to %d", obs.MetricMessages, got, msgs)
+			}
+
+			fined, totalFines := sumDetections(rr.Rounds)
+			if got := snap.Counters[obs.MetricFines]; got != int64(fined) {
+				t.Errorf("%s = %d, want %d (detections with Fine>0)", obs.MetricFines, got, fined)
+			}
+			h := snap.Histograms[obs.MetricFineAmount]
+			if h.Count != int64(fined) {
+				t.Errorf("%s count = %d, want %d", obs.MetricFineAmount, h.Count, fined)
+			}
+			if math.Abs(h.Sum-totalFines) > tol {
+				t.Errorf("%s sum = %v, detections sum to %v", obs.MetricFineAmount, h.Sum, totalFines)
+			}
+
+			if got := snap.Counters[obs.MetricRecoveries]; got != int64(len(rr.Excluded)) {
+				t.Errorf("%s = %d, want %d exclusions", obs.MetricRecoveries, got, len(rr.Excluded))
+			}
+			// Every completed round opened exactly one round-level phase.
+			if got := snap.Counters[obs.MetricPhaseStarts+`{phase="`+obs.PhaseRound+`"}`]; got != int64(len(rr.Rounds)) {
+				t.Errorf("round phase starts = %d, want %d rounds", got, len(rr.Rounds))
+			}
+		})
+	}
+}
+
+// TestObsAuditCountersMatchBills pins the audit-plane accounting: with q=1
+// every non-root bill is audited, the overcharger's failure shows up in
+// dls_audit_failures_total, and the fine histogram carries exactly the F/q
+// audit fine the returned detection records.
+func TestObsAuditCountersMatchBills(t *testing.T) {
+	t.Parallel()
+	n := testNet(t)
+	cfg := core.Config{Fine: 10, AuditProb: 1}
+	prof := agent.AllTruthful(4).WithDeviant(2, agent.Overcharger(0.5))
+	col := obs.NewCollector()
+	res, err := Run(Params{Net: n, Profile: prof, Cfg: cfg, Seed: 3, Hooks: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run terminated: %s", res.TermReason)
+	}
+	ds := res.DetectionsFor(2)
+	if len(ds) != 1 || ds[0].Violation != ViolationOvercharge {
+		t.Fatalf("overcharger not caught under q=1: %+v", res.Detections)
+	}
+	snap := col.Reg.Snapshot()
+	if got := snap.Counters[obs.MetricAudits]; got != 3 {
+		t.Errorf("%s = %d, want 3 (all non-root bills audited at q=1)", obs.MetricAudits, got)
+	}
+	if got := snap.Counters[obs.MetricAuditFailures]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricAuditFailures, got)
+	}
+	if got := snap.Counters[obs.MetricFines]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricFines, got)
+	}
+	h := snap.Histograms[obs.MetricFineAmount]
+	if h.Count != 1 || math.Abs(h.Sum-ds[0].Fine) > tol {
+		t.Errorf("fine histogram count=%d sum=%v, want 1 observation of %v", h.Count, h.Sum, ds[0].Fine)
+	}
+	if got := snap.Counters[obs.MetricFines+`{violation="`+string(ViolationOvercharge)+`"}`]; got != 1 {
+		t.Errorf("labeled overcharge fine counter = %d, want 1", got)
+	}
+	if got := snap.Counters[obs.MetricMessages]; got != res.Stats.Messages {
+		t.Errorf("%s = %d, Stats.Messages = %d", obs.MetricMessages, got, res.Stats.Messages)
+	}
+}
+
+// traceSignature runs one protocol round (or recovery run) under a fresh
+// collector and returns the canonical span-tree signature.
+func traceSignature(t *testing.T, p Params) string {
+	t.Helper()
+	col := obs.NewCollector()
+	p.Hooks = col
+	rr, err := RunWithRecovery(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Completed {
+		t.Fatalf("run did not complete: %+v", rr.Excluded)
+	}
+	return col.Tr.Signature()
+}
+
+// TestTraceDeterministicAcrossRuns is the trace determinism contract: the
+// same seed and configuration must yield byte-identical span-tree signatures
+// (span IDs are derived from logical position, wall-clock is excluded), even
+// though the runs themselves are concurrent goroutines-per-processor and a
+// fault injects real timing jitter.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name  string
+		rules []fault.Rule
+	}{
+		{name: "fault-free"},
+		{
+			// One dropped load message forces a timeout + retransmission: the
+			// retry instant must land at the same logical position every run.
+			name:  "drop-once/load",
+			rules: []fault.Rule{{Kind: fault.Drop, Proc: 2, Phase: fault.PhaseLoad, Times: 1}},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			p := Params{
+				Net: testNet(t), Profile: agent.AllTruthful(4), Cfg: core.DefaultConfig(),
+				Seed: 17, Recovery: fastRec(),
+			}
+			if tc.rules != nil {
+				p.Inject = fault.NewPlan(17, tc.rules...)
+			}
+			sig := traceSignature(t, p)
+			if sig == "" {
+				t.Fatal("empty trace signature")
+			}
+			for run := 0; run < 3; run++ {
+				if tc.rules != nil {
+					p.Inject = fault.NewPlan(17, tc.rules...) // plans are stateful: fresh per run
+				}
+				if got := traceSignature(t, p); got != sig {
+					t.Fatalf("run %d signature diverged:\n--- first\n%s--- now\n%s", run, sig, got)
+				}
+			}
+		})
+	}
+}

@@ -80,11 +80,13 @@ func (r *runner) runProcessor(i int) {
 	net := r.params.Net
 	m := r.size - 1
 	truth := net.W[i]
+	defer r.endPhase(i)
 
 	// ---- Phase I: equivalent bids flow from P_m toward the root. ----
 	if !r.phaseEntry(i, fault.PhaseBid) {
 		return
 	}
+	r.startPhase(i, fault.PhaseBid)
 	bid := b.Bid(truth)
 	if i == 0 {
 		bid = truth // the root is obedient
@@ -143,6 +145,7 @@ func (r *runner) runProcessor(i int) {
 	if !r.phaseEntry(i, fault.PhaseAlloc) {
 		return
 	}
+	r.startPhase(i, fault.PhaseAlloc)
 	var gIn gMsg
 	var gVals gValues
 	if i == 0 {
@@ -219,6 +222,7 @@ func (r *runner) runProcessor(i int) {
 	if !r.phaseEntry(i, fault.PhaseLoad) {
 		return
 	}
+	r.startPhase(i, fault.PhaseLoad)
 	var att device.Attestation
 	var received float64
 	corrupted := false
@@ -304,6 +308,7 @@ func (r *runner) runProcessor(i int) {
 		// never arrives. collect() notices the gap post-hoc.
 		return
 	}
+	r.startPhase(i, fault.PhaseBill)
 	solutionFound := !r.corrupted.Load()
 
 	var bill billMsg
@@ -343,7 +348,7 @@ func (r *runner) runProcessor(i int) {
 	if i == 0 {
 		// The root bills itself locally; its bill never crosses the faulty
 		// message plane.
-		countedSend(r, r.bills, bill)
+		countedSend(r, 0, 0, fault.PhaseBill, r.bills, bill)
 	} else {
 		sendMsg(r, i, 0, fault.PhaseBill, r.bills, bill, corruptBill)
 	}

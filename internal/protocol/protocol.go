@@ -40,6 +40,7 @@ import (
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/fault"
+	"dlsmech/internal/obs"
 	"dlsmech/internal/payment"
 	"dlsmech/internal/sign"
 	"dlsmech/internal/xrand"
@@ -64,6 +65,10 @@ type Params struct {
 	// Recovery tunes the failure detectors (receive timeouts, retransmit
 	// budget, backoff). The zero value means DefaultRecovery().
 	Recovery RecoveryConfig
+	// Hooks receives observability callbacks (phase brackets, message legs,
+	// retries, fines, audits). nil means obs.Nop: the disabled path is
+	// bench-pinned to add zero allocations to the round.
+	Hooks obs.Hooks
 }
 
 // Violation names the deviation classes of Lemma 5.1.
@@ -176,6 +181,7 @@ func Run(p Params) (*Result, error) {
 		abort:   make(chan struct{}),
 		inj:     p.Inject,
 		rec:     p.Recovery.withDefaults(),
+		hooks:   obs.Or(p.Hooks),
 		resends: make(map[resendKey]func() bool),
 	}
 	if r.inj == nil {
@@ -213,6 +219,7 @@ func Run(p Params) (*Result, error) {
 		r.procs[i] = &procState{}
 	}
 
+	r.hooks.OnPhaseStart(obs.Root, obs.PhaseRound)
 	var wg sync.WaitGroup
 	for i := 0; i < size; i++ {
 		wg.Add(1)
@@ -224,7 +231,9 @@ func Run(p Params) (*Result, error) {
 	wg.Wait()
 	r.auxwg.Wait() // in-flight delayed deliveries
 
-	return r.collect(), nil
+	res := r.collect() // audits and settlement fire hooks too
+	r.hooks.OnPhaseEnd(obs.Root, obs.PhaseRound)
+	return res, nil
 }
 
 // procState is the per-processor scratchpad the runner (and the arbiter's
@@ -243,6 +252,7 @@ type procState struct {
 	wTilde     float64 // measured speed
 	valuation  float64 // −α̃·w̃
 	terminated bool
+	curPhase   string // open phase label for the hook bracket (see startPhase)
 	meter      device.MeterReading
 	att        device.Attestation
 	// receivedBidMsg stores the successor's Phase I message; the arbiter
@@ -261,6 +271,7 @@ type runner struct {
 	arb     *arbiter
 	inj     fault.Injector
 	rec     RecoveryConfig
+	hooks   obs.Hooks
 
 	bidUp    []chan bidMsg
 	gDown    []chan gMsg
@@ -305,14 +316,37 @@ func (r *runner) signSlot(i int, kind slotKind, index int, value float64) sign.S
 	return r.signers[i].Sign(encodeSlot(kind, index, value))
 }
 
-// countedSend delivers v on ch unless the run has been aborted.
-func countedSend[T any](r *runner, ch chan T, v T) bool {
+// countedSend delivers v on ch unless the run has been aborted. It is the
+// single point where Stats.Messages increments, and OnMessage fires exactly
+// here — so the dls_messages_total counter always equals Result.Stats.
+// Messages (asserted by the exact-count tests).
+func countedSend[T any](r *runner, from, to int, ph fault.Phase, ch chan T, v T) bool {
 	select {
 	case ch <- v:
 		atomic.AddInt64(&r.stats.Messages, 1)
+		r.hooks.OnMessage(from, to, ph.String())
 		return true
 	case <-r.abort:
 		return false
+	}
+}
+
+// startPhase fires the hook bracket for processor i entering phase ph,
+// ending the previous phase if still open. Plain methods with scalar args
+// keep the disabled (Nop) path allocation-free.
+func (r *runner) startPhase(i int, ph fault.Phase) {
+	r.endPhase(i)
+	name := ph.String()
+	r.procs[i].curPhase = name
+	r.hooks.OnPhaseStart(i, name)
+}
+
+// endPhase closes processor i's open phase bracket, if any. Deferred at
+// runProcessor exit so every return path ends its last phase.
+func (r *runner) endPhase(i int) {
+	if p := r.procs[i].curPhase; p != "" {
+		r.procs[i].curPhase = ""
+		r.hooks.OnPhaseEnd(i, p)
 	}
 }
 
@@ -323,13 +357,13 @@ func countedSend[T any](r *runner, ch chan T, v T) bool {
 // countedSend: false only when the run aborted.
 func sendMsg[T any](r *runner, from, to int, ph fault.Phase, ch chan T, v T, corrupt func(T) T) bool {
 	r.resendMu.Lock()
-	r.resends[resendKey{from: from, to: to, ph: ph}] = func() bool { return deliver(r, from, ph, ch, v, corrupt) }
+	r.resends[resendKey{from: from, to: to, ph: ph}] = func() bool { return deliver(r, from, to, ph, ch, v, corrupt) }
 	r.resendMu.Unlock()
-	return deliver(r, from, ph, ch, v, corrupt)
+	return deliver(r, from, to, ph, ch, v, corrupt)
 }
 
 // deliver consults the injector and performs one delivery attempt.
-func deliver[T any](r *runner, from int, ph fault.Phase, ch chan T, v T, corrupt func(T) T) bool {
+func deliver[T any](r *runner, from, to int, ph fault.Phase, ch chan T, v T, corrupt func(T) T) bool {
 	act := r.inj.OnSend(from, ph)
 	if act.Drop {
 		// The message is lost in transit; the sender proceeds regardless
@@ -350,18 +384,18 @@ func deliver[T any](r *runner, from int, ph fault.Phase, ch chan T, v T, corrupt
 			case <-r.abort:
 				return
 			}
-			countedSend(r, ch, v)
+			countedSend(r, from, to, ph, ch, v)
 			if act.Duplicate {
-				countedSend(r, ch, v)
+				countedSend(r, from, to, ph, ch, v)
 			}
 		}()
 		return true
 	}
-	if !countedSend(r, ch, v) {
+	if !countedSend(r, from, to, ph, ch, v) {
 		return false
 	}
 	if act.Duplicate {
-		countedSend(r, ch, v)
+		countedSend(r, from, to, ph, ch, v)
 	}
 	return true
 }
@@ -435,6 +469,7 @@ func recvMsg[T any](r *runner, self, from int, ph fault.Phase, ch chan T) (T, bo
 			r.arb.reportDead(self, from, ph)
 			return zero, false
 		}
+		r.hooks.OnRetry(self, from, ph.String(), attempt+1)
 		r.tryResend(from, self, ph)
 		d = time.Duration(float64(d) * r.rec.Backoff)
 	}

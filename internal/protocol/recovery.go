@@ -6,6 +6,7 @@ import (
 	"dlsmech/internal/agent"
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/fault"
+	"dlsmech/internal/obs"
 )
 
 // RecoveryConfig tunes the failure detectors of a protocol run: how long a
@@ -168,6 +169,7 @@ func RunWithRecovery(p Params) (*RecoveryResult, error) {
 			Fined:     fined,
 			Round:     round,
 		})
+		obs.Or(p.Hooks).OnRecovery(round, orig[f.Proc])
 		nn, err := net.Without(f.Proc)
 		if err != nil {
 			break
