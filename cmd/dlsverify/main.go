@@ -1,0 +1,142 @@
+// Command dlsverify runs the conformance and adversarial-verification suite
+// (internal/verify) across a seed×size matrix: every theorem checker (2.1,
+// 5.1-5.4), the differential oracles (exact rational arithmetic, LP) and the
+// metamorphic invariances, against freshly sampled chains, with the full
+// adversarial strategy catalog played through real signed protocol rounds.
+//
+// Usage:
+//
+//	dlsverify -seeds 3 -sizes 8,64              # CI conformance matrix
+//	dlsverify -seeds 1 -sizes 4 -out report.json
+//	dlsverify -validate report.json             # schema-check a report
+//
+// The report is machine-readable JSON (schema:
+// internal/verify/schemas/conformance_report.schema.json). Exit status: 0
+// when every check passed, 1 when any theorem was violated (or a report
+// fails validation), 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dlsmech/internal/cli"
+	"dlsmech/internal/core"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlsverify: ")
+	var (
+		seeds    = flag.Int("seeds", 3, "number of seeds (runs seeds 1..N)")
+		sizes    = flag.String("sizes", "8,64", "comma-separated chain sizes m (strategic processors)")
+		out      = flag.String("out", "-", "report output path (- = stdout)")
+		validate = flag.String("validate", "", "validate an existing report file against the schema and exit")
+
+		fine  = flag.Float64("fine", 10, "fine F for a caught deviation")
+		audit = flag.Float64("audit-prob", 0.25, "audit probability q")
+		bonus = flag.Float64("solution-bonus", 0, "solution bonus S (0 = only the Theorem 5.2 checker enables it locally)")
+
+		timeout = flag.Duration("timeout", 25*time.Millisecond, "protocol detector base timeout")
+		retries = flag.Int("retries", 1, "retransmission requests before a peer is declared dead")
+	)
+	var obsFlags cli.ObsFlags
+	obsFlags.Register("", "", "json")
+	flag.Parse()
+
+	if *validate != "" {
+		doc, err := os.ReadFile(*validate)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		if err := verify.ValidateReport(doc); err != nil {
+			log.Printf("%s: INVALID: %v", *validate, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *validate)
+		return
+	}
+
+	ms, err := parseSizes(*sizes)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	if *seeds < 1 {
+		log.Printf("-seeds must be >= 1, got %d", *seeds)
+		os.Exit(2)
+	}
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+
+	suite := &verify.Suite{
+		Seeds:    seedList,
+		Sizes:    ms,
+		Cfg:      core.Config{Fine: *fine, AuditProb: *audit, SolutionBonus: *bonus},
+		Recovery: protocol.RecoveryConfig{Timeout: *timeout, Retries: *retries},
+		Hooks:    obsFlags.Hooks(),
+	}
+	rep, err := suite.Run()
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	if err := obsFlags.Write(); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "dlsverify: %d checks, %d passed, %d violations (%d seeds × sizes %v)\n",
+		rep.Summary.Checks, rep.Summary.Passed, rep.Summary.Violations, len(seedList), ms)
+	if rep.Summary.Violations > 0 {
+		for _, v := range rep.Violations() {
+			fmt.Fprintf(os.Stderr, "dlsverify: VIOLATED %s\n", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// parseSizes parses the -sizes list.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := strconv.Atoi(part)
+		if err != nil || m < 1 {
+			return nil, fmt.Errorf("invalid size %q (need a positive integer)", part)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sizes is empty")
+	}
+	return out, nil
+}

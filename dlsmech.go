@@ -46,6 +46,7 @@ import (
 	"dlsmech/internal/fault"
 	"dlsmech/internal/obs"
 	"dlsmech/internal/protocol"
+	"dlsmech/internal/verify"
 	"dlsmech/internal/workload"
 )
 
@@ -422,6 +423,37 @@ func ValidateChromeTrace(doc []byte) error { return obs.ValidateChromeTrace(doc)
 // ValidateMetricsSnapshot checks an exported JSON metrics snapshot against
 // the checked-in schema.
 func ValidateMetricsSnapshot(doc []byte) error { return obs.ValidateMetricsSnapshot(doc) }
+
+// --- Conformance & adversarial verification --------------------------------------
+
+// ConformanceSuite replays the paper's theorems (2.1, 5.1-5.4), the
+// differential oracles (float vs exact big.Rat, vs the LP formulation) and
+// the metamorphic invariances over a seeds × sizes matrix of random chains.
+// `dlsverify` is its CLI; see TESTING.md.
+type ConformanceSuite = verify.Suite
+
+// ConformanceReport is the schema-validated artifact of a suite run.
+type ConformanceReport = verify.Report
+
+// ConformanceVerdict is one checker outcome inside a report.
+type ConformanceVerdict = verify.Verdict
+
+// ConformanceScenario is one cell (network, config, seed) the individual
+// theorem checkers replay through real protocol rounds.
+type ConformanceScenario = verify.Scenario
+
+// ConformanceStrategy is one catalogued adversarial strategy with its
+// expected detection outcome.
+type ConformanceStrategy = verify.Strategy
+
+// StrategyCatalog returns the adversarial strategies the conformance suite
+// replays — at least one per deviation class of Lemma 5.1, plus the
+// execution-level deviations the protocol handles beyond the paper.
+func StrategyCatalog() []ConformanceStrategy { return verify.Catalog() }
+
+// ValidateConformanceReport checks an exported conformance report against
+// the checked-in JSON schema.
+func ValidateConformanceReport(doc []byte) error { return verify.ValidateReport(doc) }
 
 // --- Workloads and experiments -------------------------------------------------
 

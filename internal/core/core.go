@@ -270,6 +270,12 @@ func paymentFor(j int, zj float64, plan *dlt.Allocation, bids, actualAlpha, actu
 		p.Recompense = (actualAlpha[j] - plan.Alpha[j]) * actualW[j]
 	}
 	adjusted := dlt.RealizedEquivTwo(plan.AlphaHat[j-1], bids[j-1], zj, wHat[j])
+	if brokenBonusAdjustment.Load() {
+		// Test hook: drop the (4.10)-(4.11) performance adjustment. See
+		// testhook.go — the conformance suite must detect this as a
+		// strategyproofness violation.
+		adjusted = plan.WBar[j-1]
+	}
 	p.Bonus = bids[j-1] - adjusted
 	if cfg.SolutionBonus > 0 && solutionFound {
 		p.Solution = cfg.SolutionBonus

@@ -1,0 +1,23 @@
+package core
+
+import "sync/atomic"
+
+// brokenBonusAdjustment, when set, disables the performance adjustment
+// (4.10)-(4.11) inside the bonus term: paymentFor pays the naive
+// B_j = w_{j-1} − w̄_{j-1} evaluated at the *bids* instead of the realized
+// two-processor equivalent at the agent's actual performance. The adjustment
+// is exactly what makes underbidding unprofitable (Lemma 5.3 case (i)):
+// without it an agent that declares a faster time shrinks w̄ downstream of
+// its predecessor and strictly inflates its own bonus. The conformance
+// suite's Theorem 5.3 checker must catch this break — that is the acceptance
+// test for the checker itself, not a supported configuration.
+var brokenBonusAdjustment atomic.Bool
+
+// SetBrokenBonusForTest toggles the intentionally broken bonus path and
+// returns a restore function. Tests must call restore (typically via defer
+// or t.Cleanup) so the break never leaks across tests; the hook is process
+// global because the property sweeps share pooled scratch state.
+func SetBrokenBonusForTest(on bool) (restore func()) {
+	prev := brokenBonusAdjustment.Swap(on)
+	return func() { brokenBonusAdjustment.Store(prev) }
+}

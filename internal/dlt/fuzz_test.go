@@ -83,6 +83,47 @@ func FuzzNetworkJSON(f *testing.F) {
 	})
 }
 
+// FuzzExactVsFloat is the differential fuzz oracle: for arbitrary
+// byte-derived networks the float solver must stay within 1e-9 of the
+// big.Rat reference across the allocation vector, the reduction values and
+// the makespan. The fixed-seed conformance suite (internal/verify) checks
+// the same bound on sampled workloads; this target hunts for adversarial
+// parameter combinations the sampler would never draw.
+func FuzzExactVsFloat(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, []byte{1, 2})
+	f.Add([]byte{255, 1, 255, 1}, []byte{0, 255, 0})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, []byte{255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, wRaw, zRaw []byte) {
+		if len(wRaw) == 0 || len(wRaw) > 48 {
+			return
+		}
+		w := make([]float64, len(wRaw))
+		for i, b := range wRaw {
+			w[i] = 0.1 + float64(b)/32 // (0, 8.1]
+		}
+		z := make([]float64, len(wRaw)-1)
+		for i := range z {
+			var b byte
+			if i < len(zRaw) {
+				b = zRaw[i]
+			}
+			z[i] = float64(b) / 64 // [0, ~4]
+		}
+		n, err := NewNetwork(w, z)
+		if err != nil {
+			t.Fatalf("constructed network invalid: %v", err)
+		}
+		drift, err := ExactFloatDrift(n)
+		if err != nil {
+			t.Fatalf("exact solve failed on valid network: %v", err)
+		}
+		sol := MustSolveBoundary(n)
+		if bound := 1e-9 * math.Max(1, sol.Makespan()); drift > bound {
+			t.Fatalf("float drift %v exceeds %v at m=%d", drift, bound, n.M())
+		}
+	})
+}
+
 // FuzzHatRoundTrip checks AlphaFromHat/HatFromAlpha consistency for
 // arbitrary valid local fractions.
 func FuzzHatRoundTrip(f *testing.F) {

@@ -26,10 +26,10 @@ package dynamics
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"dlsmech/internal/core"
 	"dlsmech/internal/dlt"
+	"dlsmech/internal/verify"
 )
 
 // Rule prices one agent's outcome for a bid profile, assuming honest
@@ -141,27 +141,23 @@ func Run(rule Rule, truth *dlt.Network, opts Options) (*Result, error) {
 	for sweep := 1; sweep <= opts.MaxSweeps; sweep++ {
 		moved := false
 		for i := 1; i <= truth.M(); i++ {
-			bestBid, bestU := bids[i], math.Inf(-1)
-			if u, err := rule.Utility(truth, bids, i); err == nil {
-				bestU = u
-			} else {
-				return nil, fmt.Errorf("dynamics: pricing agent %d: %w", i, err)
-			}
-			for _, g := range opts.Grid {
-				cand := truth.W[i] * g
-				if cand == bids[i] {
-					continue
-				}
+			i := i
+			// The best-response oracle is the shared one from the
+			// conformance subsystem, so the dynamics and the Theorem 5.3
+			// checkers cannot disagree about what "a profitable move" is.
+			utility := func(bid float64) (float64, error) {
 				old := bids[i]
-				bids[i] = cand
+				bids[i] = bid
 				u, err := rule.Utility(truth, bids, i)
 				bids[i] = old
 				if err != nil {
-					return nil, fmt.Errorf("dynamics: pricing agent %d: %w", i, err)
+					return 0, fmt.Errorf("dynamics: pricing agent %d: %w", i, err)
 				}
-				if u > bestU+opts.Tol {
-					bestU, bestBid = u, cand
-				}
+				return u, nil
+			}
+			bestBid, _, err := verify.BestBidOnGrid(utility, truth.W[i], bids[i], opts.Grid, opts.Tol)
+			if err != nil {
+				return nil, err
 			}
 			if bestBid != bids[i] {
 				bids[i] = bestBid

@@ -10,6 +10,7 @@ import (
 	"dlsmech/internal/plot"
 	"dlsmech/internal/stats"
 	"dlsmech/internal/table"
+	"dlsmech/internal/verify"
 	"dlsmech/internal/workload"
 	"dlsmech/internal/xrand"
 )
@@ -214,7 +215,6 @@ func runA8(seed uint64) (*Report, error) {
 	rep := &Report{ID: "A8", Title: "DLS-BL bus mechanism", Paper: "prior work [14], reconstructed"}
 	cfg := core.DefaultConfig()
 	r := xrand.New(seed)
-	factors := []float64{0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.15, 1.3, 1.6, 2.0}
 	const trials = 15
 
 	tb := table.New("A8: bus-mechanism properties over random buses ("+table.Cell(trials)+" per m)",
@@ -243,7 +243,7 @@ func runA8(seed uint64) (*Report, error) {
 					minU = u
 				}
 			}
-			gain, err := core.BusStrategyproofViolation(b, factors, cfg)
+			gain, err := verify.BusStrategyproofGain(b, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -257,7 +257,7 @@ func runA8(seed uint64) (*Report, error) {
 		if minU < -1e-12 {
 			participation = false
 		}
-		if worstGain > 1e-9 {
+		if worstGain > verify.GainTol {
 			strategyproof = false
 		}
 		tb.AddRowValues(m, worstPair, minU, worstGain)

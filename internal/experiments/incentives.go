@@ -10,6 +10,7 @@ import (
 	"dlsmech/internal/plot"
 	"dlsmech/internal/stats"
 	"dlsmech/internal/table"
+	"dlsmech/internal/verify"
 	"dlsmech/internal/workload"
 	"dlsmech/internal/xrand"
 )
@@ -27,7 +28,7 @@ func runE3(seed uint64) (*Report, error) {
 	rep := &Report{ID: "E3", Title: "Strategyproofness", Paper: "Lemma 5.3 / Theorem 5.3"}
 	cfg := core.DefaultConfig()
 	r := xrand.New(seed)
-	factors := []float64{0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.15, 1.3, 1.6, 2.0}
+	factors := verify.BidFactors()
 
 	// Reference network: the utility curve table.
 	n := workload.Chain(r, workload.DefaultChainSpec(4))
@@ -75,7 +76,7 @@ func runE3(seed uint64) (*Report, error) {
 		scanned[t] = workload.Chain(r, workload.DefaultChainSpec(1+r.Intn(10)))
 	}
 	gains, err := parallel.Map(trialWorkers(), scanNets, func(t int) (float64, error) {
-		return core.StrategyproofViolation(scanned[t], factors, cfg)
+		return verify.StrategyproofGain(scanned[t], cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -105,7 +106,7 @@ func runE3(seed uint64) (*Report, error) {
 	rep.Tables = append(rep.Tables, st)
 
 	rep.check(peaksAtTruth, "every utility curve peaks at the truthful bid (g=1)")
-	rep.check(worst <= 1e-9, "largest deviation gain over %d random chains: %.3g (≤ 0 up to fp noise)", scanNets, worst)
+	rep.check(worst <= verify.GainTol, "largest deviation gain over %d random chains: %.3g (≤ 0 up to fp noise)", scanNets, worst)
 	rep.check(slowMonotone, "utility non-increasing in execution slowdown (case (ii))")
 	return rep, nil
 }

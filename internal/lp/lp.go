@@ -42,6 +42,11 @@ var (
 	ErrInfeasible = errors.New("lp: infeasible")
 	ErrUnbounded  = errors.New("lp: unbounded")
 	ErrBadShape   = errors.New("lp: malformed problem")
+	// ErrNumeric: the simplex terminated with a basis whose solution
+	// violates the original constraints — accumulated round-off corrupted
+	// the tableau. A verification oracle must fail loudly here rather than
+	// report a garbage optimum.
+	ErrNumeric = errors.New("lp: numerically unstable solution")
 )
 
 const eps = 1e-10
@@ -153,7 +158,33 @@ func Solve(p Problem) (*Solution, error) {
 	for j := 0; j < n; j++ {
 		sol.Obj += p.C[j] * sol.X[j]
 	}
+	// The reduced-cost optimality test reads the (pivot-transformed)
+	// tableau; re-check the claimed solution against the ORIGINAL problem
+	// data before trusting it.
+	for j, x := range sol.X {
+		if x < -1e-7 {
+			return nil, fmt.Errorf("%s: %w (x_%d = %g < 0)", p.Name, ErrNumeric, j, x)
+		}
+	}
+	for i, row := range p.A {
+		if r := dot(row, sol.X) - p.B[i]; r > 1e-6*(1+math.Abs(p.B[i])) {
+			return nil, fmt.Errorf("%s: %w (inequality %d violated by %g)", p.Name, ErrNumeric, i, r)
+		}
+	}
+	for i, row := range p.E {
+		if r := math.Abs(dot(row, sol.X) - p.F[i]); r > 1e-6*(1+math.Abs(p.F[i])) {
+			return nil, fmt.Errorf("%s: %w (equality %d off by %g)", p.Name, ErrNumeric, i, r)
+		}
+	}
 	return sol, nil
+}
+
+func dot(a, x []float64) float64 {
+	var s float64
+	for j := range a {
+		s += a[j] * x[j]
+	}
+	return s
 }
 
 // simplex minimizes obj over the tableau with Bland's rule.
@@ -161,40 +192,68 @@ func simplex(t [][]float64, basis []int, obj []float64, nTotal int) error {
 	return simplexRestricted(t, basis, obj, nTotal, nTotal)
 }
 
-// simplexRestricted is simplex over columns [0, allowed).
+// simplexRestricted is simplex over columns [0, allowed). It prices with
+// Dantzig's rule and breaks ratio-test ties toward the largest pivot
+// element — on dense tableaus of ~100 columns the tiny-pivot Gauss-Jordan
+// steps Bland's rule happily takes accumulate round-off fast enough to
+// corrupt the basis. Strict Bland (first improving column, smallest basis
+// index) takes over for the second half of the iteration budget, restoring
+// the termination guarantee if the stable rule ever cycles.
 func simplexRestricted(t [][]float64, basis []int, obj []float64, nTotal, allowed int) error {
 	m := len(t)
-	for iter := 0; iter < 20000; iter++ {
+	const maxIter = 20000
+	for iter := 0; iter < maxIter; iter++ {
+		bland := iter >= maxIter/2
 		// Reduced costs: r_j = c_j − c_B · B^{-1} A_j, computed from the
 		// tableau (which is already B^{-1}-applied).
 		enter := -1
+		bestR := -eps
 		for j := 0; j < allowed; j++ {
 			r := obj[j]
 			for i := 0; i < m; i++ {
 				r -= obj[basis[i]] * t[i][j]
 			}
-			if r < -eps {
-				enter = j // Bland: first improving column
-				break
+			if r < bestR {
+				enter = j
+				if bland {
+					break
+				}
+				bestR = r
 			}
 		}
 		if enter < 0 {
 			return nil // optimal
 		}
-		// Ratio test with Bland's tie-break (smallest basis index).
-		leave := -1
-		best := math.Inf(1)
+		// Ratio test: exact minimum first, then tie-break among near-ties.
+		minRatio := math.Inf(1)
 		for i := 0; i < m; i++ {
 			if t[i][enter] > eps {
-				ratio := t[i][nTotal] / t[i][enter]
-				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
-					best = ratio
-					leave = i
+				if r := t[i][nTotal] / t[i][enter]; r < minRatio {
+					minRatio = r
 				}
 			}
 		}
-		if leave < 0 {
+		if math.IsInf(minRatio, 1) {
 			return ErrUnbounded
+		}
+		leave := -1
+		for i := 0; i < m; i++ {
+			piv := t[i][enter]
+			if piv <= eps || t[i][nTotal]/piv > minRatio+eps {
+				continue
+			}
+			switch {
+			case leave < 0:
+				leave = i
+			case bland:
+				if basis[i] < basis[leave] {
+					leave = i
+				}
+			default:
+				if piv > t[leave][enter] {
+					leave = i
+				}
+			}
 		}
 		pivot(t, basis, leave, enter)
 	}

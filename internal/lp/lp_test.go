@@ -197,3 +197,27 @@ func TestScheduleLPRejectsInvalid(t *testing.T) {
 		t.Fatal("invalid network accepted")
 	}
 }
+
+func TestScheduleLPLargeChainsNeverSilentlyWrong(t *testing.T) {
+	// On dense ~100-column tableaus accumulated pivot round-off can corrupt
+	// the basis; the solver must then return ErrNumeric, never a "solution"
+	// that violates the original constraints. (A corrupted basis once
+	// reported makespan 0 with Σα ≈ 3.5e6 at m=64.)
+	r := xrand.New(7)
+	for _, m := range []int{32, 64, 96, 128} {
+		for trial := 0; trial < 3; trial++ {
+			n := randomChain(r, m)
+			want := dlt.MustSolveBoundary(n).Makespan()
+			got, err := ScheduleLPMakespan(n)
+			if err != nil {
+				if !errors.Is(err, ErrNumeric) {
+					t.Fatalf("m=%d trial %d: %v", m, trial, err)
+				}
+				continue // loud failure is acceptable; silence is not
+			}
+			if math.Abs(got-want) > 1e-7*want {
+				t.Fatalf("m=%d trial %d: LP %v vs Algorithm 1 %v", m, trial, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// TestSingleSeatJobs runs the market at JobSize = 1: every job is the
+// degenerate m=1 chain (root plus one strategic processor). No shedding,
+// bonuses or grievances are possible there — the mechanism reduces to
+// compensation only — and the market loop must handle it without special
+// cases.
+func TestSingleSeatJobs(t *testing.T) {
+	t.Parallel()
+	owners := UniformPopulation(4, nil, nil, 5)
+	res, err := Run(Config{
+		Owners: owners, JobSize: 1, Rounds: 12,
+		BankruptcyAt: -25, Mech: core.DefaultConfig(), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Rounds {
+		if s.Terminated {
+			t.Fatalf("truthful single-seat round %d terminated", s.Round)
+		}
+		if s.Detections != 0 {
+			t.Fatalf("round %d: %d detections in an honest market", s.Round, s.Detections)
+		}
+		if math.Abs(s.MakespanRatio-1) > 1e-6 {
+			t.Fatalf("round %d: m=1 makespan ratio %v, want 1", s.Round, s.MakespanRatio)
+		}
+	}
+	for _, o := range res.Owners {
+		if o.Balance < -1e-9 {
+			t.Fatalf("truthful owner %d lost money: %v", o.ID, o.Balance)
+		}
+	}
+}
+
+// TestNearZeroCostOwners floods the market with processors whose true cost
+// is (numerically) negligible: payments shrink towards zero but stay
+// non-negative and finite, and no honest owner is ever pushed to bankruptcy
+// by rounding noise.
+func TestNearZeroCostOwners(t *testing.T) {
+	t.Parallel()
+	owners := UniformPopulation(6, nil, nil, 9)
+	for i := range owners {
+		if i%2 == 0 {
+			owners[i].Speed = 1e-9 // effectively free computation
+		}
+	}
+	res, err := Run(Config{
+		Owners: owners, JobSize: 3, Rounds: 10,
+		BankruptcyAt: -25, Mech: core.DefaultConfig(), Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Rounds {
+		if s.Terminated || s.Detections != 0 {
+			t.Fatalf("honest round %d: terminated=%v detections=%d", s.Round, s.Terminated, s.Detections)
+		}
+		if math.IsNaN(s.MakespanRatio) || math.IsInf(s.MakespanRatio, 0) {
+			t.Fatalf("round %d: makespan ratio %v", s.Round, s.MakespanRatio)
+		}
+	}
+	if len(res.Bankruptcies) != 0 {
+		t.Fatalf("honest zero-cost market produced bankruptcies: %v", res.Bankruptcies)
+	}
+	for _, o := range res.Owners {
+		if o.Balance < -1e-9 || math.IsNaN(o.Balance) {
+			t.Fatalf("owner %d (speed %v) balance %v", o.ID, o.Speed, o.Balance)
+		}
+	}
+}
+
+// TestFineAtCheatingProfitBoundary pins the Theorem 5.1 premise at its
+// knife edge, through the real protocol settlement: with F set exactly to
+// the analytic pre-fine cheating profit of a load shed, the detected
+// shedder still nets a strict loss (the settlement claws back the victim's
+// extra work on top of F), the victim ends no worse off than honest, and
+// the deviant's utility is decreasing in F.
+func TestFineAtCheatingProfitBoundary(t *testing.T) {
+	t.Parallel()
+	net := workload.Chain(xrand.New(21), workload.DefaultChainSpec(5))
+	const pos, retain = 2, 0.4
+	cfg := core.DefaultConfig()
+	gain, _, err := core.CheatingProfit(net, pos, retain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's premise only binds when shedding is profitable pre-fine.
+	if gain <= 0 {
+		t.Fatalf("shed at P%d not profitable pre-fine (gain %v); pick another instance", pos, gain)
+	}
+
+	runAtFine := func(fine float64, shed bool) *protocol.Result {
+		t.Helper()
+		c := cfg
+		c.Fine = fine
+		profile := agent.AllTruthful(net.Size())
+		if shed {
+			profile[pos] = agent.Shedder(retain)
+		}
+		res, err := protocol.Run(protocol.Params{
+			Net: net, Profile: profile, Cfg: c, Seed: 21,
+			Recovery: protocol.RecoveryConfig{Timeout: 25 * time.Millisecond, Retries: 1, Backoff: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	honest := runAtFine(cfg.Fine, false)
+	atBoundary := runAtFine(gain, true)
+	detected := false
+	for _, d := range atBoundary.Detections {
+		if d.Offender == pos && d.Violation == protocol.ViolationOverload {
+			detected = true
+		}
+	}
+	if !detected {
+		t.Fatalf("shed at P%d not detected: %v", pos, atBoundary.Detections)
+	}
+	if atBoundary.Utilities[pos] >= honest.Utilities[pos] {
+		t.Fatalf("F = cheating profit must already make the shed a strict loss (clawback of the victim's extra work): deviant %v >= honest %v",
+			atBoundary.Utilities[pos], honest.Utilities[pos])
+	}
+	if atBoundary.Utilities[pos+1] < honest.Utilities[pos+1]-1e-9 {
+		t.Fatalf("victim worse off than honest despite recompense and reward: %v < %v",
+			atBoundary.Utilities[pos+1], honest.Utilities[pos+1])
+	}
+	above := runAtFine(gain*1.01, true)
+	below := runAtFine(gain*0.5, true)
+	if !(below.Utilities[pos] > atBoundary.Utilities[pos] && atBoundary.Utilities[pos] > above.Utilities[pos]) {
+		t.Fatalf("deviant utility must decrease in F: %v (0.5F*) > %v (F*) > %v (1.01F*) violated",
+			below.Utilities[pos], atBoundary.Utilities[pos], above.Utilities[pos])
+	}
+
+	// DefaultConfig keeps a comfortable margin above this instance's profit.
+	if cfg.Fine <= gain {
+		t.Fatalf("DefaultConfig fine %v not above the measured cheating profit %v", cfg.Fine, gain)
+	}
+}
+
+// TestMarketRejectsDegenerateJobSize pins validation at the boundary the
+// single-seat test sits on.
+func TestMarketRejectsDegenerateJobSize(t *testing.T) {
+	t.Parallel()
+	owners := UniformPopulation(3, nil, nil, 1)
+	if _, err := Run(Config{Owners: owners, JobSize: 0, Rounds: 1, BankruptcyAt: -1, Mech: core.DefaultConfig(), Seed: 1}); err == nil {
+		t.Fatal("JobSize 0 accepted")
+	}
+}
+
+// TestShedderBankruptcyAtTightFine closes the loop through the real
+// protocol: a shedding owner playing against F comfortably above its profit
+// envelope accumulates fines and goes bankrupt while honest owners stay
+// solvent — the market-level reading of Theorem 5.1.
+func TestShedderBankruptcyAtTightFine(t *testing.T) {
+	t.Parallel()
+	owners := UniformPopulation(6, map[string]float64{"shedder": 0.2},
+		map[string]agent.Behavior{"shedder": agent.Shedder(0.4)}, 13)
+	res, err := Run(Config{
+		Owners: owners, JobSize: 4, Rounds: 40,
+		BankruptcyAt: -15, Mech: core.DefaultConfig(), Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bankruptcies["shedder(0.4)"] == 0 {
+		t.Fatal("shedder survived 40 rounds against a fine above its profit envelope")
+	}
+	for _, o := range res.Owners {
+		if o.Behavior.IsHonest() && o.Bankrupt {
+			t.Fatalf("honest owner %d went bankrupt", o.ID)
+		}
+	}
+}

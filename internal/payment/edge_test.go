@@ -1,0 +1,120 @@
+package payment
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZeroAmountTransfer pins that a zero transfer is legal (a zero-cost
+// processor's compensation C_j = α_j·w̃_j can be arbitrarily small, and the
+// billing path must not special-case it): balances stay put, the journal
+// still records the movement.
+func TestZeroAmountTransfer(t *testing.T) {
+	t.Parallel()
+	l := NewLedger()
+	if err := l.Transfer(Mechanism, 1, 0, KindCompensation, "C_1 (zero-cost)"); err != nil {
+		t.Fatalf("zero-amount transfer rejected: %v", err)
+	}
+	if b := l.Balance(1); b != 0 {
+		t.Fatalf("balance moved on zero transfer: %v", b)
+	}
+	if n := len(l.Journal()); n != 1 {
+		t.Fatalf("zero transfer not journaled: %d entries", n)
+	}
+	if !l.NetZero(0) {
+		t.Fatal("ledger not conserved")
+	}
+}
+
+// TestSubnormalAndTinyAmounts pins that tiny positive amounts survive the
+// round trip without validation errors or balance corruption.
+func TestSubnormalAndTinyAmounts(t *testing.T) {
+	t.Parallel()
+	l := NewLedger()
+	tiny := 1e-300
+	if err := l.Pay(2, tiny, KindBonus, "B_2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Fine(2, tiny, KindFine, "F"); err != nil {
+		t.Fatal(err)
+	}
+	if b := l.Balance(2); b != 0 {
+		t.Fatalf("tiny pay+fine did not cancel: %v", b)
+	}
+	if !l.NetZero(0) {
+		t.Fatal("ledger not conserved")
+	}
+}
+
+// TestUntouchedAccountsAndEmptyFilters pins the zero-value behaviors the
+// verify checkers rely on: unknown accounts read 0, filters on an empty
+// ledger return nothing, and an empty ledger conserves trivially.
+func TestUntouchedAccountsAndEmptyFilters(t *testing.T) {
+	t.Parallel()
+	l := NewLedger()
+	if b := l.Balance(99); b != 0 {
+		t.Fatalf("untouched account has balance %v", b)
+	}
+	if es := l.EntriesOfKind(KindAuditFine); len(es) != 0 {
+		t.Fatalf("empty ledger returned %d audit fines", len(es))
+	}
+	if es := l.EntriesTo(Mechanism); len(es) != 0 {
+		t.Fatalf("empty ledger returned %d credits", len(es))
+	}
+	if !l.NetZero(0) {
+		t.Fatal("empty ledger not conserved")
+	}
+	if out := l.MechanismOutlay(); out != 0 {
+		t.Fatalf("empty ledger outlay %v", out)
+	}
+	if acc := l.Accounts(); len(acc) != 0 {
+		t.Fatalf("empty ledger lists accounts %v", acc)
+	}
+}
+
+// TestRejectedTransfersLeaveNoTrace pins atomicity of validation: a rejected
+// transfer must neither move balances nor journal anything.
+func TestRejectedTransfersLeaveNoTrace(t *testing.T) {
+	t.Parallel()
+	l := NewLedger()
+	for _, amount := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := l.Transfer(1, 2, amount, KindAdjustment, "bad"); err == nil {
+			t.Fatalf("amount %v accepted", amount)
+		}
+	}
+	if err := l.Transfer(3, 3, 1, KindAdjustment, "self"); err == nil {
+		t.Fatal("self transfer accepted")
+	}
+	if n := len(l.Journal()); n != 0 {
+		t.Fatalf("rejected transfers journaled %d entries", n)
+	}
+	for _, id := range []int{1, 2, 3} {
+		if b := l.Balance(id); b != 0 {
+			t.Fatalf("rejected transfer moved account %d to %v", id, b)
+		}
+	}
+}
+
+// TestFineKindAccounting pins that fines and audit fines keep their kinds
+// separate end to end — the conformance checkers attribute deviations by
+// filtering exactly these kinds.
+func TestFineKindAccounting(t *testing.T) {
+	t.Parallel()
+	l := NewLedger()
+	if err := l.Fine(1, 10, KindFine, "F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Fine(1, 40, KindAuditFine, "F/q"); err != nil {
+		t.Fatal(err)
+	}
+	totals := l.TotalByKind()
+	if totals[KindFine] != 10 || totals[KindAuditFine] != 40 {
+		t.Fatalf("totals %v", totals)
+	}
+	if got := l.Balance(1); got != -50 {
+		t.Fatalf("fined balance %v, want -50", got)
+	}
+	if out := l.MechanismOutlay(); out != -50 {
+		t.Fatalf("outlay %v, want -50 (fines are mechanism revenue)", out)
+	}
+}

@@ -1,0 +1,122 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/payment"
+)
+
+// TestAuditFineTimesQEqualsF pins the q-handling identity in the billing
+// path: the audit penalty is F/q, so q·AuditFine() must give back F — bit
+// for bit when q is a power of two (the recommended operating points), and
+// up to one ulp otherwise. A drift here would silently re-scale the
+// deterrence margin Theorem 5.1 relies on.
+func TestAuditFineTimesQEqualsF(t *testing.T) {
+	t.Parallel()
+	for _, fine := range []float64{1, 10, 1e-6, 1e6} {
+		for _, q := range []float64{1, 0.5, 0.25, 0.125, 0.0625} {
+			cfg := core.Config{Fine: fine, AuditProb: q}
+			if got := q * cfg.AuditFine(); got != fine {
+				t.Errorf("F=%v q=%v: q·(F/q) = %v, want exact F", fine, q, got)
+			}
+		}
+		for _, q := range []float64{0.3, 0.7, 0.9} {
+			cfg := core.Config{Fine: fine, AuditProb: q}
+			if got := q * cfg.AuditFine(); math.Abs(got-fine) > 1e-12*fine {
+				t.Errorf("F=%v q=%v: q·(F/q) = %v, want F within 1 ulp", fine, q, got)
+			}
+		}
+	}
+}
+
+// TestAuditCoinFrequencyTracksQ drives the real billing path with every
+// strategic processor overcharging, so each audit coin that comes up heads
+// leaves a KindAuditFine entry: the empirical audit frequency over
+// (seed, processor) pairs must track q, the root must never be audited, and
+// q = 1 must audit everyone on every seed.
+func TestAuditCoinFrequencyTracksQ(t *testing.T) {
+	t.Parallel()
+	n := testNet(t)
+	m := n.M()
+	prof := agent.AllTruthful(n.Size())
+	for j := 1; j <= m; j++ {
+		prof = prof.WithDeviant(j, agent.Overcharger(0.5))
+	}
+
+	cfg := core.DefaultConfig() // q = 0.25
+	const seeds = 200
+	var heads int
+	for s := uint64(0); s < seeds; s++ {
+		res := runWith(t, n, prof, cfg, s)
+		if !res.Completed {
+			t.Fatalf("seed %d terminated: %s", s, res.TermReason)
+		}
+		for _, e := range res.Ledger.EntriesOfKind(payment.KindAuditFine) {
+			if e.From == 0 || e.From == payment.Mechanism {
+				t.Fatalf("seed %d: root/mechanism audited: %+v", s, e)
+			}
+			heads++
+		}
+	}
+	rate := float64(heads) / float64(seeds*m)
+	// seeds·m = 600 coins at q = 0.25: ±5 sd is ≈ 0.09.
+	if math.Abs(rate-cfg.AuditProb) > 0.09 {
+		t.Fatalf("audit frequency %v over %d coins, want ≈ q = %v", rate, seeds*m, cfg.AuditProb)
+	}
+
+	certain := cfg
+	certain.AuditProb = 1
+	for s := uint64(0); s < 8; s++ {
+		res := runWith(t, n, prof, certain, s)
+		if got := len(res.Ledger.EntriesOfKind(payment.KindAuditFine)); got != m {
+			t.Fatalf("seed %d at q=1: %d audit fines, want every strategic processor (%d)", s, got, m)
+		}
+	}
+}
+
+// TestAuditRevenueIndependentOfQ pins the expectation the F/q scaling buys:
+// over a seeded ensemble, the mechanism's mean audit revenue from a
+// persistent overcharger is ≈ F whether it audits always (q = 1, revenue
+// exactly F each round) or rarely (q = 0.25, revenue F/q on ≈ q of rounds).
+// Every individual fine must also be exactly F/q — dyadic q loses nothing
+// to rounding.
+func TestAuditRevenueIndependentOfQ(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("seeded ensemble; skipped in -short")
+	}
+	n := testNet(t)
+	prof := agent.AllTruthful(n.Size()).WithDeviant(2, agent.Overcharger(0.5))
+
+	revenue := func(q float64, seeds uint64) float64 {
+		cfg := core.DefaultConfig()
+		cfg.AuditProb = q
+		var total float64
+		for s := uint64(0); s < seeds; s++ {
+			res := runWith(t, n, prof, cfg, s)
+			for _, e := range res.Ledger.EntriesOfKind(payment.KindAuditFine) {
+				if e.From != 2 {
+					t.Fatalf("q=%v seed %d: audit fine from honest P%d", q, s, e.From)
+				}
+				if e.Amount != cfg.AuditFine() {
+					t.Fatalf("q=%v seed %d: fine %v, want exactly F/q = %v", q, s, e.Amount, cfg.AuditFine())
+				}
+				total += e.Amount
+			}
+		}
+		return total / float64(seeds)
+	}
+
+	fine := core.DefaultConfig().Fine
+	if mean := revenue(1, 32); mean != fine {
+		t.Fatalf("q=1 mean audit revenue %v, want exactly F = %v", mean, fine)
+	}
+	// 400 Bernoulli(0.25) trials paying 4F: sd of the mean ≈ 0.87, so ±3 is
+	// well beyond 3 sd.
+	if mean := revenue(0.25, 400); math.Abs(mean-fine) > 3 {
+		t.Fatalf("q=0.25 mean audit revenue %v, want ≈ F = %v", mean, fine)
+	}
+}

@@ -1,0 +1,193 @@
+package verify
+
+import (
+	"dlsmech/internal/agent"
+	"dlsmech/internal/fault"
+	"dlsmech/internal/protocol"
+)
+
+// Class names a deviation class from the paper's threat model.
+type Class string
+
+// Deviation classes. Lemma 5.1's case analysis covers (i)-(v); bid
+// misreports and slow execution are the Lemma 5.3 deviations (legal but
+// unprofitable), data corruption is Theorem 5.2's selfish-and-annoying
+// behavior, desertion is a breached signed commitment, and forged messages
+// model transit/sender corruption that verification must reject.
+const (
+	ClassHonest          Class = "honest"
+	ClassBidMisreport    Class = "bid-misreport"
+	ClassSlowExecution   Class = "slow-execution"
+	ClassLoadShedding    Class = "load-shedding"
+	ClassOvercharge      Class = "overcharge"
+	ClassContradiction   Class = "contradictory-messages"
+	ClassWrongCompute    Class = "wrong-computation"
+	ClassFalseAccusation Class = "false-accusation"
+	ClassDataCorruption  Class = "data-corruption"
+	ClassDesertion       Class = "desertion"
+	ClassForgedMessage   Class = "forged-message"
+)
+
+// Expectation states what the mechanism is supposed to do with a strategy —
+// the checkable content of Theorems 5.1/5.2.
+type Expectation struct {
+	// Detected: a protocol round containing the deviation produces a
+	// Detection naming the deviant.
+	Detected bool
+	// Violation is the expected detection class when Detected.
+	Violation protocol.Violation
+	// Terminates: the round ends in Phase I/II (Completed=false) because the
+	// broken chain cannot carry load.
+	Terminates bool
+	// Unfined: the deviant is excluded but not fined (forged messages:
+	// transit corruption is indistinguishable from sender misbehavior).
+	Unfined bool
+	// NeedsCertainAudit: detection is probabilistic (the Phase IV audit
+	// lottery); the checker raises AuditProb to 1 for the detection
+	// assertion.
+	NeedsCertainAudit bool
+	// SlackLimited: detection requires the deviation to clear the Λ
+	// attestation slack; the checker skips the detection assertion (but not
+	// the unprofitability assertion) when the shed amount falls under it.
+	SlackLimited bool
+	// SlowDetection: detection is timeout-driven; the suite restricts the
+	// scenario to small chains and a short detector timeout.
+	SlowDetection bool
+}
+
+// Strategy is one catalog entry: a named adversarial agent plus the
+// mechanism's expected response.
+type Strategy struct {
+	Name  string
+	Class Class
+	// Behavior is installed at the deviant position of an otherwise honest
+	// profile.
+	Behavior agent.Behavior
+	// Inject optionally builds a message-plane injector targeting the
+	// deviant (forged-message strategies; nil otherwise).
+	Inject func(seed uint64, proc int) fault.Injector
+	// NeedsSuccessor restricts the deviant to interior positions i < m
+	// (shedding needs a victim, a D misreport needs a receiver).
+	NeedsSuccessor bool
+	Expect         Expectation
+}
+
+// Deviant reports whether the strategy actually deviates (everything except
+// the honest baseline).
+func (s Strategy) Deviant() bool { return s.Class != ClassHonest }
+
+// Catalog returns the full strategy catalog, covering every deviation class
+// the paper names. The checkers iterate it; tests pin that every class is
+// present.
+func Catalog() []Strategy {
+	return []Strategy{
+		{
+			Name:     "honest",
+			Class:    ClassHonest,
+			Behavior: agent.Truthful(),
+		},
+		{
+			Name:     "underbid-0.5",
+			Class:    ClassBidMisreport,
+			Behavior: agent.Underbid(0.5),
+			// Legal deviation: not detectable, must be unprofitable (5.3).
+		},
+		{
+			Name:     "overbid-1.5",
+			Class:    ClassBidMisreport,
+			Behavior: agent.Overbid(1.5),
+		},
+		{
+			Name:     "slacker-1.5",
+			Class:    ClassSlowExecution,
+			Behavior: agent.Slacker(1.5),
+			// Runs 1.5× slower than bid: the (4.10)-(4.11) adjustment makes
+			// it unprofitable, no detection involved.
+		},
+		{
+			Name:           "shedder-0.4",
+			Class:          ClassLoadShedding,
+			Behavior:       agent.Shedder(0.4),
+			NeedsSuccessor: true,
+			Expect: Expectation{
+				Detected:     true,
+				Violation:    protocol.ViolationOverload,
+				SlackLimited: true,
+			},
+		},
+		{
+			Name:     "overcharger-0.5",
+			Class:    ClassOvercharge,
+			Behavior: agent.Overcharger(0.5),
+			Expect: Expectation{
+				Detected:          true,
+				Violation:         protocol.ViolationOvercharge,
+				NeedsCertainAudit: true,
+			},
+		},
+		{
+			Name:     "contradictor",
+			Class:    ClassContradiction,
+			Behavior: agent.Contradictor(),
+			Expect: Expectation{
+				Detected:   true,
+				Violation:  protocol.ViolationContradiction,
+				Terminates: true,
+			},
+		},
+		{
+			Name:           "miscomputer",
+			Class:          ClassWrongCompute,
+			Behavior:       agent.Miscomputer(),
+			NeedsSuccessor: true,
+			Expect: Expectation{
+				Detected:   true,
+				Violation:  protocol.ViolationWrongCompute,
+				Terminates: true,
+			},
+		},
+		{
+			Name:     "false-accuser",
+			Class:    ClassFalseAccusation,
+			Behavior: agent.FalseAccuser(),
+			Expect: Expectation{
+				Detected:  true,
+				Violation: protocol.ViolationFalseAccuse,
+			},
+		},
+		{
+			Name:     "corruptor",
+			Class:    ClassDataCorruption,
+			Behavior: agent.Corruptor(),
+			// Theorem 5.2: unattributable, disciplined only through the
+			// solution bonus — checked by CheckTheorem52, not 5.1.
+		},
+		{
+			Name:     "deserter",
+			Class:    ClassDesertion,
+			Behavior: agent.Deserter(),
+			Expect: Expectation{
+				Detected:      true,
+				Violation:     protocol.ViolationUnresponsive,
+				Terminates:    true,
+				SlowDetection: true,
+			},
+		},
+		{
+			Name:     "forger",
+			Class:    ClassForgedMessage,
+			Behavior: agent.Truthful(),
+			Inject: func(seed uint64, proc int) fault.Injector {
+				return fault.NewPlan(seed, fault.Rule{
+					Kind: fault.CorruptSig, Proc: proc, Phase: fault.PhaseBid, Times: 1,
+				})
+			},
+			Expect: Expectation{
+				Detected:   true,
+				Violation:  protocol.ViolationBadSignature,
+				Terminates: true,
+				Unfined:    true,
+			},
+		},
+	}
+}

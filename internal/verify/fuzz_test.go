@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"testing"
+	"time"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/payment"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// FuzzVerifyStrategyRound is the no-false-accusation fuzz oracle: whatever
+// single deviation a byte-derived adversary plays, a protocol round must
+// never produce a detection naming an honest processor, and must never fine
+// one. (An honest deviant profile must produce no detections at all.)
+//
+// Load sheds whose magnitude falls inside the Λ attestation slack are
+// snapped back to honest play: inside the slack the victim's own grievance
+// arithmetic cannot distinguish shedding from quantization, which is exactly
+// why the arbiter's substantiation threshold exists — the fuzz target
+// documents that boundary rather than fighting it.
+func FuzzVerifyStrategyRound(f *testing.F) {
+	f.Add(uint64(1), byte(3), byte(2), byte(4), byte(128))
+	f.Add(uint64(42), byte(5), byte(1), byte(0), byte(0))
+	f.Add(uint64(7), byte(2), byte(9), byte(6), byte(255))
+	f.Add(uint64(99), byte(4), byte(3), byte(8), byte(64))
+	f.Fuzz(func(t *testing.T, seed uint64, mByte, posByte, classByte, factorByte byte) {
+		m := 1 + int(mByte)%6
+		pos := 1 + int(posByte)%m
+		frac := float64(factorByte) / 255
+
+		net := workload.Chain(xrand.New(seed|1), workload.DefaultChainSpec(m))
+
+		needsSucc := false
+		var b agent.Behavior
+		switch classByte % 10 {
+		case 0:
+			b = agent.Truthful()
+		case 1:
+			b = agent.Underbid(0.4 + 0.59*frac)
+		case 2:
+			b = agent.Overbid(1.01 + 1.5*frac)
+		case 3:
+			b = agent.Slacker(1.01 + 2*frac)
+		case 4:
+			b, needsSucc = agent.Shedder(0.2+0.8*frac), true
+		case 5:
+			b = agent.Overcharger(5 * frac)
+		case 6:
+			b = agent.Contradictor()
+		case 7:
+			b, needsSucc = agent.Miscomputer(), true
+		case 8:
+			b = agent.FalseAccuser()
+		case 9:
+			b = agent.Corruptor()
+		}
+		if needsSucc && pos == m {
+			if m < 2 {
+				b = agent.Truthful()
+			} else {
+				pos = m - 1
+			}
+		}
+		if b.RetainFactor > 0 && b.RetainFactor < 1 {
+			// Shedder: snap sub-slack sheds back to honest play.
+			plan, err := dlt.SolveBoundary(net)
+			if err != nil {
+				t.Fatalf("solver failed on sampled network: %v", err)
+			}
+			const unit = 1.0 / 4096
+			shed := plan.Alpha[pos] * (1 - b.RetainFactor)
+			if shed <= 8*float64(pos+2)*unit {
+				b = agent.Truthful()
+			}
+		}
+		honest := b.IsHonest()
+
+		res, err := protocol.Run(protocol.Params{
+			Net:      net,
+			Profile:  agent.AllTruthful(net.Size()).WithDeviant(pos, b),
+			Cfg:      core.DefaultConfig(),
+			Seed:     seed,
+			Recovery: protocol.RecoveryConfig{Timeout: 25 * time.Millisecond, Retries: 1, Backoff: 2},
+		})
+		if err != nil {
+			t.Fatalf("protocol round failed: %v", err)
+		}
+		for _, d := range res.Detections {
+			if honest {
+				t.Fatalf("honest profile produced detection %+v", d)
+			}
+			if d.Offender != pos {
+				t.Fatalf("detection %s names honest P%d (deviant %s at P%d)",
+					d.Violation, d.Offender, b.Label, pos)
+			}
+		}
+		fines := append(res.Ledger.EntriesOfKind(payment.KindFine),
+			res.Ledger.EntriesOfKind(payment.KindAuditFine)...)
+		for _, e := range fines {
+			if e.From != pos {
+				t.Fatalf("fine of %.3g charged to honest P%d (deviant %s at P%d)",
+					e.Amount, e.From, b.Label, pos)
+			}
+		}
+	})
+}

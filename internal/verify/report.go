@@ -1,0 +1,134 @@
+package verify
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/obs"
+)
+
+// ReportSchema is the checked-in JSON schema for conformance reports,
+// embedded so the validator and the documentation cannot drift apart (the
+// same pattern internal/obs uses for its trace and metrics schemas).
+//
+//go:embed schemas/conformance_report.schema.json
+var ReportSchema []byte
+
+// ReportVersion identifies the report format; bump on breaking changes.
+const ReportVersion = 1
+
+// ReportConfig echoes the mechanism parameters the suite ran with.
+type ReportConfig struct {
+	Fine          float64 `json:"fine"`
+	AuditProb     float64 `json:"audit_prob"`
+	SolutionBonus float64 `json:"solution_bonus"`
+}
+
+// Matrix records the seed×size grid the suite covered.
+type Matrix struct {
+	Seeds []uint64 `json:"seeds"`
+	Sizes []int    `json:"sizes"`
+}
+
+// Summary aggregates the verdicts.
+type Summary struct {
+	Checks     int `json:"checks"`
+	Passed     int `json:"passed"`
+	Violations int `json:"violations"`
+}
+
+// Report is the machine-readable outcome of a conformance run
+// (cmd/dlsverify emits it as JSON; the schema is ReportSchema).
+type Report struct {
+	Version     int          `json:"version"`
+	GeneratedBy string       `json:"generated_by"`
+	Config      ReportConfig `json:"config"`
+	Matrix      Matrix       `json:"matrix"`
+	Summary     Summary      `json:"summary"`
+	Verdicts    []Verdict    `json:"verdicts"`
+}
+
+// NewReport starts an empty report for the given configuration and matrix.
+func NewReport(cfg core.Config, seeds []uint64, sizes []int) *Report {
+	return &Report{
+		Version:     ReportVersion,
+		GeneratedBy: "dlsverify",
+		Config: ReportConfig{
+			Fine:          cfg.Fine,
+			AuditProb:     cfg.AuditProb,
+			SolutionBonus: cfg.SolutionBonus,
+		},
+		Matrix: Matrix{
+			Seeds: append([]uint64(nil), seeds...),
+			Sizes: append([]int(nil), sizes...),
+		},
+		Verdicts: []Verdict{},
+	}
+}
+
+// Add appends verdicts to the report.
+func (r *Report) Add(vs ...Verdict) {
+	r.Verdicts = append(r.Verdicts, vs...)
+}
+
+// Finish recomputes the summary from the verdicts.
+func (r *Report) Finish() {
+	r.Summary = Summary{}
+	for _, v := range r.Verdicts {
+		r.Summary.Checks++
+		if v.Passed {
+			r.Summary.Passed++
+		} else {
+			r.Summary.Violations++
+		}
+	}
+}
+
+// Violations returns the violated verdicts.
+func (r *Report) Violations() []Verdict {
+	var out []Verdict
+	for _, v := range r.Verdicts {
+		if !v.Passed {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ValidateReport checks a serialized report against ReportSchema and the
+// summary arithmetic against the verdict list.
+func ValidateReport(doc []byte) error {
+	if err := obs.ValidateJSON(ReportSchema, doc); err != nil {
+		return fmt.Errorf("verify: report schema: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(doc, &r); err != nil {
+		return fmt.Errorf("verify: report decode: %w", err)
+	}
+	if r.Version != ReportVersion {
+		return fmt.Errorf("verify: report version %d, want %d", r.Version, ReportVersion)
+	}
+	var passed, violated int
+	for _, v := range r.Verdicts {
+		if v.Passed {
+			passed++
+		} else {
+			violated++
+		}
+	}
+	if r.Summary.Checks != len(r.Verdicts) || r.Summary.Passed != passed || r.Summary.Violations != violated {
+		return fmt.Errorf("verify: summary %+v inconsistent with %d verdicts (%d passed, %d violated)",
+			r.Summary, len(r.Verdicts), passed, violated)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package verify
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/obs"
+)
+
+// TestSuiteCleanRun runs the full matrix on small chains: the intact
+// mechanism must produce zero violations and a report that validates against
+// its own schema.
+func TestSuiteCleanRun(t *testing.T) {
+	s := &Suite{Seeds: []uint64{7, 8}, Sizes: []int{2, 6}}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Violations != 0 {
+		t.Fatalf("intact mechanism violated %d checks: %v", rep.Summary.Violations, rep.Violations())
+	}
+	if rep.Summary.Checks != len(rep.Verdicts) || rep.Summary.Passed != rep.Summary.Checks {
+		t.Fatalf("summary inconsistent: %+v over %d verdicts", rep.Summary, len(rep.Verdicts))
+	}
+	if rep.Summary.Checks == 0 {
+		t.Fatal("suite ran no checks")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(buf.Bytes()); err != nil {
+		t.Fatalf("report does not validate against its schema: %v", err)
+	}
+}
+
+// TestSuiteDetectsBrokenMechanism is the end-to-end acceptance path: break
+// the bonus adjustment behind the core hook and the suite must report
+// Theorem 5.3 violations (this is what makes dlsverify exit nonzero).
+func TestSuiteDetectsBrokenMechanism(t *testing.T) {
+	restore := core.SetBrokenBonusForTest(true)
+	defer restore()
+
+	s := &Suite{Seeds: []uint64{7}, Sizes: []int{6}}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Violations == 0 {
+		t.Fatal("suite passed a mechanism with the bonus adjustment removed")
+	}
+	caught := false
+	for _, v := range rep.Violations() {
+		if v.Theorem == "5.3" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("violations did not include Theorem 5.3: %v", rep.Violations())
+	}
+
+	// The violated report still serializes and validates.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(buf.Bytes()); err != nil {
+		t.Fatalf("violated report does not validate: %v", err)
+	}
+}
+
+// TestSuiteRejectsBadParams pins the operational error paths.
+func TestSuiteRejectsBadParams(t *testing.T) {
+	t.Parallel()
+	if _, err := (&Suite{Sizes: []int{0}}).Run(); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := (&Suite{Cfg: core.Config{Fine: -1}}).Run(); err == nil {
+		t.Error("negative fine accepted")
+	}
+}
+
+// TestSuiteHooksBracketCheckers pins the observability contract: every
+// checker run is bracketed by a Root-level verify:<name> phase span.
+func TestSuiteHooksBracketCheckers(t *testing.T) {
+	col := obs.NewCollector()
+	s := &Suite{Seeds: []uint64{7}, Sizes: []int{2}, Hooks: col}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Reg.Snapshot()
+	found := 0
+	for name, v := range snap.Counters {
+		if strings.Contains(name, `phase="verify:`) {
+			found++
+			if v == 0 {
+				t.Errorf("counter %s registered but never incremented", name)
+			}
+		}
+	}
+	if found < 8 {
+		t.Fatalf("only %d verify:* phase counters recorded", found)
+	}
+}
+
+// TestValidateReportCatchesTampering pins the validator: schema violations
+// and inconsistent summaries are both rejected.
+func TestValidateReportCatchesTampering(t *testing.T) {
+	s := &Suite{Seeds: []uint64{7}, Sizes: []int{2}}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ValidateReport([]byte(`garbage`)); err == nil {
+		t.Error("garbage accepted")
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["surprise"] = true
+	tampered, _ := json.Marshal(doc)
+	if err := ValidateReport(tampered); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+	delete(doc, "surprise")
+
+	doc["summary"].(map[string]any)["passed"] = float64(0)
+	tampered, _ = json.Marshal(doc)
+	if err := ValidateReport(tampered); err == nil {
+		t.Error("inconsistent summary accepted")
+	}
+}
+
+// TestVerdictMarginSerializable pins the NaN/Inf sanitization: a verdict
+// that never collected a finite margin (encoding/json rejects ±Inf) must
+// still encode as valid JSON after seal.
+func TestVerdictMarginSerializable(t *testing.T) {
+	t.Parallel()
+	v := seal(Verdict{Checker: "x", Theorem: "t", Margin: math.Inf(1)})
+	if v.Margin != 0 {
+		t.Fatalf("infinite margin not sanitized: %v", v.Margin)
+	}
+	if _, err := json.Marshal(v); err != nil {
+		t.Fatal(err)
+	}
+}

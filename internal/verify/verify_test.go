@@ -1,0 +1,177 @@
+package verify
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// TestCatalogCoversAllClasses pins that the strategy catalog names every
+// deviation class of the paper's threat model: removing a class (or adding
+// one without a strategy) must fail a test, not silently shrink coverage.
+func TestCatalogCoversAllClasses(t *testing.T) {
+	t.Parallel()
+	want := []Class{
+		ClassHonest, ClassBidMisreport, ClassSlowExecution, ClassLoadShedding,
+		ClassOvercharge, ClassContradiction, ClassWrongCompute,
+		ClassFalseAccusation, ClassDataCorruption, ClassDesertion,
+		ClassForgedMessage,
+	}
+	have := map[Class][]string{}
+	names := map[string]bool{}
+	for _, s := range Catalog() {
+		have[s.Class] = append(have[s.Class], s.Name)
+		if names[s.Name] {
+			t.Errorf("duplicate strategy name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Expect.Detected && s.Expect.Violation == "" {
+			t.Errorf("strategy %q expects detection without a violation class", s.Name)
+		}
+		if s.Deviant() == (s.Class == ClassHonest) {
+			t.Errorf("strategy %q: Deviant()=%v contradicts class %q", s.Name, s.Deviant(), s.Class)
+		}
+	}
+	for _, c := range want {
+		if len(have[c]) == 0 {
+			t.Errorf("deviation class %q has no catalog strategy", c)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("catalog covers %d classes, want %d", len(have), len(want))
+	}
+}
+
+// TestBrokenBonusCaught is the acceptance test for the Theorem 5.3 checker
+// itself: with the (4.10)-(4.11) performance adjustment disabled behind the
+// core test hook, underbidding becomes strictly profitable and the checker
+// must return a violated verdict. A checker that cannot catch a known break
+// proves nothing when it passes.
+func TestBrokenBonusCaught(t *testing.T) {
+	restore := core.SetBrokenBonusForTest(true)
+	defer restore()
+
+	net := workload.Chain(xrand.New(11), workload.DefaultChainSpec(6))
+	sc := &Scenario{Net: net, Cfg: core.DefaultConfig(), Seed: 11}
+	v := CheckTheorem53(sc)
+	if v.Passed {
+		t.Fatalf("Theorem 5.3 checker passed a mechanism with the bonus adjustment removed: %+v", v)
+	}
+	if v.Margin >= 0 {
+		t.Fatalf("violated verdict must carry a negative margin, got %v", v.Margin)
+	}
+	if !strings.Contains(v.Violated, "U_i") {
+		t.Fatalf("verdict does not name the violated inequality: %q", v.Violated)
+	}
+}
+
+// TestBrokenBonusRestored double-checks the hook restores: the same scenario
+// must pass once the mechanism is whole again.
+func TestBrokenBonusRestored(t *testing.T) {
+	restore := core.SetBrokenBonusForTest(true)
+	restore()
+
+	net := workload.Chain(xrand.New(11), workload.DefaultChainSpec(6))
+	sc := &Scenario{Net: net, Cfg: core.DefaultConfig(), Seed: 11}
+	if v := CheckTheorem53(sc); !v.Passed {
+		t.Fatalf("intact mechanism failed Theorem 5.3: %+v", v)
+	}
+}
+
+// TestBestBidOnGrid pins the shared best-response semantics (the ones the
+// dynamics always used): sub-tolerance improvements and exact ties keep the
+// current bid, and among improving candidates the first maximizer in grid
+// order wins.
+func TestBestBidOnGrid(t *testing.T) {
+	t.Parallel()
+	grid := []float64{0.5, 1.0, 2.0}
+
+	// Strictly better candidate wins and reports its gain.
+	u := func(bid float64) (float64, error) { return -((bid - 2) * (bid - 2)), nil }
+	best, gain, err := BestBidOnGrid(u, 1, 1, grid, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 2 || gain != u2(u, 2)-u2(u, 1) {
+		t.Fatalf("best=%v gain=%v, want bid 2", best, gain)
+	}
+
+	// A flat utility keeps the current bid with zero gain.
+	flat := func(float64) (float64, error) { return 7, nil }
+	best, gain, err = BestBidOnGrid(flat, 1, 1.3, grid, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1.3 || gain != 0 {
+		t.Fatalf("flat utility moved: best=%v gain=%v", best, gain)
+	}
+
+	// Sub-tolerance improvement keeps the current bid.
+	tiny := func(bid float64) (float64, error) {
+		if bid == 2 {
+			return 1e-12, nil
+		}
+		return 0, nil
+	}
+	best, _, err = BestBidOnGrid(tiny, 1, 1, grid, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 {
+		t.Fatalf("sub-tolerance improvement moved the bid to %v", best)
+	}
+
+	// Errors propagate.
+	boom := errors.New("boom")
+	_, _, err = BestBidOnGrid(func(float64) (float64, error) { return 0, boom }, 1, 1, grid, 1e-9)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func u2(u func(float64) (float64, error), bid float64) float64 {
+	v, _ := u(bid)
+	return v
+}
+
+// TestSharedGainMatchesCore pins that the shared helpers are thin aliases of
+// the core inequalities, not a second implementation.
+func TestSharedGainMatchesCore(t *testing.T) {
+	t.Parallel()
+	net := workload.Chain(xrand.New(3), workload.DefaultChainSpec(5))
+	cfg := core.DefaultConfig()
+	want, err := core.StrategyproofViolation(net, BidFactors(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StrategyproofGain(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("StrategyproofGain %v != core inequality %v", got, want)
+	}
+}
+
+// TestDeviantPos pins the position policy: interior when possible, skip
+// when a successor is structurally impossible.
+func TestDeviantPos(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		m        int
+		needSucc bool
+		want     int
+	}{
+		{1, false, 1}, {2, false, 2}, {8, false, 2},
+		{1, true, -1}, {2, true, 1}, {3, true, 2}, {8, true, 2},
+	}
+	for _, c := range cases {
+		if got := deviantPos(c.m, c.needSucc); got != c.want {
+			t.Errorf("deviantPos(%d, %v) = %d, want %d", c.m, c.needSucc, got, c.want)
+		}
+	}
+}
