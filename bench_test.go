@@ -170,6 +170,42 @@ func BenchmarkProtocolRound(b *testing.B) {
 	}
 }
 
+// BenchmarkProtocolSessionRound measures the protocol fast path: a
+// steady-state round on a warm Session, where keys, PKI verification memos,
+// sign memos, channels, and scratch arenas all persist across rounds. This
+// is the deployment shape for repeated rounds (the market/dynamics
+// experiments) and the headline number of the wire-codec + batch-verify +
+// pooling optimization; BenchmarkProtocolRound above remains the cold
+// (fresh-session) reference.
+func BenchmarkProtocolSessionRound(b *testing.B) {
+	for _, m := range []int{8, 64, 128} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			n := workload.Chain(xrand.New(1), workload.DefaultChainSpec(m))
+			p := protocol.Params{
+				Net:     n,
+				Profile: agent.AllTruthful(n.Size()),
+				Cfg:     core.DefaultConfig(),
+				Seed:    1,
+			}
+			sess := protocol.NewSession(n.Size(), p.Seed)
+			if _, err := sess.Run(p); err != nil { // warm the memos and arenas
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sess.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatal("truthful session round terminated")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEvaluate measures the allocation-free mechanism evaluation the
 // property sweeps and the parallel experiment engine run on: EvaluateInto
 // over a warm Outcome must report 0 allocs/op.

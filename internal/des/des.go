@@ -14,10 +14,10 @@
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/obs"
@@ -129,25 +129,69 @@ type event struct {
 	load float64
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (time, seq). The
+// standard container/heap would box every event into an interface twice per
+// scheduling (Push and Pop both traffic in `any`), which made the event
+// queue the simulator's dominant allocation source; a concrete heap moves
+// events by value only.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// before is the heap order: earliest time first, schedule order (seq) as the
+// deterministic tie-break.
+func (h eventHeap) before(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
-	return h[i].seq < h[j].seq // deterministic tie-break: schedule order
+	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h *eventHeap) push(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
 func (h *eventHeap) pop() (event, bool) {
-	if h.Len() == 0 {
+	q := *h
+	if len(q) == 0 {
 		return event{}, false
 	}
-	return heap.Pop(h).(event), true
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.before(l, min) {
+			min = l
+		}
+		if r < n && q.before(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	*h = q
+	return top, true
 }
+
+// heapPool recycles event-queue backing arrays across runs: sweep
+// experiments simulate thousands of specs back to back, and regrowing the
+// queue each run was measurable churn.
+var heapPool = sync.Pool{New: func() any { return new(eventHeap) }}
 
 // Errors returned by Run.
 var (
@@ -213,7 +257,11 @@ func Run(spec Spec) (*Result, error) {
 		Compute:  make([]Interval, size),
 		Send:     make([]Interval, size),
 	}
-	var q eventHeap
+	q := heapPool.Get().(*eventHeap)
+	defer func() {
+		*q = (*q)[:0]
+		heapPool.Put(q)
+	}()
 	seq := 0
 	schedule := func(t float64, kind EventKind, proc int, amount float64) {
 		q.push(event{time: t, seq: seq, kind: kind, proc: proc, load: amount})

@@ -1,0 +1,7 @@
+//go:build race
+
+package des
+
+// raceEnabled reports whether the race detector is active; allocation pins
+// are meaningless under its instrumentation.
+const raceEnabled = true

@@ -15,10 +15,12 @@
 package device
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dlsmech/internal/sign"
 	"dlsmech/internal/xrand"
@@ -50,15 +52,25 @@ func NewMeter(root *sign.Signer, proc int) *Meter {
 	return &Meter{root: root, proc: proc}
 }
 
-// meterPayload is the canonical byte encoding of a reading: a fixed tag, the
-// processor index and the IEEE-754 bits of the measurements.
-func meterPayload(proc int, wTilde, load float64) []byte {
-	buf := make([]byte, 4+8+8+8)
-	copy(buf, "MTR1")
+// meterPayloadSize is the exact byte length of an encoded meter payload.
+const meterPayloadSize = 4 + 8 + 8 + 8
+
+// appendMeterPayload appends the canonical byte encoding of a reading — a
+// fixed tag, the processor index and the IEEE-754 bits of the measurements —
+// to dst. Encoding into a caller-owned (stack) buffer keeps the metering hot
+// path allocation-free.
+func appendMeterPayload(dst []byte, proc int, wTilde, load float64) []byte {
+	var buf [meterPayloadSize]byte
+	copy(buf[:], "MTR1")
 	binary.LittleEndian.PutUint64(buf[4:], uint64(int64(proc)))
 	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(wTilde))
 	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(load))
-	return buf
+	return append(dst, buf[:]...)
+}
+
+// meterPayload returns the canonical encoding as a fresh slice.
+func meterPayload(proc int, wTilde, load float64) []byte {
+	return appendMeterPayload(make([]byte, 0, meterPayloadSize), proc, wTilde, load)
 }
 
 // Record measures one execution (per-unit time wTilde over load work units)
@@ -71,11 +83,17 @@ func (m *Meter) Record(wTilde, load float64) (MeterReading, error) {
 	if !(load >= 0) || math.IsInf(load, 0) {
 		return MeterReading{}, fmt.Errorf("device: invalid metered load %v", load)
 	}
+	// The payload lives on the stack and the signature comes from the root
+	// signer's memo: a re-measurement of the same (proc, w̃, load) triple —
+	// every round of a steady-state session — costs a map hit, not an
+	// ed25519 signing.
+	var buf [meterPayloadSize]byte
+	payload := appendMeterPayload(buf[:0], m.proc, wTilde, load)
 	return MeterReading{
 		Proc:   m.proc,
 		WTilde: wTilde,
 		Load:   load,
-		Msg:    m.root.Sign(meterPayload(m.proc, wTilde, load)),
+		Msg:    m.root.SignMemo(payload),
 	}, nil
 }
 
@@ -96,14 +114,10 @@ func VerifyReading(pki *sign.PKI, rootID int, r MeterReading) error {
 	if err := pki.Verify(r.Msg); err != nil {
 		return fmt.Errorf("%w: %v", ErrMeterSignature, err)
 	}
-	want := meterPayload(r.Proc, r.WTilde, r.Load)
-	if len(want) != len(r.Msg.Payload) {
+	var buf [meterPayloadSize]byte
+	want := appendMeterPayload(buf[:0], r.Proc, r.WTilde, r.Load)
+	if !bytes.Equal(want, r.Msg.Payload) {
 		return ErrMeterMismatch
-	}
-	for i := range want {
-		if want[i] != r.Msg.Payload[i] {
-			return ErrMeterMismatch
-		}
 	}
 	return nil
 }
@@ -149,11 +163,20 @@ func (a Attestation) Clone() Attestation {
 }
 
 // Issuer mints block identifiers on behalf of the root during data
-// preparation and later verifies attestations.
+// preparation and later verifies attestations. It is safe for concurrent
+// use, and it is reusable: Reset starts a fresh mint epoch while keeping the
+// map storage warm, which is what lets a long-running protocol session mint
+// every round without rebuilding the identifier registry.
 type Issuer struct {
-	unit   float64
-	rng    *xrand.Rand
+	unit float64
+	rng  *xrand.Rand
+
+	mu     sync.Mutex
 	minted map[Block]bool
+	// seen is the duplicate-detection scratch for Verify, generation-stamped
+	// so each call starts logically empty without clearing or reallocating.
+	seen    map[Block]uint32
+	seenGen uint32
 }
 
 // NewIssuer creates an issuer with the given block unit (the work quantity
@@ -162,22 +185,48 @@ func NewIssuer(unit float64, rng *xrand.Rand) (*Issuer, error) {
 	if !(unit > 0) || math.IsInf(unit, 0) {
 		return nil, fmt.Errorf("device: invalid block unit %v", unit)
 	}
-	return &Issuer{unit: unit, rng: rng, minted: make(map[Block]bool)}, nil
+	return &Issuer{
+		unit:   unit,
+		rng:    rng,
+		minted: make(map[Block]bool),
+		seen:   make(map[Block]uint32),
+	}, nil
 }
 
 // Unit returns the work quantity of one block.
 func (iss *Issuer) Unit() float64 { return iss.unit }
 
+// Reset invalidates every previously minted identifier and starts a new mint
+// epoch. Map storage is retained, so the next round's Mint refills warm
+// buckets instead of growing fresh maps.
+func (iss *Issuer) Reset() {
+	iss.mu.Lock()
+	defer iss.mu.Unlock()
+	clear(iss.minted)
+	clear(iss.seen)
+	iss.seenGen = 0
+}
+
 // Mint creates the attestation covering total work units — ceil(total/unit)
 // fresh random identifiers. The root calls this once per job and ships the
 // blocks with the load.
 func (iss *Issuer) Mint(total float64) (Attestation, error) {
+	return iss.MintInto(nil, total)
+}
+
+// MintInto is Mint appending into a caller-owned buffer (reused via
+// blocks[:0] across rounds), so the per-round identifier slice — tens of
+// kilobytes at fine block units — is allocated once per session, not once
+// per round.
+func (iss *Issuer) MintInto(blocks []Block, total float64) (Attestation, error) {
 	if !(total >= 0) || math.IsInf(total, 0) {
 		return Attestation{}, fmt.Errorf("device: invalid total %v", total)
 	}
 	nb := int(math.Ceil(total/iss.unit - 1e-12))
-	blocks := make([]Block, 0, nb)
-	for len(blocks) < nb {
+	iss.mu.Lock()
+	defer iss.mu.Unlock()
+	start := len(blocks)
+	for len(blocks)-start < nb {
 		id := Block(iss.rng.Uint64())
 		if iss.minted[id] {
 			continue // astronomically unlikely; regenerate
@@ -185,7 +234,7 @@ func (iss *Issuer) Mint(total float64) (Attestation, error) {
 		iss.minted[id] = true
 		blocks = append(blocks, id)
 	}
-	return Attestation{Blocks: blocks}, nil
+	return Attestation{Blocks: blocks[start:]}, nil
 }
 
 // Errors returned by attestation verification.
@@ -196,16 +245,25 @@ var (
 
 // Verify checks an attestation: every identifier must have been minted and
 // none may repeat. It returns the work amount the attestation proves.
+// Successful verification allocates nothing: the duplicate check runs on a
+// persistent generation-stamped scratch map.
 func (iss *Issuer) Verify(a Attestation) (float64, error) {
-	seen := make(map[Block]bool, len(a.Blocks))
+	iss.mu.Lock()
+	defer iss.mu.Unlock()
+	iss.seenGen++
+	if iss.seenGen == 0 { // stamp wrap: stale entries could alias, start clean
+		clear(iss.seen)
+		iss.seenGen = 1
+	}
+	gen := iss.seenGen
 	for _, b := range a.Blocks {
 		if !iss.minted[b] {
 			return 0, fmt.Errorf("%w: %d", ErrForgedBlock, uint64(b))
 		}
-		if seen[b] {
+		if iss.seen[b] == gen {
 			return 0, fmt.Errorf("%w: %d", ErrDuplicateBlock, uint64(b))
 		}
-		seen[b] = true
+		iss.seen[b] = gen
 	}
 	return a.Amount(iss.unit), nil
 }

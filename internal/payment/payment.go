@@ -63,6 +63,23 @@ func NewLedger() *Ledger {
 	return &Ledger{balances: make(map[int]float64)}
 }
 
+// NewLedgerSized returns an empty ledger with capacity hints: accounts sizes
+// the balance map, journalCap pre-sizes the journal. Callers that create a
+// ledger per round (the protocol session) avoid the map/slice growth that
+// would otherwise dominate the round's small-allocation count.
+func NewLedgerSized(accounts, journalCap int) *Ledger {
+	if accounts < 0 {
+		accounts = 0
+	}
+	if journalCap < 0 {
+		journalCap = 0
+	}
+	return &Ledger{
+		balances: make(map[int]float64, accounts),
+		journal:  make([]Entry, 0, journalCap),
+	}
+}
+
 // Transfer moves amount from one account to another and journals it.
 func (l *Ledger) Transfer(from, to int, amount float64, kind Kind, memo string) error {
 	if amount < 0 || math.IsNaN(amount) || math.IsInf(amount, 0) {

@@ -3,9 +3,7 @@ package protocol
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
-	"time"
 
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
@@ -45,6 +43,18 @@ func newArbiter(r *runner) *arbiter {
 	return &arbiter{r: r, bids: make(map[int]sign.Signed), reported: make(map[int]bool)}
 }
 
+// reset clears the arbiter for a new round, keeping map storage warm.
+func (a *arbiter) reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.terminated = false
+	a.termReason = ""
+	a.failure = nil
+	a.detections = a.detections[:0]
+	clear(a.bids)
+	clear(a.reported)
+}
+
 // terminate aborts the run (idempotent).
 func (a *arbiter) terminate(reason string) {
 	a.mu.Lock()
@@ -82,8 +92,10 @@ func (a *arbiter) terminateErrLocked(e *PhaseError) {
 func (a *arbiter) noteBid(j int, s sign.Signed) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Stored as-is: wire Signed values are immutable by convention (memo-owned
+	// slices; injector mutators clone before touching bytes).
 	if _, ok := a.bids[j]; !ok {
-		a.bids[j] = s.Clone()
+		a.bids[j] = s
 	}
 }
 
@@ -204,7 +216,7 @@ func (a *arbiter) reportBadG(reporter int, g gMsg) {
 	defer a.mu.Unlock()
 	accused := reporter - 1
 	a.r.countVerifyN(5)
-	vals, err := verifyG(a.r.pki, reporter, g)
+	vals, err := verifyG(a.r.pki, reporter, g, a.r.seqVerify)
 	if err != nil {
 		// The evidence itself is inauthentic: cannot substantiate.
 		a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
@@ -271,7 +283,7 @@ func (a *arbiter) reportOverload(reporter int, g gMsg, att device.Attestation, m
 	defer a.mu.Unlock()
 	accused := reporter - 1
 	a.r.countVerifyN(7)
-	vals, err := verifyG(a.r.pki, reporter, g)
+	vals, err := verifyG(a.r.pki, reporter, g, a.r.seqVerify)
 	valid := err == nil
 	var provedReceived float64
 	if valid {
@@ -296,9 +308,15 @@ func (a *arbiter) reportOverload(reporter int, g gMsg, att device.Attestation, m
 
 // settleBills processes all Phase IV bills in deterministic (processor)
 // order: audit with probability q, pay what is due, fine F/q on a failed
-// audit. solutionFound gates the S item.
+// audit. solutionFound gates the S item. The sort is a plain insertion sort:
+// collect hands the bills over already ordered (O(n) here), and sort.Slice's
+// reflective swapper would be the settlement path's only allocation.
 func (a *arbiter) settleBills(bills []billMsg, solutionFound bool) {
-	sort.Slice(bills, func(x, y int) bool { return bills[x].from < bills[y].from })
+	for i := 1; i < len(bills); i++ {
+		for j := i; j > 0 && bills[j].From < bills[j-1].From; j-- {
+			bills[j], bills[j-1] = bills[j-1], bills[j]
+		}
+	}
 	for _, b := range bills {
 		a.settleBill(b, solutionFound)
 	}
@@ -309,34 +327,20 @@ func (a *arbiter) settleBill(b billMsg, solutionFound bool) {
 	defer a.mu.Unlock()
 	r := a.r
 	cfg := r.params.Cfg
-	j := b.from
-	payItems := func(bm billMsg) {
-		_ = r.ledger.Pay(j, bm.compensation, payment.KindCompensation, fmt.Sprintf("C_%d", j))
-		if bm.recompense > 0 {
-			_ = r.ledger.Pay(j, bm.recompense, payment.KindRecompense, fmt.Sprintf("E_%d", j))
-		}
-		if bm.bonus > 0 {
-			_ = r.ledger.Pay(j, bm.bonus, payment.KindBonus, fmt.Sprintf("B_%d", j))
-		} else if bm.bonus < 0 {
-			// A negative bonus (possible off the truthful path) is a charge.
-			_ = r.ledger.Fine(j, -bm.bonus, payment.KindBonus, fmt.Sprintf("B_%d", j))
-		}
-		if bm.solution > 0 {
-			_ = r.ledger.Pay(j, bm.solution, payment.KindSolutionBon, fmt.Sprintf("S_%d", j))
-		}
-	}
+	j := b.From
 	if j == 0 {
 		// The root is obedient; its reimbursement is not audited.
-		payItems(b)
+		a.payItems(b)
 		return
 	}
-	audited := xrand.New(r.params.Seed^(uint64(j)+1)*0x9e3779b97f4a7c15).Float64() < cfg.AuditProb
+	rng := xrand.Seeded(r.params.Seed ^ (uint64(j)+1)*0x9e3779b97f4a7c15)
+	audited := rng.Float64() < cfg.AuditProb
 	if !audited {
-		payItems(b)
+		a.payItems(b)
 		return
 	}
 	want, err := a.recomputeBill(b, solutionFound)
-	if err != nil || b.total() > want.total()+wireTol {
+	if err != nil || b.Total() > want.Total()+wireTol {
 		_ = r.ledger.Fine(j, cfg.AuditFine(), payment.KindAuditFine, fmt.Sprintf("audit P%d", j))
 		a.detections = append(a.detections, Detection{
 			Violation: ViolationOvercharge,
@@ -347,12 +351,33 @@ func (a *arbiter) settleBill(b billMsg, solutionFound bool) {
 		r.hooks.OnAudit(j, false)
 		r.hooks.OnFine(j, payment.Mechanism, string(ViolationOvercharge), cfg.AuditFine())
 		if err == nil {
-			payItems(want) // pay what the proof supports
+			a.payItems(want) // pay what the proof supports
 		}
 		return
 	}
 	r.hooks.OnAudit(j, true)
-	payItems(b)
+	a.payItems(b)
+}
+
+// payItems journals one bill's pay items. Memo strings come from the
+// session-lifetime tables (built once in NewSession), so settlement writes
+// no formatting garbage. Callers hold a.mu.
+func (a *arbiter) payItems(bm billMsg) {
+	r := a.r
+	j := bm.From
+	_ = r.ledger.Pay(j, bm.Compensation, payment.KindCompensation, r.memoC[j])
+	if bm.Recompense > 0 {
+		_ = r.ledger.Pay(j, bm.Recompense, payment.KindRecompense, r.memoE[j])
+	}
+	if bm.Bonus > 0 {
+		_ = r.ledger.Pay(j, bm.Bonus, payment.KindBonus, r.memoB[j])
+	} else if bm.Bonus < 0 {
+		// A negative bonus (possible off the truthful path) is a charge.
+		_ = r.ledger.Fine(j, -bm.Bonus, payment.KindBonus, r.memoB[j])
+	}
+	if bm.Solution > 0 {
+		_ = r.ledger.Pay(j, bm.Solution, payment.KindSolutionBon, r.memoS[j])
+	}
 }
 
 // recomputeBill independently derives Q_j from Proof_j (4.12): the signed
@@ -361,39 +386,39 @@ func (a *arbiter) settleBill(b billMsg, solutionFound bool) {
 // times z enter beyond the proof.
 func (a *arbiter) recomputeBill(b billMsg, solutionFound bool) (billMsg, error) {
 	r := a.r
-	j := b.from
+	j := b.From
 	cfg := r.params.Cfg
 	m := r.size - 1
 	r.countVerifyN(8)
 
-	vals, err := verifyG(r.pki, j, b.proof.g)
+	vals, err := verifyG(r.pki, j, b.Proof.G, r.seqVerify)
 	if err != nil {
 		return billMsg{}, fmt.Errorf("proof G_%d: %w", j, err)
 	}
-	if device.VerifyReading(r.pki, 0, b.proof.meter) != nil || b.proof.meter.Proc != j {
+	if device.VerifyReading(r.pki, 0, b.Proof.Meter) != nil || b.Proof.Meter.Proc != j {
 		return billMsg{}, fmt.Errorf("proof meter for P%d invalid", j)
 	}
-	received, err := r.issuer.Verify(b.proof.att)
+	received, err := r.issuer.Verify(b.Proof.Att)
 	if err != nil {
 		return billMsg{}, fmt.Errorf("proof Λ_%d: %w", j, err)
 	}
-	bid, err := expectSlot(r.pki, b.proof.ownBid, j, slotBid, j)
+	bid, err := expectSlot(r.pki, b.Proof.OwnBid, j, slotBid, j)
 	if err != nil {
 		return billMsg{}, fmt.Errorf("proof own bid: %w", err)
 	}
 
-	wTilde := b.proof.meter.WTilde
-	retained := b.proof.meter.Load
+	wTilde := b.Proof.Meter.WTilde
+	retained := b.Proof.Meter.Load
 	if retained > received+2*r.unit {
 		return billMsg{}, fmt.Errorf("metered load %v exceeds attested receipt %v", retained, received)
 	}
 
 	// Reconstruct the planned share α_j = D_j·α̂_j.
 	var hat, wbar float64
-	if !b.proof.hasSucc || j == m {
+	if !b.Proof.HasSucc || j == m {
 		hat, wbar = 1, bid
 	} else {
-		succ, err := expectSlot(r.pki, b.proof.succBid, j+1, slotEquivBid, j+1)
+		succ, err := expectSlot(r.pki, b.Proof.SuccBid, j+1, slotEquivBid, j+1)
 		if err != nil {
 			return billMsg{}, fmt.Errorf("proof successor bid: %w", err)
 		}
@@ -402,13 +427,13 @@ func (a *arbiter) recomputeBill(b billMsg, solutionFound bool) (billMsg, error) 
 	planAlpha := vals.Load * hat
 
 	var want billMsg
-	want.from = j
+	want.From = j
 	if retained <= 0 {
 		return want, nil // (4.6): Q_j = 0
 	}
-	want.compensation = planAlpha * wTilde
+	want.Compensation = planAlpha * wTilde
 	if retained >= planAlpha-wireTol {
-		want.recompense = math.Max(0, retained-planAlpha) * wTilde
+		want.Recompense = math.Max(0, retained-planAlpha) * wTilde
 	}
 	var wHat float64
 	switch {
@@ -420,31 +445,33 @@ func (a *arbiter) recomputeBill(b billMsg, solutionFound bool) (billMsg, error) 
 		wHat = wbar
 	}
 	hatPrev := (vals.PrevLoad - vals.Load) / vals.PrevLoad
-	want.bonus = vals.PrevBid - dlt.RealizedEquivTwo(hatPrev, vals.PrevBid, r.params.Net.Z[j], wHat)
+	want.Bonus = vals.PrevBid - dlt.RealizedEquivTwo(hatPrev, vals.PrevBid, r.params.Net.Z[j], wHat)
 	if cfg.SolutionBonus > 0 && solutionFound {
-		want.solution = cfg.SolutionBonus
+		want.Solution = cfg.SolutionBonus
 	}
 	return want, nil
+}
+
+// takeBill records a drained Phase IV bill in the collection arenas; the
+// first bill per sender wins (duplicated copies from injected Duplicate
+// rules are dropped, exactly like the single-slot receives on the chain
+// planes).
+func (r *runner) takeBill(b billMsg) {
+	if b.From >= 0 && b.From < r.size && !r.billSeen[b.From] {
+		r.billSeen[b.From] = true
+		r.billSlot[b.From] = b
+	}
 }
 
 // collect assembles the Result after every goroutine has finished.
 func (r *runner) collect() *Result {
 	// Drain whatever bills made it; the channel is never closed because late
-	// retransmissions may still land on it, and duplicated copies (injected
-	// Duplicate rules) are deduped: the first bill per sender wins, exactly
-	// like the single-slot receives on the chain planes.
-	byFrom := make([]*billMsg, r.size)
-	takeBill := func(b billMsg) {
-		if b.from >= 0 && b.from < r.size && byFrom[b.from] == nil {
-			c := b
-			byFrom[b.from] = &c
-		}
-	}
+	// retransmissions may still land on it.
 drain:
 	for {
 		select {
 		case b := <-r.bills:
-			takeBill(b)
+			r.takeBill(b)
 		default:
 			break drain
 		}
@@ -457,18 +484,18 @@ drain:
 		// still completes.
 		var missing []int
 		for j := 1; j < r.size; j++ {
-			if byFrom[j] == nil {
+			if !r.billSeen[j] {
 				missing = append(missing, j)
 				r.tryResend(j, 0, fault.PhaseBill)
 			}
 		}
 		if len(missing) > 0 {
-			deadline := time.NewTimer(r.rec.Timeout)
+			deadline := getTimer(r.rec.Timeout)
 		regain:
 			for {
 				still := missing[:0]
 				for _, j := range missing {
-					if byFrom[j] == nil {
+					if !r.billSeen[j] {
 						still = append(still, j)
 					}
 				}
@@ -478,23 +505,24 @@ drain:
 				}
 				select {
 				case b := <-r.bills:
-					takeBill(b)
+					r.takeBill(b)
 				case <-deadline.C:
 					break regain
 				}
 			}
-			deadline.Stop()
+			putTimer(deadline)
 			for _, j := range missing {
 				r.arb.reportMissingBill(j)
 			}
 		}
 	}
-	var bills []billMsg
-	for _, b := range byFrom {
-		if b != nil {
-			bills = append(bills, *b)
+	bills := r.billList[:0]
+	for j := 0; j < r.size; j++ {
+		if r.billSeen[j] {
+			bills = append(bills, r.billSlot[j])
 		}
 	}
+	r.billList = bills
 	solutionFound := !r.corrupted.Load() && !r.arb.terminated
 	if !r.arb.terminated {
 		r.arb.settleBills(bills, solutionFound)

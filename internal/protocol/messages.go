@@ -1,52 +1,51 @@
 package protocol
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 
-	"dlsmech/internal/device"
 	"dlsmech/internal/sign"
+	"dlsmech/internal/wire"
 )
 
-// Canonical payload encodings. Every numeric commitment a processor signs is
-// encoded as tag | slot-index | IEEE-754 bits, so that (a) the same value
-// signed for the same slot is byte-identical — which is what makes the
-// contradiction check of Lemma 5.2 meaningful — and (b) a signature for one
-// slot can never be replayed for another.
+// The protocol's message vocabulary — the Phase I-IV message types and the
+// canonical slot payload encodings — lives in internal/wire, together with
+// the binary frame codec that ships these messages across a real transport.
+// The aliases below keep the runtime's call sites short; the verification
+// helpers that interpret the messages (expectSlot, verifyG,
+// arithmeticConsistent) stay here because they need the PKI and the paper's
+// arithmetic, which are protocol concerns, not encoding concerns.
+type (
+	bidMsg      = wire.Bid
+	gMsg        = wire.Alloc
+	loadMsg     = wire.Load
+	billMsg     = wire.Bill
+	proofBundle = wire.Proof
+)
 
-type slotKind byte
+type slotKind = wire.SlotKind
 
 const (
-	slotEquivBid slotKind = 'B' // w̄_i: equivalent bid of the sub-chain at i
-	slotBid      slotKind = 'W' // w_i: declared per-unit time of P_i
-	slotLoad     slotKind = 'D' // D_i: load fraction that reaches P_i
+	slotEquivBid = wire.SlotEquivBid
+	slotBid      = wire.SlotBid
+	slotLoad     = wire.SlotLoad
 )
 
-func encodeSlot(kind slotKind, index int, value float64) []byte {
-	buf := make([]byte, 4+8+8)
-	buf[0], buf[1], buf[2], buf[3] = 'S', 'L', 'T', byte(kind)
-	binary.LittleEndian.PutUint64(buf[4:], uint64(int64(index)))
-	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(value))
-	return buf
+var errBadSlot = wire.ErrBadSlot
+
+// slotPayloadSize sizes the stack buffers the hot paths encode slots into.
+const slotPayloadSize = wire.SlotSize
+
+func appendSlot(dst []byte, kind slotKind, index int, value float64) []byte {
+	return wire.AppendSlot(dst, kind, index, value)
 }
 
-var errBadSlot = errors.New("protocol: malformed slot payload")
+func encodeSlot(kind slotKind, index int, value float64) []byte {
+	return wire.EncodeSlot(kind, index, value)
+}
 
-func decodeSlot(payload []byte) (kind slotKind, index int, value float64, err error) {
-	if len(payload) != 20 || payload[0] != 'S' || payload[1] != 'L' || payload[2] != 'T' {
-		return 0, 0, 0, errBadSlot
-	}
-	kind = slotKind(payload[3])
-	switch kind {
-	case slotEquivBid, slotBid, slotLoad:
-	default:
-		return 0, 0, 0, errBadSlot
-	}
-	index = int(int64(binary.LittleEndian.Uint64(payload[4:])))
-	value = math.Float64frombits(binary.LittleEndian.Uint64(payload[12:]))
-	return kind, index, value, nil
+func decodeSlot(payload []byte) (slotKind, int, float64, error) {
+	return wire.DecodeSlot(payload)
 }
 
 // expectSlot verifies one signed slot: signature valid, signed by wantSigner,
@@ -68,47 +67,7 @@ func expectSlot(pki *sign.PKI, msg sign.Signed, wantSigner int, wantKind slotKin
 	return value, nil
 }
 
-// bidMsg is the Phase I message from P_i to P_{i-1}. An honest processor
-// sends exactly one signed equivalent bid; a contradictor sends two with
-// different values.
-type bidMsg struct {
-	from   int
-	signed []sign.Signed // dsm_i(w̄_i), one or more
-}
-
-// gMsg is the Phase II message G_i from P_{i-1} to P_i (equations
-// (4.1)-(4.2)): the signed commitments the receiver needs to validate the
-// allocation arithmetic.
-//
-//	PrevLoad  = dsm_{i-2}(D_{i-1})
-//	Load      = dsm_{i-1}(D_i)
-//	PrevEquiv = dsm_{i-2}(w̄_{i-1})
-//	PrevBid   = dsm_{i-1}(w_{i-1})
-//	EchoEquiv = dsm_{i-1}(w̄_i)   — the receiver's own Phase I bid, echoed
-//
-// For i = 1 every item is signed by the root (4.1).
-type gMsg struct {
-	to        int
-	PrevLoad  sign.Signed
-	Load      sign.Signed
-	PrevEquiv sign.Signed
-	PrevBid   sign.Signed
-	EchoEquiv sign.Signed
-}
-
-// clone deep-copies the message for use as immutable evidence.
-func (g gMsg) clone() gMsg {
-	return gMsg{
-		to:        g.to,
-		PrevLoad:  g.PrevLoad.Clone(),
-		Load:      g.Load.Clone(),
-		PrevEquiv: g.PrevEquiv.Clone(),
-		PrevBid:   g.PrevBid.Clone(),
-		EchoEquiv: g.EchoEquiv.Clone(),
-	}
-}
-
-// gValues holds the decoded and signature-checked contents of a gMsg.
+// gValues holds the decoded and signature-checked contents of a G message.
 type gValues struct {
 	PrevLoad  float64 // D_{i-1}
 	Load      float64 // D_i
@@ -120,7 +79,19 @@ type gValues struct {
 // verifyG checks authenticity, integrity and slot shape of G_i for receiver
 // i. The two "prev-prev" items are signed by i-2 (or the root for i = 1),
 // the rest by i-1.
-func verifyG(pki *sign.PKI, i int, g gMsg) (gValues, error) {
+//
+// sequential forces the one-by-one reference path; the default batches the
+// five signature checks through the PKI (see PKI.VerifyBatch) and then runs
+// the slot-shape checks against the now-memoized signatures, so a batch
+// failure still surfaces exactly the per-slot error the sequential loop
+// reports.
+func verifyG(pki *sign.PKI, i int, g gMsg, sequential bool) (gValues, error) {
+	if !sequential {
+		batch := [5]sign.Signed{g.PrevLoad, g.Load, g.PrevEquiv, g.PrevBid, g.EchoEquiv}
+		// Ignore the batch verdict: pass or fail, the per-slot loop below
+		// decides, and on a pass it runs entirely on memo hits.
+		_ = pki.VerifyBatch(batch[:])
+	}
 	signerPrevPrev := i - 2
 	if i == 1 {
 		signerPrevPrev = 0
@@ -162,45 +133,8 @@ func arithmeticConsistent(v gValues, zi float64, tol float64) error {
 	if d := math.Abs(v.PrevEquiv - hat*v.PrevBid); d > tol {
 		return fmt.Errorf("protocol: w̄ identity off by %v", d)
 	}
-	if d := math.Abs(hat*v.PrevBid - (1-hat)*(v.EchoEquiv+zi)); d > tol {
+	if d := math.Abs(hat*v.PrevBid-(1-hat)*(v.EchoEquiv+zi)); d > tol {
 		return fmt.Errorf("protocol: equal-finish identity off by %v", d)
 	}
 	return nil
-}
-
-// loadMsg is the Phase III transfer: the work amount, its Λ attestation, and
-// a corruption marker standing in for the (unmodeled) data payload. A
-// corrupted payload destroys the solution of a verifiable computation but is
-// not otherwise observable in-protocol — exactly the selfish-and-annoying
-// action of Theorem 5.2.
-type loadMsg struct {
-	amount    float64
-	att       device.Attestation
-	corrupted bool
-}
-
-// billMsg is the itemized Phase IV bill plus the proof bundle (4.12) the
-// root may audit. Total() is Q_j.
-type billMsg struct {
-	from         int
-	compensation float64 // α_j·w̃_j
-	recompense   float64 // E_j
-	bonus        float64 // B_j (an overcharger inflates this item)
-	solution     float64 // S
-	proof        proofBundle
-}
-
-// total returns the charged amount Q_j.
-func (b billMsg) total() float64 {
-	return b.compensation + b.recompense + b.bonus + b.solution
-}
-
-// proofBundle is Proof_j (4.12): everything the root needs to recompute Q_j.
-type proofBundle struct {
-	g       gMsg                // G_j (zero value for j = 0)
-	succBid sign.Signed         // dsm_{j+1}(w̄_{j+1}); zero value for j = m
-	ownBid  sign.Signed         // dsm_j(w_j)
-	meter   device.MeterReading // dsm_0(w̃_j, α̃_j)
-	att     device.Attestation  // Λ_j
-	hasSucc bool
 }

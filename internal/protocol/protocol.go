@@ -27,6 +27,16 @@
 // *verification* story: deviations are detected from signed evidence alone,
 // fines hit only deviants, and the incentives of Theorems 5.1-5.4 are
 // realized by an actual message-passing system.
+//
+// # Fast path
+//
+// Run builds everything from scratch — keys, PKI, channels — which is the
+// right semantics for one-shot experiments but pays the full ed25519 setup
+// cost every round. A Session amortizes that cost across rounds: keys, the
+// PKI's verification memo, the signers' signature memos, the Λ issuer's
+// identifier registry, channels, and every per-round scratch buffer persist,
+// so a steady-state round does arithmetic and memo lookups instead of
+// crypto. See DESIGN.md, "Wire format & signature batching".
 package protocol
 
 import (
@@ -69,6 +79,11 @@ type Params struct {
 	// retries, fines, audits). nil means obs.Nop: the disabled path is
 	// bench-pinned to add zero allocations to the round.
 	Hooks obs.Hooks
+	// SequentialVerify forces one-by-one signature verification everywhere,
+	// disabling the per-phase batched passes. It is the reference path for
+	// the batch-vs-sequential differential tests; verdicts and named
+	// deviants must be identical either way.
+	SequentialVerify bool
 }
 
 // Violation names the deviation classes of Lemma 5.1.
@@ -103,7 +118,11 @@ type Detection struct {
 	Reward    float64
 }
 
-// Stats counts protocol work for the overhead experiment (A3).
+// Stats counts protocol work for the overhead experiment (A3). The counts
+// are logical: a signature answered from a memo still counts as one
+// signature, a verification answered from the PKI memo still counts as one
+// verification — the protocol demanded the check; the memo is how it was
+// discharged.
 type Stats struct {
 	Messages      int64 // channel messages exchanged
 	Signatures    int64 // signatures produced
@@ -149,84 +168,134 @@ func (r *Result) DetectionsFor(i int) []Detection {
 	return out
 }
 
-// Run executes the protocol.
-func Run(p Params) (*Result, error) {
+// validate checks the parts of Params a Session depends on and resolves the
+// Λ unit.
+func (p *Params) validate() (unit float64, err error) {
 	if err := p.Net.Validate(); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if err := p.Cfg.Validate(); err != nil {
-		return nil, err
+		return 0, err
 	}
 	size := p.Net.Size()
 	if len(p.Profile) != size {
-		return nil, fmt.Errorf("protocol: %d behaviors for %d processors", len(p.Profile), size)
+		return 0, fmt.Errorf("protocol: %d behaviors for %d processors", len(p.Profile), size)
 	}
 	if !p.Profile[0].IsHonest() {
-		return nil, fmt.Errorf("protocol: the root is obedient; profile[0] must be honest")
+		return 0, fmt.Errorf("protocol: the root is obedient; profile[0] must be honest")
 	}
-	unit := p.LambdaUnit
+	unit = p.LambdaUnit
 	if unit == 0 {
 		unit = 1.0 / 4096
 	}
 	if !(unit > 0) || unit > 1 {
-		return nil, fmt.Errorf("protocol: invalid lambda unit %v", unit)
+		return 0, fmt.Errorf("protocol: invalid lambda unit %v", unit)
 	}
+	return unit, nil
+}
 
-	r := &runner{
-		params:  p,
-		size:    size,
-		unit:    unit,
-		pki:     sign.NewPKI(),
-		ledger:  payment.NewLedger(),
-		abort:   make(chan struct{}),
-		inj:     p.Inject,
-		rec:     p.Recovery.withDefaults(),
-		hooks:   obs.Or(p.Hooks),
-		resends: make(map[resendKey]func() bool),
-	}
-	if r.inj == nil {
-		r.inj = fault.None
-	}
-	for i := 0; i < size; i++ {
-		s := sign.NewSigner(i, p.Seed)
-		r.signers = append(r.signers, s)
-		r.pki.MustRegister(i, s.Public())
-	}
-	var err error
-	r.issuer, err = device.NewIssuer(unit, xrand.New(p.Seed^0x4c414d42 /* "LAMB" */))
+// Run executes the protocol cold: a fresh Session for a single round. For
+// repeated rounds over the same processor population, create a Session once
+// and call its Run — the steady state is more than an order of magnitude
+// faster (see README, Performance).
+func Run(p Params) (*Result, error) {
+	unit, err := p.validate()
 	if err != nil {
 		return nil, err
 	}
-	r.arb = newArbiter(r)
+	s := NewSession(p.Net.Size(), p.Seed)
+	_ = unit
+	return s.Run(p)
+}
 
-	// Channels along the chain. Buffers leave headroom for duplicated and
-	// retransmitted copies: receives are single-slot, so stray extra copies
-	// simply stay queued (idempotent delivery).
-	chanCap := 4 + r.rec.Retries
-	r.bidUp = make([]chan bidMsg, size)     // bidUp[i]: P_i -> P_{i-1}
-	r.gDown = make([]chan gMsg, size)       // gDown[i]: P_{i-1} -> P_i
-	r.loadDown = make([]chan loadMsg, size) // loadDown[i]: P_{i-1} -> P_i
-	for i := 1; i < size; i++ {
-		r.bidUp[i] = make(chan bidMsg, chanCap)
-		r.gDown[i] = make(chan gMsg, chanCap)
-		r.loadDown[i] = make(chan loadMsg, chanCap)
+// Session holds the round-invariant state of a processor population: key
+// pairs, the PKI with its verification memo, the sealed per-processor
+// meters, the Λ issuer, the chain channels, and every pooled per-round
+// scratch buffer. One Session supports any number of sequential Run calls
+// over networks of the same size; it is NOT safe for concurrent Runs.
+//
+// Keys derive from the seed given at session creation. Params.Seed of an
+// individual Run still drives that round's audit coin flips; Λ identifiers
+// continue from the issuer's stream, fresh (and previously unseen) every
+// round.
+type Session struct {
+	size int
+	seed uint64
+	r    *runner
+}
+
+// NewSession provisions keys, PKI, meters and pooled runtime state for a
+// population of `size` processors (root + m workers).
+func NewSession(size int, seed uint64) *Session {
+	r := &runner{
+		size: size,
+		pki:  sign.NewPKI(),
 	}
-	r.bills = make(chan billMsg, size*(2+r.rec.Retries))
-	r.p3done = make(chan struct{})
-	r.p3seen = make([]bool, size)
+	for i := 0; i < size; i++ {
+		s := sign.NewSigner(i, seed)
+		r.signers = append(r.signers, s)
+		r.pki.MustRegister(i, s.Public())
+		r.meters = append(r.meters, device.NewMeter(r.signers[0], i))
+	}
+	// Ledger memo strings: built once, reused by every settlement.
+	r.memoC = make([]string, size)
+	r.memoE = make([]string, size)
+	r.memoB = make([]string, size)
+	r.memoS = make([]string, size)
+	for j := 0; j < size; j++ {
+		r.memoC[j] = fmt.Sprintf("C_%d", j)
+		r.memoE[j] = fmt.Sprintf("E_%d", j)
+		r.memoB[j] = fmt.Sprintf("B_%d", j)
+		r.memoS[j] = fmt.Sprintf("S_%d", j)
+	}
 	r.procs = make([]*procState, size)
 	for i := range r.procs {
 		r.procs[i] = &procState{}
 	}
+	r.p3seen = make([]bool, size)
+	r.resendBid = make(map[resendKey]*resendEntry[bidMsg])
+	r.resendG = make(map[resendKey]*resendEntry[gMsg])
+	r.resendLoad = make(map[resendKey]*resendEntry[loadMsg])
+	r.resendBill = make(map[resendKey]*resendEntry[billMsg])
+	r.billSlot = make([]billMsg, size)
+	r.billSeen = make([]bool, size)
+	r.billList = make([]billMsg, 0, size)
+	r.arb = newArbiter(r)
+	return &Session{size: size, seed: seed, r: r}
+}
+
+// Size returns the processor population of the session.
+func (s *Session) Size() int { return s.size }
+
+// MemoStats exposes the session's amortization counters: PKI verification
+// memo hits and per-signer signature memo hits, summed.
+func (s *Session) MemoStats() (verifyHits, signHits int64) {
+	verifyHits = s.r.pki.MemoHits()
+	for _, sg := range s.r.signers {
+		signHits += sg.SignMemoHits()
+	}
+	return verifyHits, signHits
+}
+
+// Run executes one protocol round on the session's population.
+func (s *Session) Run(p Params) (*Result, error) {
+	unit, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if p.Net.Size() != s.size {
+		return nil, fmt.Errorf("protocol: session sized for %d processors, network has %d", s.size, p.Net.Size())
+	}
+	r := s.r
+	if err := r.resetRound(p, unit, s.seed); err != nil {
+		return nil, err
+	}
 
 	r.hooks.OnPhaseStart(obs.Root, obs.PhaseRound)
 	var wg sync.WaitGroup
-	for i := 0; i < size; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			r.runProcessor(i)
-		}(i)
+	wg.Add(s.size)
+	for i := 0; i < s.size; i++ {
+		go r.procMain(i, &wg)
 	}
 	wg.Wait()
 	r.auxwg.Wait() // in-flight delayed deliveries
@@ -234,6 +303,104 @@ func Run(p Params) (*Result, error) {
 	res := r.collect() // audits and settlement fire hooks too
 	r.hooks.OnPhaseEnd(obs.Root, obs.PhaseRound)
 	return res, nil
+}
+
+// procMain is the goroutine body; a plain method keeps the per-round launch
+// free of per-processor closure allocations.
+func (r *runner) procMain(i int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	r.runProcessor(i)
+}
+
+// resetRound reinitializes the runner for one round, reusing every pooled
+// structure from previous rounds.
+func (r *runner) resetRound(p Params, unit float64, seed uint64) error {
+	r.params = p
+	r.seqVerify = p.SequentialVerify
+	r.rec = p.Recovery.withDefaults()
+	r.hooks = obs.Or(p.Hooks)
+	r.inj = p.Inject
+	if r.inj == nil {
+		r.inj = fault.None
+	}
+	// The Λ issuer is unit-specific; recreate on first use or unit change,
+	// otherwise just open a fresh mint epoch.
+	if r.issuer == nil || r.unit != unit {
+		iss, err := device.NewIssuer(unit, xrand.New(seed^0x4c414d42 /* "LAMB" */))
+		if err != nil {
+			return err
+		}
+		r.issuer = iss
+		r.blockBuf = make([]device.Block, 0, int(1/unit)+1)
+	} else {
+		r.issuer.Reset()
+	}
+	r.unit = unit
+
+	// Channel capacity depends on the retry budget; (re)build when it
+	// changes, otherwise drain stragglers from the previous round.
+	chanCap := 4 + r.rec.Retries
+	if r.chanCap != chanCap {
+		r.chanCap = chanCap
+		r.bidUp = make([]chan bidMsg, r.size)     // bidUp[i]: P_i -> P_{i-1}
+		r.gDown = make([]chan gMsg, r.size)       // gDown[i]: P_{i-1} -> P_i
+		r.loadDown = make([]chan loadMsg, r.size) // loadDown[i]: P_{i-1} -> P_i
+		for i := 1; i < r.size; i++ {
+			r.bidUp[i] = make(chan bidMsg, chanCap)
+			r.gDown[i] = make(chan gMsg, chanCap)
+			r.loadDown[i] = make(chan loadMsg, chanCap)
+		}
+		r.bills = make(chan billMsg, r.size*(2+r.rec.Retries))
+	} else {
+		for i := 1; i < r.size; i++ {
+			drain(r.bidUp[i])
+			drain(r.gDown[i])
+			drain(r.loadDown[i])
+		}
+		drain(r.bills)
+	}
+
+	// Fresh per-round ledger (it escapes into the Result), sized for the
+	// typical journal: a few pay items per processor.
+	r.ledger = payment.NewLedgerSized(r.size+1, 4*r.size)
+	r.abort = make(chan struct{})
+	r.p3done = make(chan struct{})
+	r.p3count = 0
+	for i := range r.p3seen {
+		r.p3seen[i] = false
+	}
+	for _, st := range r.procs {
+		st.reset()
+	}
+	// Advance the resend generation instead of clearing the maps, so warm
+	// entry pointers survive. On the (theoretical) wrap, stale entries could
+	// alias the new generation; start the maps clean then.
+	r.roundGen++
+	if r.roundGen == 0 {
+		clear(r.resendBid)
+		clear(r.resendG)
+		clear(r.resendLoad)
+		clear(r.resendBill)
+		r.roundGen = 1
+	}
+	for i := range r.billSeen {
+		r.billSeen[i] = false
+	}
+	r.arb.reset()
+	r.corrupted.Store(false)
+	r.stats = Stats{}
+	return nil
+}
+
+// drain empties a channel of stragglers from a previous (aborted) round.
+func drain[T any](ch chan T) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
 }
 
 // procState is the per-processor scratchpad the runner (and the arbiter's
@@ -258,20 +425,38 @@ type procState struct {
 	// receivedBidMsg stores the successor's Phase I message; the arbiter
 	// can subpoena it when arbitrating an echo-mismatch claim.
 	receivedBidMsg sign.Signed
+
+	// Round-pooled arenas, preserved across reset: the Λ evidence copy and
+	// the outgoing Phase I message slice.
+	attBuf []device.Block
+	bidBuf []sign.Signed
+}
+
+// reset clears the scratchpad for a new round, keeping the pooled arenas.
+func (st *procState) reset() {
+	attBuf, bidBuf := st.attBuf, st.bidBuf
+	*st = procState{attBuf: attBuf[:0], bidBuf: bidBuf[:0]}
 }
 
 type runner struct {
-	params  Params
-	size    int
-	unit    float64
-	pki     *sign.PKI
-	signers []*sign.Signer
-	issuer  *device.Issuer
-	ledger  *payment.Ledger
-	arb     *arbiter
-	inj     fault.Injector
-	rec     RecoveryConfig
-	hooks   obs.Hooks
+	params    Params
+	size      int
+	unit      float64
+	chanCap   int
+	seqVerify bool
+	pki       *sign.PKI
+	signers   []*sign.Signer
+	meters    []*device.Meter
+	issuer    *device.Issuer
+	blockBuf  []device.Block
+	ledger    *payment.Ledger
+	arb       *arbiter
+	inj       fault.Injector
+	rec       RecoveryConfig
+	hooks     obs.Hooks
+
+	// Ledger memo strings, built once per session.
+	memoC, memoE, memoB, memoS []string
 
 	bidUp    []chan bidMsg
 	gDown    []chan gMsg
@@ -281,18 +466,35 @@ type runner struct {
 	procs []*procState
 	abort chan struct{}
 
+	// Bill-collection arenas (collect): first-bill-per-sender slots and the
+	// ordered settlement list, reused across rounds.
+	billSlot []billMsg
+	billSeen []bool
+	billList []billMsg
+
 	p3mu    sync.Mutex
 	p3count int
 	p3seen  []bool
 	p3done  chan struct{}
 
-	// resends maps (receiver, phase) to a retransmission closure registered
-	// by the sender just before its first delivery attempt. A receiver whose
-	// timer expires invokes it to request the message again; the closure
-	// re-consults the injector, so a budgeted Drop rule gets exhausted and
-	// the retransmission goes through.
-	resendMu sync.Mutex
-	resends  map[resendKey]func() bool
+	// resend{Bid,G,Load,Bill} map (receiver, phase) to the retransmission
+	// record registered by the sender just before its first delivery
+	// attempt. A receiver whose timer expires asks for the message again;
+	// the retransmission re-consults the injector, so a budgeted Drop rule
+	// gets exhausted and the retransmission goes through. One typed map per
+	// message plane keeps registration allocation-free (a closure per send
+	// was the protocol's single largest allocation source). Entries are
+	// pointers allocated on first use and generation-stamped: the keys of a
+	// population are stable, so from the second round on registration writes
+	// through warm pointers (a map assignment of a large value would re-box
+	// it every time), and a stale generation marks entries of past rounds
+	// invalid without clearing.
+	resendMu   sync.Mutex
+	roundGen   uint32
+	resendBid  map[resendKey]*resendEntry[bidMsg]
+	resendG    map[resendKey]*resendEntry[gMsg]
+	resendLoad map[resendKey]*resendEntry[loadMsg]
+	resendBill map[resendKey]*resendEntry[billMsg]
 
 	auxwg sync.WaitGroup // delayed (injected) deliveries in flight
 
@@ -305,15 +507,31 @@ type resendKey struct {
 	ph       fault.Phase
 }
 
+// resendEntry is everything a retransmission needs: the channel, the exact
+// message value of the first attempt, and the plane's corruption model. gen
+// ties the record to one round (see runner.roundGen).
+type resendEntry[T any] struct {
+	gen     uint32
+	ch      chan T
+	v       T
+	corrupt func(T) T
+}
+
 func (r *runner) behavior(i int) agent.Behavior { return r.params.Profile[i] }
 
 func (r *runner) countSign()           { atomic.AddInt64(&r.stats.Signatures, 1) }
 func (r *runner) countVerify()         { atomic.AddInt64(&r.stats.Verifications, 1) }
 func (r *runner) countVerifyN(n int64) { atomic.AddInt64(&r.stats.Verifications, n) }
 
+// signSlot signs the canonical slot payload with processor i's key. The
+// payload is built on the stack and the signature comes from the signer's
+// memo, so the steady-state cost is a map hit. The returned Signed shares
+// memo-owned slices and must be treated as immutable (fault injectors clone
+// before mutating).
 func (r *runner) signSlot(i int, kind slotKind, index int, value float64) sign.Signed {
 	r.countSign()
-	return r.signers[i].Sign(encodeSlot(kind, index, value))
+	var buf [slotPayloadSize]byte
+	return r.signers[i].SignMemo(appendSlot(buf[:0], kind, index, value))
 }
 
 // countedSend delivers v on ch unless the run has been aborted. It is the
@@ -351,13 +569,20 @@ func (r *runner) endPhase(i int) {
 }
 
 // sendMsg is the fault-aware message plane: it registers a retransmission
-// closure for the receiver's timeout path and performs the first delivery
-// attempt through the injector. corrupt, when non-nil, mutates a deep copy
-// of the message to model in-transit corruption. The return mirrors
-// countedSend: false only when the run aborted.
-func sendMsg[T any](r *runner, from, to int, ph fault.Phase, ch chan T, v T, corrupt func(T) T) bool {
+// record in the plane's typed map for the receiver's timeout path and
+// performs the first delivery attempt through the injector. corrupt, when
+// non-nil, mutates a deep copy of the message to model in-transit
+// corruption. The return mirrors countedSend: false only when the run
+// aborted.
+func sendMsg[T any](r *runner, reg map[resendKey]*resendEntry[T], from, to int, ph fault.Phase, ch chan T, v T, corrupt func(T) T) bool {
+	k := resendKey{from: from, to: to, ph: ph}
 	r.resendMu.Lock()
-	r.resends[resendKey{from: from, to: to, ph: ph}] = func() bool { return deliver(r, from, to, ph, ch, v, corrupt) }
+	e := reg[k]
+	if e == nil {
+		e = &resendEntry[T]{}
+		reg[k] = e
+	}
+	e.gen, e.ch, e.v, e.corrupt = r.roundGen, ch, v, corrupt
 	r.resendMu.Unlock()
 	return deliver(r, from, to, ph, ch, v, corrupt)
 }
@@ -374,21 +599,10 @@ func deliver[T any](r *runner, from, to int, ph fault.Phase, ch chan T, v T, cor
 		v = corrupt(v)
 	}
 	if act.Delay > 0 {
-		r.auxwg.Add(1)
-		go func() {
-			defer r.auxwg.Done()
-			t := time.NewTimer(act.Delay)
-			defer t.Stop()
-			select {
-			case <-t.C:
-			case <-r.abort:
-				return
-			}
-			countedSend(r, from, to, ph, ch, v)
-			if act.Duplicate {
-				countedSend(r, from, to, ph, ch, v)
-			}
-		}()
+		// Out of line so the closure's capture of v is paid only on delayed
+		// deliveries; inline, it would force every message of every round onto
+		// the heap (escape analysis is static, the branch is not).
+		deliverDelayed(r, from, to, ph, ch, v, act)
 		return true
 	}
 	if !countedSend(r, from, to, ph, ch, v) {
@@ -400,18 +614,83 @@ func deliver[T any](r *runner, from, to int, ph fault.Phase, ch chan T, v T, cor
 	return true
 }
 
+// deliverDelayed performs one injector-delayed delivery on a helper
+// goroutine tracked by auxwg.
+func deliverDelayed[T any](r *runner, from, to int, ph fault.Phase, ch chan T, v T, act fault.Action) {
+	r.auxwg.Add(1)
+	go func() {
+		defer r.auxwg.Done()
+		t := time.NewTimer(act.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.abort:
+			return
+		}
+		countedSend(r, from, to, ph, ch, v)
+		if act.Duplicate {
+			countedSend(r, from, to, ph, ch, v)
+		}
+	}()
+}
+
 // tryResend asks the registered sender of (from, to, ph) to retransmit. It
 // reports whether a sender had registered at all — absence means the peer
 // never reached its send (crashed earlier).
 func (r *runner) tryResend(from, to int, ph fault.Phase) bool {
+	k := resendKey{from: from, to: to, ph: ph}
+	switch ph {
+	case fault.PhaseBid:
+		return resendFrom(r, r.resendBid, k)
+	case fault.PhaseAlloc:
+		return resendFrom(r, r.resendG, k)
+	case fault.PhaseLoad:
+		return resendFrom(r, r.resendLoad, k)
+	default:
+		return resendFrom(r, r.resendBill, k)
+	}
+}
+
+func resendFrom[T any](r *runner, reg map[resendKey]*resendEntry[T], k resendKey) bool {
 	r.resendMu.Lock()
-	f := r.resends[resendKey{from: from, to: to, ph: ph}]
-	r.resendMu.Unlock()
-	if f == nil {
+	e := reg[k]
+	if e == nil || e.gen != r.roundGen {
+		r.resendMu.Unlock()
 		return false
 	}
-	f()
+	// Copy the record out before delivering: the channel send can block, and
+	// the sender may re-register concurrently.
+	ch, v, corrupt := e.ch, e.v, e.corrupt
+	r.resendMu.Unlock()
+	deliver(r, k.from, k.to, k.ph, ch, v, corrupt)
 	return true
+}
+
+// timerPool recycles timers across receives and rounds; a protocol round
+// arms one timer per receive, and time.NewTimer's allocations were a
+// measurable slice of the round's total.
+var timerPool sync.Pool
+
+// getTimer returns a running timer with duration d.
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops and recycles a timer. Safe whether or not it fired: a
+// buffered expiry left in C is drained so the next user cannot observe a
+// stale tick.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
 
 // recvScale returns the timeout multiplier for a receive by `self` in phase
@@ -455,15 +734,16 @@ func recvMsg[T any](r *runner, self, from int, ph fault.Phase, ch chan T) (T, bo
 	var zero T
 	d := r.rec.Timeout * r.recvScale(self, ph)
 	for attempt := 0; ; attempt++ {
-		t := time.NewTimer(d)
+		t := getTimer(d)
 		select {
 		case v := <-ch:
-			t.Stop()
+			putTimer(t)
 			return v, true
 		case <-r.abort:
-			t.Stop()
+			putTimer(t)
 			return zero, false
 		case <-t.C:
+			putTimer(t)
 		}
 		if attempt >= r.rec.Retries {
 			r.arb.reportDead(self, from, ph)

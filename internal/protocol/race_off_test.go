@@ -1,0 +1,8 @@
+//go:build !race
+
+package protocol
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation allocates; allocation-count assertions
+// are skipped there.
+const raceEnabled = false

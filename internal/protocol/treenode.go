@@ -30,22 +30,22 @@ func (r *treeRunner) runNode(i int) {
 		if !ok {
 			return
 		}
-		if len(bm.signed) == 0 {
+		if len(bm.Signed) == 0 {
 			r.terminate(fmt.Sprintf("P%d: empty tree bid from P%d", i, c))
 			return
 		}
-		for _, s := range bm.signed {
+		for _, s := range bm.Signed {
 			if _, err := r.expectSlot(s, c, slotEquivBid, c); err != nil {
 				r.terminate(fmt.Sprintf("P%d: inauthentic tree bid from P%d: %v", i, c, err))
 				return
 			}
 		}
-		if len(bm.signed) >= 2 && !bytes.Equal(bm.signed[0].Payload, bm.signed[1].Payload) {
-			r.reportTreeContradiction(i, c, bm.signed[0], bm.signed[1])
+		if len(bm.Signed) >= 2 && !bytes.Equal(bm.Signed[0].Payload, bm.Signed[1].Payload) {
+			r.reportTreeContradiction(i, c, bm.Signed[0], bm.Signed[1])
 			return
 		}
-		childBidMsgs[k] = bm.signed[0].Clone()
-		st.childQ[k], _ = r.expectSlot(bm.signed[0], c, slotEquivBid, c)
+		childBidMsgs[k] = bm.Signed[0].Clone()
+		st.childQ[k], _ = r.expectSlot(bm.Signed[0], c, slotEquivBid, c)
 	}
 
 	st.alpha0, st.q = 1, bid
@@ -65,7 +65,7 @@ func (r *treeRunner) runNode(i int) {
 		if b.Faults.ContradictoryBid {
 			msgs = append(msgs, r.signSlot(i, slotEquivBid, i, st.q*1.25))
 		}
-		if !treeSend(r, r.bidUp[i], bidMsg{from: i, signed: msgs}) {
+		if !treeSend(r, r.bidUp[i], bidMsg{From: i, Signed: msgs}) {
 			return
 		}
 	}
@@ -130,7 +130,7 @@ func (r *treeRunner) runNode(i int) {
 		if !ok {
 			return
 		}
-		received, att, corrupted = lm.amount, lm.att, lm.corrupted
+		received, att, corrupted = lm.Amount, lm.Att, lm.Corrupted
 	}
 	st.received = received
 
@@ -172,7 +172,7 @@ func (r *treeRunner) runNode(i int) {
 			} else {
 				chunk, rest = rest.Split(plannedFwd[k], r.unit)
 			}
-			if !treeSend(r, r.loadDown[c], loadMsg{amount: plannedFwd[k], att: chunk, corrupted: sendCorrupt}) {
+			if !treeSend(r, r.loadDown[c], loadMsg{Amount: plannedFwd[k], Att: chunk, Corrupted: sendCorrupt}) {
 				return
 			}
 		}

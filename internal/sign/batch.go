@@ -1,0 +1,81 @@
+package sign
+
+import (
+	"dlsmech/internal/parallel"
+)
+
+// VerifyBatch checks a batch of signed messages and returns nil iff every one
+// carries a valid signature from its claimed signer — the per-phase bulk
+// check of the protocol fast path.
+//
+// The batch is split into memo hits and misses under one lock acquisition.
+// When everything hits (the steady-state of a long-running session) the call
+// does no crypto at all. Misses fan out through internal/parallel, which
+// amortizes the ed25519 cost across cores where there are cores to use.
+//
+// On failure the batch result alone cannot be used as evidence — a fine needs
+// a named deviant (Lemma 5.2). So a failed batch falls back to one-by-one
+// verification in message order and returns the error of the first failing
+// message, which is exactly what a sequential Verify loop would have
+// reported. Failures are never memoized, so the re-check is a genuine
+// re-verification.
+func (p *PKI) VerifyBatch(msgs []Signed) error {
+	var stack [32]int32
+	miss := stack[:0]
+
+	p.memoMu.RLock()
+	for i := range msgs {
+		key, fixed := fixedMemoKey(msgs[i])
+		var hit bool
+		if fixed {
+			_, hit = p.memo[key]
+		} else {
+			_, hit = p.memoLong[memoKeyLong{id: msgs[i].SignerID, payload: string(msgs[i].Payload), sig: string(msgs[i].Sig)}]
+		}
+		if !hit {
+			miss = append(miss, int32(i))
+		}
+	}
+	p.memoMu.RUnlock()
+
+	if hits := len(msgs) - len(miss); hits > 0 {
+		p.memoHits.Add(int64(hits))
+	}
+	switch len(miss) {
+	case 0:
+		return nil
+	case 1:
+		return p.Verify(msgs[miss[0]])
+	}
+	// Copy the missing messages out before they cross into the fan-out
+	// closure: neither msgs nor the stack miss buffer may leak, or the
+	// caller's batch (often a stack array) escapes and the all-hits fast
+	// path stops being allocation-free.
+	missMsgs := make([]Signed, len(miss))
+	for k, i := range miss {
+		missMsgs[k] = msgs[i]
+	}
+	return p.verifyMisses(missMsgs)
+}
+
+// verifyMisses checks the memo-missing messages, given in original message
+// order.
+func (p *PKI) verifyMisses(miss []Signed) error {
+	err := parallel.ForEach(0, len(miss), func(k int) error {
+		return p.Verify(miss[k])
+	})
+	if err == nil {
+		return nil
+	}
+	// Name the deviant: sequential pass in message order. Memo hits cannot
+	// fail, so the first failing miss is the first failing message overall.
+	for _, m := range miss {
+		if err := p.Verify(m); err != nil {
+			return err
+		}
+	}
+	// The parallel pass failed but the sequential re-check passed: possible
+	// only if the caller mutated msgs concurrently, which the protocol never
+	// does. Surface the original error rather than swallow it.
+	return err
+}

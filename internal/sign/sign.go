@@ -60,10 +60,21 @@ func (s Signed) Equal(o Signed) bool {
 
 // Signer holds a processor's key pair. The private key never leaves the
 // struct; sharing it is itself a protocol violation (Lemma 5.2).
+//
+// The signer memoizes its own signatures: ed25519 is deterministic, so the
+// same payload always yields the same signature, and signing is ~25µs while
+// a map hit is nanoseconds. A processor re-signs the same slot payload many
+// times across a session's rounds (its bid, its load commitments), which is
+// what makes the memo worth carrying. Safe for concurrent use — the root's
+// key signs meter readings from every processor's goroutine.
 type Signer struct {
 	id   int
 	pub  ed25519.PublicKey
 	priv ed25519.PrivateKey
+
+	memoMu   sync.RWMutex
+	memo     map[string]Signed
+	memoHits atomic.Int64
 }
 
 // NewSigner derives a key pair for processor id deterministically from seed.
@@ -75,7 +86,12 @@ func NewSigner(id int, seed uint64) *Signer {
 	binary.LittleEndian.PutUint64(material[16:24], seed^0xdeadbeefcafebabe)
 	binary.LittleEndian.PutUint64(material[24:32], uint64(id)+0x0123456789abcdef)
 	priv := ed25519.NewKeyFromSeed(material[:])
-	return &Signer{id: id, pub: priv.Public().(ed25519.PublicKey), priv: priv}
+	return &Signer{
+		id:   id,
+		pub:  priv.Public().(ed25519.PublicKey),
+		priv: priv,
+		memo: make(map[string]Signed),
+	}
 }
 
 // ID returns the processor identity bound to this key pair.
@@ -94,6 +110,28 @@ func (s *Signer) Sign(payload []byte) Signed {
 		Sig:      ed25519.Sign(s.priv, payload),
 	}
 }
+
+// SignMemo is Sign answered from the signature memo when this payload has
+// been signed before. The returned Signed shares its Payload and Sig slices
+// with the memo: callers must treat it as immutable and Clone before any
+// mutation (the fault injectors already do).
+func (s *Signer) SignMemo(payload []byte) Signed {
+	s.memoMu.RLock()
+	cached, ok := s.memo[string(payload)]
+	s.memoMu.RUnlock()
+	if ok {
+		s.memoHits.Add(1)
+		return cached
+	}
+	signed := s.Sign(payload)
+	s.memoMu.Lock()
+	s.memo[string(signed.Payload)] = signed
+	s.memoMu.Unlock()
+	return signed
+}
+
+// SignMemoHits returns how many SignMemo calls skipped the ed25519 signing.
+func (s *Signer) SignMemoHits() int64 { return s.memoHits.Load() }
 
 // PKI is the public key infrastructure: a registry mapping processor IDs to
 // public keys. It is safe for concurrent use; the protocol runtime verifies
@@ -115,23 +153,55 @@ type PKI struct {
 
 	memoMu   sync.RWMutex
 	memo     map[memoKey]struct{}
+	memoLong map[memoKeyLong]struct{}
 	memoHits atomic.Int64
 }
 
-// memoKey identifies one successfully verified message. The byte fields are
-// stored as strings so the key is comparable; the conversions copy, which is
-// what makes the cached entry immune to later mutation of the caller's
-// slices.
+// memoMaxPayload bounds the payloads the fixed-size memo key can hold. Every
+// protocol payload fits (slots are 20 bytes, meter readings 28); anything
+// longer falls back to the string-keyed map.
+const memoMaxPayload = 96
+
+// memoKey identifies one successfully verified message without allocating:
+// the key is a fixed-size comparable value built on the stack, holding the
+// exact payload and signature bytes, so a lookup costs a map probe and
+// nothing else. Copying the bytes into the key is also what makes the cached
+// entry immune to later mutation of the caller's slices.
 type memoKey struct {
+	id      int
+	plen    uint8
+	payload [memoMaxPayload]byte
+	sig     [ed25519.SignatureSize]byte
+}
+
+// memoKeyLong is the fallback key for payloads the fixed-size key cannot
+// hold. The string conversions copy (and allocate), which is acceptable off
+// the hot path.
+type memoKeyLong struct {
 	id           int
 	payload, sig string
+}
+
+// fixedMemoKey builds the allocation-free key, reporting false when the
+// message does not fit its fixed-size fields.
+func fixedMemoKey(msg Signed) (memoKey, bool) {
+	if len(msg.Payload) > memoMaxPayload || len(msg.Sig) != ed25519.SignatureSize {
+		return memoKey{}, false
+	}
+	var k memoKey
+	k.id = msg.SignerID
+	k.plen = uint8(len(msg.Payload))
+	copy(k.payload[:], msg.Payload)
+	copy(k.sig[:], msg.Sig)
+	return k, true
 }
 
 // NewPKI returns an empty registry.
 func NewPKI() *PKI {
 	return &PKI{
-		keys: make(map[int]ed25519.PublicKey),
-		memo: make(map[memoKey]struct{}),
+		keys:     make(map[int]ed25519.PublicKey),
+		memo:     make(map[memoKey]struct{}),
+		memoLong: make(map[memoKeyLong]struct{}),
 	}
 }
 
@@ -159,14 +229,28 @@ func (p *PKI) MustRegister(id int, pub ed25519.PublicKey) {
 // Repeat verifications of a message that already passed are answered from
 // the memo without re-running ed25519.
 func (p *PKI) Verify(msg Signed) error {
-	key := memoKey{id: msg.SignerID, payload: string(msg.Payload), sig: string(msg.Sig)}
-	p.memoMu.RLock()
-	_, hit := p.memo[key]
-	p.memoMu.RUnlock()
-	if hit {
+	key, fixed := fixedMemoKey(msg)
+	if p.memoHit(msg, key, fixed) {
 		p.memoHits.Add(1)
 		return nil
 	}
+	return p.verifyAndMemoize(msg, key, fixed)
+}
+
+// memoHit reports whether msg has already verified successfully.
+func (p *PKI) memoHit(msg Signed, key memoKey, fixed bool) bool {
+	p.memoMu.RLock()
+	defer p.memoMu.RUnlock()
+	if fixed {
+		_, hit := p.memo[key]
+		return hit
+	}
+	_, hit := p.memoLong[memoKeyLong{id: msg.SignerID, payload: string(msg.Payload), sig: string(msg.Sig)}]
+	return hit
+}
+
+// verifyAndMemoize runs the full ed25519 check and records a success.
+func (p *PKI) verifyAndMemoize(msg Signed, key memoKey, fixed bool) error {
 	p.mu.RLock()
 	pub, ok := p.keys[msg.SignerID]
 	p.mu.RUnlock()
@@ -177,7 +261,11 @@ func (p *PKI) Verify(msg Signed) error {
 		return fmt.Errorf("%w: signer %d", ErrBadSignature, msg.SignerID)
 	}
 	p.memoMu.Lock()
-	p.memo[key] = struct{}{}
+	if fixed {
+		p.memo[key] = struct{}{}
+	} else {
+		p.memoLong[memoKeyLong{id: msg.SignerID, payload: string(msg.Payload), sig: string(msg.Sig)}] = struct{}{}
+	}
 	p.memoMu.Unlock()
 	return nil
 }
@@ -189,7 +277,7 @@ func (p *PKI) MemoHits() int64 { return p.memoHits.Load() }
 func (p *PKI) MemoSize() int {
 	p.memoMu.RLock()
 	defer p.memoMu.RUnlock()
-	return len(p.memo)
+	return len(p.memo) + len(p.memoLong)
 }
 
 // Known reports whether id has a registered key.

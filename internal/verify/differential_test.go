@@ -1,0 +1,99 @@
+package verify
+
+import (
+	"testing"
+	"time"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/protocol"
+)
+
+// TestBatchVerifyDifferential pins the protocol fast path against its
+// reference: for every strategy in the catalog, a round run with batched
+// signature verification must produce the same verdict — the same
+// detections, naming the same deviant with the same violation and fine — as
+// the round run with Params.SequentialVerify set. The batch pass is an
+// optimization of HOW signatures are checked; it must never change WHAT the
+// mechanism concludes (a fine needs a named deviant, Lemma 5.2).
+func TestBatchVerifyDifferential(t *testing.T) {
+	t.Parallel()
+	net, err := dlt.NewNetwork(
+		[]float64{1, 1.6, 1.2, 2.0, 1.4, 1.1},
+		[]float64{0.2, 0.15, 0.1, 0.25, 0.12},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := net.Size()
+	m := net.M()
+	cfgBase := core.DefaultConfig()
+	rec := protocol.RecoveryConfig{Timeout: 25 * time.Millisecond, Retries: 1, Backoff: 2}
+
+	for _, s := range Catalog() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			pos := deviantPos(m, s.NeedsSuccessor)
+			if pos < 0 {
+				t.Skip("needs an interior deviant")
+			}
+			cfg := cfgBase
+			if s.Expect.NeedsCertainAudit {
+				cfg.AuditProb = 1
+			}
+			p := protocol.Params{
+				Net:      net,
+				Profile:  agent.AllTruthful(size).WithDeviant(pos, s.Behavior),
+				Cfg:      cfg,
+				Seed:     41,
+				Recovery: rec,
+			}
+			if s.Inject != nil {
+				// Injectors hold mutable rule budgets (Times: 1 burns out);
+				// each run gets a fresh one or the second sees no fault.
+				p.Inject = s.Inject(p.Seed, pos)
+			}
+			batched, err := protocol.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.SequentialVerify = true
+			if s.Inject != nil {
+				p.Inject = s.Inject(p.Seed, pos)
+			}
+			sequential, err := protocol.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if batched.Completed != sequential.Completed ||
+				batched.SolutionFound != sequential.SolutionFound {
+				t.Fatalf("verdict differs: batched completed=%v solution=%v, sequential completed=%v solution=%v",
+					batched.Completed, batched.SolutionFound,
+					sequential.Completed, sequential.SolutionFound)
+			}
+			if batched.TermReason != sequential.TermReason {
+				t.Fatalf("termination reason differs:\n  batched:    %q\n  sequential: %q",
+					batched.TermReason, sequential.TermReason)
+			}
+			if len(batched.Detections) != len(sequential.Detections) {
+				t.Fatalf("detection count differs: batched %+v vs sequential %+v",
+					batched.Detections, sequential.Detections)
+			}
+			for i := range batched.Detections {
+				if batched.Detections[i] != sequential.Detections[i] {
+					t.Fatalf("detection %d differs (named deviant must be identical):\n  batched:    %+v\n  sequential: %+v",
+						i, batched.Detections[i], sequential.Detections[i])
+				}
+			}
+			for i := range batched.Utilities {
+				if batched.Utilities[i] != sequential.Utilities[i] {
+					t.Fatalf("U_%d differs: batched %v vs sequential %v",
+						i, batched.Utilities[i], sequential.Utilities[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Canonical slot payload encodings. Every numeric commitment a processor
+// signs is encoded as tag | slot-index | IEEE-754 bits, so that (a) the same
+// value signed for the same slot is byte-identical — which is what makes the
+// contradiction check of Lemma 5.2 meaningful — and (b) a signature for one
+// slot can never be replayed for another.
+
+// SlotKind tags which protocol quantity a signed slot commits to.
+type SlotKind byte
+
+// Slot kinds.
+const (
+	SlotEquivBid SlotKind = 'B' // w̄_i: equivalent bid of the sub-chain at i
+	SlotBid      SlotKind = 'W' // w_i: declared per-unit time of P_i
+	SlotLoad     SlotKind = 'D' // D_i: load fraction that reaches P_i
+)
+
+// SlotSize is the exact byte length of an encoded slot payload.
+const SlotSize = 4 + 8 + 8
+
+// ErrBadSlot reports a malformed slot payload.
+var ErrBadSlot = errors.New("wire: malformed slot payload")
+
+// AppendSlot appends the canonical slot payload to dst and returns the
+// extended slice. Encoding into a caller-owned buffer keeps the signing hot
+// path allocation-free.
+func AppendSlot(dst []byte, kind SlotKind, index int, value float64) []byte {
+	var buf [SlotSize]byte
+	buf[0], buf[1], buf[2], buf[3] = 'S', 'L', 'T', byte(kind)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(int64(index)))
+	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(value))
+	return append(dst, buf[:]...)
+}
+
+// EncodeSlot returns the canonical slot payload as a fresh slice.
+func EncodeSlot(kind SlotKind, index int, value float64) []byte {
+	return AppendSlot(make([]byte, 0, SlotSize), kind, index, value)
+}
+
+// DecodeSlot parses a slot payload. It rejects any payload that AppendSlot
+// cannot have produced.
+func DecodeSlot(payload []byte) (kind SlotKind, index int, value float64, err error) {
+	if len(payload) != SlotSize || payload[0] != 'S' || payload[1] != 'L' || payload[2] != 'T' {
+		return 0, 0, 0, ErrBadSlot
+	}
+	kind = SlotKind(payload[3])
+	switch kind {
+	case SlotEquivBid, SlotBid, SlotLoad:
+	default:
+		return 0, 0, 0, ErrBadSlot
+	}
+	index = int(int64(binary.LittleEndian.Uint64(payload[4:])))
+	value = math.Float64frombits(binary.LittleEndian.Uint64(payload[12:]))
+	return kind, index, value, nil
+}

@@ -36,7 +36,16 @@ func splitmix64(state *uint64) uint64 {
 // New returns a generator seeded from seed. Two generators constructed with
 // the same seed produce identical streams.
 func New(seed uint64) *Rand {
-	r := &Rand{}
+	r := Seeded(seed)
+	return &r
+}
+
+// Seeded returns a generator by value, producing exactly New(seed)'s stream.
+// It exists for short-lived deterministic draws on hot paths (e.g. one audit
+// coin per bill): a value held in a local does not escape to the heap, while
+// New's pointer always does.
+func Seeded(seed uint64) Rand {
+	var r Rand
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
