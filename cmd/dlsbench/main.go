@@ -26,7 +26,10 @@
 // in both regressed by more than 15% in ns/op. With -hard-ops only the named
 // ops are fatal; every other shared op is reported informationally — CI uses
 // this to gate hard on protocol_round while merely logging the sub-µs micro
-// ops, whose ns/op jitter on shared runners exceeds any real signal.
+// ops, whose ns/op jitter on shared runners exceeds any real signal. Hard
+// ops must be present in both reports: a missing key fails the comparison
+// with a diff naming the key and the report that lacks it, so a renamed or
+// silently-dropped benchmark cannot hollow out the gate.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -88,13 +92,14 @@ type runAllResult struct {
 }
 
 type benchReport struct {
-	Generated string        `json:"generated"`
-	GoVersion string        `json:"go_version"`
-	MaxProcs  int           `json:"gomaxprocs"`
-	Seed      uint64        `json:"seed"`
-	Benchtime string        `json:"benchtime"`
-	Micro     []microResult `json:"micro"`
-	RunAll    *runAllResult `json:"run_all,omitempty"`
+	Generated string             `json:"generated"`
+	GoVersion string             `json:"go_version"`
+	MaxProcs  int                `json:"gomaxprocs"`
+	Seed      uint64             `json:"seed"`
+	Benchtime string             `json:"benchtime"`
+	Micro     []microResult      `json:"micro"`
+	RunAll    *runAllResult      `json:"run_all,omitempty"`
+	Server    *serverBenchResult `json:"server,omitempty"`
 }
 
 // measure runs fn in a timed loop for roughly benchtime after one warmup
@@ -376,9 +381,16 @@ func loadReport(path string) (*benchReport, error) {
 
 // compareReports diffs every (op, m) pair present in both reports and
 // returns an error listing the ops that regressed by more than 15% in
-// ns/op. With hardOps non-empty only the named ops can fail the comparison;
-// the rest are printed informationally. Ops present in only one report are
-// skipped — the benchmark matrix is allowed to evolve.
+// ns/op. With hardOps non-empty only the named ops can fail on regression;
+// the rest are printed informationally.
+//
+// Hard ops are also presence-checked: a hard op's (op, m) keys must appear
+// in BOTH reports, and a hard op absent from both is an error outright.
+// Without the check a rename (or a benchmark that stopped running) would
+// silently empty the gate — the comparison would "pass" while comparing
+// nothing. Non-hard ops present in only one report are still allowed to
+// come and go (the matrix evolves), but each skip is printed rather than
+// swallowed.
 func compareReports(oldRep, newRep *benchReport, hardOps string) error {
 	hard := map[string]bool{}
 	for _, op := range strings.Split(hardOps, ",") {
@@ -386,17 +398,30 @@ func compareReports(oldRep, newRep *benchReport, hardOps string) error {
 			hard[op] = true
 		}
 	}
+	key := func(r microResult) string { return fmt.Sprintf("%s/m=%d", r.Op, r.M) }
 	old := make(map[string]microResult, len(oldRep.Micro))
 	for _, r := range oldRep.Micro {
-		old[fmt.Sprintf("%s/m=%d", r.Op, r.M)] = r
+		old[key(r)] = r
 	}
-	var failed []string
+	newKeys := make(map[string]bool, len(newRep.Micro))
+	hardSeen := map[string]bool{}
+
+	var failed, missing []string
 	shared := 0
 	for _, r := range newRep.Micro {
-		key := fmt.Sprintf("%s/m=%d", r.Op, r.M)
-		prev, ok := old[key]
+		k := key(r)
+		newKeys[k] = true
+		prev, ok := old[k]
 		if !ok || prev.NsPerOp <= 0 {
+			if hard[r.Op] {
+				missing = append(missing, fmt.Sprintf("%s (missing from old report)", k))
+			} else {
+				fmt.Fprintf(os.Stderr, "%-28s only in new report, skipped\n", k)
+			}
 			continue
+		}
+		if hard[r.Op] {
+			hardSeen[r.Op] = true
 		}
 		shared++
 		ratio := r.NsPerOp / prev.NsPerOp
@@ -405,13 +430,43 @@ func compareReports(oldRep, newRep *benchReport, hardOps string) error {
 		if ratio > regressionThreshold {
 			if fatalOp {
 				status = "REGRESSED"
-				failed = append(failed, key)
+				failed = append(failed, k)
 			} else {
 				status = "regressed (informational)"
 			}
 		}
 		fmt.Fprintf(os.Stderr, "%-28s %12.1f -> %12.1f ns/op  %6.2fx  %s\n",
-			key, prev.NsPerOp, r.NsPerOp, ratio, status)
+			k, prev.NsPerOp, r.NsPerOp, ratio, status)
+	}
+	for _, r := range oldRep.Micro {
+		if k := key(r); !newKeys[k] {
+			if hard[r.Op] {
+				missing = append(missing, fmt.Sprintf("%s (missing from new report)", k))
+			} else {
+				fmt.Fprintf(os.Stderr, "%-28s only in old report, skipped\n", k)
+			}
+		}
+	}
+	for op := range hard {
+		if !hardSeen[op] {
+			// Either every key of the op went missing on one side (already in
+			// missing) or the op exists in neither report — a stale -hard-ops
+			// list gating nothing.
+			hasAny := false
+			for _, r := range append(append([]microResult{}, oldRep.Micro...), newRep.Micro...) {
+				if r.Op == op {
+					hasAny = true
+					break
+				}
+			}
+			if !hasAny {
+				missing = append(missing, fmt.Sprintf("%s (absent from both reports)", op))
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("hard op keys not comparable:\n  %s", strings.Join(missing, "\n  "))
 	}
 	if shared == 0 {
 		return fmt.Errorf("no shared (op, m) pairs between the two reports")
@@ -432,6 +487,10 @@ func main() {
 	force := flag.Bool("force", false, "allow overwriting the checked-in BENCH_baseline.json")
 	compare := flag.Bool("compare", false, "compare two benchmark reports (old.json new.json) instead of benchmarking")
 	hardOps := flag.String("hard-ops", "", "with -compare: comma-separated ops that hard-fail on regression (empty = all)")
+	serverBench := flag.Bool("server", true, "include the loopback daemon benchmark (concurrent sessions over TCP)")
+	serverConns := flag.Int("server-conns", 256, "loopback benchmark concurrent sessions")
+	serverM := flag.Int("server-m", 64, "loopback benchmark strategic processors per session")
+	serverWindow := flag.Duration("server-window", 5*time.Second, "loopback benchmark measurement window")
 	var obsFlags cli.ObsFlags
 	obsFlags.Register("", "", "prom")
 	flag.Parse()
@@ -479,6 +538,22 @@ func main() {
 		Seed:      *seed,
 		Benchtime: benchtime.String(),
 		Micro:     microBenchmarks(*seed, *benchtime, hooks),
+	}
+	if *serverBench {
+		sb, err := serverBenchmark(*seed, *serverConns, *serverM, *serverWindow)
+		if err != nil {
+			fatal(err)
+		}
+		report.Server = sb
+		// The aggregate served-round cost rides in the micro matrix so the
+		// -compare gate can watch it like any other op.
+		report.Micro = append(report.Micro, microResult{
+			Op: "server_round_loopback", M: sb.M,
+			NsPerOp: sb.Seconds * 1e9 / float64(sb.Rounds),
+		})
+		fmt.Fprintf(os.Stderr,
+			"server_round_loopback: %d conns × m=%d: %.1f rounds/sec  p50 %.2fms  p99 %.2fms\n",
+			sb.Conns, sb.M, sb.RoundsPerSec, sb.P50Ms, sb.P99Ms)
 	}
 	if *runall {
 		ra, err := runAllComparison(*seed, w)

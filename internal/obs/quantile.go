@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observations in a
+// histogram snapshot, Prometheus histogram_quantile-style: the target rank
+// is located in the cumulative bucket counts and linearly interpolated
+// within the owning bucket. The lower edge of the first bucket is taken as
+// zero; a rank landing in the implicit +Inf bucket reports the highest
+// finite bound (the estimate cannot see past it). NaN when the histogram
+// is empty or q is out of range.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	type bucket struct {
+		ub  float64
+		cum int64
+	}
+	bs := make([]bucket, 0, len(hs.Buckets))
+	for key, cum := range hs.Buckets {
+		if key == "+Inf" {
+			continue
+		}
+		ub, err := strconv.ParseFloat(key, 64)
+		if err != nil {
+			continue
+		}
+		bs = append(bs, bucket{ub, cum})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].ub < bs[j].ub })
+	if len(bs) == 0 {
+		return math.NaN()
+	}
+
+	rank := q * float64(hs.Count)
+	lower, prevCum := 0.0, int64(0)
+	for _, b := range bs {
+		if float64(b.cum) >= rank {
+			in := b.cum - prevCum
+			if in <= 0 {
+				return b.ub
+			}
+			frac := (rank - float64(prevCum)) / float64(in)
+			return lower + (b.ub-lower)*frac
+		}
+		lower, prevCum = b.ub, b.cum
+	}
+	// Rank lives in the +Inf bucket: saturate at the last finite bound.
+	return bs[len(bs)-1].ub
+}

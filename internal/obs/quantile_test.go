@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 0.2, 0.4, 0.8})
+	// 10 observations in the 0.1..0.2 bucket, 10 in 0.2..0.4.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.15)
+		h.Observe(0.3)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 0.15}, // rank 5 of 20: halfway through the first occupied bucket
+		{0.5, 0.2},   // rank 10: exactly the first bucket's upper bound
+		{0.75, 0.3},  // rank 15: halfway through the second occupied bucket
+		{1.0, 0.4},
+	}
+	for _, tc := range cases {
+		if got := hs.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10})
+	empty := r.Snapshot().Histograms["lat"]
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram should report NaN")
+	}
+
+	// Everything beyond the last bound: the estimate saturates there.
+	h.Observe(100)
+	h.Observe(200)
+	hs := r.Snapshot().Histograms["lat"]
+	if got := hs.Quantile(0.99); got != 10 {
+		t.Errorf("overflowed histogram Quantile(0.99) = %v, want saturation at 10", got)
+	}
+
+	if !math.IsNaN(hs.Quantile(-0.1)) || !math.IsNaN(hs.Quantile(1.1)) {
+		t.Error("out-of-range q should report NaN")
+	}
+
+	// A value below every bound interpolates from zero.
+	r2 := NewRegistry()
+	h2 := r2.Histogram("lat", []float64{1, 10})
+	h2.Observe(0.5)
+	hs2 := r2.Snapshot().Histograms["lat"]
+	if got := hs2.Quantile(0.5); got != 0.5 {
+		t.Errorf("Quantile(0.5) = %v, want 0.5 (midpoint of [0,1))", got)
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dlsmech/internal/wire"
+)
+
+// ServerError is a typed SrvError answer surfaced to the client caller.
+type ServerError struct {
+	E wire.SrvError
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server: %s: %s (seq %d)", e.E.Code, e.E.Msg, e.E.Seq)
+}
+
+// IsServerError extracts a typed daemon error, if err is one.
+func IsServerError(err error) (*ServerError, bool) {
+	se, ok := err.(*ServerError)
+	return se, ok
+}
+
+// Client is one daemon connection driving one session. It is not safe for
+// concurrent use; open one client per concurrent session.
+type Client struct {
+	conn net.Conn
+	ack  wire.HelloAck
+	// Timeout bounds each request round-trip (0 = none).
+	Timeout time.Duration
+
+	rbuf, wbuf []byte
+}
+
+// Dial connects, performs the Hello handshake, and returns a ready client.
+func Dial(addr string, hello wire.Hello) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn, hello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient performs the Hello handshake over an existing connection
+// (which the client owns from here on). It lets tests interpose
+// fault-injecting net.Conn wrappers between client and daemon.
+func NewClient(conn net.Conn, hello wire.Hello) (*Client, error) {
+	c := &Client{conn: conn, Timeout: 30 * time.Second}
+	c.wbuf = wire.AppendHello(c.wbuf[:0], hello)
+	c.deadline()
+	if _, err := conn.Write(c.wbuf); err != nil {
+		return nil, err
+	}
+	frame, typ, err := wire.ReadFrame(conn, c.rbuf, 0)
+	c.rbuf = frame
+	if err != nil {
+		return nil, fmt.Errorf("server: handshake read: %w", err)
+	}
+	switch typ {
+	case wire.TypeHelloAck:
+		ack, _, err := wire.DecodeHelloAck(frame)
+		if err != nil {
+			return nil, err
+		}
+		c.ack = ack
+		return c, nil
+	case wire.TypeSrvError:
+		e, _, err := wire.DecodeSrvError(frame)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &ServerError{E: e}
+	default:
+		return nil, fmt.Errorf("server: handshake answered with %v frame", typ)
+	}
+}
+
+// Ack returns the daemon's session acceptance.
+func (c *Client) Ack() wire.HelloAck { return c.ack }
+
+func (c *Client) deadline() {
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+}
+
+// Round runs one round on the daemon and returns its result. A typed
+// daemon refusal comes back as *ServerError; transport failures as the
+// underlying error.
+func (c *Client) Round(rq wire.Round) (wire.RoundResult, error) {
+	c.wbuf = wire.AppendRound(c.wbuf[:0], rq)
+	c.deadline()
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return wire.RoundResult{}, err
+	}
+	for {
+		frame, typ, err := wire.ReadFrame(c.conn, c.rbuf, 0)
+		c.rbuf = frame
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return wire.RoundResult{}, fmt.Errorf("server: round read: %w", err)
+		}
+		switch typ {
+		case wire.TypeRoundResult:
+			rr, _, err := wire.DecodeRoundResult(frame)
+			if err != nil {
+				return wire.RoundResult{}, err
+			}
+			if rr.Seq != rq.Seq {
+				// A stale answer (e.g. after a client-side retry) is not ours.
+				continue
+			}
+			return rr, nil
+		case wire.TypeSrvError:
+			e, _, err := wire.DecodeSrvError(frame)
+			if err != nil {
+				return wire.RoundResult{}, err
+			}
+			return wire.RoundResult{}, &ServerError{E: e}
+		default:
+			return wire.RoundResult{}, fmt.Errorf("server: round answered with %v frame", typ)
+		}
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,140 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dlsmech/internal/fault"
+	"dlsmech/internal/server"
+	"dlsmech/internal/server/servertest"
+	"dlsmech/internal/wire"
+)
+
+// TestShutdownDrainsIdleConn: a connection parked on its frame read is
+// nudged off it so drain completes immediately, well before the read
+// deadline would have fired.
+func TestShutdownDrainsIdleConn(t *testing.T) {
+	h := servertest.Start(t, server.Config{ReadTimeout: time.Minute})
+	netw := servertest.ChainNet(3, 5)
+	c := h.Dial(t, wire.Hello{Tenant: "drain", Size: netw.Size(), Seed: 1})
+	if _, err := c.Round(servertest.RoundFor(netw, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The conn now sits idle in a read with a one-minute deadline; drain
+	// must not wait for it.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := h.S.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("drain of an idle conn took %v", d)
+	}
+	if leaks := h.Counter(server.MetricSessionLeaks); leaks != 0 {
+		t.Fatalf("%d sessions leaked", leaks)
+	}
+	if h.Gauge(server.MetricDraining) != 1 {
+		t.Fatal("draining gauge not set")
+	}
+	// The session came back to the pool before shutdown finished.
+	if h.Gauge(server.MetricSessionsActive) != 0 {
+		t.Fatal("session still checked out after drain")
+	}
+}
+
+// TestShutdownFinishesInflightRound: a round already executing when drain
+// begins runs to completion and its result reaches the client before the
+// connection closes.
+func TestShutdownFinishesInflightRound(t *testing.T) {
+	h := servertest.Start(t, server.Config{})
+	netw := servertest.ChainNet(3, 5)
+	c := h.Dial(t, wire.Hello{Tenant: "drain", Size: netw.Size(), Seed: 1})
+
+	// A drop-always fault on the bid phase forces the detector through its
+	// whole retry ladder: the round reliably takes hundreds of milliseconds,
+	// wide enough to start a drain inside it.
+	rq := servertest.RoundFor(netw, 1, 2)
+	rq.TimeoutNs = int64(50 * time.Millisecond)
+	rq.Retries = 2
+	rq.Backoff = 2
+	rq.FaultSeed = 9
+	rq.Faults = []wire.FaultRule{{
+		Kind: uint8(fault.Drop), Proc: 1, Phase: uint8(fault.PhaseBid), Prob: 1,
+	}}
+
+	type answer struct {
+		rr  wire.RoundResult
+		err error
+	}
+	got := make(chan answer, 1)
+	go func() {
+		rr, err := c.Round(rq)
+		got <- answer{rr, err}
+	}()
+
+	// Give the loopback handler time to read the frame and enter the round
+	// (the round itself holds the detector for hundreds of milliseconds, so
+	// the drain lands squarely inside it).
+	time.Sleep(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.S.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	a := <-got
+	if a.err != nil {
+		t.Fatalf("in-flight round lost to drain: %v", a.err)
+	}
+	if a.rr.Completed {
+		t.Fatal("drop-always round reported completed")
+	}
+	if served := h.Counter(server.MetricRoundsServed); served != 1 {
+		t.Fatalf("rounds served %d, want 1", served)
+	}
+	if leaks := h.Counter(server.MetricSessionLeaks); leaks != 0 {
+		t.Fatalf("%d sessions leaked", leaks)
+	}
+}
+
+// TestDrainRefusesNewConns: once draining, a connection offered to
+// ServeConn is answered with an overloaded error and closed instead of
+// being served.
+func TestDrainRefusesNewConns(t *testing.T) {
+	s := server.New(server.Config{Logf: func(string, ...any) {}})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown of an idle server: %v", err)
+	}
+
+	cliEnd, srvEnd := net.Pipe()
+	defer cliEnd.Close()
+	done := make(chan struct{})
+	go func() { defer close(done); s.ServeConn(srvEnd) }()
+
+	cliEnd.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var buf []byte
+	frame, typ, err := wire.ReadFrame(cliEnd, buf, 0)
+	if err != nil {
+		t.Fatalf("reading refusal: %v", err)
+	}
+	if typ != wire.TypeSrvError {
+		t.Fatalf("got %v frame, want SrvError", typ)
+	}
+	se, _, err := wire.DecodeSrvError(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Code != server.CodeOverloaded {
+		t.Fatalf("refusal code %q, want %q", se.Code, server.CodeOverloaded)
+	}
+	<-done
+	if got := s.Registry().Counter(server.MetricConnsRejected).Value(); got != 1 {
+		t.Fatalf("conns rejected %d, want 1", got)
+	}
+}

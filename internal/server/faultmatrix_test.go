@@ -1,0 +1,296 @@
+package server_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"dlsmech/internal/fault"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/server"
+	"dlsmech/internal/server/servertest"
+	"dlsmech/internal/wire"
+)
+
+// TestFaultMatrixOverSockets replays the protocol-plane fault matrix of
+// internal/protocol through the daemon: each case ships its fault rules in
+// the Round request, and the served outcome must (a) exactly match the
+// in-process run with the same fault plan — same completion, detections
+// and fines — and (b) show the violation class the in-process matrix
+// established for that fault. P2 is the faulty processor throughout.
+func TestFaultMatrixOverSockets(t *testing.T) {
+	const target = 2
+	cases := []struct {
+		name      string
+		rule      wire.FaultRule
+		completed bool
+		violation protocol.Violation // "" = none expected
+		fined     bool
+	}{
+		{
+			name:      "drop-once/bid-recovered",
+			rule:      wire.FaultRule{Kind: uint8(fault.Drop), Proc: target, Phase: uint8(fault.PhaseBid), Times: 1},
+			completed: true,
+		},
+		{
+			name:      "drop-always/alloc-dead-fined",
+			rule:      wire.FaultRule{Kind: uint8(fault.Drop), Proc: target, Phase: uint8(fault.PhaseAlloc)},
+			violation: protocol.ViolationUnresponsive, fined: true,
+		},
+		{
+			name:      "corrupt-sig/bid-excluded-unfined",
+			rule:      wire.FaultRule{Kind: uint8(fault.CorruptSig), Proc: target, Phase: uint8(fault.PhaseBid)},
+			violation: protocol.ViolationBadSignature, fined: false,
+		},
+		{
+			name:      "crash/load-dead-fined",
+			rule:      wire.FaultRule{Kind: uint8(fault.Crash), Proc: target, Phase: uint8(fault.PhaseLoad)},
+			violation: protocol.ViolationUnresponsive, fined: true,
+		},
+		{
+			name:      "delay/all-phases-benign",
+			rule:      wire.FaultRule{Kind: uint8(fault.Delay), Proc: target, Phase: uint8(fault.PhaseAny), Delay: int64(5 * time.Millisecond)},
+			completed: true,
+		},
+		{
+			name:      "duplicate/all-phases-benign",
+			rule:      wire.FaultRule{Kind: uint8(fault.Duplicate), Proc: target, Phase: uint8(fault.PhaseAny)},
+			completed: true,
+		},
+		{
+			name:      "stall/load-beyond-budget-dead",
+			rule:      wire.FaultRule{Kind: uint8(fault.Stall), Proc: target, Phase: uint8(fault.PhaseLoad), Delay: int64(time.Second)},
+			violation: protocol.ViolationUnresponsive, fined: true,
+		},
+	}
+
+	h := servertest.Start(t, server.Config{})
+	netw := servertest.ChainNet(3, 77) // 4 processors, like the in-process matrix
+	hello := wire.Hello{Tenant: "faults", Size: netw.Size(), Seed: 31}
+	c := h.Dial(t, hello)
+
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rq := servertest.RoundFor(netw, uint64(100+i), 31)
+			rq.FaultSeed = 31
+			rq.Faults = []wire.FaultRule{tc.rule}
+
+			got, err := c.Round(rq)
+			if err != nil {
+				t.Fatalf("served fault round: %v", err)
+			}
+
+			// (a) Exact agreement with the in-process run of the same plan.
+			params, err := server.RoundParams(hello.Size, rq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := protocol.NewSession(hello.Size, hello.Seed).Run(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := server.ResultToWire(rq.Seq, res)
+			if !bytes.Equal(wire.AppendRoundResult(nil, got), wire.AppendRoundResult(nil, want)) {
+				t.Fatalf("served fault outcome differs from in-process detector:\n tcp: %+v\n mem: %+v", got, want)
+			}
+
+			// (b) The violation class the in-process matrix established.
+			if got.Completed != tc.completed {
+				t.Fatalf("completed=%v want %v (reason %q)", got.Completed, tc.completed, got.TermReason)
+			}
+			if !got.NetZero {
+				t.Fatal("round ledger not conserved under faults")
+			}
+			if tc.violation == "" {
+				if len(got.Detections) != 0 {
+					t.Fatalf("unexpected detections %+v", got.Detections)
+				}
+				return
+			}
+			var hit *wire.DetectionRec
+			for j := range got.Detections {
+				if got.Detections[j].Offender == target {
+					hit = &got.Detections[j]
+				}
+			}
+			if hit == nil || hit.Violation != string(tc.violation) {
+				t.Fatalf("detections %+v, want %s on P%d", got.Detections, tc.violation, target)
+			}
+			if (hit.Fine > 0) != tc.fined {
+				t.Fatalf("fine=%v, want fined=%v", hit.Fine, tc.fined)
+			}
+		})
+	}
+}
+
+// TestConnCorruptedFrames: transport-layer corruption (a FaultyConn
+// flipping bytes the way internal/fault corrupts signatures in-process) is
+// detected at the frame codec, counted as a wire decode error, and the
+// connection is closed without leaking its session.
+func TestConnCorruptedFrames(t *testing.T) {
+	h := servertest.Start(t, server.Config{})
+	netw := servertest.ChainNet(4, 13)
+	hello := wire.Hello{Tenant: "corrupt", Size: netw.Size(), Seed: 5}
+
+	// A clean session first, so the pool holds a warm session the corrupt
+	// connection will check out and must give back.
+	c := h.Dial(t, hello)
+	if _, err := c.Round(servertest.RoundFor(netw, 1, 51)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	waitFor(t, "session returned", func() bool { return h.Gauge(server.MetricSessionsActive) == 0 })
+
+	// Corrupt every frame after the handshake: the Hello goes through, the
+	// Round arrives mangled.
+	raw, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &servertest.FaultyConn{
+		Conn: raw,
+		Proc: 1,
+		Inj: fault.NewPlan(1,
+			fault.Rule{Kind: fault.CorruptSig, Proc: 1, Phase: fault.PhaseAny, Times: 1, Prob: 1},
+		),
+		Phase: fault.PhaseBid,
+	}
+	// The rule fires on the very first write — the Hello itself arrives
+	// mangled and the handshake must be rejected at the codec.
+	before := h.Counter(server.MetricWireDecodeErrors)
+	if _, err := server.NewClient(fc, hello); err == nil {
+		t.Fatal("handshake over corrupting transport succeeded")
+	}
+	waitFor(t, "decode error counted", func() bool {
+		return h.Counter(server.MetricWireDecodeErrors) > before
+	})
+
+	// Now corrupt only the post-handshake traffic: handshake clean, round
+	// frame mangled.
+	raw2, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc2 := &servertest.FaultyConn{
+		Conn:  raw2,
+		Proc:  1,
+		Phase: fault.PhaseLoad,
+		Inj: fault.NewPlan(2,
+			// Fires on every PhaseLoad consultation; the handshake is sent
+			// before we flip the phase on.
+			fault.Rule{Kind: fault.CorruptSig, Proc: 1, Phase: fault.PhaseLoad},
+		),
+	}
+	fc2.Phase = fault.PhaseBid // handshake passes (no rule matches PhaseBid)
+	c2, err := server.NewClient(fc2, hello)
+	if err != nil {
+		t.Fatalf("clean handshake failed: %v", err)
+	}
+	defer c2.Close()
+	fc2.Phase = fault.PhaseLoad // now every frame is corrupted
+	before = h.Counter(server.MetricWireDecodeErrors)
+	if _, err := c2.Round(servertest.RoundFor(netw, 2, 52)); err == nil {
+		t.Fatal("corrupted round frame was served")
+	}
+	waitFor(t, "decode error counted", func() bool {
+		return h.Counter(server.MetricWireDecodeErrors) > before
+	})
+
+	// No session leaked: the corrupt connection's checkout came back.
+	waitFor(t, "sessions all returned", func() bool {
+		return h.Gauge(server.MetricSessionsActive) == 0
+	})
+	if leaks := h.Counter(server.MetricSessionLeaks); leaks != 0 {
+		t.Fatalf("%d sessions leaked", leaks)
+	}
+
+	// The pool still works: a clean client gets the warm session back.
+	c3 := h.Dial(t, hello)
+	if !c3.Ack().Pooled {
+		t.Fatal("session not reusable after corrupt connections")
+	}
+	if _, err := c3.Round(servertest.RoundFor(netw, 3, 53)); err != nil {
+		t.Fatalf("round after corrupt connections: %v", err)
+	}
+}
+
+// TestConnTruncatedFrame: a stream cut mid-frame is a decode error, not a
+// hang.
+func TestConnTruncatedFrame(t *testing.T) {
+	h := servertest.Start(t, server.Config{})
+	before := h.Counter(server.MetricWireDecodeErrors)
+
+	raw, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := wire.AppendHello(nil, wire.Hello{Tenant: "trunc", Size: 4, Seed: 1})
+	tc := &servertest.TruncatingConn{Conn: raw, N: len(frame) - 3}
+	if _, err := tc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	waitFor(t, "truncation counted", func() bool {
+		return h.Counter(server.MetricWireDecodeErrors) > before
+	})
+}
+
+// TestConnSlowLoris: a peer trickling bytes slower than the read deadline
+// is disconnected and counted as a read timeout; it never occupies a
+// session.
+func TestConnSlowLoris(t *testing.T) {
+	h := servertest.Start(t, server.Config{ReadTimeout: 150 * time.Millisecond})
+	frame := wire.AppendHello(nil, wire.Hello{Tenant: "loris", Size: 4, Seed: 1})
+
+	sent := servertest.SlowLoris(t, h.Addr, frame, 40*time.Millisecond)
+	waitFor(t, "read timeout counted", func() bool {
+		return h.Counter(server.MetricReadTimeouts) >= 1
+	})
+	if sent == len(frame) {
+		// The server may have absorbed all bytes into the socket buffer
+		// before hanging up; the timeout counter above is the real assert.
+		t.Logf("slow-loris wrote all %d bytes before disconnect", sent)
+	}
+	if h.Gauge(server.MetricSessionsActive) != 0 {
+		t.Fatal("slow-loris connection occupied a session")
+	}
+}
+
+// TestConnDroppedFrame: a frame dropped in transit leaves the server
+// waiting (and eventually timing out) rather than serving garbage; the
+// client observes its own timeout.
+func TestConnDroppedFrame(t *testing.T) {
+	h := servertest.Start(t, server.Config{ReadTimeout: 200 * time.Millisecond})
+	netw := servertest.ChainNet(4, 19)
+	hello := wire.Hello{Tenant: "drop", Size: netw.Size(), Seed: 9}
+
+	raw, err := net.Dial("tcp", h.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &servertest.FaultyConn{
+		Conn:  raw,
+		Proc:  1,
+		Phase: fault.PhaseLoad,
+		Inj: fault.NewPlan(3,
+			fault.Rule{Kind: fault.Drop, Proc: 1, Phase: fault.PhaseLoad},
+		),
+	}
+	fc.Phase = fault.PhaseBid // handshake passes
+	c, err := server.NewClient(fc, hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fc.Phase = fault.PhaseLoad // round frames vanish in transit
+	c.Timeout = 500 * time.Millisecond
+	if _, err := c.Round(servertest.RoundFor(netw, 1, 91)); err == nil {
+		t.Fatal("dropped round frame produced a result")
+	}
+	waitFor(t, "server read timeout", func() bool {
+		return h.Counter(server.MetricReadTimeouts) >= 1
+	})
+}

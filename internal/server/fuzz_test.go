@@ -1,0 +1,147 @@
+package server_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dlsmech/internal/obs"
+	"dlsmech/internal/server"
+	"dlsmech/internal/server/servertest"
+	"dlsmech/internal/wire"
+)
+
+// FuzzServerFrame feeds arbitrary bytes into the daemon's frame reader
+// over an in-memory connection. The contract: the daemon never panics,
+// never hangs, closes the connection on unframeable input, counts it as a
+// wire decode error when the stream is malformed, and leaks no session
+// regardless of where in the handshake/round state machine the garbage
+// lands.
+func FuzzServerFrame(f *testing.F) {
+	netw := servertest.ChainNet(2, 7) // size 3: valid rounds stay cheap
+	hello := wire.AppendHello(nil, wire.Hello{Tenant: "fuzz", Size: netw.Size(), Seed: 1})
+	seedRound := servertest.RoundFor(netw, 1, 2)
+	// A tiny detector budget keeps the seed admissible under the fuzz
+	// server's aggressive MaxDetectorWait (and keeps every exec fast).
+	seedRound.TimeoutNs = int64(5 * time.Millisecond)
+	round := wire.AppendRound(nil, seedRound)
+
+	f.Add([]byte{})
+	f.Add(hello)
+	f.Add(append(append([]byte{}, hello...), round...))
+	f.Add(hello[:len(hello)-2]) // truncated mid-handshake
+	f.Add(append(append([]byte{}, hello...), round[:11]...))
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n")) // wrong protocol entirely
+	huge := append([]byte{}, hello[:wire.HeaderSize]...)
+	huge[5], huge[6], huge[7], huge[8] = 0xff, 0xff, 0xff, 0x7f // 2GB body claim
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg := obs.NewRegistry()
+		s := server.New(server.Config{
+			Registry:       reg,
+			ReadTimeout:    50 * time.Millisecond,
+			MaxSessionSize: 6,
+			// Any round whose detector parameters could stall the slot is
+			// refused, which bounds each fuzz execution.
+			MaxDetectorWait:     500 * time.Millisecond,
+			MaxConcurrentRounds: 2,
+			Logf:                func(string, ...any) {},
+		})
+
+		cliEnd, srvEnd := net.Pipe()
+		served := make(chan struct{})
+		go func() {
+			defer close(served)
+			s.ServeConn(srvEnd)
+		}()
+
+		// Writer: push the fuzz bytes; a pipe write blocks until the server
+		// reads, so bound it with a deadline and give up when the server
+		// hangs up (both are fine — the assertion is about the server).
+		wrote := make(chan struct{})
+		go func() {
+			defer close(wrote)
+			cliEnd.SetWriteDeadline(time.Now().Add(500 * time.Millisecond))
+			cliEnd.Write(data)
+		}()
+		// Reader: drain whatever the server answers until it closes.
+		go func() {
+			buf := make([]byte, 4096)
+			cliEnd.SetReadDeadline(time.Now().Add(30 * time.Second))
+			for {
+				if _, err := cliEnd.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+
+		select {
+		case <-served:
+		case <-time.After(30 * time.Second):
+			t.Fatal("server hung on fuzz input")
+		}
+		<-wrote
+		cliEnd.Close()
+
+		if err := s.Close(); err != nil {
+			t.Fatalf("shutdown after fuzz input: %v", err)
+		}
+		snap := reg.Snapshot()
+		if leaks := snap.Counters[server.MetricSessionLeaks]; leaks != 0 {
+			t.Fatalf("%d sessions leaked on input %q", leaks, data)
+		}
+		if active := snap.Gauges[server.MetricSessionsActive]; active != 0 {
+			t.Fatalf("%v sessions still active after close", active)
+		}
+		// A stream that is non-empty garbage from byte 0 must be counted:
+		// either as a decode error or (if it is a valid frame prefix that
+		// simply never completes) a read timeout.
+		if len(data) > 0 {
+			if _, err := wire.Peek(data); err != nil {
+				if snap.Counters[server.MetricWireDecodeErrors] == 0 &&
+					snap.Counters[server.MetricReadTimeouts] == 0 {
+					t.Fatalf("malformed stream %q not counted", data)
+				}
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsDirect replays the fuzz seed corpus once in normal test
+// runs (go test does run seeds, but this keeps the invariants asserted
+// even if the fuzz target is filtered out).
+func TestFuzzSeedsDirect(t *testing.T) {
+	netw := servertest.ChainNet(2, 7)
+	hello := wire.AppendHello(nil, wire.Hello{Tenant: "fuzz", Size: netw.Size(), Seed: 1})
+	round := wire.AppendRound(nil, servertest.RoundFor(netw, 1, 2))
+	h := servertest.Start(t, server.Config{ReadTimeout: 250 * time.Millisecond})
+
+	for _, data := range [][]byte{
+		append(append([]byte{}, hello...), round...),
+		hello[:5],
+		[]byte("garbage garbage garbage"),
+	} {
+		conn, err := net.Dial("tcp", h.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(data)
+		// Drain until the server hangs up or goes quiet; any read error
+		// (EOF, reset, deadline) ends the exchange.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}
+	waitFor(t, "handlers to exit", func() bool {
+		return h.Gauge(server.MetricConnsActive) == 0
+	})
+	if leaks := h.Counter(server.MetricSessionLeaks); leaks != 0 {
+		t.Fatalf("%d sessions leaked", leaks)
+	}
+}

@@ -1,0 +1,252 @@
+package server_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/server"
+	"dlsmech/internal/server/servertest"
+	"dlsmech/internal/verify"
+	"dlsmech/internal/wire"
+)
+
+// roundTripRound runs one round over real TCP and asserts the served
+// result bit-identical to the in-process equivalent: a fresh session built
+// from the same (size, seed) running the same Params must produce a result
+// whose wire projection encodes to the same bytes.
+func roundTripRound(t *testing.T, c *server.Client, hello wire.Hello, rq wire.Round) wire.RoundResult {
+	t.Helper()
+	got, err := c.Round(rq)
+	if err != nil {
+		t.Fatalf("round %d over TCP: %v", rq.Seq, err)
+	}
+	params, err := server.RoundParams(hello.Size, rq)
+	if err != nil {
+		t.Fatalf("round %d params: %v", rq.Seq, err)
+	}
+	res, err := protocol.NewSession(hello.Size, hello.Seed).Run(params)
+	if err != nil {
+		t.Fatalf("round %d in-process: %v", rq.Seq, err)
+	}
+	want := server.ResultToWire(rq.Seq, res)
+	gotB := wire.AppendRoundResult(nil, got)
+	wantB := wire.AppendRoundResult(nil, want)
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("round %d: TCP result differs from in-process run:\n tcp: %+v\n mem: %+v", rq.Seq, got, want)
+	}
+	return got
+}
+
+// checkScenario replays the theorem checkers (2.1, 5.1-5.4) against the
+// scenario a served round came from.
+func checkScenario(t *testing.T, sc *verify.Scenario) {
+	t.Helper()
+	verdicts := []verify.Verdict{verify.CheckTheorem21(sc)}
+	verdicts = append(verdicts, verify.CheckTheorem51(sc)...)
+	verdicts = append(verdicts, verify.CheckTheorem52(sc), verify.CheckTheorem53(sc), verify.CheckTheorem54(sc))
+	for _, v := range verdicts {
+		if !v.Passed {
+			t.Errorf("checker %s (theorem %s, strategy %q) failed: %s %s",
+				v.Checker, v.Theorem, v.Strategy, v.Violated, v.Detail)
+		}
+	}
+}
+
+// TestLoopbackTruthfulRound: a truthful round served over TCP completes,
+// conserves money, matches the in-process run bit for bit, and its
+// scenario passes every theorem checker.
+func TestLoopbackTruthfulRound(t *testing.T) {
+	h := servertest.Start(t, server.Config{})
+	net := servertest.ChainNet(6, 42)
+	hello := wire.Hello{Tenant: "acme", Size: net.Size(), Seed: 7}
+	c := h.Dial(t, hello)
+	if c.Ack().Pooled {
+		t.Fatal("first session of a key reported as pooled")
+	}
+
+	rq := servertest.RoundFor(net, 1, 99)
+	rr := roundTripRound(t, c, hello, rq)
+	if !rr.Completed || !rr.NetZero || !rr.SolutionFound {
+		t.Fatalf("truthful round: completed=%v netZero=%v solution=%v", rr.Completed, rr.NetZero, rr.SolutionFound)
+	}
+	if len(rr.Detections) != 0 {
+		t.Fatalf("truthful round produced detections: %+v", rr.Detections)
+	}
+	if rr.Messages == 0 || rr.Signatures == 0 || rr.Verifications == 0 {
+		t.Fatalf("stats not carried over the wire: %+v", rr)
+	}
+	if !h.S.TenantLedgerNetZero("acme", 1e-6) {
+		t.Fatal("tenant ledger lost money")
+	}
+
+	checkScenario(t, &verify.Scenario{Net: net, Cfg: core.DefaultConfig(), Seed: 99})
+}
+
+// TestLoopbackDeviantRounds: two deviant rounds over TCP — an overcharger
+// caught by a certain audit, and a load-shedder caught by its successor's
+// grievance — both bit-identical to in-process runs, with fines landing on
+// the offenders.
+func TestLoopbackDeviantRounds(t *testing.T) {
+	h := servertest.Start(t, server.Config{})
+	net := servertest.ChainNet(5, 17)
+	hello := wire.Hello{Tenant: "acme", Size: net.Size(), Seed: 3}
+	c := h.Dial(t, hello)
+
+	overq := servertest.RoundFor(net, 2, 101)
+	overq.AuditProb = 1 // make the audit deterministic
+	overq.Deviants = []wire.Deviant{{Pos: 2, Spec: "overcharger:0.5"}}
+	rr := roundTripRound(t, c, hello, overq)
+	if !rr.Completed {
+		t.Fatalf("overcharger round terminated: %s", rr.TermReason)
+	}
+	assertDetection(t, rr, 2, string(protocol.ViolationOvercharge), true)
+
+	shedq := servertest.RoundFor(net, 3, 102)
+	shedq.Deviants = []wire.Deviant{{Pos: 1, Spec: "shedder:0.4"}}
+	rr = roundTripRound(t, c, hello, shedq)
+	if !rr.Completed {
+		t.Fatalf("shedder round terminated: %s", rr.TermReason)
+	}
+	assertDetection(t, rr, 1, string(protocol.ViolationOverload), true)
+
+	if !h.S.TenantLedgerNetZero("acme", 1e-5) {
+		t.Fatal("tenant ledger lost money across deviant rounds")
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func assertDetection(t *testing.T, rr wire.RoundResult, offender int, violation string, fined bool) {
+	t.Helper()
+	for _, d := range rr.Detections {
+		if d.Offender == offender && d.Violation == violation {
+			if (d.Fine > 0) != fined {
+				t.Fatalf("detection %+v: fined=%v, want %v", d, d.Fine > 0, fined)
+			}
+			return
+		}
+	}
+	t.Fatalf("no %s detection for P%d in %+v", violation, offender, rr.Detections)
+}
+
+// TestSessionReuse: a second connection with the same (tenant, size, seed)
+// gets the warm session back, and warm rounds still match cold in-process
+// runs bit for bit.
+func TestSessionReuse(t *testing.T) {
+	h := servertest.Start(t, server.Config{})
+	net := servertest.ChainNet(4, 5)
+	hello := wire.Hello{Tenant: "warm", Size: net.Size(), Seed: 11}
+
+	c1 := h.Dial(t, hello)
+	roundTripRound(t, c1, hello, servertest.RoundFor(net, 1, 201))
+	c1.Close()
+
+	// The disconnect is asynchronous; wait for the handler to return the
+	// session to the pool before reconnecting.
+	waitFor(t, "session returned to pool", func() bool {
+		return h.Gauge(server.MetricSessionsActive) == 0
+	})
+
+	c2 := h.Dial(t, hello)
+	if !c2.Ack().Pooled {
+		t.Fatal("second connection did not get the pooled session")
+	}
+	// The warm session has run a round already; its next round must still
+	// be bit-identical to a cold in-process run (the session determinism
+	// contract carried over TCP).
+	roundTripRound(t, c2, hello, servertest.RoundFor(net, 2, 202))
+
+	if created := h.Counter(server.MetricSessionsCreated); created != 1 {
+		t.Fatalf("%d sessions created, want 1", created)
+	}
+	if pooled := h.Counter(server.MetricSessionsPooled); pooled != 1 {
+		t.Fatalf("%d pooled checkouts, want 1", pooled)
+	}
+}
+
+// TestTenantIsolation: concurrent tenants get distinct sessions and
+// distinct ledgers; both conserve.
+func TestTenantIsolation(t *testing.T) {
+	h := servertest.Start(t, server.Config{})
+	net := servertest.ChainNet(4, 9)
+
+	helloA := wire.Hello{Tenant: "a", Size: net.Size(), Seed: 21}
+	helloB := wire.Hello{Tenant: "b", Size: net.Size(), Seed: 21}
+	ca := h.Dial(t, helloA)
+	cb := h.Dial(t, helloB)
+
+	done := make(chan error, 2)
+	run := func(c *server.Client, seqBase uint64) {
+		var err error
+		for i := uint64(0); i < 3 && err == nil; i++ {
+			_, err = c.Round(servertest.RoundFor(net, seqBase+i, 300+seqBase+i))
+		}
+		done <- err
+	}
+	go run(ca, 10)
+	go run(cb, 20)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent tenant rounds: %v", err)
+		}
+	}
+
+	if created := h.Counter(server.MetricSessionsCreated); created != 2 {
+		t.Fatalf("%d sessions created for two concurrent tenants, want 2", created)
+	}
+	for _, tenant := range []string{"a", "b"} {
+		if !h.S.TenantLedgerNetZero(tenant, 1e-5) {
+			t.Fatalf("tenant %s ledger lost money", tenant)
+		}
+	}
+	if leaks := h.Counter(server.MetricSessionLeaks); leaks != 0 {
+		t.Fatalf("%d session leaks", leaks)
+	}
+}
+
+// TestServerRefusals: out-of-bounds Hellos and Rounds get typed SrvError
+// answers rather than silence.
+func TestServerRefusals(t *testing.T) {
+	h := servertest.Start(t, server.Config{MaxSessionSize: 16})
+
+	if _, err := server.Dial(h.Addr, wire.Hello{Tenant: "x", Size: 64, Seed: 1}); err == nil {
+		t.Fatal("oversized session accepted")
+	} else if se, ok := server.IsServerError(err); !ok || se.E.Code != server.CodeBadHello {
+		t.Fatalf("oversized session refused with %v, want %s", err, server.CodeBadHello)
+	}
+
+	net := servertest.ChainNet(4, 3)
+	hello := wire.Hello{Tenant: "x", Size: net.Size(), Seed: 1}
+	c := h.Dial(t, hello)
+
+	bad := servertest.RoundFor(net, 1, 1)
+	bad.Deviants = []wire.Deviant{{Pos: 0, Spec: "overbid"}} // the root stays honest
+	if _, err := c.Round(bad); err == nil {
+		t.Fatal("root deviant accepted")
+	} else if se, ok := server.IsServerError(err); !ok || se.E.Code != server.CodeBadRound {
+		t.Fatalf("root deviant refused with %v, want %s", err, server.CodeBadRound)
+	}
+
+	// The connection survives a refused round; a good round still works.
+	good := servertest.RoundFor(net, 2, 2)
+	if _, err := c.Round(good); err != nil {
+		t.Fatalf("round after refusal: %v", err)
+	}
+
+	if rejected := h.Counter(server.MetricRoundsRejected); rejected != 1 {
+		t.Fatalf("rounds_rejected=%d, want 1", rejected)
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+import "dlsmech/internal/obs"
+
+// Metric names the daemon exports. The smoke job greps the scrape for the
+// wire_decode_error and session_leak substrings, so those two names are
+// load-bearing.
+const (
+	MetricConnsAccepted    = "dlsd_conns_accepted_total"
+	MetricConnsRejected    = "dlsd_conns_rejected_total"
+	MetricConnsActive      = "dlsd_conns_active"
+	MetricReadTimeouts     = "dlsd_read_timeouts_total"
+	MetricWireDecodeErrors = "dlsd_wire_decode_error_total"
+	MetricSessionLeaks     = "dlsd_session_leak_total"
+	MetricSessionsCreated  = "dlsd_sessions_created_total"
+	MetricSessionsPooled   = "dlsd_sessions_pooled_total"
+	MetricSessionsActive   = "dlsd_sessions_active"
+	MetricRoundsServed     = "dlsd_rounds_served_total"
+	MetricRoundsFailed     = "dlsd_rounds_failed_total"
+	MetricRoundsRejected   = "dlsd_rounds_rejected_total"
+	MetricRoundSeconds     = "dlsd_round_seconds"
+	MetricErrorsSent       = "dlsd_errors_sent_total"
+	MetricLedgerFailures   = "dlsd_ledger_conservation_failures_total"
+	MetricTenants          = "dlsd_tenants"
+	MetricDraining         = "dlsd_draining"
+)
+
+// RoundSecondsBuckets buckets round latencies from 100µs to 10s: a warm
+// m=64 round lands under a millisecond; fault-injected rounds with
+// detector timeouts land in the tens-to-hundreds of milliseconds.
+var RoundSecondsBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics holds the daemon's live handles; registration happens once at
+// construction so every series exists (at zero) from the first scrape.
+type metrics struct {
+	connsAccepted    *obs.Counter
+	connsRejected    *obs.Counter
+	connsActive      *obs.Gauge
+	readTimeouts     *obs.Counter
+	wireDecodeErrors *obs.Counter
+	sessionLeaks     *obs.Counter
+	sessionsCreated  *obs.Counter
+	sessionsPooled   *obs.Counter
+	sessionsActive   *obs.Gauge
+	roundsServed     *obs.Counter
+	roundsFailed     *obs.Counter
+	roundsRejected   *obs.Counter
+	roundSeconds     *obs.Histogram
+	errorsSent       *obs.Counter
+	ledgerFailures   *obs.Counter
+	tenants          *obs.Gauge
+	draining         *obs.Gauge
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		connsAccepted:    r.Counter(MetricConnsAccepted),
+		connsRejected:    r.Counter(MetricConnsRejected),
+		connsActive:      r.Gauge(MetricConnsActive),
+		readTimeouts:     r.Counter(MetricReadTimeouts),
+		wireDecodeErrors: r.Counter(MetricWireDecodeErrors),
+		sessionLeaks:     r.Counter(MetricSessionLeaks),
+		sessionsCreated:  r.Counter(MetricSessionsCreated),
+		sessionsPooled:   r.Counter(MetricSessionsPooled),
+		sessionsActive:   r.Gauge(MetricSessionsActive),
+		roundsServed:     r.Counter(MetricRoundsServed),
+		roundsFailed:     r.Counter(MetricRoundsFailed),
+		roundsRejected:   r.Counter(MetricRoundsRejected),
+		roundSeconds:     r.Histogram(MetricRoundSeconds, RoundSecondsBuckets),
+		errorsSent:       r.Counter(MetricErrorsSent),
+		ledgerFailures:   r.Counter(MetricLedgerFailures),
+		tenants:          r.Gauge(MetricTenants),
+		draining:         r.Gauge(MetricDraining),
+	}
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"dlsmech/internal/payment"
+	"dlsmech/internal/protocol"
+)
+
+// poolKey identifies one reusable session population. Seed is part of the
+// key because keys derive from it: two tenants (or two connections of one
+// tenant) asking for different seeds must not share signing keys.
+type poolKey struct {
+	tenant string
+	size   int
+	seed   uint64
+}
+
+// sessionPool checks protocol sessions out to connections, exclusively: a
+// Session is not safe for concurrent Runs, so a checked-out session is
+// invisible to every other connection until it comes back. Sessions are
+// never destroyed — the whole point is keeping the ed25519 state warm —
+// so max bounds the total ever provisioned.
+type sessionPool struct {
+	mu    sync.Mutex
+	free  map[poolKey][]*protocol.Session
+	total int
+	out   int
+	max   int
+	met   *metrics
+}
+
+func newSessionPool(max int, met *metrics) *sessionPool {
+	return &sessionPool{free: make(map[poolKey][]*protocol.Session), max: max, met: met}
+}
+
+// get checks out a warm session for the key, provisioning a fresh one when
+// none is free. pooled reports a warm hit.
+func (p *sessionPool) get(k poolKey) (sess *protocol.Session, pooled bool, err error) {
+	p.mu.Lock()
+	if free := p.free[k]; len(free) > 0 {
+		sess = free[len(free)-1]
+		p.free[k] = free[:len(free)-1]
+		p.out++
+		p.mu.Unlock()
+		p.met.sessionsPooled.Inc()
+		p.met.sessionsActive.Add(1)
+		return sess, true, nil
+	}
+	if p.total >= p.max {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("server: session limit %d reached", p.max)
+	}
+	p.total++
+	p.out++
+	p.mu.Unlock()
+
+	// Key provisioning happens outside the lock: it is the expensive part
+	// (size ed25519 keygens), and nothing below depends on pool state.
+	sess = protocol.NewSession(k.size, k.seed)
+	p.met.sessionsCreated.Inc()
+	p.met.sessionsActive.Add(1)
+	return sess, false, nil
+}
+
+// put returns a checked-out session to the free list.
+func (p *sessionPool) put(k poolKey, sess *protocol.Session) {
+	if sess == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free[k] = append(p.free[k], sess)
+	p.out--
+	p.mu.Unlock()
+	p.met.sessionsActive.Add(-1)
+}
+
+// outstanding returns the number of sessions currently checked out.
+func (p *sessionPool) outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out
+}
+
+// tenantBook keeps one cumulative ledger per tenant: every served round's
+// journal is replayed into it, so conservation (NetZero) holds across the
+// tenant's whole history, not just within single rounds. That is the
+// monotone-ledger invariant the soak suite asserts.
+type tenantBook struct {
+	mu  sync.Mutex
+	m   map[string]*tenantState
+	met *metrics
+}
+
+type tenantState struct {
+	mu     sync.Mutex
+	ledger *payment.Ledger
+	rounds int64
+}
+
+func newTenantBook(met *metrics) *tenantBook {
+	return &tenantBook{m: make(map[string]*tenantState), met: met}
+}
+
+func (b *tenantBook) state(tenant string) *tenantState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ts, ok := b.m[tenant]
+	if !ok {
+		ts = &tenantState{ledger: payment.NewLedger()}
+		b.m[tenant] = ts
+		b.met.tenants.Add(1)
+	}
+	return ts
+}
+
+// settle replays one round's journal into the tenant's cumulative ledger
+// and re-checks conservation. The replay is atomic per round (the tenant
+// lock spans the whole journal), so a concurrent NetZero never observes a
+// half-applied round.
+func (b *tenantBook) settle(tenant string, res *protocol.Result) {
+	if res.Ledger == nil {
+		return
+	}
+	ts := b.state(tenant)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, e := range res.Ledger.Journal() {
+		if err := ts.ledger.Transfer(e.From, e.To, e.Amount, e.Kind, e.Memo); err != nil {
+			b.met.ledgerFailures.Inc()
+			return
+		}
+	}
+	ts.rounds++
+	// Tolerance grows with history: each round contributes bounded float
+	// error.
+	if !ts.ledger.NetZero(netZeroTol * float64(1+ts.rounds)) {
+		b.met.ledgerFailures.Inc()
+	}
+}
+
+// netZero checks the tenant's cumulative conservation (true when the
+// tenant has no history).
+func (b *tenantBook) netZero(tenant string, tol float64) bool {
+	b.mu.Lock()
+	ts, ok := b.m[tenant]
+	b.mu.Unlock()
+	if !ok {
+		return true
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.ledger.NetZero(tol)
+}

@@ -1,0 +1,179 @@
+// Package servertest is the loopback harness for the mechanism daemon: it
+// boots a real server on an ephemeral port, hands out clients speaking
+// real wire frames, and provides fault-injecting connection wrappers
+// (corrupt, drop, duplicate, delay, truncate, slow-loris) so the test
+// suites can exercise the daemon's hostile-network behavior over actual
+// sockets.
+package servertest
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/fault"
+	"dlsmech/internal/obs"
+	"dlsmech/internal/server"
+	"dlsmech/internal/wire"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// Harness is one booted daemon plus everything a test needs to talk to it.
+type Harness struct {
+	S        *server.Server
+	Addr     string
+	Registry *obs.Registry
+}
+
+// Start boots a daemon on an ephemeral loopback port and registers its
+// shutdown with the test's cleanup.
+func Start(t testing.TB, cfg server.Config) *Harness {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := server.Listen(cfg)
+	if err != nil {
+		t.Fatalf("servertest: listen: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("servertest: shutdown: %v", err)
+		}
+	})
+	return &Harness{S: s, Addr: s.Addr().String(), Registry: cfg.Registry}
+}
+
+// Dial opens a client session against the harness.
+func (h *Harness) Dial(t testing.TB, hello wire.Hello) *server.Client {
+	t.Helper()
+	c, err := server.Dial(h.Addr, hello)
+	if err != nil {
+		t.Fatalf("servertest: dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// Counter reads one counter from the harness registry.
+func (h *Harness) Counter(name string) int64 {
+	return h.Registry.Counter(name).Value()
+}
+
+// Gauge reads one gauge from the harness registry.
+func (h *Harness) Gauge(name string) float64 {
+	return h.Registry.Gauge(name).Value()
+}
+
+// ChainNet builds a deterministic m-worker chain network.
+func ChainNet(m int, seed uint64) *dlt.Network {
+	return workload.Chain(xrand.New(seed), workload.DefaultChainSpec(m))
+}
+
+// RoundFor builds a round request for the network with the default
+// mechanism config and the fast detector budget the in-process suites use
+// (25ms base timeout, one retransmission).
+func RoundFor(n *dlt.Network, seq, seed uint64) wire.Round {
+	cfg := core.DefaultConfig()
+	return wire.Round{
+		Seq:       seq,
+		Seed:      seed,
+		W:         n.W,
+		Z:         n.Z,
+		Fine:      cfg.Fine,
+		AuditProb: cfg.AuditProb,
+		TimeoutNs: int64(25 * time.Millisecond),
+		Retries:   1,
+		Backoff:   1.5,
+	}
+}
+
+// FaultyConn wraps a client connection and consults a fault injector once
+// per written frame, mirroring at the transport layer what the protocol's
+// message plane does in-process: Drop swallows the frame, Corrupt flips a
+// body byte, Duplicate writes it twice, Delay sleeps first. Phase is
+// fixed per conn (the injector's rules select on it); reads pass through.
+type FaultyConn struct {
+	net.Conn
+	Inj   fault.Injector
+	Proc  int
+	Phase fault.Phase
+}
+
+// Write applies the injector's verdict to one outgoing frame.
+func (f *FaultyConn) Write(p []byte) (int, error) {
+	act := f.Inj.OnSend(f.Proc, f.Phase)
+	if act.Drop {
+		return len(p), nil // swallowed in transit; the caller believes it sent
+	}
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	if act.Corrupt && len(p) > 0 {
+		// Flip a magic byte: body corruption can land on bytes whose every
+		// value is a valid encoding (a seq number), but a mangled header is
+		// unframeable for any frame type — the deterministic analog of an
+		// in-transit bit flip the codec must catch.
+		q := append([]byte(nil), p...)
+		q[0] ^= 0xff
+		p = q
+	}
+	n, err := f.Conn.Write(p)
+	if err == nil && act.Duplicate {
+		f.Conn.Write(p)
+	}
+	return n, err
+}
+
+// TruncatingConn forwards only the first N bytes ever written, then
+// reports success while sending nothing — the transport-level equivalent
+// of a peer whose stream is cut mid-frame.
+type TruncatingConn struct {
+	net.Conn
+	N    int
+	sent int
+}
+
+// Write forwards at most the remaining byte budget.
+func (c *TruncatingConn) Write(p []byte) (int, error) {
+	if c.sent >= c.N {
+		return len(p), nil
+	}
+	keep := c.N - c.sent
+	if keep > len(p) {
+		keep = len(p)
+	}
+	if _, err := c.Conn.Write(p[:keep]); err != nil {
+		return 0, err
+	}
+	c.sent += keep
+	return len(p), nil
+}
+
+// SlowLoris dials the harness and trickles the given bytes at one byte
+// per interval, returning when the server hangs up (or everything was
+// written). It reports how many bytes the server accepted before closing.
+func SlowLoris(t testing.TB, addr string, data []byte, interval time.Duration) int {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("servertest: slow-loris dial: %v", err)
+	}
+	defer conn.Close()
+	for i := range data {
+		if _, err := conn.Write(data[i : i+1]); err != nil {
+			return i
+		}
+		time.Sleep(interval)
+	}
+	return len(data)
+}

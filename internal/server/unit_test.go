@@ -1,0 +1,195 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dlsmech/internal/obs"
+	"dlsmech/internal/wire"
+)
+
+// goodRound returns a round request that passes validation for size 3.
+func goodRound() wire.Round {
+	return wire.Round{
+		Seq:       1,
+		Seed:      7,
+		W:         []float64{1, 1, 1},
+		Z:         []float64{0, 0.1, 0.1},
+		Fine:      10,
+		AuditProb: 0.25,
+		TimeoutNs: int64(25 * time.Millisecond),
+		Retries:   1,
+		Backoff:   1.5,
+	}
+}
+
+func TestRoundParamsValidation(t *testing.T) {
+	const size = 3
+	if _, err := RoundParams(size, goodRound()); err != nil {
+		t.Fatalf("baseline round rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*wire.Round)
+		want string // substring of the error
+	}{
+		{"short W", func(r *wire.Round) { r.W = r.W[:2] }, "values for a session"},
+		{"long Z", func(r *wire.Round) { r.Z = append(r.Z, 1) }, "values for a session"},
+		{"bad network", func(r *wire.Round) { r.W[1] = -1 }, "bad network"},
+		{"bad config", func(r *wire.Round) { r.Fine = -5 }, "bad config"},
+		{"negative timeout", func(r *wire.Round) { r.TimeoutNs = -1 }, "timeout"},
+		{"huge timeout", func(r *wire.Round) { r.TimeoutNs = int64(time.Minute) }, "timeout"},
+		{"retries below -1", func(r *wire.Round) { r.Retries = -2 }, "retries"},
+		{"retries above cap", func(r *wire.Round) { r.Retries = maxRoundRetries + 1 }, "retries"},
+		{"negative backoff", func(r *wire.Round) { r.Backoff = -0.5 }, "backoff"},
+		{"huge backoff", func(r *wire.Round) { r.Backoff = 32 }, "backoff"},
+		{"lambda above 1", func(r *wire.Round) { r.LambdaUnit = 1.5 }, "lambda"},
+		{"deviant at root", func(r *wire.Round) {
+			r.Deviants = []wire.Deviant{{Pos: 0, Spec: "overbid:1.5"}}
+		}, "deviant position"},
+		{"deviant past end", func(r *wire.Round) {
+			r.Deviants = []wire.Deviant{{Pos: size, Spec: "overbid:1.5"}}
+		}, "deviant position"},
+		{"unknown behavior", func(r *wire.Round) {
+			r.Deviants = []wire.Deviant{{Pos: 1, Spec: "arsonist"}}
+		}, "deviant 1"},
+		{"fault kind zero", func(r *wire.Round) {
+			r.Faults = []wire.FaultRule{{Kind: 0, Proc: -1, Prob: 1}}
+		}, "unknown kind"},
+		{"fault kind past stall", func(r *wire.Round) {
+			r.Faults = []wire.FaultRule{{Kind: 8, Proc: -1, Prob: 1}}
+		}, "unknown kind"},
+		{"fault phase out of range", func(r *wire.Round) {
+			r.Faults = []wire.FaultRule{{Kind: 1, Proc: -1, Phase: 9, Prob: 1}}
+		}, "unknown phase"},
+		{"fault proc below AnyProc", func(r *wire.Round) {
+			r.Faults = []wire.FaultRule{{Kind: 1, Proc: -2, Prob: 1}}
+		}, "processor"},
+		{"fault proc past end", func(r *wire.Round) {
+			r.Faults = []wire.FaultRule{{Kind: 1, Proc: size, Prob: 1}}
+		}, "processor"},
+		{"fault prob above 1", func(r *wire.Round) {
+			r.Faults = []wire.FaultRule{{Kind: 1, Proc: -1, Prob: 1.5}}
+		}, "probability"},
+		{"fault delay above cap", func(r *wire.Round) {
+			r.Faults = []wire.FaultRule{{Kind: 2, Proc: -1, Prob: 1, Delay: int64(2 * time.Second)}}
+		}, "delay"},
+		{"fault negative budget", func(r *wire.Round) {
+			r.Faults = []wire.FaultRule{{Kind: 1, Proc: -1, Prob: 1, Times: -1}}
+		}, "budget"},
+		{"too many fault rules", func(r *wire.Round) {
+			r.Faults = make([]wire.FaultRule, maxFaultRules+1)
+			for i := range r.Faults {
+				r.Faults[i] = wire.FaultRule{Kind: 1, Proc: -1, Prob: 0.1}
+			}
+		}, "fault rules exceed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rq := goodRound()
+			tc.mut(&rq)
+			_, err := RoundParams(size, rq)
+			if err == nil {
+				t.Fatalf("round accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRoundParamsCopiesNetwork guards against the server aliasing the
+// decoded frame buffer: the frame is reused for the next read, so the
+// params must own their float slices.
+func TestRoundParamsCopiesNetwork(t *testing.T) {
+	rq := goodRound()
+	p, err := RoundParams(3, rq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq.W[0] = 99
+	rq.Z[1] = 99
+	if p.Net.W[0] == 99 || p.Net.Z[1] == 99 {
+		t.Fatal("params alias the request's slices")
+	}
+}
+
+func TestDetectorBudget(t *testing.T) {
+	cases := []struct {
+		name    string
+		size    int
+		timeout time.Duration
+		retries int
+		backoff float64
+		want    time.Duration
+	}{
+		// Zero fields take protocol defaults: 150ms, 3 retries, backoff 2
+		// (ladder weight 1+2+4+8 = 15), phase scale 4×size.
+		{"all defaults", 4, 0, 0, 0, time.Duration(float64(150*time.Millisecond) * 15 * 16)},
+		// Retries -1 means no retransmissions: a single timeout window.
+		{"no retries", 4, 25 * time.Millisecond, -1, 1.5, time.Duration(float64(25*time.Millisecond) * 16)},
+		{"fast suite", 4, 25 * time.Millisecond, 1, 1.5, time.Duration(float64(25*time.Millisecond) * 2.5 * 16)},
+		{"unit backoff", 2, 100 * time.Millisecond, 2, 1, time.Duration(float64(100*time.Millisecond) * 3 * 8)},
+	}
+	for _, tc := range cases {
+		rq := wire.Round{TimeoutNs: int64(tc.timeout), Retries: tc.retries, Backoff: tc.backoff}
+		if got := DetectorBudget(tc.size, rq); got != tc.want {
+			t.Errorf("%s: budget %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSessionPoolExclusive(t *testing.T) {
+	met := newMetrics(obs.NewRegistry())
+	p := newSessionPool(2, met)
+	k := poolKey{tenant: "t", size: 2, seed: 1}
+
+	s1, pooled, err := p.get(k)
+	if err != nil || pooled {
+		t.Fatalf("first get: pooled=%v err=%v", pooled, err)
+	}
+	// The first session is checked out: a second get for the same key must
+	// provision a fresh one, never share.
+	s2, pooled, err := p.get(k)
+	if err != nil || pooled {
+		t.Fatalf("second get: pooled=%v err=%v", pooled, err)
+	}
+	if s1 == s2 {
+		t.Fatal("pool handed the same session to two holders")
+	}
+	if p.outstanding() != 2 {
+		t.Fatalf("outstanding %d, want 2", p.outstanding())
+	}
+
+	// At the limit, a third checkout is refused rather than provisioned.
+	if _, _, err := p.get(k); err == nil {
+		t.Fatal("get beyond the session limit succeeded")
+	}
+
+	// A returned session comes back warm.
+	p.put(k, s1)
+	s3, pooled, err := p.get(k)
+	if err != nil || !pooled {
+		t.Fatalf("get after put: pooled=%v err=%v", pooled, err)
+	}
+	if s3 != s1 {
+		t.Fatal("warm checkout returned a different session")
+	}
+
+	// Different keys never share free lists.
+	p.put(k, s3)
+	other := poolKey{tenant: "t", size: 2, seed: 2}
+	if _, _, err := p.get(other); err == nil {
+		t.Fatal("distinct key provisioned past the limit") // total is still 2
+	}
+
+	if got := met.sessionsCreated.Value(); got != 2 {
+		t.Errorf("sessions created %d, want 2", got)
+	}
+	if got := met.sessionsPooled.Value(); got != 1 {
+		t.Errorf("pooled checkouts %d, want 1", got)
+	}
+}

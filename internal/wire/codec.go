@@ -55,7 +55,8 @@ func Peek(data []byte) (MsgType, error) {
 		return 0, fmt.Errorf("%w: %d", ErrBadVersion, data[3])
 	}
 	switch t := MsgType(data[4]); t {
-	case TypeBid, TypeAlloc, TypeLoad, TypeBill, TypeGrievance:
+	case TypeBid, TypeAlloc, TypeLoad, TypeBill, TypeGrievance,
+		TypeHello, TypeHelloAck, TypeRound, TypeRoundResult, TypeSrvError:
 		return t, nil
 	default:
 		return 0, fmt.Errorf("%w: 0x%02x", ErrBadType, data[4])

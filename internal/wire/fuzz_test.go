@@ -19,6 +19,11 @@ func FuzzWireRoundTrip(f *testing.F) {
 		AppendBill(nil, sampleBill()),
 		AppendBill(nil, Bill{Proof: Proof{}}),
 		AppendGrievance(nil, sampleGrievance()),
+		AppendHello(nil, sampleHello()),
+		AppendHelloAck(nil, HelloAck{SessionID: 7, Pooled: true}),
+		AppendRound(nil, sampleRound()),
+		AppendRoundResult(nil, sampleRoundResult()),
+		AppendSrvError(nil, SrvError{Seq: 3, Code: "overloaded", Msg: "try later"}),
 		[]byte("DLS"),
 		{'D', 'L', 'S', Version, byte(TypeBid), 0xff, 0xff, 0xff, 0xff},
 	}
@@ -63,6 +68,26 @@ func FuzzWireRoundTrip(f *testing.F) {
 			var m Grievance
 			m, n, decErr = DecodeGrievance(data)
 			msg, reframe = m, func() []byte { return AppendGrievance(nil, m) }
+		case TypeHello:
+			var m Hello
+			m, n, decErr = DecodeHello(data)
+			msg, reframe = m, func() []byte { return AppendHello(nil, m) }
+		case TypeHelloAck:
+			var m HelloAck
+			m, n, decErr = DecodeHelloAck(data)
+			msg, reframe = m, func() []byte { return AppendHelloAck(nil, m) }
+		case TypeRound:
+			var m Round
+			m, n, decErr = DecodeRound(data)
+			msg, reframe = m, func() []byte { return AppendRound(nil, m) }
+		case TypeRoundResult:
+			var m RoundResult
+			m, n, decErr = DecodeRoundResult(data)
+			msg, reframe = m, func() []byte { return AppendRoundResult(nil, m) }
+		case TypeSrvError:
+			var m SrvError
+			m, n, decErr = DecodeSrvError(data)
+			msg, reframe = m, func() []byte { return AppendSrvError(nil, m) }
 		}
 		if decErr != nil {
 			return

@@ -1,0 +1,410 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Service frame types: the client↔daemon vocabulary of the dlsd scheduling
+// service (internal/server). A client opens a session with Hello, then
+// drives any number of Round requests through it; the daemon answers each
+// with a RoundResult (or a SrvError). The codec rules are identical to the
+// protocol message frames: deterministic, length-prefixed, exact round-trip
+// both directions, and every count validated against the bytes actually
+// present before any allocation happens.
+const (
+	TypeHello       MsgType = 0x10 // client → server: open a mechanism session
+	TypeHelloAck    MsgType = 0x11 // server → client: session accepted
+	TypeRound       MsgType = 0x12 // client → server: run one mechanism round
+	TypeRoundResult MsgType = 0x13 // server → client: the round's outcome
+	TypeSrvError    MsgType = 0x14 // server → client: typed failure
+)
+
+// MaxTenantLen bounds the tenant identifier; longer Hellos are rejected at
+// decode time so a corrupt length can never drive a large allocation.
+const MaxTenantLen = 256
+
+// Hello opens a mechanism session: the tenant the session (and its ledger
+// and pooled protocol state) is accounted to, the processor population size
+// (m+1), and the seed the session's keys derive from. A daemon-side session
+// created from (Size, Seed) reproduces exactly what protocol.Run would with
+// Params.Seed == Seed, which is what lets the loopback harness verify
+// socket-served rounds against in-process runs bit for bit.
+type Hello struct {
+	Tenant string
+	Size   int
+	Seed   uint64
+}
+
+// HelloAck accepts a session. Pooled reports whether the daemon satisfied
+// the session from its warm pool rather than provisioning fresh keys.
+type HelloAck struct {
+	SessionID uint64
+	Pooled    bool
+}
+
+// Deviant assigns a strategic behavior to one processor of a round. Spec
+// uses the behavior[:param] syntax of internal/cli.ParseBehavior
+// ("overcharger:0.5", "shedder:0.4", ...). Position 0 (the obedient root)
+// is rejected by the daemon.
+type Deviant struct {
+	Pos  int
+	Spec string
+}
+
+// FaultRule ships one internal/fault.Rule across the wire so a client can
+// ask for message-plane and processor faults inside the served round. Kind
+// and Phase carry the fault package's enum values; Delay is nanoseconds.
+type FaultRule struct {
+	Kind  uint8
+	Proc  int
+	Phase uint8
+	Prob  float64
+	Delay int64
+	Times int
+}
+
+// Round asks the daemon to run one mechanism round on the session's
+// population. W and Z describe the true network (Z[0] must be 0 and
+// len(Z) == len(W) == the session size); Fine/AuditProb/SolutionBonus are
+// the core.Config; Seed drives the round's audit coin flips. TimeoutNs,
+// Retries and Backoff (zero = daemon defaults) tune the failure detectors;
+// Deviants and Faults inject strategic behaviors and message-plane faults,
+// with FaultSeed seeding the injector.
+type Round struct {
+	Seq           uint64
+	Seed          uint64
+	W             []float64
+	Z             []float64
+	Fine          float64
+	AuditProb     float64
+	SolutionBonus float64
+	LambdaUnit    float64
+	TimeoutNs     int64
+	Retries       int
+	Backoff       float64
+	FaultSeed     uint64
+	Deviants      []Deviant
+	Faults        []FaultRule
+}
+
+// DetectionRec is one arbitration outcome of a served round, mirroring
+// protocol.Detection.
+type DetectionRec struct {
+	Violation string
+	Offender  int
+	Reporter  int
+	Fine      float64
+	Reward    float64
+}
+
+// RoundResult reports one served round, mirroring the economically
+// meaningful fields of protocol.Result plus the ledger conservation check.
+type RoundResult struct {
+	Seq           uint64
+	Completed     bool
+	SolutionFound bool
+	NetZero       bool
+	TermReason    string
+	Bids          []float64
+	Retained      []float64
+	Utilities     []float64
+	Detections    []DetectionRec
+	Outlay        float64
+	Messages      int64
+	Signatures    int64
+	Verifications int64
+}
+
+// SrvError is the daemon's typed failure answer. Seq echoes the request
+// (0 for connection-level failures), Code is a stable machine-readable
+// token (see internal/server for the vocabulary), Msg is human-readable.
+type SrvError struct {
+	Seq  uint64
+	Code string
+	Msg  string
+}
+
+// --- string helper -----------------------------------------------------------
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// str reads a length-prefixed string, bounded by the bytes present.
+func (r *reader) str() string {
+	b := r.bytes()
+	if len(b) == 0 {
+		return ""
+	}
+	return string(b)
+}
+
+// --- float64 slice helper ----------------------------------------------------
+
+func appendF64s(dst []byte, xs []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(xs)))
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+func (r *reader) f64s() []float64 {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+8*n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+// --- Hello / HelloAck --------------------------------------------------------
+
+// AppendHello appends the framed session-open request to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst, lenAt := appendHeader(dst, TypeHello)
+	dst = appendString(dst, h.Tenant)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(h.Size)))
+	dst = binary.LittleEndian.AppendUint64(dst, h.Seed)
+	return patchLength(dst, lenAt)
+}
+
+// DecodeHello parses one framed Hello from the front of data.
+func DecodeHello(data []byte) (Hello, int, error) {
+	r, n, err := openFrame(data, TypeHello)
+	if err != nil {
+		return Hello{}, 0, err
+	}
+	h := Hello{Tenant: r.str(), Size: r.i64(), Seed: r.u64()}
+	if len(h.Tenant) > MaxTenantLen {
+		return Hello{}, 0, fmt.Errorf("wire: tenant name %d bytes exceeds %d", len(h.Tenant), MaxTenantLen)
+	}
+	if err := r.finish(); err != nil {
+		return Hello{}, 0, err
+	}
+	return h, n, nil
+}
+
+// AppendHelloAck appends the framed session acceptance to dst.
+func AppendHelloAck(dst []byte, a HelloAck) []byte {
+	dst, lenAt := appendHeader(dst, TypeHelloAck)
+	dst = binary.LittleEndian.AppendUint64(dst, a.SessionID)
+	dst = appendBool(dst, a.Pooled)
+	return patchLength(dst, lenAt)
+}
+
+// DecodeHelloAck parses one framed HelloAck from the front of data.
+func DecodeHelloAck(data []byte) (HelloAck, int, error) {
+	r, n, err := openFrame(data, TypeHelloAck)
+	if err != nil {
+		return HelloAck{}, 0, err
+	}
+	a := HelloAck{SessionID: r.u64(), Pooled: r.bool()}
+	if err := r.finish(); err != nil {
+		return HelloAck{}, 0, err
+	}
+	return a, n, nil
+}
+
+// --- Round -------------------------------------------------------------------
+
+// minDeviantSize / minFaultSize are the smallest encodings of the repeated
+// Round elements, used to validate counts before allocating.
+const (
+	minDeviantSize = 8 + 4
+	minFaultSize   = 1 + 8 + 1 + 8 + 8 + 8
+)
+
+// AppendRound appends the framed round request to dst.
+func AppendRound(dst []byte, rq Round) []byte {
+	dst, lenAt := appendHeader(dst, TypeRound)
+	dst = binary.LittleEndian.AppendUint64(dst, rq.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, rq.Seed)
+	dst = appendF64s(dst, rq.W)
+	dst = appendF64s(dst, rq.Z)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rq.Fine))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rq.AuditProb))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rq.SolutionBonus))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rq.LambdaUnit))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rq.TimeoutNs))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(rq.Retries)))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rq.Backoff))
+	dst = binary.LittleEndian.AppendUint64(dst, rq.FaultSeed)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rq.Deviants)))
+	for _, d := range rq.Deviants {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(d.Pos)))
+		dst = appendString(dst, d.Spec)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rq.Faults)))
+	for _, f := range rq.Faults {
+		dst = append(dst, f.Kind)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(f.Proc)))
+		dst = append(dst, f.Phase)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.Prob))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Delay))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(f.Times)))
+	}
+	return patchLength(dst, lenAt)
+}
+
+// DecodeRound parses one framed Round from the front of data.
+func DecodeRound(data []byte) (Round, int, error) {
+	r, n, err := openFrame(data, TypeRound)
+	if err != nil {
+		return Round{}, 0, err
+	}
+	rq := Round{
+		Seq:  r.u64(),
+		Seed: r.u64(),
+		W:    r.f64s(),
+		Z:    r.f64s(),
+	}
+	rq.Fine = r.f64()
+	rq.AuditProb = r.f64()
+	rq.SolutionBonus = r.f64()
+	rq.LambdaUnit = r.f64()
+	rq.TimeoutNs = int64(r.u64())
+	rq.Retries = r.i64()
+	rq.Backoff = r.f64()
+	rq.FaultSeed = r.u64()
+	nd := int(r.u32())
+	if r.err == nil && (nd < 0 || nd*minDeviantSize > len(r.buf)-r.off) {
+		r.fail()
+	}
+	if r.err == nil && nd > 0 {
+		rq.Deviants = make([]Deviant, nd)
+		for i := range rq.Deviants {
+			rq.Deviants[i] = Deviant{Pos: r.i64(), Spec: r.str()}
+		}
+	}
+	nf := int(r.u32())
+	if r.err == nil && (nf < 0 || nf*minFaultSize > len(r.buf)-r.off) {
+		r.fail()
+	}
+	if r.err == nil && nf > 0 {
+		rq.Faults = make([]FaultRule, nf)
+		for i := range rq.Faults {
+			rq.Faults[i] = FaultRule{
+				Kind:  r.u8(),
+				Proc:  r.i64(),
+				Phase: r.u8(),
+				Prob:  r.f64(),
+				Delay: int64(r.u64()),
+				Times: r.i64(),
+			}
+		}
+	}
+	if err := r.finish(); err != nil {
+		return Round{}, 0, err
+	}
+	return rq, n, nil
+}
+
+// --- RoundResult -------------------------------------------------------------
+
+const minDetectionSize = 4 + 8 + 8 + 8 + 8
+
+// AppendRoundResult appends the framed round outcome to dst.
+func AppendRoundResult(dst []byte, rr RoundResult) []byte {
+	dst, lenAt := appendHeader(dst, TypeRoundResult)
+	dst = binary.LittleEndian.AppendUint64(dst, rr.Seq)
+	dst = appendBool(dst, rr.Completed)
+	dst = appendBool(dst, rr.SolutionFound)
+	dst = appendBool(dst, rr.NetZero)
+	dst = appendString(dst, rr.TermReason)
+	dst = appendF64s(dst, rr.Bids)
+	dst = appendF64s(dst, rr.Retained)
+	dst = appendF64s(dst, rr.Utilities)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rr.Detections)))
+	for _, d := range rr.Detections {
+		dst = appendString(dst, d.Violation)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(d.Offender)))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(d.Reporter)))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.Fine))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.Reward))
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rr.Outlay))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rr.Messages))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rr.Signatures))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rr.Verifications))
+	return patchLength(dst, lenAt)
+}
+
+// DecodeRoundResult parses one framed RoundResult from the front of data.
+func DecodeRoundResult(data []byte) (RoundResult, int, error) {
+	r, n, err := openFrame(data, TypeRoundResult)
+	if err != nil {
+		return RoundResult{}, 0, err
+	}
+	rr := RoundResult{
+		Seq:           r.u64(),
+		Completed:     r.bool(),
+		SolutionFound: r.bool(),
+		NetZero:       r.bool(),
+		TermReason:    r.str(),
+		Bids:          r.f64s(),
+		Retained:      r.f64s(),
+		Utilities:     r.f64s(),
+	}
+	nd := int(r.u32())
+	if r.err == nil && (nd < 0 || nd*minDetectionSize > len(r.buf)-r.off) {
+		r.fail()
+	}
+	if r.err == nil && nd > 0 {
+		rr.Detections = make([]DetectionRec, nd)
+		for i := range rr.Detections {
+			rr.Detections[i] = DetectionRec{
+				Violation: r.str(),
+				Offender:  r.i64(),
+				Reporter:  r.i64(),
+				Fine:      r.f64(),
+				Reward:    r.f64(),
+			}
+		}
+	}
+	rr.Outlay = r.f64()
+	rr.Messages = int64(r.u64())
+	rr.Signatures = int64(r.u64())
+	rr.Verifications = int64(r.u64())
+	if err := r.finish(); err != nil {
+		return RoundResult{}, 0, err
+	}
+	return rr, n, nil
+}
+
+// --- SrvError ----------------------------------------------------------------
+
+// AppendSrvError appends the framed error answer to dst.
+func AppendSrvError(dst []byte, e SrvError) []byte {
+	dst, lenAt := appendHeader(dst, TypeSrvError)
+	dst = binary.LittleEndian.AppendUint64(dst, e.Seq)
+	dst = appendString(dst, e.Code)
+	dst = appendString(dst, e.Msg)
+	return patchLength(dst, lenAt)
+}
+
+// DecodeSrvError parses one framed SrvError from the front of data.
+func DecodeSrvError(data []byte) (SrvError, int, error) {
+	r, n, err := openFrame(data, TypeSrvError)
+	if err != nil {
+		return SrvError{}, 0, err
+	}
+	e := SrvError{Seq: r.u64(), Code: r.str(), Msg: r.str()}
+	if err := r.finish(); err != nil {
+		return SrvError{}, 0, err
+	}
+	return e, n, nil
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func sampleHello() Hello {
+	return Hello{Tenant: "acme-batch", Size: 9, Seed: 0xfeedface}
+}
+
+func sampleRound() Round {
+	return Round{
+		Seq:           17,
+		Seed:          0xdeadbeef,
+		W:             []float64{0, 1.5, 2.25, 3},
+		Z:             []float64{0, 0.1, 0.2, 0.3},
+		Fine:          250,
+		AuditProb:     0.25,
+		SolutionBonus: 10,
+		LambdaUnit:    1,
+		TimeoutNs:     25e6,
+		Retries:       2,
+		Backoff:       1.5,
+		FaultSeed:     99,
+		Deviants: []Deviant{
+			{Pos: 2, Spec: "overcharger:0.5"},
+			{Pos: 3, Spec: "shedder:0.4"},
+		},
+		Faults: []FaultRule{
+			{Kind: 1, Proc: 2, Phase: 1, Prob: 1, Delay: 5e6, Times: 1},
+			{Kind: 5, Proc: 3, Phase: 4, Prob: 0.5, Delay: 0, Times: -1},
+		},
+	}
+}
+
+func sampleRoundResult() RoundResult {
+	return RoundResult{
+		Seq:           17,
+		Completed:     true,
+		SolutionFound: true,
+		NetZero:       true,
+		TermReason:    "completed",
+		Bids:          []float64{0, 1.5, 2.25, 3},
+		Retained:      []float64{4, 3, 2, 1},
+		Utilities:     []float64{0, 0.5, 0.25, 0.125},
+		Detections: []DetectionRec{
+			{Violation: "overcharge", Offender: 2, Reporter: 0, Fine: 250, Reward: 0},
+		},
+		Outlay:        12.75,
+		Messages:      41,
+		Signatures:    30,
+		Verifications: 88,
+	}
+}
+
+// TestHelloTenantCap: a Hello whose tenant string exceeds MaxTenantLen is
+// rejected at decode time even though the frame itself is well formed.
+func TestHelloTenantCap(t *testing.T) {
+	long := strings.Repeat("x", MaxTenantLen+1)
+	frame := AppendHello(nil, Hello{Tenant: long, Size: 4, Seed: 1})
+	if _, _, err := DecodeHello(frame); err == nil {
+		t.Fatalf("DecodeHello accepted a %d-byte tenant", len(long))
+	}
+	ok := AppendHello(nil, Hello{Tenant: strings.Repeat("x", MaxTenantLen), Size: 4, Seed: 1})
+	if _, _, err := DecodeHello(ok); err != nil {
+		t.Fatalf("DecodeHello rejected a tenant at the cap: %v", err)
+	}
+}
+
+// TestRoundAdversarialCounts: a Round frame whose deviant/fault/float counts
+// claim more elements than the body holds must error without allocating the
+// claimed amount (the decoder validates counts against bytes present).
+func TestRoundAdversarialCounts(t *testing.T) {
+	base := AppendRound(nil, sampleRound())
+
+	// The W slice count lives right after Seq+Seed (8+8 bytes into the body).
+	countAt := headerSize + 16
+	corrupt := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(corrupt[countAt:], 0x7fffffff)
+	if _, _, err := DecodeRound(corrupt); err == nil {
+		t.Fatal("DecodeRound accepted a 2^31-element W count")
+	}
+
+	// Hunt every u32 in the body and inflate it; none may panic, and the
+	// inflated frame must either error or re-encode to the same bytes.
+	for off := headerSize; off+4 <= len(base); off++ {
+		corrupt := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(corrupt[off:], 0xffffff00)
+		m, n, err := DecodeRound(corrupt)
+		if err != nil {
+			continue
+		}
+		if re := AppendRound(nil, m); !bytes.Equal(re, corrupt[:n]) {
+			t.Fatalf("offset %d: corrupt frame decoded but did not round-trip", off)
+		}
+	}
+}
+
+// TestRoundResultAdversarialCounts mirrors the Round test for the response
+// frame's detection count.
+func TestRoundResultAdversarialCounts(t *testing.T) {
+	base := AppendRoundResult(nil, sampleRoundResult())
+	for off := headerSize; off+4 <= len(base); off++ {
+		corrupt := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(corrupt[off:], 0xfffffff0)
+		m, n, err := DecodeRoundResult(corrupt)
+		if err != nil {
+			continue
+		}
+		if re := AppendRoundResult(nil, m); !bytes.Equal(re, corrupt[:n]) {
+			t.Fatalf("offset %d: corrupt frame decoded but did not round-trip", off)
+		}
+	}
+}
+
+// TestReadFrame: the stream reader returns whole frames across arbitrary
+// read fragmentation, clean io.EOF between frames, io.ErrUnexpectedEOF
+// mid-frame, and bounds bodies by the configured cap.
+func TestReadFrame(t *testing.T) {
+	var stream []byte
+	stream = AppendHello(stream, sampleHello())
+	stream = AppendRound(stream, sampleRound())
+	stream = AppendSrvError(stream, SrvError{Seq: 1, Code: "busy", Msg: "drain"})
+
+	for _, chunk := range []int{1, 2, 3, 9, 1 << 20} {
+		r := iotest{data: stream, chunk: chunk}
+		var buf []byte
+		var types []MsgType
+		for {
+			frame, typ, err := ReadFrame(&r, buf, 0)
+			buf = frame
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("chunk %d: ReadFrame: %v", chunk, err)
+			}
+			if _, _, err := decodeAny(t, frame); err != nil {
+				t.Fatalf("chunk %d: decode %v frame: %v", chunk, typ, err)
+			}
+			types = append(types, typ)
+		}
+		want := []MsgType{TypeHello, TypeRound, TypeSrvError}
+		if len(types) != len(want) {
+			t.Fatalf("chunk %d: got %d frames, want %d", chunk, len(types), len(want))
+		}
+		for i := range want {
+			if types[i] != want[i] {
+				t.Fatalf("chunk %d: frame %d is %v, want %v", chunk, i, types[i], want[i])
+			}
+		}
+	}
+
+	// Mid-frame truncation: every cut point inside a frame must yield
+	// io.ErrUnexpectedEOF (or a header error), never a clean EOF.
+	frame := AppendRound(nil, sampleRound())
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(frame[:cut]), nil, 0)
+		if err == nil || err == io.EOF {
+			t.Fatalf("cut %d: ReadFrame returned %v, want mid-frame error", cut, err)
+		}
+	}
+
+	// Oversized announcement: header claims a body beyond the cap.
+	big := append([]byte(nil), frame[:headerSize]...)
+	binary.LittleEndian.PutUint32(big[5:], 1<<30)
+	_, _, err := ReadFrame(bytes.NewReader(big), nil, 1<<20)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame on 1GB announcement: %v, want ErrFrameTooLarge", err)
+	}
+
+	// Garbage header: wrong magic.
+	garbage := []byte("XXXXXXXXXXXXXXXX")
+	if _, _, err := ReadFrame(bytes.NewReader(garbage), nil, 0); err == nil {
+		t.Fatal("ReadFrame accepted garbage header")
+	}
+
+	// Unknown type byte.
+	unk := append([]byte(nil), frame[:headerSize]...)
+	unk[4] = 0x7f
+	if _, _, err := ReadFrame(bytes.NewReader(unk), nil, 0); !errors.Is(err, ErrBadType) {
+		t.Fatalf("ReadFrame on unknown type: %v, want ErrBadType", err)
+	}
+}
+
+// iotest hands out at most chunk bytes per Read, forcing ReadFrame through
+// its io.ReadFull reassembly paths.
+type iotest struct {
+	data  []byte
+	off   int
+	chunk int
+}
+
+func (r *iotest) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(r.data)-r.off {
+		n = len(r.data) - r.off
+	}
+	copy(p, r.data[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}

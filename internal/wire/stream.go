@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// HeaderSize is the fixed frame header length: magic "DLS" + version +
+// type + 4-byte little-endian body length.
+const HeaderSize = headerSize
+
+// DefaultMaxBody is the frame body cap ReadFrame applies when the caller
+// passes maxBody <= 0. Service frames scale with the session size (a
+// RoundResult at m=4096 is ~100KB of float slices); 4MB leaves two orders
+// of magnitude of headroom while still bounding what a hostile peer can
+// make a reader allocate.
+const DefaultMaxBody = 4 << 20
+
+// ErrFrameTooLarge is returned by ReadFrame when the header announces a
+// body larger than the configured cap.
+var ErrFrameTooLarge = fmt.Errorf("wire: frame body exceeds cap")
+
+// ReadFrame reads exactly one frame from r into buf (grown as needed) and
+// returns the full frame bytes (header + body) ready for the Decode*
+// functions, plus the frame's message type.
+//
+// The header is validated before the body is read, so a corrupt length can
+// never drive an allocation beyond maxBody. Errors are sticky stream
+// errors: a header that fails validation, a short read, or an oversized
+// announcement all mean the stream is unframeable and the connection
+// should be closed. io.EOF is returned untouched when the stream ends
+// cleanly between frames (and io.ErrUnexpectedEOF mid-frame).
+func ReadFrame(r io.Reader, buf []byte, maxBody int) ([]byte, MsgType, error) {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBody
+	}
+	if cap(buf) < headerSize {
+		buf = make([]byte, headerSize, 1024)
+	}
+	buf = buf[:headerSize]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, 0, err
+	}
+	t, err := Peek(buf)
+	if err != nil {
+		return buf, 0, err
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(buf[5:]))
+	if bodyLen < 0 || bodyLen > maxBody {
+		return buf, 0, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, bodyLen, maxBody)
+	}
+	total := headerSize + bodyLen
+	if cap(buf) < total {
+		grown := make([]byte, total)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(r, buf[headerSize:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, 0, err
+	}
+	return buf, t, nil
+}

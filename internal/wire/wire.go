@@ -59,6 +59,16 @@ func (t MsgType) String() string {
 		return "bill"
 	case TypeGrievance:
 		return "grievance"
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "hello-ack"
+	case TypeRound:
+		return "round"
+	case TypeRoundResult:
+		return "round-result"
+	case TypeSrvError:
+		return "srv-error"
 	default:
 		return "unknown"
 	}

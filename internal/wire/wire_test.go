@@ -82,6 +82,16 @@ func encodeAny(t *testing.T, msg interface{}) []byte {
 		return AppendBill(nil, m)
 	case Grievance:
 		return AppendGrievance(nil, m)
+	case Hello:
+		return AppendHello(nil, m)
+	case HelloAck:
+		return AppendHelloAck(nil, m)
+	case Round:
+		return AppendRound(nil, m)
+	case RoundResult:
+		return AppendRoundResult(nil, m)
+	case SrvError:
+		return AppendSrvError(nil, m)
 	}
 	t.Fatalf("unsupported %T", msg)
 	return nil
@@ -105,6 +115,16 @@ func decodeAny(t *testing.T, data []byte) (interface{}, int, error) {
 		return firstErr(DecodeBill(data))
 	case TypeGrievance:
 		return firstErr(DecodeGrievance(data))
+	case TypeHello:
+		return firstErr(DecodeHello(data))
+	case TypeHelloAck:
+		return firstErr(DecodeHelloAck(data))
+	case TypeRound:
+		return firstErr(DecodeRound(data))
+	case TypeRoundResult:
+		return firstErr(DecodeRoundResult(data))
+	case TypeSrvError:
+		return firstErr(DecodeSrvError(data))
 	}
 	t.Fatalf("unsupported type %v", typ)
 	return nil, 0, nil
@@ -115,14 +135,23 @@ func firstErr[T any](v T, n int, err error) (interface{}, int, error) { return v
 func allSamples() []interface{} {
 	return []interface{}{
 		sampleBid(),
-		Bid{From: 0},                 // zero signatures
+		Bid{From: 0}, // zero signatures
 		sampleAlloc(),
-		Alloc{To: 1},                 // zero-value signeds
+		Alloc{To: 1}, // zero-value signeds
 		sampleLoad(),
-		Load{},                       // empty attestation
+		Load{}, // empty attestation
 		sampleBill(),
 		Bill{From: 0, Proof: Proof{}}, // root's bill: no G, no successor
 		sampleGrievance(),
+		sampleHello(),
+		Hello{}, // empty tenant
+		HelloAck{SessionID: 42, Pooled: true},
+		sampleRound(),
+		Round{Seq: 1}, // no network, no deviants, no faults
+		sampleRoundResult(),
+		RoundResult{Seq: 9, TermReason: "terminated"},
+		SrvError{Seq: 2, Code: "overloaded", Msg: "round slots exhausted"},
+		SrvError{},
 	}
 }
 
