@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -48,19 +49,37 @@ type connState struct {
 	mu      sync.Mutex
 	inRound bool
 	closed  bool
+	nudged  bool
 
 	wbuf []byte // response frame scratch, reused across writes
 }
 
 // nudge kicks an idle connection off its blocking read so drain can
 // proceed; a connection mid-round is left alone (it finishes, writes its
-// result, and exits on its own when it observes draining).
+// result, and exits on its own when it observes draining). The flag stays
+// set so a handler racing past its Draining() check cannot re-extend the
+// deadline afterwards (see armRead).
 func (cs *connState) nudge() {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	cs.nudged = true
 	if !cs.inRound && !cs.closed {
 		cs.conn.SetReadDeadline(time.Now())
 	}
+}
+
+// armRead sets the per-frame read deadline, unless drain's nudge has
+// already fired — then the immediate deadline is preserved so the next
+// ReadFrame returns at once instead of blocking for the full ReadTimeout
+// (which would delay graceful drain to the ctx budget and get the
+// connection severed rather than drained).
+func (cs *connState) armRead(d time.Duration) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.nudged || cs.closed {
+		return
+	}
+	cs.conn.SetReadDeadline(time.Now().Add(d))
 }
 
 func (cs *connState) setInRound(v bool) {
@@ -116,7 +135,7 @@ func (s *Server) handleConn(cs *connState) {
 			cs.writeError(s, 0, CodeDraining, "server shutting down")
 			return
 		}
-		cs.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		cs.armRead(s.cfg.ReadTimeout)
 		frame, typ, err := wire.ReadFrame(cs.conn, rbuf, s.cfg.MaxBody)
 		rbuf = frame
 		if err != nil {
@@ -140,7 +159,7 @@ func (s *Server) handleConn(cs *connState) {
 
 // handshake reads and validates the Hello frame.
 func (s *Server) handshake(cs *connState) (wire.Hello, bool) {
-	cs.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	cs.armRead(s.cfg.ReadTimeout)
 	frame, typ, err := wire.ReadFrame(cs.conn, nil, s.cfg.MaxBody)
 	if err != nil {
 		s.countReadError(err)
@@ -318,7 +337,11 @@ func DetectorBudget(size int, rq wire.Round) time.Duration {
 		retries = 0
 	}
 	backoff := rq.Backoff
-	if backoff == 0 {
+	if backoff < 1 {
+		// Mirror protocol.RecoveryConfig.withDefaults exactly: any backoff
+		// below 1 runs with the default of 2, so budgeting a fractional
+		// backoff with its shrinking geometric sum would undercount the
+		// real ladder by up to ~2^retries.
 		backoff = 2
 	}
 	sum, w := 0.0, 1.0
@@ -326,7 +349,15 @@ func DetectorBudget(size int, rq wire.Round) time.Duration {
 		sum += w
 		w *= backoff
 	}
-	return time.Duration(float64(t) * sum * float64(4*size))
+	// Admissible extremes (10s timeout, 16 retries, backoff 16) overflow
+	// int64 nanoseconds, and a wrapped-negative Duration would slip past
+	// the MaxDetectorWait gate. Compare in the float domain and saturate:
+	// a saturated budget exceeds any configurable MaxDetectorWait.
+	f := float64(t) * sum * float64(4*size)
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return time.Duration(f)
 }
 
 // roundInjector builds the fault plan a round request ships, if any.

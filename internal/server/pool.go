@@ -116,21 +116,36 @@ func (b *tenantBook) state(tenant string) *tenantState {
 }
 
 // settle replays one round's journal into the tenant's cumulative ledger
-// and re-checks conservation. The replay is atomic per round (the tenant
-// lock spans the whole journal), so a concurrent NetZero never observes a
-// half-applied round.
+// and re-checks conservation.
 func (b *tenantBook) settle(tenant string, res *protocol.Result) {
 	if res.Ledger == nil {
 		return
 	}
-	ts := b.state(tenant)
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	for _, e := range res.Ledger.Journal() {
-		if err := ts.ledger.Transfer(e.From, e.To, e.Amount, e.Kind, e.Memo); err != nil {
+	b.settleJournal(tenant, res.Ledger.Journal())
+}
+
+// settleJournal applies one round's journal atomically: the whole journal
+// is first replayed into a scratch ledger, so a bad entry rejects the
+// round without touching the cumulative ledger — a half-applied round
+// would break the tenant's NetZero invariant for every later check, not
+// just the bad round. The tenant lock spans the merge, so a concurrent
+// NetZero never observes a partial round either.
+func (b *tenantBook) settleJournal(tenant string, journal []payment.Entry) {
+	scratch := payment.NewLedgerSized(0, len(journal))
+	for _, e := range journal {
+		if err := scratch.Transfer(e.From, e.To, e.Amount, e.Kind, e.Memo); err != nil {
 			b.met.ledgerFailures.Inc()
 			return
 		}
+	}
+	ts := b.state(tenant)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, e := range journal {
+		// Cannot fail: Transfer validates only the entry itself (amount
+		// domain, self-transfer), and every entry just passed on the
+		// scratch ledger.
+		ts.ledger.Transfer(e.From, e.To, e.Amount, e.Kind, e.Memo)
 	}
 	ts.rounds++
 	// Tolerance grows with history: each round contributes bounded float

@@ -1,11 +1,15 @@
 package server
 
 import (
+	"errors"
+	"math"
+	"net"
 	"strings"
 	"testing"
 	"time"
 
 	"dlsmech/internal/obs"
+	"dlsmech/internal/payment"
 	"dlsmech/internal/wire"
 )
 
@@ -133,12 +137,88 @@ func TestDetectorBudget(t *testing.T) {
 		{"no retries", 4, 25 * time.Millisecond, -1, 1.5, time.Duration(float64(25*time.Millisecond) * 16)},
 		{"fast suite", 4, 25 * time.Millisecond, 1, 1.5, time.Duration(float64(25*time.Millisecond) * 2.5 * 16)},
 		{"unit backoff", 2, 100 * time.Millisecond, 2, 1, time.Duration(float64(100*time.Millisecond) * 3 * 8)},
+		// A backoff in (0,1) runs with the protocol default of 2
+		// (RecoveryConfig.withDefaults replaces any backoff < 1), so it must
+		// be budgeted with that ladder: retries 2 gives weight 1+2+4 = 7,
+		// not the shrinking 1+0.5+0.25 sum.
+		{"fractional backoff defaulted", 2, 100 * time.Millisecond, 2, 0.5, time.Duration(float64(100*time.Millisecond) * 7 * 8)},
+		// Admissible extremes (all pass RoundParams) overflow int64
+		// nanoseconds; the budget must saturate positive, never wrap
+		// negative past the MaxDetectorWait gate.
+		{"admissible extremes saturate", 512, 10 * time.Second, 16, 16, math.MaxInt64},
 	}
 	for _, tc := range cases {
 		rq := wire.Round{TimeoutNs: int64(tc.timeout), Retries: tc.retries, Backoff: tc.backoff}
 		if got := DetectorBudget(tc.size, rq); got != tc.want {
 			t.Errorf("%s: budget %v, want %v", tc.name, got, tc.want)
 		}
+	}
+}
+
+// TestSettleJournalAtomic guards per-round atomicity: a journal with one
+// invalid entry must be refused whole, leaving the cumulative ledger
+// untouched — a half-applied round would break the tenant's NetZero
+// invariant for every later round, not just the bad one.
+func TestSettleJournalAtomic(t *testing.T) {
+	met := newMetrics(obs.NewRegistry())
+	b := newTenantBook(met)
+
+	bad := []payment.Entry{
+		{From: payment.Mechanism, To: 1, Amount: 5, Kind: payment.KindCompensation},
+		{From: 1, To: 1, Amount: 1, Kind: payment.KindAdjustment}, // self-transfer: invalid
+	}
+	b.settleJournal("t", bad)
+	if got := met.ledgerFailures.Value(); got != 1 {
+		t.Fatalf("ledger failures %d, want 1", got)
+	}
+	ts := b.state("t")
+	if ts.rounds != 0 || ts.ledger.Balance(1) != 0 {
+		t.Fatalf("bad round half-applied: rounds=%d balance=%v", ts.rounds, ts.ledger.Balance(1))
+	}
+
+	// A later good round for the same tenant settles normally.
+	good := []payment.Entry{
+		{From: payment.Mechanism, To: 1, Amount: 5, Kind: payment.KindCompensation},
+		{From: 1, To: payment.Mechanism, Amount: 2, Kind: payment.KindFine},
+	}
+	b.settleJournal("t", good)
+	if got := met.ledgerFailures.Value(); got != 1 {
+		t.Fatalf("good round counted a ledger failure: %d", got)
+	}
+	if got := ts.ledger.Balance(1); got != 3 {
+		t.Fatalf("balance %v, want 3", got)
+	}
+	if !b.netZero("t", 1e-9) {
+		t.Fatal("cumulative ledger not net-zero after good round")
+	}
+}
+
+// TestArmReadPreservesNudge covers the drain race: when Shutdown's nudge
+// fires between a handler's Draining() check and its deadline arm, the
+// nudged (immediate) deadline must win — the next read returns at once
+// instead of blocking for the full ReadTimeout.
+func TestArmReadPreservesNudge(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+
+	cs := &connState{conn: c1}
+	cs.nudge()
+	cs.armRead(time.Hour) // the losing side of the race: must not extend
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c1.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("read returned %v, want timeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read blocked past the nudged deadline")
 	}
 }
 
