@@ -90,3 +90,39 @@ func TestCompareReportsSoftKeysMayEvolve(t *testing.T) {
 		t.Fatalf("evolving soft matrix failed the gate: %v", err)
 	}
 }
+
+// The procs axis is part of the comparison key: the same op at different
+// GOMAXPROCS must diff against itself, and a hard op that loses one procs
+// point fails the presence check.
+func TestCompareReportsProcsKeyed(t *testing.T) {
+	old := report(
+		microResult{Op: "verify_batch", M: 16384, Procs: 1, NsPerOp: 4000},
+		microResult{Op: "verify_batch", M: 16384, Procs: 8, NsPerOp: 900},
+	)
+	next := report(
+		microResult{Op: "verify_batch", M: 16384, Procs: 1, NsPerOp: 4100},
+		microResult{Op: "verify_batch", M: 16384, Procs: 8, NsPerOp: 2000}, // parallel path regressed
+	)
+	err := compareReports(old, next, "verify_batch")
+	if err == nil || !strings.Contains(err.Error(), "verify_batch/m=16384/p=8") {
+		t.Fatalf("want p=8 regression, got: %v", err)
+	}
+	lost := report(microResult{Op: "verify_batch", M: 16384, Procs: 1, NsPerOp: 4000})
+	err = compareReports(old, lost, "verify_batch")
+	if err == nil || !strings.Contains(err.Error(), "verify_batch/m=16384/p=8") {
+		t.Fatalf("want missing p=8 key, got: %v", err)
+	}
+}
+
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs("1, 2,2, 1")
+	if err != nil || len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("parseProcs dedupe: %v %v", got, err)
+	}
+	if _, err := parseProcs("1,-2"); err == nil {
+		t.Fatal("negative procs accepted")
+	}
+	if _, err := parseProcs(" , "); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}

@@ -38,7 +38,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,14 +63,26 @@ import (
 // micro-benchmarks.
 var sizes = []int{8, 64, 512, 4096}
 
-// protocolSizes is the chain-size axis for the signed-protocol and
-// batch-verification ops. Capped at 128: beyond ~512 the accumulated
-// floating-point error of the backward reduction sweep exceeds the Phase II
-// w̄-identity verification tolerance, so honest rounds are (correctly, per
-// the protocol's strict check) terminated as miscomputations, and the
-// default failure detector trips spuriously when hundreds of goroutines
-// contend for a saturated CPU.
+// protocolSizes is the chain-size axis for the goroutine-per-node protocol
+// ops. The Phase II w̄ identity is scale-free since the α̂-ratio billing
+// rework, so arithmetic no longer caps m; what remains is that the chain
+// engine spawns one goroutine per processor, and past a few hundred of them
+// a saturated CPU makes the default failure detector trip spuriously. The
+// large-m protocol axis rides on the sharded engine (shardedSizes), which
+// runs one goroutine per shard.
 var protocolSizes = []int{8, 64, 128}
+
+// largeSizes is the large-m axis for the streaming solver and the chunked
+// batch-verification ops — the m ≈ 10⁵ regime the sharded engine feeds.
+var largeSizes = []int{16384, 65536, 262144}
+
+// shardedSizes is the chain-size axis for the sharded tree-of-arbiters
+// round, paired against the goroutine-per-node chain engine at equal m.
+var shardedSizes = []int{1024, 8192}
+
+// shardedBenchConfig fixes the tree shape for the sharded ops: 16 contiguous
+// segments feeding the root through a fanout-4 tree (two levels).
+var shardedBenchConfig = protocol.ShardConfig{Shards: 16, Fanout: 4}
 
 // microResult is one (op, m) measurement. SpeedupVsSequential compares the
 // allocation-free hot path against its allocating sequential-era
@@ -77,6 +91,7 @@ var protocolSizes = []int{8, 64, 128}
 type microResult struct {
 	Op                  string  `json:"op"`
 	M                   int     `json:"m"`
+	Procs               int     `json:"procs,omitempty"`
 	NsPerOp             float64 `json:"ns_per_op"`
 	BPerOp              float64 `json:"b_per_op"`
 	AllocsPerOp         float64 `json:"allocs_per_op"`
@@ -105,6 +120,13 @@ type benchReport struct {
 // measure runs fn in a timed loop for roughly benchtime after one warmup
 // call and returns per-op wall time and heap-allocation figures derived
 // from runtime.MemStats deltas around the loop.
+// minIters floors the timed loop: an op longer than benchtime would
+// otherwise be measured from a single call, and for the heavyweight ops
+// (the m=8192 sharded round allocates ~16 MB per round) GC timing alone
+// swings a one-shot measurement past the compare gate's 15% threshold.
+// Three calls amortize one mid-round GC cycle to noise.
+const minIters = 3
+
 func measure(benchtime time.Duration, fn func()) (nsPerOp, bPerOp, allocsPerOp float64) {
 	fn() // warmup: fault in code paths and grow reusable scratch to capacity
 	runtime.GC()
@@ -115,7 +137,7 @@ func measure(benchtime time.Duration, fn func()) (nsPerOp, bPerOp, allocsPerOp f
 	for {
 		fn()
 		iters++
-		if time.Since(start) >= benchtime {
+		if iters >= minIters && time.Since(start) >= benchtime {
 			break
 		}
 	}
@@ -131,15 +153,24 @@ func chain(seed uint64, m int) *dlt.Network {
 	return workload.Chain(xrand.New(seed), workload.DefaultChainSpec(m))
 }
 
-func microBenchmarks(seed uint64, benchtime time.Duration, hooks obs.Hooks) []microResult {
+func microBenchmarks(seed uint64, benchtime time.Duration, hooks obs.Hooks, procs []int) []microResult {
 	var out []microResult
-	add := func(op string, m int, ns, b, allocs, speedup float64) {
-		out = append(out, microResult{Op: op, M: m, NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs, SpeedupVsSequential: speedup})
-		fmt.Fprintf(os.Stderr, "%-16s m=%-5d %12.1f ns/op %10.1f B/op %8.2f allocs/op", op, m, ns, b, allocs)
+	addP := func(op string, m, p int, ns, b, allocs, speedup float64) {
+		out = append(out, microResult{Op: op, M: m, Procs: p, NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs, SpeedupVsSequential: speedup})
+		fmt.Fprintf(os.Stderr, "%-22s m=%-6d", op, m)
+		if p > 0 {
+			fmt.Fprintf(os.Stderr, " p=%-2d", p)
+		} else {
+			fmt.Fprintf(os.Stderr, "     ")
+		}
+		fmt.Fprintf(os.Stderr, " %14.1f ns/op %12.1f B/op %8.2f allocs/op", ns, b, allocs)
 		if speedup > 0 {
-			fmt.Fprintf(os.Stderr, "  %5.2fx vs allocating", speedup)
+			fmt.Fprintf(os.Stderr, "  %5.2fx vs baseline pairing", speedup)
 		}
 		fmt.Fprintln(os.Stderr)
+	}
+	add := func(op string, m int, ns, b, allocs, speedup float64) {
+		addP(op, m, 0, ns, b, allocs, speedup)
 	}
 
 	for _, m := range sizes {
@@ -180,12 +211,45 @@ func microBenchmarks(seed uint64, benchtime time.Duration, hooks obs.Hooks) []mi
 		add("des_run", m, ns, b, allocs, 0)
 	}
 
+	// Streaming boundary solve at the large-m axis: SolveBoundaryStream
+	// walks the same recurrence as SolveBoundaryInto but stores one float
+	// per processor and emits rows through a callback; the pairing prices
+	// that against materializing the four solution vectors.
+	for _, m := range largeSizes {
+		n := chain(seed, m)
+		var scratch []float64
+		var sink float64
+		ns, b, allocs := measure(benchtime, func() {
+			mk, s := dlt.SolveBoundaryStream(n, scratch, func(i int, alpha, hat, d, wBar float64) {
+				sink += alpha
+			})
+			scratch, sink = s, sink+mk
+		})
+		var a dlt.Allocation
+		intoNs, _, _ := measure(benchtime, func() { dlt.SolveBoundaryInto(n, &a) })
+		if sink == 0 {
+			fatal(fmt.Errorf("m=%d: streaming solve emitted nothing", m))
+		}
+		add("solve_boundary_stream", m, ns, b, allocs, intoNs/ns)
+	}
+
+	runRound := func(m int, do func() (*protocol.Result, error)) {
+		res, err := do()
+		if err != nil {
+			fatal(err)
+		}
+		if !res.Completed {
+			fatal(fmt.Errorf("m=%d: truthful protocol round terminated", m))
+		}
+	}
+
 	// One full signed four-phase protocol round, truthful profile. The
 	// headline op is the session fast path: keys, PKI memos, channels, and
 	// scratch arenas persist across rounds, so a steady-state round is memo
 	// lookups plus arithmetic. The cold counterpart (protocol.Run, a fresh
 	// session per round — what the pre-session harness measured) rides along
-	// both as the speedup denominator and as its own op.
+	// both as the speedup denominator and as its own op. The procs axis
+	// exposes how much of the round pipelines across cores.
 	for _, m := range protocolSizes {
 		n := chain(seed, m)
 		prof := agent.AllTruthful(n.Size())
@@ -193,26 +257,48 @@ func microBenchmarks(seed uint64, benchtime time.Duration, hooks obs.Hooks) []mi
 		rec := protocol.RecoveryConfig{Timeout: time.Duration(max(150, m)) * time.Millisecond}
 		p := protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: seed, Recovery: rec, Hooks: hooks}
 		sess := protocol.NewSession(n.Size(), seed)
-		runRound := func(do func() (*protocol.Result, error)) {
-			res, err := do()
-			if err != nil {
-				fatal(err)
-			}
-			if !res.Completed {
-				fatal(fmt.Errorf("m=%d: truthful protocol round terminated", m))
-			}
+		for _, pr := range procs {
+			prev := runtime.GOMAXPROCS(pr)
+			ns, b, allocs := measure(benchtime, func() { runRound(m, func() (*protocol.Result, error) { return sess.Run(p) }) })
+			coldNs, coldB, coldAllocs := measure(benchtime, func() { runRound(m, func() (*protocol.Result, error) { return protocol.Run(p) }) })
+			runtime.GOMAXPROCS(prev)
+			addP("protocol_round", m, pr, ns, b, allocs, coldNs/ns)
+			addP("protocol_round_cold", m, pr, coldNs, coldB, coldAllocs, 0)
 		}
-		ns, b, allocs := measure(benchtime, func() { runRound(func() (*protocol.Result, error) { return sess.Run(p) }) })
-		coldNs, coldB, coldAllocs := measure(benchtime, func() { runRound(func() (*protocol.Result, error) { return protocol.Run(p) }) })
-		add("protocol_round", m, ns, b, allocs, coldNs/ns)
-		add("protocol_round_cold", m, coldNs, coldB, coldAllocs, 0)
+	}
+
+	// Sharded tree-of-arbiters round at sizes the goroutine-per-node chain
+	// pays dearly for: one goroutine per contiguous segment, Phase I/IV
+	// traffic batched into per-shard frames up a fanout tree. The pairing is
+	// the warm chain session at equal m — the speedup IS the sharding story.
+	for _, m := range shardedSizes {
+		n := chain(seed, m)
+		prof := agent.AllTruthful(n.Size())
+		cfg := core.DefaultConfig()
+		rec := protocol.RecoveryConfig{Timeout: time.Duration(max(150, m)) * time.Millisecond}
+		p := protocol.Params{Net: n, Profile: prof, Cfg: cfg, Seed: seed, Recovery: rec, Hooks: hooks}
+		ss, err := protocol.NewShardedSession(n.Size(), seed, shardedBenchConfig)
+		if err != nil {
+			fatal(err)
+		}
+		sess := protocol.NewSession(n.Size(), seed)
+		for _, pr := range procs {
+			prev := runtime.GOMAXPROCS(pr)
+			ns, b, allocs := measure(benchtime, func() { runRound(m, func() (*protocol.Result, error) { return ss.Run(p) }) })
+			chainNs, _, _ := measure(benchtime, func() { runRound(m, func() (*protocol.Result, error) { return sess.Run(p) }) })
+			runtime.GOMAXPROCS(prev)
+			addP("protocol_round_sharded", m, pr, ns, b, allocs, chainNs/ns)
+		}
 	}
 
 	// Batched signature verification: one VerifyBatch over the m+1 Phase I
 	// bids vs the same set through per-message Verify calls. Both run against
 	// a warm memo — the steady state of a session — so the pairing prices the
-	// batch's single lock acquisition against m+1 lock round-trips.
-	for _, m := range protocolSizes {
+	// batch's single lock acquisition against m+1 lock round-trips. The
+	// large-m points price the root's bulk ingest of batched shard frames;
+	// the per-message pairing is skipped there (it measures nothing new and
+	// takes minutes at m ≈ 10⁵).
+	for _, m := range append(append([]int{}, protocolSizes...), largeSizes...) {
 		pki := sign.NewPKI()
 		batch := make([]sign.Signed, m+1)
 		for i := range batch {
@@ -223,19 +309,55 @@ func microBenchmarks(seed uint64, benchtime time.Duration, hooks obs.Hooks) []mi
 		if err := pki.VerifyBatch(batch); err != nil {
 			fatal(err)
 		}
-		ns, b, allocs := measure(benchtime, func() {
-			if err := pki.VerifyBatch(batch); err != nil {
-				fatal(err)
-			}
-		})
-		seqNs, _, _ := measure(benchtime, func() {
-			for i := range batch {
-				if err := pki.Verify(batch[i]); err != nil {
+		for _, pr := range procs {
+			prev := runtime.GOMAXPROCS(pr)
+			ns, b, allocs := measure(benchtime, func() {
+				if err := pki.VerifyBatch(batch); err != nil {
 					fatal(err)
 				}
+			})
+			speedup := 0.0
+			if m <= 128 {
+				seqNs, _, _ := measure(benchtime, func() {
+					for i := range batch {
+						if err := pki.Verify(batch[i]); err != nil {
+							fatal(err)
+						}
+					}
+				})
+				speedup = seqNs / ns
 			}
-		})
-		add("verify_batch", m, ns, b, allocs, seqNs/ns)
+			runtime.GOMAXPROCS(prev)
+			addP("verify_batch", m, pr, ns, b, allocs, speedup)
+		}
+	}
+
+	// Cold chunked verification: a fresh PKI per iteration forces every
+	// signature through the real ed25519 path, so the chunk fan-out (not the
+	// memo) is what the procs axis prices. One size is enough — the op is
+	// ed25519-bound and scales linearly.
+	{
+		const m = 16384
+		signers := make([]*sign.Signer, m+1)
+		batch := make([]sign.Signed, m+1)
+		for i := range batch {
+			signers[i] = sign.NewSigner(i, seed)
+			batch[i] = signers[i].Sign(wire.EncodeSlot(wire.SlotEquivBid, i, 1+float64(i)))
+		}
+		for _, pr := range procs {
+			prev := runtime.GOMAXPROCS(pr)
+			ns, b, allocs := measure(benchtime, func() {
+				pki := sign.NewPKI()
+				for i, s := range signers {
+					pki.MustRegister(i, s.Public())
+				}
+				if err := pki.VerifyBatch(batch); err != nil {
+					fatal(err)
+				}
+			})
+			runtime.GOMAXPROCS(prev)
+			addP("verify_batch_cold", m, pr, ns, b, allocs, 0)
+		}
 	}
 
 	for _, r := range wireBenchmarks(seed, benchtime) {
@@ -363,6 +485,36 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// parseProcs expands the -procs flag into the GOMAXPROCS axis for the
+// parallel-capable ops: a comma-separated list where 0 means NumCPU, with
+// duplicates collapsed in order (on a single-core host the default "1,0"
+// yields just [1]).
+func parseProcs(spec string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		p, err := strconv.Atoi(f)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("-procs: invalid value %q", f)
+		}
+		if p == 0 {
+			p = runtime.NumCPU()
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-procs: empty list")
+	}
+	return out, nil
+}
+
 // regressionThreshold is the ns/op ratio above which a shared op counts as
 // regressed: >15% slower than the old report.
 const regressionThreshold = 1.15
@@ -398,7 +550,12 @@ func compareReports(oldRep, newRep *benchReport, hardOps string) error {
 			hard[op] = true
 		}
 	}
-	key := func(r microResult) string { return fmt.Sprintf("%s/m=%d", r.Op, r.M) }
+	key := func(r microResult) string {
+		if r.Procs > 0 {
+			return fmt.Sprintf("%s/m=%d/p=%d", r.Op, r.M, r.Procs)
+		}
+		return fmt.Sprintf("%s/m=%d", r.Op, r.M)
+	}
 	old := make(map[string]microResult, len(oldRep.Micro))
 	for _, r := range oldRep.Micro {
 		old[key(r)] = r
@@ -491,6 +648,9 @@ func main() {
 	serverConns := flag.Int("server-conns", 256, "loopback benchmark concurrent sessions")
 	serverM := flag.Int("server-m", 64, "loopback benchmark strategic processors per session")
 	serverWindow := flag.Duration("server-window", 5*time.Second, "loopback benchmark measurement window")
+	procsFlag := flag.String("procs", "1,0", "comma-separated GOMAXPROCS values for the parallel-capable ops (0 = NumCPU); duplicates collapse")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile of the micro-benchmark pass")
+	memProfile := flag.String("memprofile", "", "write a heap pprof profile after the micro-benchmark pass")
 	var obsFlags cli.ObsFlags
 	obsFlags.Register("", "", "prom")
 	flag.Parse()
@@ -525,19 +685,51 @@ func main() {
 		w = runtime.GOMAXPROCS(0)
 	}
 
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	hooks := obsFlags.Hooks() // nil (zero-overhead) unless -trace/-metrics given
 	if hooks != nil {
 		experiments.SetHooks(hooks)
 		defer experiments.SetHooks(nil)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 	report := benchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
 		Seed:      *seed,
 		Benchtime: benchtime.String(),
-		Micro:     microBenchmarks(*seed, *benchtime, hooks),
+		Micro:     microBenchmarks(*seed, *benchtime, hooks, procs),
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintln(os.Stderr, "wrote CPU profile", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote heap profile", *memProfile)
 	}
 	if *serverBench {
 		sb, err := serverBenchmark(*seed, *serverConns, *serverM, *serverWindow)

@@ -1,0 +1,73 @@
+package dlt
+
+// Streaming variant of Algorithm 1 for chains too large to materialize a
+// full Allocation. SolveBoundaryInto keeps four O(m) vectors (α, α̂, D, w̄);
+// at m = 10⁶ that is ~32 MB of solution state per solve. The recurrence
+// itself needs far less: the backward sweep only ever reads the running
+// equivalent bid, and every other quantity of processor i's row is a local
+// function of α̂_i and the running D. SolveBoundaryStream therefore stores
+// exactly one float per processor — the α̂ vector, which the forward sweep
+// cannot reconstruct on its own — and emits rows through a callback instead
+// of building arrays.
+//
+// The arithmetic is bit-identical to SolveBoundaryInto: both sweeps perform
+// the same floating-point operations in the same order, so differential
+// tests compare rows with ==, not a tolerance.
+
+// BoundaryVisit receives one processor's row of the boundary solution, in
+// forward (root-to-tail) order: the global fraction α_i, the local fraction
+// α̂_i, the received fraction D_i, and the equivalent bid w̄_i.
+type BoundaryVisit func(i int, alpha, alphaHat, d, wBar float64)
+
+// SolveBoundaryStream runs Algorithm 1 (LINEAR BOUNDARY-LINEAR) in O(m)
+// memory: a backward reduction sweep storing only the α̂ vector into scratch
+// (grown when needed, reused when it has capacity), then a forward sweep
+// that recomputes each row's remaining values locally and hands them to
+// visit (nil visit computes just the makespan). It returns the optimal
+// makespan w̄_0 and the scratch slice for reuse by the next call; with a
+// warm scratch the solve performs zero heap allocations at any m.
+//
+// Like SolveBoundaryInto this is the pre-validated fast path: the caller
+// must pass a structurally valid network.
+func SolveBoundaryStream(n *Network, scratch []float64, visit BoundaryVisit) (makespan float64, scratchOut []float64) {
+	m := n.M()
+	hats := growFloats(scratch, m+1)
+
+	// Backward sweep (steps 1-6): collapse the two farthest processors at a
+	// time, keeping only the local fractions and the running equivalent bid.
+	hats[m] = 1
+	wbar := n.W[m]
+	for i := m - 1; i >= 0; i-- {
+		hats[i], wbar = EquivTwo(n.W[i], n.Z[i+1], wbar)
+	}
+	makespan = wbar // w̄_0
+
+	// Forward sweep (steps 7-10): D_0 = 1, α_i = D_i·α̂_i, D_{i+1} = D_i(1-α̂_i).
+	// w̄_i is re-derived as α̂_i·w_i — the identical multiplication EquivTwo
+	// performed in the backward sweep, so the emitted value is bit-equal to
+	// the one SolveBoundaryInto stored (w̄_m = w_m by definition).
+	if visit != nil {
+		d := 1.0
+		for i := 0; i <= m; i++ {
+			wb := n.W[m]
+			if i < m {
+				wb = hats[i] * n.W[i]
+			}
+			visit(i, d*hats[i], hats[i], d, wb)
+			d *= 1 - hats[i]
+		}
+	}
+	return makespan, hats
+}
+
+// BoundaryMakespan returns the optimal makespan w̄_0 for a unit load in O(1)
+// memory: the backward sweep needs only the running equivalent bid when the
+// per-processor fractions are not wanted. Pre-validated fast path.
+func BoundaryMakespan(n *Network) float64 {
+	m := n.M()
+	wbar := n.W[m]
+	for i := m - 1; i >= 0; i-- {
+		_, wbar = EquivTwo(n.W[i], n.Z[i+1], wbar)
+	}
+	return wbar
+}

@@ -1,0 +1,131 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/xrand"
+)
+
+// TestSolveBoundaryStreamMatchesInto checks the streaming solve against the
+// materializing path across the full existing grid: every emitted row must
+// be bit-identical (the sweeps perform the same operations in the same
+// order), which trivially satisfies the 1e-9 relative-error contract.
+func TestSolveBoundaryStreamMatchesInto(t *testing.T) {
+	r := xrand.New(7)
+	var scratch []float64
+	var a Allocation
+	for _, m := range []int{0, 1, 2, 3, 5, 8, 17, 64, 512, 4096, 9} { // shrink at the end: reuse oversized scratch
+		n := randomChain(r, m)
+		SolveBoundaryInto(n, &a)
+		rows := 0
+		makespan, out := SolveBoundaryStream(n, scratch, func(i int, alpha, alphaHat, d, wBar float64) {
+			if alpha != a.Alpha[i] || alphaHat != a.AlphaHat[i] || d != a.D[i] || wBar != a.WBar[i] {
+				t.Fatalf("m=%d row %d diverges: stream (%v %v %v %v) vs into (%v %v %v %v)",
+					m, i, alpha, alphaHat, d, wBar, a.Alpha[i], a.AlphaHat[i], a.D[i], a.WBar[i])
+			}
+			if rel := math.Abs(alpha-a.Alpha[i]) / math.Max(a.Alpha[i], 1e-300); rel > 1e-9 {
+				t.Fatalf("m=%d row %d: relative error %v > 1e-9", m, i, rel)
+			}
+			rows++
+		})
+		scratch = out
+		if rows != m+1 {
+			t.Fatalf("m=%d: %d rows emitted, want %d", m, rows, m+1)
+		}
+		if makespan != a.WBar[0] {
+			t.Fatalf("m=%d: makespan %v, want %v", m, makespan, a.WBar[0])
+		}
+		if got := BoundaryMakespan(n); got != a.WBar[0] {
+			t.Fatalf("m=%d: BoundaryMakespan %v, want %v", m, got, a.WBar[0])
+		}
+	}
+}
+
+// TestSolveBoundaryStreamLargeM runs the streaming solve at m = 10⁶: the
+// only solution-state memory is the α̂ scratch (one float per processor),
+// and with a warm scratch the solve allocates nothing at all — which is the
+// O(m)-memory contract in its strongest testable form. Fractions must still
+// form a valid allocation. Fast enough (two linear sweeps) to run even
+// under -short.
+func TestSolveBoundaryStreamLargeM(t *testing.T) {
+	const m = 1_000_000
+	r := xrand.New(11)
+	n := randomChain(r, m)
+
+	var sum, dPrev float64
+	rows := 0
+	visit := func(i int, alpha, alphaHat, d, wBar float64) {
+		sum += alpha
+		if i == 0 && d != 1 {
+			t.Fatalf("D_0 = %v, want 1", d)
+		}
+		if d < 0 || d > 1 || alphaHat < 0 || alphaHat > 1 || alpha < 0 {
+			t.Fatalf("row %d out of range: alpha=%v alphaHat=%v d=%v", i, alpha, alphaHat, d)
+		}
+		if i > 0 && d > dPrev {
+			t.Fatalf("row %d: D grew (%v > %v)", i, d, dPrev)
+		}
+		dPrev = d
+		rows++
+	}
+	makespan, scratch := SolveBoundaryStream(n, nil, visit)
+	if rows != m+1 {
+		t.Fatalf("%d rows, want %d", rows, m+1)
+	}
+	if !(makespan > 0) || math.IsInf(makespan, 0) || math.IsNaN(makespan) {
+		t.Fatalf("makespan %v", makespan)
+	}
+	// Deep chains legitimately starve their tail (D underflows to zero), so
+	// the α sum converges to 1 from below by exactly the final residual.
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("alpha sum %v, want 1", sum)
+	}
+	if len(scratch) != m+1 {
+		t.Fatalf("scratch length %d, want %d", len(scratch), m+1)
+	}
+
+	if raceEnabled {
+		return // race instrumentation allocates
+	}
+	// Warm-scratch re-solve: zero allocations at one million processors.
+	sum, dPrev, rows = 0, 0, 0
+	allocs := testing.AllocsPerRun(2, func() {
+		sum, dPrev, rows = 0, 0, 0
+		_, scratch = SolveBoundaryStream(n, scratch, visit)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm streaming solve allocates %v per run at m=%d, want 0", allocs, m)
+	}
+}
+
+// TestSolveBoundaryAllocPinsAt65536 pins the growFloats growth paths at the
+// bench grid's large-m point: warm re-solves of both the materializing and
+// the streaming variants must stay allocation-free, so a regression in the
+// scratch-reuse discipline cannot hide behind small-m pins.
+func TestSolveBoundaryAllocPinsAt65536(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the allocation contract")
+	}
+	const m = 65536
+	n := randomChain(xrand.New(3), m)
+
+	var a Allocation
+	SolveBoundaryInto(n, &a) // warm
+	if allocs := testing.AllocsPerRun(5, func() { SolveBoundaryInto(n, &a) }); allocs != 0 {
+		t.Fatalf("SolveBoundaryInto allocates %v per run at m=%d, want 0", allocs, m)
+	}
+
+	var sink float64
+	visit := func(i int, alpha, alphaHat, d, wBar float64) { sink += alpha }
+	_, scratch := SolveBoundaryStream(n, nil, visit) // warm
+	if allocs := testing.AllocsPerRun(5, func() {
+		_, scratch = SolveBoundaryStream(n, scratch, visit)
+	}); allocs != 0 {
+		t.Fatalf("SolveBoundaryStream allocates %v per run at m=%d, want 0", allocs, m)
+	}
+	if allocs := testing.AllocsPerRun(5, func() { sink += BoundaryMakespan(n) }); allocs != 0 {
+		t.Fatalf("BoundaryMakespan allocates %v per run at m=%d, want 0", allocs, m)
+	}
+	_ = sink
+}

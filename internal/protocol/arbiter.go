@@ -444,7 +444,7 @@ func (a *arbiter) recomputeBill(b billMsg, solutionFound bool) (billMsg, error) 
 	default:
 		wHat = wbar
 	}
-	hatPrev := (vals.PrevLoad - vals.Load) / vals.PrevLoad
+	hatPrev := vals.PrevEquiv / vals.PrevBid // (2.4), scale-free at any depth
 	want.Bonus = vals.PrevBid - dlt.RealizedEquivTwo(hatPrev, vals.PrevBid, r.params.Net.Z[j], wHat)
 	if cfg.SolutionBonus > 0 && solutionFound {
 		want.Solution = cfg.SolutionBonus

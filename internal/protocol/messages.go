@@ -116,25 +116,49 @@ func verifyG(pki *sign.PKI, i int, g gMsg, sequential bool) (gValues, error) {
 	return v, nil
 }
 
+// loadTolFloor is the absolute slack granted to the D-recurrence check below
+// its relative tolerance. Algorithm 1's load fractions decay geometrically,
+// so on deep chains D legitimately underflows into the subnormal range
+// (m ≈ 2000 under the default workload) and eventually to exact zero; down
+// there denormal rounding dominates any relative comparison. A discrepancy
+// under the floor moves less than 1e-300 of the load — economically nil, far
+// below what any fine or payment can resolve.
+const loadTolFloor = 1e-300
+
 // arithmeticConsistent checks the Phase II identities the receiver validates
-// (Sect. 4, Phase II): with α̂_{i-1} = (D_{i-1} − D_i)/D_{i-1},
+// (Sect. 4, Phase II). The local fraction is recovered in the *bid* domain,
+// α̂_{i-1} = w̄_{i-1}/w_{i-1} — identity (2.4) read backwards — which keeps
+// every operand O(1) at any chain depth. The load-domain form the paper
+// prints, α̂_{i-1} = (D_{i-1} − D_i)/D_{i-1}, is ill-conditioned on deep
+// chains: D decays geometrically into subnormals, where the division loses
+// enough precision to fail honest rounds past m ≈ 2000. With α̂ fixed, the
+// receiver pins the remaining commitments:
 //
-//	w̄_{i-1} = α̂_{i-1}·w_{i-1}                       (2.4)
-//	α̂_{i-1}·w_{i-1} = (1−α̂_{i-1})·(w̄_i + z_i)       (2.7)
+//	α̂_{i-1}·w_{i-1} = (1−α̂_{i-1})·(w̄_i + z_i)   (2.7, equal finish)
+//	D_i = (1−α̂_{i-1})·D_{i-1}                    (Algorithm 1 forward sweep)
 //
-// (The paper prints the second identity with w_i; the quantity that makes
-// the recursion of Algorithm 1 close is the equivalent bid w̄_i — see
-// DESIGN.md.) zi is public knowledge.
+// (The paper prints (2.7) with w_i; the quantity that makes the recursion of
+// Algorithm 1 close is the equivalent bid w̄_i — see DESIGN.md.) Both checks
+// are scale-aware: the finish identity relative to the bid magnitudes, the D
+// recurrence relative to D_{i-1} with loadTolFloor absorbing denormal
+// rounding. zi is public knowledge.
 func arithmeticConsistent(v gValues, zi float64, tol float64) error {
-	if !(v.PrevLoad > 0) || v.Load < 0 || v.Load > v.PrevLoad {
+	if !(v.PrevBid > 0) || !(v.PrevEquiv >= 0) || !(v.EchoEquiv >= 0) || !(zi >= 0) {
+		return fmt.Errorf("protocol: implausible bids w_{i-1}=%v w̄_{i-1}=%v w̄_i=%v", v.PrevBid, v.PrevEquiv, v.EchoEquiv)
+	}
+	if !(v.Load >= 0) || !(v.PrevLoad >= 0) || v.Load > v.PrevLoad {
 		return fmt.Errorf("protocol: implausible loads D_{i-1}=%v D_i=%v", v.PrevLoad, v.Load)
 	}
-	hat := (v.PrevLoad - v.Load) / v.PrevLoad
-	if d := math.Abs(v.PrevEquiv - hat*v.PrevBid); d > tol {
-		return fmt.Errorf("protocol: w̄ identity off by %v", d)
+	hat := v.PrevEquiv / v.PrevBid // (2.4): α̂_{i-1} = w̄_{i-1}/w_{i-1}
+	if !(hat >= 0 && hat <= 1) {
+		return fmt.Errorf("protocol: implausible local fraction α̂=%v", hat)
 	}
-	if d := math.Abs(hat*v.PrevBid-(1-hat)*(v.EchoEquiv+zi)); d > tol {
+	scale := 1 + v.PrevEquiv + v.EchoEquiv + zi
+	if d := math.Abs(v.PrevEquiv - (1-hat)*(v.EchoEquiv+zi)); d > tol*scale {
 		return fmt.Errorf("protocol: equal-finish identity off by %v", d)
+	}
+	if d := math.Abs(v.Load - (1-hat)*v.PrevLoad); d > tol*v.PrevLoad+loadTolFloor {
+		return fmt.Errorf("protocol: D recurrence off by %v", d)
 	}
 	return nil
 }

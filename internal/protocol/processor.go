@@ -1,11 +1,9 @@
 package protocol
 
 import (
-	"bytes"
 	"time"
 
 	"dlsmech/internal/device"
-	"dlsmech/internal/dlt"
 	"dlsmech/internal/fault"
 	"dlsmech/internal/parallel"
 	"dlsmech/internal/sign"
@@ -70,16 +68,15 @@ func corruptBill(v billMsg) billMsg {
 }
 
 // runProcessor executes Phases I-IV for processor i according to its
-// behavior. Every early return is either preceded by an arbiter report
-// (which wakes all peers via the abort channel), happens because the abort
-// channel already fired, or is a silent injected crash that peers detect by
-// timeout.
+// behavior, using the shared step helpers in steps.go for all protocol
+// computation and keeping only the chain plumbing (receives, sends, phase
+// gates, barrier) here. Every early return is either preceded by an arbiter
+// report (which wakes all peers via the abort channel), happens because the
+// abort channel already fired, or is a silent injected crash that peers
+// detect by timeout.
 func (r *runner) runProcessor(i int) {
 	b := r.behavior(i)
-	st := r.procs[i]
-	net := r.params.Net
 	m := r.size - 1
-	truth := net.W[i]
 	defer r.endPhase(i)
 
 	// ---- Phase I: equivalent bids flow from P_m toward the root. ----
@@ -87,60 +84,18 @@ func (r *runner) runProcessor(i int) {
 		return
 	}
 	r.startPhase(i, fault.PhaseBid)
-	bid := b.Bid(truth)
-	if i == 0 {
-		bid = truth // the root is obedient
-	}
-	st.bid = bid
-
 	var wbarSucc float64
 	if i < m {
 		bm, ok := recvMsg(r, i, i+1, fault.PhaseBid, r.bidUp[i+1])
 		if !ok {
 			return
 		}
-		if len(bm.Signed) == 0 {
-			r.arb.reportBadSignature(i, i+1, fault.PhaseBid, "empty bid message")
+		if wbarSucc, ok = r.phase1Inbound(i, bm); !ok {
 			return
 		}
-		if err := r.verifyBidBatch(bm.Signed, i+1, i+1); err != nil {
-			r.arb.reportBadSignature(i, i+1, fault.PhaseBid, "inauthentic bid: %v", err)
-			return
-		}
-		// Contradiction: two authentic messages, different contents.
-		if len(bm.Signed) >= 2 && !bytes.Equal(bm.Signed[0].Payload, bm.Signed[1].Payload) {
-			st.terminated = true
-			r.arb.reportContradiction(i, i+1, bm.Signed[0], bm.Signed[1])
-			return
-		}
-		// No defensive copy: wire messages are immutable by convention — honest
-		// signatures come from the signers' memos (shared, never written) and
-		// the corrupt* injector mutators deep-copy before touching a byte.
-		st.receivedBidMsg = bm.Signed[0]
-		// Register the successor's commitment with the root: it is the
-		// signed evidence that P_{i+1} joined the round, which the arbiter
-		// needs when deciding whether a later disappearance is finable.
-		r.arb.noteBid(i+1, bm.Signed[0])
-		wbarSucc, _ = r.expectSlot(bm.Signed[0], i+1, slotEquivBid, i+1)
 	}
-
-	var hat, wbar float64
-	if i == m {
-		hat, wbar = 1, bid
-	} else {
-		hat, wbar = dlt.EquivTwo(bid, net.Z[i+1], wbarSucc)
-	}
-	st.hatPlanned = hat
-	st.equivBid = wbar
-
-	if i > 0 {
-		msgs := append(st.bidBuf[:0], r.signSlot(i, slotEquivBid, i, wbar))
-		if b.Faults.ContradictoryBid {
-			// Case (i) of Lemma 5.1: a second, different signed bid.
-			msgs = append(msgs, r.signSlot(i, slotEquivBid, i, wbar*1.25))
-		}
-		st.bidBuf = msgs
-		if !sendMsg(r, r.resendBid, i, i-1, fault.PhaseBid, r.bidUp[i], bidMsg{From: i, Signed: msgs}, corruptBid) {
+	if out, send := r.phase1Compute(i, wbarSucc); send {
+		if !sendMsg(r, r.resendBid, i, i-1, fault.PhaseBid, r.bidUp[i], out, corruptBid) {
 			return
 		}
 	}
@@ -150,68 +105,18 @@ func (r *runner) runProcessor(i int) {
 		return
 	}
 	r.startPhase(i, fault.PhaseAlloc)
-	var gIn gMsg
-	var gVals gValues
-	if i == 0 {
-		st.planD = 1
-	} else {
+	if i > 0 {
 		g, ok := recvMsg(r, i, i-1, fault.PhaseAlloc, r.gDown[i])
 		if !ok {
 			return
 		}
-		gIn = g
-		vals, err := r.verifyG(i, g)
-		if err != nil {
-			// Inauthentic or malformed: the sender of G is responsible for
-			// delivering a verifiable message; exclude it without a fine.
-			r.arb.reportBadSignature(i, i-1, fault.PhaseAlloc, "bad G message: %v", err)
+		if !r.phase2Inbound(i, g) {
 			return
 		}
-		gVals = vals
-		// Echo check: the predecessor must have echoed exactly the bid we
-		// signed (byte-identical payload).
-		var slotBuf [slotPayloadSize]byte
-		if !bytes.Equal(g.EchoEquiv.Payload, appendSlot(slotBuf[:0], slotEquivBid, i, st.equivBid)) {
-			st.terminated = true
-			r.arb.reportEchoMismatch(i, g, st.equivBid)
-			return
-		}
-		if err := arithmeticConsistent(vals, net.Z[i], wireTol); err != nil {
-			// Case (ii): the predecessor's arithmetic does not hold.
-			st.terminated = true
-			r.arb.reportBadG(i, g)
-			return
-		}
-		st.planD = vals.Load
-		st.prevBid = vals.PrevBid
-		st.prevLoad = vals.PrevLoad
 	}
-	st.planAlpha = st.planD * hat
-	st.planDNext = st.planD - st.planAlpha
-
+	r.phase2Plan(i)
 	if i < m {
-		reportD := st.planDNext
-		if b.Faults.MiscomputeD {
-			// Case (ii): misreport the successor's load share.
-			reportD *= 0.8
-		}
-		var prevLoadSig, prevEquivSig sign.Signed
-		if i == 0 {
-			prevLoadSig = r.signSlot(0, slotLoad, 0, 1)
-			prevEquivSig = r.signSlot(0, slotEquivBid, 0, wbar)
-		} else {
-			prevLoadSig = gIn.Load       // dsm_{i-1}(D_i)
-			prevEquivSig = gIn.EchoEquiv // dsm_{i-1}(w̄_i)
-		}
-		g2 := gMsg{
-			To:        i + 1,
-			PrevLoad:  prevLoadSig,
-			Load:      r.signSlot(i, slotLoad, i+1, reportD),
-			PrevEquiv: prevEquivSig,
-			PrevBid:   r.signSlot(i, slotBid, i, bid),
-			EchoEquiv: r.signSlot(i, slotEquivBid, i+1, wbarSucc),
-		}
-		if !sendMsg(r, r.resendG, i, i+1, fault.PhaseAlloc, r.gDown[i+1], g2, corruptG) {
+		if !sendMsg(r, r.resendG, i, i+1, fault.PhaseAlloc, r.gDown[i+1], r.phase2Build(i), corruptG) {
 			return
 		}
 	}
@@ -234,9 +139,8 @@ func (r *runner) runProcessor(i int) {
 	if i == 0 {
 		// Mint into the session's block arena: tens of kB at fine Λ units,
 		// allocated once per session instead of once per round.
-		minted, err := r.issuer.MintInto(r.blockBuf[:0], 1)
-		if err != nil {
-			r.arb.terminateErr(phaseErr(ErrRuntime, 0, fault.PhaseLoad, "mint: %v", err))
+		minted, ok := r.phase3Mint()
+		if !ok {
 			return
 		}
 		att, received = minted, 1
@@ -247,67 +151,15 @@ func (r *runner) runProcessor(i int) {
 		}
 		received, att, corrupted = lm.Amount, lm.Att, lm.Corrupted
 	}
-	st.received = received
-
-	var retained float64
-	if i == m {
-		retained = received // nowhere to forward
-	} else if b.RetainFactor != 0 && b.RetainFactor < 1 {
-		// Case (iii): shed load onto the successor.
-		retained = b.Retain(hat) * received
-	} else {
-		// Honest rule (Sect. 4 Phase III): forward the planned share and
-		// compute everything else, including any excess dumped on us.
-		retained = received - st.planDNext
-		if retained < 0 {
-			retained = received // under-supplied; keep what there is
-		}
-	}
-	forwarded := received - retained
-	if i < m {
-		headAtt, tailAtt := att.Split(retained, r.unit)
-		_ = headAtt // the retained blocks; Λ_i below covers all received ids
-		sendCorrupt := corrupted
-		if b.Faults.CorruptData {
-			// Theorem 5.2: destroy the solution without economic trace.
-			sendCorrupt = true
-			r.corrupted.Store(true)
-		}
-		lm := loadMsg{Amount: forwarded, Att: tailAtt, Corrupted: sendCorrupt}
-		if !sendMsg(r, r.resendLoad, i, i+1, fault.PhaseLoad, r.loadDown[i+1], lm, corruptLoad) {
+	if out, send := r.phase3Route(i, received, att, corrupted); send {
+		if !sendMsg(r, r.resendLoad, i, i+1, fault.PhaseLoad, r.loadDown[i+1], out, corruptLoad) {
 			return
 		}
 	}
-	if corrupted {
-		r.corrupted.Store(true)
-	}
-
-	// The tamper-proof meter certifies the actual execution.
-	wTilde := b.Speed(truth)
-	st.wTilde = wTilde
-	st.retained = retained
-	// Λ_i: all identifiers received, copied into the procState arena (evidence
-	// must be immutable, but the copy's storage is reused across rounds).
-	st.attBuf = append(st.attBuf[:0], att.Blocks...)
-	st.att = device.Attestation{Blocks: st.attBuf}
-	reading, err := r.meterRecord(i, wTilde, retained)
-	if err != nil {
-		r.arb.terminateErr(phaseErr(ErrRuntime, i, fault.PhaseLoad, "meter: %v", err))
+	if !r.phase3Certify(i, att) {
 		return
 	}
-	st.meter = reading
-	st.valuation = -retained * wTilde
-
-	// Overload grievance (case (iii) detection): filed once processing is
-	// done, with (G_i, Λ_i, dsm_0(w̃_i)) as evidence. Grievances are
-	// voluntary: a colluding victim may stay silent (experiment A11).
-	if i > 0 && received > st.planD+2*r.unit && !b.Faults.SuppressGrievance {
-		r.arb.reportOverload(i, gIn, st.att, reading)
-	} else if b.Faults.FalseAccuse && i > 0 {
-		// Case (v): accuse the predecessor of dumping although the Λ
-		// evidence cannot support it.
-		r.arb.reportOverload(i, gIn, st.att, reading)
-	}
+	r.phase3Grieve(i)
 
 	// ---- Phase IV: compute own payment and bill it. ----
 	if !r.phase3Barrier(i) {
@@ -319,42 +171,7 @@ func (r *runner) runProcessor(i int) {
 		return
 	}
 	r.startPhase(i, fault.PhaseBill)
-	solutionFound := !r.corrupted.Load()
-
-	var bill billMsg
-	bill.From = i
-	if i == 0 {
-		// (4.3): the root is reimbursed its measured cost.
-		bill.Compensation = st.planAlpha * wTilde
-	} else if retained > 0 {
-		bill.Compensation = st.planAlpha * wTilde
-		if retained >= st.planAlpha {
-			bill.Recompense = (retained - st.planAlpha) * wTilde
-		}
-		var wHat float64
-		switch {
-		case i == m:
-			wHat = wTilde // (4.10)
-		case wTilde >= bid:
-			wHat = hat * wTilde // (4.11) slower than bid
-		default:
-			wHat = wbar // (4.11) faster than bid
-		}
-		hatPrev := (gVals.PrevLoad - gVals.Load) / gVals.PrevLoad
-		bill.Bonus = gVals.PrevBid - dlt.RealizedEquivTwo(hatPrev, gVals.PrevBid, net.Z[i], wHat)
-		if r.params.Cfg.SolutionBonus > 0 && solutionFound {
-			bill.Solution = r.params.Cfg.SolutionBonus
-		}
-		bill.Bonus += b.Faults.Overcharge // case (iv): inflate the bill
-	}
-	bill.Proof = proofBundle{
-		G:       gIn,
-		SuccBid: st.receivedBidMsg,
-		OwnBid:  r.signSlot(i, slotBid, i, bid),
-		Meter:   st.meter,
-		Att:     st.att,
-		HasSucc: i < m,
-	}
+	bill := r.phase4Bill(i, !r.corrupted.Load())
 	if i == 0 {
 		// The root bills itself locally; its bill never crosses the faulty
 		// message plane.

@@ -422,9 +422,14 @@ type procState struct {
 	curPhase   string // open phase label for the hook bracket (see startPhase)
 	meter      device.MeterReading
 	att        device.Attestation
+	wbarSucc   float64 // w̄_{i+1} as received in Phase I (0 for i == m)
 	// receivedBidMsg stores the successor's Phase I message; the arbiter
 	// can subpoena it when arbitrating an echo-mismatch claim.
 	receivedBidMsg sign.Signed
+	// gIn is G_i as received (zero-valued for the root) with its verified
+	// slot values; Phase IV billing and grievance evidence read from here.
+	gIn   gMsg
+	gVals gValues
 
 	// Round-pooled arenas, preserved across reset: the Λ evidence copy and
 	// the outgoing Phase I message slice.

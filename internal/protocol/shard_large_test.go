@@ -1,0 +1,79 @@
+package protocol
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// largeM gates the m=65536 sharded round: one full round costs tens of
+// seconds of ed25519 work on a single core (minutes under the race
+// detector), so it runs only when asked for — the CI large-m smoke job
+// invokes `go test -short -largem -run TestShardedLargeM`.
+var largeM = flag.Bool("largem", false, "run the m=65536 sharded round smoke (expensive)")
+
+// TestShardedLargeMSmoke completes one truthful sharded round at m=65536 —
+// the two-orders-of-magnitude point the tree of sub-arbiters exists for:
+// 64 shard goroutines instead of 65537 chain goroutines, Phase I/IV fan-in
+// batched into 64 frames up a fanout-8 tree. A warm second round then pins
+// the session's scratch-arena discipline: steady-state allocations must not
+// scale with m (the Result and ledger of a settled round are O(m) bytes but
+// O(1)+slice-growth allocation counts; the pin's headroom covers them).
+func TestShardedLargeMSmoke(t *testing.T) {
+	if !*largeM {
+		t.Skip("pass -largem to run the m=65536 sharded round")
+	}
+	const size = 65537
+	p := shardParams(size, 42)
+	p.Recovery = RecoveryConfig{Timeout: 2 * time.Minute, Retries: 1, Backoff: 2}
+	ss, err := NewShardedSession(size, 42, ShardConfig{Shards: 64, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := ss.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+	if !res.Completed || !res.SolutionFound {
+		t.Fatalf("cold round at m=65536 did not settle: completed=%v reason=%q",
+			res.Completed, res.TermReason)
+	}
+	if len(res.Detections) != 0 {
+		t.Fatalf("honest round produced detections: %v", res.Detections)
+	}
+
+	// Steady state: signer/verifier memos are warm, arenas are grown.
+	start = time.Now()
+	res2, err := ss.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(start)
+	if !res2.Completed {
+		t.Fatalf("warm round terminated: %q", res2.TermReason)
+	}
+	assertSameOutcome(t, "warm-vs-cold", res, res2)
+	t.Logf("m=65536: cold round %v, warm round %v", cold, warm)
+
+	if raceEnabled {
+		return // race instrumentation allocates
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if r, err := ss.Run(p); err != nil || !r.Completed {
+			t.Fatalf("pinned round failed: %v completed=%v", err, r != nil && r.Completed)
+		}
+	})
+	// The warm-round allocation budget is per-processor: the root's
+	// bill-batch decode materializes each bill's signed evidence (~22
+	// allocations per processor measured at m=8192), plus goroutine spawns,
+	// Result/ledger assembly, and slice growth. 30/processor pins today's
+	// shape with headroom while still catching a new per-phase allocation
+	// (each costs a further ~m).
+	if limit := 30.0 * float64(size); allocs > limit {
+		t.Fatalf("warm sharded round allocates %.0f per run at m=65536 (limit %.0f): an extra per-processor allocation crept into the hot path", allocs, limit)
+	}
+	t.Logf("m=65536 warm round: %.0f allocs/run (%.1f per processor)", allocs, allocs/float64(size))
+}

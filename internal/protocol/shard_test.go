@@ -1,0 +1,312 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/fault"
+	"dlsmech/internal/payment"
+	"dlsmech/internal/wire"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// shardParams builds a deterministic round at the given size.
+func shardParams(size int, seed uint64) Params {
+	net := workload.Chain(xrand.New(seed), workload.DefaultChainSpec(size-1))
+	return Params{
+		Net:      net,
+		Profile:  agent.AllTruthful(size),
+		Cfg:      core.DefaultConfig(),
+		Seed:     seed,
+		Recovery: fastRec(),
+	}
+}
+
+// assertSameOutcome requires two engine runs of the same round to agree on
+// everything economically observable, bit for bit.
+func assertSameOutcome(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Completed != b.Completed || a.SolutionFound != b.SolutionFound {
+		t.Fatalf("%s: completion differs: (%v,%v) vs (%v,%v)",
+			label, a.Completed, a.SolutionFound, b.Completed, b.SolutionFound)
+	}
+	if len(a.Bids) != len(b.Bids) {
+		t.Fatalf("%s: population differs: %d vs %d", label, len(a.Bids), len(b.Bids))
+	}
+	for i := range a.Bids {
+		if a.Completed {
+			// In a terminated round the chain engine's upstream processors
+			// race the abort into Phase III, so bids/retained/valuations are
+			// timing-dependent THERE; only settled rounds pin them all.
+			if a.Bids[i] != b.Bids[i] {
+				t.Fatalf("%s: bid %d differs: %v vs %v", label, i, a.Bids[i], b.Bids[i])
+			}
+			if a.Retained[i] != b.Retained[i] {
+				t.Fatalf("%s: retained %d differs: %v vs %v", label, i, a.Retained[i], b.Retained[i])
+			}
+			if a.Utilities[i] != b.Utilities[i] {
+				t.Fatalf("%s: utility %d differs: %v vs %v", label, i, a.Utilities[i], b.Utilities[i])
+			}
+		}
+		if ba, bb := a.Ledger.Balance(i), b.Ledger.Balance(i); ba != bb {
+			t.Fatalf("%s: balance %d differs: %v vs %v", label, i, ba, bb)
+		}
+	}
+	if ma, mb := a.Ledger.Balance(payment.Mechanism), b.Ledger.Balance(payment.Mechanism); ma != mb {
+		t.Fatalf("%s: mechanism balance differs: %v vs %v", label, ma, mb)
+	}
+	if len(a.Detections) != len(b.Detections) {
+		t.Fatalf("%s: detections differ: %+v vs %+v", label, a.Detections, b.Detections)
+	}
+	for k := range a.Detections {
+		if a.Detections[k] != b.Detections[k] {
+			t.Fatalf("%s: detection %d differs: %+v vs %+v", label, k, a.Detections[k], b.Detections[k])
+		}
+	}
+}
+
+// TestShardedMatchesChain runs the same rounds through the chain engine and
+// the sharded engine across behavior profiles with deterministic outcomes,
+// requiring identical payments, utilities and detections.
+func TestShardedMatchesChain(t *testing.T) {
+	t.Parallel()
+	const size = 17
+	profiles := map[string]func(agent.Profile) agent.Profile{
+		"honest":      func(p agent.Profile) agent.Profile { return p },
+		"overbid":     func(p agent.Profile) agent.Profile { return p.WithDeviant(5, agent.Overbid(1.4)) },
+		"underbid":    func(p agent.Profile) agent.Profile { return p.WithDeviant(11, agent.Underbid(0.7)) },
+		"slacker":     func(p agent.Profile) agent.Profile { return p.WithDeviant(7, agent.Slacker(1.3)) },
+		"shedder":     func(p agent.Profile) agent.Profile { return p.WithDeviant(9, agent.Shedder(0.5)) },
+		"overcharger": func(p agent.Profile) agent.Profile { return p.WithDeviant(3, agent.Overcharger(2.0)) },
+		"falseaccuse": func(p agent.Profile) agent.Profile { return p.WithDeviant(13, agent.FalseAccuser()) },
+		"corruptor":   func(p agent.Profile) agent.Profile { return p.WithDeviant(8, agent.Corruptor()) },
+		"contradict":  func(p agent.Profile) agent.Profile { return p.WithDeviant(10, agent.Contradictor()) },
+		"miscompute":  func(p agent.Profile) agent.Profile { return p.WithDeviant(6, agent.Miscomputer()) },
+	}
+	for name, mod := range profiles {
+		for _, shards := range []int{1, 2, 3, 5} {
+			p := shardParams(size, 0xD15)
+			p.Profile = mod(p.Profile)
+			want, err := Run(p)
+			if err != nil {
+				t.Fatalf("%s: chain run: %v", name, err)
+			}
+			got, err := RunSharded(p, ShardConfig{Shards: shards, Fanout: 2})
+			if err != nil {
+				t.Fatalf("%s/shards=%d: sharded run: %v", name, shards, err)
+			}
+			assertSameOutcome(t, name+"/shards="+string(rune('0'+shards)), want, got)
+		}
+	}
+}
+
+// TestShardedSessionReuse runs several rounds on one sharded session and
+// checks each matches a fresh chain run — the pooled arenas must not leak
+// state across rounds.
+func TestShardedSessionReuse(t *testing.T) {
+	t.Parallel()
+	const size = 9
+	ss, err := NewShardedSession(size, 7, ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(size, 7)
+	for round := 0; round < 4; round++ {
+		p := shardParams(size, 7)
+		if round == 2 {
+			p.Profile = p.Profile.WithDeviant(4, agent.Shedder(0.6))
+		}
+		want, err := sess.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ss.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameOutcome(t, "round", want, got)
+	}
+}
+
+// TestShardedBitIdenticalAtDepth is the tentpole equivalence gate: at
+// m = 8192 a sharded round must produce payments bit-identical to the
+// single-arbiter round at equal seeds.
+func TestShardedBitIdenticalAtDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep chain equivalence is slow; run without -short")
+	}
+	t.Parallel()
+	const size = 8193
+	p := shardParams(size, 42)
+	p.Recovery = RecoveryConfig{Timeout: 2 * fastRec().Timeout, Retries: 1, Backoff: 2}
+
+	one, err := RunSharded(p, ShardConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.Completed {
+		t.Fatalf("single-shard round terminated: %s", one.TermReason)
+	}
+	many, err := RunSharded(p, ShardConfig{Shards: 16, Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, "shards=16 vs 1", one, many)
+
+	chain, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, "chain vs sharded", chain, many)
+}
+
+// TestShardedDesertion checks the desertion detector at every segment
+// position: mid-shard, at a shard boundary, and at the chain tail. The
+// deserter must be fined as unresponsive and the round must terminate.
+func TestShardedDesertion(t *testing.T) {
+	t.Parallel()
+	const size = 12
+	for _, deserter := range []int{5, 7, 8, size - 1} { // segs of 4: {0-3,4-7,8-11}
+		p := shardParams(size, 3)
+		p.Profile = p.Profile.WithDeviant(deserter, agent.Deserter())
+		res, err := RunSharded(p, ShardConfig{Shards: 3, Fanout: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed {
+			t.Fatalf("deserter %d: round completed", deserter)
+		}
+		ds := res.DetectionsFor(deserter)
+		if len(ds) != 1 || ds[0].Violation != ViolationUnresponsive || ds[0].Fine <= 0 {
+			t.Fatalf("deserter %d: detections %+v", deserter, res.Detections)
+		}
+	}
+}
+
+// TestShardedTamperedFrameChecksum corrupts a batch frame between
+// sub-arbiters (a raw byte flip in the inner region). The envelope checksum
+// at the receiving tree node must catch it and terminate the round with a
+// named transport-corruption report.
+func TestShardedTamperedFrameChecksum(t *testing.T) {
+	t.Parallel()
+	const size = 13
+	for _, plane := range []wire.MsgType{wire.TypeBidBatch, wire.TypeBillBatch} {
+		tampered := false
+		p := shardParams(size, 5)
+		cfg := ShardConfig{
+			Shards: 6, // 2 tree levels at fanout 2: interior nodes exercise the splice path
+			Fanout: 2,
+			TamperFrame: func(from, to int, frame []byte) []byte {
+				// Corrupt the second shard's frame on its first hop up.
+				if t, _ := wire.Peek(frame); from != 1 || tampered || t != plane {
+					return frame
+				}
+				tampered = true
+				bad := append([]byte(nil), frame...)
+				bad[len(bad)-3] ^= 0x10
+				return bad
+			},
+		}
+		res, err := RunSharded(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tampered {
+			t.Fatalf("%v: tamper hook never fired", plane)
+		}
+		if res.Completed && plane == wire.TypeBidBatch {
+			t.Fatalf("%v: round completed despite corrupted batch", plane)
+		}
+		found := false
+		for _, d := range res.Detections {
+			if d.Violation == ViolationBadSignature && d.Offender == 3 {
+				// Shard 1 covers P3,P4 at this size; its leftmost bidder is
+				// the attributed offender.
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%v: no bad-signature detection: %+v (reason %q)", plane, res.Detections, res.TermReason)
+		}
+		if res.Failure == nil || !strings.Contains(res.TermReason, "corrupted") {
+			t.Fatalf("%v: termination not attributed to corruption: %q", plane, res.TermReason)
+		}
+	}
+}
+
+// TestShardedTamperedSignature re-encodes a bid batch in flight with one
+// signature bit flipped — a valid envelope hiding an inauthentic message.
+// The root's bulk verification must name the right processor.
+func TestShardedTamperedSignature(t *testing.T) {
+	t.Parallel()
+	const size = 13
+	tampered := false
+	var victim int
+	p := shardParams(size, 5)
+	cfg := ShardConfig{
+		Shards: 3,
+		Fanout: 2,
+		TamperFrame: func(from, to int, frame []byte) []byte {
+			if t, _ := wire.Peek(frame); tampered || t != wire.TypeBidBatch || from != 1 {
+				return frame
+			}
+			batch, _, err := wire.DecodeBidBatch(frame)
+			if err != nil || len(batch.Bids) == 0 {
+				return frame
+			}
+			tampered = true
+			victim = batch.Bids[0].From
+			batch.Bids[0].Signed[0].Sig[0] ^= 0x01
+			return wire.AppendBidBatch(nil, batch)
+		},
+	}
+	res, err := RunSharded(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tampered {
+		t.Fatal("tamper hook never fired")
+	}
+	if res.Completed {
+		t.Fatal("round completed despite inauthentic batched bid")
+	}
+	ds := res.DetectionsFor(victim)
+	if len(ds) != 1 || ds[0].Violation != ViolationBadSignature {
+		t.Fatalf("victim %d: detections %+v", victim, res.Detections)
+	}
+}
+
+// TestShardedRejectsInjector: the message-plane fault injector models the
+// chain topology and must be refused, not silently ignored.
+func TestShardedRejectsInjector(t *testing.T) {
+	t.Parallel()
+	p := shardParams(8, 1)
+	p.Inject = fault.NewPlan(1, fault.Rule{Kind: fault.Drop, Proc: 2, Phase: fault.PhaseBid, Times: 1})
+	if _, err := RunSharded(p, ShardConfig{Shards: 2}); err == nil {
+		t.Fatal("sharded engine accepted a fault injector")
+	}
+}
+
+// TestShardConfigValidation covers the config envelope.
+func TestShardConfigValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewShardedSession(8, 1, ShardConfig{Shards: 0}); err == nil {
+		t.Fatal("accepted 0 shards")
+	}
+	if _, err := NewShardedSession(8, 1, ShardConfig{Shards: 9}); err == nil {
+		t.Fatal("accepted more shards than processors")
+	}
+	if _, err := NewShardedSession(8, 1, ShardConfig{Shards: 2, Fanout: 1}); err == nil {
+		t.Fatal("accepted fanout 1")
+	}
+	ss, err := NewShardedSession(8, 1, ShardConfig{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d", got)
+	}
+}

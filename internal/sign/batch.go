@@ -1,8 +1,45 @@
 package sign
 
 import (
-	"dlsmech/internal/parallel"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
+
+// errBatchAnomaly reports the impossible-by-contract case where the chunked
+// pass saw an invalid signature the sequential re-check could not reproduce.
+var errBatchAnomaly = errors.New("sign: batch verify failed but sequential re-check passed (batch mutated concurrently?)")
+
+// verifyChunkSize is the unit of work a verifier goroutine claims at a time.
+// One atomic claim per chunk (not per signature) keeps the claim counter off
+// the hot path, and a worker that claims a chunk verifies its signatures
+// back to back — per-worker chunk affinity, so adjacent misses (one shard's
+// frame, decoded into adjacent slots) are checked by one core with warm
+// caches.
+const verifyChunkSize = 128
+
+// missBuf is the pooled scratch a large batch spills into: the original
+// indexes of the memo misses and a copy of the missing messages. The copy
+// is what keeps the caller's msgs slice from escaping into the fan-out
+// goroutines — callers pass stack arrays, and the all-hit steady state must
+// stay allocation-free even at 10⁵ signatures.
+type missBuf struct {
+	idx  []int32
+	msgs []Signed
+}
+
+var missPool = sync.Pool{New: func() interface{} { return new(missBuf) }}
+
+func (b *missBuf) release() {
+	// Drop payload references before pooling; the index ints are harmless.
+	for i := range b.msgs {
+		b.msgs[i] = Signed{}
+	}
+	b.idx = b.idx[:0]
+	b.msgs = b.msgs[:0]
+	missPool.Put(b)
+}
 
 // VerifyBatch checks a batch of signed messages and returns nil iff every one
 // carries a valid signature from its claimed signer — the per-phase bulk
@@ -10,8 +47,9 @@ import (
 //
 // The batch is split into memo hits and misses under one lock acquisition.
 // When everything hits (the steady-state of a long-running session) the call
-// does no crypto at all. Misses fan out through internal/parallel, which
-// amortizes the ed25519 cost across cores where there are cores to use.
+// does no crypto and no allocation at all, at any batch size: small miss
+// lists live in a stack buffer and large ones in a pooled arena. Misses are
+// verified in chunks claimed by a bounded set of workers.
 //
 // On failure the batch result alone cannot be used as evidence — a fine needs
 // a named deviant (Lemma 5.2). So a failed batch falls back to one-by-one
@@ -20,8 +58,22 @@ import (
 // reported. Failures are never memoized, so the re-check is a genuine
 // re-verification.
 func (p *PKI) VerifyBatch(msgs []Signed) error {
+	_, err := p.verifyBatchIndexed(msgs)
+	return err
+}
+
+// VerifyBatchNamed is VerifyBatch returning the attribution the arbiter
+// needs when a bulk ingest fails: the index (into msgs) of the first invalid
+// message, or -1 when every signature checks out. The error names the same
+// message the sequential reference loop would have named.
+func (p *PKI) VerifyBatchNamed(msgs []Signed) (int, error) {
+	return p.verifyBatchIndexed(msgs)
+}
+
+func (p *PKI) verifyBatchIndexed(msgs []Signed) (int, error) {
 	var stack [32]int32
 	miss := stack[:0]
+	var spill *missBuf
 
 	p.memoMu.RLock()
 	for i := range msgs {
@@ -33,49 +85,139 @@ func (p *PKI) VerifyBatch(msgs []Signed) error {
 			_, hit = p.memoLong[memoKeyLong{id: msgs[i].SignerID, payload: string(msgs[i].Payload), sig: string(msgs[i].Sig)}]
 		}
 		if !hit {
-			miss = append(miss, int32(i))
+			if spill == nil && len(miss) < cap(miss) {
+				miss = append(miss, int32(i))
+				continue
+			}
+			// Stack buffer full: spill into the pooled arena. The stack
+			// array is only ever read from here on — storing it anywhere
+			// would force it (and the caller's batch) onto the heap.
+			if spill == nil {
+				spill = missPool.Get().(*missBuf)
+				if cap(spill.idx) < len(msgs) {
+					spill.idx = make([]int32, 0, len(msgs))
+				}
+				spill.idx = append(spill.idx[:0], miss...)
+			}
+			spill.idx = append(spill.idx, int32(i))
 		}
 	}
 	p.memoMu.RUnlock()
+	if spill != nil {
+		miss = spill.idx
+	}
 
 	if hits := len(msgs) - len(miss); hits > 0 {
 		p.memoHits.Add(int64(hits))
 	}
 	switch len(miss) {
 	case 0:
-		return nil
+		if spill != nil {
+			spill.release()
+		}
+		return -1, nil
 	case 1:
-		return p.Verify(msgs[miss[0]])
+		i := int(miss[0])
+		err := p.Verify(msgs[i])
+		if spill != nil {
+			spill.release()
+		}
+		if err != nil {
+			return i, err
+		}
+		return -1, nil
 	}
 	// Copy the missing messages out before they cross into the fan-out
 	// closure: neither msgs nor the stack miss buffer may leak, or the
 	// caller's batch (often a stack array) escapes and the all-hits fast
 	// path stops being allocation-free.
-	missMsgs := make([]Signed, len(miss))
-	for k, i := range miss {
-		missMsgs[k] = msgs[i]
+	if spill == nil {
+		spill = missPool.Get().(*missBuf)
+		if cap(spill.idx) < len(miss) {
+			spill.idx = make([]int32, 0, len(miss))
+		}
+		spill.idx = append(spill.idx[:0], miss...)
+		miss = spill.idx
 	}
-	return p.verifyMisses(missMsgs)
+	if cap(spill.msgs) < len(miss) {
+		spill.msgs = make([]Signed, 0, len(miss))
+	}
+	spill.msgs = spill.msgs[:0]
+	for _, i := range miss {
+		spill.msgs = append(spill.msgs, msgs[i])
+	}
+
+	at, err := p.verifyMisses(spill.msgs)
+	if at >= 0 {
+		at = int(miss[at])
+	}
+	spill.release()
+	return at, err
 }
 
 // verifyMisses checks the memo-missing messages, given in original message
-// order.
-func (p *PKI) verifyMisses(miss []Signed) error {
-	err := parallel.ForEach(0, len(miss), func(k int) error {
-		return p.Verify(miss[k])
-	})
-	if err == nil {
-		return nil
+// order, and returns the position (in miss) of the first invalid one.
+func (p *PKI) verifyMisses(miss []Signed) (int, error) {
+	if p.verifyChunked(miss) {
+		return -1, nil
 	}
 	// Name the deviant: sequential pass in message order. Memo hits cannot
 	// fail, so the first failing miss is the first failing message overall.
-	for _, m := range miss {
-		if err := p.Verify(m); err != nil {
-			return err
+	for k := range miss {
+		if err := p.Verify(miss[k]); err != nil {
+			return k, err
 		}
 	}
-	// The parallel pass failed but the sequential re-check passed: possible
+	// The chunked pass failed but the sequential re-check passed: possible
 	// only if the caller mutated msgs concurrently, which the protocol never
-	// does. Surface the original error rather than swallow it.
-	return err
+	// does. Surface an anomaly rather than swallow it.
+	return -1, errBatchAnomaly
+}
+
+// verifyChunked reports whether every message verifies, fanning the work out
+// in chunks of verifyChunkSize claimed by at most GOMAXPROCS workers. Small
+// batches (a single chunk) run inline with no goroutines.
+func (p *PKI) verifyChunked(miss []Signed) bool {
+	n := len(miss)
+	chunks := (n + verifyChunkSize - 1) / verifyChunkSize
+	workers := runtime.GOMAXPROCS(0)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for i := range miss {
+			if p.Verify(miss[i]) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	var next atomic.Int64
+	var bad atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !bad.Load() {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * verifyChunkSize
+				hi := lo + verifyChunkSize
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if p.Verify(miss[i]) != nil {
+						bad.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !bad.Load()
 }

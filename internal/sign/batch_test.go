@@ -220,3 +220,75 @@ func BenchmarkVerifyBatch(b *testing.B) {
 		})
 	}
 }
+
+// TestVerifyBatchMemoHitAllocFreeAt1e5 pins the warm bulk path at the sharded
+// round's scale: 10⁵ memoized signatures, zero allocations per batch call —
+// the miss scan must stay in its stack buffer when nothing misses.
+func TestVerifyBatchMemoHitAllocFreeAt1e5(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the allocation contract")
+	}
+	if testing.Short() {
+		t.Skip("1e5 signatures is slow under -short")
+	}
+	pki, signers := newRegistered(t, 0, 1, 2, 3)
+	msgs := batchOf(signers, 100_000)
+	if err := pki.VerifyBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := pki.VerifyBatch(msgs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("memo-hit VerifyBatch allocates %.1f/op at 1e5 sigs, want 0", allocs)
+	}
+}
+
+// TestVerifyBatchNamed checks the attribution contract: the index of the
+// first invalid message, across stack-resident and spilled miss lists, with
+// the bad message early, late, and absent.
+func TestVerifyBatchNamed(t *testing.T) {
+	for _, tc := range []struct{ n, badAt int }{
+		{18, 0}, {18, 17}, {18, -1}, // stack-resident misses
+		{200, 3}, {200, 199}, {200, -1}, // spilled misses, chunked fan-out
+	} {
+		t.Run(fmt.Sprintf("n=%d/badAt=%d", tc.n, tc.badAt), func(t *testing.T) {
+			pki, signers := newRegistered(t, 0, 1, 2)
+			msgs := batchOf(signers, tc.n)
+			if tc.badAt >= 0 {
+				msgs[tc.badAt].Sig[0] ^= 0x01
+			}
+			at, err := pki.VerifyBatchNamed(msgs)
+			if tc.badAt < 0 {
+				if at != -1 || err != nil {
+					t.Fatalf("clean batch named %d, %v", at, err)
+				}
+				return
+			}
+			if at != tc.badAt || err == nil {
+				t.Fatalf("named index %d (err %v), want %d", at, err, tc.badAt)
+			}
+		})
+	}
+}
+
+// TestVerifyBatchSpilledReuse drives the pooled arena twice and checks the
+// verdicts stay correct when the spill buffer is reused across batches.
+func TestVerifyBatchSpilledReuse(t *testing.T) {
+	pki, signers := newRegistered(t, 0, 1, 2)
+	a := batchOf(signers, 150)
+	if err := pki.VerifyBatch(a); err != nil {
+		t.Fatal(err)
+	}
+	// New payloads: a fresh all-miss batch reusing the pooled buffer.
+	b := make([]Signed, 150)
+	for i := range b {
+		b[i] = signers[i%3].Sign([]byte(fmt.Sprintf("second-%d", i)))
+	}
+	b[149].Sig[1] ^= 0x80
+	if at, err := pki.VerifyBatchNamed(b); at != 149 || err == nil {
+		t.Fatalf("reused-arena batch named %d, %v; want 149", at, err)
+	}
+}

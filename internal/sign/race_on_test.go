@@ -1,0 +1,8 @@
+//go:build race
+
+package sign
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates; allocation-count assertions
+// are skipped there.
+const raceEnabled = true

@@ -1,0 +1,115 @@
+package verify
+
+import (
+	"fmt"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/payment"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/wire"
+)
+
+// CheckShardedTransport verifies the forged-message discipline (Lemma 5.1
+// case (iv), transit corruption) on the sharded engine's aggregated message
+// plane: a batched bid frame tampered between two sub-arbiters must abort
+// the round with an invalid-signature report, name an offender inside the
+// corrupted subtree, and fine nobody — transit corruption is
+// indistinguishable from sender misbehavior, so the mechanism excludes
+// without fining, exactly as on the per-message chain plane. The scenario
+// must carry a Sharded config with at least two shards (the tamper needs a
+// tree edge); anything else is a structural skip.
+func CheckShardedTransport(sc *Scenario) Verdict {
+	v := sc.verdict("sharded-transport", "5.1")
+	v.Strategy = "tampered-frame"
+	if sc.Sharded == nil {
+		return skip(v, "scenario has no sharded config")
+	}
+	if sc.Sharded.Shards < 2 {
+		return skip(v, "frame tampering needs at least two shards")
+	}
+
+	size := sc.Net.Size()
+	profile := agent.AllTruthful(size)
+	params := func() protocol.Params {
+		return protocol.Params{
+			Net:        sc.Net,
+			Profile:    profile,
+			Cfg:        sc.Cfg,
+			Seed:       sc.Seed,
+			LambdaUnit: sc.LambdaUnit,
+			Recovery:   sc.recovery(),
+			Hooks:      sc.Hooks,
+		}
+	}
+
+	// Control: the same honest round over the same tree, untampered, must
+	// complete cleanly — otherwise a detection below would prove nothing
+	// about the tamper.
+	clean := *sc.Sharded
+	clean.TamperFrame = nil
+	honest, err := protocol.RunSharded(params(), clean)
+	if err != nil {
+		return errVerdict(v, err)
+	}
+	if !honest.Completed || len(honest.Detections) != 0 {
+		fail(&v, -1, "honest sharded rounds complete without detections",
+			fmt.Sprintf("Completed=%v, %d detections", honest.Completed, len(honest.Detections)))
+		return seal(v)
+	}
+
+	// Tamper: flip one bit in the body of the bid batch leaving sub-arbiter
+	// 1 on its first hop up the tree, breaking the frame checksum at the
+	// receiving node. Shard 1 always exists (Shards >= 2) and always bids
+	// (its segment excludes the root), so the flip is deterministic.
+	cfg := *sc.Sharded
+	tampered := false
+	cfg.TamperFrame = func(from, to int, frame []byte) []byte {
+		if from != 1 {
+			return frame
+		}
+		if t, err := wire.Peek(frame); err != nil || t != wire.TypeBidBatch {
+			return frame
+		}
+		tampered = true
+		bad := append([]byte(nil), frame...)
+		bad[len(bad)-3] ^= 0x10
+		return bad
+	}
+	res, err := protocol.RunSharded(params(), cfg)
+	if err != nil {
+		return errVerdict(v, err)
+	}
+	if !tampered {
+		fail(&v, -1, "the tamper hook fires on shard 1's bid frame", "TamperFrame never saw the frame")
+	}
+	if res.Completed {
+		fail(&v, -1, "a corrupted batch frame aborts the round", "Completed=true despite tampering")
+	}
+	found := false
+	for _, d := range res.Detections {
+		if d.Violation != protocol.ViolationBadSignature {
+			fail(&v, -1, "frame corruption reports invalid-signature only",
+				fmt.Sprintf("unexpected %s detection naming P%d", d.Violation, d.Offender))
+			continue
+		}
+		found = true
+		// Attribution stops at the corrupted subtree: the offender is the
+		// leftmost bidder under the tampered node, never the obedient root.
+		if d.Offender < 1 || d.Offender >= size {
+			fail(&v, -1, "the offender lies inside the corrupted subtree",
+				fmt.Sprintf("invalid-signature detection names P%d", d.Offender))
+		}
+	}
+	if !found {
+		fail(&v, -1, "a corrupted batch frame is detected (Lemma 5.1 case (iv))",
+			fmt.Sprintf("no invalid-signature detection (got %v)", res.Detections))
+	}
+	// Unattributable transit corruption excludes, never fines (Thm 5.1).
+	fines := append(res.Ledger.EntriesOfKind(payment.KindFine),
+		res.Ledger.EntriesOfKind(payment.KindAuditFine)...)
+	if len(fines) != 0 {
+		fail(&v, -1, "transit corruption is excluded, not fined",
+			fmt.Sprintf("%d fine entries for a tampered frame", len(fines)))
+	}
+	return seal(v)
+}

@@ -1,0 +1,132 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"dlsmech/internal/core"
+	"dlsmech/internal/protocol"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+func shardedScenario(t *testing.T, m int, seed uint64, cfg protocol.ShardConfig) *Scenario {
+	t.Helper()
+	net := workload.Chain(xrand.New(seed), workload.DefaultChainSpec(m))
+	return &Scenario{
+		Net:     net,
+		Cfg:     core.DefaultConfig(),
+		Seed:    seed,
+		Sharded: &cfg,
+	}
+}
+
+// TestTheorem51Sharded replays the full detectable-strategy catalog through
+// the sharded tree-of-arbiters engine: a deviant bid (or shed, overcharge,
+// contradiction, ...) inside a shard must be caught by exactly the same
+// theorem checkers that police the chain engine. The deviant position (2)
+// falls strictly inside the first shard of the 3-shard split, so detection
+// crosses the batched sub-arbiter plane.
+func TestTheorem51Sharded(t *testing.T) {
+	t.Parallel()
+	sc := shardedScenario(t, 9, 7, protocol.ShardConfig{Shards: 3, Fanout: 2})
+	verdicts := CheckTheorem51(sc)
+	if len(verdicts) == 0 {
+		t.Fatal("no verdicts from CheckTheorem51 under sharding")
+	}
+	for _, v := range verdicts {
+		if !v.Passed {
+			t.Errorf("sharded %s violated %q: %s", v.Strategy, v.Violated, v.Detail)
+		}
+	}
+}
+
+// TestTheorem51ShardedMatchesChain pins engine equivalence at the verdict
+// level: the same scenario must pass or fail each strategy identically
+// whether rounds replay over the chain or the sharded tree. (Margins are not
+// compared — terminated chain rounds race the abort into Phase III, so their
+// utility margins are not deterministic.)
+func TestTheorem51ShardedMatchesChain(t *testing.T) {
+	t.Parallel()
+	mk := func(cfg *protocol.ShardConfig) map[string]Verdict {
+		net := workload.Chain(xrand.New(5), workload.DefaultChainSpec(8))
+		sc := &Scenario{Net: net, Cfg: core.DefaultConfig(), Seed: 5, Sharded: cfg}
+		out := map[string]Verdict{}
+		for _, v := range CheckTheorem51(sc) {
+			out[v.Strategy] = v
+		}
+		return out
+	}
+	chain := mk(nil)
+	sharded := mk(&protocol.ShardConfig{Shards: 4, Fanout: 2})
+	if len(chain) != len(sharded) {
+		t.Fatalf("verdict sets differ: chain %d, sharded %d", len(chain), len(sharded))
+	}
+	for name, cv := range chain {
+		sv, ok := sharded[name]
+		if !ok {
+			t.Errorf("strategy %s missing from sharded verdicts", name)
+			continue
+		}
+		if cv.Passed != sv.Passed || cv.Violated != sv.Violated {
+			t.Errorf("strategy %s diverges: chain (passed=%v, %q) vs sharded (passed=%v, %q: %s)",
+				name, cv.Passed, cv.Violated, sv.Passed, sv.Violated, sv.Detail)
+		}
+	}
+}
+
+// TestShardedTransportChecker exercises the corrupted-frame conformance
+// check directly: a batched bid frame tampered between sub-arbiters must be
+// detected without fines, and scenarios that cannot host the tamper (no
+// sharded config, single shard) are structural skips.
+func TestShardedTransportChecker(t *testing.T) {
+	t.Parallel()
+	sc := shardedScenario(t, 12, 3, protocol.ShardConfig{Shards: 4, Fanout: 2})
+	v := CheckShardedTransport(sc)
+	if !v.Passed {
+		t.Fatalf("sharded transport check violated %q: %s", v.Violated, v.Detail)
+	}
+	if strings.HasPrefix(v.Detail, "skipped:") {
+		t.Fatalf("check skipped on a valid sharded scenario: %s", v.Detail)
+	}
+
+	sc.Sharded = nil
+	if v := CheckShardedTransport(sc); !v.Passed || !strings.HasPrefix(v.Detail, "skipped:") {
+		t.Fatalf("nil sharded config must skip, got passed=%v detail=%q", v.Passed, v.Detail)
+	}
+	sc.Sharded = &protocol.ShardConfig{Shards: 1}
+	if v := CheckShardedTransport(sc); !v.Passed || !strings.HasPrefix(v.Detail, "skipped:") {
+		t.Fatalf("single shard must skip, got passed=%v detail=%q", v.Passed, v.Detail)
+	}
+}
+
+// TestSuiteSharded runs the whole conformance matrix over the sharded engine
+// for one cell: every theorem verdict must pass exactly as on the chain, and
+// the sharded-transport checker must join the matrix.
+func TestSuiteSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance matrix under -short")
+	}
+	t.Parallel()
+	s := &Suite{
+		Seeds:   []uint64{1},
+		Sizes:   []int{9},
+		Sharded: &protocol.ShardConfig{Shards: 3, Fanout: 2},
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTransport := false
+	for _, v := range rep.Verdicts {
+		if v.Checker == "sharded-transport" {
+			sawTransport = true
+		}
+		if !v.Passed {
+			t.Errorf("%s/%s (%s) violated %q: %s", v.Checker, v.Theorem, v.Strategy, v.Violated, v.Detail)
+		}
+	}
+	if !sawTransport {
+		t.Error("sharded suite did not run the sharded-transport checker")
+	}
+}

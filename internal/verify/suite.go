@@ -26,6 +26,10 @@ type Suite struct {
 	LambdaUnit float64
 	Recovery   protocol.RecoveryConfig
 	Hooks      obs.Hooks
+	// Sharded replays every cell's protocol rounds through the sharded
+	// tree-of-arbiters engine (see Scenario.Sharded) and adds the
+	// sharded-transport checker to the matrix. Nil keeps the chain engine.
+	Sharded *protocol.ShardConfig
 }
 
 // cellSeed decorrelates the (seed, size) cells: the same base seed must not
@@ -79,6 +83,7 @@ func (s *Suite) Run() (*Report, error) {
 				LambdaUnit: s.LambdaUnit,
 				Recovery:   s.Recovery,
 				Hooks:      s.Hooks,
+				Sharded:    s.Sharded,
 			}
 			run := func(name string, check func() []Verdict) {
 				hooks.OnPhaseStart(obs.Root, "verify:"+name)
@@ -93,6 +98,9 @@ func (s *Suite) Run() (*Report, error) {
 			run("theorem-5.2", one(CheckTheorem52))
 			run("theorem-5.3", one(CheckTheorem53))
 			run("theorem-5.4", one(CheckTheorem54))
+			if s.Sharded != nil {
+				run("sharded-transport", one(CheckShardedTransport))
+			}
 			run("oracle-exact", one(CheckExactOracle))
 			run("oracle-lp", one(CheckLPOracle))
 			run("oracle-metamorphic", one(CheckMetamorphic))

@@ -31,6 +31,15 @@ type Scenario struct {
 	// Hooks receives observability callbacks from every protocol run the
 	// checkers replay (nil disables).
 	Hooks obs.Hooks
+	// Sharded, when non-nil, replays every protocol round through the
+	// sharded tree-of-arbiters engine instead of the goroutine-per-node
+	// chain. The theorems make no reference to the transport, so every
+	// verdict must come out the same; running the suite both ways is the
+	// conformance-level equivalence check for the sharded engine. Strategies
+	// that need a message-plane injector (the forged-message class) fall
+	// back to the chain engine — the sharded engine's corruption model is
+	// ShardConfig.TamperFrame, exercised by CheckShardedTransport.
+	Sharded *protocol.ShardConfig
 }
 
 func (sc *Scenario) recovery() protocol.RecoveryConfig {
@@ -126,6 +135,9 @@ func (sc *Scenario) runRound(profile agent.Profile, cfg core.Config, s *Strategy
 	}
 	if s != nil && s.Inject != nil {
 		p.Inject = s.Inject(sc.Seed, pos)
+	}
+	if sc.Sharded != nil && p.Inject == nil {
+		return protocol.RunSharded(p, *sc.Sharded)
 	}
 	return protocol.Run(p)
 }

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Batch frames carry a shard's worth of Phase I bids or Phase IV bills as
+// ONE frame up the arbiter tree, so the per-node fan-in of a sharded round
+// is O(fanout·depth) frames instead of O(m) at a single hot arbiter.
+//
+// The body is a sequence of ordinary framed Bid/Bill messages — the inner
+// frames are self-delimiting, so an interior tree node aggregates children
+// by concatenating their batch bodies without re-encoding (and without
+// being able to forge the signed slots inside). A checksum over the inner
+// region protects the parts signatures do not cover (From fields, bill
+// items, Λ blocks): a link that flips those bytes is caught at ingestion
+// as transport corruption instead of surfacing as a confusing signature
+// or arithmetic failure deep in arbitration.
+
+// ErrBadChecksum reports a batch frame whose body does not match its
+// checksum — transport corruption between sub-arbiters.
+var ErrBadChecksum = errors.New("wire: batch checksum mismatch")
+
+// BidBatch aggregates one shard segment's Phase I bids.
+type BidBatch struct {
+	Shard int   // originating shard index (leftmost shard of the subtree)
+	Bids  []Bid // in chain order within the segment
+}
+
+// BillBatch aggregates one shard segment's Phase IV bills.
+type BillBatch struct {
+	Shard int
+	Bills []Bill
+}
+
+// batchSum is FNV-1a 64 over the inner frame region. Not cryptographic —
+// integrity against forgery rests on the signed slots inside; this catches
+// accidental (or injected) corruption of the unsigned envelope bytes.
+func batchSum(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// minBidFrame is the smallest framed Bid (zero signed slots).
+const minBidFrame = headerSize + 8 + 4
+
+// minBillFrame is the smallest framed Bill (header, ids and items, empty
+// proof slots). Conservative lower bound; used only for count validation.
+const minBillFrame = headerSize + 8 + 4*8
+
+// appendBatchHeader writes header + shard + count and reserves the checksum
+// slot, returning the offsets needed to patch length and checksum.
+func appendBatchHeader(dst []byte, t MsgType, shard, count int) (out []byte, lenAt, sumAt int) {
+	dst, lenAt = appendHeader(dst, t)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(shard)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(count))
+	sumAt = len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	return dst, lenAt, sumAt
+}
+
+// finishBatch backfills checksum (over everything after the checksum slot)
+// and body length.
+func finishBatch(dst []byte, lenAt, sumAt int) []byte {
+	binary.LittleEndian.PutUint64(dst[sumAt:], batchSum(dst[sumAt+8:]))
+	return patchLength(dst, lenAt)
+}
+
+// AppendBidBatch appends the framed batch to dst.
+func AppendBidBatch(dst []byte, b BidBatch) []byte {
+	dst, lenAt, sumAt := appendBatchHeader(dst, TypeBidBatch, b.Shard, len(b.Bids))
+	for _, bid := range b.Bids {
+		dst = AppendBid(dst, bid)
+	}
+	return finishBatch(dst, lenAt, sumAt)
+}
+
+// AppendBillBatch appends the framed batch to dst.
+func AppendBillBatch(dst []byte, b BillBatch) []byte {
+	dst, lenAt, sumAt := appendBatchHeader(dst, TypeBillBatch, b.Shard, len(b.Bills))
+	for _, bill := range b.Bills {
+		dst = AppendBill(dst, bill)
+	}
+	return finishBatch(dst, lenAt, sumAt)
+}
+
+// openBatch validates the batch envelope (frame header, count bound,
+// checksum) and returns shard, count and the inner frame region.
+func openBatch(data []byte, want MsgType, minInner int) (shard, count int, inner []byte, total int, err error) {
+	r, n, err := openFrame(data, want)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	shard = r.i64()
+	count = int(r.u32())
+	sum := r.u64()
+	if r.err != nil {
+		return 0, 0, nil, 0, r.err
+	}
+	inner = r.buf[r.off:]
+	if count < 0 || count*minInner > len(inner) {
+		return 0, 0, nil, 0, ErrTruncated
+	}
+	if batchSum(inner) != sum {
+		return 0, 0, nil, 0, ErrBadChecksum
+	}
+	return shard, count, inner, n, nil
+}
+
+// envelopeSize is the fixed prefix of a batch frame: header + shard +
+// count + checksum slot. Everything after it is the inner frame region.
+const envelopeSize = headerSize + 8 + 4 + 8
+
+// SpliceBatch aggregates child batch frames the way an interior arbiter
+// tree node does: each child envelope is validated (type, count bound,
+// checksum) and the inner regions are concatenated under a fresh envelope
+// carrying the given shard id — no inner frame is re-encoded, so signed
+// slots pass through byte-identical. On a bad child frame it returns the
+// index of the offending child and the validation error.
+func SpliceBatch(dst []byte, t MsgType, shard int, frames [][]byte) ([]byte, int, error) {
+	minInner := minBidFrame
+	if t == TypeBillBatch {
+		minInner = minBillFrame
+	}
+	total := 0
+	for k, f := range frames {
+		_, count, _, n, err := openBatch(f, t, minInner)
+		if err != nil {
+			return nil, k, err
+		}
+		if n != len(f) {
+			return nil, k, ErrBadLength
+		}
+		total += count
+	}
+	out, lenAt, sumAt := appendBatchHeader(dst, t, shard, total)
+	for _, f := range frames {
+		out = append(out, f[envelopeSize:]...)
+	}
+	return finishBatch(out, lenAt, sumAt), -1, nil
+}
+
+// DecodeBidBatch parses one framed BidBatch from the front of data and
+// returns the number of bytes consumed.
+func DecodeBidBatch(data []byte) (BidBatch, int, error) {
+	shard, count, inner, n, err := openBatch(data, TypeBidBatch, minBidFrame)
+	if err != nil {
+		return BidBatch{}, 0, err
+	}
+	b := BidBatch{Shard: shard}
+	if count > 0 {
+		b.Bids = make([]Bid, count)
+	}
+	for i := 0; i < count; i++ {
+		bid, used, err := DecodeBid(inner)
+		if err != nil {
+			return BidBatch{}, 0, fmt.Errorf("wire: batch bid %d: %w", i, err)
+		}
+		b.Bids[i] = bid
+		inner = inner[used:]
+	}
+	if len(inner) != 0 {
+		return BidBatch{}, 0, ErrBadLength
+	}
+	return b, n, nil
+}
+
+// DecodeBillBatch parses one framed BillBatch from the front of data and
+// returns the number of bytes consumed.
+func DecodeBillBatch(data []byte) (BillBatch, int, error) {
+	shard, count, inner, n, err := openBatch(data, TypeBillBatch, minBillFrame)
+	if err != nil {
+		return BillBatch{}, 0, err
+	}
+	b := BillBatch{Shard: shard}
+	if count > 0 {
+		b.Bills = make([]Bill, count)
+	}
+	for i := 0; i < count; i++ {
+		bill, used, err := DecodeBill(inner)
+		if err != nil {
+			return BillBatch{}, 0, fmt.Errorf("wire: batch bill %d: %w", i, err)
+		}
+		b.Bills[i] = bill
+		inner = inner[used:]
+	}
+	if len(inner) != 0 {
+		return BillBatch{}, 0, ErrBadLength
+	}
+	return b, n, nil
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sampleBidBatch() BidBatch {
+	return BidBatch{Shard: 1, Bids: []Bid{
+		sampleBid(),
+		{From: 4, Signed: sampleBid().Signed[:1]},
+		{From: 5},
+	}}
+}
+
+func sampleBillBatch() BillBatch {
+	return BillBatch{Shard: 3, Bills: []Bill{
+		sampleBill(),
+		{From: 0, Proof: Proof{}},
+	}}
+}
+
+// TestBatchConcatenationIsAggregation checks the property the arbiter tree
+// relies on: an interior node aggregates child batches by concatenating
+// their inner frame regions and re-stamping the envelope — the result must
+// decode to the concatenation of the children's contents.
+func TestBatchConcatenationIsAggregation(t *testing.T) {
+	t.Parallel()
+	left := BidBatch{Shard: 0, Bids: []Bid{{From: 1}, sampleBid()}}
+	right := BidBatch{Shard: 1, Bids: []Bid{{From: 7}}}
+	merged := BidBatch{Shard: 0, Bids: append(append([]Bid(nil), left.Bids...), right.Bids...)}
+
+	// Simulate the tree node: splice the children's inner regions.
+	lf := AppendBidBatch(nil, left)
+	rf := AppendBidBatch(nil, right)
+	const envelope = headerSize + 8 + 4 + 8 // header + shard + count + checksum
+	var spliced []byte
+	spliced, lenAt, sumAt := appendBatchHeader(spliced, TypeBidBatch, 0, len(merged.Bids))
+	spliced = append(spliced, lf[envelope:]...)
+	spliced = append(spliced, rf[envelope:]...)
+	spliced = finishBatch(spliced, lenAt, sumAt)
+
+	if !bytes.Equal(spliced, AppendBidBatch(nil, merged)) {
+		t.Fatal("spliced aggregation differs from re-encoding the merged batch")
+	}
+	got, _, err := DecodeBidBatch(spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bids) != 3 || got.Bids[2].From != 7 {
+		t.Fatalf("spliced batch decoded wrong: %+v", got)
+	}
+}
+
+// TestBatchChecksumCatchesCorruption flips bytes that signatures do NOT
+// cover — the From field of an inner bid and a bill's Bonus item — and
+// requires the envelope checksum to reject the frame at ingestion.
+func TestBatchChecksumCatchesCorruption(t *testing.T) {
+	t.Parallel()
+	const envelope = headerSize + 8 + 4 + 8
+
+	frame := AppendBidBatch(nil, sampleBidBatch())
+	for _, at := range []int{envelope + headerSize, len(frame) - 1} {
+		bad := append([]byte(nil), frame...)
+		bad[at] ^= 0x40
+		if _, _, err := DecodeBidBatch(bad); !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("bid batch corrupted at %d: got %v, want checksum mismatch", at, err)
+		}
+	}
+
+	bf := AppendBillBatch(nil, sampleBillBatch())
+	bad := append([]byte(nil), bf...)
+	bad[envelope+headerSize+8+16] ^= 0x01 // first bill's Bonus low byte
+	if _, _, err := DecodeBillBatch(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("bill batch corruption: got %v, want checksum mismatch", err)
+	}
+
+	// Corrupting the declared count must also fail (checksum does not cover
+	// the envelope, but the count/body mismatch does).
+	bad = append([]byte(nil), frame...)
+	bad[headerSize+8]++ // count low byte
+	if _, _, err := DecodeBidBatch(bad); err == nil {
+		t.Fatal("count mutation accepted")
+	}
+}
+
+// TestBatchOversizedCountRejected mirrors the per-frame count validation:
+// a huge declared count must be rejected before any allocation.
+func TestBatchOversizedCountRejected(t *testing.T) {
+	t.Parallel()
+	frame := AppendBidBatch(nil, BidBatch{Shard: 0})
+	c := frame[headerSize+8 : headerSize+12]
+	c[0], c[1], c[2], c[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, err := DecodeBidBatch(frame); err == nil {
+		t.Fatal("oversized batch count accepted")
+	}
+}
+
+// TestBatchInnerTypeConfusion embeds a frame of the wrong type where a bid
+// is expected; the decoder must reject it.
+func TestBatchInnerTypeConfusion(t *testing.T) {
+	t.Parallel()
+	var body []byte
+	body, lenAt, sumAt := appendBatchHeader(body, TypeBidBatch, 0, 1)
+	body = AppendLoad(body, sampleLoad())
+	body = finishBatch(body, lenAt, sumAt)
+	if _, _, err := DecodeBidBatch(body); err == nil {
+		t.Fatal("load frame inside a bid batch accepted")
+	}
+}

@@ -56,6 +56,7 @@ func Peek(data []byte) (MsgType, error) {
 	}
 	switch t := MsgType(data[4]); t {
 	case TypeBid, TypeAlloc, TypeLoad, TypeBill, TypeGrievance,
+		TypeBidBatch, TypeBillBatch,
 		TypeHello, TypeHelloAck, TypeRound, TypeRoundResult, TypeSrvError:
 		return t, nil
 	default:

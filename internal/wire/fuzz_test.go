@@ -19,6 +19,10 @@ func FuzzWireRoundTrip(f *testing.F) {
 		AppendBill(nil, sampleBill()),
 		AppendBill(nil, Bill{Proof: Proof{}}),
 		AppendGrievance(nil, sampleGrievance()),
+		AppendBidBatch(nil, sampleBidBatch()),
+		AppendBidBatch(nil, BidBatch{Shard: 1}),
+		AppendBillBatch(nil, sampleBillBatch()),
+		AppendBillBatch(nil, BillBatch{}),
 		AppendHello(nil, sampleHello()),
 		AppendHelloAck(nil, HelloAck{SessionID: 7, Pooled: true}),
 		AppendRound(nil, sampleRound()),
@@ -68,6 +72,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 			var m Grievance
 			m, n, decErr = DecodeGrievance(data)
 			msg, reframe = m, func() []byte { return AppendGrievance(nil, m) }
+		case TypeBidBatch:
+			var m BidBatch
+			m, n, decErr = DecodeBidBatch(data)
+			msg, reframe = m, func() []byte { return AppendBidBatch(nil, m) }
+		case TypeBillBatch:
+			var m BillBatch
+			m, n, decErr = DecodeBillBatch(data)
+			msg, reframe = m, func() []byte { return AppendBillBatch(nil, m) }
 		case TypeHello:
 			var m Hello
 			m, n, decErr = DecodeHello(data)

@@ -44,6 +44,8 @@ const (
 	TypeLoad      MsgType = 0x03 // Phase III load transfer
 	TypeBill      MsgType = 0x04 // Phase IV itemized bill + proof bundle
 	TypeGrievance MsgType = 0x05 // Phase III overload accusation bundle
+	TypeBidBatch  MsgType = 0x06 // sharded Phase I aggregate (one shard's bids)
+	TypeBillBatch MsgType = 0x07 // sharded Phase IV aggregate (one shard's bills)
 )
 
 // String names the type for diagnostics.
@@ -59,6 +61,10 @@ func (t MsgType) String() string {
 		return "bill"
 	case TypeGrievance:
 		return "grievance"
+	case TypeBidBatch:
+		return "bid-batch"
+	case TypeBillBatch:
+		return "bill-batch"
 	case TypeHello:
 		return "hello"
 	case TypeHelloAck:

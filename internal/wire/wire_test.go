@@ -82,6 +82,10 @@ func encodeAny(t *testing.T, msg interface{}) []byte {
 		return AppendBill(nil, m)
 	case Grievance:
 		return AppendGrievance(nil, m)
+	case BidBatch:
+		return AppendBidBatch(nil, m)
+	case BillBatch:
+		return AppendBillBatch(nil, m)
 	case Hello:
 		return AppendHello(nil, m)
 	case HelloAck:
@@ -115,6 +119,10 @@ func decodeAny(t *testing.T, data []byte) (interface{}, int, error) {
 		return firstErr(DecodeBill(data))
 	case TypeGrievance:
 		return firstErr(DecodeGrievance(data))
+	case TypeBidBatch:
+		return firstErr(DecodeBidBatch(data))
+	case TypeBillBatch:
+		return firstErr(DecodeBillBatch(data))
 	case TypeHello:
 		return firstErr(DecodeHello(data))
 	case TypeHelloAck:
@@ -143,6 +151,10 @@ func allSamples() []interface{} {
 		sampleBill(),
 		Bill{From: 0, Proof: Proof{}}, // root's bill: no G, no successor
 		sampleGrievance(),
+		sampleBidBatch(),
+		BidBatch{Shard: 2}, // empty segment
+		sampleBillBatch(),
+		BillBatch{},
 		sampleHello(),
 		Hello{}, // empty tenant
 		HelloAck{SessionID: 42, Pooled: true},
