@@ -51,6 +51,7 @@ import (
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/experiments"
+	"dlsmech/internal/ledger"
 	"dlsmech/internal/obs"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/sign"
@@ -363,6 +364,9 @@ func microBenchmarks(seed uint64, benchtime time.Duration, hooks obs.Hooks, proc
 	for _, r := range wireBenchmarks(seed, benchtime) {
 		add(r.Op, r.M, r.NsPerOp, r.BPerOp, r.AllocsPerOp, 0)
 	}
+	for _, r := range ledgerBenchmarks(seed, benchtime) {
+		add(r.Op, r.M, r.NsPerOp, r.BPerOp, r.AllocsPerOp, 0)
+	}
 	return out
 }
 
@@ -443,6 +447,67 @@ func must(err error) {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// ledgerBenchmarks prices the evidence ledger's hot path: appending one
+// signed bid record (frame encode, SHA-256, conflict wiring) into a warm
+// store, for both backends, plus the backend fsync that gates a round
+// acknowledgement. Record sizes do not scale with m, so the ops report
+// m=0. These are soft keys: fsync latency on shared runners jitters far
+// past the compare gate's threshold, so they inform but must not be named
+// in -hard-ops.
+func ledgerBenchmarks(seed uint64, benchtime time.Duration) []microResult {
+	s := sign.NewSigner(1, seed)
+	payload := wire.AppendBid(nil, wire.Bid{
+		From:   1,
+		Signed: []sign.Signed{s.Sign(wire.EncodeSlot(wire.SlotEquivBid, 1, 2.5))},
+	})
+
+	// openStore provisions a store with one session and one open round, and
+	// returns it with the round-open hash every appended record hangs off.
+	openStore := func(be ledger.Backend) (*ledger.Store, uint64, ledger.Hash) {
+		st, err := ledger.Open(be, nil)
+		must(err)
+		sl, err := st.OpenSession(wire.Hello{Tenant: "bench", Size: 2, Seed: seed})
+		must(err)
+		_, err = sl.OpenRound(wire.Round{Seq: 1, Seed: seed})
+		must(err)
+		return st, sl.ID(), st.Session(sl.ID()).Gens[0].Open
+	}
+	appendOnce := func(st *ledger.Store, session uint64, open ledger.Hash, slot *int) {
+		*slot++ // fresh conflict key per iteration: Put dedups identical records
+		_, _, err := st.Put(ledger.Record{
+			Kind: ledger.KindBid, Session: session, Gen: 1, Slot: *slot,
+			Parents: []ledger.Hash{open}, Payload: payload,
+		})
+		must(err)
+	}
+
+	var out []microResult
+
+	{
+		st, id, open := openStore(ledger.NewMemBackend())
+		slot := 0
+		ns, b, allocs := measure(benchtime, func() { appendOnce(st, id, open, &slot) })
+		out = append(out, microResult{Op: "ledger_append_mem", NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs})
+	}
+
+	dir, err := os.MkdirTemp("", "dlsbench-ledger-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	be, err := ledger.OpenFile(dir, 0)
+	must(err)
+	st, id, open := openStore(be)
+	defer st.Close()
+	slot := 0
+	ns, b, allocs := measure(benchtime, func() { appendOnce(st, id, open, &slot) })
+	out = append(out, microResult{Op: "ledger_append_file", NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs})
+	ns, b, allocs = measure(benchtime, func() {
+		appendOnce(st, id, open, &slot)
+		must(st.Sync())
+	})
+	out = append(out, microResult{Op: "ledger_append_fsync", NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs})
+	return out
 }
 
 // runAllComparison times a full sequential suite pass against the parallel
@@ -587,7 +652,8 @@ func compareReports(oldRep, newRep *benchReport, hardOps string) error {
 		if ratio > regressionThreshold {
 			if fatalOp {
 				status = "REGRESSED"
-				failed = append(failed, k)
+				failed = append(failed, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%.2fx, gate %.2fx)",
+					k, prev.NsPerOp, r.NsPerOp, ratio, regressionThreshold))
 			} else {
 				status = "regressed (informational)"
 			}
@@ -629,8 +695,8 @@ func compareReports(oldRep, newRep *benchReport, hardOps string) error {
 		return fmt.Errorf("no shared (op, m) pairs between the two reports")
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("%d op(s) regressed >%d%% in ns/op: %s",
-			len(failed), int((regressionThreshold-1)*100), strings.Join(failed, ", "))
+		return fmt.Errorf("%d op(s) regressed >%d%% in ns/op:\n  %s",
+			len(failed), int((regressionThreshold-1)*100), strings.Join(failed, "\n  "))
 	}
 	return nil
 }

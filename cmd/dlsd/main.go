@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"dlsmech/internal/ledger"
 	"dlsmech/internal/obs"
 	"dlsmech/internal/server"
 )
@@ -43,10 +44,24 @@ func main() {
 		readTimeout = flag.Duration("read-timeout", 0, "per-frame read deadline (0 = default)")
 		maxDetector = flag.Duration("max-detector-wait", 0, "max worst-case detector budget a round may request (0 = default)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		ledgerDir   = flag.String("ledger-dir", "", "evidence ledger directory (empty disables durable evidence recording)")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
+	var store *ledger.Store
+	if *ledgerDir != "" {
+		be, err := ledger.OpenFile(*ledgerDir, 0)
+		if err != nil {
+			log.Fatalf("ledger storage %s: %v", *ledgerDir, err)
+		}
+		store, err = ledger.Open(be, ledger.NewMetrics(reg, "dlsd"))
+		if err != nil {
+			log.Fatalf("ledger %s: %v", *ledgerDir, err)
+		}
+		defer store.Close()
+		log.Printf("evidence ledger at %s", *ledgerDir)
+	}
 	s, err := server.Listen(server.Config{
 		Addr:                *addr,
 		MaxConns:            *maxConns,
@@ -56,6 +71,7 @@ func main() {
 		ReadTimeout:         *readTimeout,
 		MaxDetectorWait:     *maxDetector,
 		Registry:            reg,
+		Ledger:              store,
 		Logf:                log.Printf,
 	})
 	if err != nil {

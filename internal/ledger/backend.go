@@ -1,0 +1,99 @@
+package ledger
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Backend is the ledger's storage plane: append-only, content-addressed,
+// idempotent. The Store above it owns all DAG semantics; a backend only
+// moves bytes.
+type Backend interface {
+	// Put appends one encoded envelope under its content address. A hash
+	// already present is a no-op. The frame is copied (or written out)
+	// before Put returns; callers may reuse the buffer.
+	Put(h Hash, frame []byte) error
+	// Get returns the encoded envelope for h.
+	Get(h Hash) ([]byte, error)
+	// Scan streams every stored envelope in append order.
+	Scan(fn func(h Hash, frame []byte) error) error
+	// Sync makes every previous Put durable. A no-op for volatile backends.
+	Sync() error
+	// Close releases resources. Put/Get/Scan/Sync after Close error.
+	Close() error
+}
+
+// MemBackend is the volatile backend for tests and ephemeral sessions.
+type MemBackend struct {
+	mu     sync.RWMutex
+	frames map[Hash][]byte
+	order  []Hash
+	closed bool
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{frames: make(map[Hash][]byte)}
+}
+
+// Put stores a copy of frame under h.
+func (b *MemBackend) Put(h Hash, frame []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("ledger: backend closed")
+	}
+	if _, ok := b.frames[h]; ok {
+		return nil
+	}
+	b.frames[h] = append([]byte(nil), frame...)
+	b.order = append(b.order, h)
+	return nil
+}
+
+// Get returns the stored envelope.
+func (b *MemBackend) Get(h Hash) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, fmt.Errorf("ledger: backend closed")
+	}
+	frame, ok := b.frames[h]
+	if !ok {
+		return nil, fmt.Errorf("ledger: record %s not found", h.Short())
+	}
+	return frame, nil
+}
+
+// Scan visits every envelope in append order.
+func (b *MemBackend) Scan(fn func(h Hash, frame []byte) error) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return fmt.Errorf("ledger: backend closed")
+	}
+	for _, h := range b.order {
+		if err := fn(h, b.frames[h]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync is a no-op: memory is as durable as it gets.
+func (b *MemBackend) Sync() error { return nil }
+
+// Close marks the backend unusable.
+func (b *MemBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	return nil
+}
+
+// Len reports the number of stored records.
+func (b *MemBackend) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.order)
+}

@@ -1,0 +1,184 @@
+package ledger
+
+import (
+	"fmt"
+
+	"dlsmech/internal/sign"
+	"dlsmech/internal/wire"
+)
+
+// signedZero reports an absent optional signature slot (the zero value a
+// root bill carries for G and a tail bill for SuccBid).
+func signedZero(s sign.Signed) bool {
+	return s.SignerID == 0 && len(s.Payload) == 0 && len(s.Sig) == 0
+}
+
+// maxSessionSize bounds the PKI rebuild; a session record claiming more
+// processors is damaged, not big.
+const maxSessionSize = 1 << 21
+
+// VerifySession re-verifies one session's hash chain and signatures from
+// storage alone: every close record's parent set must commit to exactly the
+// round-open plus the generation's artifacts, no generation may carry both
+// a settle and a void, every artifact payload must decode under its
+// declared kind, and every embedded signature must verify against a PKI
+// rebuilt from the session's (size, seed). The returned issues are
+// report-grade: an empty slice means the stored evidence is internally
+// consistent and authentic (whether the *economics* hold is the replay and
+// theorem checkers' job, in internal/server's audit).
+func (s *Store) VerifySession(id uint64) []Issue {
+	sv := s.Session(id)
+	if sv == nil {
+		return []Issue{{Code: "no-session", Session: id, Detail: "session not in the log"}}
+	}
+	var issues []Issue
+	add := func(code string, gen uint64, h Hash, format string, args ...any) {
+		issues = append(issues, Issue{
+			Code: code, Session: id, Gen: gen, Hash: h,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	var pki *sign.PKI
+	if sv.Hello.Size <= 0 || sv.Hello.Size > maxSessionSize {
+		add("bad-session", 0, sv.Head, "implausible session size %d", sv.Hello.Size)
+	} else {
+		pki = sign.NewPKI()
+		for i := 0; i < sv.Hello.Size; i++ {
+			pki.MustRegister(i, sign.NewSigner(i, sv.Hello.Seed).Public())
+		}
+	}
+
+	for _, gv := range sv.Gens {
+		if !gv.Settle.IsZero() && !gv.Void.IsZero() {
+			add("double-close", gv.Gen, gv.Settle, "generation has both a settle and a void record")
+		}
+		closeH := gv.Settle
+		if closeH.IsZero() {
+			closeH = gv.Void
+		}
+		if !closeH.IsZero() {
+			rec, err := s.Get(closeH)
+			if err != nil {
+				add("unreadable", gv.Gen, closeH, "close record: %v", err)
+			} else {
+				want := make(map[Hash]struct{}, len(gv.Artifacts)+1)
+				want[gv.Open] = struct{}{}
+				for _, ah := range gv.Artifacts {
+					want[ah] = struct{}{}
+				}
+				for _, p := range rec.Parents {
+					if _, ok := want[p]; !ok {
+						add("uncommitted-parent", gv.Gen, closeH, "close record references %s, which is not this generation's open or an artifact", p.Short())
+					}
+					delete(want, p)
+				}
+				for missing := range want {
+					add("evidence-gap", gv.Gen, closeH, "artifact %s is in the log but not committed by the close record", missing.Short())
+				}
+			}
+		}
+		for _, ah := range gv.Artifacts {
+			rec, err := s.Get(ah)
+			if err != nil {
+				add("unreadable", gv.Gen, ah, "artifact: %v", err)
+				continue
+			}
+			if err := verifyArtifact(pki, rec); err != nil {
+				add("bad-artifact", gv.Gen, ah, "%s: %v", rec.Kind, err)
+			}
+		}
+	}
+	return issues
+}
+
+// verifyArtifact decodes one artifact payload under its declared kind and
+// verifies every embedded signature. pki may be nil (the session record was
+// damaged); payload shape is still checked.
+func verifyArtifact(pki *sign.PKI, rec Record) error {
+	check := func(name string, sg sign.Signed) error {
+		if signedZero(sg) || pki == nil {
+			return nil
+		}
+		if err := pki.Verify(sg); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	}
+	checkAlloc := func(g wire.Alloc) error {
+		for _, f := range []struct {
+			name string
+			sg   sign.Signed
+		}{
+			{"PrevLoad", g.PrevLoad}, {"Load", g.Load}, {"PrevEquiv", g.PrevEquiv},
+			{"PrevBid", g.PrevBid}, {"EchoEquiv", g.EchoEquiv},
+		} {
+			if err := check(f.name, f.sg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	whole := func(n int, err error) error {
+		if err != nil {
+			return err
+		}
+		if n != len(rec.Payload) {
+			return fmt.Errorf("%d trailing payload bytes", len(rec.Payload)-n)
+		}
+		return nil
+	}
+	switch rec.Kind {
+	case KindBid:
+		b, n, err := wire.DecodeBid(rec.Payload)
+		if err := whole(n, err); err != nil {
+			return err
+		}
+		for i, sg := range b.Signed {
+			if err := check(fmt.Sprintf("signed[%d]", i), sg); err != nil {
+				return err
+			}
+		}
+	case KindAlloc:
+		g, n, err := wire.DecodeAlloc(rec.Payload)
+		if err := whole(n, err); err != nil {
+			return err
+		}
+		return checkAlloc(g)
+	case KindLoadAck:
+		_, n, err := wire.DecodeLoad(rec.Payload)
+		return whole(n, err)
+	case KindGrievance:
+		gr, n, err := wire.DecodeGrievance(rec.Payload)
+		if err := whole(n, err); err != nil {
+			return err
+		}
+		if err := checkAlloc(gr.G); err != nil {
+			return err
+		}
+		return check("meter", gr.Meter.Msg)
+	case KindBill:
+		b, n, err := wire.DecodeBill(rec.Payload)
+		if err := whole(n, err); err != nil {
+			return err
+		}
+		if err := checkAlloc(b.Proof.G); err != nil {
+			return fmt.Errorf("proof G: %w", err)
+		}
+		if b.Proof.HasSucc {
+			if err := check("proof succ bid", b.Proof.SuccBid); err != nil {
+				return err
+			}
+		}
+		if err := check("proof own bid", b.Proof.OwnBid); err != nil {
+			return err
+		}
+		return check("proof meter", b.Proof.Meter.Msg)
+	case KindFine:
+		_, n, err := wire.DecodeDetection(rec.Payload)
+		return whole(n, err)
+	default:
+		return fmt.Errorf("unexpected artifact kind %s", rec.Kind)
+	}
+	return nil
+}

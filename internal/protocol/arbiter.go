@@ -11,6 +11,7 @@ import (
 	"dlsmech/internal/obs"
 	"dlsmech/internal/payment"
 	"dlsmech/internal/sign"
+	"dlsmech/internal/wire"
 	"dlsmech/internal/xrand"
 )
 
@@ -96,6 +97,9 @@ func (a *arbiter) noteBid(j int, s sign.Signed) {
 	// slices; injector mutators clone before touching bytes).
 	if _, ok := a.bids[j]; !ok {
 		a.bids[j] = s
+		if a.r.sink != nil {
+			a.r.sink.RecordBid(j, s)
+		}
 	}
 }
 
@@ -281,6 +285,9 @@ func (a *arbiter) reportEchoMismatch(reporter int, g gMsg, claimedBid float64) {
 func (a *arbiter) reportOverload(reporter int, g gMsg, att device.Attestation, meter device.MeterReading) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.r.sink != nil {
+		a.r.sink.RecordGrievance(wire.Grievance{Reporter: reporter, G: g, Att: att, Meter: meter})
+	}
 	accused := reporter - 1
 	a.r.countVerifyN(7)
 	vals, err := verifyG(a.r.pki, reporter, g, a.r.seqVerify)
@@ -460,6 +467,9 @@ func (r *runner) takeBill(b billMsg) {
 	if b.From >= 0 && b.From < r.size && !r.billSeen[b.From] {
 		r.billSeen[b.From] = true
 		r.billSlot[b.From] = b
+		if r.sink != nil {
+			r.sink.RecordBill(b)
+		}
 	}
 }
 

@@ -1,0 +1,39 @@
+package protocol
+
+import (
+	"dlsmech/internal/sign"
+	"dlsmech/internal/wire"
+)
+
+// EvidenceSink receives every signed artifact a round produces, as it is
+// produced, so a caller can persist the evidence the mechanism's guarantees
+// rest on (internal/ledger records them into a content-addressed DAG). The
+// sink observes the protocol; it cannot influence it — no method returns
+// anything, and a sink failure is the sink owner's problem to surface
+// (internal/server checks its recorder's sticky error before acknowledging
+// the round).
+//
+// Call sites are the shared step/arbiter helpers, so the chain and sharded
+// engines record the identical artifact set for equal seeds:
+//
+//   - RecordBid: the root's registration of P_slot's signed Phase I
+//     commitment (arbiter.noteBid, deduplicated — one call per processor).
+//   - RecordAlloc: G_{i+1} as built by P_i in Phase II, before transport.
+//   - RecordLoadAck: P_slot's Phase III receipt — the amount received and
+//     the Λ attestation it will certify with.
+//   - RecordGrievance: an overload accusation bundle as filed.
+//   - RecordBill: P_slot's Phase IV bill with its proof bundle, first copy
+//     per sender.
+//
+// Implementations must be safe for concurrent use: processors run as
+// goroutines and several may record at once. They must also not retain the
+// messages (or any contained slice) beyond the call — attestation and bid
+// buffers are per-processor arenas reused across rounds. A persisting sink
+// therefore serializes synchronously.
+type EvidenceSink interface {
+	RecordBid(slot int, s sign.Signed)
+	RecordAlloc(g wire.Alloc)
+	RecordLoadAck(slot int, l wire.Load)
+	RecordGrievance(gr wire.Grievance)
+	RecordBill(b wire.Bill)
+}

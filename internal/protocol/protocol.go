@@ -84,6 +84,9 @@ type Params struct {
 	// the batch-vs-sequential differential tests; verdicts and named
 	// deviants must be identical either way.
 	SequentialVerify bool
+	// Evidence optionally receives every signed artifact the round produces
+	// (nil records nothing). See EvidenceSink for the contract.
+	Evidence EvidenceSink
 }
 
 // Violation names the deviation classes of Lemma 5.1.
@@ -317,6 +320,7 @@ func (r *runner) procMain(i int, wg *sync.WaitGroup) {
 func (r *runner) resetRound(p Params, unit float64, seed uint64) error {
 	r.params = p
 	r.seqVerify = p.SequentialVerify
+	r.sink = p.Evidence
 	r.rec = p.Recovery.withDefaults()
 	r.hooks = obs.Or(p.Hooks)
 	r.inj = p.Inject
@@ -459,6 +463,7 @@ type runner struct {
 	inj       fault.Injector
 	rec       RecoveryConfig
 	hooks     obs.Hooks
+	sink      EvidenceSink
 
 	// Ledger memo strings, built once per session.
 	memoC, memoE, memoB, memoS []string

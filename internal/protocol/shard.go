@@ -71,7 +71,7 @@ func (c ShardConfig) validate(size int) error {
 // shardTreeNode is one interior aggregation node of the arbiter tree.
 type shardTreeNode struct {
 	id       int
-	children []int // node ids, left to right
+	children []int  // node ids, left to right
 	buf      []byte // splice arena, reused across rounds
 }
 
@@ -503,7 +503,7 @@ func (ss *ShardedSession) runShard(s int) {
 		}
 		att, received = minted, 1
 	} else {
-		if r.behavior(lo-1).Faults.Desert {
+		if r.behavior(lo - 1).Faults.Desert {
 			// The boundary predecessor took its allocation and walked out;
 			// its segment stays silent, so the successor declares it dead
 			// (same detection the chain's receive timeout produces).

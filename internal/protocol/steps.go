@@ -149,7 +149,7 @@ func (r *runner) phase2Build(i int) gMsg {
 		prevLoadSig = st.gIn.Load       // dsm_{i-1}(D_i)
 		prevEquivSig = st.gIn.EchoEquiv // dsm_{i-1}(w̄_i)
 	}
-	return gMsg{
+	g := gMsg{
 		To:        i + 1,
 		PrevLoad:  prevLoadSig,
 		Load:      r.signSlot(i, slotLoad, i+1, reportD),
@@ -157,6 +157,10 @@ func (r *runner) phase2Build(i int) gMsg {
 		PrevBid:   r.signSlot(i, slotBid, i, st.bid),
 		EchoEquiv: r.signSlot(i, slotEquivBid, i+1, st.wbarSucc),
 	}
+	if r.sink != nil {
+		r.sink.RecordAlloc(g)
+	}
+	return g
 }
 
 // phase3Mint mints the round's unit workload into the session block arena
@@ -233,6 +237,9 @@ func (r *runner) phase3Certify(i int, att device.Attestation) bool {
 	}
 	st.meter = reading
 	st.valuation = -st.retained * wTilde
+	if r.sink != nil {
+		r.sink.RecordLoadAck(i, loadMsg{Amount: st.received, Att: st.att})
+	}
 	return true
 }
 

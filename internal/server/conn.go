@@ -14,6 +14,7 @@ import (
 	"dlsmech/internal/core"
 	"dlsmech/internal/dlt"
 	"dlsmech/internal/fault"
+	"dlsmech/internal/ledger"
 	"dlsmech/internal/protocol"
 	"dlsmech/internal/wire"
 )
@@ -26,6 +27,11 @@ const (
 	CodeBadRound   = "bad-round"  // round request failed validation
 	CodeRunFailed  = "run-failed" // protocol.Run returned an error
 	CodeBadFrame   = "bad-frame"  // unexpected frame type for the conn state
+	// CodeLedgerFailed reports that the evidence ledger could not durably
+	// record the round. The round's outcome is NOT acknowledged: without a
+	// settle record on disk, the daemon refuses to assert one on the wire
+	// (fsync-before-ack).
+	CodeLedgerFailed = "ledger-failed"
 )
 
 // Round-parameter bounds: a round request is validated against these
@@ -116,12 +122,12 @@ func (s *Server) handleConn(cs *connState) {
 		return
 	}
 	key := poolKey{tenant: hello.Tenant, size: hello.Size, seed: hello.Seed}
-	sess, pooled, err := s.pool.get(key)
+	ps, pooled, err := s.pool.get(key)
 	if err != nil {
 		cs.writeError(s, 0, CodeOverloaded, err.Error())
 		return
 	}
-	defer s.pool.put(key, sess)
+	defer s.pool.put(key, ps)
 
 	id := s.sessionID.Add(1)
 	cs.wbuf = wire.AppendHelloAck(cs.wbuf[:0], wire.HelloAck{SessionID: id, Pooled: pooled})
@@ -151,7 +157,7 @@ func (s *Server) handleConn(cs *connState) {
 			s.met.wireDecodeErrors.Inc()
 			return
 		}
-		if err := s.serveRound(cs, hello, sess, rq); err != nil {
+		if err := s.serveRound(cs, hello, ps, rq); err != nil {
 			return
 		}
 	}
@@ -206,7 +212,14 @@ func (s *Server) countReadError(err error) {
 
 // serveRound validates, executes and answers one round request. A non-nil
 // return closes the connection (response write failed).
-func (s *Server) serveRound(cs *connState, hello wire.Hello, sess *protocol.Session, rq wire.Round) error {
+//
+// With a ledger configured, the round is bracketed by evidence writes: a
+// round-open record before the run, every artifact during it (via the
+// protocol's EvidenceSink), and the fine + settle records — fsynced —
+// strictly before the RoundResult frame goes on the wire. A round whose
+// evidence cannot be made durable is answered with CodeLedgerFailed, never
+// with a result the disk does not back.
+func (s *Server) serveRound(cs *connState, hello wire.Hello, ps *pooledSession, rq wire.Round) error {
 	params, err := RoundParams(hello.Size, rq)
 	if err != nil {
 		s.met.roundsRejected.Inc()
@@ -224,21 +237,48 @@ func (s *Server) serveRound(cs *connState, hello wire.Hello, sess *protocol.Sess
 	case <-s.drainCh:
 		return cs.writeError(s, rq.Seq, CodeDraining, "server shutting down")
 	}
+
+	var rl *ledger.RoundLog
+	if ps.log != nil {
+		rl, err = ps.log.OpenRound(rq)
+		if err != nil {
+			<-s.roundSlots
+			s.met.ledgerRoundFailures.Inc()
+			return cs.writeError(s, rq.Seq, CodeLedgerFailed, err.Error())
+		}
+		params.Evidence = rl
+	}
+
 	cs.setInRound(true)
 	start := time.Now()
-	res, err := sess.Run(params)
+	res, err := ps.sess.Run(params)
 	dur := time.Since(start)
 	cs.setInRound(false)
 	<-s.roundSlots
 
 	if err != nil {
 		s.met.roundsFailed.Inc()
+		if rl != nil {
+			// Seal whatever evidence the failed run produced.
+			if verr := rl.Void(CodeRunFailed, err.Error()); verr != nil {
+				s.met.ledgerRoundFailures.Inc()
+				s.cfg.Logf("dlsd: ledger void seq %d: %v", rq.Seq, verr)
+			}
+		}
 		return cs.writeError(s, rq.Seq, CodeRunFailed, err.Error())
+	}
+
+	rr := ResultToWire(rq.Seq, res)
+	if rl != nil {
+		// fsync-before-ack: the settle record (and its fsync) precedes the
+		// response write below, so an acknowledged round survives a crash.
+		if err := rl.Close(rr); err != nil {
+			s.met.ledgerRoundFailures.Inc()
+			return cs.writeError(s, rq.Seq, CodeLedgerFailed, err.Error())
+		}
 	}
 	s.met.roundsServed.Inc()
 	s.met.roundSeconds.Observe(dur.Seconds())
-
-	rr := ResultToWire(rq.Seq, res)
 	s.tenants.settle(hello.Tenant, res)
 
 	cs.wbuf = wire.AppendRoundResult(cs.wbuf[:0], rr)

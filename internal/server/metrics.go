@@ -23,6 +23,12 @@ const (
 	MetricLedgerFailures   = "dlsd_ledger_conservation_failures_total"
 	MetricTenants          = "dlsd_tenants"
 	MetricDraining         = "dlsd_draining"
+	// MetricLedgerRoundFailures counts rounds the evidence ledger could not
+	// durably record (answered with CodeLedgerFailed or voided). The
+	// append/fsync/fork series live under the same dlsd prefix via
+	// ledger.NewMetrics.
+	MetricLedgerRoundFailures = "dlsd_ledger_round_failures_total"
+	MetricRoundsRecovered     = "dlsd_rounds_recovered_total"
 )
 
 // RoundSecondsBuckets buckets round latencies from 100µs to 10s: a warm
@@ -36,43 +42,47 @@ var RoundSecondsBuckets = []float64{
 // metrics holds the daemon's live handles; registration happens once at
 // construction so every series exists (at zero) from the first scrape.
 type metrics struct {
-	connsAccepted    *obs.Counter
-	connsRejected    *obs.Counter
-	connsActive      *obs.Gauge
-	readTimeouts     *obs.Counter
-	wireDecodeErrors *obs.Counter
-	sessionLeaks     *obs.Counter
-	sessionsCreated  *obs.Counter
-	sessionsPooled   *obs.Counter
-	sessionsActive   *obs.Gauge
-	roundsServed     *obs.Counter
-	roundsFailed     *obs.Counter
-	roundsRejected   *obs.Counter
-	roundSeconds     *obs.Histogram
-	errorsSent       *obs.Counter
-	ledgerFailures   *obs.Counter
-	tenants          *obs.Gauge
-	draining         *obs.Gauge
+	connsAccepted       *obs.Counter
+	connsRejected       *obs.Counter
+	connsActive         *obs.Gauge
+	readTimeouts        *obs.Counter
+	wireDecodeErrors    *obs.Counter
+	sessionLeaks        *obs.Counter
+	sessionsCreated     *obs.Counter
+	sessionsPooled      *obs.Counter
+	sessionsActive      *obs.Gauge
+	roundsServed        *obs.Counter
+	roundsFailed        *obs.Counter
+	roundsRejected      *obs.Counter
+	roundSeconds        *obs.Histogram
+	errorsSent          *obs.Counter
+	ledgerFailures      *obs.Counter
+	ledgerRoundFailures *obs.Counter
+	roundsRecovered     *obs.Counter
+	tenants             *obs.Gauge
+	draining            *obs.Gauge
 }
 
 func newMetrics(r *obs.Registry) *metrics {
 	return &metrics{
-		connsAccepted:    r.Counter(MetricConnsAccepted),
-		connsRejected:    r.Counter(MetricConnsRejected),
-		connsActive:      r.Gauge(MetricConnsActive),
-		readTimeouts:     r.Counter(MetricReadTimeouts),
-		wireDecodeErrors: r.Counter(MetricWireDecodeErrors),
-		sessionLeaks:     r.Counter(MetricSessionLeaks),
-		sessionsCreated:  r.Counter(MetricSessionsCreated),
-		sessionsPooled:   r.Counter(MetricSessionsPooled),
-		sessionsActive:   r.Gauge(MetricSessionsActive),
-		roundsServed:     r.Counter(MetricRoundsServed),
-		roundsFailed:     r.Counter(MetricRoundsFailed),
-		roundsRejected:   r.Counter(MetricRoundsRejected),
-		roundSeconds:     r.Histogram(MetricRoundSeconds, RoundSecondsBuckets),
-		errorsSent:       r.Counter(MetricErrorsSent),
-		ledgerFailures:   r.Counter(MetricLedgerFailures),
-		tenants:          r.Gauge(MetricTenants),
-		draining:         r.Gauge(MetricDraining),
+		connsAccepted:       r.Counter(MetricConnsAccepted),
+		connsRejected:       r.Counter(MetricConnsRejected),
+		connsActive:         r.Gauge(MetricConnsActive),
+		readTimeouts:        r.Counter(MetricReadTimeouts),
+		wireDecodeErrors:    r.Counter(MetricWireDecodeErrors),
+		sessionLeaks:        r.Counter(MetricSessionLeaks),
+		sessionsCreated:     r.Counter(MetricSessionsCreated),
+		sessionsPooled:      r.Counter(MetricSessionsPooled),
+		sessionsActive:      r.Gauge(MetricSessionsActive),
+		roundsServed:        r.Counter(MetricRoundsServed),
+		roundsFailed:        r.Counter(MetricRoundsFailed),
+		roundsRejected:      r.Counter(MetricRoundsRejected),
+		roundSeconds:        r.Histogram(MetricRoundSeconds, RoundSecondsBuckets),
+		errorsSent:          r.Counter(MetricErrorsSent),
+		ledgerFailures:      r.Counter(MetricLedgerFailures),
+		ledgerRoundFailures: r.Counter(MetricLedgerRoundFailures),
+		roundsRecovered:     r.Counter(MetricRoundsRecovered),
+		tenants:             r.Gauge(MetricTenants),
+		draining:            r.Gauge(MetricDraining),
 	}
 }

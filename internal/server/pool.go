@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 
+	"dlsmech/internal/ledger"
 	"dlsmech/internal/payment"
 	"dlsmech/internal/protocol"
+	"dlsmech/internal/wire"
 )
 
 // poolKey identifies one reusable session population. Seed is part of the
@@ -17,6 +19,16 @@ type poolKey struct {
 	seed   uint64
 }
 
+// pooledSession is one checked-out unit: the warm protocol session plus,
+// when the daemon runs with a ledger, the evidence log its rounds append
+// to. The pairing is permanent — a protocol session's round history and
+// its ledger session's generation spine advance in lockstep, which is what
+// makes crash recovery's deterministic replay line up with the log.
+type pooledSession struct {
+	sess *protocol.Session
+	log  *ledger.SessionLog
+}
+
 // sessionPool checks protocol sessions out to connections, exclusively: a
 // Session is not safe for concurrent Runs, so a checked-out session is
 // invisible to every other connection until it comes back. Sessions are
@@ -24,29 +36,30 @@ type poolKey struct {
 // so max bounds the total ever provisioned.
 type sessionPool struct {
 	mu    sync.Mutex
-	free  map[poolKey][]*protocol.Session
+	free  map[poolKey][]*pooledSession
 	total int
 	out   int
 	max   int
 	met   *metrics
+	store *ledger.Store // nil: no evidence ledger
 }
 
-func newSessionPool(max int, met *metrics) *sessionPool {
-	return &sessionPool{free: make(map[poolKey][]*protocol.Session), max: max, met: met}
+func newSessionPool(max int, met *metrics, store *ledger.Store) *sessionPool {
+	return &sessionPool{free: make(map[poolKey][]*pooledSession), max: max, met: met, store: store}
 }
 
 // get checks out a warm session for the key, provisioning a fresh one when
 // none is free. pooled reports a warm hit.
-func (p *sessionPool) get(k poolKey) (sess *protocol.Session, pooled bool, err error) {
+func (p *sessionPool) get(k poolKey) (ps *pooledSession, pooled bool, err error) {
 	p.mu.Lock()
 	if free := p.free[k]; len(free) > 0 {
-		sess = free[len(free)-1]
+		ps = free[len(free)-1]
 		p.free[k] = free[:len(free)-1]
 		p.out++
 		p.mu.Unlock()
 		p.met.sessionsPooled.Inc()
 		p.met.sessionsActive.Add(1)
-		return sess, true, nil
+		return ps, true, nil
 	}
 	if p.total >= p.max {
 		p.mu.Unlock()
@@ -58,22 +71,46 @@ func (p *sessionPool) get(k poolKey) (sess *protocol.Session, pooled bool, err e
 
 	// Key provisioning happens outside the lock: it is the expensive part
 	// (size ed25519 keygens), and nothing below depends on pool state.
-	sess = protocol.NewSession(k.size, k.seed)
+	ps = &pooledSession{sess: protocol.NewSession(k.size, k.seed)}
+	if p.store != nil {
+		log, err := p.store.OpenSession(wire.Hello{Tenant: k.tenant, Size: k.size, Seed: k.seed})
+		if err != nil {
+			p.mu.Lock()
+			p.total--
+			p.out--
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("server: ledger session open: %w", err)
+		}
+		ps.log = log
+	}
 	p.met.sessionsCreated.Inc()
 	p.met.sessionsActive.Add(1)
-	return sess, false, nil
+	return ps, false, nil
 }
 
 // put returns a checked-out session to the free list.
-func (p *sessionPool) put(k poolKey, sess *protocol.Session) {
-	if sess == nil {
+func (p *sessionPool) put(k poolKey, ps *pooledSession) {
+	if ps == nil {
 		return
 	}
 	p.mu.Lock()
-	p.free[k] = append(p.free[k], sess)
+	p.free[k] = append(p.free[k], ps)
 	p.out--
 	p.mu.Unlock()
 	p.met.sessionsActive.Add(-1)
+}
+
+// adopt seeds the free list with a session recovered from the ledger at
+// boot, counting it against the pool bound like any provisioned session.
+func (p *sessionPool) adopt(k poolKey, ps *pooledSession) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.total >= p.max {
+		return fmt.Errorf("server: session limit %d reached during recovery", p.max)
+	}
+	p.total++
+	p.free[k] = append(p.free[k], ps)
+	return nil
 }
 
 // outstanding returns the number of sessions currently checked out.

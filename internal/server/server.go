@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dlsmech/internal/ledger"
 	"dlsmech/internal/obs"
 )
 
@@ -77,6 +78,12 @@ type Config struct {
 	// Registry receives the daemon's metrics. nil means a private registry
 	// (still scrapable via Server.Registry).
 	Registry *obs.Registry
+	// Ledger, when non-nil, is the durable evidence store every served
+	// round is recorded into: round-open before the run, artifacts during
+	// it, fines + settle — fsynced — strictly before the result frame is
+	// written (fsync-before-ack). The store must be freshly opened and
+	// issue-free; Listen runs crash recovery over it before serving.
+	Ledger *ledger.Store
 	// Logf receives operational log lines. nil discards.
 	Logf func(format string, args ...any)
 }
@@ -141,14 +148,21 @@ func New(cfg Config) *Server {
 		conns:      make(map[*connState]struct{}),
 		drainCh:    make(chan struct{}),
 	}
-	s.pool = newSessionPool(cfg.MaxSessions, s.met)
+	s.pool = newSessionPool(cfg.MaxSessions, s.met, cfg.Ledger)
 	s.tenants = newTenantBook(s.met)
 	return s
 }
 
-// Listen binds the configured address and starts the accept loop.
+// Listen binds the configured address and starts the accept loop. With a
+// ledger configured, crash recovery runs first: every session in the log
+// is replayed and re-verified, interrupted rounds are resumed or voided,
+// and the warm sessions land in the pool — a recovery failure refuses to
+// serve rather than continuing on top of damaged evidence.
 func Listen(cfg Config) (*Server, error) {
 	s := New(cfg)
+	if err := s.Recover(); err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return nil, err

@@ -224,7 +224,7 @@ func TestArmReadPreservesNudge(t *testing.T) {
 
 func TestSessionPoolExclusive(t *testing.T) {
 	met := newMetrics(obs.NewRegistry())
-	p := newSessionPool(2, met)
+	p := newSessionPool(2, met, nil)
 	k := poolKey{tenant: "t", size: 2, seed: 1}
 
 	s1, pooled, err := p.get(k)

@@ -182,6 +182,7 @@ func TestVerifyBatchMemoHitAllocFree(t *testing.T) {
 		t.Fatalf("memo-hit VerifyBatch allocates %.1f/op, want 0", allocs)
 	}
 }
+
 // BenchmarkVerifyBatch prices the per-phase bulk check at protocol batch
 // sizes. "warm" is the session steady state — every signature answered from
 // the memo under a single lock acquisition — paired against "seq", the same

@@ -57,7 +57,8 @@ func Peek(data []byte) (MsgType, error) {
 	switch t := MsgType(data[4]); t {
 	case TypeBid, TypeAlloc, TypeLoad, TypeBill, TypeGrievance,
 		TypeBidBatch, TypeBillBatch,
-		TypeHello, TypeHelloAck, TypeRound, TypeRoundResult, TypeSrvError:
+		TypeHello, TypeHelloAck, TypeRound, TypeRoundResult, TypeSrvError,
+		TypeLedgerRecord, TypeDetection:
 		return t, nil
 	default:
 		return 0, fmt.Errorf("%w: 0x%02x", ErrBadType, data[4])

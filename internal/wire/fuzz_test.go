@@ -28,6 +28,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 		AppendRound(nil, sampleRound()),
 		AppendRoundResult(nil, sampleRoundResult()),
 		AppendSrvError(nil, SrvError{Seq: 3, Code: "overloaded", Msg: "try later"}),
+		AppendLedgerRecord(nil, sampleLedgerRecord()),
+		AppendLedgerRecord(nil, LedgerRecord{Kind: 1}),
+		AppendDetection(nil, sampleDetection()),
 		[]byte("DLS"),
 		{'D', 'L', 'S', Version, byte(TypeBid), 0xff, 0xff, 0xff, 0xff},
 	}
@@ -100,6 +103,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 			var m SrvError
 			m, n, decErr = DecodeSrvError(data)
 			msg, reframe = m, func() []byte { return AppendSrvError(nil, m) }
+		case TypeLedgerRecord:
+			var m LedgerRecord
+			m, n, decErr = DecodeLedgerRecord(data)
+			msg, reframe = m, func() []byte { return AppendLedgerRecord(nil, m) }
+		case TypeDetection:
+			var m DetectionRec
+			m, n, decErr = DecodeDetection(data)
+			msg, reframe = m, func() []byte { return AppendDetection(nil, m) }
 		}
 		if decErr != nil {
 			return

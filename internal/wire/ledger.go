@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Ledger frame types: the envelope internal/ledger persists its DAG nodes
+// in, plus the standalone detection frame a fine artifact wraps. The
+// envelope nests a complete inner frame (bid, alloc, ...) as its payload,
+// so every byte the ledger stores is decodable by this package alone —
+// dlsaudit never needs a schema beyond the wire vocabulary.
+
+// HashSize is the width of a ledger content address (SHA-256).
+const HashSize = 32
+
+// LedgerRecord is the persisted envelope of one evidence-DAG node: what
+// kind of artifact it is (internal/ledger.Kind), which session and
+// generation it belongs to, the slot disambiguating submissions inside the
+// generation, the content addresses of its DAG parents, and the inner wire
+// frame as an opaque payload. The envelope's own canonical encoding is
+// what the ledger hashes to mint the node's content address.
+type LedgerRecord struct {
+	Kind    uint8
+	Session uint64
+	Gen     uint64
+	Slot    int
+	Parents [][HashSize]byte
+	Payload []byte
+}
+
+// AppendLedgerRecord appends the framed envelope to dst.
+func AppendLedgerRecord(dst []byte, lr LedgerRecord) []byte {
+	dst, lenAt := appendHeader(dst, TypeLedgerRecord)
+	dst = append(dst, lr.Kind)
+	dst = binary.LittleEndian.AppendUint64(dst, lr.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, lr.Gen)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(lr.Slot)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(lr.Parents)))
+	for i := range lr.Parents {
+		dst = append(dst, lr.Parents[i][:]...)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(lr.Payload)))
+	dst = append(dst, lr.Payload...)
+	return patchLength(dst, lenAt)
+}
+
+// DecodeLedgerRecord parses one framed envelope from the front of data.
+func DecodeLedgerRecord(data []byte) (LedgerRecord, int, error) {
+	r, n, err := openFrame(data, TypeLedgerRecord)
+	if err != nil {
+		return LedgerRecord{}, 0, err
+	}
+	lr := LedgerRecord{
+		Kind:    r.u8(),
+		Session: r.u64(),
+		Gen:     r.u64(),
+		Slot:    r.i64(),
+	}
+	np := int(r.u32())
+	if r.err == nil && (np < 0 || np*HashSize > len(r.buf)-r.off) {
+		r.fail()
+	}
+	if r.err == nil && np > 0 {
+		lr.Parents = make([][HashSize]byte, np)
+		for i := range lr.Parents {
+			copy(lr.Parents[i][:], r.buf[r.off:r.off+HashSize])
+			r.off += HashSize
+		}
+	}
+	lr.Payload = r.bytes()
+	if err := r.finish(); err != nil {
+		return LedgerRecord{}, 0, err
+	}
+	return lr, n, nil
+}
+
+// AppendDetection appends one framed arbitration outcome to dst. The frame
+// is the payload of a fine artifact: the violation that was established,
+// who pays the fine F, and who collects the reward.
+func AppendDetection(dst []byte, d DetectionRec) []byte {
+	dst, lenAt := appendHeader(dst, TypeDetection)
+	dst = appendString(dst, d.Violation)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(d.Offender)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(d.Reporter)))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.Fine))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.Reward))
+	return patchLength(dst, lenAt)
+}
+
+// DecodeDetection parses one framed detection from the front of data.
+func DecodeDetection(data []byte) (DetectionRec, int, error) {
+	r, n, err := openFrame(data, TypeDetection)
+	if err != nil {
+		return DetectionRec{}, 0, err
+	}
+	d := DetectionRec{
+		Violation: r.str(),
+		Offender:  r.i64(),
+		Reporter:  r.i64(),
+		Fine:      r.f64(),
+		Reward:    r.f64(),
+	}
+	if err := r.finish(); err != nil {
+		return DetectionRec{}, 0, err
+	}
+	return d, n, nil
+}
+
+// LedgerKindName names an internal/ledger.Kind byte for diagnostics without
+// importing the ledger package; the two lists are kept in lockstep by the
+// ledger's tests.
+func LedgerKindName(k uint8) string {
+	switch k {
+	case 1:
+		return "session"
+	case 2:
+		return "round"
+	case 3:
+		return "bid"
+	case 4:
+		return "alloc"
+	case 5:
+		return "load-ack"
+	case 6:
+		return "grievance"
+	case 7:
+		return "bill"
+	case 8:
+		return "fine"
+	case 9:
+		return "settle"
+	case 10:
+		return "void"
+	default:
+		return fmt.Sprintf("kind-0x%02x", k)
+	}
+}

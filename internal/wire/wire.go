@@ -46,6 +46,9 @@ const (
 	TypeGrievance MsgType = 0x05 // Phase III overload accusation bundle
 	TypeBidBatch  MsgType = 0x06 // sharded Phase I aggregate (one shard's bids)
 	TypeBillBatch MsgType = 0x07 // sharded Phase IV aggregate (one shard's bills)
+
+	TypeLedgerRecord MsgType = 0x20 // evidence-ledger DAG node envelope
+	TypeDetection    MsgType = 0x21 // one arbitration outcome as a fine artifact
 )
 
 // String names the type for diagnostics.
@@ -75,6 +78,10 @@ func (t MsgType) String() string {
 		return "round-result"
 	case TypeSrvError:
 		return "srv-error"
+	case TypeLedgerRecord:
+		return "ledger-record"
+	case TypeDetection:
+		return "detection"
 	default:
 		return "unknown"
 	}

@@ -68,6 +68,26 @@ func sampleGrievance() Grievance {
 	return Grievance{Reporter: 2, G: sampleAlloc(), Att: device.Attestation{Blocks: []device.Block{5}}, Meter: sampleMeter()}
 }
 
+func sampleLedgerRecord() LedgerRecord {
+	var p1, p2 [HashSize]byte
+	for i := range p1 {
+		p1[i] = byte(i)
+		p2[i] = byte(255 - i)
+	}
+	return LedgerRecord{
+		Kind:    3, // bid
+		Session: 7,
+		Gen:     42,
+		Slot:    2,
+		Parents: [][HashSize]byte{p1, p2},
+		Payload: AppendBid(nil, sampleBid()),
+	}
+}
+
+func sampleDetection() DetectionRec {
+	return DetectionRec{Violation: "overload", Offender: 1, Reporter: 2, Fine: 40, Reward: 0.5}
+}
+
 // encodeAny frames any of the five message types.
 func encodeAny(t *testing.T, msg interface{}) []byte {
 	t.Helper()
@@ -96,6 +116,10 @@ func encodeAny(t *testing.T, msg interface{}) []byte {
 		return AppendRoundResult(nil, m)
 	case SrvError:
 		return AppendSrvError(nil, m)
+	case LedgerRecord:
+		return AppendLedgerRecord(nil, m)
+	case DetectionRec:
+		return AppendDetection(nil, m)
 	}
 	t.Fatalf("unsupported %T", msg)
 	return nil
@@ -133,6 +157,10 @@ func decodeAny(t *testing.T, data []byte) (interface{}, int, error) {
 		return firstErr(DecodeRoundResult(data))
 	case TypeSrvError:
 		return firstErr(DecodeSrvError(data))
+	case TypeLedgerRecord:
+		return firstErr(DecodeLedgerRecord(data))
+	case TypeDetection:
+		return firstErr(DecodeDetection(data))
 	}
 	t.Fatalf("unsupported type %v", typ)
 	return nil, 0, nil
@@ -164,6 +192,10 @@ func allSamples() []interface{} {
 		RoundResult{Seq: 9, TermReason: "terminated"},
 		SrvError{Seq: 2, Code: "overloaded", Msg: "round slots exhausted"},
 		SrvError{},
+		sampleLedgerRecord(),
+		LedgerRecord{Kind: 9}, // no parents, no payload
+		sampleDetection(),
+		DetectionRec{},
 	}
 }
 
