@@ -43,6 +43,8 @@ func main() {
 		maxRounds   = flag.Int("max-rounds", 0, "max concurrently executing rounds (0 = default)")
 		readTimeout = flag.Duration("read-timeout", 0, "per-frame read deadline (0 = default)")
 		maxDetector = flag.Duration("max-detector-wait", 0, "max worst-case detector budget a round may request (0 = default)")
+		maxStreamN  = flag.Int("max-stream-count", 0, "max loads per pipelined stream request (0 = default)")
+		maxStreamD  = flag.Int("max-stream-depth", 0, "max pipeline depth a stream may request (0 = default)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		ledgerDir   = flag.String("ledger-dir", "", "evidence ledger directory (empty disables durable evidence recording)")
 	)
@@ -70,6 +72,8 @@ func main() {
 		MaxConcurrentRounds: *maxRounds,
 		ReadTimeout:         *readTimeout,
 		MaxDetectorWait:     *maxDetector,
+		MaxStreamCount:      *maxStreamN,
+		MaxStreamDepth:      *maxStreamD,
 		Registry:            reg,
 		Ledger:              store,
 		Logf:                log.Printf,

@@ -12,6 +12,13 @@
 // issuing the next request, so the generator never outruns the daemon;
 // -rps adds pacing on top (each connection spaces its requests by
 // conns/rps so the fleet approximates the aggregate target).
+//
+// Backlog mode (-stream N) switches each request from a single round to a
+// pipelined stream of N loads at -depth, the shape served by dlsd's Stream
+// frame; latency quantiles then measure the inter-settle interval — the
+// pipeline's observed steady-state period:
+//
+//	dlsload -addr 127.0.0.1:4774 -conns 4 -m 64 -stream 256 -depth 4
 package main
 
 import (
@@ -43,6 +50,8 @@ type summary struct {
 	Conns      int     `json:"conns"`
 	Tenants    int     `json:"tenants"`
 	M          int     `json:"m"`
+	Streams    int64   `json:"streams,omitempty"`
+	Depth      int     `json:"depth,omitempty"`
 	Rounds     int64   `json:"rounds"`
 	Errors     int64   `json:"errors"`
 	Incomplete int64   `json:"incomplete"`
@@ -64,7 +73,9 @@ func main() {
 		tenants  = flag.Int("tenants", 4, "distinct tenants to spread sessions across")
 		conns    = flag.Int("conns", 64, "concurrent connections (one session each)")
 		m        = flag.Int("m", 64, "strategic processors per session")
-		rounds   = flag.Int("rounds", 0, "rounds per connection (0 = until -duration)")
+		rounds   = flag.Int("rounds", 0, "rounds (or streams, with -stream) per connection (0 = until -duration)")
+		stream   = flag.Int("stream", 0, "backlog mode: loads per pipelined stream request (0 = sequential rounds)")
+		depth    = flag.Int("depth", 4, "pipeline depth requested per stream (with -stream)")
 		rps      = flag.Float64("rps", 0, "target aggregate rounds/sec (0 = unpaced)")
 		duration = flag.Duration("duration", 10*time.Second, "run length when -rounds is 0")
 		seed     = flag.Uint64("seed", 1, "base seed for networks, keys and rounds")
@@ -94,7 +105,7 @@ func main() {
 	}
 	deadline := time.Now().Add(*duration)
 
-	var done, errs, incomplete, pooled atomic.Int64
+	var done, errs, incomplete, pooled, streams atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < *conns; i++ {
@@ -143,6 +154,48 @@ func main() {
 					Retries:   *rRetries,
 					Backoff:   *rBackoff,
 				}
+				if *stream > 0 {
+					// Backlog mode: one pipelined stream per iteration; the
+					// histogram records inter-settle intervals, the pipeline's
+					// observed period (first load measures from submission).
+					rq.Seq = uint64(r*(*stream) + 1)
+					rq.Seed = *seed + uint64(i*1_000_000+r*(*stream))
+					sq := wire.Stream{
+						Count:      uint32(*stream),
+						Depth:      uint32(*depth),
+						SeedStride: 1,
+						Round:      rq,
+					}
+					prev := time.Now()
+					se, err := c.Stream(sq, func(rr wire.RoundResult) error {
+						now := time.Now()
+						lat.Observe(now.Sub(prev).Seconds())
+						prev = now
+						done.Add(1)
+						if !rr.Completed || !rr.NetZero {
+							log.Printf("conn %d load %d: completed=%v netZero=%v", i, rr.Seq, rr.Completed, rr.NetZero)
+							incomplete.Add(1)
+						}
+						return nil
+					})
+					if err != nil {
+						log.Printf("conn %d stream %d: %v", i, r, err)
+						errs.Add(1)
+						if _, ok := server.IsServerError(err); ok {
+							continue // load failed but the stream ended cleanly
+						}
+						return // mid-stream transport failure: the conn is unusable
+					}
+					if se.Code != server.StreamOK {
+						log.Printf("conn %d stream %d: ended %q after %d loads: %s", i, r, se.Code, se.Served, se.Msg)
+						errs.Add(1)
+						if se.Code == server.StreamDraining {
+							return
+						}
+					}
+					streams.Add(1)
+					continue
+				}
 				t0 := time.Now()
 				rr, err := c.Round(rq)
 				if err != nil {
@@ -170,6 +223,7 @@ func main() {
 		Conns:      *conns,
 		Tenants:    *tenants,
 		M:          *m,
+		Streams:    streams.Load(),
 		Rounds:     done.Load(),
 		Errors:     errs.Load(),
 		Incomplete: incomplete.Load(),
@@ -179,6 +233,9 @@ func main() {
 		P50Ms:      hs.Quantile(0.50) * 1e3,
 		P90Ms:      hs.Quantile(0.90) * 1e3,
 		P99Ms:      hs.Quantile(0.99) * 1e3,
+	}
+	if *stream > 0 {
+		sum.Depth = *depth
 	}
 	if hs.Count > 0 {
 		sum.MeanMs = hs.Sum / float64(hs.Count) * 1e3
@@ -190,6 +247,11 @@ func main() {
 		if err := enc.Encode(sum); err != nil {
 			log.Fatal(err)
 		}
+	} else if sum.Depth > 0 {
+		fmt.Printf("%d conns × m=%d, %d streams at depth %d: %d loads in %.2fs = %.1f loads/sec (%d errors, %d incomplete, %d warm acks)\n",
+			sum.Conns, sum.M, sum.Streams, sum.Depth, sum.Rounds, sum.Seconds, sum.RoundsSec, sum.Errors, sum.Incomplete, sum.PooledAcks)
+		fmt.Printf("inter-settle: p50 %.2fms  p90 %.2fms  p99 %.2fms  mean %.2fms\n",
+			sum.P50Ms, sum.P90Ms, sum.P99Ms, sum.MeanMs)
 	} else {
 		fmt.Printf("%d conns × m=%d: %d rounds in %.2fs = %.1f rounds/sec (%d errors, %d incomplete, %d warm acks)\n",
 			sum.Conns, sum.M, sum.Rounds, sum.Seconds, sum.RoundsSec, sum.Errors, sum.Incomplete, sum.PooledAcks)

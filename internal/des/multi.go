@@ -54,6 +54,11 @@ type MultiResult struct {
 	// Idle[i] is the time processor i spent idle between its first
 	// arrival and its last compute completion (pipelining quality).
 	Idle []float64
+	// RoundFinish[r] is the time the last chunk of installment r finishes
+	// computing anywhere on the chain — the per-load completion time when
+	// each Round models one load of a pipelined backlog. Deltas between
+	// consecutive entries expose the steady-state period.
+	RoundFinish []float64
 }
 
 type multiEvent struct {
@@ -123,6 +128,7 @@ func RunMulti(spec MultiSpec) (*MultiResult, error) {
 		Finish:           make([]float64, size),
 		Retained:         make([]float64, size),
 		Idle:             make([]float64, size),
+		RoundFinish:      make([]float64, len(spec.Rounds)),
 	}
 	cpuFree := make([]float64, size)
 	outFree := make([]float64, size)
@@ -167,6 +173,9 @@ func RunMulti(spec MultiSpec) (*MultiResult, error) {
 			}
 			if done > res.Makespan {
 				res.Makespan = done
+			}
+			if done > res.RoundFinish[e.round] {
+				res.RoundFinish[e.round] = done
 			}
 		}
 		if forwarded > 1e-15 && i < size-1 {
@@ -283,6 +292,57 @@ func EqualInstallments(n *dlt.Network, load float64, rounds int) ([]Round, error
 		out[r] = Round{Load: load / float64(rounds), Hat: sol.AlphaHat}
 	}
 	return out, nil
+}
+
+// Steady describes the periodic regime a homogeneous backlog settles into
+// when full loads are pipelined down the chain: the root starts distributing
+// load k+1 while the tail is still computing load k, so after a ramp-up the
+// inter-finish interval converges to a constant Period ≤ the single-load
+// makespan.
+type Steady struct {
+	// Hat are the per-load local fractions (the single-round optimum).
+	Hat []float64
+	// Finish[k] is the completion time of load k.
+	Finish []float64
+	// Makespan is the single-load makespan (Finish[0]).
+	Makespan float64
+	// Period is the asymptotic inter-finish interval, read off the last two
+	// loads (equal to Makespan when only one load is simulated).
+	Period float64
+}
+
+// SteadyStateSchedule simulates a backlog of `loads` identical loads of the
+// given size, each scheduled with the network's single-round optimal
+// fractions, through the pipelined chain. It is the timing oracle for the
+// mechanism's pipelined rounds (protocol.Pipeline): per-load makespans and
+// the steady-state period must match what the event simulation produces at
+// equal parameters.
+func SteadyStateSchedule(n *dlt.Network, load float64, loads int, startupZ float64) (*Steady, error) {
+	if loads < 1 {
+		return nil, fmt.Errorf("%w: loads=%d", ErrSpecHat, loads)
+	}
+	sol, err := dlt.SolveBoundary(n)
+	if err != nil {
+		return nil, err
+	}
+	rounds := make([]Round, loads)
+	for r := range rounds {
+		rounds[r] = Round{Load: load, Hat: sol.AlphaHat}
+	}
+	res, err := RunMulti(MultiSpec{Net: n, Rounds: rounds, StartupZ: startupZ})
+	if err != nil {
+		return nil, err
+	}
+	st := &Steady{
+		Hat:      sol.AlphaHat,
+		Finish:   res.RoundFinish,
+		Makespan: res.RoundFinish[0],
+		Period:   res.RoundFinish[0],
+	}
+	if loads >= 2 {
+		st.Period = res.RoundFinish[loads-1] - res.RoundFinish[loads-2]
+	}
+	return st, nil
 }
 
 // GeometricInstallments builds R rounds whose sizes grow geometrically by

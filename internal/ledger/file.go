@@ -36,6 +36,7 @@ type FileBackend struct {
 	index      map[Hash]recLoc
 	order      []Hash
 	dirty      bool
+	writeGen   uint64 // bumped per Put; lets Sync clear dirty without holding the lock through the fsync
 	closed     bool
 }
 
@@ -219,6 +220,7 @@ func (b *FileBackend) Put(h Hash, frame []byte) error {
 	b.order = append(b.order, h)
 	b.activeSize += int64(len(buf))
 	b.dirty = true
+	b.writeGen++
 	return nil
 }
 
@@ -261,20 +263,33 @@ func (b *FileBackend) Scan(fn func(h Hash, frame []byte) error) error {
 	return nil
 }
 
-// Sync fsyncs the active segment.
+// Sync fsyncs the active segment. The fsync itself runs outside the backend
+// lock: Sync is the settle-path durability barrier, and a pipelined stream
+// appends the next load's evidence while the previous load's settle syncs —
+// holding the lock through a multi-millisecond fsync would serialize the
+// two. A Put racing the fsync is at worst additionally durable; dirty is
+// only cleared when no Put landed while the fsync ran.
 func (b *FileBackend) Sync() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return fmt.Errorf("ledger: backend closed")
 	}
 	if !b.dirty {
+		b.mu.Unlock()
 		return nil
 	}
-	if err := b.segs[len(b.segs)-1].Sync(); err != nil {
+	f := b.segs[len(b.segs)-1]
+	gen := b.writeGen
+	b.mu.Unlock()
+	if err := f.Sync(); err != nil {
 		return err
 	}
-	b.dirty = false
+	b.mu.Lock()
+	if b.writeGen == gen && !b.closed {
+		b.dirty = false
+	}
+	b.mu.Unlock()
 	return nil
 }
 

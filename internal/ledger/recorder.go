@@ -217,6 +217,20 @@ func (rl *RoundLog) closeParents() []Hash {
 // Only after Close returns nil is the round durably settled; the daemon
 // acknowledges the client strictly after this point (fsync-before-ack).
 func (rl *RoundLog) Close(rr wire.RoundResult) error {
+	if err := rl.CloseDeferred(rr); err != nil {
+		return err
+	}
+	return rl.sl.st.Sync()
+}
+
+// CloseDeferred appends the round's fine artifacts and settle record
+// without the durability barrier: the settle is in the log but not yet
+// fsynced. A pipelined consumer group-commits — it defers several
+// consecutive settles and covers them with one SessionLog.Sync — so the
+// barrier's fixed cost amortizes across the pipeline window while
+// fsync-before-ack still holds per load (no result is acknowledged before
+// a Sync that covers its settle returns nil).
+func (rl *RoundLog) CloseDeferred(rr wire.RoundResult) error {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	if rl.err != nil {
@@ -240,8 +254,11 @@ func (rl *RoundLog) Close(rr wire.RoundResult) error {
 		rl.err = err
 		return err
 	}
-	return rl.sl.st.Sync()
+	return nil
 }
+
+// Sync fsyncs the store: the group-commit barrier for deferred closes.
+func (sl *SessionLog) Sync() error { return sl.st.Sync() }
 
 // Void closes the round without an outcome: the run failed or could not be
 // resumed, and the void record seals whatever evidence exists. The payload

@@ -313,78 +313,53 @@ func (a *arbiter) reportOverload(reporter int, g gMsg, att device.Attestation, m
 	a.fineAndRewardLocked(ViolationFalseAccuse, reporter, accused, 0)
 }
 
-// settleBills processes all Phase IV bills in deterministic (processor)
-// order: audit with probability q, pay what is due, fine F/q on a failed
-// audit. solutionFound gates the S item. The sort is a plain insertion sort:
-// collect hands the bills over already ordered (O(n) here), and sort.Slice's
+// resolveBills resolves all Phase IV bills in deterministic (processor)
+// order: flip the audit coin and, when it audits, recompute the bill from
+// its proof. Resolution is stage A of the settlement split — it must run
+// before the next round's exchange because recomputeBill reads the Λ issuer
+// and the per-processor attestation arenas, which resetRound clobbers. The
+// journaling the verdicts imply is stage B (settleJob.settle) and can run
+// arbitrarily later. The sort is a plain insertion sort: finishExchange
+// hands the bills over already ordered (O(n) here), and sort.Slice's
 // reflective swapper would be the settlement path's only allocation.
-func (a *arbiter) settleBills(bills []billMsg, solutionFound bool) {
+func (a *arbiter) resolveBills(bills []billMsg, solutionFound bool, verdicts []billVerdict) []billVerdict {
 	for i := 1; i < len(bills); i++ {
 		for j := i; j > 0 && bills[j].From < bills[j-1].From; j-- {
 			bills[j], bills[j-1] = bills[j-1], bills[j]
 		}
 	}
 	for _, b := range bills {
-		a.settleBill(b, solutionFound)
+		verdicts = append(verdicts, a.resolveBill(b, solutionFound))
 	}
+	return verdicts
 }
 
-func (a *arbiter) settleBill(b billMsg, solutionFound bool) {
+// resolveBill runs the audit lottery for one bill and, on an audit,
+// recomputes what the proof supports. The returned verdict carries
+// everything the deferred journaling needs; Proof is zeroed because it
+// aliases round-pooled arenas the next exchange overwrites.
+func (a *arbiter) resolveBill(b billMsg, solutionFound bool) billVerdict {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	r := a.r
 	cfg := r.params.Cfg
 	j := b.From
+	v := billVerdict{bill: b}
+	v.bill.Proof = proofBundle{}
 	if j == 0 {
 		// The root is obedient; its reimbursement is not audited.
-		a.payItems(b)
-		return
+		return v
 	}
 	rng := xrand.Seeded(r.params.Seed ^ (uint64(j)+1)*0x9e3779b97f4a7c15)
-	audited := rng.Float64() < cfg.AuditProb
-	if !audited {
-		a.payItems(b)
-		return
+	if rng.Float64() >= cfg.AuditProb {
+		return v
 	}
+	v.audited = true
 	want, err := a.recomputeBill(b, solutionFound)
-	if err != nil || b.Total() > want.Total()+wireTol {
-		_ = r.ledger.Fine(j, cfg.AuditFine(), payment.KindAuditFine, fmt.Sprintf("audit P%d", j))
-		a.detections = append(a.detections, Detection{
-			Violation: ViolationOvercharge,
-			Offender:  j,
-			Reporter:  payment.Mechanism,
-			Fine:      cfg.AuditFine(),
-		})
-		r.hooks.OnAudit(j, false)
-		r.hooks.OnFine(j, payment.Mechanism, string(ViolationOvercharge), cfg.AuditFine())
-		if err == nil {
-			a.payItems(want) // pay what the proof supports
-		}
-		return
-	}
-	r.hooks.OnAudit(j, true)
-	a.payItems(b)
-}
-
-// payItems journals one bill's pay items. Memo strings come from the
-// session-lifetime tables (built once in NewSession), so settlement writes
-// no formatting garbage. Callers hold a.mu.
-func (a *arbiter) payItems(bm billMsg) {
-	r := a.r
-	j := bm.From
-	_ = r.ledger.Pay(j, bm.Compensation, payment.KindCompensation, r.memoC[j])
-	if bm.Recompense > 0 {
-		_ = r.ledger.Pay(j, bm.Recompense, payment.KindRecompense, r.memoE[j])
-	}
-	if bm.Bonus > 0 {
-		_ = r.ledger.Pay(j, bm.Bonus, payment.KindBonus, r.memoB[j])
-	} else if bm.Bonus < 0 {
-		// A negative bonus (possible off the truthful path) is a charge.
-		_ = r.ledger.Fine(j, -bm.Bonus, payment.KindBonus, r.memoB[j])
-	}
-	if bm.Solution > 0 {
-		_ = r.ledger.Pay(j, bm.Solution, payment.KindSolutionBon, r.memoS[j])
-	}
+	v.proofOK = err == nil
+	v.failed = err != nil || b.Total() > want.Total()+wireTol
+	v.want = want
+	return v
 }
 
 // recomputeBill independently derives Q_j from Proof_j (4.12): the signed
@@ -473,8 +448,26 @@ func (r *runner) takeBill(b billMsg) {
 	}
 }
 
-// collect assembles the Result after every goroutine has finished.
+// collect assembles the Result after every goroutine has finished: the
+// exchange is finished and settled in one step. Sequential Session.Run and
+// the sharded engine both come through here, so the pipelined split below
+// shares their exact code path — that is what makes pipelined rounds
+// bit-identical to sequential ones by construction.
 func (r *runner) collect() *Result {
+	if r.job == nil {
+		r.job = &settleJob{}
+	}
+	r.finishExchange(r.job)
+	return r.job.settle()
+}
+
+// finishExchange is stage A of the settlement split: drain the bill plane,
+// recover missing bills, resolve every audit (the lottery and the proof
+// recomputation read round-pooled state), and snapshot everything stage B
+// (settleJob.settle — journaling, Result assembly, the plan solve) needs.
+// After finishExchange returns, the runner may be reset for the next round
+// while the job settles concurrently.
+func (r *runner) finishExchange(job *settleJob) {
 	// Drain whatever bills made it; the channel is never closed because late
 	// retransmissions may still land on it.
 drain:
@@ -534,35 +527,38 @@ drain:
 	}
 	r.billList = bills
 	solutionFound := !r.corrupted.Load() && !r.arb.terminated
+	job.verdicts = job.verdicts[:0]
 	if !r.arb.terminated {
-		r.arb.settleBills(bills, solutionFound)
+		job.verdicts = r.arb.resolveBills(bills, solutionFound, job.verdicts)
 	}
 
-	res := &Result{
-		Completed:     !r.arb.terminated,
-		TermReason:    r.arb.termReason,
-		Failure:       r.arb.failure,
-		Bids:          make([]float64, r.size),
-		Retained:      make([]float64, r.size),
-		Detections:    append([]Detection(nil), r.arb.detections...),
-		Ledger:        r.ledger,
-		Utilities:     make([]float64, r.size),
-		SolutionFound: solutionFound,
-		Stats: Stats{
-			Messages:      r.stats.Messages,
-			Signatures:    r.stats.Signatures,
-			Verifications: r.stats.Verifications,
-		},
+	// Snapshot everything stage B reads. The arenas (verdicts, detections,
+	// z) are job-pooled; the ledger and the result slices are fresh per
+	// round because they escape into the Result — resetRound hands the
+	// runner a new ledger, so the settle owns this one outright. The memo
+	// tables are session-lifetime and immutable, shared by reference.
+	job.size = r.size
+	job.cfg = r.params.Cfg
+	job.hooks = r.hooks
+	job.ledger = r.ledger
+	job.memoC, job.memoE, job.memoB, job.memoS = r.memoC, r.memoE, r.memoB, r.memoS
+	job.terminated = r.arb.terminated
+	job.termReason = r.arb.termReason
+	job.failure = r.arb.failure
+	job.solutionFound = solutionFound
+	job.stats = Stats{
+		Messages:      r.stats.Messages,
+		Signatures:    r.stats.Signatures,
+		Verifications: r.stats.Verifications,
 	}
+	job.detections = append(job.detections[:0], r.arb.detections...)
+	job.z = append(job.z[:0], r.params.Net.Z...)
+	job.bids = make([]float64, r.size)
+	job.retained = make([]float64, r.size)
+	job.utilities = make([]float64, r.size)
 	for i, st := range r.procs {
-		res.Bids[i] = st.bid
-		res.Retained[i] = st.retained
-		res.Utilities[i] = st.valuation + r.ledger.Balance(i)
+		job.bids[i] = st.bid
+		job.retained[i] = st.retained
+		job.utilities[i] = st.valuation
 	}
-	if res.Completed {
-		if plan, err := dlt.SolveBoundary(&dlt.Network{W: res.Bids, Z: r.params.Net.Z}); err == nil {
-			res.Plan = plan
-		}
-	}
-	return res
 }

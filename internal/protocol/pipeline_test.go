@@ -1,0 +1,323 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/des"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/workload"
+	"dlsmech/internal/xrand"
+)
+
+// bitIdentical asserts two results agree bit-for-bit on every economically
+// meaningful field — exact float bits, not tolerances. This is the pipeline
+// contract: deferring the settlement must not change a single ULP anywhere.
+func bitIdentical(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Completed != got.Completed || want.SolutionFound != got.SolutionFound {
+		t.Fatalf("%s: outcome differs: completed %v/%v solution %v/%v",
+			label, want.Completed, got.Completed, want.SolutionFound, got.SolutionFound)
+	}
+	if want.TermReason != got.TermReason {
+		t.Fatalf("%s: termination reason %q vs %q", label, want.TermReason, got.TermReason)
+	}
+	f64s := func(name string, a, b []float64) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: %s length %d vs %d", label, name, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s: %s[%d] = %v vs %v (bits differ)", label, name, i, a[i], b[i])
+			}
+		}
+	}
+	f64s("bids", want.Bids, got.Bids)
+	f64s("retained", want.Retained, got.Retained)
+	f64s("utilities", want.Utilities, got.Utilities)
+	if len(want.Detections) != len(got.Detections) {
+		t.Fatalf("%s: %d detections vs %d", label, len(want.Detections), len(got.Detections))
+	}
+	for i := range want.Detections {
+		if want.Detections[i] != got.Detections[i] {
+			t.Fatalf("%s: detection %d: %+v vs %+v", label, i, want.Detections[i], got.Detections[i])
+		}
+	}
+	ja, jb := want.Ledger.Journal(), got.Ledger.Journal()
+	if len(ja) != len(jb) {
+		t.Fatalf("%s: journal length %d vs %d", label, len(ja), len(jb))
+	}
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("%s: journal entry %d: %+v vs %+v", label, i, ja[i], jb[i])
+		}
+	}
+	if want.Stats != got.Stats {
+		t.Fatalf("%s: stats %+v vs %+v", label, want.Stats, got.Stats)
+	}
+	if (want.Plan == nil) != (got.Plan == nil) {
+		t.Fatalf("%s: plan presence %v vs %v", label, want.Plan != nil, got.Plan != nil)
+	}
+	if want.Plan != nil {
+		f64s("plan.alpha", want.Plan.Alpha, got.Plan.Alpha)
+		f64s("plan.alphahat", want.Plan.AlphaHat, got.Plan.AlphaHat)
+		f64s("plan.wbar", want.Plan.WBar, got.Plan.WBar)
+	}
+}
+
+// pipelineParams builds per-load params: each load gets its own seed (so its
+// own audit coins) over a fixed network, which is the daemon's stream shape.
+func pipelineParams(net *dlt.Network, prof agent.Profile, cfg core.Config, seed uint64, load int) Params {
+	return Params{Net: net, Profile: prof, Cfg: cfg, Seed: seed + uint64(load)*7919}
+}
+
+// TestPipelineBitIdentity is the differential tentpole: a pipelined stream
+// of k loads at depth d ∈ {1,2,4} yields per-load allocations, payments,
+// detections and stats bit-identical to k sequential Session.Run rounds at
+// equal seeds, across m ∈ {4,8,64} and honest plus deviant profiles.
+func TestPipelineBitIdentity(t *testing.T) {
+	t.Parallel()
+	const loads = 6
+	for _, m := range []int{4, 8, 64} {
+		net := workload.Chain(xrand.New(uint64(m)*13+1), workload.DefaultChainSpec(m))
+		size := net.Size()
+		profiles := map[string]struct {
+			prof agent.Profile
+			cfg  core.Config
+		}{
+			"truthful": {agent.AllTruthful(size), core.DefaultConfig()},
+			"overcharger-audited": {
+				agent.AllTruthful(size).WithDeviant(1, agent.Overcharger(0.5)),
+				func() core.Config { c := core.DefaultConfig(); c.AuditProb = 1; return c }(),
+			},
+			"underbid": {agent.AllTruthful(size).WithDeviant(2, agent.Underbid(0.7)), core.DefaultConfig()},
+		}
+		for name, pc := range profiles {
+			// Sequential baseline: one warm session, loads rounds in order.
+			seq := NewSession(size, 42)
+			baseline := make([]*Result, loads)
+			for k := 0; k < loads; k++ {
+				res, err := seq.Run(pipelineParams(net, pc.prof, pc.cfg, 1000, k))
+				if err != nil {
+					t.Fatalf("m=%d %s: sequential load %d: %v", m, name, k, err)
+				}
+				baseline[k] = res
+			}
+			for _, depth := range []int{1, 2, 4} {
+				pipe, err := NewPipeline(NewSession(size, 42), depth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tickets := make([]*Ticket, loads)
+				for k := 0; k < loads; k++ {
+					tk, err := pipe.Submit(pipelineParams(net, pc.prof, pc.cfg, 1000, k))
+					if err != nil {
+						t.Fatalf("m=%d %s d=%d: submit load %d: %v", m, name, depth, k, err)
+					}
+					tickets[k] = tk
+				}
+				pipe.Close()
+				for k, tk := range tickets {
+					label := name + " load " + string(rune('0'+k))
+					bitIdentical(t, label, baseline[k], tk.Wait())
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineBackpressure pins the depth contract: at most depth loads are
+// unsettled at once, Submit blocks on a full pipeline until a settle frees a
+// slot, and tickets stay valid after Close.
+func TestPipelineBackpressure(t *testing.T) {
+	t.Parallel()
+	net := testNet(t)
+	prof := agent.AllTruthful(net.Size())
+	cfg := core.DefaultConfig()
+	pipe, err := NewPipeline(NewSession(net.Size(), 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", pipe.Depth())
+	}
+	var tickets []*Ticket
+	for k := 0; k < 5; k++ {
+		tk, err := pipe.Submit(pipelineParams(net, prof, cfg, 5, k))
+		if err != nil {
+			t.Fatalf("submit %d: %v", k, err)
+		}
+		if got := pipe.InFlight(); got > 2 {
+			t.Fatalf("in-flight %d exceeds depth 2", got)
+		}
+		tickets = append(tickets, tk)
+	}
+	pipe.Close()
+	pipe.Close() // idempotent
+	for k, tk := range tickets {
+		if res := tk.Wait(); !res.Completed {
+			t.Fatalf("load %d did not complete: %s", k, res.TermReason)
+		}
+	}
+	if _, err := pipe.Submit(pipelineParams(net, prof, cfg, 5, 9)); err == nil {
+		t.Fatal("submit after Close succeeded")
+	}
+}
+
+// TestPipelineRejectsBadParams pins synchronous error surfacing.
+func TestPipelineRejectsBadParams(t *testing.T) {
+	t.Parallel()
+	net := testNet(t)
+	if _, err := NewPipeline(NewSession(net.Size(), 1), 0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	pipe, err := NewPipeline(NewSession(net.Size(), 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	big, err := dlt.NewNetwork([]float64{1, 2, 1.5, 3, 2}, []float64{0.2, 0.1, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Submit(Params{Net: big, Profile: agent.AllTruthful(5), Cfg: core.DefaultConfig(), Seed: 1}); err == nil {
+		t.Fatal("wrong-size network accepted")
+	}
+	if pipe.InFlight() != 0 {
+		t.Fatalf("failed submit leaked a slot: in-flight %d", pipe.InFlight())
+	}
+	// The session still works after the rejected submit.
+	tk, err := pipe.Submit(Params{Net: net, Profile: agent.AllTruthful(net.Size()), Cfg: core.DefaultConfig(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); !res.Completed {
+		t.Fatalf("round after rejected submit failed: %s", res.TermReason)
+	}
+}
+
+// TestPipelineMakespanMatchesDES is the differential timing oracle: every
+// pipelined load's planned makespan must equal what the multi-installment
+// event simulation produces for the same load at the same parameters, and
+// the steady-state schedule must be internally consistent (non-decreasing
+// finishes, period ≤ single-load makespan — the pipelining gain).
+func TestPipelineMakespanMatchesDES(t *testing.T) {
+	t.Parallel()
+	const loads = 5
+	for _, m := range []int{4, 8} {
+		net := workload.Chain(xrand.New(uint64(m)*17+3), workload.DefaultChainSpec(m))
+		size := net.Size()
+		pipe, err := NewPipeline(NewSession(size, 9), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var results []*Result
+		for k := 0; k < loads; k++ {
+			tk, err := pipe.Submit(pipelineParams(net, agent.AllTruthful(size), core.DefaultConfig(), 77, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, tk.Wait())
+		}
+		steady, err := pipe.SteadyState(net, loads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe.Close()
+
+		for k, res := range results {
+			if res.Plan == nil {
+				t.Fatalf("m=%d load %d: no plan", m, k)
+			}
+			sim, err := des.RunMulti(des.MultiSpec{
+				Net:    net,
+				Rounds: []des.Round{{Load: 1, Hat: res.Plan.AlphaHat}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(sim.Makespan - res.Plan.Makespan()); diff > 1e-9 {
+				t.Fatalf("m=%d load %d: DES makespan %v vs plan %v (diff %g)",
+					m, k, sim.Makespan, res.Plan.Makespan(), diff)
+			}
+			if len(sim.RoundFinish) != 1 || math.Abs(sim.RoundFinish[0]-sim.Makespan) > 1e-12 {
+				t.Fatalf("m=%d: single-round RoundFinish %v vs makespan %v", m, sim.RoundFinish, sim.Makespan)
+			}
+		}
+		// Steady-state consistency: the truthful plan equals the network's
+		// optimum, so the steady makespan must match every load's plan.
+		if diff := math.Abs(steady.Makespan - results[0].Plan.Makespan()); diff > 1e-9 {
+			t.Fatalf("m=%d: steady makespan %v vs plan %v", m, steady.Makespan, results[0].Plan.Makespan())
+		}
+		if len(steady.Finish) != loads {
+			t.Fatalf("m=%d: %d finish times for %d loads", m, len(steady.Finish), loads)
+		}
+		for k := 1; k < loads; k++ {
+			if steady.Finish[k] < steady.Finish[k-1] {
+				t.Fatalf("m=%d: finish times regress at load %d: %v", m, k, steady.Finish)
+			}
+		}
+		if !(steady.Period > 0) || steady.Period > steady.Makespan+1e-9 {
+			t.Fatalf("m=%d: period %v vs makespan %v", m, steady.Period, steady.Makespan)
+		}
+	}
+}
+
+// FuzzPipelineRound fuzzes the pipeline-vs-sequential equivalence over
+// population size, depth, backlog length and a strategic deviation: any
+// divergence — one ULP in any payment, one journal entry out of order — is
+// a crash.
+func FuzzPipelineRound(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(2), uint8(3), uint8(0), 0.7)
+	f.Add(uint64(7), uint8(6), uint8(4), uint8(2), uint8(1), 0.5)
+	f.Add(uint64(99), uint8(3), uint8(1), uint8(4), uint8(2), 0.4)
+	f.Fuzz(func(t *testing.T, seed uint64, mRaw, depthRaw, loadsRaw, kindRaw uint8, factor float64) {
+		m := 3 + int(mRaw%6)         // 3..8 processors
+		depth := 1 + int(depthRaw%4) // 1..4
+		loads := 1 + int(loadsRaw%4) // 1..4
+		if math.IsNaN(factor) || math.IsInf(factor, 0) {
+			factor = 0.5
+		}
+		factor = 0.3 + math.Abs(factor-math.Trunc(factor))*0.65 // (0.3, 0.95)
+		net := workload.Chain(xrand.New(seed|1), workload.DefaultChainSpec(m))
+		size := net.Size()
+		prof := agent.AllTruthful(size)
+		deviant := 1 + int(seed%uint64(size-1))
+		switch kindRaw % 3 {
+		case 1:
+			prof = prof.WithDeviant(deviant, agent.Underbid(factor))
+		case 2:
+			prof = prof.WithDeviant(deviant, agent.Overcharger(factor))
+		}
+		cfg := core.DefaultConfig()
+		if seed%2 == 0 {
+			cfg.AuditProb = 1
+		}
+
+		seq := NewSession(size, seed)
+		baseline := make([]*Result, loads)
+		for k := 0; k < loads; k++ {
+			res, err := seq.Run(pipelineParams(net, prof, cfg, seed, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline[k] = res
+		}
+		pipe, err := NewPipeline(NewSession(size, seed), depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets := make([]*Ticket, loads)
+		for k := 0; k < loads; k++ {
+			if tickets[k], err = pipe.Submit(pipelineParams(net, prof, cfg, seed, k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pipe.Close()
+		for k, tk := range tickets {
+			bitIdentical(t, "fuzz load", baseline[k], tk.Wait())
+		}
+	})
+}

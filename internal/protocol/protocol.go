@@ -282,16 +282,35 @@ func (s *Session) MemoStats() (verifyHits, signHits int64) {
 
 // Run executes one protocol round on the session's population.
 func (s *Session) Run(p Params) (*Result, error) {
-	unit, err := p.validate()
-	if err != nil {
+	r := s.r
+	if r.job == nil {
+		r.job = &settleJob{}
+	}
+	if err := s.beginRound(p, r.job); err != nil {
 		return nil, err
 	}
+	res := r.job.settle() // audits resolved in beginRound; journaling fires hooks too
+	r.hooks.OnPhaseEnd(obs.Root, obs.PhaseRound)
+	return res, nil
+}
+
+// beginRound is the exchange stage of one round: validate, reset the pooled
+// runtime, run Phases I–IV across the processor goroutines, and finish the
+// exchange into job (bill recovery, audit resolution, settlement snapshot).
+// After it returns, job.settle() may run at any later time — including
+// concurrently with the next beginRound on the same session, which is
+// exactly what Pipeline does.
+func (s *Session) beginRound(p Params, job *settleJob) error {
+	unit, err := p.validate()
+	if err != nil {
+		return err
+	}
 	if p.Net.Size() != s.size {
-		return nil, fmt.Errorf("protocol: session sized for %d processors, network has %d", s.size, p.Net.Size())
+		return fmt.Errorf("protocol: session sized for %d processors, network has %d", s.size, p.Net.Size())
 	}
 	r := s.r
 	if err := r.resetRound(p, unit, s.seed); err != nil {
-		return nil, err
+		return err
 	}
 
 	r.hooks.OnPhaseStart(obs.Root, obs.PhaseRound)
@@ -303,9 +322,8 @@ func (s *Session) Run(p Params) (*Result, error) {
 	wg.Wait()
 	r.auxwg.Wait() // in-flight delayed deliveries
 
-	res := r.collect() // audits and settlement fire hooks too
-	r.hooks.OnPhaseEnd(obs.Root, obs.PhaseRound)
-	return res, nil
+	r.finishExchange(job)
+	return nil
 }
 
 // procMain is the goroutine body; a plain method keeps the per-round launch
@@ -476,11 +494,16 @@ type runner struct {
 	procs []*procState
 	abort chan struct{}
 
-	// Bill-collection arenas (collect): first-bill-per-sender slots and the
-	// ordered settlement list, reused across rounds.
+	// Bill-collection arenas (finishExchange): first-bill-per-sender slots
+	// and the ordered settlement list, reused across rounds.
 	billSlot []billMsg
 	billSeen []bool
 	billList []billMsg
+
+	// job is the default settle job for the one-stage paths (Session.Run,
+	// the sharded engine), allocated lazily by collect. Pipelined rounds
+	// bring their own jobs so settles can outlive the next exchange.
+	job *settleJob
 
 	p3mu    sync.Mutex
 	p3count int

@@ -133,5 +133,59 @@ func (c *Client) Round(rq wire.Round) (wire.RoundResult, error) {
 	}
 }
 
+// Stream runs a pipelined multi-load stream on the daemon. fn receives
+// every RoundResult in submit order; a non-nil fn error aborts the read
+// loop immediately (the connection is then mid-stream and should be
+// closed). The daemon's StreamEnd frame is returned alongside any typed
+// per-load failure (*ServerError) that preceded it — a stream can fail a
+// load and still end cleanly, so both are reported.
+func (c *Client) Stream(sq wire.Stream, fn func(wire.RoundResult) error) (wire.StreamEnd, error) {
+	c.wbuf = wire.AppendStream(c.wbuf[:0], sq)
+	c.deadline()
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return wire.StreamEnd{}, err
+	}
+	var srvErr error
+	for {
+		// Per-frame deadline: a stream's total duration is unbounded, but
+		// the gap between consecutive results is not.
+		c.deadline()
+		frame, typ, err := wire.ReadFrame(c.conn, c.rbuf, 0)
+		c.rbuf = frame
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return wire.StreamEnd{}, fmt.Errorf("server: stream read: %w", err)
+		}
+		switch typ {
+		case wire.TypeRoundResult:
+			rr, _, err := wire.DecodeRoundResult(frame)
+			if err != nil {
+				return wire.StreamEnd{}, err
+			}
+			if fn != nil {
+				if err := fn(rr); err != nil {
+					return wire.StreamEnd{}, err
+				}
+			}
+		case wire.TypeSrvError:
+			e, _, err := wire.DecodeSrvError(frame)
+			if err != nil {
+				return wire.StreamEnd{}, err
+			}
+			srvErr = &ServerError{E: e}
+		case wire.TypeStreamEnd:
+			se, _, err := wire.DecodeStreamEnd(frame)
+			if err != nil {
+				return wire.StreamEnd{}, err
+			}
+			return se, srvErr
+		default:
+			return wire.StreamEnd{}, fmt.Errorf("server: stream answered with %v frame", typ)
+		}
+	}
+}
+
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }

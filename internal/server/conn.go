@@ -148,16 +148,27 @@ func (s *Server) handleConn(cs *connState) {
 			s.countReadError(err)
 			return
 		}
-		if typ != wire.TypeRound {
+		switch typ {
+		case wire.TypeRound:
+			rq, _, err := wire.DecodeRound(frame)
+			if err != nil {
+				s.met.wireDecodeErrors.Inc()
+				return
+			}
+			if err := s.serveRound(cs, hello, ps, rq); err != nil {
+				return
+			}
+		case wire.TypeStream:
+			sq, _, err := wire.DecodeStream(frame)
+			if err != nil {
+				s.met.wireDecodeErrors.Inc()
+				return
+			}
+			if err := s.serveStream(cs, hello, ps, sq); err != nil {
+				return
+			}
+		default:
 			cs.writeError(s, 0, CodeBadFrame, fmt.Sprintf("unexpected %v frame", typ))
-			return
-		}
-		rq, _, err := wire.DecodeRound(frame)
-		if err != nil {
-			s.met.wireDecodeErrors.Inc()
-			return
-		}
-		if err := s.serveRound(cs, hello, ps, rq); err != nil {
 			return
 		}
 	}

@@ -29,6 +29,14 @@ const (
 	// ledger.NewMetrics.
 	MetricLedgerRoundFailures = "dlsd_ledger_round_failures_total"
 	MetricRoundsRecovered     = "dlsd_rounds_recovered_total"
+	// Stream metrics: one stream serves many loads through a pipelined
+	// session. Occupancy is the pipeline's instantaneous unsettled-load
+	// count; inter-settle latency between consecutive acknowledged loads is
+	// the observed steady-state period (compare des.Steady.Period).
+	MetricStreamsServed      = "dlsd_streams_served_total"
+	MetricStreamLoads        = "dlsd_stream_loads_total"
+	MetricPipelineOccupancy  = "dlsd_pipeline_occupancy"
+	MetricInterSettleSeconds = "dlsd_inter_settle_seconds"
 )
 
 // RoundSecondsBuckets buckets round latencies from 100µs to 10s: a warm
@@ -59,6 +67,10 @@ type metrics struct {
 	ledgerFailures      *obs.Counter
 	ledgerRoundFailures *obs.Counter
 	roundsRecovered     *obs.Counter
+	streamsServed       *obs.Counter
+	streamLoads         *obs.Counter
+	pipelineOccupancy   *obs.Gauge
+	interSettleSeconds  *obs.Histogram
 	tenants             *obs.Gauge
 	draining            *obs.Gauge
 }
@@ -82,6 +94,10 @@ func newMetrics(r *obs.Registry) *metrics {
 		ledgerFailures:      r.Counter(MetricLedgerFailures),
 		ledgerRoundFailures: r.Counter(MetricLedgerRoundFailures),
 		roundsRecovered:     r.Counter(MetricRoundsRecovered),
+		streamsServed:       r.Counter(MetricStreamsServed),
+		streamLoads:         r.Counter(MetricStreamLoads),
+		pipelineOccupancy:   r.Gauge(MetricPipelineOccupancy),
+		interSettleSeconds:  r.Histogram(MetricInterSettleSeconds, RoundSecondsBuckets),
 		tenants:             r.Gauge(MetricTenants),
 		draining:            r.Gauge(MetricDraining),
 	}

@@ -62,8 +62,15 @@ type Config struct {
 	// 0 means 512.
 	MaxSessionSize int
 	// MaxConcurrentRounds bounds simultaneously executing rounds (each
-	// round runs size goroutines). 0 means 8.
+	// round runs size goroutines). A pipelined stream counts as ONE round
+	// for this bound regardless of its load count. 0 means 8.
 	MaxConcurrentRounds int
+	// MaxStreamCount bounds the loads one stream request may carry.
+	// 0 means 65536.
+	MaxStreamCount int
+	// MaxStreamDepth bounds the pipeline depth a stream may request (each
+	// unit of depth holds one unsettled load's buffers). 0 means 32.
+	MaxStreamDepth int
 	// ReadTimeout is the per-frame read deadline; a peer that cannot
 	// deliver a frame within it is disconnected. 0 means 30s.
 	ReadTimeout time.Duration
@@ -103,6 +110,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrentRounds == 0 {
 		c.MaxConcurrentRounds = 8
+	}
+	if c.MaxStreamCount == 0 {
+		c.MaxStreamCount = 65536
+	}
+	if c.MaxStreamDepth == 0 {
+		c.MaxStreamDepth = 32
 	}
 	if c.ReadTimeout == 0 {
 		c.ReadTimeout = 30 * time.Second

@@ -19,6 +19,8 @@ var (
 	soakSessions = flag.Int("soak-sessions", 256, "concurrent soak sessions")
 	soakRounds   = flag.Int("soak-rounds", 2, "rounds per soak session")
 	soakM        = flag.Int("soak-m", 64, "strategic processors per soak session")
+	// The CI soak job raises -soak-stream-loads to 1000.
+	soakStreamLoads = flag.Int("soak-stream-loads", 200, "loads in the stream soak")
 )
 
 // TestSoak floods the daemon with concurrent sessions — every connection
@@ -124,6 +126,111 @@ func TestSoak(t *testing.T) {
 
 	// Leak checks: goroutines and file descriptors return to baseline
 	// (with slack for runtime timers and the still-listening server).
+	waitFor(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseGoroutines+24
+	})
+	if baseFDs >= 0 {
+		waitFor(t, "file descriptors to settle", func() bool {
+			return server.FDCount() <= baseFDs+24
+		})
+	}
+}
+
+// TestSoakStream pushes one long pipelined stream through the daemon — the
+// backlog shape the pipeline exists for — with an evidence ledger attached,
+// and asserts the daemon comes back to rest: every load answered in order,
+// every settle durable, no goroutine or FD growth, ledger fork-free.
+func TestSoakStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped with -short")
+	}
+	loads := *soakStreamLoads
+	const m = 8
+
+	baseGoroutines := runtime.NumGoroutine()
+	baseFDs := server.FDCount()
+
+	dir := t.TempDir()
+	st := openLedger(t, dir)
+	h := servertest.Start(t, server.Config{
+		Ledger:          st,
+		MaxStreamCount:  loads + 16,
+		MaxDetectorWait: 10 * time.Minute,
+		Logf:            func(string, ...any) {},
+	})
+	t.Cleanup(func() { st.Close() })
+	netw := servertest.ChainNet(m, 77)
+	hello := wire.Hello{Tenant: "stream-soak", Size: netw.Size(), Seed: 13}
+	c := h.Dial(t, hello)
+	c.Timeout = 5 * time.Minute
+
+	base := servertest.RoundFor(netw, 1, 40_000)
+	base.TimeoutNs = int64(250 * time.Millisecond)
+	base.Retries = 2
+	base.Backoff = 2
+	var nextSeq = base.Seq
+	se, err := c.Stream(wire.Stream{Count: uint32(loads), Depth: 4, SeedStride: 7919, Round: base},
+		func(rr wire.RoundResult) error {
+			if rr.Seq != nextSeq {
+				return fmt.Errorf("result seq %d, want %d (stream answers out of order)", rr.Seq, nextSeq)
+			}
+			nextSeq++
+			if !rr.Completed || !rr.NetZero {
+				return fmt.Errorf("load %d: completed=%v netZero=%v", rr.Seq, rr.Completed, rr.NetZero)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if se.Code != server.StreamOK || se.Served != uint32(loads) {
+		t.Fatalf("stream ended %q served=%d, want %q/%d", se.Code, se.Served, server.StreamOK, loads)
+	}
+	c.Close()
+
+	waitFor(t, "connections drained", func() bool {
+		return h.Gauge(server.MetricConnsActive) == 0
+	})
+	waitFor(t, "sessions returned", func() bool {
+		return h.Gauge(server.MetricSessionsActive) == 0
+	})
+	if leaks := h.Counter(server.MetricSessionLeaks); leaks != 0 {
+		t.Errorf("%d sessions leaked", leaks)
+	}
+	if got := h.Counter(server.MetricStreamLoads); got != int64(loads) {
+		t.Errorf("stream loads served %d, want %d", got, loads)
+	}
+	if failed := h.Counter(server.MetricRoundsFailed); failed != 0 {
+		t.Errorf("%d loads failed", failed)
+	}
+	if bad := h.Counter(server.MetricLedgerFailures); bad != 0 {
+		t.Errorf("%d ledger conservation failures", bad)
+	}
+	if bad := h.Counter(server.MetricLedgerRoundFailures); bad != 0 {
+		t.Errorf("%d ledger round failures", bad)
+	}
+	if occ := h.Gauge(server.MetricPipelineOccupancy); occ != 0 {
+		t.Errorf("pipeline occupancy %v after quiescence", occ)
+	}
+	if !h.S.TenantLedgerNetZero("stream-soak", 1e-4) {
+		t.Error("tenant cumulative ledger lost money")
+	}
+
+	// Every load is durably settled, gap-free, in one unforked session log.
+	sv := st.Session(1)
+	if sv == nil || len(sv.Gens) != loads {
+		t.Fatalf("ledger holds %d generations, want %d", len(sv.Gens), loads)
+	}
+	for i, gv := range sv.Gens {
+		if gv.Settle.IsZero() {
+			t.Fatalf("gen %d not settled", i+1)
+		}
+	}
+	if forks := st.Forks(); len(forks) != 0 {
+		t.Fatalf("stream forked the evidence: %v", forks)
+	}
+
 	waitFor(t, "goroutines to settle", func() bool {
 		runtime.GC()
 		return runtime.NumGoroutine() <= baseGoroutines+24

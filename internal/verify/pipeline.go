@@ -1,0 +1,283 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/core"
+	"dlsmech/internal/des"
+	"dlsmech/internal/protocol"
+)
+
+// pipelineStride decorrelates per-load seeds inside a verified backlog,
+// matching the protocol package's own differential tests.
+const pipelineStride = 7919
+
+// backlogLoads is the backlog length the pipeline checkers replay: long
+// enough that the deviant load has settled-and-honest neighbors on both
+// sides, short enough for the conformance matrix.
+const backlogLoads = 3
+
+// runBacklog pushes a backlog through a fresh pipelined session: load k runs
+// profiles[k] with seed sc.Seed + stride·k, and injections (nil entries
+// allowed) apply per load. Depth bounds the settle overlap.
+func (sc *Scenario) runBacklog(profiles []agent.Profile, cfg core.Config, strategy *Strategy, deviantLoad, pos, depth int) ([]*protocol.Result, error) {
+	pipe, err := protocol.NewPipeline(protocol.NewSession(sc.Net.Size(), sc.Seed), depth)
+	if err != nil {
+		return nil, err
+	}
+	defer pipe.Close()
+	tickets := make([]*protocol.Ticket, len(profiles))
+	for k := range profiles {
+		p := protocol.Params{
+			Net:        sc.Net,
+			Profile:    profiles[k],
+			Cfg:        cfg,
+			Seed:       sc.Seed + pipelineStride*uint64(k),
+			LambdaUnit: sc.LambdaUnit,
+			Recovery:   sc.recovery(),
+			Hooks:      sc.Hooks,
+		}
+		if k == deviantLoad && strategy != nil && strategy.Inject != nil {
+			p.Inject = strategy.Inject(p.Seed, pos)
+		}
+		tickets[k], err = pipe.Submit(p)
+		if err != nil {
+			return nil, fmt.Errorf("backlog load %d: %w", k, err)
+		}
+	}
+	out := make([]*protocol.Result, len(tickets))
+	for k, tk := range tickets {
+		out[k] = tk.Wait()
+	}
+	return out, nil
+}
+
+// diffResults compares two round results for bit-identity over everything
+// economically meaningful: termination, bids, retained loads, utilities,
+// detections, the payment journal, the message-complexity stats, and the
+// next-round plan. It returns "" when identical, else the first difference.
+func diffResults(a, b *protocol.Result) string {
+	if a.Completed != b.Completed || a.TermReason != b.TermReason || a.SolutionFound != b.SolutionFound {
+		return fmt.Sprintf("termination (%v,%q,%v) vs (%v,%q,%v)",
+			a.Completed, a.TermReason, a.SolutionFound, b.Completed, b.TermReason, b.SolutionFound)
+	}
+	vec := func(name string, x, y []float64) string {
+		if len(x) != len(y) {
+			return fmt.Sprintf("%s length %d vs %d", name, len(x), len(y))
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return fmt.Sprintf("%s[%d]: %v vs %v", name, i, x[i], y[i])
+			}
+		}
+		return ""
+	}
+	for _, d := range []string{
+		vec("bids", a.Bids, b.Bids),
+		vec("retained", a.Retained, b.Retained),
+		vec("utilities", a.Utilities, b.Utilities),
+	} {
+		if d != "" {
+			return d
+		}
+	}
+	if len(a.Detections) != len(b.Detections) {
+		return fmt.Sprintf("%d vs %d detections", len(a.Detections), len(b.Detections))
+	}
+	for i := range a.Detections {
+		if a.Detections[i] != b.Detections[i] {
+			return fmt.Sprintf("detection %d: %+v vs %+v", i, a.Detections[i], b.Detections[i])
+		}
+	}
+	aj, bj := a.Ledger.Journal(), b.Ledger.Journal()
+	if len(aj) != len(bj) {
+		return fmt.Sprintf("journal length %d vs %d", len(aj), len(bj))
+	}
+	for i := range aj {
+		if aj[i] != bj[i] {
+			return fmt.Sprintf("journal[%d]: %+v vs %+v", i, aj[i], bj[i])
+		}
+	}
+	if a.Stats != b.Stats {
+		return fmt.Sprintf("stats %+v vs %+v", a.Stats, b.Stats)
+	}
+	if (a.Plan == nil) != (b.Plan == nil) {
+		return "plan presence differs"
+	}
+	if a.Plan != nil {
+		for _, d := range []string{
+			vec("plan.alpha", a.Plan.Alpha, b.Plan.Alpha),
+			vec("plan.alphaHat", a.Plan.AlphaHat, b.Plan.AlphaHat),
+		} {
+			if d != "" {
+				return d
+			}
+		}
+	}
+	return ""
+}
+
+// CheckPipelineEquivalence verifies that pipelining is invisible to the
+// mechanism: a backlog run through protocol.Pipeline at depth > 1 settles
+// every load bit-identical to the same backlog run strictly sequentially on
+// an equal-seeded session — which transfers every sequential theorem
+// verdict (2.1, 5.1–5.4) to the pipelined rounds. Each pipelined load's
+// plan is additionally checked against the DES timing oracle: the planned
+// makespan must equal the event simulation's to 1e-9.
+func CheckPipelineEquivalence(sc *Scenario) Verdict {
+	v := sc.verdict("pipeline-equivalence", "pipeline")
+	size := sc.Net.Size()
+	// A certain audit on every load keeps the exercised settle path maximal
+	// (resolution, recomputation, fines) without losing determinism.
+	cfg := sc.Cfg
+	cfg.AuditProb = 1
+	profiles := make([]agent.Profile, backlogLoads)
+	for k := range profiles {
+		profiles[k] = agent.AllTruthful(size)
+	}
+	if size > 2 {
+		// One deviant mid-backlog: equivalence must hold off the truthful
+		// path too (a failed audit's fine lands identically either way).
+		profiles[1] = agent.AllTruthful(size).WithDeviant(1, agent.Overcharger(0.5))
+	}
+
+	seq, err := sc.runBacklog(profiles, cfg, nil, -1, 0, 1)
+	if err != nil {
+		return errVerdict(v, err)
+	}
+	for _, depth := range []int{2, 4} {
+		piped, err := sc.runBacklog(profiles, cfg, nil, -1, 0, depth)
+		if err != nil {
+			return errVerdict(v, err)
+		}
+		for k := range seq {
+			note(&v, 0)
+			if d := diffResults(seq[k], piped[k]); d != "" {
+				fail(&v, -1, "pipelined load settles bit-identical to the sequential round",
+					fmt.Sprintf("depth %d load %d: %s", depth, k, d))
+			}
+		}
+	}
+
+	// Differential timing oracle: each settled load's plan vs the DES.
+	for k, res := range seq {
+		if res.Plan == nil {
+			fail(&v, -1, "settled load carries a next-round plan", fmt.Sprintf("load %d has no plan", k))
+			continue
+		}
+		sim, err := des.RunMulti(des.MultiSpec{
+			Net:    sc.Net,
+			Rounds: []des.Round{{Load: 1, Hat: res.Plan.AlphaHat}},
+		})
+		if err != nil {
+			return errVerdict(v, err)
+		}
+		diff := math.Abs(sim.Makespan - res.Plan.Makespan())
+		note(&v, GainTol-diff)
+		if diff > GainTol {
+			fail(&v, GainTol-diff, "planned makespan equals the DES oracle",
+				fmt.Sprintf("load %d: plan %v vs DES %v", k, res.Plan.Makespan(), sim.Makespan))
+		}
+	}
+
+	// Steady-state consistency for a homogeneous backlog: period positive
+	// and no worse than the single-load makespan (pipelining never hurts).
+	steady, err := des.SteadyStateSchedule(sc.Net, 1, backlogLoads, 0)
+	if err != nil {
+		return errVerdict(v, err)
+	}
+	note(&v, steady.Makespan+GainTol-steady.Period)
+	if !(steady.Period > 0) || steady.Period > steady.Makespan+GainTol {
+		fail(&v, steady.Makespan-steady.Period, "0 < steady period <= single-load makespan",
+			fmt.Sprintf("period %v, makespan %v", steady.Period, steady.Makespan))
+	}
+	return seal(v)
+}
+
+// CheckPipelineBacklog plays the strategy catalog through a pipelined
+// backlog: a processor deviating on the middle load of an otherwise honest
+// backlog must not profit across the backlog — strategyproofness per load
+// survives warm pipelined sessions, where a deviant could hope that settle
+// overlap or session-carried state leaks value between rounds.
+func CheckPipelineBacklog(sc *Scenario) []Verdict {
+	m := sc.Net.M()
+	size := sc.Net.Size()
+
+	// Honest backlog baselines, one per audit-probability variant.
+	baselines := map[float64][]*protocol.Result{}
+	baseline := func(cfg core.Config) ([]*protocol.Result, error) {
+		if r, ok := baselines[cfg.AuditProb]; ok {
+			return r, nil
+		}
+		profiles := make([]agent.Profile, backlogLoads)
+		for k := range profiles {
+			profiles[k] = agent.AllTruthful(size)
+		}
+		r, err := sc.runBacklog(profiles, cfg, nil, -1, 0, 2)
+		if err == nil {
+			baselines[cfg.AuditProb] = r
+		}
+		return r, err
+	}
+
+	var out []Verdict
+	for _, s := range Catalog() {
+		if !s.Deviant() {
+			continue
+		}
+		s := s
+		v := sc.verdict("pipeline-backlog", "pipeline")
+		v.Strategy = s.Name
+		if s.Expect.SlowDetection {
+			out = append(out, skip(v, "timeout-driven detection; covered sequentially by theorem-5.1"))
+			continue
+		}
+		pos := deviantPos(m, s.NeedsSuccessor)
+		if pos < 0 {
+			out = append(out, skip(v, fmt.Sprintf("needs an interior deviant; m=%d", m)))
+			continue
+		}
+		cfg := sc.Cfg
+		if s.Expect.NeedsCertainAudit {
+			cfg.AuditProb = 1
+		}
+		honest, err := baseline(cfg)
+		if err != nil {
+			out = append(out, errVerdict(v, err))
+			continue
+		}
+		profiles := make([]agent.Profile, backlogLoads)
+		for k := range profiles {
+			profiles[k] = agent.AllTruthful(size)
+		}
+		profiles[1] = agent.AllTruthful(size).WithDeviant(pos, s.Behavior)
+		dev, err := sc.runBacklog(profiles, cfg, &s, 1, pos, 2)
+		if err != nil {
+			out = append(out, errVerdict(v, err))
+			continue
+		}
+		var gain float64
+		for k := range dev {
+			gain += dev[k].Utilities[pos] - honest[k].Utilities[pos]
+		}
+		note(&v, GainTol-gain)
+		if gain > GainTol {
+			fail(&v, GainTol-gain, "deviating on one load of a pipelined backlog never profits",
+				fmt.Sprintf("P%d gained %.3g via %s on the middle load", pos, gain, s.Name))
+		}
+		// Honest loads around the deviation stay clean: no detection may
+		// name the deviant on loads it played honestly.
+		for _, k := range []int{0, 2} {
+			for _, d := range dev[k].Detections {
+				if d.Offender == pos {
+					fail(&v, -1, "honest loads of the backlog produce no detections against the deviant",
+						fmt.Sprintf("load %d detected %s on P%d", k, d.Violation, d.Offender))
+				}
+			}
+		}
+		out = append(out, seal(v))
+	}
+	return out
+}

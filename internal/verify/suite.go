@@ -101,6 +101,8 @@ func (s *Suite) Run() (*Report, error) {
 			if s.Sharded != nil {
 				run("sharded-transport", one(CheckShardedTransport))
 			}
+			run("pipeline-equivalence", one(CheckPipelineEquivalence))
+			run("pipeline-backlog", func() []Verdict { return CheckPipelineBacklog(sc) })
 			run("oracle-exact", one(CheckExactOracle))
 			run("oracle-lp", one(CheckLPOracle))
 			run("oracle-metamorphic", one(CheckMetamorphic))

@@ -58,6 +58,7 @@ func Peek(data []byte) (MsgType, error) {
 	case TypeBid, TypeAlloc, TypeLoad, TypeBill, TypeGrievance,
 		TypeBidBatch, TypeBillBatch,
 		TypeHello, TypeHelloAck, TypeRound, TypeRoundResult, TypeSrvError,
+		TypeStream, TypeStreamEnd,
 		TypeLedgerRecord, TypeDetection:
 		return t, nil
 	default:

@@ -28,6 +28,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 		AppendRound(nil, sampleRound()),
 		AppendRoundResult(nil, sampleRoundResult()),
 		AppendSrvError(nil, SrvError{Seq: 3, Code: "overloaded", Msg: "try later"}),
+		AppendStream(nil, sampleStream()),
+		AppendStream(nil, Stream{Count: 1, Depth: 1, Round: Round{Seq: 1}}),
+		AppendStreamEnd(nil, StreamEnd{Seq: 17, Served: 64, Code: "ok"}),
 		AppendLedgerRecord(nil, sampleLedgerRecord()),
 		AppendLedgerRecord(nil, LedgerRecord{Kind: 1}),
 		AppendDetection(nil, sampleDetection()),
@@ -103,6 +106,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 			var m SrvError
 			m, n, decErr = DecodeSrvError(data)
 			msg, reframe = m, func() []byte { return AppendSrvError(nil, m) }
+		case TypeStream:
+			var m Stream
+			m, n, decErr = DecodeStream(data)
+			msg, reframe = m, func() []byte { return AppendStream(nil, m) }
+		case TypeStreamEnd:
+			var m StreamEnd
+			m, n, decErr = DecodeStreamEnd(data)
+			msg, reframe = m, func() []byte { return AppendStreamEnd(nil, m) }
 		case TypeLedgerRecord:
 			var m LedgerRecord
 			m, n, decErr = DecodeLedgerRecord(data)

@@ -19,6 +19,8 @@ const (
 	TypeRound       MsgType = 0x12 // client → server: run one mechanism round
 	TypeRoundResult MsgType = 0x13 // server → client: the round's outcome
 	TypeSrvError    MsgType = 0x14 // server → client: typed failure
+	TypeStream      MsgType = 0x15 // client → server: run a pipelined stream of rounds
+	TypeStreamEnd   MsgType = 0x16 // server → client: stream finished (after per-round results)
 )
 
 // MaxTenantLen bounds the tenant identifier; longer Hellos are rejected at
@@ -124,6 +126,37 @@ type SrvError struct {
 	Seq  uint64
 	Code string
 	Msg  string
+}
+
+// MaxStreamCount / MaxStreamDepth are wire-level sanity bounds on a Stream
+// request; the daemon enforces its own (tighter) configured caps on top.
+const (
+	MaxStreamCount = 1 << 20
+	MaxStreamDepth = 1 << 10
+)
+
+// Stream asks the daemon to run Count pipelined mechanism rounds on the
+// session's population, overlapping the settlement of round k with the
+// exchange of round k+1 up to Depth unsettled rounds in flight. Round is
+// the template for every load: load k runs with Seq = Round.Seq + k and
+// Seed = Round.Seed + SeedStride·k over the template's network and config.
+// The daemon answers with Count RoundResult frames in submission order
+// (or a SrvError per failed load) followed by one StreamEnd.
+type Stream struct {
+	Count      uint32
+	Depth      uint32
+	SeedStride uint64
+	Round      Round
+}
+
+// StreamEnd closes a served stream: how many loads settled, and a stable
+// code ("ok", "draining", "run-failed") with a human-readable message for
+// early termination.
+type StreamEnd struct {
+	Seq    uint64 // the template Seq of the stream it closes
+	Served uint32
+	Code   string
+	Msg    string
 }
 
 // --- string helper -----------------------------------------------------------
@@ -383,6 +416,72 @@ func DecodeRoundResult(data []byte) (RoundResult, int, error) {
 		return RoundResult{}, 0, err
 	}
 	return rr, n, nil
+}
+
+// --- Stream / StreamEnd ------------------------------------------------------
+
+// AppendStream appends the framed stream request to dst. The template Round
+// is nested as a complete inner frame, so its codec (and its fuzz coverage)
+// is reused verbatim.
+func AppendStream(dst []byte, s Stream) []byte {
+	dst, lenAt := appendHeader(dst, TypeStream)
+	dst = binary.LittleEndian.AppendUint32(dst, s.Count)
+	dst = binary.LittleEndian.AppendUint32(dst, s.Depth)
+	dst = binary.LittleEndian.AppendUint64(dst, s.SeedStride)
+	dst = AppendRound(dst, s.Round)
+	return patchLength(dst, lenAt)
+}
+
+// DecodeStream parses one framed Stream from the front of data.
+func DecodeStream(data []byte) (Stream, int, error) {
+	r, n, err := openFrame(data, TypeStream)
+	if err != nil {
+		return Stream{}, 0, err
+	}
+	s := Stream{Count: r.u32(), Depth: r.u32(), SeedStride: r.u64()}
+	if r.err == nil {
+		if s.Count < 1 || s.Count > MaxStreamCount {
+			return Stream{}, 0, fmt.Errorf("wire: stream count %d outside [1, %d]", s.Count, MaxStreamCount)
+		}
+		if s.Depth < 1 || s.Depth > MaxStreamDepth {
+			return Stream{}, 0, fmt.Errorf("wire: stream depth %d outside [1, %d]", s.Depth, MaxStreamDepth)
+		}
+	}
+	if r.err == nil {
+		rq, used, err := DecodeRound(r.buf[r.off:])
+		if err != nil {
+			return Stream{}, 0, fmt.Errorf("wire: stream template: %w", err)
+		}
+		s.Round = rq
+		r.off += used
+	}
+	if err := r.finish(); err != nil {
+		return Stream{}, 0, err
+	}
+	return s, n, nil
+}
+
+// AppendStreamEnd appends the framed stream closure to dst.
+func AppendStreamEnd(dst []byte, e StreamEnd) []byte {
+	dst, lenAt := appendHeader(dst, TypeStreamEnd)
+	dst = binary.LittleEndian.AppendUint64(dst, e.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, e.Served)
+	dst = appendString(dst, e.Code)
+	dst = appendString(dst, e.Msg)
+	return patchLength(dst, lenAt)
+}
+
+// DecodeStreamEnd parses one framed StreamEnd from the front of data.
+func DecodeStreamEnd(data []byte) (StreamEnd, int, error) {
+	r, n, err := openFrame(data, TypeStreamEnd)
+	if err != nil {
+		return StreamEnd{}, 0, err
+	}
+	e := StreamEnd{Seq: r.u64(), Served: r.u32(), Code: r.str(), Msg: r.str()}
+	if err := r.finish(); err != nil {
+		return StreamEnd{}, 0, err
+	}
+	return e, n, nil
 }
 
 // --- SrvError ----------------------------------------------------------------

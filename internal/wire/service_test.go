@@ -38,6 +38,10 @@ func sampleRound() Round {
 	}
 }
 
+func sampleStream() Stream {
+	return Stream{Count: 64, Depth: 4, SeedStride: 7919, Round: sampleRound()}
+}
+
 func sampleRoundResult() RoundResult {
 	return RoundResult{
 		Seq:           17,
@@ -98,6 +102,44 @@ func TestRoundAdversarialCounts(t *testing.T) {
 		if re := AppendRound(nil, m); !bytes.Equal(re, corrupt[:n]) {
 			t.Fatalf("offset %d: corrupt frame decoded but did not round-trip", off)
 		}
+	}
+}
+
+// TestStreamAdversarialCounts mirrors the Round test for the stream
+// envelope: its count/depth caps and the nested round's slice counts.
+func TestStreamAdversarialCounts(t *testing.T) {
+	base := AppendStream(nil, sampleStream())
+
+	// Count and Depth lead the body; inflating either past its cap must be
+	// rejected before the nested round is even looked at.
+	for _, off := range []int{headerSize, headerSize + 4} {
+		corrupt := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(corrupt[off:], 0x7fffffff)
+		if _, _, err := DecodeStream(corrupt); err == nil {
+			t.Fatalf("offset %d: DecodeStream accepted a 2^31 count", off)
+		}
+	}
+
+	// Hunt every u32 in the body and inflate it; none may panic, and the
+	// inflated frame must either error or re-encode to the same bytes.
+	for off := headerSize; off+4 <= len(base); off++ {
+		corrupt := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(corrupt[off:], 0xffffff00)
+		m, n, err := DecodeStream(corrupt)
+		if err != nil {
+			continue
+		}
+		if re := AppendStream(nil, m); !bytes.Equal(re, corrupt[:n]) {
+			t.Fatalf("offset %d: corrupt stream decoded but did not round-trip", off)
+		}
+	}
+
+	// Zero count/depth are invalid: a stream always carries at least one load.
+	if _, _, err := DecodeStream(AppendStream(nil, Stream{Count: 0, Depth: 1, Round: sampleRound()})); err == nil {
+		t.Fatal("DecodeStream accepted Count=0")
+	}
+	if _, _, err := DecodeStream(AppendStream(nil, Stream{Count: 1, Depth: 0, Round: sampleRound()})); err == nil {
+		t.Fatal("DecodeStream accepted Depth=0")
 	}
 }
 

@@ -78,6 +78,10 @@ func (t MsgType) String() string {
 		return "round-result"
 	case TypeSrvError:
 		return "srv-error"
+	case TypeStream:
+		return "stream"
+	case TypeStreamEnd:
+		return "stream-end"
 	case TypeLedgerRecord:
 		return "ledger-record"
 	case TypeDetection:

@@ -116,6 +116,10 @@ func encodeAny(t *testing.T, msg interface{}) []byte {
 		return AppendRoundResult(nil, m)
 	case SrvError:
 		return AppendSrvError(nil, m)
+	case Stream:
+		return AppendStream(nil, m)
+	case StreamEnd:
+		return AppendStreamEnd(nil, m)
 	case LedgerRecord:
 		return AppendLedgerRecord(nil, m)
 	case DetectionRec:
@@ -157,6 +161,10 @@ func decodeAny(t *testing.T, data []byte) (interface{}, int, error) {
 		return firstErr(DecodeRoundResult(data))
 	case TypeSrvError:
 		return firstErr(DecodeSrvError(data))
+	case TypeStream:
+		return firstErr(DecodeStream(data))
+	case TypeStreamEnd:
+		return firstErr(DecodeStreamEnd(data))
 	case TypeLedgerRecord:
 		return firstErr(DecodeLedgerRecord(data))
 	case TypeDetection:
@@ -192,6 +200,10 @@ func allSamples() []interface{} {
 		RoundResult{Seq: 9, TermReason: "terminated"},
 		SrvError{Seq: 2, Code: "overloaded", Msg: "round slots exhausted"},
 		SrvError{},
+		sampleStream(),
+		Stream{Count: 1, Depth: 1, Round: Round{Seq: 1}}, // minimal stream
+		StreamEnd{Seq: 17, Served: 64, Code: "ok"},
+		StreamEnd{Code: "draining", Msg: "daemon shutting down"},
 		sampleLedgerRecord(),
 		LedgerRecord{Kind: 9}, // no parents, no payload
 		sampleDetection(),
