@@ -1,0 +1,430 @@
+// Package compute is the daemon's shared compute plane: the two pure,
+// expensive functions of a mechanism round — signature verification and the
+// optimal boundary-plan solve — lifted out of the per-session hot path so
+// their cost amortizes across every concurrent tenant session.
+//
+// The plane has two halves. PlanCache content-addresses solved boundary
+// plans: realistic workloads repeat the same load/network configuration
+// across rounds (Gallet–Robert–Vivien's multi-load study), so the same
+// (bids, topology) input re-solves constantly; a hit returns a bit-identical
+// copy of the earlier solve. VerifyPlane continuously batches signature
+// verification: sessions ship their memo-missing signatures to one
+// dispatcher that folds concurrent submissions into large chunked verify
+// passes, with per-tenant fairness and per-submitter fault isolation.
+//
+// Both halves are strictly optional: a nil plane (or nil half) means every
+// caller runs the exact code path it ran before the plane existed, at zero
+// additional allocation — the same discipline internal/obs uses for hooks.
+package compute
+
+import (
+	"crypto/sha256"
+	"math"
+	"math/bits"
+	"sync"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/obs"
+	"dlsmech/internal/wire"
+)
+
+// PlanKey is the content address of one boundary-solve input: the SHA-256
+// of the canonical wire encoding of (bids, link times).
+type PlanKey [sha256.Size]byte
+
+// KeyForPlan computes the content address of a solve input, appending the
+// canonical key material into scratch (reused across calls) to stay
+// allocation-free when scratch has capacity. It returns the key and the
+// (possibly grown) scratch buffer.
+func KeyForPlan(scratch []byte, w, z []float64) (PlanKey, []byte) {
+	scratch = wire.AppendPlanKeyMaterial(scratch[:0], w, z)
+	return sha256.Sum256(scratch), scratch
+}
+
+// planEntry is one cached solve. The float data is immutable after insert;
+// digest is a checksum over it, re-checked on every hit, so a corrupted
+// entry (bit rot, or anything that scribbles on the cache) is detected and
+// treated as a miss rather than settled into a round. w and z are the
+// entry's own copies of the solve input: the MRU hot probe compares an
+// incoming network against them bit for bit, which answers the
+// repeated-configuration steady state without hashing anything.
+type planEntry struct {
+	key    PlanKey
+	gen    uint64
+	w, z   []float64      // cache-owned copy of the solve input
+	plan   dlt.Allocation // cache-owned copy
+	digest uint64
+	bytes  int64
+
+	prev, next *planEntry // LRU list, most recent at head
+}
+
+// planFlight is the single-flight rendezvous for one in-progress miss.
+type planFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// PlanCacheConfig sizes a PlanCache. Zero values select the defaults.
+type PlanCacheConfig struct {
+	// MaxEntries bounds the entry count (default 4096).
+	MaxEntries int
+	// MaxBytes bounds the summed size of cached float data (default 256 MiB).
+	MaxBytes int64
+	// Registry receives the cache's metrics series (nil: a private registry,
+	// so counters still work but are not scraped).
+	Registry *obs.Registry
+}
+
+// PlanCache memoizes boundary-plan solves under content addresses with
+// bounded memory (LRU + byte cap), single-flight deduplication of
+// concurrent misses, and generation-stamped invalidation.
+type PlanCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu       sync.Mutex
+	entries  map[PlanKey]*planEntry
+	head     *planEntry // most recently used
+	tail     *planEntry // least recently used
+	bytes    int64
+	gen      uint64
+	inflight map[PlanKey]*planFlight
+
+	hits         *obs.Counter
+	misses       *obs.Counter
+	waits        *obs.Counter
+	evictions    *obs.Counter
+	poisoned     *obs.Counter
+	invalidGen   *obs.Counter
+	entriesGauge *obs.Gauge
+	bytesGauge   *obs.Gauge
+}
+
+// Plan cache metric names.
+const (
+	MetricPlanCacheHits      = "dlsd_compute_plan_cache_hits_total"
+	MetricPlanCacheMisses    = "dlsd_compute_plan_cache_misses_total"
+	MetricPlanCacheWaits     = "dlsd_compute_plan_cache_singleflight_waits_total"
+	MetricPlanCacheEvictions = "dlsd_compute_plan_cache_evictions_total"
+	MetricPlanCachePoisoned  = "dlsd_compute_plan_cache_poisoned_total"
+	MetricPlanCacheStaleGen  = "dlsd_compute_plan_cache_stale_generation_total"
+	MetricPlanCacheEntries   = "dlsd_compute_plan_cache_entries"
+	MetricPlanCacheBytes     = "dlsd_compute_plan_cache_bytes"
+)
+
+// NewPlanCache builds an empty cache.
+func NewPlanCache(cfg PlanCacheConfig) *PlanCache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 256 << 20
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &PlanCache{
+		maxEntries:   cfg.MaxEntries,
+		maxBytes:     cfg.MaxBytes,
+		entries:      make(map[PlanKey]*planEntry),
+		inflight:     make(map[PlanKey]*planFlight),
+		hits:         reg.Counter(MetricPlanCacheHits),
+		misses:       reg.Counter(MetricPlanCacheMisses),
+		waits:        reg.Counter(MetricPlanCacheWaits),
+		evictions:    reg.Counter(MetricPlanCacheEvictions),
+		poisoned:     reg.Counter(MetricPlanCachePoisoned),
+		invalidGen:   reg.Counter(MetricPlanCacheStaleGen),
+		entriesGauge: reg.Gauge(MetricPlanCacheEntries),
+		bytesGauge:   reg.Gauge(MetricPlanCacheBytes),
+	}
+}
+
+// Invalidate starts a new cache generation: every existing entry becomes
+// stale and is dropped lazily on its next touch (or by LRU pressure).
+// Content addressing already guarantees a key can only ever map to one
+// plan; the generation stamp is the belt-and-braces reset a session
+// reconfiguration (or an operator) can pull without racing in-flight hits.
+func (c *PlanCache) Invalidate() {
+	c.mu.Lock()
+	c.gen++
+	c.mu.Unlock()
+}
+
+// Generation returns the current cache generation.
+func (c *PlanCache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// planDigest checksums the cached float data: a four-lane multiply-XOR
+// fold over whole IEEE-754 words. SHA-256 on the hit path would cost as
+// much as re-solving at large m, and a single multiply-rotate chain is
+// latency-bound (every word waits on the previous multiply); four
+// independent accumulators keep the multiplier pipeline full, which is
+// what lets the per-hit re-check stay far under the cost of a fresh solve.
+// Detection is exact, not probabilistic: XOR-then-multiply-by-odd is
+// bijective in the accumulator, so any single corrupted word changes its
+// lane, and the rotated-XOR combine changes with any single lane.
+func planDigest(a *dlt.Allocation) uint64 {
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	fold := func(vs []float64) {
+		l0 := uint64(0x9e3779b97f4a7c15)
+		l1 := uint64(0xc2b2ae3d27d4eb4f)
+		l2 := uint64(0x165667b19e3779f9)
+		l3 := uint64(0x27d4eb2f165667c5)
+		i := 0
+		for ; i+4 <= len(vs); i += 4 {
+			l0 = (l0 ^ math.Float64bits(vs[i])) * prime
+			l1 = (l1 ^ math.Float64bits(vs[i+1])) * prime
+			l2 = (l2 ^ math.Float64bits(vs[i+2])) * prime
+			l3 = (l3 ^ math.Float64bits(vs[i+3])) * prime
+		}
+		for ; i < len(vs); i++ {
+			l0 = (l0 ^ math.Float64bits(vs[i])) * prime
+		}
+		mixed := l0 ^ bits.RotateLeft64(l1, 13) ^ bits.RotateLeft64(l2, 27) ^ bits.RotateLeft64(l3, 41)
+		h = (h ^ mixed) * prime
+		h = (h ^ uint64(len(vs))) * prime // length-prefix: no cross-slice slides
+	}
+	fold(a.Alpha)
+	fold(a.AlphaHat)
+	fold(a.D)
+	fold(a.WBar)
+	return h
+}
+
+// floatsBitEqual reports element-wise IEEE-754 bit equality — the same
+// equivalence KeyForPlan's content address induces (±0.0 distinct, NaN
+// payloads distinct), so a hot-probe match finds exactly the entry the
+// SHA-256 lookup would.
+func floatsBitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyScratchPool recycles the key-material buffers of the SHA-256 lookup
+// path; at m ≈ 10⁴ the canonical encoding is tens of kilobytes, which must
+// not be re-allocated per miss.
+var keyScratchPool = sync.Pool{New: func() any { s := make([]byte, 0, 4096); return &s }}
+
+// Solve returns the boundary plan for net, from the cache when the same
+// input solved before and by running Algorithm 1 otherwise.
+//
+// The returned Allocation is SHARED and immutable — the same convention the
+// protocol already applies to round evidence. A hit aliases the cached
+// entry (bit-identical to the original solve by construction: they are the
+// same IEEE-754 words), so the hot path costs one input comparison, a
+// digest re-check and zero allocations. Callers must not write to it; every
+// hit re-checks the entry's digest, so a scribbled-on plan is detected,
+// counted as poisoned, evicted and re-solved rather than settled.
+//
+// The steady state of a repeated-configuration workload skips hashing
+// entirely: the incoming (W, Z) is bit-compared against the most recently
+// used entry's stored input first, and only on a probe miss does the
+// SHA-256 content address get computed. Concurrent misses of the same key
+// are deduplicated: one caller solves, the rest wait and share its result.
+// The second return reports whether this call was answered from the cache.
+func (c *PlanCache) Solve(net *dlt.Network) (*dlt.Allocation, bool, error) {
+	var key PlanKey
+	haveKey := false
+	for {
+		c.mu.Lock()
+		e := c.head
+		if e != nil && e.gen == c.gen && floatsBitEqual(e.w, net.W) && floatsBitEqual(e.z, net.Z) {
+			// MRU hot probe hit: already at the LRU head, no touch needed.
+		} else {
+			e = nil
+			if !haveKey {
+				c.mu.Unlock()
+				scratch := keyScratchPool.Get().(*[]byte)
+				key, *scratch = KeyForPlan(*scratch, net.W, net.Z)
+				keyScratchPool.Put(scratch)
+				haveKey = true
+				c.mu.Lock()
+			}
+			e = c.lookupLocked(key)
+		}
+		if e != nil {
+			src := &e.plan // immutable once inserted
+			dig := e.digest
+			ekey := e.key
+			c.mu.Unlock()
+			if planDigest(src) != dig {
+				// The cached data no longer matches its insert-time
+				// checksum: drop the entry and fall through to a fresh
+				// solve rather than settle a corrupted plan.
+				c.poisoned.Inc()
+				c.remove(ekey)
+				continue
+			}
+			c.hits.Inc()
+			return src, true, nil
+		}
+		if fl, busy := c.inflight[key]; busy {
+			c.mu.Unlock()
+			c.waits.Inc()
+			<-fl.done
+			if fl.err != nil {
+				return nil, false, fl.err
+			}
+			continue // leader inserted; re-lookup shares it
+		}
+		fl := &planFlight{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
+
+		plan, err := dlt.SolveBoundary(net)
+		fl.err = err
+		if err == nil {
+			c.insert(key, net, plan)
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(fl.done)
+		c.misses.Inc()
+		if err != nil {
+			return nil, false, err
+		}
+		return plan, false, nil
+	}
+}
+
+// lookupLocked returns the live entry for key, dropping it if stale.
+func (c *PlanCache) lookupLocked(key PlanKey) *planEntry {
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	if e.gen != c.gen {
+		c.invalidGen.Inc()
+		c.unlinkLocked(e)
+		return nil
+	}
+	c.touchLocked(e)
+	return e
+}
+
+// insert stores a cache-owned copy of plan (and of the solve input, for the
+// MRU hot probe) under key, evicting LRU entries past the entry or byte caps.
+func (c *PlanCache) insert(key PlanKey, net *dlt.Network, plan *dlt.Allocation) {
+	cp := plan.Clone()
+	w := append([]float64(nil), net.W...)
+	z := append([]float64(nil), net.Z...)
+	e := &planEntry{
+		key:    key,
+		w:      w,
+		z:      z,
+		plan:   *cp,
+		digest: planDigest(cp),
+		bytes: int64(8 * (len(cp.Alpha) + len(cp.AlphaHat) + len(cp.D) + len(cp.WBar) +
+			len(w) + len(z))),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.unlinkLocked(old)
+	}
+	e.gen = c.gen
+	c.entries[key] = e
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+	c.bytes += e.bytes
+	for (len(c.entries) > c.maxEntries || c.bytes > c.maxBytes) && c.tail != nil && c.tail != e {
+		c.evictions.Inc()
+		c.unlinkLocked(c.tail)
+	}
+	c.entriesGauge.Set(float64(len(c.entries)))
+	c.bytesGauge.Set(float64(c.bytes))
+}
+
+// remove drops key's entry if present.
+func (c *PlanCache) remove(key PlanKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.unlinkLocked(e)
+	}
+}
+
+// touchLocked moves e to the LRU head.
+func (c *PlanCache) touchLocked(e *planEntry) {
+	if c.head == e {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlinkLocked removes e from the map and the LRU list.
+func (c *PlanCache) unlinkLocked(e *planEntry) {
+	delete(c.entries, e.key)
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	c.bytes -= e.bytes
+	c.entriesGauge.Set(float64(len(c.entries)))
+	c.bytesGauge.Set(float64(c.bytes))
+}
+
+// Len returns the live entry count.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// TamperForTest flips one bit of the cached Alpha[0] of key's entry, if
+// present — the poisoned-cache fixture. Never called outside tests.
+func (c *PlanCache) TamperForTest(w, z []float64) bool {
+	key, _ := KeyForPlan(nil, w, z)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || len(e.plan.Alpha) == 0 {
+		return false
+	}
+	e.plan.Alpha[0] = math.Float64frombits(math.Float64bits(e.plan.Alpha[0]) ^ 1)
+	return true
+}

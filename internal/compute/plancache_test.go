@@ -1,0 +1,232 @@
+package compute
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/obs"
+)
+
+func testNet(m int, seed int64) *dlt.Network {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, m)
+	z := make([]float64, m)
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()*4
+		if i > 0 {
+			z[i] = rng.Float64() * 0.2
+		}
+	}
+	return &dlt.Network{W: w, Z: z}
+}
+
+func TestPlanCacheHitIsBitIdentical(t *testing.T) {
+	c := NewPlanCache(PlanCacheConfig{})
+	net := testNet(64, 1)
+	first, hit, err := c.Solve(net)
+	if err != nil || hit {
+		t.Fatalf("first solve: hit=%v err=%v", hit, err)
+	}
+	second, hit, err := c.Solve(net)
+	if err != nil || !hit {
+		t.Fatalf("second solve: hit=%v err=%v", hit, err)
+	}
+	vecs := [][2][]float64{
+		{first.Alpha, second.Alpha},
+		{first.AlphaHat, second.AlphaHat},
+		{first.D, second.D},
+		{first.WBar, second.WBar},
+	}
+	for vi, pair := range vecs {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("vec %d length mismatch", vi)
+		}
+		for i := range pair[0] {
+			if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+				t.Fatalf("vec %d idx %d not bit-identical: %x vs %x",
+					vi, i, math.Float64bits(pair[0][i]), math.Float64bits(pair[1][i]))
+			}
+		}
+	}
+	// Hits share the immutable cached plan — consecutive hits alias the same
+	// entry rather than paying a clone.
+	third, hit, _ := c.Solve(net)
+	if !hit || third != second {
+		t.Fatalf("consecutive hits should share the cached plan (hit=%v same=%v)", hit, third == second)
+	}
+	// A caller that violates the immutability contract is caught by the
+	// per-hit digest re-check: the scribbled-on entry is evicted and
+	// re-solved clean instead of being served.
+	want := second.Alpha[0]
+	second.Alpha[0] = -1
+	fourth, hit, err := c.Solve(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("mutated entry served as a hit")
+	}
+	if math.Float64bits(fourth.Alpha[0]) != math.Float64bits(want) {
+		t.Fatalf("re-solve after mutation returned %v, want %v", fourth.Alpha[0], want)
+	}
+}
+
+func TestPlanCacheHitAllocatesNothing(t *testing.T) {
+	c := NewPlanCache(PlanCacheConfig{})
+	net := testNet(64, 5)
+	if _, hit, err := c.Solve(net); hit || err != nil {
+		t.Fatalf("warmup: hit=%v err=%v", hit, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, hit, err := c.Solve(net); !hit || err != nil {
+			t.Fatalf("hit=%v err=%v", hit, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot hit path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestPlanCacheDistinctInputsDistinctEntries(t *testing.T) {
+	c := NewPlanCache(PlanCacheConfig{})
+	a := testNet(16, 1)
+	b := testNet(16, 2)
+	pa, _, _ := c.Solve(a)
+	pb, _, _ := c.Solve(b)
+	if c.Len() != 2 {
+		t.Fatalf("want 2 entries, got %d", c.Len())
+	}
+	if pa.Makespan() == pb.Makespan() {
+		t.Fatal("distinct inputs produced identical makespans; bad fixture")
+	}
+}
+
+func TestPlanCacheSingleFlight(t *testing.T) {
+	c := NewPlanCache(PlanCacheConfig{})
+	net := testNet(256, 7)
+	const callers = 16
+	var misses atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, hit, err := c.Solve(net)
+			if err != nil {
+				t.Error(err)
+			}
+			if !hit {
+				misses.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := misses.Load(); got != 1 {
+		t.Fatalf("want exactly 1 solving caller, got %d", got)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(PlanCacheConfig{MaxEntries: 4})
+	nets := make([]*dlt.Network, 6)
+	for i := range nets {
+		nets[i] = testNet(8, int64(i+1))
+		c.Solve(nets[i])
+	}
+	if c.Len() != 4 {
+		t.Fatalf("want 4 live entries, got %d", c.Len())
+	}
+	// Newest four must hit (checked first: a miss re-inserts and evicts).
+	for i := 2; i < 6; i++ {
+		if _, hit, _ := c.Solve(nets[i]); !hit {
+			t.Fatalf("net %d should still be cached", i)
+		}
+	}
+	// Oldest two were evicted.
+	for i := 0; i < 2; i++ {
+		if _, hit, _ := c.Solve(nets[i]); hit {
+			t.Fatalf("net %d should have been evicted", i)
+		}
+	}
+}
+
+func TestPlanCacheByteCap(t *testing.T) {
+	// Each m=64 entry holds 4 plan vectors plus the w/z input copies:
+	// 6 * 64 * 8 = 3072 bytes.
+	c := NewPlanCache(PlanCacheConfig{MaxBytes: 5000})
+	for i := 0; i < 5; i++ {
+		c.Solve(testNet(64, int64(i+1)))
+	}
+	if got := c.Len(); got > 2 {
+		t.Fatalf("byte cap ignored: %d entries live", got)
+	}
+}
+
+func TestPlanCacheInvalidateDropsEntries(t *testing.T) {
+	c := NewPlanCache(PlanCacheConfig{})
+	net := testNet(32, 3)
+	c.Solve(net)
+	c.Invalidate()
+	if _, hit, _ := c.Solve(net); hit {
+		t.Fatal("hit across a generation bump")
+	}
+	if _, hit, _ := c.Solve(net); !hit {
+		t.Fatal("re-inserted entry should hit within the new generation")
+	}
+}
+
+func TestPlanCachePoisonDetected(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewPlanCache(PlanCacheConfig{Registry: reg})
+	net := testNet(32, 9)
+	clean, _, err := c.Solve(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.TamperForTest(net.W, net.Z) {
+		t.Fatal("tamper found no entry")
+	}
+	got, hit, err := c.Solve(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("poisoned entry served as a hit")
+	}
+	for i := range clean.Alpha {
+		if math.Float64bits(got.Alpha[i]) != math.Float64bits(clean.Alpha[i]) {
+			t.Fatalf("re-solve after poison differs at %d", i)
+		}
+	}
+	if v := reg.Counter(MetricPlanCachePoisoned).Value(); v != 1 {
+		t.Fatalf("poisoned counter = %d, want 1", v)
+	}
+	// The re-solve replaced the entry; the next call is a clean hit.
+	if _, hit, _ := c.Solve(net); !hit {
+		t.Fatal("entry not repaired after poison re-solve")
+	}
+}
+
+func TestKeyForPlanInjectivity(t *testing.T) {
+	// Same floats split differently between w and z must not collide.
+	k1, _ := KeyForPlan(nil, []float64{1, 2, 3}, []float64{0, 4, 5})
+	k2, _ := KeyForPlan(nil, []float64{1, 2}, []float64{0, 4, 5, 3})
+	if k1 == k2 {
+		t.Fatal("length-prefix failed to separate w/z boundary")
+	}
+	k3, _ := KeyForPlan(nil, []float64{1, 2, 3}, []float64{0, 4, 5})
+	if k1 != k3 {
+		t.Fatal("key not deterministic")
+	}
+	// -0.0 and +0.0 differ in IEEE bits and must key differently (the solver
+	// never sees them as bids, but the key must hash bits, not values).
+	kneg, _ := KeyForPlan(nil, []float64{math.Copysign(0, -1)}, []float64{0})
+	kpos, _ := KeyForPlan(nil, []float64{0}, []float64{0})
+	if kneg == kpos {
+		t.Fatal("keying by value, not by bit pattern")
+	}
+}

@@ -1,0 +1,99 @@
+package compute
+
+import (
+	"time"
+
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/obs"
+	"dlsmech/internal/sign"
+)
+
+// Plane bundles the daemon's shared compute resources. Either half may be
+// nil (disabled); a nil *Plane disables everything. Every accessor is
+// nil-receiver-safe so call sites stay branch-light and the disabled path
+// allocates nothing.
+type Plane struct {
+	Verify *VerifyPlane
+	Plans  *PlanCache
+}
+
+// Config selects and sizes the plane's halves.
+type Config struct {
+	// EnableVerify turns on the cross-session verification coalescer.
+	EnableVerify bool
+	// EnablePlans turns on the content-addressed plan cache.
+	EnablePlans bool
+
+	VerifyMaxBatch int
+	VerifyWindow   time.Duration
+	PlanMaxEntries int
+	PlanMaxBytes   int64
+
+	// Registry receives all plane metrics (nil: a private registry).
+	Registry *obs.Registry
+}
+
+// New builds a plane per cfg. Returns nil when both halves are disabled,
+// so "plane off" is one nil handle everywhere downstream.
+func New(cfg Config) *Plane {
+	if !cfg.EnableVerify && !cfg.EnablePlans {
+		return nil
+	}
+	p := &Plane{}
+	if cfg.EnableVerify {
+		p.Verify = NewVerifyPlane(VerifyPlaneConfig{
+			MaxBatch: cfg.VerifyMaxBatch,
+			Window:   cfg.VerifyWindow,
+			Registry: cfg.Registry,
+		})
+	}
+	if cfg.EnablePlans {
+		p.Plans = NewPlanCache(PlanCacheConfig{
+			MaxEntries: cfg.PlanMaxEntries,
+			MaxBytes:   cfg.PlanMaxBytes,
+			Registry:   cfg.Registry,
+		})
+	}
+	return p
+}
+
+// Close stops the plane's background work. Safe on nil.
+func (p *Plane) Close() {
+	if p == nil {
+		return
+	}
+	if p.Verify != nil {
+		p.Verify.Close()
+	}
+}
+
+// Handle is what a protocol session carries: the plane plus the identity
+// its submissions are queued under. The zero Handle is "plane disabled" —
+// sessions check h.On() (a nil test) and fall back to their local paths,
+// allocating nothing.
+type Handle struct {
+	Plane  *Plane
+	Tenant string
+}
+
+// On reports whether any plane half is attached.
+func (h Handle) On() bool { return h.Plane != nil }
+
+// VerifyBatchNamed routes a session's signature set through the coalescer
+// when attached, and through the PKI's own batch verifier otherwise.
+func (h Handle) VerifyBatchNamed(pki *sign.PKI, msgs []sign.Signed) (int, error) {
+	if h.Plane != nil && h.Plane.Verify != nil {
+		return h.Plane.Verify.VerifyBatchNamed(h.Tenant, pki, msgs)
+	}
+	return pki.VerifyBatchNamed(msgs)
+}
+
+// SolvePlan routes a boundary solve through the plan cache when attached,
+// and straight to Algorithm 1 otherwise.
+func (h Handle) SolvePlan(net *dlt.Network) (*dlt.Allocation, error) {
+	if h.Plane != nil && h.Plane.Plans != nil {
+		plan, _, err := h.Plane.Plans.Solve(net)
+		return plan, err
+	}
+	return dlt.SolveBoundary(net)
+}

@@ -1,0 +1,349 @@
+package compute
+
+import (
+	"sync"
+	"time"
+
+	"dlsmech/internal/obs"
+	"dlsmech/internal/sign"
+)
+
+// VerifyPlane metric names.
+const (
+	MetricVerifySubmitted      = "dlsd_compute_verify_submitted_total"
+	MetricVerifyLocalHits      = "dlsd_compute_verify_local_hits_total"
+	MetricVerifySigsCoalesced  = "dlsd_compute_verify_sigs_coalesced_total"
+	MetricVerifyBatches        = "dlsd_compute_verify_batches_total"
+	MetricVerifyFlushSize      = "dlsd_compute_verify_flush_size_total"
+	MetricVerifyFlushDeadline  = "dlsd_compute_verify_flush_deadline_total"
+	MetricVerifyFlushDrain     = "dlsd_compute_verify_flush_drain_total"
+	MetricVerifyBatchOccupancy = "dlsd_compute_verify_batch_occupancy"
+	MetricVerifyFailures       = "dlsd_compute_verify_failures_total"
+	MetricVerifyTenants        = "dlsd_compute_verify_tenants"
+)
+
+// verifyReq is one submitter's miss set awaiting a coalesced batch. The
+// submitter parks on done; the dispatcher writes the verdict before closing.
+type verifyReq struct {
+	pki     *sign.PKI
+	msgs    []sign.Signed
+	verdict sign.BatchVerdict
+	done    chan struct{}
+}
+
+// tenantQueue is one tenant's FIFO of pending requests plus its position in
+// the dispatcher's round-robin ring.
+type tenantQueue struct {
+	name string
+	reqs []*verifyReq
+}
+
+// VerifyPlaneConfig tunes the dispatcher. Zero values select the defaults.
+type VerifyPlaneConfig struct {
+	// MaxBatch flushes a batch once it holds this many signatures
+	// (default 512).
+	MaxBatch int
+	// Window is how long the first queued signature may wait before the
+	// batch flushes regardless of size (default 200µs). Microsecond-scale:
+	// long enough to coalesce concurrent sessions, far below round latency.
+	Window time.Duration
+	// Registry receives the plane's metrics series (nil: a private registry).
+	Registry *obs.Registry
+}
+
+// VerifyPlane is the daemon-wide continuous-batching verifier. Sessions
+// submit the memo-missing subset of their signature sets; a single
+// dispatcher goroutine coalesces concurrent submissions — round-robin
+// across tenants so one chatty tenant cannot starve another — into large
+// VerifyBatchMulti calls and demultiplexes the per-submitter verdicts.
+// Poison isolation is inherited from VerifyBatchMulti: a forged signature
+// fails only its submitter's job.
+type VerifyPlane struct {
+	maxBatch int
+	window   time.Duration
+
+	mu      sync.Mutex
+	queues  map[string]*tenantQueue
+	ring    []*tenantQueue // round-robin order; rebuilt as tenants come and go
+	next    int            // ring cursor
+	pending int            // queued signatures across all tenants
+	oldest  time.Time      // arrival of the earliest queued request
+	closed  bool
+
+	wake chan struct{} // nudges the dispatcher out of its deadline sleep
+
+	submitted     *obs.Counter
+	localHits     *obs.Counter
+	sigsCoalesced *obs.Counter
+	batches       *obs.Counter
+	flushSize     *obs.Counter
+	flushDeadline *obs.Counter
+	flushDrain    *obs.Counter
+	occupancy     *obs.Histogram
+	failures      *obs.Counter
+	tenantsGauge  *obs.Gauge
+
+	wg sync.WaitGroup
+}
+
+// occupancyBuckets histograms signatures-per-flushed-batch.
+var occupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// NewVerifyPlane builds and starts a plane; Close stops it.
+func NewVerifyPlane(cfg VerifyPlaneConfig) *VerifyPlane {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 200 * time.Microsecond
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	v := &VerifyPlane{
+		maxBatch:      cfg.MaxBatch,
+		window:        cfg.Window,
+		queues:        make(map[string]*tenantQueue),
+		wake:          make(chan struct{}, 1),
+		submitted:     reg.Counter(MetricVerifySubmitted),
+		localHits:     reg.Counter(MetricVerifyLocalHits),
+		sigsCoalesced: reg.Counter(MetricVerifySigsCoalesced),
+		batches:       reg.Counter(MetricVerifyBatches),
+		flushSize:     reg.Counter(MetricVerifyFlushSize),
+		flushDeadline: reg.Counter(MetricVerifyFlushDeadline),
+		flushDrain:    reg.Counter(MetricVerifyFlushDrain),
+		occupancy:     reg.Histogram(MetricVerifyBatchOccupancy, occupancyBuckets),
+		failures:      reg.Counter(MetricVerifyFailures),
+		tenantsGauge:  reg.Gauge(MetricVerifyTenants),
+	}
+	v.wg.Add(1)
+	go v.dispatch()
+	return v
+}
+
+// Close drains queued work and stops the dispatcher. Submissions after
+// Close fall back to local verification.
+func (v *VerifyPlane) Close() {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return
+	}
+	v.closed = true
+	v.mu.Unlock()
+	v.nudge()
+	v.wg.Wait()
+}
+
+// missPool recycles the per-submission miss-index scratch.
+var missIdxPool = sync.Pool{New: func() interface{} {
+	s := make([]int32, 0, 64)
+	return &s
+}}
+
+// VerifyBatchNamed verifies msgs against pki with the plane's coalescer,
+// returning exactly what pki.VerifyBatchNamed would: the index of the first
+// invalid message and a descriptive error, or (-1, nil).
+//
+// The memo split happens locally first — a fully memo-answered set never
+// touches the dispatcher, so warm steady-state rounds pay one RLock'd map
+// scan and zero channel traffic. Only the memo-missing subset is packaged
+// (as a contiguous view when possible, an index-gathered copy otherwise)
+// and shipped; on a failure verdict the plane re-runs the session's own
+// sequential path to name the first invalid message in original order.
+func (v *VerifyPlane) VerifyBatchNamed(tenant string, pki *sign.PKI, msgs []sign.Signed) (int, error) {
+	if len(msgs) == 0 {
+		return -1, nil
+	}
+	v.submitted.Inc()
+
+	idxp := missIdxPool.Get().(*[]int32)
+	miss := pki.MemoMisses(msgs, (*idxp)[:0])
+	if len(miss) == 0 {
+		*idxp = miss
+		missIdxPool.Put(idxp)
+		v.localHits.Inc()
+		pki.CountMemoHits(len(msgs))
+		return -1, nil
+	}
+
+	// Contiguous misses (the common shape: either everything missed, or one
+	// fresh tail) ship as a subslice; scattered misses are gathered.
+	var sub []sign.Signed
+	contiguous := int(miss[len(miss)-1]-miss[0])+1 == len(miss)
+	if contiguous {
+		sub = msgs[miss[0] : int(miss[len(miss)-1])+1]
+	} else {
+		sub = make([]sign.Signed, len(miss))
+		for i, at := range miss {
+			sub[i] = msgs[at]
+		}
+	}
+	nHits := len(msgs) - len(miss)
+	*idxp = miss
+	missIdxPool.Put(idxp)
+	if nHits > 0 {
+		pki.CountMemoHits(nHits)
+	}
+
+	req := &verifyReq{pki: pki, msgs: sub, done: make(chan struct{})}
+	if !v.enqueue(tenant, req) {
+		// Plane closed: behave exactly as if it never existed.
+		return pki.VerifyBatchNamed(msgs)
+	}
+	<-req.done
+	if req.verdict.Err == nil {
+		return -1, nil
+	}
+	// A message in the shipped subset failed. Re-run the caller's own
+	// sequential path over the full original slice so the reported index and
+	// error text are identical to the non-coalesced path (and so no
+	// dispatcher anomaly can misattribute a failure).
+	v.failures.Inc()
+	return pki.VerifyBatchNamed(msgs)
+}
+
+// enqueue parks req on tenant's queue and reports false when the plane is
+// closed (caller must verify locally).
+func (v *VerifyPlane) enqueue(tenant string, req *verifyReq) bool {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return false
+	}
+	q, ok := v.queues[tenant]
+	if !ok {
+		q = &tenantQueue{name: tenant}
+		v.queues[tenant] = q
+		v.ring = append(v.ring, q)
+		v.tenantsGauge.Set(float64(len(v.queues)))
+	}
+	q.reqs = append(q.reqs, req)
+	if v.pending == 0 {
+		v.oldest = time.Now()
+	}
+	v.pending += len(req.msgs)
+	v.mu.Unlock()
+	v.nudge()
+	return true
+}
+
+// nudge wakes the dispatcher without blocking.
+func (v *VerifyPlane) nudge() {
+	select {
+	case v.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the plane's single coalescing loop: wait until the pending
+// pool crosses the size threshold or the oldest queued request ages past
+// the window, then cut a batch round-robin across tenant queues and execute
+// it. Execution happens outside the lock, so sessions keep enqueueing into
+// the next batch while the current one verifies.
+func (v *VerifyPlane) dispatch() {
+	defer v.wg.Done()
+	timer := time.NewTimer(v.window)
+	defer timer.Stop()
+	for {
+		v.mu.Lock()
+		for v.pending == 0 && !v.closed {
+			v.mu.Unlock()
+			<-v.wake
+			v.mu.Lock()
+		}
+		if v.pending == 0 && v.closed {
+			v.mu.Unlock()
+			return
+		}
+		closing := v.closed
+		reason := v.flushSize
+		if !closing && v.pending < v.maxBatch {
+			wait := v.window - time.Since(v.oldest)
+			if wait > 0 {
+				v.mu.Unlock()
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-v.wake:
+				}
+				continue
+			}
+			reason = v.flushDeadline
+		}
+		if closing {
+			reason = v.flushDrain
+		}
+		jobs, reqs := v.cutBatchLocked()
+		v.mu.Unlock()
+		if len(jobs) == 0 {
+			continue
+		}
+		reason.Inc()
+		v.execute(jobs, reqs)
+	}
+}
+
+// cutBatchLocked extracts up to maxBatch signatures of queued requests,
+// visiting tenant queues round-robin from the ring cursor so each tenant's
+// head request is taken before any tenant's second. Whole requests are
+// taken (a submitter's set is never split across batches); the batch may
+// exceed maxBatch by at most one request's tail.
+func (v *VerifyPlane) cutBatchLocked() ([]sign.BatchJob, []*verifyReq) {
+	var jobs []sign.BatchJob
+	var reqs []*verifyReq
+	sigs := 0
+	for sigs < v.maxBatch && v.pending > 0 {
+		took := false
+		for pass := 0; pass < len(v.ring); pass++ {
+			q := v.ring[v.next%len(v.ring)]
+			v.next++
+			if len(q.reqs) == 0 {
+				continue
+			}
+			req := q.reqs[0]
+			copy(q.reqs, q.reqs[1:])
+			q.reqs[len(q.reqs)-1] = nil
+			q.reqs = q.reqs[:len(q.reqs)-1]
+			jobs = append(jobs, sign.BatchJob{PKI: req.pki, Msgs: req.msgs})
+			reqs = append(reqs, req)
+			sigs += len(req.msgs)
+			v.pending -= len(req.msgs)
+			took = true
+			if sigs >= v.maxBatch {
+				break
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	if v.pending > 0 {
+		v.oldest = time.Now() // conservative: restarts the window for the remainder
+	}
+	return jobs, reqs
+}
+
+// execute runs one coalesced batch and releases every submitter.
+func (v *VerifyPlane) execute(jobs []sign.BatchJob, reqs []*verifyReq) {
+	sigs := 0
+	for i := range jobs {
+		sigs += len(jobs[i].Msgs)
+	}
+	v.batches.Inc()
+	v.sigsCoalesced.Add(int64(sigs))
+	v.occupancy.Observe(float64(sigs))
+	verdicts := make([]sign.BatchVerdict, len(jobs))
+	sign.VerifyBatchMulti(jobs, verdicts)
+	for i, req := range reqs {
+		req.verdict = verdicts[i]
+		close(req.done)
+	}
+}

@@ -1,0 +1,186 @@
+package compute
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dlsmech/internal/obs"
+	"dlsmech/internal/sign"
+)
+
+// newSessionPKI builds one session-like PKI: n signers registered under ids
+// 0..n-1 with keys derived from seed, mirroring how protocol sessions
+// provision theirs.
+func newSessionPKI(t *testing.T, n int, seed uint64) (*sign.PKI, []*sign.Signer) {
+	t.Helper()
+	pki := sign.NewPKI()
+	signers := make([]*sign.Signer, n)
+	for i := 0; i < n; i++ {
+		signers[i] = sign.NewSigner(i, seed+uint64(i))
+		if err := pki.Register(i, signers[i].Public()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pki, signers
+}
+
+func signedSet(signers []*sign.Signer, round int) []sign.Signed {
+	msgs := make([]sign.Signed, len(signers))
+	for i, s := range signers {
+		msgs[i] = s.Sign([]byte(fmt.Sprintf("bid r=%d i=%d", round, i)))
+	}
+	return msgs
+}
+
+func TestVerifyPlaneMatchesLocalVerdict(t *testing.T) {
+	v := NewVerifyPlane(VerifyPlaneConfig{Window: 50 * time.Microsecond})
+	defer v.Close()
+	pki, signers := newSessionPKI(t, 8, 42)
+	msgs := signedSet(signers, 0)
+	if at, err := v.VerifyBatchNamed("tenant-a", pki, msgs); at != -1 || err != nil {
+		t.Fatalf("valid set rejected: at=%d err=%v", at, err)
+	}
+	// Second submission is fully memo-answered: must stay local and succeed.
+	reg := obs.NewRegistry()
+	v2 := NewVerifyPlane(VerifyPlaneConfig{Registry: reg})
+	defer v2.Close()
+	if at, err := v2.VerifyBatchNamed("tenant-a", pki, msgs); at != -1 || err != nil {
+		t.Fatalf("memo-warm set rejected: at=%d err=%v", at, err)
+	}
+	if reg.Counter(MetricVerifyLocalHits).Value() != 1 {
+		t.Fatal("memo-warm submission was not answered locally")
+	}
+	if reg.Counter(MetricVerifyBatches).Value() != 0 {
+		t.Fatal("memo-warm submission reached the dispatcher")
+	}
+}
+
+func TestVerifyPlaneNamesFirstInvalid(t *testing.T) {
+	v := NewVerifyPlane(VerifyPlaneConfig{})
+	defer v.Close()
+	pki, signers := newSessionPKI(t, 6, 7)
+	msgs := signedSet(signers, 1)
+	msgs[3].Sig[0] ^= 0x01
+	msgs[5].Payload[0] ^= 0x01
+	at, err := v.VerifyBatchNamed("tenant-a", pki, msgs)
+	wantAt, wantErr := pki.VerifyBatchNamed(signedSet(signers, 1)) // clean control
+	if wantAt != -1 || wantErr != nil {
+		t.Fatalf("control set invalid: %d %v", wantAt, wantErr)
+	}
+	if at != 3 || err == nil {
+		t.Fatalf("want first invalid at 3, got at=%d err=%v", at, err)
+	}
+}
+
+func TestVerifyPlanePoisonIsolationAcrossTenants(t *testing.T) {
+	// One tenant ships a forged signature while many innocent tenants submit
+	// concurrently into the same coalescing window: every innocent verdict
+	// must be clean and the forger must get its precise failure index.
+	v := NewVerifyPlane(VerifyPlaneConfig{MaxBatch: 4096, Window: 2 * time.Millisecond})
+	defer v.Close()
+
+	const tenants = 8
+	type result struct {
+		at  int
+		err error
+	}
+	results := make([]result, tenants)
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			pki, signers := newSessionPKI(t, 8, uint64(1000*ti+1))
+			msgs := signedSet(signers, 0)
+			if ti == 0 {
+				msgs[2].Sig[0] ^= 0xff
+			}
+			at, err := v.VerifyBatchNamed(fmt.Sprintf("tenant-%d", ti), pki, msgs)
+			results[ti] = result{at, err}
+		}(ti)
+	}
+	wg.Wait()
+	if results[0].at != 2 || results[0].err == nil {
+		t.Fatalf("forger verdict wrong: at=%d err=%v", results[0].at, results[0].err)
+	}
+	for ti := 1; ti < tenants; ti++ {
+		if results[ti].at != -1 || results[ti].err != nil {
+			t.Fatalf("innocent tenant %d poisoned: at=%d err=%v", ti, results[ti].at, results[ti].err)
+		}
+	}
+}
+
+func TestVerifyPlaneCoalescesConcurrentSubmissions(t *testing.T) {
+	reg := obs.NewRegistry()
+	// A wide window so every concurrent submission lands in one batch.
+	v := NewVerifyPlane(VerifyPlaneConfig{MaxBatch: 1 << 20, Window: 20 * time.Millisecond, Registry: reg})
+	defer v.Close()
+
+	const subs = 12
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pki, signers := newSessionPKI(t, 4, uint64(100*i+5))
+			if at, err := v.VerifyBatchNamed("t", pki, signedSet(signers, 0)); at != -1 || err != nil {
+				t.Errorf("submission %d failed: %d %v", i, at, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	batches := reg.Counter(MetricVerifyBatches).Value()
+	sigs := reg.Counter(MetricVerifySigsCoalesced).Value()
+	if sigs != subs*4 {
+		t.Fatalf("coalesced sigs = %d, want %d", sigs, subs*4)
+	}
+	if batches >= subs {
+		t.Fatalf("no coalescing happened: %d batches for %d submissions", batches, subs)
+	}
+	if reg.Counter(MetricVerifyFlushDeadline).Value()+reg.Counter(MetricVerifyFlushSize).Value()+reg.Counter(MetricVerifyFlushDrain).Value() != batches {
+		t.Fatal("flush-reason split does not account for every batch")
+	}
+}
+
+func TestVerifyPlaneSizeFlush(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Tiny size threshold, huge window: flushes must be size-triggered.
+	v := NewVerifyPlane(VerifyPlaneConfig{MaxBatch: 4, Window: time.Hour, Registry: reg})
+	defer v.Close()
+	pki, signers := newSessionPKI(t, 8, 77)
+	if at, err := v.VerifyBatchNamed("t", pki, signedSet(signers, 0)); at != -1 || err != nil {
+		t.Fatalf("submission failed: %d %v", at, err)
+	}
+	if reg.Counter(MetricVerifyFlushSize).Value() == 0 {
+		t.Fatal("8 sigs over a MaxBatch=4 plane did not size-flush")
+	}
+}
+
+func TestVerifyPlaneClosedFallsBackLocal(t *testing.T) {
+	v := NewVerifyPlane(VerifyPlaneConfig{})
+	v.Close()
+	pki, signers := newSessionPKI(t, 4, 9)
+	if at, err := v.VerifyBatchNamed("t", pki, signedSet(signers, 0)); at != -1 || err != nil {
+		t.Fatalf("closed-plane fallback failed: %d %v", at, err)
+	}
+}
+
+func TestHandleDisabledPathsAllocateNothing(t *testing.T) {
+	var h Handle
+	pki, signers := newSessionPKI(t, 4, 11)
+	msgs := signedSet(signers, 0)
+	// Warm the memo so the measured loop is pure memo-hit verification.
+	if at, err := h.VerifyBatchNamed(pki, msgs); at != -1 || err != nil {
+		t.Fatalf("warmup failed: %d %v", at, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if at, err := h.VerifyBatchNamed(pki, msgs); at != -1 || err != nil {
+			t.Fatalf("verify failed: %d %v", at, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled verify path allocates %.1f/op, want 0", allocs)
+	}
+}

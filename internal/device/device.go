@@ -162,21 +162,35 @@ func (a Attestation) Clone() Attestation {
 	return Attestation{Blocks: append([]Block(nil), a.Blocks...)}
 }
 
+// issuerSlot is one open-addressed table cell: a minted identifier plus the
+// Verify-call generation that last saw it (duplicate detection).
+type issuerSlot struct {
+	id   Block
+	used bool
+	seen uint64
+}
+
 // Issuer mints block identifiers on behalf of the root during data
 // preparation and later verifies attestations. It is safe for concurrent
 // use, and it is reusable: Reset starts a fresh mint epoch while keeping the
-// map storage warm, which is what lets a long-running protocol session mint
-// every round without rebuilding the identifier registry.
+// table storage warm, which is what lets a long-running protocol session
+// mint every round without rebuilding the identifier registry.
+//
+// The registry is a linear-probed open-addressed table rather than a Go map:
+// a steady-state daemon round mints thousands of identifiers and probes
+// thousands more during audits, and the general map's hashing and bucket
+// bookkeeping made the Λ device one of the hottest rows of a served-round
+// profile. Identifiers are uniform random 64-bit values minted by the issuer
+// itself, so a multiplicative mix of the identifier is a sound hash — an
+// adversary cannot choose minted identifiers, only replay or guess them.
 type Issuer struct {
 	unit float64
 	rng  *xrand.Rand
 
-	mu     sync.Mutex
-	minted map[Block]bool
-	// seen is the duplicate-detection scratch for Verify, generation-stamped
-	// so each call starts logically empty without clearing or reallocating.
-	seen    map[Block]uint32
-	seenGen uint32
+	mu    sync.Mutex
+	slots []issuerSlot // power-of-two length; empty when unused
+	live  int          // identifiers minted in the current epoch
+	gen   uint64       // Verify-call generation for duplicate stamps
 }
 
 // NewIssuer creates an issuer with the given block unit (the work quantity
@@ -185,26 +199,89 @@ func NewIssuer(unit float64, rng *xrand.Rand) (*Issuer, error) {
 	if !(unit > 0) || math.IsInf(unit, 0) {
 		return nil, fmt.Errorf("device: invalid block unit %v", unit)
 	}
-	return &Issuer{
-		unit:   unit,
-		rng:    rng,
-		minted: make(map[Block]bool),
-		seen:   make(map[Block]uint32),
-	}, nil
+	return &Issuer{unit: unit, rng: rng}, nil
 }
 
 // Unit returns the work quantity of one block.
 func (iss *Issuer) Unit() float64 { return iss.unit }
 
 // Reset invalidates every previously minted identifier and starts a new mint
-// epoch. Map storage is retained, so the next round's Mint refills warm
-// buckets instead of growing fresh maps.
+// epoch. Table storage is retained (one bulk clear, no reallocation), so the
+// next round's Mint refills warm cells instead of growing a fresh table.
 func (iss *Issuer) Reset() {
 	iss.mu.Lock()
 	defer iss.mu.Unlock()
-	clear(iss.minted)
-	clear(iss.seen)
-	iss.seenGen = 0
+	clear(iss.slots)
+	iss.live = 0
+	iss.gen = 0
+}
+
+// slotIndex mixes an identifier into a table index. Fibonacci multiplicative
+// hashing is enough: minted identifiers are uniform random 64-bit values.
+func slotIndex(id Block, mask uint64) uint64 {
+	return (uint64(id) * 0x9e3779b97f4a7c15) >> 1 & mask
+}
+
+// lookup returns the cell holding id, or nil. Caller holds iss.mu.
+func (iss *Issuer) lookup(id Block) *issuerSlot {
+	if len(iss.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(iss.slots) - 1)
+	for i := slotIndex(id, mask); ; i = (i + 1) & mask {
+		s := &iss.slots[i]
+		if !s.used {
+			return nil
+		}
+		if s.id == id {
+			return s
+		}
+	}
+}
+
+// insert adds id to the table, reporting false when it is already present.
+// Caller holds iss.mu and has ensured spare capacity.
+func (iss *Issuer) insert(id Block) bool {
+	mask := uint64(len(iss.slots) - 1)
+	for i := slotIndex(id, mask); ; i = (i + 1) & mask {
+		s := &iss.slots[i]
+		if !s.used {
+			*s = issuerSlot{id: id, used: true}
+			iss.live++
+			return true
+		}
+		if s.id == id {
+			return false
+		}
+	}
+}
+
+// ensure grows the table so that live+need identifiers keep the load factor
+// at or below 1/2. Live identifiers are rehashed into the new table; their
+// duplicate stamps carry over. Caller holds iss.mu.
+func (iss *Issuer) ensure(need int) {
+	want := 2 * (iss.live + need)
+	if want <= len(iss.slots) {
+		return
+	}
+	size := 64
+	for size < want {
+		size *= 2
+	}
+	old := iss.slots
+	iss.slots = make([]issuerSlot, size)
+	mask := uint64(size - 1)
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		for j := slotIndex(old[i].id, mask); ; j = (j + 1) & mask {
+			if !iss.slots[j].used {
+				iss.slots[j] = old[i]
+				break
+			}
+		}
+	}
 }
 
 // Mint creates the attestation covering total work units — ceil(total/unit)
@@ -225,13 +302,13 @@ func (iss *Issuer) MintInto(blocks []Block, total float64) (Attestation, error) 
 	nb := int(math.Ceil(total/iss.unit - 1e-12))
 	iss.mu.Lock()
 	defer iss.mu.Unlock()
+	iss.ensure(nb)
 	start := len(blocks)
 	for len(blocks)-start < nb {
 		id := Block(iss.rng.Uint64())
-		if iss.minted[id] {
-			continue // astronomically unlikely; regenerate
+		if !iss.insert(id) {
+			continue // astronomically unlikely duplicate; regenerate
 		}
-		iss.minted[id] = true
 		blocks = append(blocks, id)
 	}
 	return Attestation{Blocks: blocks[start:]}, nil
@@ -245,25 +322,22 @@ var (
 
 // Verify checks an attestation: every identifier must have been minted and
 // none may repeat. It returns the work amount the attestation proves.
-// Successful verification allocates nothing: the duplicate check runs on a
-// persistent generation-stamped scratch map.
+// Successful verification allocates nothing: the duplicate check rides as a
+// generation stamp on the identifier's own table cell.
 func (iss *Issuer) Verify(a Attestation) (float64, error) {
 	iss.mu.Lock()
 	defer iss.mu.Unlock()
-	iss.seenGen++
-	if iss.seenGen == 0 { // stamp wrap: stale entries could alias, start clean
-		clear(iss.seen)
-		iss.seenGen = 1
-	}
-	gen := iss.seenGen
+	iss.gen++
+	gen := iss.gen
 	for _, b := range a.Blocks {
-		if !iss.minted[b] {
+		s := iss.lookup(b)
+		if s == nil {
 			return 0, fmt.Errorf("%w: %d", ErrForgedBlock, uint64(b))
 		}
-		if iss.seen[b] == gen {
+		if s.seen == gen {
 			return 0, fmt.Errorf("%w: %d", ErrDuplicateBlock, uint64(b))
 		}
-		iss.seen[b] = gen
+		s.seen = gen
 	}
 	return a.Amount(iss.unit), nil
 }

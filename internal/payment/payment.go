@@ -182,3 +182,84 @@ func (l *Ledger) NetZero(tol float64) bool {
 func (l *Ledger) MechanismOutlay() float64 {
 	return -l.Balance(Mechanism)
 }
+
+// ForEachEntry calls fn for every journal entry in order while holding the
+// ledger lock. It exists for bulk consumers (the daemon's per-tenant books)
+// that would otherwise force a full journal copy per round; fn must not call
+// back into the ledger.
+func (l *Ledger) ForEachEntry(fn func(Entry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.journal {
+		fn(e)
+	}
+}
+
+// Book is a balances-only accumulator: the running account positions of a
+// long-lived party (the daemon's per-tenant cumulative book) without the
+// per-transfer journal a Ledger carries. A daemon settles hundreds of rounds
+// per second into the same book for its whole uptime; journaling every
+// replayed entry again made the book's append slice the largest allocation
+// in a steady-state profile — and an unbounded one. The evidence ledger
+// (internal/ledger) is the durable record; the book only needs to answer
+// balance and conservation queries.
+type Book struct {
+	mu       sync.Mutex
+	balances map[int]float64
+}
+
+// NewBook returns an empty balance accumulator.
+func NewBook() *Book {
+	return &Book{balances: make(map[int]float64)}
+}
+
+// Apply validates the whole journal first and then applies it atomically:
+// either every entry moves money or none does, so a bad round can never
+// leave the book half-applied (which would poison every later conservation
+// check, not just the bad round). The error names the first bad entry.
+func (b *Book) Apply(journal []Entry) error {
+	for i := range journal {
+		e := &journal[i]
+		if e.Amount < 0 || math.IsNaN(e.Amount) || math.IsInf(e.Amount, 0) {
+			return fmt.Errorf("%w: entry %d: %v", ErrNegativeAmount, i, e.Amount)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("%w: entry %d: account %d", ErrSelfTransfer, i, e.From)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range journal {
+		e := &journal[i]
+		b.balances[e.From] -= e.Amount
+		b.balances[e.To] += e.Amount
+	}
+	return nil
+}
+
+// ApplyLedger applies one round ledger's full journal to the book without
+// copying it out.
+func (b *Book) ApplyLedger(l *Ledger) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return b.Apply(l.journal)
+}
+
+// Balance returns the current balance of an account (0 if never touched).
+func (b *Book) Balance(id int) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balances[id]
+}
+
+// NetZero verifies conservation: the sum of all balances is zero (within
+// tol).
+func (b *Book) NetZero(tol float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var sum float64
+	for _, bal := range b.balances {
+		sum += bal
+	}
+	return math.Abs(sum) <= tol
+}

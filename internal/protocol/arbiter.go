@@ -373,7 +373,7 @@ func (a *arbiter) recomputeBill(b billMsg, solutionFound bool) (billMsg, error) 
 	m := r.size - 1
 	r.countVerifyN(8)
 
-	vals, err := verifyG(r.pki, j, b.Proof.G, r.seqVerify)
+	vals, err := verifyG(r.pki, j, b.Proof.G, r.warmG(b.Proof.G))
 	if err != nil {
 		return billMsg{}, fmt.Errorf("proof G_%d: %w", j, err)
 	}
@@ -539,6 +539,7 @@ drain:
 	// tables are session-lifetime and immutable, shared by reference.
 	job.size = r.size
 	job.cfg = r.params.Cfg
+	job.compute = r.compute
 	job.hooks = r.hooks
 	job.ledger = r.ledger
 	job.memoC, job.memoE, job.memoB, job.memoS = r.memoC, r.memoE, r.memoB, r.memoS

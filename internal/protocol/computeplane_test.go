@@ -1,0 +1,214 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"dlsmech/internal/agent"
+	"dlsmech/internal/compute"
+	"dlsmech/internal/core"
+	"dlsmech/internal/dlt"
+	"dlsmech/internal/obs"
+	"dlsmech/internal/xrand"
+)
+
+// newTestPlane builds a live shared compute plane (verify coalescing + plan
+// cache) with its own registry, closed when the test ends.
+func newTestPlane(t *testing.T) (*compute.Plane, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	plane := compute.New(compute.Config{EnableVerify: true, EnablePlans: true, Registry: reg})
+	if plane == nil {
+		t.Fatal("compute.New returned nil with both halves enabled")
+	}
+	t.Cleanup(plane.Close)
+	return plane, reg
+}
+
+// bitsEq compares float slices by IEEE-754 bit pattern — equality up to
+// rounding is NOT the contract; the plane must change nothing at all.
+func bitsEq(t *testing.T, what string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s[%d]: %x vs %x (%v vs %v)", what, i,
+				math.Float64bits(a[i]), math.Float64bits(b[i]), a[i], b[i])
+		}
+	}
+}
+
+// requireBitIdentical asserts two protocol results are indistinguishable:
+// same verdicts, same detections, bit-identical plans, loads, utilities and
+// ledger journal.
+func requireBitIdentical(t *testing.T, off, on *Result) {
+	t.Helper()
+	if off.Completed != on.Completed || off.TermReason != on.TermReason {
+		t.Fatalf("verdicts differ: off=(%v %q) on=(%v %q)",
+			off.Completed, off.TermReason, on.Completed, on.TermReason)
+	}
+	if off.SolutionFound != on.SolutionFound {
+		t.Fatalf("SolutionFound differs: off=%v on=%v", off.SolutionFound, on.SolutionFound)
+	}
+	bitsEq(t, "Bids", off.Bids, on.Bids)
+	bitsEq(t, "Retained", off.Retained, on.Retained)
+	bitsEq(t, "Utilities", off.Utilities, on.Utilities)
+	if (off.Plan == nil) != (on.Plan == nil) {
+		t.Fatalf("plan presence differs: off=%v on=%v", off.Plan != nil, on.Plan != nil)
+	}
+	if off.Plan != nil {
+		bitsEq(t, "Plan.Alpha", off.Plan.Alpha, on.Plan.Alpha)
+		bitsEq(t, "Plan.AlphaHat", off.Plan.AlphaHat, on.Plan.AlphaHat)
+		bitsEq(t, "Plan.D", off.Plan.D, on.Plan.D)
+		bitsEq(t, "Plan.WBar", off.Plan.WBar, on.Plan.WBar)
+	}
+	if len(off.Detections) != len(on.Detections) {
+		t.Fatalf("detections differ: off=%d on=%d", len(off.Detections), len(on.Detections))
+	}
+	for i := range off.Detections {
+		if off.Detections[i] != on.Detections[i] {
+			t.Fatalf("detection %d differs: off=%+v on=%+v", i, off.Detections[i], on.Detections[i])
+		}
+	}
+	ja, jb := off.Ledger.Journal(), on.Ledger.Journal()
+	if len(ja) != len(jb) {
+		t.Fatalf("ledger journal length differs: off=%d on=%d", len(ja), len(jb))
+	}
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("ledger entry %d differs: off=%+v on=%+v", i, ja[i], jb[i])
+		}
+	}
+}
+
+// TestComputePlaneBitIdenticalRun is the plane-on/off equivalence proof on
+// the chain engine: the same rounds — truthful, overbidding, underbidding —
+// produce byte-for-byte identical results whether verification and plan
+// solving go through the shared plane or run locally.
+func TestComputePlaneBitIdenticalRun(t *testing.T) {
+	t.Parallel()
+	plane, reg := newTestPlane(t)
+
+	n := chainNet(t, 12, 3)
+	profiles := map[string]agent.Profile{
+		"truthful": agent.AllTruthful(12),
+		"overbid":  agent.AllTruthful(12).WithDeviant(3, agent.Overbid(1.6)),
+		"underbid": agent.AllTruthful(12).WithDeviant(5, agent.Underbid(0.7)),
+	}
+	for name, prof := range profiles {
+		for seed := uint64(1); seed <= 3; seed++ {
+			p := Params{Net: n, Profile: prof, Cfg: core.DefaultConfig(), Seed: seed}
+			off, err := Run(p)
+			if err != nil {
+				t.Fatalf("%s/%d off: %v", name, seed, err)
+			}
+			p.Compute = compute.Handle{Plane: plane, Tenant: "eq-" + name}
+			on, err := Run(p)
+			if err != nil {
+				t.Fatalf("%s/%d on: %v", name, seed, err)
+			}
+			requireBitIdentical(t, off, on)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[compute.MetricVerifySubmitted] == 0 {
+		t.Fatal("plane-on runs never touched the verify plane")
+	}
+	if snap.Counters[compute.MetricPlanCacheHits] == 0 {
+		t.Fatal("repeated configurations never hit the plan cache")
+	}
+}
+
+// TestComputePlaneBitIdenticalSharded repeats the equivalence proof on the
+// sharded tree-of-arbiters engine, whose root ingest is the one place the
+// plane's verdict (not just its memo warming) is load-bearing.
+func TestComputePlaneBitIdenticalSharded(t *testing.T) {
+	t.Parallel()
+	plane, _ := newTestPlane(t)
+
+	n := chainNet(t, 24, 9)
+	sc := ShardConfig{Shards: 4, Fanout: 2}
+	for seed := uint64(1); seed <= 3; seed++ {
+		p := Params{Net: n, Profile: agent.AllTruthful(24), Cfg: core.DefaultConfig(), Seed: seed}
+		off, err := RunSharded(p, sc)
+		if err != nil {
+			t.Fatalf("seed %d off: %v", seed, err)
+		}
+		p.Compute = compute.Handle{Plane: plane, Tenant: "eq-shard"}
+		on, err := RunSharded(p, sc)
+		if err != nil {
+			t.Fatalf("seed %d on: %v", seed, err)
+		}
+		requireBitIdentical(t, off, on)
+	}
+}
+
+// TestComputePlaneBitIdenticalPipeline drives the same load sequence through
+// two pipelines — plane off and plane on — and checks every settled result
+// matches bit for bit. Repeating one configuration across loads makes the
+// plane-on pipeline settle from plan-cache hits in steady state, so this is
+// also the cached-plan-equals-solved-plan proof at the pipeline layer.
+func TestComputePlaneBitIdenticalPipeline(t *testing.T) {
+	t.Parallel()
+	plane, reg := newTestPlane(t)
+
+	const m, loads, depth = 10, 8, 4
+	n := chainNet(t, m, 5)
+	run := func(h compute.Handle) []*Result {
+		sess := NewSession(m, 77)
+		pipe, err := NewPipeline(sess, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pipe.Close()
+		tickets := make([]*Ticket, 0, loads)
+		for k := 0; k < loads; k++ {
+			tk, err := pipe.Submit(Params{
+				Net: n, Profile: agent.AllTruthful(m), Cfg: core.DefaultConfig(),
+				Seed: uint64(100 + k), Compute: h,
+			})
+			if err != nil {
+				t.Fatalf("submit %d: %v", k, err)
+			}
+			tickets = append(tickets, tk)
+		}
+		out := make([]*Result, loads)
+		for k, tk := range tickets {
+			out[k] = tk.Wait()
+		}
+		return out
+	}
+	off := run(compute.Handle{})
+	on := run(compute.Handle{Plane: plane, Tenant: "eq-pipe"})
+	for k := range off {
+		if off[k] == nil || on[k] == nil {
+			t.Fatalf("load %d: nil result (off=%v on=%v)", k, off[k] != nil, on[k] != nil)
+		}
+		requireBitIdentical(t, off[k], on[k])
+	}
+	snap := reg.Snapshot()
+	if hits := snap.Counters[compute.MetricPlanCacheHits]; hits == 0 {
+		t.Fatal("pipelined repeats of one configuration never hit the plan cache")
+	}
+}
+
+// chainNet draws a valid random chain of m strategic processors.
+func chainNet(t *testing.T, m int, seed uint64) *dlt.Network {
+	t.Helper()
+	r := xrand.New(seed)
+	w := make([]float64, m)
+	z := make([]float64, m-1)
+	for i := range w {
+		w[i] = 0.5 + 2*r.Float64()
+	}
+	for i := range z {
+		z[i] = 0.05 + 0.2*r.Float64()
+	}
+	n, err := dlt.NewNetwork(w, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"dlsmech/internal/agent"
+	"dlsmech/internal/compute"
 	"dlsmech/internal/core"
 	"dlsmech/internal/device"
 	"dlsmech/internal/dlt"
@@ -87,6 +88,14 @@ type Params struct {
 	// Evidence optionally receives every signed artifact the round produces
 	// (nil records nothing). See EvidenceSink for the contract.
 	Evidence EvidenceSink
+	// Compute optionally attaches the daemon's shared compute plane: the
+	// cross-session verification coalescer and the content-addressed plan
+	// cache. The zero Handle keeps every verification and solve local —
+	// that path is bench-pinned to add zero allocations to the round.
+	// Verdicts and plans are identical either way: the coalescer only warms
+	// the PKI memo (per-slot checks still decide), and a cached plan is a
+	// bit-identical copy of what Algorithm 1 returns for the same input.
+	Compute compute.Handle
 }
 
 // Violation names the deviation classes of Lemma 5.1.
@@ -338,6 +347,7 @@ func (r *runner) procMain(i int, wg *sync.WaitGroup) {
 func (r *runner) resetRound(p Params, unit float64, seed uint64) error {
 	r.params = p
 	r.seqVerify = p.SequentialVerify
+	r.compute = p.Compute
 	r.sink = p.Evidence
 	r.rec = p.Recovery.withDefaults()
 	r.hooks = obs.Or(p.Hooks)
@@ -471,6 +481,7 @@ type runner struct {
 	unit      float64
 	chanCap   int
 	seqVerify bool
+	compute   compute.Handle
 	pki       *sign.PKI
 	signers   []*sign.Signer
 	meters    []*device.Meter

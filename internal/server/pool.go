@@ -132,7 +132,7 @@ type tenantBook struct {
 
 type tenantState struct {
 	mu     sync.Mutex
-	ledger *payment.Ledger
+	book   *payment.Book
 	rounds int64
 }
 
@@ -145,49 +145,51 @@ func (b *tenantBook) state(tenant string) *tenantState {
 	defer b.mu.Unlock()
 	ts, ok := b.m[tenant]
 	if !ok {
-		ts = &tenantState{ledger: payment.NewLedger()}
+		ts = &tenantState{book: payment.NewBook()}
 		b.m[tenant] = ts
 		b.met.tenants.Add(1)
 	}
 	return ts
 }
 
-// settle replays one round's journal into the tenant's cumulative ledger
+// settle replays one round's journal into the tenant's cumulative book
 // and re-checks conservation.
 func (b *tenantBook) settle(tenant string, res *protocol.Result) {
 	if res.Ledger == nil {
 		return
 	}
-	b.settleJournal(tenant, res.Ledger.Journal())
-}
-
-// settleJournal applies one round's journal atomically: the whole journal
-// is first replayed into a scratch ledger, so a bad entry rejects the
-// round without touching the cumulative ledger — a half-applied round
-// would break the tenant's NetZero invariant for every later check, not
-// just the bad round. The tenant lock spans the merge, so a concurrent
-// NetZero never observes a partial round either.
-func (b *tenantBook) settleJournal(tenant string, journal []payment.Entry) {
-	scratch := payment.NewLedgerSized(0, len(journal))
-	for _, e := range journal {
-		if err := scratch.Transfer(e.From, e.To, e.Amount, e.Kind, e.Memo); err != nil {
-			b.met.ledgerFailures.Inc()
-			return
-		}
-	}
 	ts := b.state(tenant)
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	for _, e := range journal {
-		// Cannot fail: Transfer validates only the entry itself (amount
-		// domain, self-transfer), and every entry just passed on the
-		// scratch ledger.
-		ts.ledger.Transfer(e.From, e.To, e.Amount, e.Kind, e.Memo)
+	// Book.Apply validates the whole journal before moving any money, so a
+	// bad entry rejects the round without touching the cumulative book — a
+	// half-applied round would break the tenant's NetZero invariant for
+	// every later check, not just the bad round. The tenant lock spans the
+	// merge, so a concurrent NetZero never observes a partial round either.
+	if err := ts.book.ApplyLedger(res.Ledger); err != nil {
+		b.met.ledgerFailures.Inc()
+		return
 	}
 	ts.rounds++
 	// Tolerance grows with history: each round contributes bounded float
 	// error.
-	if !ts.ledger.NetZero(netZeroTol * float64(1+ts.rounds)) {
+	if !ts.book.NetZero(netZeroTol * float64(1+ts.rounds)) {
+		b.met.ledgerFailures.Inc()
+	}
+}
+
+// settleJournal is settle for a journal already copied out of its ledger
+// (recovery replay, tests).
+func (b *tenantBook) settleJournal(tenant string, journal []payment.Entry) {
+	ts := b.state(tenant)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if err := ts.book.Apply(journal); err != nil {
+		b.met.ledgerFailures.Inc()
+		return
+	}
+	ts.rounds++
+	if !ts.book.NetZero(netZeroTol * float64(1+ts.rounds)) {
 		b.met.ledgerFailures.Inc()
 	}
 }
@@ -203,5 +205,5 @@ func (b *tenantBook) netZero(tenant string, tol float64) bool {
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	return ts.ledger.NetZero(tol)
+	return ts.book.NetZero(tol)
 }

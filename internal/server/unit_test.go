@@ -172,8 +172,8 @@ func TestSettleJournalAtomic(t *testing.T) {
 		t.Fatalf("ledger failures %d, want 1", got)
 	}
 	ts := b.state("t")
-	if ts.rounds != 0 || ts.ledger.Balance(1) != 0 {
-		t.Fatalf("bad round half-applied: rounds=%d balance=%v", ts.rounds, ts.ledger.Balance(1))
+	if ts.rounds != 0 || ts.book.Balance(1) != 0 {
+		t.Fatalf("bad round half-applied: rounds=%d balance=%v", ts.rounds, ts.book.Balance(1))
 	}
 
 	// A later good round for the same tenant settles normally.
@@ -185,7 +185,7 @@ func TestSettleJournalAtomic(t *testing.T) {
 	if got := met.ledgerFailures.Value(); got != 1 {
 		t.Fatalf("good round counted a ledger failure: %d", got)
 	}
-	if got := ts.ledger.Balance(1); got != 3 {
+	if got := ts.book.Balance(1); got != 3 {
 		t.Fatalf("balance %v, want 3", got)
 	}
 	if !b.netZero("t", 1e-9) {

@@ -1,6 +1,7 @@
 package sign
 
 import (
+	"crypto/ed25519"
 	"errors"
 	"runtime"
 	"sync"
@@ -80,9 +81,11 @@ func (p *PKI) verifyBatchIndexed(msgs []Signed) (int, error) {
 		key, fixed := fixedMemoKey(msgs[i])
 		var hit bool
 		if fixed {
-			_, hit = p.memo[key]
-		} else {
-			_, hit = p.memoLong[memoKeyLong{id: msgs[i].SignerID, payload: string(msgs[i].Payload), sig: string(msgs[i].Sig)}]
+			sig, ok := p.memo[key]
+			hit = ok && sig == memoSig(msgs[i].Sig)
+		} else if len(msgs[i].Sig) == ed25519.SignatureSize {
+			sig, ok := p.memoLong[memoKeyLong{id: msgs[i].SignerID, payload: string(msgs[i].Payload)}]
+			hit = ok && sig == string(msgs[i].Sig)
 		}
 		if !hit {
 			if spill == nil && len(miss) < cap(miss) {

@@ -275,6 +275,90 @@ func TestVerifyBatchNamed(t *testing.T) {
 	}
 }
 
+// TestVerifyBatchChunkBoundaries pins the chunked fan-out at the lengths
+// where off-by-one bugs live: batch sizes congruent to 0, 1, and chunk−1
+// modulo verifyChunkSize, each with the deviant at the first, middle, and
+// last slot (and once absent). Every case runs on a cold memo so the full
+// length flows through the chunk loop.
+func TestVerifyBatchChunkBoundaries(t *testing.T) {
+	sizes := []int{
+		verifyChunkSize - 1, verifyChunkSize, verifyChunkSize + 1,
+		2*verifyChunkSize - 1, 2 * verifyChunkSize, 2*verifyChunkSize + 1,
+	}
+	for _, n := range sizes {
+		for _, badAt := range []int{-1, 0, n / 2, n - 1} {
+			t.Run(fmt.Sprintf("n=%d/badAt=%d", n, badAt), func(t *testing.T) {
+				pki, signers := newRegistered(t, 0, 1, 2)
+				msgs := batchOf(signers, n)
+				if badAt >= 0 {
+					msgs[badAt].Sig[0] ^= 0x01
+				}
+				at, err := pki.VerifyBatchNamed(msgs)
+				if badAt < 0 {
+					if at != -1 || err != nil {
+						t.Fatalf("clean batch named %d, %v", at, err)
+					}
+					return
+				}
+				if at != badAt || err == nil {
+					t.Fatalf("named index %d (err %v), want %d", at, err, badAt)
+				}
+				// The failure must not have been memoized: a retry with the
+				// deviant repaired verifies clean end to end.
+				msgs[badAt].Sig[0] ^= 0x01
+				if at, err := pki.VerifyBatchNamed(msgs); at != -1 || err != nil {
+					t.Fatalf("repaired batch named %d, %v", at, err)
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyBatchNamedConcurrent hammers one PKI with concurrent callers —
+// clean batches, forged batches, and overlapping payloads that race on the
+// memo — and checks every caller still gets its own exact verdict. Run with
+// -race this doubles as the data-race proof for the shared memo and the
+// pooled spill arena.
+func TestVerifyBatchNamedConcurrent(t *testing.T) {
+	pki, signers := newRegistered(t, 0, 1, 2)
+	shared := batchOf(signers, 2*verifyChunkSize+1) // all goroutines contend on these memo entries
+	const callers = 12
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				// Private batch: fresh payloads, with a forgery on odd callers.
+				private := make([]Signed, verifyChunkSize+3)
+				for i := range private {
+					private[i] = signers[i%3].Sign([]byte(fmt.Sprintf("c%d-i%d-m%d", g, iter, i)))
+				}
+				wantAt := -1
+				if g%2 == 1 {
+					wantAt = (g * 7 % len(private))
+					private[wantAt].Sig[0] ^= 0x01
+				}
+				if at, err := pki.VerifyBatchNamed(private); at != wantAt || (err == nil) != (wantAt == -1) {
+					errs[g] = fmt.Errorf("caller %d iter %d: named %d (err %v), want %d", g, iter, at, err, wantAt)
+					return
+				}
+				if at, err := pki.VerifyBatchNamed(shared); at != -1 || err != nil {
+					errs[g] = fmt.Errorf("caller %d iter %d: shared batch named %d, %v", g, iter, at, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestVerifyBatchSpilledReuse drives the pooled arena twice and checks the
 // verdicts stay correct when the spill buffer is reused across batches.
 func TestVerifyBatchSpilledReuse(t *testing.T) {

@@ -1,0 +1,205 @@
+package sign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchJob is one submitter's slice of a cross-PKI verification batch: a set
+// of signed messages to be checked against one PKI. Daemon sessions each own
+// their PKI (keys derive from the session seed), so a daemon-wide batch is a
+// set of jobs, not one flat message list.
+type BatchJob struct {
+	PKI  *PKI
+	Msgs []Signed
+}
+
+// BatchVerdict is the per-job outcome of VerifyBatchMulti, mirroring
+// VerifyBatchNamed: At is the index (into the job's Msgs) of the first
+// invalid message, or -1 when every signature checks out.
+type BatchVerdict struct {
+	At  int
+	Err error
+}
+
+// flatRef addresses one message inside a job list.
+type flatRef struct {
+	job int32
+	msg int32
+}
+
+// multiBuf is the pooled scratch of one VerifyBatchMulti call.
+type multiBuf struct {
+	refs []flatRef
+	bad  []int32 // job indexes the flat pass saw fail (dedup'd by caller)
+}
+
+var multiPool = sync.Pool{New: func() interface{} { return new(multiBuf) }}
+
+// VerifyBatchMulti verifies every job's messages in one shared chunked
+// parallel pass and writes one verdict per job into verdicts (which must
+// have len(jobs)).
+//
+// Per job the outcome is exactly what VerifyBatchNamed would have returned:
+// memo hits are split off under each job's PKI lock first, the combined
+// misses are verified in chunks claimed by a bounded worker set, and any
+// job whose chunked slice failed falls back to a sequential in-order
+// re-check that names its first invalid message. Jobs are poison-isolated:
+// one job's forged signature costs only that job its fallback pass — every
+// other job's verdict is unaffected, which is what lets a daemon fold
+// mutually untrusting tenants into one batch.
+//
+// Successes are memoized in each job's own PKI, failures never are.
+func VerifyBatchMulti(jobs []BatchJob, verdicts []BatchVerdict) {
+	if len(jobs) != len(verdicts) {
+		panic("sign: VerifyBatchMulti verdicts length mismatch")
+	}
+	buf := multiPool.Get().(*multiBuf)
+	defer func() {
+		buf.refs = buf.refs[:0]
+		buf.bad = buf.bad[:0]
+		multiPool.Put(buf)
+	}()
+
+	// Memo split per job: collect the combined misses. Each job's memo is
+	// consulted under its own PKI's read lock, exactly like VerifyBatch.
+	refs := buf.refs[:0]
+	for j := range jobs {
+		verdicts[j] = BatchVerdict{At: -1}
+		p := jobs[j].PKI
+		msgs := jobs[j].Msgs
+		hits := 0
+		p.memoMu.RLock()
+		for i := range msgs {
+			if memoHitLocked(p, msgs[i]) {
+				hits++
+				continue
+			}
+			refs = append(refs, flatRef{job: int32(j), msg: int32(i)})
+		}
+		p.memoMu.RUnlock()
+		if hits > 0 {
+			p.memoHits.Add(int64(hits))
+		}
+	}
+	buf.refs = refs
+	if len(refs) == 0 {
+		return
+	}
+
+	// One chunked parallel pass over every miss of every job. Workers mark
+	// failing jobs instead of aborting the whole pass: other jobs' messages
+	// must still verify (and memoize) so an innocent submitter is answered
+	// from this batch, not poisoned by a stranger's forgery.
+	var badMask sync.Map // int32 job index -> struct{}
+	anyBad := verifyRefsChunked(jobs, refs, &badMask)
+	if !anyBad {
+		return
+	}
+
+	// Fallback, per failing job only: sequential re-check in message order
+	// naming the first invalid message — the verdict a lone sequential
+	// Verify loop would have produced.
+	badMask.Range(func(k, _ interface{}) bool {
+		j := k.(int32)
+		msgs := jobs[j].Msgs
+		for i := range msgs {
+			if err := jobs[j].PKI.Verify(msgs[i]); err != nil {
+				verdicts[j] = BatchVerdict{At: i, Err: err}
+				return true
+			}
+		}
+		// The chunked pass failed but the re-check passed: concurrent
+		// mutation of the job's messages. Surface the anomaly.
+		verdicts[j] = BatchVerdict{At: -1, Err: errBatchAnomaly}
+		return true
+	})
+}
+
+// memoHitLocked is the memo probe of Verify with the caller already holding
+// p.memoMu (shared). It does not count the hit.
+func memoHitLocked(p *PKI, msg Signed) bool {
+	if key, fixed := fixedMemoKey(msg); fixed {
+		sig, ok := p.memo[key]
+		return ok && sig == memoSig(msg.Sig)
+	}
+	if len(msg.Sig) != 64 {
+		return false
+	}
+	sig, ok := p.memoLong[memoKeyLong{id: msg.SignerID, payload: string(msg.Payload)}]
+	return ok && sig == string(msg.Sig)
+}
+
+// verifyRefsChunked runs the combined miss list in verifyChunkSize chunks
+// claimed by at most GOMAXPROCS workers, recording failing jobs in badMask.
+// It reports whether any message failed.
+func verifyRefsChunked(jobs []BatchJob, refs []flatRef, badMask *sync.Map) bool {
+	n := len(refs)
+	chunks := (n + verifyChunkSize - 1) / verifyChunkSize
+	workers := runtime.GOMAXPROCS(0)
+	if workers > chunks {
+		workers = chunks
+	}
+	var anyBad atomic.Bool
+	check := func(r flatRef) {
+		if _, skip := badMask.Load(r.job); skip {
+			return // job already failing; its fallback re-checks in order
+		}
+		if jobs[r.job].PKI.Verify(jobs[r.job].Msgs[r.msg]) != nil {
+			badMask.Store(r.job, struct{}{})
+			anyBad.Store(true)
+		}
+	}
+	if workers <= 1 {
+		for _, r := range refs {
+			check(r)
+		}
+		return anyBad.Load()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * verifyChunkSize
+				hi := min(lo+verifyChunkSize, n)
+				for _, r := range refs[lo:hi] {
+					check(r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return anyBad.Load()
+}
+
+// MemoMisses appends to dst the indexes of the messages in msgs that are not
+// answered by the verification memo — the subset a caller must actually
+// verify. It performs no verification itself and does not count memo hits;
+// it exists so a batching layer can keep all-hit calls entirely local and
+// ship only the crypto-bound remainder to a shared dispatcher.
+// CountMemoHits credits n memo hits to the PKI's counter — the accounting
+// half of a MemoMisses split done by a batching layer.
+func (p *PKI) CountMemoHits(n int) {
+	if n > 0 {
+		p.memoHits.Add(int64(n))
+	}
+}
+
+func (p *PKI) MemoMisses(msgs []Signed, dst []int32) []int32 {
+	p.memoMu.RLock()
+	for i := range msgs {
+		if !memoHitLocked(p, msgs[i]) {
+			dst = append(dst, int32(i))
+		}
+	}
+	p.memoMu.RUnlock()
+	return dst
+}

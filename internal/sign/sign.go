@@ -152,47 +152,59 @@ type PKI struct {
 	keys map[int]ed25519.PublicKey
 
 	memoMu   sync.RWMutex
-	memo     map[memoKey]struct{}
-	memoLong map[memoKeyLong]struct{}
+	memo     map[memoKey]memoSig
+	memoLong map[memoKeyLong]string
 	memoHits atomic.Int64
 }
 
 // memoMaxPayload bounds the payloads the fixed-size memo key can hold. Every
 // protocol payload fits (slots are 20 bytes, meter readings 28); anything
 // longer falls back to the string-keyed map.
-const memoMaxPayload = 96
+const memoMaxPayload = 40
 
 // memoKey identifies one successfully verified message without allocating:
-// the key is a fixed-size comparable value built on the stack, holding the
-// exact payload and signature bytes, so a lookup costs a map probe and
-// nothing else. Copying the bytes into the key is also what makes the cached
-// entry immune to later mutation of the caller's slices.
+// the key is a fixed-size comparable value built on the stack holding the
+// exact payload bytes, so a lookup costs one map probe over a compact key.
+// The signature deliberately rides in the map VALUE, not the key: hashing
+// the 64 signature bytes on every probe made the memo lookup itself the
+// hottest line of a warm daemon round, while an equality compare of the
+// stored signature costs a handful of ns. A hit therefore means "this exact
+// (signer, payload, sig) triple verified before" — same contract as keying
+// by the full triple, because a probe only answers yes when the stored
+// signature matches the presented one byte for byte. Copying the bytes into
+// the key/value is also what makes the cached entry immune to later mutation
+// of the caller's slices.
 type memoKey struct {
-	id      int
+	id      int32
 	plen    uint8
 	payload [memoMaxPayload]byte
-	sig     [ed25519.SignatureSize]byte
 }
+
+// memoSig is the memo value: the one signature that verified for the keyed
+// (signer, payload). ed25519 signing is deterministic, so a second distinct
+// valid signature for the same payload never arises from an honest signer;
+// if one ever appears it simply re-verifies without the memo.
+type memoSig [ed25519.SignatureSize]byte
 
 // memoKeyLong is the fallback key for payloads the fixed-size key cannot
 // hold. The string conversions copy (and allocate), which is acceptable off
 // the hot path.
 type memoKeyLong struct {
-	id           int
-	payload, sig string
+	id      int
+	payload string
 }
 
 // fixedMemoKey builds the allocation-free key, reporting false when the
 // message does not fit its fixed-size fields.
 func fixedMemoKey(msg Signed) (memoKey, bool) {
-	if len(msg.Payload) > memoMaxPayload || len(msg.Sig) != ed25519.SignatureSize {
+	if len(msg.Payload) > memoMaxPayload || len(msg.Sig) != ed25519.SignatureSize ||
+		int64(msg.SignerID) != int64(int32(msg.SignerID)) {
 		return memoKey{}, false
 	}
 	var k memoKey
-	k.id = msg.SignerID
+	k.id = int32(msg.SignerID)
 	k.plen = uint8(len(msg.Payload))
 	copy(k.payload[:], msg.Payload)
-	copy(k.sig[:], msg.Sig)
 	return k, true
 }
 
@@ -200,8 +212,8 @@ func fixedMemoKey(msg Signed) (memoKey, bool) {
 func NewPKI() *PKI {
 	return &PKI{
 		keys:     make(map[int]ed25519.PublicKey),
-		memo:     make(map[memoKey]struct{}),
-		memoLong: make(map[memoKeyLong]struct{}),
+		memo:     make(map[memoKey]memoSig),
+		memoLong: make(map[memoKeyLong]string),
 	}
 }
 
@@ -237,16 +249,18 @@ func (p *PKI) Verify(msg Signed) error {
 	return p.verifyAndMemoize(msg, key, fixed)
 }
 
-// memoHit reports whether msg has already verified successfully.
+// memoHit reports whether this exact (signer, payload, sig) triple has
+// already verified successfully: the probe is keyed by (signer, payload)
+// and the stored signature must match the presented one byte for byte.
 func (p *PKI) memoHit(msg Signed, key memoKey, fixed bool) bool {
 	p.memoMu.RLock()
 	defer p.memoMu.RUnlock()
 	if fixed {
-		_, hit := p.memo[key]
-		return hit
+		sig, hit := p.memo[key]
+		return hit && sig == memoSig(msg.Sig)
 	}
-	_, hit := p.memoLong[memoKeyLong{id: msg.SignerID, payload: string(msg.Payload), sig: string(msg.Sig)}]
-	return hit
+	sig, hit := p.memoLong[memoKeyLong{id: msg.SignerID, payload: string(msg.Payload)}]
+	return hit && sig == string(msg.Sig)
 }
 
 // verifyAndMemoize runs the full ed25519 check and records a success.
@@ -262,9 +276,9 @@ func (p *PKI) verifyAndMemoize(msg Signed, key memoKey, fixed bool) error {
 	}
 	p.memoMu.Lock()
 	if fixed {
-		p.memo[key] = struct{}{}
+		p.memo[key] = memoSig(msg.Sig)
 	} else {
-		p.memoLong[memoKeyLong{id: msg.SignerID, payload: string(msg.Payload), sig: string(msg.Sig)}] = struct{}{}
+		p.memoLong[memoKeyLong{id: msg.SignerID, payload: string(msg.Payload)}] = string(msg.Sig)
 	}
 	p.memoMu.Unlock()
 	return nil

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Canonical boundary-solve key material. The daemon's plan cache
+// content-addresses solved boundary plans by the SHA-256 of this encoding,
+// so it must be injective over the solver's full input: the magic pins the
+// encoding version, the lengths delimit the vectors, and the IEEE-754 bit
+// patterns (not any decimal rendering) are what get hashed — two inputs
+// solve identically iff their encodings are byte-identical.
+
+// planKeyMagic versions the plan-key encoding. Bump it if the layout (or
+// the solver's semantics) ever changes: a version bump changes every digest,
+// which is a whole-cache invalidation.
+const planKeyMagic = "PLK1"
+
+// AppendPlanKeyMaterial appends the canonical encoding of one
+// boundary-solve input — the bid vector w and the link-time vector z — to
+// dst and returns the extended slice. Encoding into a caller-owned buffer
+// keeps cache-key construction allocation-free on the hot path.
+func AppendPlanKeyMaterial(dst []byte, w, z []float64) []byte {
+	var hdr [4 + 8 + 8]byte
+	copy(hdr[:4], planKeyMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(w)))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(z)))
+	dst = append(dst, hdr[:]...)
+	var b [8]byte
+	for _, v := range w {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	for _, v := range z {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
